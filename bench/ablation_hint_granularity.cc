@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Design ablation (Sec. III-C): hint granularity. The paper recommends
+ * coarse hints that cover more data than one task touches when (a) tasks
+ * share cache lines (sssp uses the vertex's line, grouping ~8 vertices)
+ * or (b) components communicate constantly (nocsim uses router IDs, not
+ * per-component IDs). This bench compares those choices:
+ *   sssp:   cache-line hints vs per-vertex hints
+ *   nocsim: router-ID hints vs per-port hints
+ * The variants are selected via env vars read by the apps at setup.
+ */
+#include <cstdlib>
+
+#include "bench_common.h"
+
+using namespace ssim;
+using namespace ssim::bench;
+using namespace ssim::harness;
+
+namespace {
+
+uint64_t
+runWith(const char* env, const char* val, const std::string& app_name,
+        uint32_t cores)
+{
+    if (env)
+        setenv(env, val, 1);
+    auto app = loadApp(app_name);
+    auto r = runOnce(*app,
+                     SimConfig::withCores(cores, SchedulerType::Hints));
+    ssim_assert(r.valid);
+    if (env)
+        unsetenv(env);
+    return r.stats.cycles;
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+    banner("Ablation (Sec. III-C): hint granularity",
+           "Coarse hints exploit line sharing (sssp) and co-located "
+           "communication (nocsim)");
+
+    uint32_t cores = maxCores();
+    Table t({"app", "paper-choice", "finer-variant", "coarse/fine"});
+
+    uint64_t line = runWith(nullptr, "", "sssp", cores);
+    uint64_t vertex =
+        runWith("SWARMSIM_SSSP_VERTEX_HINTS", "1", "sssp", cores);
+    t.addRow({"sssp", "line: " + fmtInt(line) + " cyc",
+              "vertex: " + fmtInt(vertex) + " cyc",
+              fmt(double(vertex) / double(line)) + "x"});
+
+    uint64_t router = runWith(nullptr, "", "nocsim", cores);
+    uint64_t port =
+        runWith("SWARMSIM_NOC_PORT_HINTS", "1", "nocsim", cores);
+    t.addRow({"nocsim", "router: " + fmtInt(router) + " cyc",
+              "port: " + fmtInt(port) + " cyc",
+              fmt(double(port) / double(router)) + "x"});
+
+    t.print();
+    t.writeCsv("ablation_hint_granularity");
+    return 0;
+}

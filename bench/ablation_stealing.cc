@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Sec. II-C / VII-B ablation: work-stealing policy sensitivity. The paper
+ * studied victim selection (random, nearest-neighbor, most-loaded) and
+ * task selection (earliest-timestamp, random, latest-timestamp) and chose
+ * most-loaded x earliest-timestamp as the best overall.
+ */
+#include "bench_common.h"
+
+using namespace ssim;
+using namespace ssim::bench;
+using namespace ssim::harness;
+
+int
+main()
+{
+    setVerbose(false);
+    banner("Ablation (Sec. II-C/VII-B): stealing policies",
+           "Victim in {most-loaded, random, nearest}; task in {earliest, "
+           "random, latest}; speedups vs 1-core");
+
+    const std::pair<StealVictim, const char*> victims[] = {
+        {StealVictim::MostLoaded, "most-loaded"},
+        {StealVictim::Random, "random"},
+        {StealVictim::NearestNeighbor, "nearest"}};
+    const std::pair<StealChoice, const char*> choices[] = {
+        {StealChoice::EarliestTs, "earliest"},
+        {StealChoice::Random, "random"},
+        {StealChoice::LatestTs, "latest"}};
+
+    uint32_t cores = maxCores();
+    for (const std::string name : {"des", "sssp", "color"}) {
+        auto app = loadApp(name);
+        uint64_t base =
+            runOnce(*app, SimConfig::withCores(1, SchedulerType::Stealing))
+                .stats.cycles;
+        Table t({"victim\\task", "earliest", "random", "latest"});
+        for (auto [v, vn] : victims) {
+            std::vector<std::string> row{vn};
+            for (auto [c, cn] : choices) {
+                SimConfig cfg =
+                    SimConfig::withCores(cores, SchedulerType::Stealing);
+                cfg.stealVictim = v;
+                cfg.stealChoice = c;
+                auto r = runOnce(*app, cfg);
+                row.push_back(
+                    fmt(double(base) / double(r.stats.cycles)) + "x" +
+                    (r.valid ? "" : " (!)"));
+            }
+            t.addRow(row);
+        }
+        std::printf("\n-- %s @ %u cores --\n", name.c_str(), cores);
+        t.print();
+        t.writeCsv("ablation_stealing_" + name);
+    }
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Shared helpers for the per-figure/per-table bench binaries.
+ *
+ * Every binary reproduces one table or figure of the paper (DESIGN.md §4)
+ * at the `small` input preset by default; set SWARMSIM_FULL=1 for larger
+ * inputs and the {144, 256}-core points. Absolute numbers differ from the
+ * paper (scaled inputs, access-driven timing); the comparisons -- which
+ * scheduler wins, by roughly what factor, where crossovers fall -- are
+ * the reproduction targets (see EXPERIMENTS.md).
+ */
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "apps/app.h"
+#include "base/logging.h"
+#include "harness/classifier.h"
+#include "harness/report.h"
+#include "harness/runner.h"
+
+namespace ssim::bench {
+
+inline std::unique_ptr<apps::App>
+loadApp(const std::string& name, bool fg = false, uint64_t seed = 42)
+{
+    auto app = apps::makeApp(name, fg);
+    apps::AppParams p;
+    p.preset = apps::presetFromEnv();
+    p.seed = seed;
+    app->setup(p);
+    return app;
+}
+
+/** Print one scheduler's speedup series over the core sweep. */
+inline void
+printSpeedupRow(harness::Table& t, const std::string& label,
+                const std::vector<harness::RunResult>& series,
+                uint64_t base_cycles)
+{
+    std::vector<std::string> row{label};
+    for (const auto& r : series) {
+        double s = double(base_cycles) / double(r.stats.cycles);
+        row.push_back(harness::fmt(s, 2) + "x" + (r.valid ? "" : " (!)"));
+    }
+    t.addRow(row);
+}
+
+inline std::vector<std::string>
+coreHeaders()
+{
+    std::vector<std::string> h{"scheduler"};
+    for (uint32_t c : harness::coreSweep())
+        h.push_back(std::to_string(c) + "c");
+    return h;
+}
+
+} // namespace ssim::bench

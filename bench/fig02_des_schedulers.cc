@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 2: performance of Random, Stealing, Hints, and LBHints on des.
+ * (a) speedup relative to 1-core Swarm; (b) breakdown of total core
+ * cycles at the largest system, relative to Random.
+ */
+#include "bench_common.h"
+
+using namespace ssim;
+using namespace ssim::bench;
+using namespace ssim::harness;
+
+int
+main()
+{
+    setVerbose(false);
+    banner("Figure 2: des under Random / Stealing / Hints / LBHints",
+           "Paper: Stealing 52x, Random 49x, Hints 186x, LBHints 236x "
+           "at 256 cores");
+
+    auto app = loadApp("des");
+    auto cores = coreSweep();
+
+    const SchedulerType scheds[] = {
+        SchedulerType::Random, SchedulerType::Stealing,
+        SchedulerType::Hints, SchedulerType::LBHints};
+
+    // (a) Speedups, relative to 1-core (all schedulers equivalent at 1c).
+    std::vector<std::vector<RunResult>> results;
+    for (auto s : scheds)
+        results.push_back(sweep(*app, s, cores));
+    uint64_t base = results[0][0].stats.cycles;
+
+    Table speedup(coreHeaders());
+    for (size_t i = 0; i < results.size(); i++)
+        printSpeedupRow(speedup, schedulerName(scheds[i]), results[i],
+                        base);
+    std::printf("\n(a) des speedup vs 1-core Swarm\n");
+    speedup.print();
+    speedup.writeCsv("fig02a_des_speedup");
+
+    // (b) Core-cycle breakdown at max cores, normalized to Random's total.
+    std::printf("\n(b) total core cycles at %u cores (norm. to Random)\n",
+                cores.back());
+    Table bd({"scheduler", "commit", "abort", "spill", "stall", "empty",
+              "total"});
+    double norm = double(results[0].back().stats.totalCoreCycles());
+    for (size_t i = 0; i < results.size(); i++) {
+        auto row = cycleBreakdownRow(results[i].back().stats, norm);
+        row.insert(row.begin(), schedulerName(scheds[i]));
+        bd.addRow(row);
+    }
+    bd.print();
+    bd.writeCsv("fig02b_des_breakdown");
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Figure 3: architecture-independent classification of memory accesses
+ * for all nine applications: arguments, and {single,multi}-hint x
+ * {read-only, read-write} (paper Sec. IV-B).
+ */
+#include "bench_common.h"
+
+using namespace ssim;
+using namespace ssim::bench;
+using namespace ssim::harness;
+
+int
+main()
+{
+    setVerbose(false);
+    banner("Figure 3: classification of memory accesses",
+           "Expected shape: des/nocsim/silo/kmeans mostly single-hint RW; "
+           "bfs/sssp/astar/color/genome dominated by multi-hint RW");
+
+    Table t({"app", "arguments", "multi-RO", "single-RO", "multi-RW",
+             "single-RW", "accesses"});
+    for (const auto& name : apps::appNames()) {
+        auto app = loadApp(name);
+        app->reset();
+        AccessClassifier cls;
+        SimConfig cfg = SimConfig::withCores(16, SchedulerType::Hints);
+        Machine m(cfg);
+        m.setProfiler(&cls);
+        app->enqueueInitial(m);
+        m.run();
+        ssim_assert(app->validate(), "%s failed validation", name.c_str());
+        auto r = cls.classify();
+        t.addRow({name, fmt(r.arguments), fmt(r.multiHintRO),
+                  fmt(r.singleHintRO), fmt(r.multiHintRW),
+                  fmt(r.singleHintRW), fmtInt(r.totalAccesses)});
+    }
+    t.print();
+    t.writeCsv("fig03_classification");
+    return 0;
+}

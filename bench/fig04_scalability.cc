@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Figure 4: speedup of the Random, Stealing, and Hints schedulers on all
+ * nine applications across the core sweep, relative to 1 core.
+ */
+#include "bench_common.h"
+
+using namespace ssim;
+using namespace ssim::bench;
+using namespace ssim::harness;
+
+int
+main()
+{
+    setVerbose(false);
+    banner("Figure 4: scalability of Random / Stealing / Hints",
+           "Paper: Hints >= Random everywhere (up to 13x on kmeans); "
+           "Stealing best on bfs/sssp, worst on other ordered apps");
+
+    const SchedulerType scheds[] = {SchedulerType::Hints,
+                                    SchedulerType::Random,
+                                    SchedulerType::Stealing};
+    auto cores = coreSweep();
+    for (const auto& name : apps::appNames()) {
+        auto app = loadApp(name);
+        Table t(coreHeaders());
+        uint64_t base = 0;
+        for (auto s : scheds) {
+            auto series = sweep(*app, s, cores);
+            if (!base)
+                base = series[0].stats.cycles;
+            printSpeedupRow(t, schedulerName(s), series, base);
+        }
+        std::printf("\n-- %s --\n", name.c_str());
+        t.print();
+        t.writeCsv("fig04_" + name);
+    }
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 5: breakdown of (a) core cycles and (b) NoC data transferred at
+ * the largest system under Random, Stealing, and Hints, each normalized
+ * to Random's total for that app.
+ */
+#include "bench_common.h"
+
+using namespace ssim;
+using namespace ssim::bench;
+using namespace ssim::harness;
+
+int
+main()
+{
+    setVerbose(false);
+    banner("Figure 5: core-cycle and NoC-traffic breakdowns (R/S/H)",
+           "Paper: Hints cuts aborted cycles up to 6x and traffic up to "
+           "32x (kmeans) vs Random");
+
+    uint32_t cores = maxCores();
+    Table cyc({"app", "sched", "commit", "abort", "spill", "stall",
+               "empty", "total"});
+    Table traf({"app", "sched", "mem_accs", "aborts", "tasks", "gvt",
+                "total"});
+    const SchedulerType scheds[] = {SchedulerType::Random,
+                                    SchedulerType::Stealing,
+                                    SchedulerType::Hints};
+    for (const auto& name : apps::appNames()) {
+        auto app = loadApp(name);
+        double cycNorm = 0, trafNorm = 0;
+        for (auto s : scheds) {
+            auto r = runOnce(*app, SimConfig::withCores(cores, s));
+            if (s == SchedulerType::Random) {
+                cycNorm = double(r.stats.totalCoreCycles());
+                trafNorm = double(r.stats.totalFlits());
+            }
+            auto crow = cycleBreakdownRow(r.stats, cycNorm);
+            crow.insert(crow.begin(), schedulerName(s));
+            crow.insert(crow.begin(), name);
+            cyc.addRow(crow);
+            auto trow = trafficBreakdownRow(r.stats, trafNorm);
+            trow.insert(trow.begin(), schedulerName(s));
+            trow.insert(trow.begin(), name);
+            traf.addRow(trow);
+        }
+    }
+    std::printf("\n(a) aggregate core cycles at %u cores (norm. Random)\n",
+                cores);
+    cyc.print();
+    cyc.writeCsv("fig05a_cycles");
+    std::printf("\n(b) NoC flits injected at %u cores (norm. Random)\n",
+                cores);
+    traf.print();
+    traf.writeCsv("fig05b_traffic");
+    return 0;
+}

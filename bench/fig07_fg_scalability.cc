@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 7: speedup of fine-grain (FG) vs coarse-grain (CG) versions of
+ * bfs, sssp, astar, color under the three schedulers, all relative to
+ * the CG version at 1 core.
+ */
+#include "bench_common.h"
+
+using namespace ssim;
+using namespace ssim::bench;
+using namespace ssim::harness;
+
+int
+main()
+{
+    setVerbose(false);
+    banner("Figure 7: fine-grain vs coarse-grain scalability",
+           "Paper: FG improves Hints uniformly (up to 2.7x); mixed "
+           "results under Random/Stealing");
+
+    const SchedulerType scheds[] = {SchedulerType::Hints,
+                                    SchedulerType::Random,
+                                    SchedulerType::Stealing};
+    auto cores = coreSweep();
+    for (const auto& name : apps::fineGrainAppNames()) {
+        Table t(coreHeaders());
+        uint64_t base = 0;
+        for (bool fg : {false, true}) {
+            auto app = loadApp(name, fg);
+            for (auto s : scheds) {
+                auto series = sweep(*app, s, cores);
+                if (!base)
+                    base = series[0].stats.cycles; // CG @ 1 core
+                printSpeedupRow(t,
+                                std::string(fg ? "FG " : "CG ") +
+                                    schedulerName(s),
+                                series, base);
+            }
+        }
+        std::printf("\n-- %s --\n", name.c_str());
+        t.print();
+        t.writeCsv("fig07_" + name);
+    }
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 8: core-cycle and NoC-traffic breakdowns of the fine-grain
+ * versions at the largest system under Random, Stealing, and Hints,
+ * normalized to the coarse-grain version under Random (as in Fig. 5).
+ */
+#include "bench_common.h"
+
+using namespace ssim;
+using namespace ssim::bench;
+using namespace ssim::harness;
+
+int
+main()
+{
+    setVerbose(false);
+    banner("Figure 8: fine-grain breakdowns (normalized to CG Random)",
+           "Paper: FG under Hints cuts traffic up to 4.8x vs CG Hints");
+
+    uint32_t cores = maxCores();
+    Table cyc({"app", "sched", "commit", "abort", "spill", "stall",
+               "empty", "total"});
+    Table traf({"app", "sched", "mem_accs", "aborts", "tasks", "gvt",
+                "total"});
+    const SchedulerType scheds[] = {SchedulerType::Random,
+                                    SchedulerType::Stealing,
+                                    SchedulerType::Hints};
+    for (const auto& name : apps::fineGrainAppNames()) {
+        // Normalization: CG under Random.
+        auto cgApp = loadApp(name, false);
+        auto cgRun =
+            runOnce(*cgApp, SimConfig::withCores(
+                                cores, SchedulerType::Random));
+        double cycNorm = double(cgRun.stats.totalCoreCycles());
+        double trafNorm = double(cgRun.stats.totalFlits());
+
+        auto fgApp = loadApp(name, true);
+        for (auto s : scheds) {
+            auto r = runOnce(*fgApp, SimConfig::withCores(cores, s));
+            auto crow = cycleBreakdownRow(r.stats, cycNorm);
+            crow.insert(crow.begin(), schedulerName(s));
+            crow.insert(crow.begin(), name);
+            cyc.addRow(crow);
+            auto trow = trafficBreakdownRow(r.stats, trafNorm);
+            trow.insert(trow.begin(), schedulerName(s));
+            trow.insert(trow.begin(), name);
+            traf.addRow(trow);
+        }
+    }
+    std::printf("\n(a) FG aggregate core cycles at %u cores\n", cores);
+    cyc.print();
+    cyc.writeCsv("fig08a_cycles");
+    std::printf("\n(b) FG NoC flits injected at %u cores\n", cores);
+    traf.print();
+    traf.writeCsv("fig08b_traffic");
+    return 0;
+}

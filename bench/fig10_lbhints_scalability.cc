@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Figure 10 + Sec. VI-B: speedups of all four schedulers on all nine
+ * applications (best of CG/FG per scheme for the graph apps), plus the
+ * gmean/hmean summary ("Random 58x / Hints 146x / FG-Hints 179x /
+ * LBHints 193x" in the paper).
+ */
+#include "bench_common.h"
+
+using namespace ssim;
+using namespace ssim::bench;
+using namespace ssim::harness;
+
+int
+main()
+{
+    setVerbose(false);
+    banner("Figure 10: Random / Stealing / Hints / LBHints, best version",
+           "Paper gmeans at 256c: Random 58x, Hints 146x (179x with FG), "
+           "LBHints 193x");
+
+    const SchedulerType scheds[] = {
+        SchedulerType::LBHints, SchedulerType::Hints,
+        SchedulerType::Random, SchedulerType::Stealing};
+    auto cores = coreSweep();
+
+    std::vector<double> maxSpeedup[4];
+    for (const auto& name : apps::appNames()) {
+        bool hasFg = false;
+        for (const auto& f : apps::fineGrainAppNames())
+            hasFg |= (f == name);
+
+        Table t(coreHeaders());
+        uint64_t base = 0;
+        std::printf("\n-- %s --\n", name.c_str());
+        for (size_t si = 0; si < 4; si++) {
+            // "For applications with coarse- and fine-grain versions, we
+            // report the best-performing version for each scheme."
+            std::vector<RunResult> best;
+            for (bool fg : {false, true}) {
+                if (fg && !hasFg)
+                    continue;
+                auto app = loadApp(name, fg);
+                auto series = sweep(*app, scheds[si], cores);
+                if (!base)
+                    base = series[0].stats.cycles;
+                if (best.empty() || series.back().stats.cycles <
+                                        best.back().stats.cycles)
+                    best = series;
+            }
+            printSpeedupRow(t, schedulerName(scheds[si]), best, base);
+            maxSpeedup[si].push_back(double(base) /
+                                     double(best.back().stats.cycles));
+        }
+        t.print();
+        t.writeCsv("fig10_" + name);
+    }
+
+    std::printf("\nSec. VI-B summary at %u cores:\n", cores.back());
+    Table s({"scheduler", "gmean", "hmean"});
+    for (size_t si = 0; si < 4; si++)
+        s.addRow({schedulerName(scheds[si]), fmt(gmean(maxSpeedup[si])),
+                  fmt(hmean(maxSpeedup[si]))});
+    s.print();
+    s.writeCsv("fig10_summary");
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Figure 11: breakdown of total core cycles at the largest system under
+ * Random, Stealing, Hints, and LBHints for des, nocsim, silo, kmeans
+ * (the applications the load balancer helps).
+ */
+#include "bench_common.h"
+
+using namespace ssim;
+using namespace ssim::bench;
+using namespace ssim::harness;
+
+int
+main()
+{
+    setVerbose(false);
+    banner("Figure 11: core-cycle breakdowns incl. LBHints",
+           "Paper: LBHints cuts des aborts and nocsim/kmeans empty+stall "
+           "cycles vs Hints");
+
+    uint32_t cores = maxCores();
+    const SchedulerType scheds[] = {
+        SchedulerType::Random, SchedulerType::Stealing,
+        SchedulerType::Hints, SchedulerType::LBHints};
+    Table t({"app", "sched", "commit", "abort", "spill", "stall", "empty",
+             "total"});
+    for (const std::string name : {"des", "nocsim", "silo", "kmeans"}) {
+        auto app = loadApp(name);
+        double norm = 0;
+        for (auto s : scheds) {
+            auto r = runOnce(*app, SimConfig::withCores(cores, s));
+            if (s == SchedulerType::Random)
+                norm = double(r.stats.totalCoreCycles());
+            auto row = cycleBreakdownRow(r.stats, norm);
+            row.insert(row.begin(), schedulerName(s));
+            row.insert(row.begin(), name);
+            t.addRow(row);
+        }
+    }
+    t.print();
+    t.writeCsv("fig11_breakdowns");
+    return 0;
+}

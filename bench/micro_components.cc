@@ -1,0 +1,89 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the simulator's substrates: H3
+ * hashing, Bloom filters, cache arrays, the event queue, and end-to-end
+ * simulated-cycles-per-second on a small workload.
+ */
+#include <benchmark/benchmark.h>
+
+#include "apps/app.h"
+#include "base/bloom.h"
+#include "base/hash.h"
+#include "base/rng.h"
+#include "mem/cache_array.h"
+#include "sim/event_queue.h"
+#include "swarm/machine.h"
+
+using namespace ssim;
+
+static void
+BM_H3Hash(benchmark::State& state)
+{
+    H3Hash h(16, 0x1234);
+    uint64_t k = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(h.hash(k++));
+}
+BENCHMARK(BM_H3Hash);
+
+static void
+BM_BloomInsertQuery(benchmark::State& state)
+{
+    BloomFilter f;
+    uint64_t k = 0;
+    for (auto _ : state) {
+        f.insert(k);
+        benchmark::DoNotOptimize(f.mayContain(k ^ 1));
+        if (++k % 64 == 0)
+            f.clear();
+    }
+}
+BENCHMARK(BM_BloomInsertQuery);
+
+static void
+BM_CacheArrayAccess(benchmark::State& state)
+{
+    CacheArray l1(16 * 1024, 8);
+    Rng rng(7);
+    for (auto _ : state) {
+        LineAddr line = rng.range(1024);
+        if (!l1.lookup(line))
+            l1.insert(line);
+    }
+}
+BENCHMARK(BM_CacheArrayAccess);
+
+static void
+BM_EventQueue(benchmark::State& state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        for (int i = 0; i < 1000; i++)
+            eq.schedule(uint64_t(i * 7 % 997), [] {});
+        eq.run();
+    }
+}
+BENCHMARK(BM_EventQueue);
+
+static void
+BM_SimulatedCyclesPerSecond(benchmark::State& state)
+{
+    auto app = apps::makeApp("sssp");
+    apps::AppParams p;
+    p.preset = apps::Preset::Tiny;
+    app->setup(p);
+    for (auto _ : state) {
+        app->reset();
+        SimConfig cfg = SimConfig::withCores(uint32_t(state.range(0)),
+                                             SchedulerType::Hints);
+        Machine m(cfg);
+        app->enqueueInitial(m);
+        m.run();
+        state.counters["sim_cycles"] = double(m.stats().cycles);
+        state.counters["sim_cps"] = benchmark::Counter(
+            double(m.stats().cycles), benchmark::Counter::kIsRate);
+    }
+}
+BENCHMARK(BM_SimulatedCyclesPerSecond)->Arg(1)->Arg(16)->Arg(64);
+
+BENCHMARK_MAIN();

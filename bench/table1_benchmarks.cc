@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Table I: benchmark information -- 1-core Swarm run-time, 1-core Swarm
+ * performance vs the tuned serial implementation, number of task
+ * functions, and hint patterns.
+ */
+#include "apps/serial_machine.h"
+#include "bench_common.h"
+
+using namespace ssim;
+using namespace ssim::bench;
+using namespace ssim::harness;
+
+int
+main()
+{
+    setVerbose(false);
+    banner("Table I: benchmark information",
+           "Paper's 'perf vs serial' at 1 core ranges from -18% (bfs) "
+           "to +70% (des)");
+
+    Table t({"app", "swarm-1c-cycles", "serial-cycles", "vs-serial",
+             "task-fns", "hint-pattern"});
+    for (const auto& name : apps::appNames()) {
+        auto app = loadApp(name);
+        auto r = runOnce(*app, SimConfig::withCores(1));
+        ssim_assert(r.valid, "%s failed validation", name.c_str());
+        SerialMachine sm;
+        uint64_t serial = app->serialCycles(sm);
+        double rel = double(serial) / double(r.stats.cycles) - 1.0;
+        char pct[16];
+        std::snprintf(pct, sizeof(pct), "%+.0f%%", rel * 100);
+        t.addRow({name, fmtInt(r.stats.cycles), fmtInt(serial), pct,
+                  fmtInt(app->numTaskFunctions()), app->hintPattern()});
+    }
+    t.print();
+    t.writeCsv("table1");
+    return 0;
+}

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Table II: configuration of the modeled system (the largest system in
+ * the current sweep; 256 cores under SWARMSIM_FULL=1).
+ */
+#include "bench_common.h"
+
+using namespace ssim;
+using namespace ssim::bench;
+using namespace ssim::harness;
+
+int
+main()
+{
+    banner("Table II: system configuration");
+    SimConfig cfg =
+        SimConfig::withCores(maxCores(), SchedulerType::LBHints);
+    std::printf("%s\n", cfg.describe().c_str());
+    return 0;
+}

@@ -1,0 +1,60 @@
+#include "apps/app.h"
+
+#include <cstdlib>
+
+#include "apps/factories.h"
+#include "base/logging.h"
+
+namespace ssim::apps {
+
+Preset
+presetFromEnv()
+{
+    const char* e = std::getenv("SWARMSIM_FULL");
+    return (e && e[0] == '1') ? Preset::Full : Preset::Small;
+}
+
+std::unique_ptr<App>
+makeApp(const std::string& name, bool fine_grain)
+{
+    if (name == "bfs")
+        return makeBfsApp(fine_grain);
+    if (name == "sssp")
+        return makeSsspApp(fine_grain);
+    if (name == "astar")
+        return makeAstarApp(fine_grain);
+    if (name == "color")
+        return makeColorApp(fine_grain);
+    if (fine_grain)
+        fatal("app '%s' has no fine-grain version", name.c_str());
+    if (name == "des")
+        return makeDesApp();
+    if (name == "nocsim")
+        return makeNocsimApp();
+    if (name == "silo")
+        return makeSiloApp();
+    if (name == "genome")
+        return makeGenomeApp();
+    if (name == "kmeans")
+        return makeKmeansApp();
+    fatal("unknown app '%s'", name.c_str());
+}
+
+const std::vector<std::string>&
+appNames()
+{
+    static const std::vector<std::string> names = {
+        "bfs", "sssp", "astar", "color", "des",
+        "nocsim", "silo", "genome", "kmeans"};
+    return names;
+}
+
+const std::vector<std::string>&
+fineGrainAppNames()
+{
+    static const std::vector<std::string> names = {"bfs", "sssp", "astar",
+                                                   "color"};
+    return names;
+}
+
+} // namespace ssim::apps

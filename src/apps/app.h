@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The benchmark application interface.
+ *
+ * Each of the paper's nine applications (Table I) implements App:
+ * workload construction, initial task enqueue, post-run validation
+ * against a host-native oracle, and a tuned serial implementation run
+ * through the same memory timing model (for Table I's "perf vs serial").
+ *
+ * An App is set up once and can be run many times: the harness calls
+ * reset() before each run to restore mutable state.
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "swarm/machine.h"
+
+namespace ssim {
+
+class SerialMachine;
+
+namespace apps {
+
+/** Input-size presets: tiny for unit tests, small for benches,
+ *  full (SWARMSIM_FULL=1) for longer runs closer to the paper's scale. */
+enum class Preset : uint8_t { Tiny = 0, Small, Full };
+
+Preset presetFromEnv(); ///< Small unless SWARMSIM_FULL=1
+
+struct AppParams
+{
+    Preset preset = Preset::Small;
+    uint64_t seed = 42;
+};
+
+class App
+{
+  public:
+    virtual ~App() = default;
+
+    /** Short name as used in the paper (e.g. "sssp"). */
+    virtual std::string name() const = 0;
+
+    /** Build the workload (host memory, deterministic from params). */
+    virtual void setup(const AppParams& p) = 0;
+
+    /** Restore mutable state so the same workload can run again. */
+    virtual void reset() = 0;
+
+    /** Enqueue the initial tasks (the paper's main() loop). */
+    virtual void enqueueInitial(Machine& m) = 0;
+
+    /** Check the run's output against a host-native oracle. */
+    virtual bool validate() const = 0;
+
+    /** Tuned serial implementation on the serial timing model; returns
+     *  its cycle count. Calls reset() internally. */
+    virtual uint64_t serialCycles(SerialMachine& sm) = 0;
+
+    /** Number of task functions (Table I column). */
+    virtual uint32_t numTaskFunctions() const = 0;
+
+    /** Hint pattern description (Table I column). */
+    virtual const char* hintPattern() const = 0;
+
+    /** True if a fine-grain restructuring exists (Sec. V). */
+    virtual bool hasFineGrain() const { return false; }
+};
+
+/**
+ * Create an app by name: bfs, sssp, astar, color, des, nocsim, silo,
+ * genome, kmeans. @p fine_grain selects the Sec. V restructuring where
+ * available (fatal otherwise).
+ */
+std::unique_ptr<App> makeApp(const std::string& name,
+                             bool fine_grain = false);
+
+/** The nine benchmark names, in Table I order. */
+const std::vector<std::string>& appNames();
+
+/** Apps with CG and FG versions (Sec. V): bfs, sssp, astar, color. */
+const std::vector<std::string>& fineGrainAppNames();
+
+} // namespace apps
+} // namespace ssim

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * astar: A* pathfinding on a road map [Hart et al.]. Tasks are ordered by
+ * f = g + h with a consistent Euclidean heuristic, so vertices settle at
+ * their shortest distance on first visit in timestamp order. Hint: cache
+ * line of the visited vertex.
+ *
+ * Like the paper's version, the heuristic is computed at enqueue time
+ * from the neighbor's coordinates (timed reads + compute cycles).
+ */
+#include <cmath>
+#include <memory>
+
+#include "apps/app.h"
+#include "apps/factories.h"
+#include "apps/graph.h"
+#include "apps/serial_machine.h"
+#include "base/logging.h"
+
+namespace ssim::apps {
+
+namespace {
+
+/// Cost of the sqrt-based heuristic evaluation, in cycles.
+constexpr uint32_t kHeuristicCost = 12;
+
+class AstarApp : public App
+{
+  public:
+    explicit AstarApp(bool fg) : fg_(fg) {}
+
+    std::string name() const override { return "astar"; }
+    uint32_t numTaskFunctions() const override { return 1; }
+    const char* hintPattern() const override { return "Cache line of vertex"; }
+    bool hasFineGrain() const override { return true; }
+
+    void
+    setup(const AppParams& p) override
+    {
+        Rng rng(p.seed);
+        uint32_t side;
+        switch (p.preset) {
+          case Preset::Tiny: side = 20; break;
+          case Preset::Small: side = 72; break;
+          default: side = 224; break;
+        }
+        g_ = gridRoad(side, side, rng);
+        edges_.resize(g_.numEdges());
+        for (uint64_t i = 0; i < g_.numEdges(); i++)
+            edges_[i] = (uint64_t(g_.neighbors[i]) << 32) | g_.weights[i];
+        // Pack coordinates: one timed read per heuristic evaluation.
+        coords_.resize(g_.n);
+        for (uint32_t v = 0; v < g_.n; v++)
+            coords_[v] = (uint64_t(uint32_t(g_.xs[v])) << 32) |
+                         uint32_t(g_.ys[v]);
+        src_ = 0;
+        dst_ = g_.n - 1; // opposite corner of the map
+        oracle_ = dijkstraOracle(g_, src_);
+        reset();
+    }
+
+    void
+    reset() override
+    {
+        gscore.assign(g_.n, kUnreached);
+        if (!fg_)
+            gscore[src_] = 0;
+    }
+
+    void
+    enqueueInitial(Machine& m) override
+    {
+        auto fn = fg_ ? astarTaskFG : astarTaskCG;
+        m.enqueueInitial(fn, heuristic(src_, dst_),
+                         swarm::cacheLine(&gscore[src_]), this,
+                         uint64_t(src_), uint64_t(0));
+    }
+
+    bool
+    validate() const override
+    {
+        // A consistent heuristic + run to quiescence settles every
+        // reachable vertex at its shortest distance; in particular the
+        // goal's route cost matches Dijkstra.
+        return gscore == oracle_ && gscore[dst_] == oracle_[dst_];
+    }
+
+    uint64_t
+    serialCycles(SerialMachine& sm) override
+    {
+        // Tuned serial baseline: textbook A* with a binary heap, stopping
+        // when the goal is settled.
+        reset();
+        gscore[src_] = 0;
+        using QE = std::pair<uint64_t, uint32_t>; // (f, vertex)
+        std::priority_queue<QE, std::vector<QE>, std::greater<>> pq;
+        pq.emplace(heuristic(src_, dst_), src_);
+        sm.compute(8);
+        while (!pq.empty()) {
+            auto [f, v] = pq.top();
+            pq.pop();
+            sm.compute(2 + 2 * uint64_t(std::log2(pq.size() + 2)));
+            uint64_t gv = sm.read(&gscore[v]);
+            if (f > gv + heuristic(v, dst_))
+                continue;
+            if (v == dst_)
+                break;
+            uint64_t beg = sm.read(&g_.offsets[v]);
+            uint64_t end = sm.read(&g_.offsets[v + 1]);
+            for (uint64_t i = beg; i < end; i++) {
+                uint64_t e = sm.read(&edges_[i]);
+                uint32_t n = uint32_t(e >> 32);
+                uint64_t ng = gv + uint32_t(e);
+                if (ng < sm.read(&gscore[n])) {
+                    sm.write(&gscore[n], ng);
+                    sm.read(&coords_[n]);
+                    sm.compute(kHeuristicCost);
+                    pq.emplace(ng + heuristic(n, dst_), n);
+                    sm.compute(2 + 2 * uint64_t(std::log2(pq.size() + 1)));
+                }
+            }
+        }
+        ssim_assert(gscore[dst_] == oracle_[dst_], "serial astar is wrong");
+        return sm.cycles();
+    }
+
+    uint64_t
+    heuristic(uint32_t v, uint32_t dst) const
+    {
+        return astarHeuristic(g_, v, dst);
+    }
+
+    Graph g_;
+    std::vector<uint64_t> edges_;
+    std::vector<uint64_t> coords_;
+    std::vector<uint64_t> gscore;
+    uint32_t src_ = 0, dst_ = 0;
+    std::vector<uint64_t> oracle_;
+    bool fg_;
+
+  private:
+    static swarm::TaskCoro astarTaskCG(swarm::TaskCtx& ctx,
+                                       swarm::Timestamp f,
+                                       const uint64_t* args);
+    static swarm::TaskCoro astarTaskFG(swarm::TaskCtx& ctx,
+                                       swarm::Timestamp f,
+                                       const uint64_t* args);
+
+    /// Timed heuristic: read the packed coordinates, pay the sqrt.
+    static uint64_t
+    heuristicOf(uint64_t coord, uint64_t dstCoord)
+    {
+        double dx = double(int64_t(coord >> 32) - int64_t(dstCoord >> 32));
+        double dy = double(int64_t(uint32_t(coord)) -
+                           int64_t(uint32_t(dstCoord)));
+        return uint64_t(std::floor(std::sqrt(dx * dx + dy * dy)));
+    }
+};
+
+swarm::TaskCoro
+AstarApp::astarTaskCG(swarm::TaskCtx& ctx, swarm::Timestamp f,
+                      const uint64_t* args)
+{
+    auto* a = swarm::argPtr<AstarApp>(args[0]);
+    uint32_t v = uint32_t(args[1]);
+    uint64_t gv = args[2];
+
+    if (gv != co_await ctx.read(&a->gscore[v]))
+        co_return; // superseded by a shorter route
+    uint64_t dstCoord = co_await ctx.read(&a->coords_[a->dst_]);
+    uint64_t beg = co_await ctx.read(&a->g_.offsets[v]);
+    uint64_t end = co_await ctx.read(&a->g_.offsets[v + 1]);
+    for (uint64_t i = beg; i < end; i++) {
+        uint64_t e = co_await ctx.read(&a->edges_[i]);
+        uint32_t n = uint32_t(e >> 32);
+        uint64_t ng = gv + uint32_t(e);
+        uint64_t gn = co_await ctx.read(&a->gscore[n]);
+        if (ng < gn) {
+            co_await ctx.write(&a->gscore[n], ng);
+            uint64_t nc = co_await ctx.read(&a->coords_[n]);
+            co_await ctx.compute(kHeuristicCost);
+            co_await ctx.enqueue(astarTaskCG, ng + heuristicOf(nc, dstCoord),
+                                 swarm::cacheLine(&a->gscore[n]), args[0],
+                                 uint64_t(n), ng);
+        }
+    }
+}
+
+swarm::TaskCoro
+AstarApp::astarTaskFG(swarm::TaskCtx& ctx, swarm::Timestamp f,
+                      const uint64_t* args)
+{
+    auto* a = swarm::argPtr<AstarApp>(args[0]);
+    uint32_t v = uint32_t(args[1]);
+    uint64_t gv = args[2];
+
+    if (co_await ctx.read(&a->gscore[v]) == kUnreached) {
+        co_await ctx.write(&a->gscore[v], gv);
+        uint64_t dstCoord = co_await ctx.read(&a->coords_[a->dst_]);
+        uint64_t beg = co_await ctx.read(&a->g_.offsets[v]);
+        uint64_t end = co_await ctx.read(&a->g_.offsets[v + 1]);
+        for (uint64_t i = beg; i < end; i++) {
+            uint64_t e = co_await ctx.read(&a->edges_[i]);
+            uint32_t n = uint32_t(e >> 32);
+            uint64_t ng = gv + uint32_t(e);
+            uint64_t nc = co_await ctx.read(&a->coords_[n]);
+            co_await ctx.compute(kHeuristicCost);
+            co_await ctx.enqueue(astarTaskFG, ng + heuristicOf(nc, dstCoord),
+                                 swarm::cacheLine(&a->gscore[n]), args[0],
+                                 uint64_t(n), ng);
+        }
+    }
+}
+
+} // namespace
+
+std::unique_ptr<App>
+makeAstarApp(bool fine_grain)
+{
+    return std::make_unique<AstarApp>(fine_grain);
+}
+
+} // namespace ssim::apps

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * bfs: breadth-first tree of an arbitrary graph (PBFS-style, ordered by
+ * level). Coarse-grain tasks set their neighbors' levels (multi-hint
+ * read-write); the fine-grain restructuring (Sec. V) sets only the
+ * task's own vertex level. Hint: cache line of the visited vertex.
+ */
+#include <memory>
+
+#include "apps/app.h"
+#include "apps/factories.h"
+#include "apps/graph.h"
+#include "apps/serial_machine.h"
+#include "base/logging.h"
+
+namespace ssim::apps {
+
+namespace {
+
+class BfsApp : public App
+{
+  public:
+    explicit BfsApp(bool fg) : fg_(fg) {}
+
+    std::string name() const override { return "bfs"; }
+    uint32_t numTaskFunctions() const override { return 1; }
+    const char* hintPattern() const override { return "Cache line of vertex"; }
+    bool hasFineGrain() const override { return true; }
+
+    void
+    setup(const AppParams& p) override
+    {
+        Rng rng(p.seed);
+        uint32_t side;
+        switch (p.preset) {
+          case Preset::Tiny: side = 20; break;
+          case Preset::Small: side = 80; break;
+          default: side = 256; break;
+        }
+        // hugetric-* are triangular meshes: a grid with diagonals is the
+        // matching planar structure.
+        g_ = gridRoad(side, side, rng);
+        src_ = 0;
+        oracle_ = bfsOracle(g_, src_);
+        reset();
+    }
+
+    void
+    reset() override
+    {
+        level.assign(g_.n, kUnreached);
+        if (!fg_)
+            level[src_] = 0;
+    }
+
+    void
+    enqueueInitial(Machine& m) override
+    {
+        auto fn = fg_ ? bfsTaskFG : bfsTaskCG;
+        m.enqueueInitial(fn, 0, swarm::cacheLine(&level[src_]), this,
+                         uint64_t(src_));
+    }
+
+    bool
+    validate() const override
+    {
+        return level == oracle_;
+    }
+
+    uint64_t
+    serialCycles(SerialMachine& sm) override
+    {
+        // Tuned serial baseline: queue-based BFS.
+        reset();
+        level[src_] = 0;
+        std::vector<uint32_t> fifo;
+        fifo.reserve(g_.n);
+        fifo.push_back(src_);
+        for (size_t h = 0; h < fifo.size(); h++) {
+            uint32_t v = sm.read(&fifo[h]);
+            uint64_t lv = sm.read(&level[v]);
+            uint64_t beg = sm.read(&g_.offsets[v]);
+            uint64_t end = sm.read(&g_.offsets[v + 1]);
+            for (uint64_t i = beg; i < end; i++) {
+                uint32_t n = sm.read(&g_.neighbors[i]);
+                if (sm.read(&level[n]) == kUnreached) {
+                    sm.write(&level[n], lv + 1);
+                    fifo.push_back(n);
+                    sm.write(&fifo[fifo.size() - 1], n);
+                }
+            }
+        }
+        ssim_assert(level == oracle_, "serial bfs is wrong");
+        return sm.cycles();
+    }
+
+    Graph g_;
+    std::vector<uint64_t> level;
+    uint32_t src_ = 0;
+    std::vector<uint64_t> oracle_;
+    bool fg_;
+
+  private:
+    static swarm::TaskCoro bfsTaskCG(swarm::TaskCtx& ctx,
+                                     swarm::Timestamp ts,
+                                     const uint64_t* args);
+    static swarm::TaskCoro bfsTaskFG(swarm::TaskCtx& ctx,
+                                     swarm::Timestamp ts,
+                                     const uint64_t* args);
+};
+
+swarm::TaskCoro
+BfsApp::bfsTaskCG(swarm::TaskCtx& ctx, swarm::Timestamp ts,
+                  const uint64_t* args)
+{
+    auto* a = swarm::argPtr<BfsApp>(args[0]);
+    uint32_t v = uint32_t(args[1]);
+
+    if (ts != co_await ctx.read(&a->level[v]))
+        co_return; // stale visit
+    uint64_t beg = co_await ctx.read(&a->g_.offsets[v]);
+    uint64_t end = co_await ctx.read(&a->g_.offsets[v + 1]);
+    for (uint64_t i = beg; i < end; i++) {
+        uint32_t n = co_await ctx.read(&a->g_.neighbors[i]);
+        uint64_t ln = co_await ctx.read(&a->level[n]);
+        if (ln == kUnreached) {
+            co_await ctx.write(&a->level[n], ts + 1);
+            co_await ctx.enqueue(bfsTaskCG, ts + 1,
+                                 swarm::cacheLine(&a->level[n]), args[0],
+                                 uint64_t(n));
+        }
+    }
+}
+
+swarm::TaskCoro
+BfsApp::bfsTaskFG(swarm::TaskCtx& ctx, swarm::Timestamp ts,
+                  const uint64_t* args)
+{
+    auto* a = swarm::argPtr<BfsApp>(args[0]);
+    uint32_t v = uint32_t(args[1]);
+
+    if (co_await ctx.read(&a->level[v]) == kUnreached) {
+        co_await ctx.write(&a->level[v], ts);
+        uint64_t beg = co_await ctx.read(&a->g_.offsets[v]);
+        uint64_t end = co_await ctx.read(&a->g_.offsets[v + 1]);
+        for (uint64_t i = beg; i < end; i++) {
+            uint32_t n = co_await ctx.read(&a->g_.neighbors[i]);
+            co_await ctx.enqueue(bfsTaskFG, ts + 1,
+                                 swarm::cacheLine(&a->level[n]), args[0],
+                                 uint64_t(n));
+        }
+    }
+}
+
+} // namespace
+
+std::unique_ptr<App>
+makeBfsApp(bool fine_grain)
+{
+    return std::make_unique<BfsApp>(fine_grain);
+}
+
+} // namespace ssim::apps

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * color: graph coloring with the largest-degree-first heuristic
+ * [Welsh-Powell; Hasenplaugh et al.]. Tasks are ordered by LDF rank, so
+ * the speculative run reproduces exactly the serial LDF coloring.
+ *
+ * Coarse-grain: one task per vertex reads all neighbors' colors and
+ * writes its own. Fine-grain (Sec. V): four task types, each reading or
+ * writing at most one vertex's state:
+ *   spawn   -> enqueues per-neighbor visit tasks and the assign task
+ *   visit   -> reads one neighbor's color
+ *   update  -> sets one bit in the vertex's forbidden-color mask
+ *   assign  -> picks the smallest free color and writes it
+ */
+#include <memory>
+
+#include "apps/app.h"
+#include "apps/factories.h"
+#include "apps/graph.h"
+#include "apps/serial_machine.h"
+#include "base/logging.h"
+
+namespace ssim::apps {
+
+namespace {
+
+constexpr uint64_t kUncolored = ~uint64_t(0);
+
+class ColorApp : public App
+{
+  public:
+    explicit ColorApp(bool fg) : fg_(fg) {}
+
+    std::string name() const override { return "color"; }
+    uint32_t numTaskFunctions() const override { return fg_ ? 4 : 1; }
+    const char* hintPattern() const override { return "Cache line of vertex"; }
+    bool hasFineGrain() const override { return true; }
+
+    void
+    setup(const AppParams& p) override
+    {
+        Rng rng(p.seed);
+        uint32_t n;
+        switch (p.preset) {
+          case Preset::Tiny: n = 400; break;
+          case Preset::Small: n = 6000; break;
+          default: n = 60000; break;
+        }
+        // com-youtube is a power-law social graph; R-MAT matches.
+        g_ = rmat(n, 8, rng);
+        rank_ = ldfRank(g_);
+        oracle_ = greedyColorOracle(g_, rank_);
+        // Per-vertex forbidden-color masks for the FG version.
+        maskOff_.assign(g_.n + 1, 0);
+        for (uint32_t v = 0; v < g_.n; v++)
+            maskOff_[v + 1] = maskOff_[v] + (g_.degree(v) + 2 + 63) / 64;
+        reset();
+    }
+
+    void
+    reset() override
+    {
+        color.assign(g_.n, kUncolored);
+        mask.assign(maskOff_[g_.n], 0);
+    }
+
+    void
+    enqueueInitial(Machine& m) override
+    {
+        for (uint32_t v = 0; v < g_.n; v++) {
+            if (fg_) {
+                m.enqueueInitial(spawnFG, uint64_t(rank_[v]) * 4,
+                                 swarm::cacheLine(&color[v]), this,
+                                 uint64_t(v));
+            } else {
+                m.enqueueInitial(colorTaskCG, rank_[v],
+                                 swarm::cacheLine(&color[v]), this,
+                                 uint64_t(v));
+            }
+        }
+    }
+
+    bool
+    validate() const override
+    {
+        std::vector<uint32_t> c32(g_.n);
+        for (uint32_t v = 0; v < g_.n; v++) {
+            if (color[v] == kUncolored)
+                return false;
+            c32[v] = uint32_t(color[v]);
+        }
+        // Must reproduce the LDF serial coloring exactly (ordered
+        // speculation), which in particular is proper.
+        return c32 == oracle_ && isProperColoring(g_, c32);
+    }
+
+    uint64_t
+    serialCycles(SerialMachine& sm) override
+    {
+        // Tuned serial baseline: greedy LDF with a local scratch bitmap.
+        reset();
+        std::vector<uint32_t> order(g_.n);
+        for (uint32_t v = 0; v < g_.n; v++)
+            order[rank_[v]] = v;
+        std::vector<uint64_t> used;
+        for (uint32_t v : order) {
+            sm.read(&order[rank_[v]]);
+            used.assign((g_.degree(v) + 2 + 63) / 64, 0);
+            uint64_t beg = sm.read(&g_.offsets[v]);
+            uint64_t end = sm.read(&g_.offsets[v + 1]);
+            for (uint64_t i = beg; i < end; i++) {
+                uint32_t u = sm.read(&g_.neighbors[i]);
+                uint64_t c = sm.read(&color[u]);
+                sm.compute(1);
+                if (c != kUncolored && c < used.size() * 64)
+                    used[c / 64] |= 1ull << (c % 64);
+            }
+            uint64_t c = 0;
+            while (used[c / 64] & (1ull << (c % 64))) {
+                c++;
+                sm.compute(1);
+            }
+            sm.write(&color[v], c);
+        }
+        ssim_assert(validate(), "serial color is wrong");
+        return sm.cycles();
+    }
+
+    Graph g_;
+    std::vector<uint32_t> rank_;
+    std::vector<uint64_t> color;
+    std::vector<uint64_t> mask;     ///< FG forbidden-color bit words
+    std::vector<uint64_t> maskOff_; ///< per-vertex offset into mask
+    std::vector<uint32_t> oracle_;
+    bool fg_;
+
+  private:
+    static swarm::TaskCoro colorTaskCG(swarm::TaskCtx&, swarm::Timestamp,
+                                       const uint64_t*);
+    static swarm::TaskCoro spawnFG(swarm::TaskCtx&, swarm::Timestamp,
+                                   const uint64_t*);
+    static swarm::TaskCoro visitFG(swarm::TaskCtx&, swarm::Timestamp,
+                                   const uint64_t*);
+    static swarm::TaskCoro updateFG(swarm::TaskCtx&, swarm::Timestamp,
+                                    const uint64_t*);
+    static swarm::TaskCoro assignFG(swarm::TaskCtx&, swarm::Timestamp,
+                                    const uint64_t*);
+};
+
+swarm::TaskCoro
+ColorApp::colorTaskCG(swarm::TaskCtx& ctx, swarm::Timestamp ts,
+                      const uint64_t* args)
+{
+    auto* a = swarm::argPtr<ColorApp>(args[0]);
+    uint32_t v = uint32_t(args[1]);
+
+    uint64_t beg = co_await ctx.read(&a->g_.offsets[v]);
+    uint64_t end = co_await ctx.read(&a->g_.offsets[v + 1]);
+    // Scratch bitmap lives in registers/stack: not shared state.
+    std::vector<uint64_t> used((end - beg + 2 + 63) / 64, 0);
+    for (uint64_t i = beg; i < end; i++) {
+        uint32_t u = co_await ctx.read(&a->g_.neighbors[i]);
+        uint64_t c = co_await ctx.read(&a->color[u]);
+        co_await ctx.compute(1);
+        if (c != kUncolored && c < used.size() * 64)
+            used[c / 64] |= 1ull << (c % 64);
+    }
+    uint64_t c = 0;
+    while (used[c / 64] & (1ull << (c % 64)))
+        c++;
+    co_await ctx.compute(uint32_t(c / 8 + 1));
+    co_await ctx.write(&a->color[v], c);
+}
+
+swarm::TaskCoro
+ColorApp::spawnFG(swarm::TaskCtx& ctx, swarm::Timestamp ts,
+                  const uint64_t* args)
+{
+    auto* a = swarm::argPtr<ColorApp>(args[0]);
+    uint32_t v = uint32_t(args[1]);
+
+    uint64_t beg = co_await ctx.read(&a->g_.offsets[v]);
+    uint64_t end = co_await ctx.read(&a->g_.offsets[v + 1]);
+    for (uint64_t i = beg; i < end; i++) {
+        uint32_t u = co_await ctx.read(&a->g_.neighbors[i]);
+        co_await ctx.enqueue(visitFG, ts + 1,
+                             swarm::cacheLine(&a->color[u]), args[0],
+                             uint64_t(u), uint64_t(v));
+    }
+    co_await ctx.enqueue(assignFG, ts + 3, swarm::cacheLine(&a->color[v]),
+                         args[0], uint64_t(v));
+}
+
+swarm::TaskCoro
+ColorApp::visitFG(swarm::TaskCtx& ctx, swarm::Timestamp ts,
+                  const uint64_t* args)
+{
+    auto* a = swarm::argPtr<ColorApp>(args[0]);
+    uint32_t u = uint32_t(args[1]);
+    uint64_t v = args[2];
+
+    uint64_t c = co_await ctx.read(&a->color[u]);
+    if (c != kUncolored) {
+        uint64_t word = a->maskOff_[v] + c / 64;
+        co_await ctx.enqueue(updateFG, ts + 1,
+                             swarm::cacheLine(&a->mask[word]), args[0], v,
+                             c);
+    }
+}
+
+swarm::TaskCoro
+ColorApp::updateFG(swarm::TaskCtx& ctx, swarm::Timestamp ts,
+                   const uint64_t* args)
+{
+    auto* a = swarm::argPtr<ColorApp>(args[0]);
+    uint64_t v = args[1];
+    uint64_t c = args[2];
+
+    uint64_t maxBits = (a->maskOff_[v + 1] - a->maskOff_[v]) * 64;
+    if (c >= maxBits)
+        co_return; // can't influence the smallest-free search
+    uint64_t* word = &a->mask[a->maskOff_[v] + c / 64];
+    uint64_t w = co_await ctx.read(word);
+    co_await ctx.write(word, w | (1ull << (c % 64)));
+}
+
+swarm::TaskCoro
+ColorApp::assignFG(swarm::TaskCtx& ctx, swarm::Timestamp ts,
+                   const uint64_t* args)
+{
+    auto* a = swarm::argPtr<ColorApp>(args[0]);
+    uint32_t v = uint32_t(args[1]);
+
+    uint64_t c = 0;
+    for (uint64_t wi = a->maskOff_[v]; wi < a->maskOff_[v + 1]; wi++) {
+        uint64_t w = co_await ctx.read(&a->mask[wi]);
+        if (w != ~uint64_t(0)) {
+            uint64_t bit = 0;
+            while (w & (1ull << bit))
+                bit++;
+            c += bit;
+            co_await ctx.compute(uint32_t(bit / 8 + 1));
+            break;
+        }
+        c += 64;
+    }
+    co_await ctx.write(&a->color[v], c);
+}
+
+} // namespace
+
+std::unique_ptr<App>
+makeColorApp(bool fine_grain)
+{
+    return std::make_unique<ColorApp>(fine_grain);
+}
+
+} // namespace ssim::apps

@@ -1,0 +1,232 @@
+#include "apps/des/circuit.h"
+
+#include <bit>
+
+#include "base/logging.h"
+
+namespace ssim::apps {
+
+bool
+evalGate(GateType type, uint8_t iv, uint8_t nin)
+{
+    uint8_t mask = uint8_t((1u << nin) - 1);
+    uint8_t v = iv & mask;
+    switch (type) {
+      case GateType::Input:
+      case GateType::Buf: return v & 1;
+      case GateType::Not: return !(v & 1);
+      case GateType::And: return v == mask;
+      case GateType::Or: return v != 0;
+      case GateType::Xor: return std::popcount(v) & 1;
+      case GateType::Nand: return v != mask;
+      case GateType::Nor: return v == 0;
+      case GateType::Xnor: return !(std::popcount(v) & 1);
+      default: panic("bad gate type");
+    }
+}
+
+uint32_t
+Circuit::addGate(GateType t, uint8_t delay)
+{
+    ssim_assert(!finalized_);
+    build_.push_back(Build{t, delay});
+    if (t == GateType::Input)
+        inputGates.push_back(uint32_t(build_.size() - 1));
+    return uint32_t(build_.size() - 1);
+}
+
+void
+Circuit::connect(uint32_t src, uint32_t dst, uint8_t pin)
+{
+    ssim_assert(!finalized_);
+    ssim_assert(src < build_.size() && dst < build_.size());
+    ssim_assert(dst > src, "gates must be wired in topological order");
+    ssim_assert(pin < 8);
+    build_[src].fanout.push_back(fanoutEnc(dst, pin));
+    build_[dst].ninputs = std::max<uint8_t>(build_[dst].ninputs,
+                                            uint8_t(pin + 1));
+}
+
+void
+Circuit::finalize()
+{
+    ssim_assert(!finalized_);
+    finalized_ = true;
+    gates.resize(build_.size());
+    for (uint32_t g = 0; g < build_.size(); g++) {
+        Build& b = build_[g];
+        uint64_t start = fanout.size();
+        for (uint64_t e : b.fanout)
+            fanout.push_back(e);
+        uint8_t nin = std::max<uint8_t>(b.ninputs, 1);
+        gates[g].w1 = GateRec::packW1(start, b.fanout.size());
+        gates[g].w0 = GateRec::packW0(b.type, nin, 0, false, b.delay);
+    }
+    // Settle outputs with all external inputs at 0 (gates are in
+    // topological order, so one forward pass suffices).
+    for (uint32_t g = 0; g < gates.size(); g++) {
+        uint64_t w0 = gates[g].w0;
+        bool out = evalGate(GateRec::typeOf(w0), GateRec::ivOf(w0),
+                            GateRec::ninOf(w0));
+        gates[g].w0 = GateRec::packW0(GateRec::typeOf(w0),
+                                      GateRec::ninOf(w0), GateRec::ivOf(w0),
+                                      out, GateRec::delayOf(w0));
+        if (out) {
+            // Propagate the settled value into fanout input bits.
+            uint64_t start = GateRec::fanoutStartOf(gates[g].w1);
+            uint64_t cnt = GateRec::fanoutCountOf(gates[g].w1);
+            for (uint64_t i = 0; i < cnt; i++) {
+                uint64_t e = fanout[start + i];
+                uint32_t dg = uint32_t(e >> 3);
+                uint8_t pin = uint8_t(e & 7);
+                uint64_t dw = gates[dg].w0;
+                uint8_t iv = uint8_t(GateRec::ivOf(dw) | (1u << pin));
+                gates[dg].w0 =
+                    GateRec::packW0(GateRec::typeOf(dw), GateRec::ninOf(dw),
+                                    iv, GateRec::outOf(dw),
+                                    GateRec::delayOf(dw));
+            }
+        }
+    }
+}
+
+std::vector<bool>
+Circuit::evalAll(const std::vector<bool>& input_vals) const
+{
+    ssim_assert(finalized_);
+    ssim_assert(input_vals.size() == inputGates.size());
+    std::vector<uint8_t> iv(gates.size(), 0);
+    for (size_t i = 0; i < inputGates.size(); i++)
+        if (input_vals[i])
+            iv[inputGates[i]] |= 1;
+    std::vector<bool> out(gates.size());
+    for (uint32_t g = 0; g < gates.size(); g++) {
+        uint64_t w0 = gates[g].w0;
+        bool o = evalGate(GateRec::typeOf(w0), iv[g], GateRec::ninOf(w0));
+        out[g] = o;
+        if (o) {
+            uint64_t start = GateRec::fanoutStartOf(gates[g].w1);
+            uint64_t cnt = GateRec::fanoutCountOf(gates[g].w1);
+            for (uint64_t i = 0; i < cnt; i++) {
+                uint64_t e = fanout[start + i];
+                iv[uint32_t(e >> 3)] |= uint8_t(1u << (e & 7));
+            }
+        }
+    }
+    return out;
+}
+
+Circuit
+csaArray(uint32_t nadders, uint32_t width)
+{
+    Circuit c;
+    auto delayOf = [](uint32_t g) { return uint8_t(1 + g % 3); };
+    uint32_t gid = 0;
+    auto gate = [&](GateType t) {
+        uint32_t g = c.addGate(t, delayOf(gid));
+        gid++;
+        return g;
+    };
+
+    for (uint32_t adder = 0; adder < nadders; adder++) {
+        // Full adders: sum = (a^b)^cin; cout = ab | (a^b)cin.
+        std::vector<uint32_t> as(width), bs(width);
+        for (uint32_t i = 0; i < width; i++) {
+            as[i] = gate(GateType::Input);
+            bs[i] = gate(GateType::Input);
+        }
+        uint32_t cin = gate(GateType::Input);
+
+        // Carry-select: 4-bit blocks computed for cin=0 and cin=1, with
+        // the real carry selecting via mux = (sel & x1) | (!sel & x0).
+        uint32_t carry = cin;
+        for (uint32_t blk = 0; blk < width; blk += 4) {
+            uint32_t blkEnd = std::min(blk + 4, width);
+            // Two speculative ripple chains.
+            uint32_t carry0 = ~0u, carry1 = ~0u; // block-internal carries
+            std::vector<uint32_t> sum0, sum1;
+            for (int variant = 0; variant < 2; variant++) {
+                uint32_t cNode = ~0u; // carry-in constant inside block
+                for (uint32_t i = blk; i < blkEnd; i++) {
+                    uint32_t axb = gate(GateType::Xor);
+                    c.connect(as[i], axb, 0);
+                    c.connect(bs[i], axb, 1);
+                    uint32_t ab = gate(GateType::And);
+                    c.connect(as[i], ab, 0);
+                    c.connect(bs[i], ab, 1);
+                    uint32_t sum, cout;
+                    if (cNode == ~0u) {
+                        // First bit: carry-in is the constant 0 or 1.
+                        if (variant == 0) {
+                            sum = gate(GateType::Buf);
+                            c.connect(axb, sum, 0);
+                            cout = gate(GateType::Buf);
+                            c.connect(ab, cout, 0);
+                        } else {
+                            sum = gate(GateType::Not);
+                            c.connect(axb, sum, 0);
+                            cout = gate(GateType::Or);
+                            c.connect(ab, cout, 0);
+                            c.connect(axb, cout, 1);
+                        }
+                    } else {
+                        sum = gate(GateType::Xor);
+                        c.connect(axb, sum, 0);
+                        c.connect(cNode, sum, 1);
+                        uint32_t axbc = gate(GateType::And);
+                        c.connect(axb, axbc, 0);
+                        c.connect(cNode, axbc, 1);
+                        cout = gate(GateType::Or);
+                        c.connect(ab, cout, 0);
+                        c.connect(axbc, cout, 1);
+                    }
+                    if (variant == 0)
+                        sum0.push_back(sum);
+                    else
+                        sum1.push_back(sum);
+                    cNode = cout;
+                }
+                if (variant == 0)
+                    carry0 = cNode;
+                else
+                    carry1 = cNode;
+            }
+            // Select with the incoming carry: out = sel ? x1 : x0.
+            auto mux = [&](uint32_t sel, uint32_t x0, uint32_t x1) {
+                uint32_t nsel = gate(GateType::Not);
+                c.connect(sel, nsel, 0);
+                uint32_t t1 = gate(GateType::And);
+                c.connect(sel, t1, 0);
+                c.connect(x1, t1, 1);
+                uint32_t t0 = gate(GateType::And);
+                c.connect(nsel, t0, 0);
+                c.connect(x0, t0, 1);
+                uint32_t o = gate(GateType::Or);
+                c.connect(t1, o, 0);
+                c.connect(t0, o, 1);
+                return o;
+            };
+            for (uint32_t i = 0; i < sum0.size(); i++)
+                mux(carry, sum0[i], sum1[i]);
+            carry = mux(carry, carry0, carry1);
+        }
+    }
+    c.finalize();
+    return c;
+}
+
+std::vector<std::vector<uint64_t>>
+randomWaveforms(const Circuit& c, uint64_t horizon,
+                double toggles_per_input, Rng& rng)
+{
+    std::vector<std::vector<uint64_t>> waves(c.inputGates.size());
+    for (auto& w : waves) {
+        double p = toggles_per_input / double(horizon);
+        for (uint64_t t = 1; t <= horizon; t++)
+            if (rng.chance(p))
+                w.push_back(t);
+    }
+    return waves;
+}
+
+} // namespace ssim::apps

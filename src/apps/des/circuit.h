@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Gate-level digital circuit substrate for the des benchmark.
+ *
+ * Gates are fixed-size records padded to one cache line ("in des, using
+ * the gate ID is equivalent to using its line address, as each gate spans
+ * one line"). A generated array of carry-select adders stands in for the
+ * paper's csaArray32 input (DESIGN.md §1).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/types.h"
+
+namespace ssim::apps {
+
+enum class GateType : uint8_t
+{
+    Input = 0,
+    Buf,
+    Not,
+    And,
+    Or,
+    Xor,
+    Nand,
+    Nor,
+    Xnor,
+};
+
+/** Evaluate a gate's output from its packed input values. */
+bool evalGate(GateType type, uint8_t input_vals, uint8_t ninputs);
+
+/**
+ * One gate, padded to a cache line. Dynamic state and topology are packed
+ * into two words so a task toggle costs two timed accesses:
+ *   w0: type(4) | ninputs(4) | inputVals(8) | output(1) | delay(8)
+ *   w1: fanoutStart(40) | fanoutCount(24)
+ */
+struct alignas(64) GateRec
+{
+    uint64_t w0 = 0;
+    uint64_t w1 = 0;
+    uint64_t pad[6] = {};
+
+    static uint64_t
+    packW0(GateType t, uint8_t nin, uint8_t iv, bool out, uint8_t delay)
+    {
+        return uint64_t(uint8_t(t)) | (uint64_t(nin) << 4) |
+               (uint64_t(iv) << 8) | (uint64_t(out) << 16) |
+               (uint64_t(delay) << 17);
+    }
+    static GateType typeOf(uint64_t w) { return GateType(w & 0xf); }
+    static uint8_t ninOf(uint64_t w) { return uint8_t((w >> 4) & 0xf); }
+    static uint8_t ivOf(uint64_t w) { return uint8_t((w >> 8) & 0xff); }
+    static bool outOf(uint64_t w) { return (w >> 16) & 1; }
+    static uint8_t delayOf(uint64_t w) { return uint8_t((w >> 17) & 0xff); }
+    static uint64_t
+    packW1(uint64_t fanout_start, uint64_t fanout_count)
+    {
+        return fanout_start | (fanout_count << 40);
+    }
+    static uint64_t fanoutStartOf(uint64_t w) { return w & 0xffffffffffull; }
+    static uint64_t fanoutCountOf(uint64_t w) { return w >> 40; }
+};
+
+/** Fanout entry: (gate << 3) | input pin. */
+inline uint64_t
+fanoutEnc(uint32_t gate, uint8_t pin)
+{
+    return (uint64_t(gate) << 3) | pin;
+}
+
+class Circuit
+{
+  public:
+    /** Create a gate; returns its id. Inputs are wired via connect(). */
+    uint32_t addGate(GateType t, uint8_t delay);
+
+    /** Wire src's output to (dst, pin). */
+    void connect(uint32_t src, uint32_t dst, uint8_t pin);
+
+    /** Finalize: build fanout arrays and settle all outputs from inputs. */
+    void finalize();
+
+    /** Host-side topological evaluation given external input values. */
+    std::vector<bool> evalAll(const std::vector<bool>& input_vals) const;
+
+    uint32_t numGates() const { return uint32_t(gates.size()); }
+
+    std::vector<GateRec> gates;       ///< timed state (one line per gate)
+    std::vector<uint64_t> fanout;     ///< encoded (gate, pin) entries
+    std::vector<uint32_t> inputGates; ///< external input gate ids
+
+  private:
+    struct Build
+    {
+        GateType type;
+        uint8_t delay;
+        uint8_t ninputs = 0;
+        std::vector<uint64_t> fanout;
+    };
+    std::vector<Build> build_;
+    bool finalized_ = false;
+};
+
+/**
+ * Generate an array of @p nadders W-bit carry-select adders built from
+ * 2-input gates, with external inputs for the operand bits and carries.
+ */
+Circuit csaArray(uint32_t nadders, uint32_t width);
+
+/**
+ * Random input waveforms: per external input, a sorted list of toggle
+ * times in [1, horizon], on average @p toggles_per_input toggles.
+ */
+std::vector<std::vector<uint64_t>> randomWaveforms(const Circuit& c,
+                                                   uint64_t horizon,
+                                                   double toggles_per_input,
+                                                   Rng& rng);
+
+} // namespace ssim::apps

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * des: discrete-event simulation of digital circuits (paper Listing 1).
+ * Each task simulates a signal toggling at a gate input; if the gate
+ * output toggles, child tasks are enqueued for all connected inputs
+ * after the gate's delay. Hint: logic gate ID.
+ */
+#include <memory>
+#include <queue>
+
+#include "apps/app.h"
+#include "apps/des/circuit.h"
+#include "apps/factories.h"
+#include "apps/serial_machine.h"
+#include "base/logging.h"
+
+namespace ssim::apps {
+
+namespace {
+
+class DesApp : public App
+{
+  public:
+    std::string name() const override { return "des"; }
+    uint32_t numTaskFunctions() const override { return 2; }
+    const char* hintPattern() const override { return "Logic gate ID"; }
+
+    void
+    setup(const AppParams& p) override
+    {
+        Rng rng(p.seed);
+        uint32_t nadders;
+        uint64_t horizon;
+        switch (p.preset) {
+          case Preset::Tiny:
+            nadders = 4;
+            horizon = 60;
+            break;
+          case Preset::Small:
+            nadders = 48;
+            horizon = 250;
+            break;
+          default:
+            nadders = 256;
+            horizon = 1200;
+            break;
+        }
+        circ_ = csaArray(nadders, 16);
+        waves_ = randomWaveforms(circ_, horizon, 6.0, rng);
+        // Flatten waveforms for timed reads: per input (start, count).
+        waveOff_.assign(waves_.size() + 1, 0);
+        for (size_t i = 0; i < waves_.size(); i++)
+            waveOff_[i + 1] = waveOff_[i] + waves_[i].size();
+        waveTimes_.reserve(waveOff_.back());
+        for (auto& w : waves_)
+            waveTimes_.insert(waveTimes_.end(), w.begin(), w.end());
+        init_ = circ_.gates;
+        // Final input values: toggle-count parity.
+        finalInputs_.resize(waves_.size());
+        for (size_t i = 0; i < waves_.size(); i++)
+            finalInputs_[i] = waves_[i].size() & 1;
+        oracle_ = circ_.evalAll(finalInputs_);
+    }
+
+    void
+    reset() override
+    {
+        circ_.gates = init_;
+        togglesProcessed = 0;
+    }
+
+    void
+    enqueueInitial(Machine& m) override
+    {
+        // One waveform-driver task per external input (Listing 1 main()).
+        for (uint32_t i = 0; i < circ_.inputGates.size(); i++) {
+            if (waves_[i].empty())
+                continue;
+            m.enqueueInitial(waveTask, waves_[i][0],
+                             uint64_t(circ_.inputGates[i]), this,
+                             uint64_t(i), uint64_t(0));
+        }
+    }
+
+    bool
+    validate() const override
+    {
+        for (uint32_t g = 0; g < circ_.numGates(); g++)
+            if (GateRec::outOf(circ_.gates[g].w0) != oracle_[g])
+                return false;
+        return togglesProcessed > 0;
+    }
+
+    uint64_t
+    serialCycles(SerialMachine& sm) override
+    {
+        // Tuned serial baseline: a priority-queue event simulator.
+        reset();
+        using Ev = std::pair<uint64_t, uint64_t>; // (time, fanout enc)
+        std::priority_queue<Ev, std::vector<Ev>, std::greater<>> pq;
+        for (size_t i = 0; i < waves_.size(); i++)
+            for (uint64_t t : waves_[i])
+                pq.emplace(t, fanoutEnc(circ_.inputGates[i], 0));
+        while (!pq.empty()) {
+            auto [ts, enc] = pq.top();
+            pq.pop();
+            sm.compute(6); // heap pop
+            uint32_t g = uint32_t(enc >> 3);
+            uint8_t pin = uint8_t(enc & 7);
+            uint64_t w0 = sm.read(&circ_.gates[g].w0);
+            uint8_t iv = uint8_t(GateRec::ivOf(w0) ^ (1u << pin));
+            bool out = evalGate(GateRec::typeOf(w0), iv, GateRec::ninOf(w0));
+            bool toggled = out != GateRec::outOf(w0);
+            sm.write(&circ_.gates[g].w0,
+                     GateRec::packW0(GateRec::typeOf(w0),
+                                     GateRec::ninOf(w0), iv, out,
+                                     GateRec::delayOf(w0)));
+            if (toggled) {
+                uint64_t w1 = sm.read(&circ_.gates[g].w1);
+                uint64_t start = GateRec::fanoutStartOf(w1);
+                uint64_t cnt = GateRec::fanoutCountOf(w1);
+                for (uint64_t i = 0; i < cnt; i++) {
+                    uint64_t e = sm.read(&circ_.fanout[start + i]);
+                    pq.emplace(ts + GateRec::delayOf(w0), e);
+                    sm.compute(6); // heap push
+                }
+            }
+        }
+        ssim_assert(validate() || togglesProcessed == 0,
+                    "serial des is wrong");
+        return sm.cycles();
+    }
+
+    Circuit circ_;
+    std::vector<std::vector<uint64_t>> waves_;
+    std::vector<uint64_t> waveOff_, waveTimes_;
+    std::vector<bool> finalInputs_;
+    std::vector<bool> oracle_;
+    std::vector<GateRec> init_;
+    uint64_t togglesProcessed = 0; ///< host-side stat, not timed state
+
+  private:
+    static swarm::TaskCoro desTask(swarm::TaskCtx&, swarm::Timestamp,
+                                   const uint64_t*);
+    static swarm::TaskCoro waveTask(swarm::TaskCtx&, swarm::Timestamp,
+                                    const uint64_t*);
+};
+
+// Listing 1: simulate a signal toggling at a gate input.
+swarm::TaskCoro
+DesApp::desTask(swarm::TaskCtx& ctx, swarm::Timestamp ts,
+                const uint64_t* args)
+{
+    auto* a = swarm::argPtr<DesApp>(args[0]);
+    uint64_t enc = args[1];
+    uint32_t g = uint32_t(enc >> 3);
+    uint8_t pin = uint8_t(enc & 7);
+
+    uint64_t w0 = co_await ctx.read(&a->circ_.gates[g].w0);
+    uint8_t iv = uint8_t(GateRec::ivOf(w0) ^ (1u << pin));
+    bool out = evalGate(GateRec::typeOf(w0), iv, GateRec::ninOf(w0));
+    bool toggledOutput = out != GateRec::outOf(w0);
+    co_await ctx.compute(2);
+    co_await ctx.write(&a->circ_.gates[g].w0,
+                       GateRec::packW0(GateRec::typeOf(w0),
+                                       GateRec::ninOf(w0), iv, out,
+                                       GateRec::delayOf(w0)));
+    a->togglesProcessed++; // host-side stat
+    if (toggledOutput) {
+        // Toggle all inputs connected to this gate.
+        uint64_t w1 = co_await ctx.read(&a->circ_.gates[g].w1);
+        uint64_t start = GateRec::fanoutStartOf(w1);
+        uint64_t cnt = GateRec::fanoutCountOf(w1);
+        for (uint64_t i = 0; i < cnt; i++) {
+            uint64_t e = co_await ctx.read(&a->circ_.fanout[start + i]);
+            co_await ctx.enqueue(desTask, ts + GateRec::delayOf(w0),
+                                 uint64_t(e >> 3) /*gate ID hint*/,
+                                 args[0], e);
+        }
+    }
+}
+
+// Drives one external input's waveform: toggle now, chain to the next.
+swarm::TaskCoro
+DesApp::waveTask(swarm::TaskCtx& ctx, swarm::Timestamp ts,
+                 const uint64_t* args)
+{
+    auto* a = swarm::argPtr<DesApp>(args[0]);
+    uint32_t input = uint32_t(args[1]);
+    uint64_t idx = args[2];
+    uint32_t gateId = a->circ_.inputGates[input];
+
+    co_await ctx.enqueue(desTask, ts, uint64_t(gateId), args[0],
+                         fanoutEnc(gateId, 0));
+    uint64_t next = idx + 1;
+    if (next < a->waveOff_[input + 1] - a->waveOff_[input]) {
+        uint64_t nextTs =
+            co_await ctx.read(&a->waveTimes_[a->waveOff_[input] + next]);
+        co_await ctx.enqueue(waveTask, nextTs, swarm::SAMEHINT, args[0],
+                             uint64_t(input), next);
+    }
+}
+
+} // namespace
+
+std::unique_ptr<App>
+makeDesApp()
+{
+    return std::make_unique<DesApp>();
+}
+
+} // namespace ssim::apps

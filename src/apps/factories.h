@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Internal per-app factory declarations used by the app registry.
+ */
+#pragma once
+
+#include <memory>
+
+#include "apps/app.h"
+
+namespace ssim::apps {
+
+std::unique_ptr<App> makeBfsApp(bool fine_grain);
+std::unique_ptr<App> makeSsspApp(bool fine_grain);
+std::unique_ptr<App> makeAstarApp(bool fine_grain);
+std::unique_ptr<App> makeColorApp(bool fine_grain);
+std::unique_ptr<App> makeDesApp();
+std::unique_ptr<App> makeNocsimApp();
+std::unique_ptr<App> makeSiloApp();
+std::unique_ptr<App> makeGenomeApp();
+std::unique_ptr<App> makeKmeansApp();
+
+} // namespace ssim::apps

@@ -1,0 +1,411 @@
+/**
+ * @file
+ * genome: gene sequencing (STAMP-style). An unordered benchmark whose
+ * transactions are tasks of equal timestamp within each phase:
+ *   phase 1  deduplicate segments via a hash set     (hint: map key)
+ *   phase 2  insert unique segments' prefixes        (hint: map key)
+ *   phase 3  match suffix -> successor (NOHINT: the probed bucket is
+ *            computed inside the transaction), link  (elem addr)
+ *            and mark the successor via a SAMEHINT child
+ *   phase 4  a single low-parallelism task rebuilds the sequence
+ *
+ * Segments are 32 characters over a 2-bit alphabet = one 64-bit word.
+ */
+#include <memory>
+
+#include "apps/app.h"
+#include "apps/factories.h"
+#include "apps/serial_machine.h"
+#include "base/hash.h"
+#include "base/logging.h"
+
+namespace ssim::apps {
+
+namespace {
+
+constexpr uint32_t kSegChars = 32; ///< 2 bits/char: segment == uint64_t
+
+class GenomeApp : public App
+{
+  public:
+    std::string name() const override { return "genome"; }
+    uint32_t numTaskFunctions() const override { return 5; }
+    const char* hintPattern() const override
+    {
+        return "Elem addr, map key, NO/SAMEHINT";
+    }
+
+    void
+    setup(const AppParams& p) override
+    {
+        Rng rng(p.seed);
+        uint32_t windows;
+        switch (p.preset) {
+          case Preset::Tiny: windows = 128; break;
+          case Preset::Small: windows = 1600; break;
+          default: windows = 16384; break;
+        }
+        step_ = 8; // consecutive windows overlap by 24 chars
+        geneChars_ = kSegChars + (windows - 1) * step_;
+
+        // Random gene over {A,C,G,T}, 2 bits per char.
+        gene_.assign((geneChars_ + 31) / 32, 0);
+        for (auto& w : gene_)
+            w = rng.next();
+
+        // Sliding windows + ~25% duplicates, shuffled.
+        segs_.clear();
+        for (uint32_t i = 0; i < windows; i++)
+            segs_.push_back(windowAt(i * step_));
+        uint32_t dups = windows / 4;
+        for (uint32_t i = 0; i < dups; i++)
+            segs_.push_back(segs_[rng.range(windows)]);
+        for (size_t i = segs_.size(); i > 1; i--)
+            std::swap(segs_[i - 1], segs_[rng.range(i)]);
+
+        nBuckets_ = 1;
+        while (nBuckets_ < 4 * segs_.size())
+            nBuckets_ <<= 1;
+
+        // The reconstruction is unique only if window contents and
+        // suffix/prefix keys are collision-free; with a 64-bit random
+        // gene this holds with overwhelming probability -- verify it.
+        std::vector<uint64_t> uniq(segs_.begin(), segs_.end());
+        std::sort(uniq.begin(), uniq.end());
+        uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+        ssim_assert(uniq.size() == windows, "window content collision");
+        std::vector<uint64_t> pfx;
+        for (uint64_t s : uniq)
+            pfx.push_back(prefixOf(s));
+        std::sort(pfx.begin(), pfx.end());
+        ssim_assert(std::adjacent_find(pfx.begin(), pfx.end()) ==
+                        pfx.end(),
+                    "prefix key collision; pick another seed");
+
+        reset();
+    }
+
+    void
+    reset() override
+    {
+        dedup_.assign(nBuckets_, 0);
+        prefix_.assign(2 * nBuckets_, 0); // (key present?) packed pairs
+        next_.assign(segs_.size(), 0);
+        hasPred_.assign(segs_.size(), 0);
+        result_.assign(gene_.size(), 0);
+        resultChars_ = 0;
+    }
+
+    void
+    enqueueInitial(Machine& m) override
+    {
+        for (uint32_t i = 0; i < segs_.size(); i++) {
+            uint64_t b = bucketOf(segs_[i]);
+            m.enqueueInitial(insertTask, 1,
+                             swarm::cacheLine(&dedup_[b]), this,
+                             uint64_t(i));
+        }
+        m.enqueueInitial(rebuildTask, 5, swarm::NOHINT, this);
+    }
+
+    bool
+    validate() const override
+    {
+        if (resultChars_ != geneChars_)
+            return false;
+        for (uint32_t i = 0; i < geneChars_; i++) {
+            uint64_t got = (result_[i / 32] >> ((i % 32) * 2)) & 3;
+            uint64_t want = (gene_[i / 32] >> ((i % 32) * 2)) & 3;
+            if (got != want)
+                return false;
+        }
+        return true;
+    }
+
+    uint64_t
+    serialCycles(SerialMachine& sm) override
+    {
+        reset();
+        // Phase 1+2: dedup inserts and prefix inserts.
+        std::vector<uint32_t> uniqIdx;
+        for (uint32_t i = 0; i < segs_.size(); i++) {
+            uint64_t key = sm.read(&segs_[i]);
+            uint64_t b = bucketOf(key);
+            bool inserted = false;
+            while (true) {
+                uint64_t v = sm.read(&dedup_[b]);
+                if (v == 0) {
+                    sm.write(&dedup_[b], key);
+                    inserted = true;
+                    break;
+                }
+                if (v == key)
+                    break;
+                b = (b + 1) & (nBuckets_ - 1);
+            }
+            if (inserted) {
+                uniqIdx.push_back(i);
+                uint64_t pk = prefixOf(key);
+                uint64_t pb = bucketOf(pk);
+                while (sm.read(&prefix_[2 * pb]) != 0)
+                    pb = (pb + 1) & (nBuckets_ - 1);
+                sm.write(&prefix_[2 * pb], pk + 1);
+                sm.write(&prefix_[2 * pb + 1], uint64_t(i) + 1);
+            }
+        }
+        // Phase 3: match suffixes to prefixes.
+        for (uint32_t i : uniqIdx) {
+            uint64_t key = sm.read(&segs_[i]);
+            uint64_t sk = suffixOf(key);
+            uint64_t pb = bucketOf(sk);
+            while (true) {
+                uint64_t v = sm.read(&prefix_[2 * pb]);
+                if (v == 0)
+                    break;
+                if (v == sk + 1) {
+                    uint64_t j = sm.read(&prefix_[2 * pb + 1]);
+                    if (segs_[j - 1] != key) { // ignore self-overlap
+                        sm.write(&next_[i], j);
+                        sm.write(&hasPred_[j - 1], uint64_t(1));
+                    }
+                    break;
+                }
+                pb = (pb + 1) & (nBuckets_ - 1);
+            }
+        }
+        // Phase 4: rebuild.
+        rebuildHost(&sm);
+        ssim_assert(validate(), "serial genome is wrong");
+        return sm.cycles();
+    }
+
+    // ---- Content helpers (host-side; segments are immutable inputs) ------
+
+    uint64_t
+    windowAt(uint32_t char_off) const
+    {
+        uint32_t w = char_off / 32, r = (char_off % 32) * 2;
+        uint64_t lo = gene_[w] >> r;
+        uint64_t hi = r ? gene_[w + 1] << (64 - r) : 0;
+        return lo | hi;
+    }
+    /// First (kSegChars - step) chars.
+    uint64_t
+    prefixOf(uint64_t seg) const
+    {
+        return seg & ((~uint64_t(0)) >> (2 * step_));
+    }
+    /// Last (kSegChars - step) chars.
+    uint64_t suffixOf(uint64_t seg) const { return seg >> (2 * step_); }
+    uint64_t bucketOf(uint64_t key) const
+    {
+        return mix64(key) & (nBuckets_ - 1);
+    }
+
+    void
+    rebuildHost(SerialMachine* sm)
+    {
+        // Find the unique start (no predecessor), then walk the chain.
+        auto rd = [&](uint64_t* p) { return sm ? sm->read(p) : *p; };
+        uint64_t startKey = windowAt(0);
+        uint32_t cur = ~0u;
+        for (uint32_t i = 0; i < segs_.size(); i++) {
+            if (segs_[i] == startKey && rd(&hasPred_[i]) == 0 &&
+                rd(&next_[i]) != 0) {
+                cur = i;
+                break;
+            }
+        }
+        if (cur == ~0u)
+            return;
+        appendChars(segs_[cur], kSegChars);
+        while (true) {
+            uint64_t nx = rd(&next_[cur]);
+            if (nx == 0)
+                break;
+            cur = uint32_t(nx - 1);
+            appendChars(segs_[cur] >> (2 * (kSegChars - step_)), step_);
+        }
+    }
+
+    void
+    appendChars(uint64_t chars, uint32_t n)
+    {
+        for (uint32_t i = 0; i < n && resultChars_ < geneChars_; i++) {
+            uint64_t c = (chars >> (2 * i)) & 3;
+            result_[resultChars_ / 32] |=
+                c << ((resultChars_ % 32) * 2);
+            resultChars_++;
+        }
+    }
+
+    std::vector<uint64_t> gene_;
+    uint32_t geneChars_ = 0;
+    uint32_t step_ = 8;
+    std::vector<uint64_t> segs_;
+    uint64_t nBuckets_ = 0;
+    std::vector<uint64_t> dedup_;   ///< open-addressing content set
+    std::vector<uint64_t> prefix_;  ///< (key+1, segIdx+1) pairs
+    std::vector<uint64_t> next_;    ///< successor segIdx + 1
+    std::vector<uint64_t> hasPred_;
+    std::vector<uint64_t> result_;
+    uint64_t resultChars_ = 0;
+
+  private:
+    static swarm::TaskCoro insertTask(swarm::TaskCtx&, swarm::Timestamp,
+                                      const uint64_t*);
+    static swarm::TaskCoro prefixTask(swarm::TaskCtx&, swarm::Timestamp,
+                                      const uint64_t*);
+    static swarm::TaskCoro matchTask(swarm::TaskCtx&, swarm::Timestamp,
+                                     const uint64_t*);
+    static swarm::TaskCoro markTask(swarm::TaskCtx&, swarm::Timestamp,
+                                    const uint64_t*);
+    static swarm::TaskCoro rebuildTask(swarm::TaskCtx&, swarm::Timestamp,
+                                       const uint64_t*);
+};
+
+// Phase 1: deduplicate. On success, chain phases 2 and 3 for the segment.
+swarm::TaskCoro
+GenomeApp::insertTask(swarm::TaskCtx& ctx, swarm::Timestamp ts,
+                      const uint64_t* args)
+{
+    auto* a = swarm::argPtr<GenomeApp>(args[0]);
+    uint32_t seg = uint32_t(args[1]);
+
+    uint64_t key = co_await ctx.read(&a->segs_[seg]);
+    uint64_t b = a->bucketOf(key);
+    while (true) {
+        uint64_t v = co_await ctx.read(&a->dedup_[b]);
+        if (v == 0) {
+            co_await ctx.write(&a->dedup_[b], key);
+            break;
+        }
+        if (v == key)
+            co_return; // duplicate: drop the segment
+        b = (b + 1) & (a->nBuckets_ - 1);
+    }
+    uint64_t pb = a->bucketOf(a->prefixOf(key));
+    co_await ctx.enqueue(prefixTask, ts + 1,
+                         swarm::cacheLine(&a->prefix_[2 * pb]), args[0],
+                         args[1]);
+    co_await ctx.enqueue(matchTask, ts + 2, swarm::NOHINT, args[0],
+                         args[1]);
+}
+
+// Phase 2: publish the segment's prefix in the match table.
+swarm::TaskCoro
+GenomeApp::prefixTask(swarm::TaskCtx& ctx, swarm::Timestamp ts,
+                      const uint64_t* args)
+{
+    auto* a = swarm::argPtr<GenomeApp>(args[0]);
+    uint32_t seg = uint32_t(args[1]);
+
+    uint64_t key = co_await ctx.read(&a->segs_[seg]);
+    uint64_t pk = a->prefixOf(key);
+    uint64_t pb = a->bucketOf(pk);
+    while (true) {
+        uint64_t v = co_await ctx.read(&a->prefix_[2 * pb]);
+        if (v == 0)
+            break;
+        pb = (pb + 1) & (a->nBuckets_ - 1);
+    }
+    co_await ctx.write(&a->prefix_[2 * pb], pk + 1);
+    co_await ctx.write(&a->prefix_[2 * pb + 1], uint64_t(seg) + 1);
+}
+
+// Phase 3: find this segment's successor. The probed buckets are only
+// known once the suffix hash is computed inside the transaction: NOHINT.
+swarm::TaskCoro
+GenomeApp::matchTask(swarm::TaskCtx& ctx, swarm::Timestamp ts,
+                     const uint64_t* args)
+{
+    auto* a = swarm::argPtr<GenomeApp>(args[0]);
+    uint32_t seg = uint32_t(args[1]);
+
+    uint64_t key = co_await ctx.read(&a->segs_[seg]);
+    co_await ctx.compute(4); // suffix hash
+    uint64_t sk = a->suffixOf(key);
+    uint64_t pb = a->bucketOf(sk);
+    while (true) {
+        uint64_t v = co_await ctx.read(&a->prefix_[2 * pb]);
+        if (v == 0)
+            co_return;
+        if (v == sk + 1) {
+            uint64_t j = co_await ctx.read(&a->prefix_[2 * pb + 1]);
+            if (a->segs_[j - 1] != key) {
+                co_await ctx.write(&a->next_[seg], j);
+                // The child touches the same chain data: SAMEHINT.
+                co_await ctx.enqueue(markTask, ts + 1, swarm::SAMEHINT,
+                                     args[0], j - 1);
+            }
+            co_return;
+        }
+        pb = (pb + 1) & (a->nBuckets_ - 1);
+    }
+}
+
+swarm::TaskCoro
+GenomeApp::markTask(swarm::TaskCtx& ctx, swarm::Timestamp ts,
+                    const uint64_t* args)
+{
+    auto* a = swarm::argPtr<GenomeApp>(args[0]);
+    co_await ctx.write(&a->hasPred_[args[1]], uint64_t(1));
+}
+
+// Phase 4: sequential rebuild (the low-parallelism phase of Sec. IV-C).
+// All output goes through ctx (undo-logged) only at the end, from a
+// coroutine-local buffer, so speculative re-execution is safe.
+swarm::TaskCoro
+GenomeApp::rebuildTask(swarm::TaskCtx& ctx, swarm::Timestamp ts,
+                       const uint64_t* args)
+{
+    auto* a = swarm::argPtr<GenomeApp>(args[0]);
+
+    uint64_t startKey = a->windowAt(0);
+    uint32_t cur = ~0u;
+    for (uint32_t i = 0; i < a->segs_.size(); i++) {
+        uint64_t key = co_await ctx.read(&a->segs_[i]);
+        if (key == startKey) {
+            uint64_t hp = co_await ctx.read(&a->hasPred_[i]);
+            uint64_t nx = co_await ctx.read(&a->next_[i]);
+            if (hp == 0 && nx != 0) {
+                cur = i;
+                break;
+            }
+        }
+    }
+    if (cur == ~0u)
+        co_return;
+
+    std::vector<uint64_t> out(a->gene_.size(), 0);
+    uint32_t chars = 0;
+    auto append = [&](uint64_t bits, uint32_t n) {
+        for (uint32_t i = 0; i < n && chars < a->geneChars_; i++) {
+            out[chars / 32] |= ((bits >> (2 * i)) & 3)
+                               << ((chars % 32) * 2);
+            chars++;
+        }
+    };
+    append(a->segs_[cur], kSegChars);
+    while (true) {
+        uint64_t nx = co_await ctx.read(&a->next_[cur]);
+        if (nx == 0)
+            break;
+        cur = uint32_t(nx - 1);
+        co_await ctx.compute(2);
+        append(a->segs_[cur] >> (2 * (kSegChars - a->step_)), a->step_);
+    }
+    for (uint32_t wi = 0; wi < out.size(); wi++)
+        co_await ctx.write(&a->result_[wi], out[wi]);
+    co_await ctx.write(&a->resultChars_, uint64_t(chars));
+}
+
+} // namespace
+
+std::unique_ptr<App>
+makeGenomeApp()
+{
+    return std::make_unique<GenomeApp>();
+}
+
+} // namespace ssim::apps

@@ -1,0 +1,237 @@
+#include "apps/graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <tuple>
+
+#include "base/logging.h"
+
+namespace ssim::apps {
+
+namespace {
+
+Graph
+fromEdges(uint32_t n,
+          std::vector<std::tuple<uint32_t, uint32_t, uint32_t>>& edges)
+{
+    // Deduplicate and drop self-loops; emit both directions.
+    std::vector<std::tuple<uint32_t, uint32_t, uint32_t>> both;
+    both.reserve(edges.size() * 2);
+    for (auto [u, v, w] : edges) {
+        if (u == v)
+            continue;
+        both.emplace_back(u, v, w);
+        both.emplace_back(v, u, w);
+    }
+    std::sort(both.begin(), both.end());
+    both.erase(std::unique(both.begin(), both.end(),
+                           [](const auto& a, const auto& b) {
+                               return std::get<0>(a) == std::get<0>(b) &&
+                                      std::get<1>(a) == std::get<1>(b);
+                           }),
+               both.end());
+
+    Graph g;
+    g.n = n;
+    g.offsets.assign(n + 1, 0);
+    for (auto& [u, v, w] : both)
+        g.offsets[u + 1]++;
+    for (uint32_t i = 0; i < n; i++)
+        g.offsets[i + 1] += g.offsets[i];
+    g.neighbors.reserve(both.size());
+    g.weights.reserve(both.size());
+    for (auto& [u, v, w] : both) {
+        g.neighbors.push_back(v);
+        g.weights.push_back(w);
+    }
+    return g;
+}
+
+} // namespace
+
+Graph
+gridRoad(uint32_t w, uint32_t h, Rng& rng)
+{
+    ssim_assert(w >= 2 && h >= 2);
+    uint32_t n = w * h;
+    auto id = [&](uint32_t x, uint32_t y) { return y * w + x; };
+
+    std::vector<std::tuple<uint32_t, uint32_t, uint32_t>> edges;
+    std::vector<int32_t> xs(n), ys(n);
+    for (uint32_t y = 0; y < h; y++) {
+        for (uint32_t x = 0; x < w; x++) {
+            // Jittered coordinates (roads are not perfect grids).
+            xs[id(x, y)] = int32_t(x) * kAstarScale +
+                           int32_t(rng.range(kAstarScale / 2));
+            ys[id(x, y)] = int32_t(y) * kAstarScale +
+                           int32_t(rng.range(kAstarScale / 2));
+        }
+    }
+    auto addEdge = [&](uint32_t a, uint32_t b) {
+        // Weight >= Euclidean distance keeps A* heuristics admissible
+        // and consistent (triangle inequality).
+        double dx = xs[a] - xs[b], dy = ys[a] - ys[b];
+        double dist = std::sqrt(dx * dx + dy * dy);
+        uint32_t jitter = uint32_t(rng.range(kAstarScale));
+        edges.emplace_back(a, b, uint32_t(std::ceil(dist)) + 1 + jitter);
+    };
+    for (uint32_t y = 0; y < h; y++) {
+        for (uint32_t x = 0; x < w; x++) {
+            if (x + 1 < w)
+                addEdge(id(x, y), id(x + 1, y));
+            if (y + 1 < h)
+                addEdge(id(x, y), id(x, y + 1));
+            // Sparse diagonal shortcuts (~20%), like road networks.
+            if (x + 1 < w && y + 1 < h && rng.chance(0.2))
+                addEdge(id(x, y), id(x + 1, y + 1));
+        }
+    }
+    Graph g = fromEdges(n, edges);
+    g.xs = std::move(xs);
+    g.ys = std::move(ys);
+    return g;
+}
+
+Graph
+rmat(uint32_t n, uint32_t avg_deg, Rng& rng)
+{
+    // Round n up to a power of two for recursive partitioning.
+    uint32_t bits = 1;
+    while ((1u << bits) < n)
+        bits++;
+    uint32_t nn = 1u << bits;
+
+    // Standard R-MAT parameters (a, b, c) = (0.57, 0.19, 0.19).
+    uint64_t nedges = uint64_t(n) * avg_deg / 2;
+    std::vector<std::tuple<uint32_t, uint32_t, uint32_t>> edges;
+    edges.reserve(nedges);
+    for (uint64_t e = 0; e < nedges; e++) {
+        uint32_t u = 0, v = 0;
+        for (uint32_t b = 0; b < bits; b++) {
+            double r = rng.uniform();
+            if (r < 0.57) {
+                // top-left: no bits set
+            } else if (r < 0.76) {
+                v |= 1u << b;
+            } else if (r < 0.95) {
+                u |= 1u << b;
+            } else {
+                u |= 1u << b;
+                v |= 1u << b;
+            }
+        }
+        u %= n;
+        v %= n;
+        (void)nn;
+        if (u != v)
+            edges.emplace_back(u, v, 1 + uint32_t(rng.range(16)));
+    }
+    return fromEdges(n, edges);
+}
+
+std::vector<uint64_t>
+bfsOracle(const Graph& g, uint32_t src)
+{
+    std::vector<uint64_t> level(g.n, kUnreached);
+    std::queue<uint32_t> q;
+    level[src] = 0;
+    q.push(src);
+    while (!q.empty()) {
+        uint32_t v = q.front();
+        q.pop();
+        for (uint32_t u : g.neigh(v)) {
+            if (level[u] == kUnreached) {
+                level[u] = level[v] + 1;
+                q.push(u);
+            }
+        }
+    }
+    return level;
+}
+
+std::vector<uint64_t>
+dijkstraOracle(const Graph& g, uint32_t src)
+{
+    std::vector<uint64_t> dist(g.n, kUnreached);
+    using QE = std::pair<uint64_t, uint32_t>;
+    std::priority_queue<QE, std::vector<QE>, std::greater<>> pq;
+    dist[src] = 0;
+    pq.emplace(0, src);
+    while (!pq.empty()) {
+        auto [d, v] = pq.top();
+        pq.pop();
+        if (d != dist[v])
+            continue;
+        for (uint64_t i = g.offsets[v]; i < g.offsets[v + 1]; i++) {
+            uint32_t u = g.neighbors[i];
+            uint64_t nd = d + g.weights[i];
+            if (nd < dist[u]) {
+                dist[u] = nd;
+                pq.emplace(nd, u);
+            }
+        }
+    }
+    return dist;
+}
+
+uint64_t
+astarHeuristic(const Graph& g, uint32_t v, uint32_t dst)
+{
+    double dx = g.xs[v] - g.xs[dst];
+    double dy = g.ys[v] - g.ys[dst];
+    return uint64_t(std::floor(std::sqrt(dx * dx + dy * dy)));
+}
+
+std::vector<uint32_t>
+ldfRank(const Graph& g)
+{
+    std::vector<uint32_t> order(g.n);
+    for (uint32_t v = 0; v < g.n; v++)
+        order[v] = v;
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+        if (g.degree(a) != g.degree(b))
+            return g.degree(a) > g.degree(b);
+        return a < b;
+    });
+    std::vector<uint32_t> rank(g.n);
+    for (uint32_t i = 0; i < g.n; i++)
+        rank[order[i]] = i;
+    return rank;
+}
+
+std::vector<uint32_t>
+greedyColorOracle(const Graph& g, const std::vector<uint32_t>& rank)
+{
+    constexpr uint32_t kUncolored = ~0u;
+    std::vector<uint32_t> order(g.n);
+    for (uint32_t v = 0; v < g.n; v++)
+        order[rank[v]] = v;
+    std::vector<uint32_t> color(g.n, kUncolored);
+    std::vector<uint64_t> used;
+    for (uint32_t v : order) {
+        used.assign((g.degree(v) + 2 + 63) / 64, 0);
+        for (uint32_t u : g.neigh(v)) {
+            uint32_t c = color[u];
+            if (c != kUncolored && c < used.size() * 64)
+                used[c / 64] |= 1ull << (c % 64);
+        }
+        uint32_t c = 0;
+        while (used[c / 64] & (1ull << (c % 64)))
+            c++;
+        color[v] = c;
+    }
+    return color;
+}
+
+bool
+isProperColoring(const Graph& g, const std::vector<uint32_t>& color)
+{
+    for (uint32_t v = 0; v < g.n; v++)
+        for (uint32_t u : g.neigh(v))
+            if (color[v] == color[u])
+                return false;
+    return true;
+}
+
+} // namespace ssim::apps

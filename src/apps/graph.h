@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Graph substrate for the four graph-analytics benchmarks.
+ *
+ * CSR graphs plus deterministic generators standing in for the paper's
+ * inputs (DESIGN.md §1):
+ *  - gridRoad: planar weighted grids with coordinates, the structural
+ *    stand-in for the DIMACS road networks and hugetric meshes.
+ *  - rmat: power-law (R-MAT) graphs, the stand-in for com-youtube.
+ *
+ * Host-native oracles (BFS, Dijkstra, A*, greedy LDF coloring) validate
+ * the speculative runs.
+ */
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "base/rng.h"
+
+namespace ssim::apps {
+
+struct Graph
+{
+    uint32_t n = 0;                  ///< vertices
+    std::vector<uint64_t> offsets;   ///< n+1 CSR offsets
+    std::vector<uint32_t> neighbors; ///< edge targets
+    std::vector<uint32_t> weights;   ///< parallel edge weights
+    std::vector<int32_t> xs, ys;     ///< vertex coordinates (if spatial)
+
+    uint64_t numEdges() const { return neighbors.size(); }
+    uint32_t
+    degree(uint32_t v) const
+    {
+        return uint32_t(offsets[v + 1] - offsets[v]);
+    }
+    std::span<const uint32_t>
+    neigh(uint32_t v) const
+    {
+        return {neighbors.data() + offsets[v], degree(v)};
+    }
+};
+
+/**
+ * Planar road-network-like graph: a w x h grid with 4-neighbor links,
+ * a fraction of diagonal shortcuts, and distance-correlated integer
+ * weights (scaled by kAstarScale so Euclidean heuristics are admissible
+ * and consistent).
+ */
+Graph gridRoad(uint32_t w, uint32_t h, Rng& rng);
+
+/** Fixed-point scale for A* coordinates/heuristics. */
+constexpr int32_t kAstarScale = 16;
+
+/** Power-law R-MAT graph with ~avg_deg edges/vertex, undirected. */
+Graph rmat(uint32_t n, uint32_t avg_deg, Rng& rng);
+
+// ---- Host-native oracles -----------------------------------------------------
+
+constexpr uint64_t kUnreached = ~uint64_t(0);
+
+/** BFS levels from src (kUnreached if not reachable). */
+std::vector<uint64_t> bfsOracle(const Graph& g, uint32_t src);
+
+/** Dijkstra distances from src. */
+std::vector<uint64_t> dijkstraOracle(const Graph& g, uint32_t src);
+
+/** Consistent A* heuristic: floor of Euclidean distance to dst. */
+uint64_t astarHeuristic(const Graph& g, uint32_t v, uint32_t dst);
+
+/** Largest-degree-first rank: position of each vertex in LDF order. */
+std::vector<uint32_t> ldfRank(const Graph& g);
+
+/** Greedy coloring in a given rank order (the LDF oracle). */
+std::vector<uint32_t> greedyColorOracle(const Graph& g,
+                                        const std::vector<uint32_t>& rank);
+
+/** True iff no edge joins two same-colored vertices. */
+bool isProperColoring(const Graph& g, const std::vector<uint32_t>& color);
+
+} // namespace ssim::apps

@@ -1,0 +1,316 @@
+/**
+ * @file
+ * kmeans: K-means clustering (STAMP-style), unordered within phases.
+ * Two task types per paper Sec. III-C:
+ *   findCluster   operates on a single point; hint = point's cache line
+ *   updateCluster adds the point to its centroid's accumulators;
+ *                 hint = cluster ID (highly contended: hints localize
+ *                 AND serialize these, the paper's headline kmeans win)
+ * plus a per-cluster recompute task chained across iterations.
+ *
+ * Point coordinates are integers so accumulator sums are exact and the
+ * result is bit-identical across schedulers and core counts; derived
+ * centroids are doubles. The iteration count is fixed (the paper fixes
+ * 40 for run-to-run consistency).
+ */
+#include <cmath>
+#include <memory>
+
+#include "apps/app.h"
+#include "apps/factories.h"
+#include "apps/serial_machine.h"
+#include "base/logging.h"
+
+namespace ssim::apps {
+
+namespace {
+
+constexpr uint32_t kDim = 4;
+
+struct alignas(64) Point
+{
+    int64_t x[kDim];
+};
+
+struct alignas(64) Centroid
+{
+    double c[kDim];
+};
+
+struct alignas(64) Accum
+{
+    int64_t sum[kDim];
+    int64_t count;
+};
+
+class KmeansApp : public App
+{
+  public:
+    std::string name() const override { return "kmeans"; }
+    uint32_t numTaskFunctions() const override { return 3; }
+    const char* hintPattern() const override
+    {
+        return "Cache line of point, cluster ID";
+    }
+
+    void
+    setup(const AppParams& p) override
+    {
+        Rng rng(p.seed);
+        switch (p.preset) {
+          case Preset::Tiny:
+            n_ = 128;
+            k_ = 4;
+            iters_ = 3;
+            break;
+          case Preset::Small:
+            n_ = 1024;
+            k_ = 8;
+            iters_ = 6;
+            break;
+          default:
+            n_ = 16384;
+            k_ = 16;
+            iters_ = 40;
+            break;
+        }
+        points_.resize(n_);
+        // Clustered gaussian-ish blobs around k_ anchors.
+        std::vector<std::array<int64_t, kDim>> anchors(k_);
+        for (auto& a : anchors)
+            for (uint32_t j = 0; j < kDim; j++)
+                a[j] = int64_t(rng.range(1 << 20));
+        for (uint32_t i = 0; i < n_; i++) {
+            auto& a = anchors[rng.range(k_)];
+            for (uint32_t j = 0; j < kDim; j++)
+                points_[i].x[j] =
+                    a[j] + int64_t(rng.range(1 << 16)) - (1 << 15);
+        }
+        initCentroids_.resize(k_);
+        for (uint32_t c = 0; c < k_; c++)
+            for (uint32_t j = 0; j < kDim; j++)
+                initCentroids_[c].c[j] = double(points_[c].x[j]);
+
+        // Host oracle: identical algorithm, untimed.
+        oracleMembership_.assign(n_, 0);
+        oracleCentroids_ = initCentroids_;
+        std::vector<Accum> acc(k_);
+        for (uint32_t it = 0; it < iters_; it++) {
+            std::fill(acc.begin(), acc.end(), Accum{});
+            for (uint32_t i = 0; i < n_; i++) {
+                uint32_t best = nearest(points_[i], oracleCentroids_);
+                oracleMembership_[i] = best;
+                for (uint32_t j = 0; j < kDim; j++)
+                    acc[best].sum[j] += points_[i].x[j];
+                acc[best].count++;
+            }
+            for (uint32_t c = 0; c < k_; c++)
+                if (acc[c].count)
+                    for (uint32_t j = 0; j < kDim; j++)
+                        oracleCentroids_[c].c[j] =
+                            double(acc[c].sum[j]) / double(acc[c].count);
+        }
+        reset();
+    }
+
+    void
+    reset() override
+    {
+        centroids_ = initCentroids_;
+        accums_.assign(k_, Accum{});
+        membership_.assign(n_, 0);
+    }
+
+    void
+    enqueueInitial(Machine& m) override
+    {
+        for (uint32_t i = 0; i < n_; i++)
+            m.enqueueInitial(findCluster, 0,
+                             swarm::cacheLine(&points_[i]), this,
+                             uint64_t(i), uint64_t(0));
+        for (uint32_t c = 0; c < k_; c++)
+            m.enqueueInitial(recompute, 2, uint64_t(c), this, uint64_t(c),
+                             uint64_t(0));
+    }
+
+    bool
+    validate() const override
+    {
+        if (membership_ != oracleMembership_)
+            return false;
+        for (uint32_t c = 0; c < k_; c++)
+            for (uint32_t j = 0; j < kDim; j++)
+                if (centroids_[c].c[j] != oracleCentroids_[c].c[j])
+                    return false;
+        return true;
+    }
+
+    uint64_t
+    serialCycles(SerialMachine& sm) override
+    {
+        reset();
+        for (uint32_t it = 0; it < iters_; it++) {
+            for (uint32_t i = 0; i < n_; i++) {
+                Point pt;
+                for (uint32_t j = 0; j < kDim; j++)
+                    pt.x[j] = sm.read(&points_[i].x[j]);
+                uint32_t best = 0;
+                double bestD = 1e300;
+                for (uint32_t c = 0; c < k_; c++) {
+                    double d = 0;
+                    for (uint32_t j = 0; j < kDim; j++) {
+                        double diff =
+                            sm.read(&centroids_[c].c[j]) - double(pt.x[j]);
+                        d += diff * diff;
+                    }
+                    sm.compute(3 * kDim);
+                    if (d < bestD) {
+                        bestD = d;
+                        best = c;
+                    }
+                }
+                sm.write(&membership_[i], uint64_t(best));
+                for (uint32_t j = 0; j < kDim; j++) {
+                    int64_t s = sm.read(&accums_[best].sum[j]);
+                    sm.write(&accums_[best].sum[j], s + pt.x[j]);
+                }
+                int64_t cnt = sm.read(&accums_[best].count);
+                sm.write(&accums_[best].count, cnt + 1);
+            }
+            for (uint32_t c = 0; c < k_; c++) {
+                int64_t cnt = sm.read(&accums_[c].count);
+                if (cnt) {
+                    for (uint32_t j = 0; j < kDim; j++) {
+                        int64_t s = sm.read(&accums_[c].sum[j]);
+                        sm.write(&centroids_[c].c[j],
+                                 double(s) / double(cnt));
+                        sm.write(&accums_[c].sum[j], int64_t(0));
+                    }
+                    sm.write(&accums_[c].count, int64_t(0));
+                }
+            }
+        }
+        ssim_assert(validate(), "serial kmeans is wrong");
+        return sm.cycles();
+    }
+
+    static uint32_t
+    nearest(const Point& p, const std::vector<Centroid>& cents)
+    {
+        uint32_t best = 0;
+        double bestD = 1e300;
+        for (uint32_t c = 0; c < cents.size(); c++) {
+            double d = 0;
+            for (uint32_t j = 0; j < kDim; j++) {
+                double diff = cents[c].c[j] - double(p.x[j]);
+                d += diff * diff;
+            }
+            if (d < bestD) {
+                bestD = d;
+                best = c;
+            }
+        }
+        return best;
+    }
+
+    uint32_t n_ = 0, k_ = 0, iters_ = 0;
+    std::vector<Point> points_;
+    std::vector<Centroid> centroids_, initCentroids_, oracleCentroids_;
+    std::vector<Accum> accums_;
+    std::vector<uint64_t> membership_, oracleMembership_;
+
+  private:
+    static swarm::TaskCoro findCluster(swarm::TaskCtx&, swarm::Timestamp,
+                                       const uint64_t*);
+    static swarm::TaskCoro updateCluster(swarm::TaskCtx&, swarm::Timestamp,
+                                         const uint64_t*);
+    static swarm::TaskCoro recompute(swarm::TaskCtx&, swarm::Timestamp,
+                                     const uint64_t*);
+};
+
+// Phase 3i: assign one point to its nearest centroid.
+swarm::TaskCoro
+KmeansApp::findCluster(swarm::TaskCtx& ctx, swarm::Timestamp ts,
+                       const uint64_t* args)
+{
+    auto* a = swarm::argPtr<KmeansApp>(args[0]);
+    uint32_t i = uint32_t(args[1]);
+    uint32_t iter = uint32_t(args[2]);
+
+    Point pt;
+    for (uint32_t j = 0; j < kDim; j++)
+        pt.x[j] = co_await ctx.read(&a->points_[i].x[j]);
+    uint32_t best = 0;
+    double bestD = 1e300;
+    for (uint32_t c = 0; c < a->k_; c++) {
+        double d = 0;
+        for (uint32_t j = 0; j < kDim; j++) {
+            double cc = co_await ctx.read(&a->centroids_[c].c[j]);
+            double diff = cc - double(pt.x[j]);
+            d += diff * diff;
+        }
+        co_await ctx.compute(3 * kDim);
+        if (d < bestD) {
+            bestD = d;
+            best = c;
+        }
+    }
+    co_await ctx.write(&a->membership_[i], uint64_t(best));
+    co_await ctx.enqueue(updateCluster, ts + 1, uint64_t(best), args[0],
+                         args[1], uint64_t(best));
+    if (iter + 1 < a->iters_)
+        co_await ctx.enqueue(findCluster, ts + 3, swarm::SAMEHINT,
+                             args[0], args[1], uint64_t(iter + 1));
+}
+
+// Phase 3i+1: fold the point into its cluster's accumulators.
+swarm::TaskCoro
+KmeansApp::updateCluster(swarm::TaskCtx& ctx, swarm::Timestamp ts,
+                         const uint64_t* args)
+{
+    auto* a = swarm::argPtr<KmeansApp>(args[0]);
+    uint32_t i = uint32_t(args[1]);
+    uint32_t c = uint32_t(args[2]);
+
+    for (uint32_t j = 0; j < kDim; j++) {
+        int64_t x = co_await ctx.read(&a->points_[i].x[j]);
+        int64_t s = co_await ctx.read(&a->accums_[c].sum[j]);
+        co_await ctx.write(&a->accums_[c].sum[j], s + x);
+    }
+    int64_t cnt = co_await ctx.read(&a->accums_[c].count);
+    co_await ctx.write(&a->accums_[c].count, cnt + 1);
+}
+
+// Phase 3i+2: new centroid = sum / count; clear the accumulators.
+swarm::TaskCoro
+KmeansApp::recompute(swarm::TaskCtx& ctx, swarm::Timestamp ts,
+                     const uint64_t* args)
+{
+    auto* a = swarm::argPtr<KmeansApp>(args[0]);
+    uint32_t c = uint32_t(args[1]);
+    uint32_t iter = uint32_t(args[2]);
+
+    int64_t cnt = co_await ctx.read(&a->accums_[c].count);
+    if (cnt) {
+        for (uint32_t j = 0; j < kDim; j++) {
+            int64_t s = co_await ctx.read(&a->accums_[c].sum[j]);
+            co_await ctx.write(&a->centroids_[c].c[j],
+                               double(s) / double(cnt));
+            co_await ctx.write(&a->accums_[c].sum[j], int64_t(0));
+        }
+        co_await ctx.write(&a->accums_[c].count, int64_t(0));
+    }
+    if (iter + 1 < a->iters_)
+        co_await ctx.enqueue(recompute, ts + 3, swarm::SAMEHINT, args[0],
+                             args[1], uint64_t(iter + 1));
+}
+
+} // namespace
+
+std::unique_ptr<App>
+makeKmeansApp()
+{
+    return std::make_unique<KmeansApp>();
+}
+
+} // namespace ssim::apps

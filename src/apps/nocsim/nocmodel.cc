@@ -1,0 +1,16 @@
+#include "apps/nocsim/nocmodel.h"
+
+namespace ssim::apps {
+
+std::vector<std::vector<uint64_t>>
+nocInjectionSchedule(uint32_t k, uint64_t horizon, double rate, Rng& rng)
+{
+    std::vector<std::vector<uint64_t>> sched(k * k);
+    for (auto& s : sched)
+        for (uint64_t t = 1; t < horizon; t++)
+            if (rng.chance(rate))
+                s.push_back(t);
+    return sched;
+}
+
+} // namespace ssim::apps

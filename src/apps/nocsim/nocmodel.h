@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Flit-level mesh NoC model for the nocsim benchmark (GARNET-derived in
+ * the paper; built from scratch here, DESIGN.md §1).
+ *
+ * K x K mesh of credit-based wormhole routers, X-Y routing, 5 ports
+ * (N/E/S/W + local), 8-flit input buffers, single-flit packets, tornado
+ * traffic. Simulated time is phased: even timestamps carry flit
+ * arrivals / credit returns / injections (which touch disjoint router
+ * state and commute), odd timestamps run router cycles (route + switch
+ * allocation + traversal). This makes the model's final state independent
+ * of same-timestamp commit order, which the validation tests rely on.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.h"
+
+namespace ssim::apps {
+
+/** Port / direction indices. */
+enum NocDir : uint32_t
+{
+    kNorth = 0,
+    kEast,
+    kSouth,
+    kWest,
+    kLocal,
+    kNumPorts
+};
+
+constexpr uint32_t kBufDepth = 8;
+
+/** Per-router state; every field is accessed through the timing model. */
+struct alignas(64) NocRouter
+{
+    uint64_t buf[kNumPorts][kBufDepth]; ///< flit rings
+    uint64_t meta[kNumPorts];           ///< head(8) | count(8)
+    uint64_t credits;                   ///< byte lane per output dir
+    uint64_t nextWake;                  ///< wake-dedup for router cycles
+    uint64_t delivered;
+    uint64_t latSum;
+    uint64_t rr;                        ///< round-robin arbitration start
+};
+
+// Flit encoding: dst(16) | injectCycle(32) | src(16).
+inline uint64_t
+flitPack(uint32_t dst, uint64_t inject_cycle, uint32_t src)
+{
+    return (uint64_t(dst) << 48) | ((inject_cycle & 0xffffffffull) << 16) |
+           src;
+}
+inline uint32_t flitDst(uint64_t f) { return uint32_t(f >> 48); }
+inline uint64_t flitInject(uint64_t f) { return (f >> 16) & 0xffffffffull; }
+
+inline uint64_t
+metaPack(uint32_t head, uint32_t count)
+{
+    return head | (uint64_t(count) << 8);
+}
+inline uint32_t metaHead(uint64_t m) { return uint32_t(m & 0xff); }
+inline uint32_t metaCount(uint64_t m) { return uint32_t((m >> 8) & 0xff); }
+
+inline uint32_t
+creditsOf(uint64_t word, uint32_t dir)
+{
+    return uint32_t((word >> (8 * dir)) & 0xff);
+}
+inline uint64_t
+creditsAdd(uint64_t word, uint32_t dir, int delta)
+{
+    return word + (uint64_t(int64_t(delta)) << (8 * dir));
+}
+
+/** Static mesh topology/routing helpers. */
+struct NocTopo
+{
+    uint32_t k;
+
+    uint32_t xOf(uint32_t r) const { return r % k; }
+    uint32_t yOf(uint32_t r) const { return r / k; }
+
+    /** X-Y route: next output direction toward dst, or kLocal. */
+    uint32_t
+    route(uint32_t r, uint32_t dst) const
+    {
+        if (xOf(dst) > xOf(r))
+            return kEast;
+        if (xOf(dst) < xOf(r))
+            return kWest;
+        if (yOf(dst) > yOf(r))
+            return kSouth;
+        if (yOf(dst) < yOf(r))
+            return kNorth;
+        return kLocal;
+    }
+
+    uint32_t
+    neighbor(uint32_t r, uint32_t dir) const
+    {
+        switch (dir) {
+          case kNorth: return r - k;
+          case kSouth: return r + k;
+          case kEast: return r + 1;
+          case kWest: return r - 1;
+          default: return r;
+        }
+    }
+
+    static uint32_t
+    opposite(uint32_t dir)
+    {
+        switch (dir) {
+          case kNorth: return kSouth;
+          case kSouth: return kNorth;
+          case kEast: return kWest;
+          case kWest: return kEast;
+          default: return kLocal;
+        }
+    }
+
+    /** Tornado destination in the X dimension. */
+    uint32_t
+    tornadoDst(uint32_t r) const
+    {
+        uint32_t shift = (k + 1) / 2 - 1;
+        return yOf(r) * k + (xOf(r) + std::max(1u, shift)) % k;
+    }
+};
+
+/** Injection schedule: per router, sorted cycles at which a flit enters. */
+std::vector<std::vector<uint64_t>> nocInjectionSchedule(uint32_t k,
+                                                        uint64_t horizon,
+                                                        double rate,
+                                                        Rng& rng);
+
+} // namespace ssim::apps

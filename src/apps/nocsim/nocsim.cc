@@ -1,0 +1,486 @@
+/**
+ * @file
+ * nocsim: detailed network-on-chip simulation (GARNET-derived in the
+ * paper). Each task simulates an event at a router: flit arrival, credit
+ * return, injection, or a router pipeline cycle (routing + switch
+ * allocation + traversal). Hint: router ID -- components within a router
+ * communicate constantly, so the coarse router-granularity hint keeps
+ * that traffic local (Sec. III-C). An ablation can switch to finer
+ * per-port hints (bench/ablation_hint_granularity).
+ */
+#include <cstdio>
+#include <memory>
+#include <queue>
+
+#include "apps/app.h"
+#include "apps/factories.h"
+#include "apps/nocsim/nocmodel.h"
+#include "apps/serial_machine.h"
+#include "base/logging.h"
+
+namespace ssim::apps {
+
+namespace {
+
+class NocsimApp : public App
+{
+  public:
+    std::string name() const override { return "nocsim"; }
+    uint32_t numTaskFunctions() const override { return 4; }
+    const char* hintPattern() const override { return "Router ID"; }
+
+    /** Ablation: hint at per-port instead of per-router granularity. */
+    void usePortHints(bool v) { portHints_ = v; }
+
+    void
+    setup(const AppParams& p) override
+    {
+        // Ablation (bench/ablation_hint_granularity): per-port hints
+        // split a router's components across tiles (Sec. III-C warns
+        // against this; router-ID hints keep their traffic local).
+        const char* e = std::getenv("SWARMSIM_NOC_PORT_HINTS");
+        if (e && e[0] == '1')
+            portHints_ = true;
+        Rng rng(p.seed);
+        switch (p.preset) {
+          case Preset::Tiny:
+            topo_.k = 4;
+            horizon_ = 120;
+            break;
+          case Preset::Small:
+            topo_.k = 8;
+            horizon_ = 280;
+            break;
+          default:
+            topo_.k = 16;
+            horizon_ = 1200;
+            break;
+        }
+        sched_ = nocInjectionSchedule(topo_.k, horizon_, 0.06, rng);
+        schedOff_.assign(sched_.size() + 1, 0);
+        for (size_t i = 0; i < sched_.size(); i++)
+            schedOff_[i + 1] = schedOff_[i] + sched_[i].size();
+        schedTimes_.reserve(schedOff_.back());
+        for (auto& s : sched_)
+            schedTimes_.insert(schedTimes_.end(), s.begin(), s.end());
+        totalInjected_ = schedOff_.back();
+        reset();
+        hostSim(nullptr); // oracle totals
+        oracleDelivered_ = totalDelivered();
+        oracleLatSum_ = totalLatSum();
+        reset();
+    }
+
+    void
+    reset() override
+    {
+        routers_.assign(topo_.k * topo_.k, NocRouter{});
+        for (auto& r : routers_) {
+            r.credits = 0;
+            for (uint32_t d = 0; d < 4; d++)
+                r.credits = creditsAdd(r.credits, d, kBufDepth);
+        }
+    }
+
+    void
+    enqueueInitial(Machine& m) override
+    {
+        for (uint32_t r = 0; r < routers_.size(); r++) {
+            if (sched_[r].empty())
+                continue;
+            m.enqueueInitial(injectTask, 2 * sched_[r][0], hintOf(r, kLocal),
+                             this, uint64_t(r), uint64_t(0));
+        }
+    }
+
+    bool
+    validate() const override
+    {
+        return totalDelivered() == totalInjected_ &&
+               totalDelivered() == oracleDelivered_ &&
+               totalLatSum() == oracleLatSum_;
+    }
+
+    uint64_t
+    serialCycles(SerialMachine& sm) override
+    {
+        reset();
+        hostSim(&sm);
+        ssim_assert(totalDelivered() == oracleDelivered_ &&
+                        totalLatSum() == oracleLatSum_,
+                    "serial nocsim is wrong");
+        return sm.cycles();
+    }
+
+    uint64_t
+    totalDelivered() const
+    {
+        uint64_t s = 0;
+        for (auto& r : routers_)
+            s += r.delivered;
+        return s;
+    }
+    uint64_t
+    totalLatSum() const
+    {
+        uint64_t s = 0;
+        for (auto& r : routers_)
+            s += r.latSum;
+        return s;
+    }
+
+    uint64_t
+    hintOf(uint32_t router, uint32_t port) const
+    {
+        return portHints_ ? uint64_t(router) * kNumPorts + port
+                          : uint64_t(router);
+    }
+
+    NocTopo topo_{8};
+    uint64_t horizon_ = 0;
+    std::vector<NocRouter> routers_;
+    std::vector<std::vector<uint64_t>> sched_;
+    std::vector<uint64_t> schedOff_, schedTimes_;
+    uint64_t totalInjected_ = 0;
+    uint64_t oracleDelivered_ = 0, oracleLatSum_ = 0;
+    bool portHints_ = false;
+
+  private:
+    static swarm::TaskCoro injectTask(swarm::TaskCtx&, swarm::Timestamp,
+                                      const uint64_t*);
+    static swarm::TaskCoro arriveTask(swarm::TaskCtx&, swarm::Timestamp,
+                                      const uint64_t*);
+    static swarm::TaskCoro creditTask(swarm::TaskCtx&, swarm::Timestamp,
+                                      const uint64_t*);
+    static swarm::TaskCoro cycleTask(swarm::TaskCtx&, swarm::Timestamp,
+                                     const uint64_t*);
+
+    void hostSim(SerialMachine* sm);
+};
+
+// ---- Swarm tasks -------------------------------------------------------------
+// All timestamps are phased: even = arrivals/credits/injections (disjoint
+// or commutative state), odd = router cycles.
+
+swarm::TaskCoro
+NocsimApp::injectTask(swarm::TaskCtx& ctx, swarm::Timestamp ts,
+                      const uint64_t* args)
+{
+    auto* a = swarm::argPtr<NocsimApp>(args[0]);
+    uint32_t r = uint32_t(args[1]);
+    uint64_t idx = args[2];
+    NocRouter& R = a->routers_[r];
+
+    uint64_t m = co_await ctx.read(&R.meta[kLocal]);
+    if (metaCount(m) >= kBufDepth) {
+        // Local buffer full: source-throttle, retry next cycle.
+        co_await ctx.enqueue(injectTask, ts + 2, swarm::SAMEHINT, args[0],
+                             args[1], idx);
+        co_return;
+    }
+    uint64_t flit = flitPack(a->topo_.tornadoDst(r), ts >> 1, r);
+    uint32_t slot = (metaHead(m) + metaCount(m)) % kBufDepth;
+    co_await ctx.write(&R.buf[kLocal][slot], flit);
+    co_await ctx.write(&R.meta[kLocal],
+                       metaPack(metaHead(m), metaCount(m) + 1));
+
+    // Wake the router pipeline for the next odd phase.
+    uint64_t nw = co_await ctx.read(&R.nextWake);
+    if (nw < ts + 1) {
+        co_await ctx.write(&R.nextWake, ts + 1);
+        co_await ctx.enqueue(cycleTask, ts + 1, a->hintOf(r, 0), args[0],
+                             args[1]);
+    }
+
+    uint64_t count = a->schedOff_[r + 1] - a->schedOff_[r];
+    if (idx + 1 < count) {
+        uint64_t nt =
+            co_await ctx.read(&a->schedTimes_[a->schedOff_[r] + idx + 1]);
+        co_await ctx.enqueue(injectTask, 2 * nt, swarm::SAMEHINT, args[0],
+                             args[1], idx + 1);
+    }
+}
+
+swarm::TaskCoro
+NocsimApp::arriveTask(swarm::TaskCtx& ctx, swarm::Timestamp ts,
+                      const uint64_t* args)
+{
+    auto* a = swarm::argPtr<NocsimApp>(args[0]);
+    uint32_t r = uint32_t(args[1] & 0xffffffff);
+    uint32_t port = uint32_t(args[1] >> 32);
+    uint64_t flit = args[2];
+    NocRouter& R = a->routers_[r];
+
+    uint64_t m = co_await ctx.read(&R.meta[port]);
+    // Credits guarantee space.
+    uint32_t slot = (metaHead(m) + metaCount(m)) % kBufDepth;
+    co_await ctx.write(&R.buf[port][slot], flit);
+    co_await ctx.write(&R.meta[port],
+                       metaPack(metaHead(m), metaCount(m) + 1));
+
+    uint64_t nw = co_await ctx.read(&R.nextWake);
+    if (nw < ts + 1) {
+        co_await ctx.write(&R.nextWake, ts + 1);
+        co_await ctx.enqueue(cycleTask, ts + 1, a->hintOf(r, 0), args[0],
+                             uint64_t(r));
+    }
+}
+
+swarm::TaskCoro
+NocsimApp::creditTask(swarm::TaskCtx& ctx, swarm::Timestamp ts,
+                      const uint64_t* args)
+{
+    auto* a = swarm::argPtr<NocsimApp>(args[0]);
+    uint32_t r = uint32_t(args[1]);
+    uint32_t dir = uint32_t(args[2]);
+    NocRouter& R = a->routers_[r];
+
+    uint64_t c = co_await ctx.read(&R.credits);
+    co_await ctx.write(&R.credits, creditsAdd(c, dir, 1));
+
+    uint64_t nw = co_await ctx.read(&R.nextWake);
+    if (nw < ts + 1) {
+        co_await ctx.write(&R.nextWake, ts + 1);
+        co_await ctx.enqueue(cycleTask, ts + 1, a->hintOf(r, 0), args[0],
+                             uint64_t(r));
+    }
+}
+
+// One router pipeline cycle: route, arbitrate, traverse (RC/SA/ST).
+swarm::TaskCoro
+NocsimApp::cycleTask(swarm::TaskCtx& ctx, swarm::Timestamp ts,
+                     const uint64_t* args)
+{
+    auto* a = swarm::argPtr<NocsimApp>(args[0]);
+    uint32_t r = uint32_t(args[1]);
+    NocRouter& R = a->routers_[r];
+    const NocTopo& topo = a->topo_;
+
+    uint64_t rr = co_await ctx.read(&R.rr);
+    uint64_t cred = co_await ctx.read(&R.credits);
+    bool credChanged = false;
+    uint32_t outUsed = 0;
+    bool backlog = false;
+
+    for (uint32_t i = 0; i < kNumPorts; i++) {
+        uint32_t p = uint32_t((rr + i) % kNumPorts);
+        uint64_t m = co_await ctx.read(&R.meta[p]);
+        uint32_t cnt = metaCount(m);
+        if (cnt == 0)
+            continue;
+        uint32_t head = metaHead(m);
+        uint64_t flit = co_await ctx.read(&R.buf[p][head]);
+        uint32_t dir = topo.route(r, flitDst(flit));
+        co_await ctx.compute(2); // route compute + switch allocation
+        if (dir == kLocal) {
+            uint64_t d = co_await ctx.read(&R.delivered);
+            co_await ctx.write(&R.delivered, d + 1);
+            uint64_t ls = co_await ctx.read(&R.latSum);
+            co_await ctx.write(&R.latSum,
+                               ls + ((ts >> 1) - flitInject(flit)));
+            co_await ctx.write(&R.meta[p],
+                               metaPack((head + 1) % kBufDepth, cnt - 1));
+            cnt--;
+            if (p != kLocal) {
+                // The freed buffer slot returns a credit upstream.
+                uint32_t up = topo.neighbor(r, p);
+                co_await ctx.enqueue(creditTask, ts + 1,
+                                     a->hintOf(up, NocTopo::opposite(p)),
+                                     args[0], uint64_t(up),
+                                     uint64_t(NocTopo::opposite(p)));
+            }
+        } else if (!(outUsed & (1u << dir)) && creditsOf(cred, dir) > 0) {
+            cred = creditsAdd(cred, dir, -1);
+            credChanged = true;
+            outUsed |= 1u << dir;
+            co_await ctx.write(&R.meta[p],
+                               metaPack((head + 1) % kBufDepth, cnt - 1));
+            cnt--;
+            uint32_t nb = topo.neighbor(r, dir);
+            uint32_t entry = NocTopo::opposite(dir);
+            co_await ctx.enqueue(arriveTask, ts + 1, a->hintOf(nb, entry),
+                                 args[0],
+                                 uint64_t(nb) | (uint64_t(entry) << 32),
+                                 flit);
+            if (p != kLocal) {
+                uint32_t up = topo.neighbor(r, p);
+                co_await ctx.enqueue(creditTask, ts + 1,
+                                     a->hintOf(up, NocTopo::opposite(p)),
+                                     args[0], uint64_t(up),
+                                     uint64_t(NocTopo::opposite(p)));
+            }
+        } else {
+            backlog = true;
+        }
+        if (cnt > 0)
+            backlog = true;
+    }
+
+    if (credChanged)
+        co_await ctx.write(&R.credits, cred);
+    co_await ctx.write(&R.rr, (rr + 1) % kNumPorts);
+
+    if (backlog) {
+        uint64_t nw = co_await ctx.read(&R.nextWake);
+        if (nw < ts + 2) {
+            co_await ctx.write(&R.nextWake, ts + 2);
+            co_await ctx.enqueue(cycleTask, ts + 2, swarm::SAMEHINT,
+                                 args[0], args[1]);
+        }
+    }
+}
+
+// ---- Host reference simulation (oracle + tuned serial baseline) ----------------
+
+void
+NocsimApp::hostSim(SerialMachine* sm)
+{
+    auto rd = [&](uint64_t* p) { return sm ? sm->read(p) : *p; };
+    auto wr = [&](uint64_t* p, uint64_t v) {
+        if (sm)
+            sm->write(p, v);
+        else
+            *p = v;
+    };
+
+    enum Kind : uint32_t { Inject, Arrive, Credit, Cycle };
+    struct Ev
+    {
+        uint64_t ts;
+        uint64_t seq;
+        uint32_t kind;
+        uint64_t a, b;
+    };
+    auto later = [](const Ev& x, const Ev& y) {
+        return std::tie(x.ts, x.seq) > std::tie(y.ts, y.seq);
+    };
+    std::priority_queue<Ev, std::vector<Ev>, decltype(later)> pq(later);
+    uint64_t seq = 0;
+    auto push = [&](uint64_t ts, uint32_t kind, uint64_t a, uint64_t b) {
+        pq.push(Ev{ts, seq++, kind, a, b});
+        if (sm)
+            sm->compute(6);
+    };
+    for (uint32_t r = 0; r < routers_.size(); r++)
+        if (!sched_[r].empty())
+            push(2 * sched_[r][0], Inject, r, 0);
+
+    auto wake = [&](NocRouter& R, uint64_t ts, uint32_t r) {
+        if (rd(&R.nextWake) < ts) {
+            wr(&R.nextWake, ts);
+            push(ts, Cycle, r, 0);
+        }
+    };
+
+    while (!pq.empty()) {
+        Ev ev = pq.top();
+        pq.pop();
+        if (sm)
+            sm->compute(6);
+        switch (ev.kind) {
+          case Inject: {
+            uint32_t r = uint32_t(ev.a);
+            NocRouter& R = routers_[r];
+            uint64_t m = rd(&R.meta[kLocal]);
+            if (metaCount(m) >= kBufDepth) {
+                push(ev.ts + 2, Inject, ev.a, ev.b);
+                break;
+            }
+            uint64_t flit = flitPack(topo_.tornadoDst(r), ev.ts >> 1, r);
+            wr(&R.buf[kLocal][(metaHead(m) + metaCount(m)) % kBufDepth],
+               flit);
+            wr(&R.meta[kLocal], metaPack(metaHead(m), metaCount(m) + 1));
+            wake(R, ev.ts + 1, r);
+            uint64_t count = schedOff_[r + 1] - schedOff_[r];
+            if (ev.b + 1 < count)
+                push(2 * schedTimes_[schedOff_[r] + ev.b + 1], Inject,
+                     ev.a, ev.b + 1);
+            break;
+          }
+          case Arrive: {
+            uint32_t r = uint32_t(ev.a & 0xffffffff);
+            uint32_t port = uint32_t(ev.a >> 32);
+            NocRouter& R = routers_[r];
+            uint64_t m = rd(&R.meta[port]);
+            wr(&R.buf[port][(metaHead(m) + metaCount(m)) % kBufDepth],
+               ev.b);
+            wr(&R.meta[port], metaPack(metaHead(m), metaCount(m) + 1));
+            wake(R, ev.ts + 1, r);
+            break;
+          }
+          case Credit: {
+            NocRouter& R = routers_[uint32_t(ev.a)];
+            wr(&R.credits, creditsAdd(rd(&R.credits), uint32_t(ev.b), 1));
+            wake(R, ev.ts + 1, uint32_t(ev.a));
+            break;
+          }
+          case Cycle: {
+            uint32_t r = uint32_t(ev.a);
+            NocRouter& R = routers_[r];
+            uint64_t rr = rd(&R.rr);
+            uint64_t cred = rd(&R.credits);
+            bool credChanged = false;
+            uint32_t outUsed = 0;
+            bool backlog = false;
+            for (uint32_t i = 0; i < kNumPorts; i++) {
+                uint32_t p = uint32_t((rr + i) % kNumPorts);
+                uint64_t m = rd(&R.meta[p]);
+                uint32_t cnt = metaCount(m);
+                if (cnt == 0)
+                    continue;
+                uint32_t head = metaHead(m);
+                uint64_t flit = rd(&R.buf[p][head]);
+                uint32_t dir = topo_.route(r, flitDst(flit));
+                if (sm)
+                    sm->compute(2);
+                if (dir == kLocal) {
+                    wr(&R.delivered, rd(&R.delivered) + 1);
+                    wr(&R.latSum, rd(&R.latSum) +
+                                      ((ev.ts >> 1) - flitInject(flit)));
+                    wr(&R.meta[p],
+                       metaPack((head + 1) % kBufDepth, cnt - 1));
+                    cnt--;
+                    if (p != kLocal)
+                        push(ev.ts + 1, Credit, topo_.neighbor(r, p),
+                             NocTopo::opposite(p));
+                } else if (!(outUsed & (1u << dir)) &&
+                           creditsOf(cred, dir) > 0) {
+                    cred = creditsAdd(cred, dir, -1);
+                    credChanged = true;
+                    outUsed |= 1u << dir;
+                    wr(&R.meta[p],
+                       metaPack((head + 1) % kBufDepth, cnt - 1));
+                    cnt--;
+                    uint32_t nb = topo_.neighbor(r, dir);
+                    uint32_t entry = NocTopo::opposite(dir);
+                    push(ev.ts + 1, Arrive,
+                         uint64_t(nb) | (uint64_t(entry) << 32), flit);
+                    if (p != kLocal)
+                        push(ev.ts + 1, Credit, topo_.neighbor(r, p),
+                             NocTopo::opposite(p));
+                } else {
+                    backlog = true;
+                }
+                if (cnt > 0)
+                    backlog = true;
+            }
+            if (credChanged)
+                wr(&R.credits, cred);
+            wr(&R.rr, (rr + 1) % kNumPorts);
+            if (backlog)
+                wake(R, ev.ts + 2, r);
+            break;
+          }
+        }
+    }
+}
+
+} // namespace
+
+std::unique_ptr<App>
+makeNocsimApp()
+{
+    return std::make_unique<NocsimApp>();
+}
+
+} // namespace ssim::apps

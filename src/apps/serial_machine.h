@@ -1,0 +1,65 @@
+/**
+ * @file
+ * A single-core, non-speculative timing model for the "tuned serial
+ * implementation" baselines of Table I.
+ *
+ * Serial code runs natively but charges every shared-data access through
+ * the same cache hierarchy model as the Swarm machine (1 tile, 1 core),
+ * with no task management overheads and no speculation.
+ */
+#pragma once
+
+#include <cstring>
+#include <type_traits>
+
+#include "base/stats.h"
+#include "mem/memory_system.h"
+#include "noc/mesh.h"
+#include "sim/config.h"
+
+namespace ssim {
+
+class SerialMachine
+{
+  public:
+    SerialMachine()
+        : cfg_(SimConfig::withCores(1)), mesh_(cfg_),
+          mem_(cfg_, mesh_, stats_)
+    {
+    }
+
+    /** Timed load. */
+    template <typename T>
+    T
+    read(const T* p)
+    {
+        static_assert(sizeof(T) <= 8);
+        cycles_ += mem_.access(0, addrOf(p), false).latency;
+        return *p;
+    }
+
+    /** Timed store. */
+    template <typename T>
+    void
+    write(T* p, std::type_identity_t<T> v)
+    {
+        static_assert(sizeof(T) <= 8);
+        cycles_ += mem_.access(0, addrOf(p), true).latency;
+        *p = v;
+    }
+
+    /** Charge non-memory compute cycles. */
+    void compute(uint64_t c) { cycles_ += c; }
+
+    uint64_t cycles() const { return cycles_; }
+    const SimStats& stats() const { return stats_; }
+
+  private:
+    SimConfig cfg_;
+    Mesh mesh_;
+    SimStats stats_;
+    MemorySystem mem_;
+    uint64_t cycles_ = 0;
+};
+
+} // namespace ssim

@@ -1,0 +1,77 @@
+#include "apps/silo/btree.h"
+
+#include "base/logging.h"
+
+namespace ssim::apps {
+
+void
+BTree::build(const std::vector<std::pair<uint64_t, uint64_t>>& sorted)
+{
+    ssim_assert(!sorted.empty());
+    for (size_t i = 1; i < sorted.size(); i++)
+        ssim_assert(sorted[i - 1].first < sorted[i].first,
+                    "keys must be strictly increasing");
+    nodes_.clear();
+
+    // Leaf level: up to 7 entries per node.
+    std::vector<uint32_t> level;      // node ids
+    std::vector<uint64_t> levelMinKey;
+    for (size_t i = 0; i < sorted.size(); i += 7) {
+        BTreeNode n;
+        uint32_t cnt = uint32_t(std::min<size_t>(7, sorted.size() - i));
+        for (uint32_t j = 0; j < cnt; j++) {
+            n.keys[j] = sorted[i + j].first;
+            n.kids[j] = sorted[i + j].second;
+        }
+        n.hdr = BTreeNode::packHdr(cnt, true);
+        level.push_back(uint32_t(nodes_.size()));
+        levelMinKey.push_back(n.keys[0]);
+        nodes_.push_back(n);
+    }
+    height_ = 1;
+
+    // Internal levels: separator keys route key < keys[i] to kids[i].
+    while (level.size() > 1) {
+        std::vector<uint32_t> up;
+        std::vector<uint64_t> upMin;
+        for (size_t i = 0; i < level.size(); i += 8) {
+            BTreeNode n;
+            uint32_t cnt = uint32_t(std::min<size_t>(8, level.size() - i));
+            for (uint32_t j = 0; j < cnt; j++) {
+                n.kids[j] = level[i + j];
+                if (j > 0)
+                    n.keys[j - 1] = levelMinKey[i + j];
+            }
+            n.hdr = BTreeNode::packHdr(cnt - 1, false);
+            up.push_back(uint32_t(nodes_.size()));
+            upMin.push_back(levelMinKey[i]);
+            nodes_.push_back(n);
+        }
+        level = std::move(up);
+        levelMinKey = std::move(upMin);
+        height_++;
+    }
+    root_ = level[0];
+}
+
+uint64_t
+BTree::lookupHost(uint64_t key) const
+{
+    uint32_t n = root_;
+    while (true) {
+        const BTreeNode& nd = nodes_[n];
+        uint32_t nk = BTreeNode::nkeysOf(nd.hdr);
+        if (BTreeNode::leafOf(nd.hdr)) {
+            for (uint32_t i = 0; i < nk; i++)
+                if (nd.keys[i] == key)
+                    return nd.kids[i];
+            return 0;
+        }
+        uint32_t pos = 0;
+        while (pos < nk && key >= nd.keys[pos])
+            pos++;
+        n = uint32_t(nd.kids[pos]);
+    }
+}
+
+} // namespace ssim::apps

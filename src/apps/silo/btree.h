@@ -1,0 +1,52 @@
+/**
+ * @file
+ * A static B+-tree index for the silo benchmark's tables.
+ *
+ * Built once from sorted (key, value) pairs; silo tasks traverse it with
+ * timed reads ("the task must first traverse a tree to find [the tuple]",
+ * Sec. III-C). Nodes are two cache lines: header, 7 keys, 8 children (or
+ * 7 values in leaves).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ssim::apps {
+
+struct alignas(64) BTreeNode
+{
+    uint64_t hdr = 0; ///< nkeys(8) | leaf(1)
+    uint64_t keys[7] = {};
+    uint64_t kids[8] = {}; ///< child node ids; in leaves, values
+
+    static uint64_t packHdr(uint32_t nkeys, bool leaf)
+    {
+        return nkeys | (uint64_t(leaf) << 8);
+    }
+    static uint32_t nkeysOf(uint64_t h) { return uint32_t(h & 0xff); }
+    static bool leafOf(uint64_t h) { return (h >> 8) & 1; }
+};
+
+class BTree
+{
+  public:
+    /** Build from strictly-increasing (key, value) pairs. */
+    void build(const std::vector<std::pair<uint64_t, uint64_t>>& sorted);
+
+    /** Host-side (untimed) lookup; ~0 if absent. */
+    uint64_t lookupHost(uint64_t key) const;
+
+    uint32_t root() const { return root_; }
+    const BTreeNode* node(uint32_t i) const { return &nodes_[i]; }
+    BTreeNode* nodeMut(uint32_t i) { return &nodes_[i]; }
+    uint32_t numNodes() const { return uint32_t(nodes_.size()); }
+    uint32_t height() const { return height_; }
+
+  private:
+    std::vector<BTreeNode> nodes_;
+    uint32_t root_ = 0;
+    uint32_t height_ = 0;
+};
+
+} // namespace ssim::apps

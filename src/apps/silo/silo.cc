@@ -1,0 +1,471 @@
+/**
+ * @file
+ * silo: an in-memory OLTP database running a TPC-C-style mix (new-order
+ * + payment). Each transaction is tens of tasks; each task reads or
+ * updates one tuple, first traversing a B+-tree index to find it. The
+ * tuple's address is unknown at task creation time, so hints are the
+ * abstract (table ID, primary key) pair (Sec. III-C).
+ */
+#include <memory>
+
+#include "apps/app.h"
+#include "apps/factories.h"
+#include "apps/serial_machine.h"
+#include "apps/silo/tpcc.h"
+#include "base/logging.h"
+
+namespace ssim::apps {
+
+namespace {
+
+/// Timed B+-tree traversal; expands inline in task coroutines.
+/// Leaves `val` = stored value (row index + 1), or 0 if absent.
+#define SILO_TREE_LOOKUP(ctx, tree, key, val)                              \
+    do {                                                                   \
+        uint32_t nidx_ = (tree).root();                                    \
+        (val) = 0;                                                         \
+        while (true) {                                                     \
+            const BTreeNode* nd_ = (tree).node(nidx_);                     \
+            uint64_t hdr_ = co_await (ctx).read(&nd_->hdr);                \
+            uint32_t nk_ = BTreeNode::nkeysOf(hdr_);                       \
+            if (BTreeNode::leafOf(hdr_)) {                                 \
+                for (uint32_t i_ = 0; i_ < nk_; i_++) {                    \
+                    uint64_t k_ = co_await (ctx).read(&nd_->keys[i_]);     \
+                    if (k_ == (key)) {                                     \
+                        (val) = co_await (ctx).read(&nd_->kids[i_]);       \
+                        break;                                             \
+                    }                                                      \
+                }                                                          \
+                break;                                                     \
+            }                                                              \
+            uint32_t pos_ = 0;                                             \
+            while (pos_ < nk_) {                                           \
+                uint64_t k_ = co_await (ctx).read(&nd_->keys[pos_]);       \
+                if ((key) < k_)                                            \
+                    break;                                                 \
+                pos_++;                                                    \
+            }                                                              \
+            nidx_ = uint32_t(co_await (ctx).read(&nd_->kids[pos_]));       \
+        }                                                                  \
+    } while (0)
+
+constexpr uint32_t kDrivers = 16;
+constexpr uint64_t kTxnTsStride = 32;
+
+inline uint64_t
+txnBase(uint64_t txn)
+{
+    return (txn + 1) * kTxnTsStride;
+}
+
+class SiloApp : public App
+{
+  public:
+    std::string name() const override { return "silo"; }
+    uint32_t numTaskFunctions() const override { return 9; }
+    const char* hintPattern() const override
+    {
+        return "(Table ID, primary key)";
+    }
+
+    void
+    setup(const AppParams& p) override
+    {
+        Rng rng(p.seed);
+        TpccConfig c;
+        switch (p.preset) {
+          case Preset::Tiny:
+            c.warehouses = 2;
+            c.districtsPerWh = 4;
+            c.items = 256;
+            c.txns = 64;
+            break;
+          case Preset::Small:
+            c.warehouses = 4;
+            c.districtsPerWh = 10;
+            c.items = 2000;
+            c.txns = 512;
+            break;
+          default:
+            c.warehouses = 4;
+            c.districtsPerWh = 10;
+            c.items = 8000;
+            c.txns = 6000;
+            break;
+        }
+        c.maxOrdersPerDistrict = c.txns; // safe upper bound
+        db_.init(c, rng);
+        db_.txns = tpccGenTxns(c, rng);
+        // Oracle: apply all transactions in order on the host.
+        db_.reset();
+        for (auto& t : db_.txns)
+            db_.applyTxnHost(t);
+        expWh_ = db_.warehouses;
+        expDist_ = db_.districts;
+        expCust_ = db_.customers;
+        expStock_ = db_.stocks;
+        expOrders_ = db_.orders;
+        expOl_ = db_.orderLines;
+        reset();
+    }
+
+    void reset() override { db_.reset(); }
+
+    void
+    enqueueInitial(Machine& m) override
+    {
+        for (uint32_t k = 0; k < kDrivers && k < db_.txns.size(); k++)
+            m.enqueueInitial(rootTask, txnBase(k), swarm::NOHINT, this,
+                             uint64_t(k));
+    }
+
+    bool
+    validate() const override
+    {
+        auto eq = [](const auto& a, const auto& b) {
+            return std::memcmp(a.data(), b.data(),
+                               a.size() * sizeof(a[0])) == 0;
+        };
+        return eq(db_.warehouses, expWh_) && eq(db_.districts, expDist_) &&
+               eq(db_.customers, expCust_) && eq(db_.stocks, expStock_) &&
+               eq(db_.orders, expOrders_) && eq(db_.orderLines, expOl_);
+    }
+
+    uint64_t
+    serialCycles(SerialMachine& sm) override
+    {
+        reset();
+        for (auto& d : db_.txns)
+            applyTxnTimed(sm, d);
+        ssim_assert(validate(), "serial silo is wrong");
+        return sm.cycles();
+    }
+
+    TpccDb db_;
+    std::vector<WarehouseRow> expWh_;
+    std::vector<DistrictRow> expDist_;
+    std::vector<CustomerRow> expCust_;
+    std::vector<StockRow> expStock_;
+    std::vector<OrderRow> expOrders_;
+    std::vector<OrderLineRow> expOl_;
+
+  private:
+    static swarm::TaskCoro rootTask(swarm::TaskCtx&, swarm::Timestamp,
+                                    const uint64_t*);
+    static swarm::TaskCoro districtTask(swarm::TaskCtx&, swarm::Timestamp,
+                                        const uint64_t*);
+    static swarm::TaskCoro itemTask(swarm::TaskCtx&, swarm::Timestamp,
+                                    const uint64_t*);
+    static swarm::TaskCoro stockTask(swarm::TaskCtx&, swarm::Timestamp,
+                                     const uint64_t*);
+    static swarm::TaskCoro orderTask(swarm::TaskCtx&, swarm::Timestamp,
+                                     const uint64_t*);
+    static swarm::TaskCoro orderLineTask(swarm::TaskCtx&, swarm::Timestamp,
+                                         const uint64_t*);
+    static swarm::TaskCoro payWhTask(swarm::TaskCtx&, swarm::Timestamp,
+                                     const uint64_t*);
+    static swarm::TaskCoro payDistTask(swarm::TaskCtx&, swarm::Timestamp,
+                                       const uint64_t*);
+    static swarm::TaskCoro payCustTask(swarm::TaskCtx&, swarm::Timestamp,
+                                       const uint64_t*);
+
+    void timedLookup(SerialMachine& sm, const BTree& t, uint64_t key);
+    void applyTxnTimed(SerialMachine& sm, const TxnDesc& d);
+};
+
+// Transaction root (also the driver chain: issues the next txn).
+swarm::TaskCoro
+SiloApp::rootTask(swarm::TaskCtx& ctx, swarm::Timestamp ts,
+                  const uint64_t* args)
+{
+    auto* a = swarm::argPtr<SiloApp>(args[0]);
+    uint64_t txn = args[1];
+    TpccDb& db = a->db_;
+    const TxnDesc* d = &db.txns[txn];
+
+    uint64_t w0 = co_await ctx.read(&d->w0);
+    uint64_t w1 = co_await ctx.read(&d->w1);
+    uint32_t w = TxnDesc::whOf(w0);
+    uint32_t dist = TxnDesc::distOf(w0);
+    uint64_t b = txnBase(txn);
+
+    if (TxnDesc::isPayment(w0)) {
+        co_await ctx.enqueue(payWhTask, b + 1, tpccHint(kWarehouse, w),
+                             args[0], txn);
+        co_await ctx.enqueue(payDistTask, b + 2,
+                             tpccHint(kDistrict, db.distKey(w, dist)),
+                             args[0], txn);
+        co_await ctx.enqueue(
+            payCustTask, b + 3,
+            tpccHint(kCustomer,
+                     db.custKey(w, dist, TxnDesc::custOf(w0))),
+            args[0], txn);
+    } else {
+        uint32_t nitems = uint32_t(w1 & 0xf);
+        co_await ctx.enqueue(districtTask, b + 1,
+                             tpccHint(kDistrict, db.distKey(w, dist)),
+                             args[0], txn);
+        for (uint32_t i = 0; i < nitems; i++) {
+            uint64_t it = co_await ctx.read(&d->items[i]);
+            uint32_t item = uint32_t(it >> 8);
+            co_await ctx.enqueue(itemTask, b + 2 + i,
+                                 tpccHint(kItem, item), args[0], txn,
+                                 uint64_t(i));
+            co_await ctx.enqueue(stockTask, b + 8 + i,
+                                 tpccHint(kStock, db.stockKey(w, item)),
+                                 args[0], txn, uint64_t(i));
+        }
+        co_await ctx.enqueue(orderTask, b + 16,
+                             tpccHint(kOrder, db.distKey(w, dist)),
+                             args[0], txn);
+        for (uint32_t i = 0; i < nitems; i++)
+            co_await ctx.enqueue(orderLineTask, b + 17 + i,
+                                 tpccHint(kOrderLine, db.distKey(w, dist)),
+                                 args[0], txn, uint64_t(i));
+    }
+
+    uint64_t next = txn + kDrivers;
+    if (next < db.txns.size())
+        co_await ctx.enqueue(rootTask, txnBase(next), swarm::NOHINT,
+                             args[0], next);
+}
+
+swarm::TaskCoro
+SiloApp::districtTask(swarm::TaskCtx& ctx, swarm::Timestamp ts,
+                      const uint64_t* args)
+{
+    auto* a = swarm::argPtr<SiloApp>(args[0]);
+    uint64_t txn = args[1];
+    TpccDb& db = a->db_;
+    uint64_t w0 = db.txns[txn].w0; // immutable txn input
+    uint64_t key = db.distKey(TxnDesc::whOf(w0), TxnDesc::distOf(w0));
+
+    uint64_t val;
+    SILO_TREE_LOOKUP(ctx, db.distIdx, key, val);
+    DistrictRow* row = &db.districts[val - 1];
+    uint64_t oid = co_await ctx.read(&row->nextOId);
+    co_await ctx.write(&row->nextOId, oid + 1);
+    co_await ctx.write(&db.txnCtx[txn].oId, oid);
+}
+
+swarm::TaskCoro
+SiloApp::itemTask(swarm::TaskCtx& ctx, swarm::Timestamp ts,
+                  const uint64_t* args)
+{
+    auto* a = swarm::argPtr<SiloApp>(args[0]);
+    uint64_t txn = args[1], i = args[2];
+    TpccDb& db = a->db_;
+    uint32_t item = uint32_t(db.txns[txn].items[i] >> 8);
+
+    uint64_t val;
+    SILO_TREE_LOOKUP(ctx, db.itemIdx, uint64_t(item), val);
+    uint64_t price = co_await ctx.read(&db.itemPrices[val - 1]);
+    co_await ctx.write(&db.txnCtx[txn].price[i], price);
+}
+
+swarm::TaskCoro
+SiloApp::stockTask(swarm::TaskCtx& ctx, swarm::Timestamp ts,
+                   const uint64_t* args)
+{
+    auto* a = swarm::argPtr<SiloApp>(args[0]);
+    uint64_t txn = args[1], i = args[2];
+    TpccDb& db = a->db_;
+    uint64_t it = db.txns[txn].items[i];
+    uint32_t item = uint32_t(it >> 8);
+    uint64_t qty = it & 0xff;
+    uint64_t key = db.stockKey(TxnDesc::whOf(db.txns[txn].w0), item);
+
+    uint64_t val;
+    SILO_TREE_LOOKUP(ctx, db.stockIdx, key, val);
+    StockRow* s = &db.stocks[val - 1];
+    uint64_t q = co_await ctx.read(&s->qty);
+    co_await ctx.write(&s->qty, q >= qty + 10 ? q - qty : q - qty + 91);
+    uint64_t ytd = co_await ctx.read(&s->ytd);
+    co_await ctx.write(&s->ytd, ytd + qty);
+    uint64_t oc = co_await ctx.read(&s->orderCnt);
+    co_await ctx.write(&s->orderCnt, oc + 1);
+}
+
+swarm::TaskCoro
+SiloApp::orderTask(swarm::TaskCtx& ctx, swarm::Timestamp ts,
+                   const uint64_t* args)
+{
+    auto* a = swarm::argPtr<SiloApp>(args[0]);
+    uint64_t txn = args[1];
+    TpccDb& db = a->db_;
+    uint64_t w0 = db.txns[txn].w0;
+
+    uint64_t oid = co_await ctx.read(&db.txnCtx[txn].oId);
+    uint64_t slot = db.orderSlot(TxnDesc::whOf(w0), TxnDesc::distOf(w0),
+                                 oid);
+    co_await ctx.write(&db.orders[slot].customer,
+                       uint64_t(TxnDesc::custOf(w0)));
+    co_await ctx.write(&db.orders[slot].olCnt, db.txns[txn].w1 & 0xf);
+}
+
+swarm::TaskCoro
+SiloApp::orderLineTask(swarm::TaskCtx& ctx, swarm::Timestamp ts,
+                       const uint64_t* args)
+{
+    auto* a = swarm::argPtr<SiloApp>(args[0]);
+    uint64_t txn = args[1], i = args[2];
+    TpccDb& db = a->db_;
+    uint64_t w0 = db.txns[txn].w0;
+    uint64_t it = db.txns[txn].items[i];
+
+    uint64_t oid = co_await ctx.read(&db.txnCtx[txn].oId);
+    uint64_t price = co_await ctx.read(&db.txnCtx[txn].price[i]);
+    uint64_t slot = db.orderSlot(TxnDesc::whOf(w0), TxnDesc::distOf(w0),
+                                 oid);
+    OrderLineRow* ol = &db.orderLines[slot * kMaxItemsPerTxn + i];
+    uint64_t qty = it & 0xff;
+    co_await ctx.write(&ol->item, it >> 8);
+    co_await ctx.write(&ol->qty, qty);
+    co_await ctx.write(&ol->amount, qty * price);
+}
+
+swarm::TaskCoro
+SiloApp::payWhTask(swarm::TaskCtx& ctx, swarm::Timestamp ts,
+                   const uint64_t* args)
+{
+    auto* a = swarm::argPtr<SiloApp>(args[0]);
+    uint64_t txn = args[1];
+    TpccDb& db = a->db_;
+    uint32_t w = TxnDesc::whOf(db.txns[txn].w0);
+    uint64_t amount = db.txns[txn].w1 >> 4;
+
+    uint64_t val;
+    SILO_TREE_LOOKUP(ctx, db.whIdx, uint64_t(w), val);
+    WarehouseRow* row = &db.warehouses[val - 1];
+    uint64_t ytd = co_await ctx.read(&row->ytd);
+    co_await ctx.write(&row->ytd, ytd + amount);
+}
+
+swarm::TaskCoro
+SiloApp::payDistTask(swarm::TaskCtx& ctx, swarm::Timestamp ts,
+                     const uint64_t* args)
+{
+    auto* a = swarm::argPtr<SiloApp>(args[0]);
+    uint64_t txn = args[1];
+    TpccDb& db = a->db_;
+    uint64_t w0 = db.txns[txn].w0;
+    uint64_t key = db.distKey(TxnDesc::whOf(w0), TxnDesc::distOf(w0));
+    uint64_t amount = db.txns[txn].w1 >> 4;
+
+    uint64_t val;
+    SILO_TREE_LOOKUP(ctx, db.distIdx, key, val);
+    DistrictRow* row = &db.districts[val - 1];
+    uint64_t ytd = co_await ctx.read(&row->ytd);
+    co_await ctx.write(&row->ytd, ytd + amount);
+}
+
+swarm::TaskCoro
+SiloApp::payCustTask(swarm::TaskCtx& ctx, swarm::Timestamp ts,
+                     const uint64_t* args)
+{
+    auto* a = swarm::argPtr<SiloApp>(args[0]);
+    uint64_t txn = args[1];
+    TpccDb& db = a->db_;
+    uint64_t w0 = db.txns[txn].w0;
+    uint64_t key = db.custKey(TxnDesc::whOf(w0), TxnDesc::distOf(w0),
+                              TxnDesc::custOf(w0));
+    uint64_t amount = db.txns[txn].w1 >> 4;
+
+    uint64_t val;
+    SILO_TREE_LOOKUP(ctx, db.custIdx, key, val);
+    CustomerRow* row = &db.customers[val - 1];
+    int64_t bal = co_await ctx.read(&row->balance);
+    co_await ctx.write(&row->balance, bal - int64_t(amount));
+    uint64_t yp = co_await ctx.read(&row->ytdPayment);
+    co_await ctx.write(&row->ytdPayment, yp + amount);
+    uint64_t pc = co_await ctx.read(&row->paymentCnt);
+    co_await ctx.write(&row->paymentCnt, pc + 1);
+}
+
+// ---- Tuned serial baseline -----------------------------------------------------
+
+void
+SiloApp::timedLookup(SerialMachine& sm, const BTree& t, uint64_t key)
+{
+    uint32_t nidx = t.root();
+    while (true) {
+        const BTreeNode* nd = t.node(nidx);
+        uint64_t hdr = sm.read(&nd->hdr);
+        uint32_t nk = BTreeNode::nkeysOf(hdr);
+        if (BTreeNode::leafOf(hdr)) {
+            for (uint32_t i = 0; i < nk; i++)
+                if (sm.read(&nd->keys[i]) == key) {
+                    sm.read(&nd->kids[i]);
+                    break;
+                }
+            return;
+        }
+        uint32_t pos = 0;
+        while (pos < nk && key >= sm.read(&nd->keys[pos]))
+            pos++;
+        nidx = uint32_t(sm.read(&nd->kids[pos]));
+    }
+}
+
+void
+SiloApp::applyTxnTimed(SerialMachine& sm, const TxnDesc& d)
+{
+    TpccDb& db = db_;
+    uint64_t w0 = sm.read(&d.w0);
+    uint64_t w1 = sm.read(&d.w1);
+    uint32_t w = TxnDesc::whOf(w0);
+    uint32_t dist = TxnDesc::distOf(w0);
+
+    if (TxnDesc::isPayment(w0)) {
+        uint64_t amount = w1 >> 4;
+        timedLookup(sm, db.whIdx, w);
+        sm.write(&db.warehouses[w].ytd, db.warehouses[w].ytd + amount);
+        uint64_t dk = db.distKey(w, dist);
+        timedLookup(sm, db.distIdx, dk);
+        sm.write(&db.districts[dk].ytd, db.districts[dk].ytd + amount);
+        uint64_t ck = db.custKey(w, dist, TxnDesc::custOf(w0));
+        timedLookup(sm, db.custIdx, ck);
+        CustomerRow& cr = db.customers[ck];
+        sm.write(&cr.balance, cr.balance - int64_t(amount));
+        sm.write(&cr.ytdPayment, cr.ytdPayment + amount);
+        sm.write(&cr.paymentCnt, cr.paymentCnt + 1);
+        return;
+    }
+
+    uint32_t nitems = uint32_t(w1 & 0xf);
+    uint64_t dk = db.distKey(w, dist);
+    timedLookup(sm, db.distIdx, dk);
+    uint64_t oid = sm.read(&db.districts[dk].nextOId);
+    sm.write(&db.districts[dk].nextOId, oid + 1);
+    uint64_t slot = db.orderSlot(w, dist, oid);
+    sm.write(&db.orders[slot].customer, uint64_t(TxnDesc::custOf(w0)));
+    sm.write(&db.orders[slot].olCnt, uint64_t(nitems));
+    for (uint32_t i = 0; i < nitems; i++) {
+        uint64_t it = sm.read(&d.items[i]);
+        uint32_t item = uint32_t(it >> 8);
+        uint64_t qty = it & 0xff;
+        timedLookup(sm, db.itemIdx, item);
+        uint64_t price = sm.read(&db.itemPrices[item]);
+        uint64_t sk = db.stockKey(w, item);
+        timedLookup(sm, db.stockIdx, sk);
+        StockRow& s = db.stocks[sk];
+        uint64_t q = sm.read(&s.qty);
+        sm.write(&s.qty, q >= qty + 10 ? q - qty : q - qty + 91);
+        sm.write(&s.ytd, s.ytd + qty);
+        sm.write(&s.orderCnt, s.orderCnt + 1);
+        OrderLineRow& ol = db.orderLines[slot * kMaxItemsPerTxn + i];
+        sm.write(&ol.item, uint64_t(item));
+        sm.write(&ol.qty, qty);
+        sm.write(&ol.amount, qty * price);
+    }
+}
+
+} // namespace
+
+std::unique_ptr<App>
+makeSiloApp()
+{
+    return std::make_unique<SiloApp>();
+}
+
+} // namespace ssim::apps

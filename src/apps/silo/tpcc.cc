@@ -1,0 +1,127 @@
+#include "apps/silo/tpcc.h"
+
+#include "base/logging.h"
+
+namespace ssim::apps {
+
+void
+TpccDb::init(const TpccConfig& c, Rng& rng)
+{
+    cfg = c;
+    warehouses.assign(cfg.warehouses, WarehouseRow{});
+    districts.assign(uint64_t(cfg.warehouses) * cfg.districtsPerWh,
+                     DistrictRow{});
+    customers.assign(uint64_t(cfg.warehouses) * cfg.districtsPerWh *
+                         cfg.customersPerDistrict,
+                     CustomerRow{});
+    itemPrices.resize(cfg.items);
+    stocks.assign(uint64_t(cfg.warehouses) * cfg.items, StockRow{});
+    orders.assign(uint64_t(cfg.warehouses) * cfg.districtsPerWh *
+                      cfg.maxOrdersPerDistrict,
+                  OrderRow{});
+    orderLines.assign(orders.size() * kMaxItemsPerTxn, OrderLineRow{});
+
+    for (auto& w : warehouses)
+        w.tax = 1 + rng.range(20);
+    for (auto& d : districts) {
+        d.nextOId = 0;
+        d.tax = 1 + rng.range(20);
+    }
+    for (auto& p : itemPrices)
+        p = 100 + rng.range(9900);
+    for (auto& s : stocks)
+        s.qty = 50 + rng.range(50);
+
+    auto buildIdx = [](BTree& t, uint64_t n) {
+        std::vector<std::pair<uint64_t, uint64_t>> kv;
+        kv.reserve(n);
+        // Value = row index + 1 (0 means absent).
+        for (uint64_t i = 0; i < n; i++)
+            kv.emplace_back(i, i + 1);
+        t.build(kv);
+    };
+    buildIdx(whIdx, cfg.warehouses);
+    buildIdx(distIdx, districts.size());
+    buildIdx(custIdx, customers.size());
+    buildIdx(itemIdx, cfg.items);
+    buildIdx(stockIdx, stocks.size());
+
+    init_ = {warehouses, districts, customers, stocks};
+}
+
+void
+TpccDb::reset()
+{
+    warehouses = init_.wh;
+    districts = init_.dist;
+    customers = init_.cust;
+    stocks = init_.stock;
+    std::fill(orders.begin(), orders.end(), OrderRow{});
+    std::fill(orderLines.begin(), orderLines.end(), OrderLineRow{});
+    txnCtx.assign(txns.size(), TxnCtxRow{});
+}
+
+void
+TpccDb::applyTxnHost(const TxnDesc& d)
+{
+    uint32_t w = TxnDesc::whOf(d.w0);
+    uint32_t dist = TxnDesc::distOf(d.w0);
+    uint32_t c = TxnDesc::custOf(d.w0);
+    if (TxnDesc::isPayment(d.w0)) {
+        uint64_t amount = d.w1 >> 4;
+        warehouses[w].ytd += amount;
+        districts[distKey(w, dist)].ytd += amount;
+        CustomerRow& cr = customers[custKey(w, dist, c)];
+        cr.balance -= int64_t(amount);
+        cr.ytdPayment += amount;
+        cr.paymentCnt++;
+        return;
+    }
+    uint32_t nitems = uint32_t(d.w1 & 0xf);
+    DistrictRow& dr = districts[distKey(w, dist)];
+    uint64_t oId = dr.nextOId++;
+    uint64_t slot = orderSlot(w, dist, oId);
+    orders[slot].customer = c;
+    orders[slot].olCnt = nitems;
+    for (uint32_t i = 0; i < nitems; i++) {
+        uint32_t item = uint32_t(d.items[i] >> 8);
+        uint64_t qty = d.items[i] & 0xff;
+        StockRow& s = stocks[stockKey(w, item)];
+        if (s.qty >= qty + 10)
+            s.qty -= qty;
+        else
+            s.qty = s.qty - qty + 91;
+        s.ytd += qty;
+        s.orderCnt++;
+        OrderLineRow& ol = orderLines[slot * kMaxItemsPerTxn + i];
+        ol.item = item;
+        ol.qty = qty;
+        ol.amount = qty * itemPrices[item];
+    }
+}
+
+std::vector<TxnDesc>
+tpccGenTxns(const TpccConfig& cfg, Rng& rng)
+{
+    std::vector<TxnDesc> txns(cfg.txns);
+    for (auto& t : txns) {
+        bool payment = rng.chance(0.5);
+        uint32_t w = uint32_t(rng.range(cfg.warehouses));
+        uint32_t d = uint32_t(rng.range(cfg.districtsPerWh));
+        uint32_t c = uint32_t(rng.range(cfg.customersPerDistrict));
+        t.w0 = TxnDesc::packW0(payment, w, d, c);
+        if (payment) {
+            t.w1 = (1 + rng.range(5000)) << 4;
+        } else {
+            uint32_t nitems = 3 + uint32_t(rng.range(kMaxItemsPerTxn - 2));
+            t.w1 = nitems;
+            for (uint32_t i = 0; i < nitems; i++) {
+                uint32_t item = uint32_t(rng.range(cfg.items));
+                t.items[i] = (uint64_t(item) << 8) | (1 + rng.range(10));
+            }
+        }
+    }
+    return txns;
+}
+
+} // namespace ssim::apps

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * TPC-C-style workload substrate for the silo benchmark: warehouse /
+ * district / customer / item / stock tables indexed by B+-trees, plus
+ * append-only order and order-line tables, and a deterministic generator
+ * of new-order and payment transactions.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/silo/btree.h"
+#include "base/rng.h"
+
+namespace ssim::apps {
+
+// Table ids used in hints: hint = (table << 56) | key (Sec. III-C).
+enum TpccTable : uint64_t
+{
+    kWarehouse = 1,
+    kDistrict,
+    kCustomer,
+    kItem,
+    kStock,
+    kOrder,
+    kOrderLine,
+};
+
+inline uint64_t
+tpccHint(uint64_t table, uint64_t key)
+{
+    return (table << 56) | key;
+}
+
+struct alignas(64) WarehouseRow
+{
+    uint64_t ytd = 0;
+    uint64_t tax = 0;
+};
+
+struct alignas(64) DistrictRow
+{
+    uint64_t nextOId = 0;
+    uint64_t ytd = 0;
+    uint64_t tax = 0;
+};
+
+struct alignas(64) CustomerRow
+{
+    int64_t balance = 0;
+    uint64_t ytdPayment = 0;
+    uint64_t paymentCnt = 0;
+};
+
+struct alignas(64) StockRow
+{
+    uint64_t qty = 0;
+    uint64_t ytd = 0;
+    uint64_t orderCnt = 0;
+};
+
+struct alignas(64) OrderRow
+{
+    uint64_t customer = 0;
+    uint64_t olCnt = 0;
+};
+
+struct alignas(64) OrderLineRow
+{
+    uint64_t item = 0;
+    uint64_t qty = 0;
+    uint64_t amount = 0;
+};
+
+/** Per-transaction scratch state communicated between a txn's tasks. */
+struct alignas(64) TxnCtxRow
+{
+    uint64_t oId = 0;
+    uint64_t price[5] = {};
+};
+
+constexpr uint32_t kMaxItemsPerTxn = 5;
+
+/** Transaction descriptor (read by the txn's root task). */
+struct alignas(64) TxnDesc
+{
+    uint64_t w0 = 0; ///< type(1) | warehouse(8) | district(8) | customer(16)
+    uint64_t w1 = 0; ///< nitems(4) | amount(32)
+    uint64_t items[kMaxItemsPerTxn] = {}; ///< item(32) | qty(8)
+
+    static uint64_t
+    packW0(bool payment, uint32_t w, uint32_t d, uint32_t c)
+    {
+        return uint64_t(payment) | (uint64_t(w) << 1) | (uint64_t(d) << 9) |
+               (uint64_t(c) << 17);
+    }
+    static bool isPayment(uint64_t w) { return w & 1; }
+    static uint32_t whOf(uint64_t w) { return uint32_t((w >> 1) & 0xff); }
+    static uint32_t distOf(uint64_t w) { return uint32_t((w >> 9) & 0xff); }
+    static uint32_t custOf(uint64_t w)
+    {
+        return uint32_t((w >> 17) & 0xffff);
+    }
+};
+
+struct TpccConfig
+{
+    uint32_t warehouses = 4;
+    uint32_t districtsPerWh = 10;
+    uint32_t customersPerDistrict = 96;
+    uint32_t items = 2000;
+    uint32_t txns = 512;
+    uint32_t maxOrdersPerDistrict = 128; ///< preallocated order slots
+};
+
+class TpccDb
+{
+  public:
+    void init(const TpccConfig& cfg, Rng& rng);
+
+    /** Restore all mutable rows to their initial values. */
+    void reset();
+
+    /** Apply one transaction on the host (the serial executor / oracle).
+     *  Template-free: pass nullptr-like no-op charges via SerialMachine*
+     *  in silo.cc; this untimed version is used to build the oracle. */
+    void applyTxnHost(const TxnDesc& d);
+
+    TpccConfig cfg;
+    // Row storage (timed state).
+    std::vector<WarehouseRow> warehouses;
+    std::vector<DistrictRow> districts;
+    std::vector<CustomerRow> customers;
+    std::vector<uint64_t> itemPrices; ///< read-only, packed
+    std::vector<StockRow> stocks;
+    std::vector<OrderRow> orders;         ///< per (w,d): maxOrders slots
+    std::vector<OrderLineRow> orderLines; ///< per order: kMaxItemsPerTxn
+    std::vector<TxnCtxRow> txnCtx;        ///< one per transaction
+    std::vector<TxnDesc> txns;
+
+    // Indexes.
+    BTree whIdx, distIdx, custIdx, itemIdx, stockIdx;
+
+    // Key helpers.
+    uint64_t distKey(uint32_t w, uint32_t d) const
+    {
+        return uint64_t(w) * cfg.districtsPerWh + d;
+    }
+    uint64_t
+    custKey(uint32_t w, uint32_t d, uint32_t c) const
+    {
+        return (uint64_t(w) * cfg.districtsPerWh + d) *
+                   cfg.customersPerDistrict +
+               c;
+    }
+    uint64_t stockKey(uint32_t w, uint32_t i) const
+    {
+        return uint64_t(w) * cfg.items + i;
+    }
+    uint64_t
+    orderSlot(uint32_t w, uint32_t d, uint64_t o) const
+    {
+        return (uint64_t(w) * cfg.districtsPerWh + d) *
+                   cfg.maxOrdersPerDistrict +
+               o;
+    }
+
+  private:
+    struct InitSnapshot
+    {
+        std::vector<WarehouseRow> wh;
+        std::vector<DistrictRow> dist;
+        std::vector<CustomerRow> cust;
+        std::vector<StockRow> stock;
+    };
+    InitSnapshot init_;
+};
+
+/** Generate a deterministic 50/50 new-order / payment mix. */
+std::vector<TxnDesc> tpccGenTxns(const TpccConfig& cfg, Rng& rng);
+
+} // namespace ssim::apps

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * sssp: Dijkstra-style single-source shortest paths (paper Listings 2/3).
+ *
+ * Coarse-grain (Listing 2): each task visits a vertex and relaxes all of
+ * its neighbors' distances -- neighbor distances are multi-hint
+ * read-write data. Fine-grain (Listing 3): each task sets only its own
+ * vertex's distance and spawns one child per neighbor, making virtually
+ * all read-write data single-hint (Sec. V).
+ *
+ * Hint: cache line of the visited vertex's distance (several vertices
+ * share a line, exploiting spatial locality).
+ */
+#include <cstdlib>
+#include <memory>
+
+#include "apps/app.h"
+#include "apps/factories.h"
+#include "apps/graph.h"
+#include "apps/serial_machine.h"
+#include "base/logging.h"
+
+namespace ssim::apps {
+
+namespace {
+
+class SsspApp : public App
+{
+  public:
+    explicit SsspApp(bool fg) : fg_(fg)
+    {
+        // Ablation (bench/ablation_hint_granularity): hint at vertex-id
+        // instead of cache-line granularity, forgoing the spatial
+        // locality of ~8 vertices per line (Sec. III-C).
+        const char* e = std::getenv("SWARMSIM_SSSP_VERTEX_HINTS");
+        vertexHints_ = e && e[0] == '1';
+    }
+
+    uint64_t
+    hintFor(uint32_t v) const
+    {
+        return vertexHints_ ? uint64_t(v)
+                            : swarm::cacheLine(&dist[v]);
+    }
+
+    std::string name() const override { return "sssp"; }
+    uint32_t numTaskFunctions() const override { return 1; }
+    const char* hintPattern() const override { return "Cache line of vertex"; }
+    bool hasFineGrain() const override { return true; }
+
+    void
+    setup(const AppParams& p) override
+    {
+        Rng rng(p.seed);
+        uint32_t side;
+        switch (p.preset) {
+          case Preset::Tiny: side = 20; break;
+          case Preset::Small: side = 72; break;
+          default: side = 224; break;
+        }
+        g_ = gridRoad(side, side, rng);
+        // Pack (neighbor, weight) into one word: one timed read per edge.
+        edges_.resize(g_.numEdges());
+        for (uint64_t i = 0; i < g_.numEdges(); i++)
+            edges_[i] = (uint64_t(g_.neighbors[i]) << 32) | g_.weights[i];
+        src_ = 0;
+        oracle_ = dijkstraOracle(g_, src_);
+        reset();
+    }
+
+    void
+    reset() override
+    {
+        dist.assign(g_.n, kUnreached);
+        if (!fg_)
+            dist[src_] = 0; // Listing 2's main() seeds the source
+    }
+
+    void
+    enqueueInitial(Machine& m) override
+    {
+        auto fn = fg_ ? ssspTaskFG : ssspTaskCG;
+        m.enqueueInitial(fn, 0, hintFor(src_), this,
+                         uint64_t(src_));
+    }
+
+    bool
+    validate() const override
+    {
+        return dist == oracle_;
+    }
+
+    uint64_t
+    serialCycles(SerialMachine& sm) override
+    {
+        // Tuned serial baseline: binary-heap Dijkstra.
+        reset();
+        dist[src_] = 0;
+        using QE = std::pair<uint64_t, uint32_t>;
+        std::vector<QE> heap; // binary heap in timed memory
+        auto heapRead = [&](size_t i) {
+            sm.compute(1);
+            return QE{sm.read(&heap[i].first), heap[i].second};
+        };
+        auto heapWrite = [&](size_t i, QE v) {
+            sm.compute(1);
+            sm.write(&heap[i].first, v.first);
+            heap[i].second = v.second;
+        };
+        auto push = [&](QE v) {
+            heap.push_back(v);
+            size_t i = heap.size() - 1;
+            while (i > 0) {
+                size_t parent = (i - 1) / 2;
+                QE pv = heapRead(parent);
+                if (pv.first <= v.first)
+                    break;
+                heapWrite(i, pv);
+                i = parent;
+            }
+            heapWrite(i, v);
+        };
+        auto pop = [&] {
+            QE top = heapRead(0);
+            QE last = heapRead(heap.size() - 1);
+            heap.pop_back();
+            if (!heap.empty()) {
+                size_t i = 0;
+                while (true) {
+                    size_t l = 2 * i + 1, r = l + 1, m = i;
+                    QE mv = last;
+                    if (l < heap.size()) {
+                        QE lv = heapRead(l);
+                        if (lv.first < mv.first) {
+                            m = l;
+                            mv = lv;
+                        }
+                    }
+                    if (r < heap.size()) {
+                        QE rv = heapRead(r);
+                        if (rv.first < mv.first) {
+                            m = r;
+                            mv = rv;
+                        }
+                    }
+                    if (m == i)
+                        break;
+                    heapWrite(i, mv);
+                    i = m;
+                }
+                heapWrite(i, last);
+            }
+            return top;
+        };
+
+        push({0, src_});
+        while (!heap.empty()) {
+            auto [d, v] = pop();
+            if (d != sm.read(&dist[v]))
+                continue;
+            uint64_t beg = sm.read(&g_.offsets[v]);
+            uint64_t end = sm.read(&g_.offsets[v + 1]);
+            for (uint64_t i = beg; i < end; i++) {
+                uint64_t e = sm.read(&edges_[i]);
+                uint32_t n = uint32_t(e >> 32);
+                uint64_t nd = d + uint32_t(e);
+                if (nd < sm.read(&dist[n])) {
+                    sm.write(&dist[n], nd);
+                    push({nd, n});
+                }
+            }
+        }
+        ssim_assert(dist == oracle_, "serial sssp is wrong");
+        return sm.cycles();
+    }
+
+    // Shared state the tasks operate on (public for the task functions).
+    Graph g_;
+    std::vector<uint64_t> edges_; ///< (neighbor << 32) | weight
+    std::vector<uint64_t> dist;
+    uint32_t src_ = 0;
+    std::vector<uint64_t> oracle_;
+    bool fg_;
+    bool vertexHints_ = false;
+
+  private:
+    static swarm::TaskCoro ssspTaskCG(swarm::TaskCtx& ctx,
+                                      swarm::Timestamp pathDist,
+                                      const uint64_t* args);
+    static swarm::TaskCoro ssspTaskFG(swarm::TaskCtx& ctx,
+                                      swarm::Timestamp pathDist,
+                                      const uint64_t* args);
+};
+
+// Listing 2: the task relaxes all neighbors' distances.
+swarm::TaskCoro
+SsspApp::ssspTaskCG(swarm::TaskCtx& ctx, swarm::Timestamp pathDist,
+                    const uint64_t* args)
+{
+    auto* a = swarm::argPtr<SsspApp>(args[0]);
+    uint32_t v = uint32_t(args[1]);
+
+    if (pathDist != co_await ctx.read(&a->dist[v]))
+        co_return;
+    uint64_t beg = co_await ctx.read(&a->g_.offsets[v]);
+    uint64_t end = co_await ctx.read(&a->g_.offsets[v + 1]);
+    for (uint64_t i = beg; i < end; i++) {
+        uint64_t e = co_await ctx.read(&a->edges_[i]);
+        uint32_t n = uint32_t(e >> 32);
+        uint64_t projected = pathDist + uint32_t(e);
+        uint64_t dn = co_await ctx.read(&a->dist[n]);
+        if (projected < dn) {
+            co_await ctx.write(&a->dist[n], projected);
+            co_await ctx.enqueue(ssspTaskCG, projected,
+                                 a->hintFor(n), args[0], uint64_t(n));
+        }
+    }
+}
+
+// Listing 3: the task sets only its own vertex's distance.
+swarm::TaskCoro
+SsspApp::ssspTaskFG(swarm::TaskCtx& ctx, swarm::Timestamp pathDist,
+                    const uint64_t* args)
+{
+    auto* a = swarm::argPtr<SsspApp>(args[0]);
+    uint32_t v = uint32_t(args[1]);
+
+    if (co_await ctx.read(&a->dist[v]) == kUnreached) {
+        co_await ctx.write(&a->dist[v], pathDist);
+        uint64_t beg = co_await ctx.read(&a->g_.offsets[v]);
+        uint64_t end = co_await ctx.read(&a->g_.offsets[v + 1]);
+        for (uint64_t i = beg; i < end; i++) {
+            uint64_t e = co_await ctx.read(&a->edges_[i]);
+            uint32_t n = uint32_t(e >> 32);
+            co_await ctx.enqueue(ssspTaskFG, pathDist + uint32_t(e),
+                                 a->hintFor(n), args[0], uint64_t(n));
+        }
+    }
+}
+
+} // namespace
+
+std::unique_ptr<App>
+makeSsspApp(bool fine_grain)
+{
+    return std::make_unique<SsspApp>(fine_grain);
+}
+
+} // namespace ssim::apps

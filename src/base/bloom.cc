@@ -1,0 +1,63 @@
+#include "base/bloom.h"
+
+#include <bit>
+
+#include "base/logging.h"
+
+namespace ssim {
+
+BloomFilter::BloomFilter(uint32_t total_bits, uint32_t ways, uint64_t seed)
+    : ways_(ways), bitsPerWay_(total_bits / ways)
+{
+    ssim_assert(ways >= 1);
+    ssim_assert(std::has_single_bit(bitsPerWay_),
+                "bits per way must be a power of two");
+    uint32_t idx_bits = uint32_t(std::countr_zero(bitsPerWay_));
+    uint64_t s = seed;
+    for (uint32_t w = 0; w < ways_; w++)
+        hashes_.emplace_back(idx_bits, splitmix64(s));
+    bits_.assign((uint64_t(ways_) * bitsPerWay_ + 63) / 64, 0);
+}
+
+void
+BloomFilter::insert(LineAddr line)
+{
+    for (uint32_t w = 0; w < ways_; w++) {
+        uint64_t bit = uint64_t(w) * bitsPerWay_ + indexFor(w, line);
+        bits_[bit >> 6] |= 1ull << (bit & 63);
+    }
+    inserts_++;
+}
+
+bool
+BloomFilter::mayContain(LineAddr line) const
+{
+    if (inserts_ == 0)
+        return false;
+    for (uint32_t w = 0; w < ways_; w++) {
+        uint64_t bit = uint64_t(w) * bitsPerWay_ + indexFor(w, line);
+        if (!(bits_[bit >> 6] & (1ull << (bit & 63))))
+            return false;
+    }
+    return true;
+}
+
+void
+BloomFilter::clear()
+{
+    if (inserts_ == 0)
+        return;
+    std::fill(bits_.begin(), bits_.end(), 0);
+    inserts_ = 0;
+}
+
+double
+BloomFilter::occupancy() const
+{
+    uint64_t set = 0;
+    for (uint64_t word : bits_)
+        set += std::popcount(word);
+    return double(set) / (double(ways_) * bitsPerWay_);
+}
+
+} // namespace ssim

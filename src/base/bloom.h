@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Bloom filters for conflict detection.
+ *
+ * Table II: "2Kbit 8-way Bloom filters, H3 hash functions". Swarm keeps one
+ * read filter and one write filter per speculative task (LogTM-SE style).
+ * "8-way" means the bit array is split into 8 banks, each indexed by an
+ * independent H3 function (a parallel Bloom filter).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/hash.h"
+#include "base/types.h"
+
+namespace ssim {
+
+class BloomFilter
+{
+  public:
+    /**
+     * @param total_bits total bit budget (default 2 Kbit per Table II)
+     * @param ways number of banks / hash functions
+     * @param seed deterministic seed for the H3 masks
+     */
+    explicit BloomFilter(uint32_t total_bits = 2048, uint32_t ways = 8,
+                         uint64_t seed = 0xb100f);
+
+    /** Insert a line address. */
+    void insert(LineAddr line);
+
+    /** Test for (possible) membership: no false negatives. */
+    bool mayContain(LineAddr line) const;
+
+    /** Remove all elements. */
+    void clear();
+
+    /** True if no element was ever inserted since the last clear(). */
+    bool empty() const { return inserts_ == 0; }
+
+    uint64_t numInserts() const { return inserts_; }
+    uint32_t bitsPerWay() const { return bitsPerWay_; }
+    uint32_t ways() const { return ways_; }
+
+    /** Fraction of set bits, a proxy for expected false-positive rate. */
+    double occupancy() const;
+
+  private:
+    uint32_t
+    indexFor(uint32_t way, LineAddr line) const
+    {
+        return uint32_t(hashes_[way].hash(line));
+    }
+
+    uint32_t ways_;
+    uint32_t bitsPerWay_;
+    uint64_t inserts_ = 0;
+    std::vector<H3Hash> hashes_;
+    std::vector<uint64_t> bits_; // ways_ * bitsPerWay_ bits, bank-major
+};
+
+} // namespace ssim

@@ -1,0 +1,42 @@
+#include "base/hash.h"
+
+#include "base/logging.h"
+
+namespace ssim {
+
+H3Hash::H3Hash(uint32_t out_bits, uint64_t seed) : outBits_(out_bits)
+{
+    ssim_assert(out_bits >= 1 && out_bits <= 64);
+    uint64_t s = seed;
+    masks_.resize(out_bits);
+    for (auto& m : masks_) {
+        // Avoid degenerate all-zero masks.
+        do {
+            m = splitmix64(s);
+        } while (m == 0);
+    }
+}
+
+uint16_t
+hintHash16(uint64_t hint)
+{
+    return uint16_t(mix64(hint) & 0xffff);
+}
+
+uint32_t
+hintToTile(uint64_t hint, uint32_t ntiles)
+{
+    ssim_assert(ntiles > 0);
+    return uint32_t(mix64(hint ^ 0x5bd1e995u) % ntiles);
+}
+
+uint32_t
+hintToBucket(uint64_t hint, uint32_t nbuckets)
+{
+    ssim_assert(nbuckets > 0);
+    // Distinct mixing constant from hintToTile so the two maps are
+    // independent, as two separate H3 functions would be in hardware.
+    return uint32_t(mix64(hint ^ 0x9747b28cull) % nbuckets);
+}
+
+} // namespace ssim

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Hash functions used throughout the simulator.
+ *
+ * The Swarm hardware uses H3 universal hash functions [Carter & Wegman,
+ * STOC'77] for its Bloom filters and for the hint-to-tile / hint-to-bucket
+ * maps (paper Sec. III-B, Table II). H3 computes each output bit as the
+ * parity of an AND between the input and a per-bit random mask.
+ */
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "base/types.h"
+
+namespace ssim {
+
+/** SplitMix64: used to derive deterministic mask/seed material. */
+inline uint64_t
+splitmix64(uint64_t& state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/** A strong 64->64 bit mixer (finalizer of MurmurHash3). */
+inline uint64_t
+mix64(uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ull;
+    x ^= x >> 33;
+    return x;
+}
+
+/**
+ * An H3 universal hash from 64-bit keys to @p outBits output bits.
+ * Each output bit i is parity(key & mask[i]).
+ */
+class H3Hash
+{
+  public:
+    /** Build an H3 function with random masks derived from @p seed. */
+    H3Hash(uint32_t out_bits, uint64_t seed);
+
+    /** Hash a 64-bit key down to outBits bits. */
+    uint64_t
+    hash(uint64_t key) const
+    {
+        uint64_t r = 0;
+        for (uint32_t i = 0; i < outBits_; i++)
+            r |= uint64_t(std::popcount(key & masks_[i]) & 1) << i;
+        return r;
+    }
+
+    uint32_t outBits() const { return outBits_; }
+
+  private:
+    uint32_t outBits_;
+    std::vector<uint64_t> masks_;
+};
+
+/** The 16-bit hashed hint carried in task descriptors (Sec. III-B). */
+uint16_t hintHash16(uint64_t hint);
+
+/** Hash a hint to a tile id in [0, ntiles) (Hints scheduler, Sec. III-B). */
+uint32_t hintToTile(uint64_t hint, uint32_t ntiles);
+
+/** Hash a hint to a bucket id in [0, nbuckets) (LBHints, Sec. VI). */
+uint32_t hintToBucket(uint64_t hint, uint32_t nbuckets);
+
+} // namespace ssim

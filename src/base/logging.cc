@@ -1,0 +1,73 @@
+#include "base/logging.h"
+
+namespace ssim {
+
+namespace {
+bool verboseFlag = true;
+
+void
+vmsg(const char* tag, const char* fmt, va_list ap)
+{
+    std::fprintf(stderr, "%s: ", tag);
+    std::vfprintf(stderr, fmt, ap);
+    std::fprintf(stderr, "\n");
+}
+} // namespace
+
+void
+setVerbose(bool v)
+{
+    verboseFlag = v;
+}
+
+bool
+verbose()
+{
+    return verboseFlag;
+}
+
+void
+panicImpl(const char* file, int line, const char* fmt, ...)
+{
+    std::fprintf(stderr, "panic: %s:%d: ", file, line);
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "\n");
+    std::abort();
+}
+
+void
+fatalImpl(const char* file, int line, const char* fmt, ...)
+{
+    std::fprintf(stderr, "fatal: %s:%d: ", file, line);
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "\n");
+    std::exit(1);
+}
+
+void
+warnImpl(const char* fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vmsg("warn", fmt, ap);
+    va_end(ap);
+}
+
+void
+informImpl(const char* fmt, ...)
+{
+    if (!verboseFlag)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    vmsg("info", fmt, ap);
+    va_end(ap);
+}
+
+} // namespace ssim

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * gem5-style logging and termination helpers.
+ *
+ * panic():  something happened that should never happen regardless of what
+ *           the user does — a simulator bug. Aborts (can dump core).
+ * fatal():  the simulation cannot continue due to a user error (bad
+ *           configuration, invalid arguments). Exits with an error code.
+ * warn()/inform(): status messages; never stop the simulator.
+ */
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace ssim {
+
+[[noreturn]] void panicImpl(const char* file, int line, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+[[noreturn]] void fatalImpl(const char* file, int line, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+void warnImpl(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void informImpl(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Enable/disable inform() output (benches silence it). */
+void setVerbose(bool v);
+bool verbose();
+
+} // namespace ssim
+
+#define panic(...) ::ssim::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define fatal(...) ::ssim::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define warn(...) ::ssim::warnImpl(__VA_ARGS__)
+#define inform(...) ::ssim::informImpl(__VA_ARGS__)
+
+/** Invariant check that survives NDEBUG: cheap, used on hot paths wisely. */
+#define ssim_assert(cond, ...)                                             \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::ssim::panicImpl(__FILE__, __LINE__,                          \
+                              "assertion failed: %s", #cond);              \
+        }                                                                  \
+    } while (0)

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every source of randomness in the simulator (Random scheduler, workload
+ * generators, traffic injectors) draws from a seeded Rng so that runs are
+ * exactly reproducible.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "base/hash.h"
+
+namespace ssim {
+
+/** xoroshiro128** with splitmix64 seeding. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x5eed)
+    {
+        uint64_t sm = seed;
+        s0_ = splitmix64(sm);
+        s1_ = splitmix64(sm);
+    }
+
+    uint64_t
+    next()
+    {
+        uint64_t so = s0_, s1 = s1_;
+        uint64_t result = rotl(so * 5, 7) * 9;
+        s1 ^= so;
+        s0_ = rotl(so, 24) ^ s1 ^ (s1 << 16);
+        s1_ = rotl(s1, 37);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). */
+    uint64_t
+    range(uint64_t bound)
+    {
+        return bound ? next() % bound : 0;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return double(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli draw with probability p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t s0_, s1_;
+};
+
+} // namespace ssim

@@ -1,0 +1,93 @@
+#include "base/stats.h"
+
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "base/logging.h"
+
+namespace ssim {
+
+const char*
+cycleBucketName(CycleBucket b)
+{
+    switch (b) {
+      case CycleBucket::Commit: return "commit";
+      case CycleBucket::Abort: return "abort";
+      case CycleBucket::Spill: return "spill";
+      case CycleBucket::Stall: return "stall";
+      case CycleBucket::Empty: return "empty";
+      default: panic("bad cycle bucket");
+    }
+}
+
+const char*
+trafficClassName(TrafficClass c)
+{
+    switch (c) {
+      case TrafficClass::MemAcc: return "mem_accs";
+      case TrafficClass::Abort: return "aborts";
+      case TrafficClass::Task: return "tasks";
+      case TrafficClass::Gvt: return "gvt";
+      default: panic("bad traffic class");
+    }
+}
+
+uint64_t
+SimStats::totalCoreCycles() const
+{
+    return std::accumulate(coreCycles.begin(), coreCycles.end(),
+                           uint64_t(0));
+}
+
+uint64_t
+SimStats::totalFlits() const
+{
+    return std::accumulate(flits.begin(), flits.end(), uint64_t(0));
+}
+
+std::string
+SimStats::summary() const
+{
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "cycles=%llu commit=%llu abort=%llu spill=%llu "
+                  "stall=%llu empty=%llu flits=%llu committed=%llu "
+                  "aborted=%llu",
+                  (unsigned long long)cycles,
+                  (unsigned long long)coreCycles[0],
+                  (unsigned long long)coreCycles[1],
+                  (unsigned long long)coreCycles[2],
+                  (unsigned long long)coreCycles[3],
+                  (unsigned long long)coreCycles[4],
+                  (unsigned long long)totalFlits(),
+                  (unsigned long long)tasksCommitted,
+                  (unsigned long long)tasksAborted);
+    return buf;
+}
+
+double
+gmean(const std::vector<double>& v)
+{
+    ssim_assert(!v.empty());
+    double acc = 0;
+    for (double x : v) {
+        ssim_assert(x > 0);
+        acc += std::log(x);
+    }
+    return std::exp(acc / double(v.size()));
+}
+
+double
+hmean(const std::vector<double>& v)
+{
+    ssim_assert(!v.empty());
+    double acc = 0;
+    for (double x : v) {
+        ssim_assert(x > 0);
+        acc += 1.0 / x;
+    }
+    return double(v.size()) / acc;
+}
+
+} // namespace ssim

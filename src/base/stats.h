@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Simulation statistics: cycle-breakdown and NoC-traffic accounting.
+ *
+ * The paper's evaluation reports two standard breakdowns:
+ *  - Core cycles (Fig. 2b/5a/8a/11): commit / abort / spill / stall / empty.
+ *  - NoC flits injected (Fig. 5b/8b): mem accs / aborts / tasks / GVT.
+ */
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.h"
+
+namespace ssim {
+
+/** Where a core cycle went (Fig. 5a categories). */
+enum class CycleBucket : uint8_t
+{
+    Commit = 0, ///< running tasks that ultimately committed
+    Abort,      ///< running tasks that were later aborted (incl. rollback)
+    Spill,      ///< running spill coalescers / requeuers
+    Stall,      ///< stalled on a full task or commit queue
+    Empty,      ///< stalled for lack of tasks
+    NumBuckets
+};
+
+constexpr size_t kNumCycleBuckets = size_t(CycleBucket::NumBuckets);
+const char* cycleBucketName(CycleBucket b);
+
+/** What a NoC flit was injected for (Fig. 5b categories). */
+enum class TrafficClass : uint8_t
+{
+    MemAcc = 0, ///< L2<->LLC and LLC<->memory transfers
+    Abort,      ///< child-abort messages and rollback memory accesses
+    Task,       ///< task descriptors enqueued to remote tiles
+    Gvt,        ///< virtual-time (commit) protocol updates
+    NumClasses
+};
+
+constexpr size_t kNumTrafficClasses = size_t(TrafficClass::NumClasses);
+const char* trafficClassName(TrafficClass c);
+
+/** Aggregate statistics for one simulation run. */
+struct SimStats
+{
+    Cycle cycles = 0; ///< makespan of the parallel region
+
+    std::array<uint64_t, kNumCycleBuckets> coreCycles{};
+    std::array<uint64_t, kNumTrafficClasses> flits{};
+
+    uint64_t tasksCommitted = 0;
+    uint64_t tasksAborted = 0; ///< abort events (execution attempts wasted)
+    uint64_t abortsConflict = 0;  ///< caused by data conflicts
+    uint64_t abortsDisplace = 0;  ///< commit-queue displacement
+    uint64_t abortsGridlock = 0;  ///< commit gridlock breaker
+    uint64_t tasksSpilled = 0;
+    uint64_t tasksStolen = 0;      ///< Stealing scheduler only
+    uint64_t dispatchSkips = 0;    ///< same-hint serialization skips
+    uint64_t conflictChecks = 0;
+    uint64_t lbReconfigs = 0;      ///< LBHints only
+    uint64_t bucketsMoved = 0;     ///< LBHints only
+
+    uint64_t l1Hits = 0, l1Misses = 0;
+    uint64_t l2Hits = 0, l2Misses = 0;
+    uint64_t l3Hits = 0, l3Misses = 0;
+
+    uint64_t totalCoreCycles() const;
+    uint64_t totalFlits() const;
+
+    /** One-line human-readable summary. */
+    std::string summary() const;
+};
+
+/** Geometric mean of a vector of positive values. */
+double gmean(const std::vector<double>& v);
+
+/** Harmonic mean of a vector of positive values. */
+double hmean(const std::vector<double>& v);
+
+} // namespace ssim

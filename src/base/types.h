@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fundamental types shared across the simulator.
+ */
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <limits>
+
+namespace ssim {
+
+/** Simulated time, in core clock cycles. */
+using Cycle = uint64_t;
+
+/** Application-level task timestamp (Swarm program order). */
+using Timestamp = uint64_t;
+
+/** A simulated memory address (we reuse host addresses). */
+using Addr = uint64_t;
+
+/** A 64-byte cache-line address (Addr >> 6). */
+using LineAddr = uint64_t;
+
+/** Tile / core identifiers. */
+using TileId = uint32_t;
+using CoreId = uint32_t;
+
+constexpr uint32_t lineBits = 6;
+constexpr uint32_t lineBytes = 1u << lineBits;
+
+/** Convert a byte address to its cache-line address. */
+inline LineAddr
+lineOf(Addr a)
+{
+    return a >> lineBits;
+}
+
+/** Convert a pointer to a simulated address. */
+inline Addr
+addrOf(const void* p)
+{
+    return reinterpret_cast<Addr>(p);
+}
+
+constexpr Cycle kCycleMax = std::numeric_limits<Cycle>::max();
+constexpr Timestamp kTsMax = std::numeric_limits<Timestamp>::max();
+
+} // namespace ssim

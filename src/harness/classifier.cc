@@ -1,0 +1,53 @@
+#include "harness/classifier.h"
+
+#include "base/hash.h"
+
+namespace ssim::harness {
+
+void
+AccessClassifier::onCommit(const Task& t)
+{
+    // Register and memory arguments count as argument accesses (the
+    // paper's Fig. 3 analysis considers both equally).
+    argAccesses_ += t.nargs;
+
+    // NOHINT tasks have no hint; give each a unique pseudo-hint so their
+    // data is single-hint only if nothing else touches it.
+    uint64_t hint = t.hasHint() ? t.hint : (mix64(t.uid) | (1ull << 63));
+    for (uint64_t enc : t.trace) {
+        Loc& loc = locs_[enc >> 1];
+        if (enc & 1)
+            loc.writes++;
+        else
+            loc.reads++;
+        loc.byHint[hint]++;
+    }
+}
+
+AccessClassifier::Result
+AccessClassifier::classify() const
+{
+    Result r;
+    uint64_t cat[4] = {}; // [single][ro]
+    for (const auto& [addr, loc] : locs_) {
+        uint64_t total = loc.reads + loc.writes;
+        bool ro = loc.writes == 0 || loc.reads >= roRatio_ * loc.writes;
+        uint64_t maxHint = 0;
+        for (const auto& [h, n] : loc.byHint)
+            maxHint = std::max(maxHint, n);
+        bool single = double(maxHint) > singleFrac_ * double(total);
+        cat[(single ? 2u : 0u) + (ro ? 1u : 0u)] += total;
+    }
+    uint64_t all = argAccesses_ + cat[0] + cat[1] + cat[2] + cat[3];
+    r.totalAccesses = all;
+    if (all == 0)
+        return r;
+    r.arguments = double(argAccesses_) / double(all);
+    r.multiHintRW = double(cat[0]) / double(all);
+    r.multiHintRO = double(cat[1]) / double(all);
+    r.singleHintRW = double(cat[2]) / double(all);
+    r.singleHintRO = double(cat[3]) / double(all);
+    return r;
+}
+
+} // namespace ssim::harness

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Architecture-independent memory-access classifier (paper Sec. IV-B,
+ * Figs. 3 and 6).
+ *
+ * Profiles all memory accesses made by committing tasks and classifies
+ * each word-granularity location on two axes:
+ *   read-only:   >= `ro_ratio` reads per write over its profiled life
+ *                (data never written by tasks, e.g. initialized once, is
+ *                read-only);
+ *   single-hint: > `single_frac` of its accesses come from tasks of a
+ *                single hint.
+ * Accesses to task arguments are a separate category.
+ */
+#pragma once
+
+#include <unordered_map>
+
+#include "swarm/machine.h"
+
+namespace ssim::harness {
+
+class AccessClassifier : public AccessProfiler
+{
+  public:
+    explicit AccessClassifier(uint64_t ro_ratio = 100,
+                              double single_frac = 0.9)
+        : roRatio_(ro_ratio), singleFrac_(single_frac)
+    {
+    }
+
+    void onCommit(const Task& t) override;
+
+    struct Result
+    {
+        // Fractions of all accesses; sums to 1.
+        double arguments = 0;
+        double multiHintRO = 0;
+        double singleHintRO = 0;
+        double multiHintRW = 0;
+        double singleHintRW = 0;
+        uint64_t totalAccesses = 0;
+    };
+    Result classify() const;
+
+  private:
+    struct Loc
+    {
+        uint64_t reads = 0;
+        uint64_t writes = 0;
+        std::unordered_map<uint64_t, uint64_t> byHint;
+    };
+
+    uint64_t roRatio_;
+    double singleFrac_;
+    uint64_t argAccesses_ = 0;
+    std::unordered_map<uint64_t, Loc> locs_; // by word address
+};
+
+} // namespace ssim::harness

@@ -1,0 +1,118 @@
+#include "harness/report.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "base/logging.h"
+
+namespace ssim::harness {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    ssim_assert(cells.size() == headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print() const
+{
+    std::vector<size_t> w(headers_.size());
+    for (size_t i = 0; i < headers_.size(); i++)
+        w[i] = headers_[i].size();
+    for (const auto& row : rows_)
+        for (size_t i = 0; i < row.size(); i++)
+            w[i] = std::max(w[i], row[i].size());
+
+    auto printRow = [&](const std::vector<std::string>& row) {
+        for (size_t i = 0; i < row.size(); i++)
+            std::printf("%-*s%s", int(w[i]), row[i].c_str(),
+                        i + 1 < row.size() ? "  " : "");
+        std::printf("\n");
+    };
+    printRow(headers_);
+    size_t total = 0;
+    for (size_t i = 0; i < w.size(); i++)
+        total += w[i] + 2;
+    std::printf("%s\n", std::string(total, '-').c_str());
+    for (const auto& row : rows_)
+        printRow(row);
+}
+
+void
+Table::writeCsv(const std::string& name) const
+{
+    const char* csv = std::getenv("SWARMSIM_CSV");
+    if (!csv || csv[0] != '1')
+        return;
+    std::ofstream f("results/" + name + ".csv");
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (size_t i = 0; i < row.size(); i++)
+            f << row[i] << (i + 1 < row.size() ? "," : "\n");
+    };
+    emit(headers_);
+    for (const auto& row : rows_)
+        emit(row);
+}
+
+std::string
+fmt(double v, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+}
+
+std::string
+fmtInt(uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu", (unsigned long long)v);
+    return buf;
+}
+
+std::vector<double>
+speedups(const std::vector<RunResult>& series, uint64_t base_cycles)
+{
+    std::vector<double> out;
+    for (const auto& r : series)
+        out.push_back(double(base_cycles) / double(r.stats.cycles));
+    return out;
+}
+
+std::vector<std::string>
+cycleBreakdownRow(const SimStats& s, double norm_total)
+{
+    std::vector<std::string> row;
+    for (size_t b = 0; b < kNumCycleBuckets; b++)
+        row.push_back(fmt(double(s.coreCycles[b]) / norm_total, 3));
+    row.push_back(fmt(double(s.totalCoreCycles()) / norm_total, 3));
+    return row;
+}
+
+std::vector<std::string>
+trafficBreakdownRow(const SimStats& s, double norm_total)
+{
+    std::vector<std::string> row;
+    for (size_t c = 0; c < kNumTrafficClasses; c++)
+        row.push_back(fmt(double(s.flits[c]) / norm_total, 3));
+    row.push_back(fmt(double(s.totalFlits()) / norm_total, 3));
+    return row;
+}
+
+void
+banner(const std::string& title, const std::string& subtitle)
+{
+    std::printf("\n================================================================\n");
+    std::printf("%s\n", title.c_str());
+    if (!subtitle.empty())
+        std::printf("%s\n", subtitle.c_str());
+    std::printf("================================================================\n");
+}
+
+} // namespace ssim::harness

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Text/CSV reporting for the bench harness: fixed-width tables, speedup
+ * series, and the paper's two standard breakdowns (core cycles and NoC
+ * flits), each normalized the way the corresponding figure normalizes.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "base/stats.h"
+#include "harness/runner.h"
+
+namespace ssim::harness {
+
+/** Simple fixed-width text table with an optional CSV mirror. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+    /** Print to stdout with aligned columns. */
+    void print() const;
+    /** Write results/<name>.csv when SWARMSIM_CSV=1. */
+    void writeCsv(const std::string& name) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+std::string fmt(double v, int prec = 2);
+std::string fmtInt(uint64_t v);
+
+/** "1.00x / 3.42x / ..." speedups relative to the base run's cycles. */
+std::vector<double> speedups(const std::vector<RunResult>& series,
+                             uint64_t base_cycles);
+
+/** Cycle-breakdown row normalized to a reference total (Fig. 5a style). */
+std::vector<std::string> cycleBreakdownRow(const SimStats& s,
+                                           double norm_total);
+
+/** Traffic-breakdown row normalized to a reference total (Fig. 5b). */
+std::vector<std::string> trafficBreakdownRow(const SimStats& s,
+                                             double norm_total);
+
+/** Section banner for bench output. */
+void banner(const std::string& title, const std::string& subtitle = "");
+
+} // namespace ssim::harness

@@ -1,0 +1,54 @@
+#include "harness/runner.h"
+
+#include <cstdlib>
+
+#include "base/logging.h"
+
+namespace ssim::harness {
+
+RunResult
+runOnce(apps::App& app, const SimConfig& cfg)
+{
+    app.reset();
+    Machine m(cfg);
+    app.enqueueInitial(m);
+    m.run();
+    RunResult r;
+    r.cores = cfg.totalCores();
+    r.sched = cfg.sched;
+    r.valid = app.validate();
+    r.stats = m.stats();
+    if (!r.valid)
+        warn("%s failed validation under %s @ %u cores",
+             app.name().c_str(), schedulerName(cfg.sched), r.cores);
+    return r;
+}
+
+std::vector<RunResult>
+sweep(apps::App& app, SchedulerType sched,
+      const std::vector<uint32_t>& cores, uint64_t seed)
+{
+    std::vector<RunResult> out;
+    for (uint32_t c : cores) {
+        SimConfig cfg = SimConfig::withCores(c, sched, seed);
+        out.push_back(runOnce(app, cfg));
+    }
+    return out;
+}
+
+std::vector<uint32_t>
+coreSweep()
+{
+    const char* full = std::getenv("SWARMSIM_FULL");
+    if (full && full[0] == '1')
+        return {1, 4, 16, 64, 144, 256};
+    return {1, 4, 16, 64};
+}
+
+uint32_t
+maxCores()
+{
+    return coreSweep().back();
+}
+
+} // namespace ssim::harness

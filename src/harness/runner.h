@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Experiment harness: runs (app, scheduler, core count) configurations
+ * and collects stats, mirroring the paper's methodology (Sec. IV-A):
+ * systems of K x K tiles, per-core queue/cache resources held constant.
+ */
+#pragma once
+
+#include <vector>
+
+#include "apps/app.h"
+#include "base/stats.h"
+#include "sim/config.h"
+
+namespace ssim::harness {
+
+struct RunResult
+{
+    uint32_t cores = 0;
+    SchedulerType sched = SchedulerType::Random;
+    bool fineGrain = false;
+    bool valid = false;
+    SimStats stats;
+};
+
+/** Reset the app, run it once on a fresh machine, validate. */
+RunResult runOnce(apps::App& app, const SimConfig& cfg);
+
+/** Run one scheduler across a core-count sweep. */
+std::vector<RunResult> sweep(apps::App& app, SchedulerType sched,
+                             const std::vector<uint32_t>& cores,
+                             uint64_t seed = 1);
+
+/** Core counts evaluated: {1,4,16,64}, plus {144,256} if SWARMSIM_FULL. */
+std::vector<uint32_t> coreSweep();
+
+/** The largest core count in coreSweep() (the "256-core" point). */
+uint32_t maxCores();
+
+} // namespace ssim::harness

@@ -1,0 +1,85 @@
+#include "mem/cache_array.h"
+
+#include <bit>
+
+#include "base/logging.h"
+
+namespace ssim {
+
+CacheArray::CacheArray(uint64_t size_bytes, uint32_t ways) : ways_(ways)
+{
+    ssim_assert(ways >= 1);
+    uint64_t lines = size_bytes / lineBytes;
+    ssim_assert(lines >= ways, "cache smaller than one set");
+    sets_ = uint32_t(lines / ways);
+    ssim_assert(std::has_single_bit(sets_), "sets must be a power of two");
+    arr_.resize(uint64_t(sets_) * ways_);
+}
+
+uint8_t*
+CacheArray::lookup(LineAddr line)
+{
+    Way* set = &arr_[uint64_t(setOf(line)) * ways_];
+    for (uint32_t w = 0; w < ways_; w++) {
+        if (set[w].valid && set[w].line == line) {
+            set[w].lruStamp = ++stamp_;
+            return &set[w].state;
+        }
+    }
+    return nullptr;
+}
+
+const uint8_t*
+CacheArray::probe(LineAddr line) const
+{
+    const Way* set = &arr_[uint64_t(setOf(line)) * ways_];
+    for (uint32_t w = 0; w < ways_; w++)
+        if (set[w].valid && set[w].line == line)
+            return &set[w].state;
+    return nullptr;
+}
+
+std::optional<CacheArray::Victim>
+CacheArray::insert(LineAddr line, uint8_t state)
+{
+    Way* set = &arr_[uint64_t(setOf(line)) * ways_];
+    Way* victim = nullptr;
+    for (uint32_t w = 0; w < ways_; w++) {
+        Way& way = set[w];
+        ssim_assert(!(way.valid && way.line == line),
+                    "inserting line already present");
+        if (!way.valid) {
+            victim = &way;
+            break;
+        }
+        if (!victim || way.lruStamp < victim->lruStamp)
+            victim = &way;
+    }
+
+    std::optional<Victim> evicted;
+    if (victim->valid) {
+        evicted = Victim{victim->line, victim->state};
+        evictions_++;
+    }
+    victim->valid = true;
+    victim->line = line;
+    victim->state = state;
+    victim->lruStamp = ++stamp_;
+    insertions_++;
+    return evicted;
+}
+
+std::optional<uint8_t>
+CacheArray::invalidate(LineAddr line)
+{
+    Way* set = &arr_[uint64_t(setOf(line)) * ways_];
+    for (uint32_t w = 0; w < ways_; w++) {
+        if (set[w].valid && set[w].line == line) {
+            set[w].valid = false;
+            return set[w].state;
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace ssim

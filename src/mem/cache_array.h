@@ -1,0 +1,80 @@
+/**
+ * @file
+ * A set-associative tag array with LRU replacement.
+ *
+ * Used for the per-core L1s, per-tile L2s, and per-tile L3 banks. The
+ * array tracks tags only (data lives in host memory); an optional 8-bit
+ * state byte per line carries coherence state for its owner level.
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "base/types.h"
+
+namespace ssim {
+
+class CacheArray
+{
+  public:
+    /**
+     * @param size_bytes total capacity in bytes
+     * @param ways associativity
+     */
+    CacheArray(uint64_t size_bytes, uint32_t ways);
+
+    /**
+     * Look up a line; on hit, updates LRU and returns a pointer to its
+     * state byte (valid until the next insert/invalidate).
+     */
+    uint8_t* lookup(LineAddr line);
+
+    /** Look up without touching LRU state (for probes). */
+    const uint8_t* probe(LineAddr line) const;
+
+    /**
+     * Insert a line (must not be present). Returns the evicted victim
+     * line and its state, if any.
+     */
+    struct Victim
+    {
+        LineAddr line;
+        uint8_t state;
+    };
+    std::optional<Victim> insert(LineAddr line, uint8_t state = 0);
+
+    /** Remove a line if present; returns its state byte. */
+    std::optional<uint8_t> invalidate(LineAddr line);
+
+    uint32_t numSets() const { return sets_; }
+    uint32_t numWays() const { return ways_; }
+    uint64_t numLines() const { return uint64_t(sets_) * ways_; }
+    uint64_t insertions() const { return insertions_; }
+    uint64_t evictions() const { return evictions_; }
+
+  private:
+    struct Way
+    {
+        LineAddr line = 0;
+        uint64_t lruStamp = 0;
+        uint8_t state = 0;
+        bool valid = false;
+    };
+
+    uint32_t
+    setOf(LineAddr line) const
+    {
+        return uint32_t(line & (sets_ - 1));
+    }
+
+    uint32_t sets_;
+    uint32_t ways_;
+    uint64_t stamp_ = 0;
+    uint64_t insertions_ = 0;
+    uint64_t evictions_ = 0;
+    std::vector<Way> arr_; // sets_ * ways_, set-major
+};
+
+} // namespace ssim

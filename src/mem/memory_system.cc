@@ -1,0 +1,252 @@
+#include "mem/memory_system.h"
+
+#include <bit>
+
+#include "base/hash.h"
+#include "base/logging.h"
+
+namespace ssim {
+
+MemorySystem::MemorySystem(const SimConfig& cfg, Mesh& mesh, SimStats& stats)
+    : cfg_(cfg), mesh_(mesh), stats_(stats),
+      coresPerTile_(cfg.coresPerTile), ntiles_(cfg.ntiles)
+{
+    ssim_assert(ntiles_ <= 64, "sharer mask is 64 bits wide");
+    for (uint32_t c = 0; c < cfg.totalCores(); c++)
+        l1s_.emplace_back(uint64_t(cfg.l1SizeKB) * 1024, cfg.l1Ways);
+    for (uint32_t t = 0; t < ntiles_; t++) {
+        l2s_.emplace_back(uint64_t(cfg.l2SizeKB) * 1024, cfg.l2Ways);
+        l3_.emplace_back(uint64_t(cfg.l3SliceKB) * 1024, cfg.l3Ways);
+    }
+}
+
+TileId
+MemorySystem::homeOf(LineAddr line) const
+{
+    return TileId(mix64(line) % ntiles_);
+}
+
+uint64_t
+MemorySystem::sharerMask(LineAddr line) const
+{
+    auto it = dir_.find(line);
+    return it == dir_.end() ? 0 : it->second.sharers;
+}
+
+bool
+MemorySystem::inL1(CoreId core, LineAddr line) const
+{
+    return l1s_[core].probe(line) != nullptr;
+}
+
+bool
+MemorySystem::inL2(TileId tile, LineAddr line) const
+{
+    return l2s_[tile].probe(line) != nullptr;
+}
+
+bool
+MemorySystem::inL3(LineAddr line) const
+{
+    return l3_[homeOf(line)].probe(line) != nullptr;
+}
+
+void
+MemorySystem::backInvalidateL1s(TileId tile, LineAddr line)
+{
+    uint32_t base = tile * coresPerTile_;
+    uint32_t end = std::min<uint32_t>(base + coresPerTile_,
+                                      uint32_t(l1s_.size()));
+    for (uint32_t c = base; c < end; c++)
+        l1s_[c].invalidate(line);
+}
+
+void
+MemorySystem::handleL2Victim(TileId tile, LineAddr line, uint8_t state,
+                             TrafficClass cls)
+{
+    backInvalidateL1s(tile, line);
+    TileId h = homeOf(line);
+    auto it = dir_.find(line);
+    // The line must be in the (inclusive) L3 and tracked by the directory;
+    // tolerate a missing entry defensively (it only costs traffic).
+    if (state == kModified) {
+        // Write back the dirty data into the L3.
+        mesh_.inject(tile, h, cfg_.dataFlits, cls);
+        if (it != dir_.end()) {
+            it->second.owner = -1;
+            it->second.sharers &= ~(1ull << tile);
+            it->second.dirty = true;
+        }
+    } else {
+        // Clean eviction: 1-flit notification keeps the directory exact.
+        mesh_.inject(tile, h, cfg_.ctrlFlits, cls);
+        if (it != dir_.end())
+            it->second.sharers &= ~(1ull << tile);
+    }
+}
+
+void
+MemorySystem::handleL3Victim(LineAddr line, uint8_t, TrafficClass cls)
+{
+    TileId h = homeOf(line);
+    auto it = dir_.find(line);
+    if (it != dir_.end()) {
+        DirEntry& e = it->second;
+        uint64_t mask = e.sharers;
+        bool dirty = e.dirty;
+        while (mask) {
+            uint32_t t = std::countr_zero(mask);
+            mask &= mask - 1;
+            // Back-invalidation message; a Modified owner writes back.
+            mesh_.inject(h, t, cfg_.ctrlFlits, cls);
+            if (auto st = l2s_[t].invalidate(line)) {
+                if (*st == kModified) {
+                    mesh_.inject(t, h, cfg_.dataFlits, cls);
+                    dirty = true;
+                }
+            }
+            backInvalidateL1s(t, line);
+        }
+        if (dirty) // write back to the memory controller
+            mesh_.injectRaw(cfg_.dataFlits, cls);
+        dir_.erase(it);
+    }
+}
+
+uint32_t
+MemorySystem::directoryVisit(TileId tile, LineAddr line, bool is_write,
+                             bool need_data, TrafficClass cls)
+{
+    TileId h = homeOf(line);
+    uint32_t lat = mesh_.latency(tile, h) + cfg_.l3Latency;
+    mesh_.inject(tile, h, cfg_.ctrlFlits, cls); // request
+
+    bool l3hit = l3_[h].lookup(line) != nullptr;
+    if (l3hit)
+        stats_.l3Hits++;
+    else
+        stats_.l3Misses++;
+
+    if (!l3hit) {
+        // Fetch from main memory through an edge controller.
+        lat += 2 * mesh_.memCtrlLatency(h, line) + cfg_.memLatency;
+        mesh_.injectRaw(cfg_.ctrlFlits + cfg_.dataFlits, cls);
+        if (auto victim = l3_[h].insert(line))
+            handleL3Victim(victim->line, victim->state, cls);
+        dir_[line] = DirEntry{};
+    }
+
+    DirEntry& e = dir_[line];
+
+    if (is_write) {
+        // Invalidate all other sharers; fetch from a Modified owner.
+        uint32_t remoteLat = 0;
+        uint64_t mask = e.sharers & ~(1ull << tile);
+        bool fetchedFromOwner = false;
+        while (mask) {
+            uint32_t s = std::countr_zero(mask);
+            mask &= mask - 1;
+            mesh_.inject(h, s, cfg_.ctrlFlits, cls); // invalidation
+            bool isOwner = (e.owner == int16_t(s));
+            if (isOwner && need_data) {
+                // Owner forwards the dirty line directly to the requester.
+                mesh_.inject(s, tile, cfg_.dataFlits, cls);
+                fetchedFromOwner = true;
+            } else {
+                mesh_.inject(s, tile, cfg_.ctrlFlits, cls); // ack
+            }
+            remoteLat = std::max(remoteLat, mesh_.latency(h, s) +
+                                     (isOwner ? cfg_.l2Latency : 0) +
+                                     mesh_.latency(s, tile));
+            l2s_[s].invalidate(line);
+            backInvalidateL1s(s, line);
+        }
+        lat += remoteLat;
+        if (need_data && !fetchedFromOwner) {
+            mesh_.inject(h, tile, cfg_.dataFlits, cls);
+            lat = std::max(lat, mesh_.latency(tile, h) + cfg_.l3Latency +
+                                    mesh_.latency(h, tile));
+        }
+        e.sharers = 1ull << tile;
+        e.owner = int16_t(tile);
+        e.dirty = true;
+    } else {
+        ssim_assert(need_data);
+        if (e.owner >= 0 && e.owner != int16_t(tile)) {
+            // Downgrade the Modified owner; it forwards data to the
+            // requester and writes back to the L3 bank.
+            TileId o = TileId(e.owner);
+            mesh_.inject(h, o, cfg_.ctrlFlits, cls);
+            mesh_.inject(o, tile, cfg_.dataFlits, cls);
+            mesh_.inject(o, h, cfg_.dataFlits, cls);
+            lat += mesh_.latency(h, o) + cfg_.l2Latency +
+                   mesh_.latency(o, tile);
+            if (auto st = l2s_[o].lookup(line))
+                *st = kShared;
+            e.owner = -1;
+            e.dirty = true;
+        } else {
+            mesh_.inject(h, tile, cfg_.dataFlits, cls);
+            lat += mesh_.latency(h, tile);
+        }
+        e.sharers |= 1ull << tile;
+        if (e.owner == int16_t(tile))
+            e.owner = -1; // read downgrade of our own M line cannot happen
+    }
+    return lat;
+}
+
+MemorySystem::AccessResult
+MemorySystem::access(CoreId core, Addr addr, bool is_write, TrafficClass cls)
+{
+    LineAddr line = lineOf(addr);
+    TileId tile = tileOf(core);
+    uint32_t lat = cfg_.l1Latency;
+
+    bool l1hit = l1s_[core].lookup(line) != nullptr;
+    uint8_t* l2state = l2s_[tile].lookup(line);
+
+    if (l1hit) {
+        ssim_assert(l2state, "L2 must include L1 contents");
+        if (!is_write || *l2state == kModified) {
+            stats_.l1Hits++;
+            return {lat, false};
+        }
+        // Write to a Shared line: upgrade through the directory.
+        stats_.l1Hits++;
+        lat += cfg_.l2Latency;
+        lat += directoryVisit(tile, line, true, /*need_data=*/false, cls);
+        *l2state = kModified;
+        return {lat, true};
+    }
+
+    stats_.l1Misses++;
+    lat += cfg_.l2Latency;
+
+    if (l2state) {
+        stats_.l2Hits++;
+        if (!is_write || *l2state == kModified) {
+            if (auto v = l1s_[core].insert(line))
+                (void)v; // L1 evictions are silent (clean)
+            return {lat, false};
+        }
+        lat += directoryVisit(tile, line, true, /*need_data=*/false, cls);
+        *l2state = kModified;
+        if (auto v = l1s_[core].insert(line))
+            (void)v;
+        return {lat, true};
+    }
+
+    stats_.l2Misses++;
+    lat += directoryVisit(tile, line, is_write, /*need_data=*/true, cls);
+
+    if (auto victim = l2s_[tile].insert(line,
+                                        is_write ? kModified : kShared))
+        handleL2Victim(tile, victim->line, victim->state, cls);
+    if (auto v = l1s_[core].insert(line))
+        (void)v;
+    return {lat, true};
+}
+
+} // namespace ssim

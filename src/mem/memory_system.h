@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The chip's cache hierarchy: per-core L1Ds, per-tile inclusive L2s, a
+ * shared static-NUCA L3 (one bank per tile), and a MESI-style in-cache
+ * directory at the L3, all with Table II latencies.
+ *
+ * The model is functional-latency: each access synchronously computes its
+ * latency and injects the NoC traffic it would generate. Sharer state is
+ * tracked at tile (L2) granularity in a 64-bit mask, which matches the
+ * 64-tile chip of Fig. 1.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "base/stats.h"
+#include "base/types.h"
+#include "mem/cache_array.h"
+#include "noc/mesh.h"
+#include "sim/config.h"
+
+namespace ssim {
+
+class MemorySystem
+{
+  public:
+    MemorySystem(const SimConfig& cfg, Mesh& mesh, SimStats& stats);
+
+    struct AccessResult
+    {
+        uint32_t latency;  ///< cycles until the core can proceed
+        bool leftTile;     ///< access required a directory/L3 visit
+    };
+
+    /**
+     * Perform a timed access by @p core to the line containing @p addr.
+     * Injects any coherence traffic under class @p cls.
+     */
+    AccessResult access(CoreId core, Addr addr, bool is_write,
+                        TrafficClass cls = TrafficClass::MemAcc);
+
+    /** Home L3 bank of a line (static NUCA interleaving). */
+    TileId homeOf(LineAddr line) const;
+
+    /** Which tiles currently cache a line (for tests). */
+    uint64_t sharerMask(LineAddr line) const;
+
+    /** True if the line is present in this core's L1 (for tests). */
+    bool inL1(CoreId core, LineAddr line) const;
+    /** True if the line is present in this tile's L2 (for tests). */
+    bool inL2(TileId tile, LineAddr line) const;
+    /** True if the line is present in the L3 (for tests). */
+    bool inL3(LineAddr line) const;
+
+  private:
+    // L2 line states (MESI collapsed to what the timing model needs:
+    // Modified implies exclusive; everything else is Shared).
+    static constexpr uint8_t kShared = 0;
+    static constexpr uint8_t kModified = 1;
+
+    struct DirEntry
+    {
+        uint64_t sharers = 0; ///< tile bitmask
+        int16_t owner = -1;   ///< tile with Modified copy, or -1
+        bool dirty = false;   ///< L3 copy newer than memory
+    };
+
+    TileId tileOf(CoreId core) const { return core / coresPerTile_; }
+
+    /** Drop a line from every L1 of @p tile (inclusion maintenance). */
+    void backInvalidateL1s(TileId tile, LineAddr line);
+
+    /** Evict handling for an L2 victim (writeback or sharer notification). */
+    void handleL2Victim(TileId tile, LineAddr line, uint8_t state,
+                        TrafficClass cls);
+
+    /** Evict a line from the L3: back-invalidate all caching tiles. */
+    void handleL3Victim(LineAddr line, uint8_t, TrafficClass cls);
+
+    /**
+     * Service a miss/upgrade at the directory. Returns added latency.
+     * @p needData false means this is a Shared->Modified upgrade.
+     */
+    uint32_t directoryVisit(TileId tile, LineAddr line, bool is_write,
+                            bool need_data, TrafficClass cls);
+
+    const SimConfig& cfg_;
+    Mesh& mesh_;
+    SimStats& stats_;
+    uint32_t coresPerTile_;
+    uint32_t ntiles_;
+
+    std::vector<CacheArray> l1s_; ///< one per core
+    std::vector<CacheArray> l2s_; ///< one per tile
+    std::vector<CacheArray> l3_;  ///< one bank per tile
+    std::unordered_map<LineAddr, DirEntry> dir_;
+};
+
+} // namespace ssim

@@ -1,0 +1,55 @@
+#include "noc/mesh.h"
+
+#include <cstdlib>
+
+#include "base/hash.h"
+#include "base/logging.h"
+
+namespace ssim {
+
+Mesh::Mesh(const SimConfig& cfg)
+    : ntiles_(cfg.ntiles), dim_(cfg.meshDim()), hopLat_(cfg.hopLatency),
+      turnPenalty_(cfg.turnPenalty), memLat_(cfg.memLatency)
+{
+    // Four controllers at the midpoints of the chip edges (Fig. 1).
+    uint32_t mid = dim_ / 2;
+    uint32_t edge = dim_ ? dim_ - 1 : 0;
+    ctrlPos_ = {{{mid, 0}, {mid, edge}, {0, mid}, {edge, mid}}};
+}
+
+uint32_t
+Mesh::hops(TileId a, TileId b) const
+{
+    ssim_assert(a < ntiles_ && b < ntiles_);
+    uint32_t dx = std::abs(int(xOf(a)) - int(xOf(b)));
+    uint32_t dy = std::abs(int(yOf(a)) - int(yOf(b)));
+    return dx + dy;
+}
+
+uint32_t
+Mesh::latency(TileId a, TileId b) const
+{
+    if (a == b)
+        return 0;
+    uint32_t dx = std::abs(int(xOf(a)) - int(xOf(b)));
+    uint32_t dy = std::abs(int(yOf(a)) - int(yOf(b)));
+    uint32_t lat = (dx + dy) * hopLat_;
+    if (dx > 0 && dy > 0)
+        lat += turnPenalty_; // X-Y routing makes at most one turn
+    return lat;
+}
+
+uint32_t
+Mesh::memCtrlLatency(TileId t, LineAddr line) const
+{
+    // Lines are interleaved across the four controllers.
+    auto [cx, cy] = ctrlPos_[mix64(line) & 3];
+    uint32_t dx = std::abs(int(xOf(t)) - int(cx));
+    uint32_t dy = std::abs(int(yOf(t)) - int(cy));
+    uint32_t lat = (dx + dy) * hopLat_;
+    if (dx > 0 && dy > 0)
+        lat += turnPenalty_;
+    return lat;
+}
+
+} // namespace ssim

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Analytic model of the on-chip mesh network (Table II).
+ *
+ * K x K tile mesh, X-Y dimension-order routing, 128-bit links. Going
+ * straight costs 1 cycle per hop; the turning hop costs 2 (like Tile64).
+ * The model provides per-message latency and counts flits *injected* per
+ * traffic class, which is what the paper's Fig. 5b/8b report.
+ *
+ * Substitution note (DESIGN.md §1): we do not model link-level contention;
+ * the paper's traffic results are injected-flit counts and its latencies
+ * use the same hop/turn costs modeled here.
+ */
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "base/stats.h"
+#include "base/types.h"
+#include "sim/config.h"
+
+namespace ssim {
+
+class Mesh
+{
+  public:
+    explicit Mesh(const SimConfig& cfg);
+
+    /** X coordinate of a tile in the mesh. */
+    uint32_t xOf(TileId t) const { return t % dim_; }
+    /** Y coordinate of a tile in the mesh. */
+    uint32_t yOf(TileId t) const { return t / dim_; }
+
+    /** Manhattan hop count between two tiles. */
+    uint32_t hops(TileId a, TileId b) const;
+
+    /** X-Y routed latency in cycles between two tiles. */
+    uint32_t latency(TileId a, TileId b) const;
+
+    /**
+     * Latency from a tile to its line's memory controller (controllers sit
+     * at the four edge midpoints; lines are interleaved across them).
+     */
+    uint32_t memCtrlLatency(TileId t, LineAddr line) const;
+
+    /** Record an injected message of @p flits flits in class @p cls. */
+    void
+    inject(TileId src, TileId dst, uint32_t flits, TrafficClass cls)
+    {
+        if (src == dst)
+            return; // intra-tile transfers do not use the NoC
+        flits_[size_t(cls)] += flits;
+    }
+
+    /** Record injected flits with no meaningful src/dst (e.g. GVT). */
+    void
+    injectRaw(uint32_t flits, TrafficClass cls)
+    {
+        flits_[size_t(cls)] += flits;
+    }
+
+    uint64_t flitsOf(TrafficClass cls) const { return flits_[size_t(cls)]; }
+    const std::array<uint64_t, kNumTrafficClasses>& flits() const
+    {
+        return flits_;
+    }
+
+    uint32_t dim() const { return dim_; }
+    uint32_t ntiles() const { return ntiles_; }
+
+  private:
+    uint32_t ntiles_;
+    uint32_t dim_;
+    uint32_t hopLat_;
+    uint32_t turnPenalty_;
+    uint32_t memLat_;
+    std::array<uint64_t, kNumTrafficClasses> flits_{};
+    std::array<std::pair<uint32_t, uint32_t>, 4> ctrlPos_;
+};
+
+} // namespace ssim

@@ -1,0 +1,110 @@
+#include "sim/config.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "base/logging.h"
+
+namespace ssim {
+
+const char*
+schedulerName(SchedulerType s)
+{
+    switch (s) {
+      case SchedulerType::Random: return "Random";
+      case SchedulerType::Stealing: return "Stealing";
+      case SchedulerType::Hints: return "Hints";
+      case SchedulerType::LBHints: return "LBHints";
+      default: panic("bad scheduler type");
+    }
+}
+
+SchedulerType
+schedulerFromName(const std::string& name)
+{
+    if (name == "Random" || name == "random")
+        return SchedulerType::Random;
+    if (name == "Stealing" || name == "stealing")
+        return SchedulerType::Stealing;
+    if (name == "Hints" || name == "hints")
+        return SchedulerType::Hints;
+    if (name == "LBHints" || name == "lbhints")
+        return SchedulerType::LBHints;
+    fatal("unknown scheduler '%s'", name.c_str());
+}
+
+uint32_t
+SimConfig::meshDim() const
+{
+    uint32_t k = 1;
+    while (k * k < ntiles)
+        k++;
+    return k;
+}
+
+SimConfig
+SimConfig::withCores(uint32_t cores, SchedulerType s, uint64_t seed)
+{
+    ssim_assert(cores >= 1);
+    SimConfig cfg;
+    if (cores <= 4) {
+        cfg.ntiles = 1;
+        cfg.coresPerTile = cores;
+    } else {
+        ssim_assert(cores % 4 == 0, "core counts above 4 must be 4/tile");
+        cfg.ntiles = cores / 4;
+        cfg.coresPerTile = 4;
+    }
+    cfg.sched = s;
+    cfg.serializeSameHint =
+        (s == SchedulerType::Hints || s == SchedulerType::LBHints);
+    cfg.seed = seed;
+    return cfg;
+}
+
+std::string
+SimConfig::describe() const
+{
+    char buf[2048];
+    std::snprintf(buf, sizeof(buf),
+        "Cores      %u cores in %u tiles (%u cores/tile), x86-like "
+        "in-order single-issue\n"
+        "L1 caches  %uKB, per-core, %u-way, %u-cycle latency\n"
+        "L2 caches  %uKB, per-tile, %u-way, inclusive, %u-cycle latency\n"
+        "L3 cache   %uKB/tile, shared, static NUCA, %u-way, inclusive, "
+        "%u-cycle bank latency\n"
+        "Coherence  MESI-style directory, %u B lines, in-cache directory\n"
+        "NoC        %ux%u mesh, 128-bit links, X-Y routing, %u cycle/hop "
+        "straight, %u on turns\n"
+        "Main mem   %u controllers at chip edges, %u-cycle latency\n"
+        "Queues     %u task queue entries/core (%u total), %u commit queue "
+        "entries/core (%u total)\n"
+        "Swarm      %u cycles per enqueue/dequeue/finish task\n"
+        "Conflicts  %u-bit %u-way Bloom filters, H3 hash; checks %u cycles "
+        "+ %u/timestamp compared\n"
+        "Commits    GVT updates every %u cycles\n"
+        "Spills     coalescers fire at %.0f%% full, spill up to %u tasks\n"
+        "Scheduler  %s (serialize same-hint: %s)\n"
+        "LB         %u buckets/tile, reconfig every %lluKcycles, f=%.2f, "
+        "signal=%s",
+        totalCores(), ntiles, coresPerTile,
+        l1SizeKB, l1Ways, l1Latency,
+        l2SizeKB, l2Ways, l2Latency,
+        l3SliceKB, l3Ways, l3Latency,
+        lineBytes,
+        meshDim(), meshDim(), hopLatency, hopLatency + turnPenalty,
+        memControllers, memLatency,
+        taskQueuePerCore, taskQueuePerCore * totalCores(),
+        commitQueuePerCore, commitQueuePerCore * totalCores(),
+        enqueueCost,
+        bloomBits, bloomWays, conflictCheckCost, conflictPerCmpCost,
+        gvtEpoch,
+        spillThreshold * 100, spillBatch,
+        schedulerName(sched), serializeSameHint ? "yes" : "no",
+        bucketsPerTile, (unsigned long long)(lbEpoch / 1000), lbFraction,
+        lbSignal == LbSignal::CommittedCycles ? "committed-cycles"
+                                              : "idle-tasks");
+    return buf;
+}
+
+} // namespace ssim

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * System configuration, mirroring Table II of the paper.
+ *
+ * The evaluated systems have K x K tiles (K <= 8) with 4 cores per tile;
+ * the 256-core chip is 64 tiles. Per-core cache and queue capacities are
+ * held constant as the system scales (Sec. IV-C).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "base/types.h"
+
+namespace ssim {
+
+/** Spatial task-mapping scheduler (Sec. II-C). */
+enum class SchedulerType : uint8_t
+{
+    Random = 0, ///< new tasks go to a uniformly random tile (Swarm default)
+    Stealing,   ///< idealized work-stealing (local enqueue, zero-cost steals)
+    Hints,      ///< hint-based spatial task mapping (Sec. III)
+    LBHints,    ///< hints + data-centric load balancer (Sec. VI)
+};
+
+const char* schedulerName(SchedulerType s);
+SchedulerType schedulerFromName(const std::string& name);
+
+/** Victim-tile selection policy for the Stealing scheduler (Sec. II-C). */
+enum class StealVictim : uint8_t
+{
+    MostLoaded = 0, ///< tile with the most idle tasks (paper's choice)
+    Random,
+    NearestNeighbor,
+};
+
+/** Task selection within the victim tile (Sec. II-C). */
+enum class StealChoice : uint8_t
+{
+    EarliestTs = 0, ///< earliest-timestamp task (paper's choice)
+    Random,
+    LatestTs,
+};
+
+/** Load-balancer load signal (Sec. VI-A ablation). */
+enum class LbSignal : uint8_t
+{
+    CommittedCycles = 0, ///< per-bucket committed cycles (paper's choice)
+    IdleTasks,           ///< number of idle tasks per tile (ablation)
+};
+
+/** Full machine configuration; defaults are Table II values. */
+struct SimConfig
+{
+    // Topology -----------------------------------------------------------
+    uint32_t ntiles = 64;      ///< arranged as a ceil(sqrt) x ceil(sqrt) mesh
+    uint32_t coresPerTile = 4;
+
+    // Caches (latencies in cycles) ----------------------------------------
+    uint32_t l1SizeKB = 16;
+    uint32_t l1Ways = 8;
+    uint32_t l1Latency = 2;
+    uint32_t l2SizeKB = 256;
+    uint32_t l2Ways = 8;
+    uint32_t l2Latency = 7;
+    uint32_t l3SliceKB = 1024; ///< static NUCA, 1MB bank per tile
+    uint32_t l3Ways = 16;
+    uint32_t l3Latency = 9;
+    uint32_t memLatency = 120;
+    uint32_t memControllers = 4; ///< at chip edges
+
+    // NoC ------------------------------------------------------------------
+    uint32_t hopLatency = 1;   ///< 1 cycle/hop going straight
+    uint32_t turnPenalty = 1;  ///< +1 cycle on the turning hop (2 total)
+    uint32_t dataFlits = 5;    ///< 64B line + header over 128-bit links
+    uint32_t ctrlFlits = 1;
+    uint32_t taskDescFlits = 3; ///< fn ptr + ts + 3 args + hashed hint
+    uint32_t gvtFlits = 1;
+
+    // Task / commit queues --------------------------------------------------
+    uint32_t taskQueuePerCore = 64;
+    uint32_t commitQueuePerCore = 16;
+
+    // Swarm instruction overheads -------------------------------------------
+    uint32_t enqueueCost = 5;
+    uint32_t dequeueCost = 5;
+    uint32_t finishCost = 5;
+
+    // Conflict detection -----------------------------------------------------
+    uint32_t bloomBits = 2048;
+    uint32_t bloomWays = 8;
+    uint32_t conflictCheckCost = 5; ///< Bloom filter check at a tile
+    uint32_t conflictPerCmpCost = 1; ///< per timestamp compared
+
+    // Commit protocol ---------------------------------------------------------
+    uint32_t gvtEpoch = 200; ///< cycles between GVT arbiter updates
+
+    // Spills -------------------------------------------------------------------
+    double spillThreshold = 0.85; ///< coalescers fire at 85% task queue full
+    uint32_t spillBatch = 15;     ///< tasks spilled per coalescer firing
+    uint32_t spillCostPerTask = 7; ///< cycles of spill work per task moved
+
+    // Scheduling ----------------------------------------------------------------
+    SchedulerType sched = SchedulerType::Hints;
+    /// Serialize same-hint tasks at dispatch (Sec. III-B mechanism 2).
+    /// Enabled for Hints/LBHints; an ablation can disable it.
+    bool serializeSameHint = true;
+    StealVictim stealVictim = StealVictim::MostLoaded;
+    StealChoice stealChoice = StealChoice::EarliestTs;
+
+    // Load balancer (Sec. VI) ------------------------------------------------------
+    uint32_t bucketsPerTile = 16;
+    uint64_t lbEpoch = 500000;  ///< cycles between reconfigurations
+    double lbFraction = 0.8;    ///< fraction f of surplus/deficit moved
+    LbSignal lbSignal = LbSignal::CommittedCycles;
+
+    uint64_t seed = 1;
+
+    // Derived ------------------------------------------------------------------------
+    uint32_t totalCores() const { return ntiles * coresPerTile; }
+    uint32_t meshDim() const;
+    uint32_t numBuckets() const { return bucketsPerTile * ntiles; }
+    uint32_t taskQueueCap() const { return taskQueuePerCore * coresPerTile; }
+    uint32_t commitQueueCap() const
+    {
+        return commitQueuePerCore * coresPerTile;
+    }
+
+    /**
+     * Build a configuration with @p cores total cores, following the
+     * paper's scaling discipline (4 cores/tile; 1- and 2-core systems are
+     * a single partial tile).
+     */
+    static SimConfig withCores(uint32_t cores,
+                               SchedulerType s = SchedulerType::Hints,
+                               uint64_t seed = 1);
+
+    /** Human-readable multi-line description (used by table2_config). */
+    std::string describe() const;
+};
+
+} // namespace ssim

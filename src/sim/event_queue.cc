@@ -1,0 +1,45 @@
+#include "sim/event_queue.h"
+
+#include "base/logging.h"
+
+namespace ssim {
+
+void
+EventQueue::schedule(Cycle when, Callback cb)
+{
+    ssim_assert(when >= now_, "cannot schedule event in the past");
+    heap_.push(Event{when, seq_++, std::move(cb)});
+}
+
+void
+EventQueue::run()
+{
+    stopped_ = false;
+    while (!heap_.empty() && !stopped_) {
+        // priority_queue::top() returns const&; we need to move the
+        // callback out, so const_cast the (about to be popped) node.
+        Event ev = std::move(const_cast<Event&>(heap_.top()));
+        heap_.pop();
+        now_ = ev.when;
+        executed_++;
+        ev.cb();
+    }
+}
+
+uint64_t
+EventQueue::runSome(uint64_t max_events)
+{
+    stopped_ = false;
+    uint64_t n = 0;
+    while (!heap_.empty() && !stopped_ && n < max_events) {
+        Event ev = std::move(const_cast<Event&>(heap_.top()));
+        heap_.pop();
+        now_ = ev.when;
+        executed_++;
+        n++;
+        ev.cb();
+    }
+    return n;
+}
+
+} // namespace ssim

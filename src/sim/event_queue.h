@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The event-driven simulation kernel.
+ *
+ * A single global queue of (cycle, sequence, callback) events drives the
+ * whole machine. Ties at the same cycle execute in insertion order, which
+ * keeps the simulator fully deterministic.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "base/types.h"
+
+namespace ssim {
+
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedule @p cb to run at absolute cycle @p when (>= now). */
+    void schedule(Cycle when, Callback cb);
+
+    /** Schedule @p cb to run @p delta cycles from now. */
+    void scheduleAfter(Cycle delta, Callback cb)
+    {
+        schedule(now_ + delta, std::move(cb));
+    }
+
+    /** Current simulated time. */
+    Cycle now() const { return now_; }
+
+    /** Run until the queue drains or until stop() is called. */
+    void run();
+
+    /** Run at most @p maxEvents events (for tests). Returns #executed. */
+    uint64_t runSome(uint64_t maxEvents);
+
+    /** Request run() to return after the current event. */
+    void stop() { stopped_ = true; }
+
+    bool empty() const { return heap_.empty(); }
+    size_t pending() const { return heap_.size(); }
+    uint64_t executedEvents() const { return executed_; }
+
+  private:
+    struct Event
+    {
+        Cycle when;
+        uint64_t seq;
+        Callback cb;
+    };
+    struct Later
+    {
+        bool
+        operator()(const Event& a, const Event& b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    Cycle now_ = 0;
+    uint64_t seq_ = 0;
+    uint64_t executed_ = 0;
+    bool stopped_ = false;
+};
+
+} // namespace ssim

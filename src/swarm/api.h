@@ -1,0 +1,243 @@
+/**
+ * @file
+ * The application-facing Swarm API (paper Sec. II-A and III-A).
+ *
+ * Programs consist of timestamped tasks. Each task is a C++20 coroutine
+ * that accesses shared data through its TaskCtx; every load, store,
+ * enqueue, and explicit compute charge is a suspension point that passes
+ * through the full timing model at its simulated issue time.
+ *
+ * A task creates children with
+ *     co_await ctx.enqueue(taskFn, timestamp, hint, args...);
+ * mirroring the paper's swarm::enqueue(taskFn, timestamp, hint, args...).
+ * The hint is an abstract 64-bit integer denoting the data the task is
+ * likely to access, or NOHINT / SAMEHINT (Sec. III-A).
+ */
+#pragma once
+
+#include <array>
+#include <bit>
+#include <coroutine>
+#include <cstdint>
+#include <cstring>
+#include <exception>
+#include <type_traits>
+
+#include "base/types.h"
+
+namespace ssim {
+class Machine;
+class Task;
+} // namespace ssim
+
+namespace swarm {
+
+using Timestamp = ssim::Timestamp;
+
+/** A spatial hint: an integer value, NOHINT, or SAMEHINT (Sec. III-A). */
+struct Hint
+{
+    enum class Kind : uint8_t { Value, NoHint, Same };
+
+    uint64_t val = 0;
+    Kind kind = Kind::Value;
+
+    Hint() = default;
+    Hint(uint64_t v) : val(v), kind(Kind::Value) {} // NOLINT: implicit
+    Hint(Kind k) : val(0), kind(k) {}
+
+    bool isValue() const { return kind == Kind::Value; }
+    bool isNoHint() const { return kind == Kind::NoHint; }
+    bool isSame() const { return kind == Kind::Same; }
+};
+
+/** Use when the programmer does not know what data will be accessed. */
+inline const Hint NOHINT{Hint::Kind::NoHint};
+/** Assigns the parent's hint to the child task. */
+inline const Hint SAMEHINT{Hint::Kind::Same};
+
+/** Hint helper: the cache line of an object (e.g., Listing 2/3). */
+inline uint64_t
+cacheLine(const void* p)
+{
+    return ssim::lineOf(ssim::addrOf(p));
+}
+
+class TaskCtx;
+
+/**
+ * Coroutine handle type for task bodies. Tasks suspend at creation (the
+ * core resumes them after the dequeue overhead) and at every ctx
+ * operation; the simulator destroys the frame on abort or finish.
+ */
+struct TaskCoro
+{
+    struct promise_type
+    {
+        TaskCoro get_return_object()
+        {
+            return TaskCoro{
+                std::coroutine_handle<promise_type>::from_promise(*this)};
+        }
+        std::suspend_always initial_suspend() noexcept { return {}; }
+        std::suspend_always final_suspend() noexcept { return {}; }
+        void return_void() {}
+        void unhandled_exception() { std::terminate(); }
+    };
+
+    std::coroutine_handle<promise_type> handle;
+};
+
+/** Task function: receives its context, timestamp, and up to 3 args. */
+using TaskFn = TaskCoro (*)(TaskCtx&, Timestamp, const uint64_t* args);
+
+/** Awaiter for a timed memory access. */
+struct MemAwaiter
+{
+    TaskCtx* ctx;
+    ssim::Addr addr;
+    uint32_t size;
+    bool isWrite;
+    uint64_t wval = 0; ///< value to store (low `size` bytes)
+    uint64_t rval = 0; ///< loaded value (low `size` bytes)
+
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h); // defined in machine.cc
+    uint64_t await_resume() const noexcept { return rval; }
+};
+
+/** Typed wrapper over MemAwaiter that returns T from co_await. */
+template <typename T>
+struct TypedMemAwaiter : MemAwaiter
+{
+    static_assert(sizeof(T) <= 8 && std::is_trivially_copyable_v<T>);
+    T
+    await_resume() const noexcept
+    {
+        T out;
+        std::memcpy(&out, &rval, sizeof(T));
+        return out;
+    }
+};
+
+/** Awaiter charging fixed compute cycles. */
+struct ComputeAwaiter
+{
+    TaskCtx* ctx;
+    uint32_t cycles;
+
+    bool await_ready() const noexcept { return cycles == 0; }
+    void await_suspend(std::coroutine_handle<> h); // defined in machine.cc
+    void await_resume() const noexcept {}
+};
+
+/** Awaiter for creating a child task (5-cycle enqueue instruction). */
+struct EnqueueAwaiter
+{
+    TaskCtx* ctx;
+    TaskFn fn;
+    Timestamp ts;
+    Hint hint;
+    std::array<uint64_t, 3> args;
+    uint8_t nargs;
+
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h); // defined in machine.cc
+    void await_resume() const noexcept {}
+};
+
+/**
+ * Per-task execution context. All shared-state accesses of a task body
+ * must go through this object so they are timed, conflict-checked, and
+ * undo-logged.
+ */
+class TaskCtx
+{
+  public:
+    TaskCtx() = default;
+    TaskCtx(ssim::Machine* m, ssim::Task* t) : machine_(m), task_(t) {}
+
+    /** Timed, conflict-checked load of *p. */
+    template <typename T>
+    TypedMemAwaiter<T>
+    read(const T* p)
+    {
+        TypedMemAwaiter<T> aw;
+        aw.ctx = this;
+        aw.addr = ssim::addrOf(p);
+        aw.size = sizeof(T);
+        aw.isWrite = false;
+        return aw;
+    }
+
+    /** Timed, conflict-checked, undo-logged store of v into *p. */
+    template <typename T>
+    MemAwaiter
+    write(T* p, std::type_identity_t<T> v)
+    {
+        static_assert(sizeof(T) <= 8 && std::is_trivially_copyable_v<T>);
+        MemAwaiter aw;
+        aw.ctx = this;
+        aw.addr = ssim::addrOf(p);
+        aw.size = sizeof(T);
+        aw.isWrite = true;
+        std::memcpy(&aw.wval, &v, sizeof(T));
+        return aw;
+    }
+
+    /** Charge @p cycles of non-memory compute work. */
+    ComputeAwaiter compute(uint32_t cycles) { return {this, cycles}; }
+
+    /** Create a child task (paper's swarm::enqueue). */
+    template <typename... Args>
+    EnqueueAwaiter
+    enqueue(TaskFn fn, Timestamp ts, Hint hint, Args... args)
+    {
+        static_assert(sizeof...(Args) <= 3,
+                      "up to three 64-bit register args");
+        EnqueueAwaiter aw;
+        aw.ctx = this;
+        aw.fn = fn;
+        aw.ts = ts;
+        aw.hint = hint;
+        aw.args = {};
+        uint8_t i = 0;
+        ((aw.args[i++] = toU64(args)), ...);
+        aw.nargs = i;
+        return aw;
+    }
+
+    /** This task's timestamp. */
+    Timestamp ts() const;
+
+    ssim::Machine* machine() const { return machine_; }
+    ssim::Task* task() const { return task_; }
+
+  private:
+    template <typename T>
+    static uint64_t
+    toU64(T v)
+    {
+        if constexpr (std::is_pointer_v<T>) {
+            return reinterpret_cast<uint64_t>(v);
+        } else {
+            static_assert(sizeof(T) <= 8 && std::is_trivially_copyable_v<T>);
+            uint64_t out = 0;
+            std::memcpy(&out, &v, sizeof(T));
+            return out;
+        }
+    }
+
+    ssim::Machine* machine_ = nullptr;
+    ssim::Task* task_ = nullptr;
+};
+
+/** Decode a pointer argument passed through a task's 64-bit args. */
+template <typename T>
+inline T*
+argPtr(uint64_t a)
+{
+    return reinterpret_cast<T*>(a);
+}
+
+} // namespace swarm

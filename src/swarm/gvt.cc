@@ -1,0 +1,184 @@
+/**
+ * @file
+ * The virtual-time commit protocol (paper Sec. II-B "High-throughput
+ * ordered commits") and the load balancer's periodic reconfiguration
+ * (Sec. VI), both implemented as Machine methods.
+ *
+ * Tiles communicate with an arbiter every gvtEpoch cycles to discover the
+ * earliest unfinished task in the system (the GVT). All finished tasks
+ * that precede it commit.
+ */
+#include "swarm/machine.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "base/logging.h"
+
+namespace ssim {
+
+std::optional<std::pair<Timestamp, uint64_t>>
+Machine::computeGvt() const
+{
+    std::optional<std::pair<Timestamp, uint64_t>> gvt;
+    for (const TaskUnit& unit : units_) {
+        Task* m = unit.minUnfinished();
+        if (!m)
+            continue;
+        std::pair<Timestamp, uint64_t> key{m->ts, m->uid};
+        if (!gvt || key < *gvt)
+            gvt = key;
+    }
+    return gvt;
+}
+
+void
+Machine::gvtEpoch()
+{
+    static const bool trace = []() {
+        const char* e = std::getenv("SWARMSIM_TRACE");
+        return e && e[0] == '1';
+    }();
+    if (trace && ++traceEpochs_ % 2000 == 0) {
+        auto gvtDbg = computeGvt();
+        std::fprintf(stderr,
+                     "[gvt] cycle=%llu live=%llu committed=%llu "
+                     "aborted=%llu gvt=(%llu,%llu)\n",
+                     (unsigned long long)eq_.now(),
+                     (unsigned long long)tasksLive_,
+                     (unsigned long long)stats_.tasksCommitted,
+                     (unsigned long long)stats_.tasksAborted,
+                     gvtDbg ? (unsigned long long)gvtDbg->first : 0,
+                     gvtDbg ? (unsigned long long)gvtDbg->second : 0);
+        if (gvtDbg) {
+            Task* m = lookupTask(gvtDbg->second);
+            const TaskUnit& u = units_[m ? m->tile : 0];
+            std::fprintf(
+                stderr,
+                "      min-task state=%s tile=%u spilled=%d | tile: "
+                "idle=%zu cq=%zu spill=%zu inflight=%u running=%u\n",
+                m ? taskStateName(m->state) : "?", m ? m->tile : 0,
+                m ? int(m->spilled) : -1, u.idle.size(), u.commitQ.size(),
+                u.spillBuf.size(), u.inFlight, u.running);
+            for (uint32_t i = 0; i < cfg_.coresPerTile; i++) {
+                const Core& c = cores_[coreId(m ? m->tile : 0, i)];
+                std::fprintf(stderr,
+                             "      core%u task=%llu pending=%d wait=%d\n",
+                             i,
+                             c.task ? (unsigned long long)c.task->uid : 0,
+                             int(c.finishPending), int(c.wait));
+            }
+        }
+    }
+
+    // Each tile sends its local minimum to the arbiter, which broadcasts
+    // the global minimum back.
+    mesh_.injectRaw(2 * cfg_.ntiles * cfg_.gvtFlits, TrafficClass::Gvt);
+
+    auto gvt = computeGvt();
+
+    for (TaskUnit& unit : units_) {
+        while (!unit.commitQ.empty()) {
+            Task* t = *unit.commitQ.begin();
+            std::pair<Timestamp, uint64_t> key{t->ts, t->uid};
+            if (gvt && !(key < *gvt))
+                break;
+            commitTask(t);
+        }
+    }
+
+    for (TileId tile = 0; tile < cfg_.ntiles; tile++) {
+        retryFinishPending(tile);
+        unspillIfRoom(tile);
+        breakCommitGridlock(tile);
+        scheduleDispatch(tile);
+    }
+
+    if (tasksLive_ > 0)
+        eq_.scheduleAfter(cfg_.gvtEpoch, [this] { gvtEpoch(); });
+}
+
+void
+Machine::commitTask(Task* t)
+{
+    ssim_assert(t->state == TaskState::Finished);
+    TaskUnit& unit = units_[t->tile];
+    unit.commitQ.erase(t);
+    lineTable_.removeTask(t);
+
+    stats_.tasksCommitted++;
+    stats_.coreCycles[size_t(CycleBucket::Commit)] += t->execCycles;
+    lastCommitCycle_ = eq_.now();
+
+    if (profiler_)
+        profiler_->onCommit(*t);
+    if (lb_ && t->hasHint())
+        lb_->profileCommit(t->tile, t->bucket, t->execCycles);
+
+    // Untie children: their parent has committed, so they can no longer
+    // be discarded and become spill-eligible.
+    for (Task* c : t->children) {
+        c->untied = true;
+        c->parent = nullptr;
+    }
+    // If our parent is still live (it commits in this same sweep, later
+    // in tile order), unlink ourselves from it.
+    if (t->parent) {
+        auto& sib = t->parent->children;
+        sib.erase(std::remove(sib.begin(), sib.end(), t), sib.end());
+    }
+
+    liveTasks_.erase(t->uid);
+    ssim_assert(tasksLive_ > 0);
+    tasksLive_--;
+    delete t;
+}
+
+void
+Machine::breakCommitGridlock(TileId tile)
+{
+    // All cores can end up holding finished tasks that wait for commit
+    // queue slots while an earlier task sits idle on the tile; nothing
+    // can then commit (the idle task gates the GVT) and the tile wedges.
+    // Swarm's resource-exhaustion rule applies: abort the latest
+    // higher-timestamp blocked task to free its core.
+    TaskUnit& unit = units_[tile];
+    if (unit.idle.empty())
+        return;
+    Task* latestBlocked = nullptr;
+    for (uint32_t idx = 0; idx < cfg_.coresPerTile; idx++) {
+        Core& core = cores_[coreId(tile, idx)];
+        if (!core.task)
+            return; // a free core exists; normal dispatch proceeds
+        if (core.finishPending &&
+            (!latestBlocked || latestBlocked->before(*core.task))) {
+            latestBlocked = core.task;
+        }
+    }
+    Task* earliestIdle = *unit.idle.begin();
+    if (latestBlocked && earliestIdle->before(*latestBlocked)) {
+        stats_.abortsGridlock++;
+        abortTasks({latestBlocked}, /*discard_roots=*/false, tile);
+    }
+}
+
+void
+Machine::lbEpoch()
+{
+    if (!lb_)
+        return;
+    std::vector<uint64_t> idlePerTile(cfg_.ntiles, 0);
+    for (TileId t = 0; t < cfg_.ntiles; t++)
+        idlePerTile[t] = units_[t].idle.size() + units_[t].spillBuf.size();
+
+    uint32_t moved = lb_->reconfigure(idlePerTile);
+    stats_.lbReconfigs++;
+    stats_.bucketsMoved += moved;
+    // Counter collection + tile map broadcast traffic.
+    mesh_.injectRaw(3 * cfg_.ntiles * cfg_.gvtFlits, TrafficClass::Gvt);
+
+    if (tasksLive_ > 0)
+        eq_.scheduleAfter(cfg_.lbEpoch, [this] { lbEpoch(); });
+}
+
+} // namespace ssim

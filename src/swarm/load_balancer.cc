@@ -1,0 +1,165 @@
+#include "swarm/load_balancer.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "base/logging.h"
+
+namespace ssim {
+
+LoadBalancer::LoadBalancer(const SimConfig& cfg)
+    : cfg_(cfg), counterCap_(2 * cfg.bucketsPerTile)
+{
+    uint32_t nbuckets = cfg.numBuckets();
+    map_.resize(nbuckets);
+    // Initially, the tile map divides buckets uniformly among tiles.
+    for (uint32_t b = 0; b < nbuckets; b++)
+        map_[b] = TileId(b % cfg.ntiles);
+    prof_.resize(cfg.ntiles);
+    bucketsPerTile_.assign(cfg.ntiles, cfg.bucketsPerTile);
+}
+
+void
+LoadBalancer::profileCommit(TileId tile, uint32_t bucket, uint64_t cycles)
+{
+    auto& counters = prof_[tile].counters;
+    auto it = counters.find(bucket);
+    if (it != counters.end()) {
+        it->second += cycles;
+    } else if (counters.size() < counterCap_) {
+        counters.emplace(bucket, cycles);
+    }
+    // else: tagged counter structure is full; the sample is dropped, as in
+    // hardware with a bounded counter array.
+}
+
+uint64_t
+LoadBalancer::profiledLoad(TileId t) const
+{
+    uint64_t sum = 0;
+    for (const auto& [b, c] : prof_[t].counters)
+        sum += c;
+    return sum;
+}
+
+uint32_t
+LoadBalancer::reconfigure(const std::vector<uint64_t>& idle_tasks_per_tile)
+{
+    uint32_t ntiles = cfg_.ntiles;
+    if (ntiles <= 1) {
+        for (auto& p : prof_)
+            p.counters.clear();
+        return 0;
+    }
+
+    // Per-bucket load estimates.
+    std::vector<uint64_t> bucketLoad(map_.size(), 0);
+    std::vector<uint64_t> tileLoad(ntiles, 0);
+    if (cfg_.lbSignal == LbSignal::CommittedCycles) {
+        for (uint32_t t = 0; t < ntiles; t++) {
+            for (const auto& [b, c] : prof_[t].counters) {
+                // A bucket may have been remapped mid-epoch; attribute
+                // its cycles to the tile that ran them.
+                bucketLoad[b] += c;
+                tileLoad[t] += c;
+            }
+        }
+    } else {
+        // Ablation: use queued idle tasks as the load signal. We only
+        // know per-tile totals, so spread them evenly over the tile's
+        // buckets (Sec. VI-A's variant balances per-tile idle counts).
+        ssim_assert(idle_tasks_per_tile.size() == ntiles);
+        for (uint32_t t = 0; t < ntiles; t++)
+            tileLoad[t] = idle_tasks_per_tile[t];
+        for (uint32_t b = 0; b < map_.size(); b++) {
+            TileId t = map_[b];
+            if (bucketsPerTile_[t] > 0)
+                bucketLoad[b] = tileLoad[t] / bucketsPerTile_[t];
+        }
+    }
+
+    uint64_t total = std::accumulate(tileLoad.begin(), tileLoad.end(),
+                                     uint64_t(0));
+    for (auto& p : prof_)
+        p.counters.clear();
+    if (total == 0)
+        return 0;
+    double avg = double(total) / ntiles;
+
+    // Budgets: an overloaded tile may shed at most f of its surplus; an
+    // underloaded tile may absorb at most f of its deficit.
+    std::vector<double> shed(ntiles, 0), absorb(ntiles, 0);
+    for (uint32_t t = 0; t < ntiles; t++) {
+        double d = double(tileLoad[t]) - avg;
+        if (d > 0)
+            shed[t] = cfg_.lbFraction * d;
+        else
+            absorb[t] = cfg_.lbFraction * -d;
+    }
+
+    // Donors from most to least loaded; receivers from least to most.
+    std::vector<uint32_t> order(ntiles);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+        if (tileLoad[a] != tileLoad[b])
+            return tileLoad[a] > tileLoad[b];
+        return a < b;
+    });
+
+    // Buckets of each donor, heaviest first.
+    std::vector<std::vector<uint32_t>> tileBuckets(ntiles);
+    for (uint32_t b = 0; b < map_.size(); b++)
+        tileBuckets[map_[b]].push_back(b);
+    for (auto& v : tileBuckets) {
+        std::sort(v.begin(), v.end(), [&](uint32_t a, uint32_t b) {
+            if (bucketLoad[a] != bucketLoad[b])
+                return bucketLoad[a] > bucketLoad[b];
+            return a < b;
+        });
+    }
+
+    uint32_t moved = 0;
+    size_t recvIdx = ntiles; // index into `order`, from the back
+    for (uint32_t donorPos = 0; donorPos < ntiles; donorPos++) {
+        uint32_t donor = order[donorPos];
+        if (shed[donor] <= 0)
+            continue;
+        for (uint32_t b : tileBuckets[donor]) {
+            if (shed[donor] <= 0)
+                break;
+            double w = double(bucketLoad[b]);
+            if (w <= 0 || w > shed[donor])
+                continue;
+            if (bucketsPerTile_[donor] <= 1)
+                break; // every tile keeps at least one bucket
+            // Find the neediest receiver with remaining capacity. A
+            // bucket may overshoot the receiver's capped deficit by at
+            // most its own weight; the receiver then stops absorbing.
+            uint32_t best = ntiles;
+            double bestAbsorb = 0;
+            for (size_t i = ntiles; i-- > 0;) {
+                uint32_t r = order[i];
+                if (r == donor)
+                    continue;
+                if (absorb[r] > 0 && absorb[r] > bestAbsorb) {
+                    best = r;
+                    bestAbsorb = absorb[r];
+                }
+                if (tileLoad[r] >= avg)
+                    break; // remaining candidates are all loaded
+            }
+            (void)recvIdx;
+            if (best == ntiles)
+                continue;
+            map_[b] = TileId(best);
+            bucketsPerTile_[donor]--;
+            bucketsPerTile_[best]++;
+            shed[donor] -= w;
+            absorb[best] -= w;
+            moved++;
+        }
+    }
+    return moved;
+}
+
+} // namespace ssim

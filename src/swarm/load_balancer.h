@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The data-centric load balancer (paper Sec. VI).
+ *
+ * Instead of hashing a hint directly to a tile, LBHints hashes it to one
+ * of 16*ntiles buckets and looks the bucket up in a reconfigurable tile
+ * map. Each tile profiles committed cycles per bucket in a small tagged
+ * counter structure (32 counters, 2x the average buckets/tile). Every
+ * 500 Kcycles a reconfiguration sorts tiles by load and greedily donates
+ * buckets from overloaded to underloaded tiles; to avoid oscillation, a
+ * tile only closes a fraction f = 0.8 of its surplus/deficit per round.
+ */
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "base/types.h"
+#include "sim/config.h"
+
+namespace ssim {
+
+class LoadBalancer
+{
+  public:
+    explicit LoadBalancer(const SimConfig& cfg);
+
+    /** Current tile for a bucket. */
+    TileId tileOfBucket(uint32_t b) const { return map_[b]; }
+
+    /** Profile a committed task's cycles into its bucket's counter. */
+    void profileCommit(TileId tile, uint32_t bucket, uint64_t cycles);
+
+    /**
+     * Rebalance the tile map from the profiled counters (or from
+     * @p idle_tasks_per_tile under the LbSignal::IdleTasks ablation).
+     * Clears the profile counters. Returns the number of buckets moved.
+     */
+    uint32_t reconfigure(const std::vector<uint64_t>& idle_tasks_per_tile);
+
+    const std::vector<TileId>& tileMap() const { return map_; }
+    uint32_t numBuckets() const { return uint32_t(map_.size()); }
+
+    /** Profiled committed cycles of a tile since the last reconfig. */
+    uint64_t profiledLoad(TileId t) const;
+
+  private:
+    /// Tagged per-tile committed-cycle counters (bounded, like hardware).
+    struct TileProfile
+    {
+        std::unordered_map<uint32_t, uint64_t> counters;
+    };
+
+    const SimConfig& cfg_;
+    uint32_t counterCap_;
+    std::vector<TileId> map_;          ///< bucket -> tile
+    std::vector<TileProfile> prof_;    ///< per tile
+    std::vector<uint32_t> bucketsPerTile_;
+};
+
+} // namespace ssim

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * The top-level Swarm machine: tiles with cores and task units, the cache
+ * hierarchy, the mesh NoC, the commit (GVT) protocol, a spatial scheduler,
+ * and (for LBHints) the data-centric load balancer.
+ *
+ * The Machine executes applications written against swarm/api.h. It is
+ * single-threaded and fully deterministic for a given (config, seed,
+ * initial task set).
+ */
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/stats.h"
+#include "mem/memory_system.h"
+#include "noc/mesh.h"
+#include "sim/config.h"
+#include "sim/event_queue.h"
+#include "swarm/load_balancer.h"
+#include "swarm/scheduler.h"
+#include "swarm/spec.h"
+#include "swarm/task.h"
+#include "swarm/task_unit.h"
+
+namespace ssim {
+
+/** Receives every committed task (with its access trace) for profiling. */
+class AccessProfiler
+{
+  public:
+    virtual ~AccessProfiler() = default;
+    virtual void onCommit(const Task& t) = 0;
+};
+
+class Machine
+{
+  public:
+    explicit Machine(const SimConfig& cfg);
+    ~Machine();
+    Machine(const Machine&) = delete;
+    Machine& operator=(const Machine&) = delete;
+
+    // ---- Setup -----------------------------------------------------------
+    /** Enqueue an initial (root) task before run(). */
+    template <typename... Args>
+    void
+    enqueueInitial(swarm::TaskFn fn, Timestamp ts, swarm::Hint hint,
+                   Args... args)
+    {
+        static_assert(sizeof...(Args) <= 3);
+        std::array<uint64_t, 3> a{};
+        uint8_t n = 0;
+        ((a[n++] = toU64(args)), ...);
+        enqueueInitialRaw(fn, ts, hint, a, n);
+    }
+    void enqueueInitialRaw(swarm::TaskFn fn, Timestamp ts, swarm::Hint hint,
+                           const std::array<uint64_t, 3>& args, uint8_t n);
+
+    /** Enable access-trace profiling for the classifier. */
+    void setProfiler(AccessProfiler* p) { profiler_ = p; }
+
+    // ---- Execution --------------------------------------------------------
+    /** Run all tasks to completion (the paper's swarm::run()). */
+    void run();
+
+    // ---- Results ------------------------------------------------------------
+    const SimStats& stats() const { return stats_; }
+    const SimConfig& config() const { return cfg_; }
+    Cycle now() const { return eq_.now(); }
+    const Mesh& mesh() const { return mesh_; }
+    MemorySystem& memory() { return mem_; }
+    LoadBalancer* loadBalancer() { return lb_.get(); }
+    uint64_t liveTasks() const { return tasksLive_; }
+
+    // ---- Internal entry points used by the api.h awaiters -------------------
+    void issueAccess(Task* t, swarm::MemAwaiter* aw);
+    void issueCompute(Task* t, uint32_t cycles);
+    void issueEnqueue(Task* t, const swarm::EnqueueAwaiter& aw);
+
+  private:
+    friend class MachineTestPeer; // white-box unit tests
+
+    struct Core
+    {
+        enum class Wait : uint8_t { None, Empty, StallCQ };
+        Task* task = nullptr;
+        Wait wait = Wait::None;
+        Cycle waitStart = 0;
+        bool finishPending = false; ///< finished task waiting for a CQ slot
+        bool everDispatched = false;
+    };
+
+    // Topology helpers ------------------------------------------------------
+    TileId tileOfCore(CoreId c) const { return c / cfg_.coresPerTile; }
+    uint32_t coreIdx(CoreId c) const { return c % cfg_.coresPerTile; }
+    CoreId coreId(TileId t, uint32_t idx) const
+    {
+        return t * cfg_.coresPerTile + idx;
+    }
+
+    // Task lifecycle (machine.cc) ------------------------------------------
+    Task* createTask(swarm::TaskFn fn, Timestamp ts, swarm::Hint hint,
+                     const std::array<uint64_t, 3>& args, uint8_t nargs,
+                     Task* parent, TileId src_tile);
+    void arriveTask(uint64_t uid, uint64_t gen);
+    void tryDispatch(TileId tile);
+    void dispatchOn(TileId tile, uint32_t idx, Task* t);
+    void resumeCoro(uint64_t uid, uint64_t gen);
+    void finishTaskAttempt(Task* t);
+    bool tryTakeCommitSlot(Task* t); ///< may displace a later finished task
+    void freeCore(Task* t);
+    void leaveWait(Core& core, CycleBucket bucket);
+    void enterWait(Core& core, Core::Wait w);
+    void retryFinishPending(TileId tile);
+    Task* lookupTask(uint64_t uid) const;
+
+    // Spills (machine.cc) ------------------------------------------------------
+    void maybeSpill(TileId tile);
+    void unspillIfRoom(TileId tile);
+
+    // Stealing (machine.cc) ------------------------------------------------------
+    bool trySteal(TileId thief);
+
+    // Conflicts and aborts (machine.cc) -------------------------------------------
+    /// Abort every uncommitted task conflicting with t's access; returns
+    /// the number of candidate tasks compared (for check latency).
+    uint32_t resolveConflicts(Task* t, LineAddr line, bool is_write);
+    void abortTasks(const std::vector<Task*>& roots, bool discard_roots,
+                    TileId cause_tile);
+    void rollbackTask(Task* t, TileId cause_tile);
+    void discardTask(Task* t);
+    void requeueTask(Task* t);
+
+    // Commit protocol (gvt.cc) -----------------------------------------------------
+    void gvtEpoch();
+    std::optional<std::pair<Timestamp, uint64_t>> computeGvt() const;
+    void commitTask(Task* t);
+    void breakCommitGridlock(TileId tile);
+    void lbEpoch();
+
+    void scheduleDispatch(TileId tile);
+    void finalizeStats();
+
+    template <typename T>
+    static uint64_t
+    toU64(T v)
+    {
+        if constexpr (std::is_pointer_v<T>) {
+            return reinterpret_cast<uint64_t>(v);
+        } else {
+            static_assert(sizeof(T) <= 8 && std::is_trivially_copyable_v<T>);
+            uint64_t out = 0;
+            std::memcpy(&out, &v, sizeof(T));
+            return out;
+        }
+    }
+
+    SimConfig cfg_;
+    EventQueue eq_;
+    Mesh mesh_;
+    SimStats stats_;
+    MemorySystem mem_;
+    Rng rng_;
+    std::unique_ptr<LoadBalancer> lb_;
+    std::unique_ptr<SpatialScheduler> sched_;
+
+    std::vector<TaskUnit> units_; ///< one per tile
+    std::vector<Core> cores_;     ///< flat, coreId-indexed
+    LineTable lineTable_;
+    std::unordered_map<uint64_t, Task*> liveTasks_;
+
+    AccessProfiler* profiler_ = nullptr;
+    uint64_t nextUid_ = 0;
+    uint64_t tasksLive_ = 0;
+    uint64_t traceEpochs_ = 0;
+    uint32_t rrInitTile_ = 0; ///< round-robin placement of initial tasks
+    Cycle lastCommitCycle_ = 0;
+    bool running_ = false;
+};
+
+} // namespace ssim

@@ -1,0 +1,91 @@
+#include "swarm/scheduler.h"
+
+#include "base/hash.h"
+#include "base/logging.h"
+#include "swarm/load_balancer.h"
+
+namespace ssim {
+
+namespace {
+
+class RandomScheduler : public SpatialScheduler
+{
+  public:
+    using SpatialScheduler::SpatialScheduler;
+
+    TileId
+    place(bool, uint64_t, TileId) override
+    {
+        return randomTile();
+    }
+};
+
+class StealingScheduler : public SpatialScheduler
+{
+  public:
+    using SpatialScheduler::SpatialScheduler;
+
+    TileId
+    place(bool, uint64_t, TileId src_tile) override
+    {
+        return src_tile; // new tasks enqueue to the local tile
+    }
+
+    bool stealing() const override { return true; }
+};
+
+class HintScheduler : public SpatialScheduler
+{
+  public:
+    using SpatialScheduler::SpatialScheduler;
+
+    TileId
+    place(bool has_hint, uint64_t hint, TileId) override
+    {
+        if (!has_hint)
+            return randomTile();
+        return hintToTile(hint, cfg_.ntiles);
+    }
+};
+
+class LbHintScheduler : public SpatialScheduler
+{
+  public:
+    LbHintScheduler(const SimConfig& cfg, Rng& rng, LoadBalancer* lb)
+        : SpatialScheduler(cfg, rng), lb_(lb)
+    {
+        ssim_assert(lb_, "LBHints requires a load balancer");
+    }
+
+    TileId
+    place(bool has_hint, uint64_t hint, TileId) override
+    {
+        if (!has_hint)
+            return randomTile();
+        return lb_->tileOfBucket(hintToBucket(hint, cfg_.numBuckets()));
+    }
+
+  private:
+    LoadBalancer* lb_;
+};
+
+} // namespace
+
+std::unique_ptr<SpatialScheduler>
+makeScheduler(const SimConfig& cfg, Rng& rng, LoadBalancer* lb)
+{
+    switch (cfg.sched) {
+      case SchedulerType::Random:
+        return std::make_unique<RandomScheduler>(cfg, rng);
+      case SchedulerType::Stealing:
+        return std::make_unique<StealingScheduler>(cfg, rng);
+      case SchedulerType::Hints:
+        return std::make_unique<HintScheduler>(cfg, rng);
+      case SchedulerType::LBHints:
+        return std::make_unique<LbHintScheduler>(cfg, rng, lb);
+      default:
+        panic("bad scheduler type");
+    }
+}
+
+} // namespace ssim

@@ -1,0 +1,30 @@
+#include "swarm/spec.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace ssim {
+
+void
+LineTable::scrub(LineAddr line, Task* t, bool from_writers)
+{
+    auto it = map_.find(line);
+    if (it == map_.end())
+        return;
+    auto& vec = from_writers ? it->second.writers : it->second.readers;
+    vec.erase(std::remove(vec.begin(), vec.end(), t), vec.end());
+    if (it->second.readers.empty() && it->second.writers.empty())
+        map_.erase(it);
+}
+
+void
+LineTable::removeTask(Task* t)
+{
+    for (LineAddr line : t->readSet)
+        scrub(line, t, false);
+    for (LineAddr line : t->writeSet)
+        scrub(line, t, true);
+}
+
+} // namespace ssim

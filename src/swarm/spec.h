@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Conflict-detection bookkeeping (paper Sec. II-B "Scalable speculation").
+ *
+ * Swarm uses eager (undo-log) version management and eager conflict
+ * detection. The hardware filters checks through the directory and
+ * per-task Bloom filters; the simulator keeps an exact registry of which
+ * uncommitted tasks have read/written each line (see DESIGN.md §1 for the
+ * fidelity discussion) and charges the modeled check latency.
+ */
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "base/types.h"
+#include "swarm/task.h"
+
+namespace ssim {
+
+class LineTable
+{
+  public:
+    struct Entry
+    {
+        std::vector<Task*> readers;
+        std::vector<Task*> writers;
+    };
+
+    /** Register @p t as a reader of @p line (caller dedups per task). */
+    void addReader(LineAddr line, Task* t) { map_[line].readers.push_back(t); }
+
+    /** Register @p t as a writer of @p line (caller dedups per task). */
+    void addWriter(LineAddr line, Task* t) { map_[line].writers.push_back(t); }
+
+    /** Look up the entry for a line, or nullptr. */
+    Entry*
+    find(LineAddr line)
+    {
+        auto it = map_.find(line);
+        return it == map_.end() ? nullptr : &it->second;
+    }
+
+    /** Remove a task from all lines in its read/write sets. */
+    void removeTask(Task* t);
+
+    size_t numLines() const { return map_.size(); }
+
+  private:
+    void scrub(LineAddr line, Task* t, bool fromWriters);
+
+    std::unordered_map<LineAddr, Entry> map_;
+};
+
+} // namespace ssim

@@ -1,0 +1,19 @@
+#include "swarm/task.h"
+
+#include "base/logging.h"
+
+namespace ssim {
+
+const char*
+taskStateName(TaskState s)
+{
+    switch (s) {
+      case TaskState::InFlight: return "inflight";
+      case TaskState::Idle: return "idle";
+      case TaskState::Running: return "running";
+      case TaskState::Finished: return "finished";
+      default: panic("bad task state");
+    }
+}
+
+} // namespace ssim

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The Swarm task model (paper Sec. II-A/II-B).
+ *
+ * Each task has a 64-bit timestamp, a function pointer, up to three
+ * register arguments, and a spatial hint. Tasks appear to execute in
+ * (timestamp, creation-id) order; the creation id breaks ties among
+ * equal-timestamp (unordered) tasks, matching "if multiple tasks have
+ * equal timestamp, Swarm chooses an order among them".
+ */
+#pragma once
+
+#include <array>
+#include <coroutine>
+#include <cstdint>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "base/types.h"
+#include "swarm/api.h"
+
+namespace ssim {
+
+/** Lifecycle of a task inside the machine. */
+enum class TaskState : uint8_t
+{
+    InFlight = 0, ///< descriptor traveling to its destination tile
+    Idle,         ///< queued, not yet dispatched (or aborted and requeued)
+    Running,      ///< executing speculatively on a core
+    Finished,     ///< done executing, holding a commit queue slot
+};
+
+const char* taskStateName(TaskState s);
+
+class Task
+{
+  public:
+    // Identity and program order ------------------------------------------
+    uint64_t uid = 0; ///< global creation order; ties equal timestamps
+    Timestamp ts = 0;
+    swarm::TaskFn fn = nullptr;
+    std::array<uint64_t, 3> args{};
+    uint8_t nargs = 0;
+
+    // Spatial hint (resolved: SAMEHINT already replaced by parent's hint) --
+    uint64_t hint = 0;
+    bool noHint = false;
+    uint16_t hintHash = 0; ///< 16-bit hash carried through the lifetime
+    uint32_t bucket = 0;   ///< LBHints bucket (valid if !noHint)
+
+    // Location and state -----------------------------------------------------
+    TileId tile = 0;
+    TaskState state = TaskState::InFlight;
+    bool spilled = false;
+    CoreId runningOn = kNoCore;
+    /// Bumped on every abort/requeue; stale events check it and no-op.
+    uint64_t generation = 0;
+
+    // Family (for tied-task discard on parent abort) ---------------------------
+    Task* parent = nullptr; ///< nulled when the parent commits
+    bool untied = true;     ///< roots, or parent has committed
+    std::vector<Task*> children; ///< live children of the current attempt
+
+    // Speculative state ----------------------------------------------------------
+    struct UndoRec
+    {
+        Addr addr;
+        uint8_t size;
+        uint64_t oldVal;
+    };
+    std::vector<UndoRec> undo; ///< in write order; restored in reverse
+    std::unordered_set<LineAddr> readSet;
+    std::unordered_set<LineAddr> writeSet;
+    /// Tasks that consumed data this task wrote (abort with us): (uid, gen).
+    std::vector<std::pair<uint64_t, uint64_t>> dependents;
+
+    // Execution ---------------------------------------------------------------------
+    std::coroutine_handle<swarm::TaskCoro::promise_type> coro{};
+    swarm::TaskCtx ctx;
+    uint64_t execCycles = 0; ///< cycles of this execution attempt
+    Cycle arrivalCycle = 0;
+
+    // Profiling (memory-access classifier; harness/classifier.h) ---------------------
+    /// Encoded (wordAddr << 1 | isWrite); filled only when profiling.
+    std::vector<uint64_t> trace;
+
+    static constexpr CoreId kNoCore = ~CoreId(0);
+
+    /** Program order: (timestamp, creation id). */
+    bool
+    before(const Task& o) const
+    {
+        return ts != o.ts ? ts < o.ts : uid < o.uid;
+    }
+
+    bool hasHint() const { return !noHint; }
+
+    /** Clear all speculative state for a fresh execution attempt. */
+    void
+    resetSpecState()
+    {
+        undo.clear();
+        readSet.clear();
+        writeSet.clear();
+        dependents.clear();
+        trace.clear();
+        execCycles = 0;
+        runningOn = kNoCore;
+        coro = {};
+    }
+};
+
+/** Strict weak order over task pointers: (ts, uid). */
+struct TaskOrder
+{
+    bool
+    operator()(const Task* a, const Task* b) const
+    {
+        if (a->ts != b->ts)
+            return a->ts < b->ts;
+        return a->uid < b->uid;
+    }
+};
+
+using TaskSet = std::set<Task*, TaskOrder>;
+
+} // namespace ssim

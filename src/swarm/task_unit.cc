@@ -1,0 +1,42 @@
+#include "swarm/task_unit.h"
+
+#include "base/logging.h"
+
+namespace ssim {
+
+TaskUnit::TaskUnit(TileId tile_, const SimConfig& cfg)
+    : tile(tile_), taskQueueCap(cfg.taskQueueCap()),
+      commitQueueCap(cfg.commitQueueCap()), spillThreshold(cfg.spillThreshold)
+{
+    coreTasks.assign(cfg.coresPerTile, nullptr);
+}
+
+bool
+TaskUnit::taskQueueAboveSpillThreshold() const
+{
+    return taskQueueOcc() >= uint32_t(spillThreshold * taskQueueCap);
+}
+
+Task*
+TaskUnit::pickDispatchable(bool serialize_same_hint, uint64_t& skips) const
+{
+    for (Task* cand : idle) {
+        if (!serialize_same_hint || cand->noHint)
+            return cand;
+        bool conflict = false;
+        // Hardware uses four 16-bit comparators, one per core (Sec. III-B).
+        for (Task* run : coreTasks) {
+            if (run && run->state == TaskState::Running && !run->noHint &&
+                run->hintHash == cand->hintHash && run->before(*cand)) {
+                conflict = true;
+                break;
+            }
+        }
+        if (!conflict)
+            return cand;
+        skips++;
+    }
+    return nullptr;
+}
+
+} // namespace ssim

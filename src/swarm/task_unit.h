@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Per-tile task unit (paper Sec. II-B, III-B).
+ *
+ * Holds the tile's task queue (descriptors of every task in the tile),
+ * commit queue (speculative state of finished tasks), spill buffer
+ * (tasks coalesced to memory), and implements the dispatch policy:
+ * earliest-(ts, uid) idle task, skipping tasks whose 16-bit hashed hint
+ * matches an earlier task currently running on the tile (the "serializing
+ * conflicting tasks" mechanism of Sec. III-B).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.h"
+#include "sim/config.h"
+#include "swarm/task.h"
+
+namespace ssim {
+
+class TaskUnit
+{
+  public:
+    TaskUnit(TileId tile, const SimConfig& cfg);
+
+    // Queues (maintained by the Machine) -----------------------------------
+    TaskSet idle;       ///< dispatchable tasks, in (ts, uid) order
+    TaskSet unfinished; ///< idle + running + in-flight + spilled (GVT input)
+    TaskSet commitQ;    ///< finished tasks awaiting commit
+    TaskSet spillBuf;   ///< tasks spilled to memory (unbounded)
+
+    /** Tasks currently occupying cores on this tile (may contain null). */
+    std::vector<Task*> coreTasks;
+
+    // Capacity ---------------------------------------------------------------
+    /** Task queue occupancy: all descriptors physically held in the tile. */
+    uint32_t
+    taskQueueOcc() const
+    {
+        return uint32_t(idle.size()) + inFlight + running +
+               uint32_t(commitQ.size());
+    }
+    bool taskQueueAboveSpillThreshold() const;
+    bool commitQueueFull() const
+    {
+        return commitQ.size() >= commitQueueCap;
+    }
+
+    /**
+     * Select the next task to dispatch: the earliest idle task, skipping
+     * candidates whose hashed hint matches an earlier running task
+     * (only when @p serialize_same_hint; NOHINT tasks never match).
+     * @param skips incremented once per serialization skip.
+     */
+    Task* pickDispatchable(bool serialize_same_hint, uint64_t& skips) const;
+
+    /** Earliest unfinished (ts, uid) task, or nullptr. */
+    Task*
+    minUnfinished() const
+    {
+        return unfinished.empty() ? nullptr : *unfinished.begin();
+    }
+
+    /** Latest finished task in the commit queue, or nullptr. */
+    Task*
+    maxCommitQ() const
+    {
+        return commitQ.empty() ? nullptr : *commitQ.rbegin();
+    }
+
+    TileId tile;
+    uint32_t taskQueueCap;
+    uint32_t commitQueueCap;
+    double spillThreshold;
+    uint32_t inFlight = 0; ///< tasks en route to this tile
+    uint32_t running = 0;  ///< tasks occupying cores
+};
+
+} // namespace ssim

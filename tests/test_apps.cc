@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Integration tests: every benchmark, at the tiny preset, must validate
+ * against its host-native oracle under every scheduler and at several
+ * core counts — the order-equivalence property (DESIGN.md §5.1) applied
+ * to the real applications.
+ */
+#include <gtest/gtest.h>
+
+#include "apps/app.h"
+#include "apps/serial_machine.h"
+
+using namespace ssim;
+using namespace ssim::apps;
+
+namespace {
+
+struct Case
+{
+    std::string app;
+    bool fg;
+    SchedulerType sched;
+    uint32_t cores;
+};
+
+std::string
+caseName(const testing::TestParamInfo<Case>& info)
+{
+    const Case& c = info.param;
+    return c.app + (c.fg ? "FG" : "") + "_" +
+           schedulerName(c.sched) + "_" + std::to_string(c.cores) + "c";
+}
+
+class AppRun : public testing::TestWithParam<Case>
+{
+};
+
+} // namespace
+
+TEST_P(AppRun, ValidatesAgainstOracle)
+{
+    const Case& c = GetParam();
+    auto app = makeApp(c.app, c.fg);
+    AppParams params;
+    params.preset = Preset::Tiny;
+    app->setup(params);
+
+    app->reset();
+    SimConfig cfg = SimConfig::withCores(c.cores, c.sched);
+    Machine m(cfg);
+    app->enqueueInitial(m);
+    m.run();
+
+    EXPECT_TRUE(app->validate())
+        << c.app << " under " << schedulerName(c.sched) << " @ "
+        << c.cores << " cores";
+    EXPECT_GT(m.stats().tasksCommitted, 0u);
+    EXPECT_GT(m.stats().cycles, 0u);
+}
+
+namespace {
+
+std::vector<Case>
+allCases()
+{
+    std::vector<Case> cases;
+    for (const auto& name : appNames()) {
+        for (auto sched :
+             {SchedulerType::Random, SchedulerType::Stealing,
+              SchedulerType::Hints, SchedulerType::LBHints}) {
+            for (uint32_t cores : {1u, 16u}) {
+                cases.push_back({name, false, sched, cores});
+            }
+        }
+    }
+    // FG variants under Hints (the pairing the paper evaluates most).
+    for (const auto& name : fineGrainAppNames()) {
+        cases.push_back({name, true, SchedulerType::Hints, 16});
+        cases.push_back({name, true, SchedulerType::Random, 16});
+    }
+    return cases;
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(AllApps, AppRun, testing::ValuesIn(allCases()),
+                         caseName);
+
+TEST(SerialRefs, AllAppsSerialRunAndValidate)
+{
+    for (const auto& name : appNames()) {
+        auto app = makeApp(name);
+        AppParams params;
+        params.preset = Preset::Tiny;
+        app->setup(params);
+        SerialMachine sm;
+        uint64_t cycles = app->serialCycles(sm);
+        EXPECT_GT(cycles, 0u) << name;
+    }
+}

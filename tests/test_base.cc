@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Unit tests for base substrates: hashing, Bloom filters, RNG, stats.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "base/bloom.h"
+#include "base/hash.h"
+#include "base/rng.h"
+#include "base/stats.h"
+
+using namespace ssim;
+
+TEST(Hash, H3Deterministic)
+{
+    H3Hash a(16, 42), b(16, 42), c(16, 43);
+    for (uint64_t k = 0; k < 100; k++) {
+        EXPECT_EQ(a.hash(k), b.hash(k));
+        EXPECT_LT(a.hash(k), 1u << 16);
+    }
+    // Different seeds give different functions (overwhelmingly likely).
+    int diff = 0;
+    for (uint64_t k = 0; k < 100; k++)
+        diff += a.hash(k) != c.hash(k);
+    EXPECT_GT(diff, 90);
+}
+
+TEST(Hash, H3IsLinear)
+{
+    // H3 is XOR-linear: h(a ^ b) == h(a) ^ h(b) (with h(0) == 0).
+    H3Hash h(12, 7);
+    EXPECT_EQ(h.hash(0), 0u);
+    Rng rng(1);
+    for (int i = 0; i < 100; i++) {
+        uint64_t a = rng.next(), b = rng.next();
+        EXPECT_EQ(h.hash(a ^ b), h.hash(a) ^ h.hash(b));
+    }
+}
+
+TEST(Hash, H3SpreadsUniformly)
+{
+    H3Hash h(10, 99);
+    std::vector<uint32_t> hits(1024, 0);
+    for (uint64_t k = 0; k < 1024 * 16; k++)
+        hits[h.hash(k)]++;
+    for (uint32_t c : hits)
+        EXPECT_GT(c, 0u); // every bucket hit with 16x load
+}
+
+TEST(Hash, HintMapsInRange)
+{
+    for (uint64_t hint = 0; hint < 1000; hint++) {
+        EXPECT_LT(hintToTile(hint, 64), 64u);
+        EXPECT_LT(hintToBucket(hint, 1024), 1024u);
+    }
+    // hintToTile and hintToBucket are independent maps.
+    EXPECT_NE(hintToTile(12345, 64), hintToBucket(12345, 64));
+}
+
+TEST(Hash, HintHash16Collisions)
+{
+    // 16-bit hashed hints: collisions exist but are rare (Sec. III-B
+    // quotes ~6e-5 false match probability with 4 cores/tile).
+    std::set<uint16_t> seen;
+    uint32_t collisions = 0;
+    for (uint64_t h = 0; h < 1000; h++)
+        if (!seen.insert(hintHash16(h)).second)
+            collisions++;
+    EXPECT_LT(collisions, 20u);
+}
+
+TEST(Bloom, NoFalseNegatives)
+{
+    BloomFilter f; // 2Kbit, 8-way (Table II)
+    Rng rng(3);
+    std::vector<uint64_t> keys;
+    for (int i = 0; i < 40; i++)
+        keys.push_back(rng.next());
+    for (uint64_t k : keys)
+        f.insert(k);
+    for (uint64_t k : keys)
+        EXPECT_TRUE(f.mayContain(k));
+}
+
+TEST(Bloom, EmptyAndClear)
+{
+    BloomFilter f;
+    EXPECT_TRUE(f.empty());
+    EXPECT_FALSE(f.mayContain(123));
+    f.insert(123);
+    EXPECT_FALSE(f.empty());
+    EXPECT_TRUE(f.mayContain(123));
+    f.clear();
+    EXPECT_TRUE(f.empty());
+    EXPECT_FALSE(f.mayContain(123));
+}
+
+TEST(Bloom, LowFalsePositiveRateAtTypicalOccupancy)
+{
+    // A task's read/write set is tens of lines; with 2Kbit x 8 ways the
+    // false-positive rate should be tiny.
+    BloomFilter f;
+    Rng rng(9);
+    for (int i = 0; i < 32; i++)
+        f.insert(rng.next());
+    uint32_t fp = 0;
+    const uint32_t probes = 20000;
+    for (uint32_t i = 0; i < probes; i++)
+        fp += f.mayContain(rng.next());
+    EXPECT_LT(double(fp) / probes, 0.01);
+}
+
+TEST(Bloom, OccupancyGrows)
+{
+    BloomFilter f;
+    double prev = f.occupancy();
+    EXPECT_EQ(prev, 0.0);
+    Rng rng(11);
+    for (int i = 0; i < 64; i++)
+        f.insert(rng.next());
+    EXPECT_GT(f.occupancy(), prev);
+    EXPECT_LT(f.occupancy(), 0.5);
+}
+
+TEST(Rng, DeterministicAndDistinctSeeds)
+{
+    Rng a(5), b(5), c(6);
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(a.next(), b.next());
+    EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, RangeAndUniform)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; i++) {
+        EXPECT_LT(r.range(10), 10u);
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+    EXPECT_EQ(r.range(0), 0u);
+}
+
+TEST(Rng, ChanceApproximatesProbability)
+{
+    Rng r(13);
+    int hits = 0;
+    for (int i = 0; i < 100000; i++)
+        hits += r.chance(0.3);
+    EXPECT_NEAR(hits / 100000.0, 0.3, 0.02);
+}
+
+TEST(Stats, MeansAndTotals)
+{
+    EXPECT_DOUBLE_EQ(gmean({4.0, 1.0}), 2.0);
+    EXPECT_DOUBLE_EQ(hmean({1.0, 1.0}), 1.0);
+    EXPECT_NEAR(hmean({2.0, 6.0}), 3.0, 1e-12);
+
+    SimStats s;
+    s.coreCycles[0] = 10;
+    s.coreCycles[3] = 5;
+    EXPECT_EQ(s.totalCoreCycles(), 15u);
+    s.flits[1] = 7;
+    EXPECT_EQ(s.totalFlits(), 7u);
+    EXPECT_FALSE(s.summary().empty());
+}
+
+TEST(Stats, BucketAndClassNames)
+{
+    EXPECT_STREQ(cycleBucketName(CycleBucket::Commit), "commit");
+    EXPECT_STREQ(cycleBucketName(CycleBucket::Empty), "empty");
+    EXPECT_STREQ(trafficClassName(TrafficClass::MemAcc), "mem_accs");
+    EXPECT_STREQ(trafficClassName(TrafficClass::Gvt), "gvt");
+}

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Unit tests for the cache hierarchy, directory coherence, and the mesh
+ * NoC model.
+ */
+#include <gtest/gtest.h>
+
+#include "mem/cache_array.h"
+#include "mem/memory_system.h"
+#include "noc/mesh.h"
+
+using namespace ssim;
+
+namespace {
+
+SimConfig
+cfg16()
+{
+    return SimConfig::withCores(16); // 4 tiles, 2x2 mesh
+}
+
+} // namespace
+
+TEST(CacheArray, HitMissAndLru)
+{
+    CacheArray c(/*size=*/8 * lineBytes, /*ways=*/2); // 4 sets x 2 ways
+    EXPECT_EQ(c.numSets(), 4u);
+    EXPECT_EQ(c.lookup(0x100), nullptr);
+    EXPECT_FALSE(c.insert(0x100).has_value());
+    EXPECT_NE(c.lookup(0x100), nullptr);
+
+    // Fill the set of 0x100 (same set: line % 4 equal).
+    LineAddr same_set = 0x100 + 4;
+    c.insert(same_set);
+    c.lookup(0x100); // make 0x100 MRU
+    auto victim = c.insert(0x100 + 8);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(victim->line, same_set); // LRU evicted
+    EXPECT_NE(c.lookup(0x100), nullptr);
+}
+
+TEST(CacheArray, InvalidateAndState)
+{
+    CacheArray c(16 * lineBytes, 4);
+    c.insert(0x42, /*state=*/3);
+    auto* st = c.lookup(0x42);
+    ASSERT_NE(st, nullptr);
+    EXPECT_EQ(*st, 3);
+    *st = 7;
+    auto inv = c.invalidate(0x42);
+    ASSERT_TRUE(inv.has_value());
+    EXPECT_EQ(*inv, 7);
+    EXPECT_EQ(c.lookup(0x42), nullptr);
+    EXPECT_FALSE(c.invalidate(0x42).has_value());
+}
+
+TEST(Mesh, XyLatencyAndHops)
+{
+    SimConfig cfg = SimConfig::withCores(256); // 8x8 mesh
+    Mesh m(cfg);
+    EXPECT_EQ(m.dim(), 8u);
+    EXPECT_EQ(m.latency(0, 0), 0u);
+    EXPECT_EQ(m.hops(0, 7), 7u);        // straight along x
+    EXPECT_EQ(m.latency(0, 7), 7u);     // 1 cycle/hop, no turn
+    EXPECT_EQ(m.hops(0, 56), 7u);       // straight along y
+    EXPECT_EQ(m.latency(0, 63), 14 + 1u); // 14 hops + 1 turn penalty
+}
+
+TEST(Mesh, TrafficAccounting)
+{
+    Mesh m(cfg16());
+    m.inject(0, 1, 5, TrafficClass::MemAcc);
+    m.inject(0, 0, 5, TrafficClass::MemAcc); // intra-tile: free
+    m.inject(1, 2, 3, TrafficClass::Task);
+    m.injectRaw(2, TrafficClass::Gvt);
+    EXPECT_EQ(m.flitsOf(TrafficClass::MemAcc), 5u);
+    EXPECT_EQ(m.flitsOf(TrafficClass::Task), 3u);
+    EXPECT_EQ(m.flitsOf(TrafficClass::Gvt), 2u);
+    EXPECT_EQ(m.flitsOf(TrafficClass::Abort), 0u);
+}
+
+class MemSystem : public testing::Test
+{
+  protected:
+    MemSystem() : cfg(cfg16()), mesh(cfg), mem(cfg, mesh, stats) {}
+
+    SimConfig cfg;
+    Mesh mesh;
+    SimStats stats;
+    MemorySystem mem;
+    uint64_t buf[64] = {};
+};
+
+TEST_F(MemSystem, L1HitAfterFill)
+{
+    Addr a = addrOf(&buf[0]);
+    auto first = mem.access(0, a, false);
+    EXPECT_GT(first.latency, cfg.l1Latency);
+    EXPECT_TRUE(first.leftTile);
+    auto second = mem.access(0, a, false);
+    EXPECT_EQ(second.latency, cfg.l1Latency);
+    EXPECT_FALSE(second.leftTile);
+    EXPECT_EQ(stats.l1Hits, 1u);
+    EXPECT_TRUE(mem.inL1(0, lineOf(a)));
+    EXPECT_TRUE(mem.inL2(0, lineOf(a)));
+    EXPECT_TRUE(mem.inL3(lineOf(a)));
+}
+
+TEST_F(MemSystem, WriteInvalidatesRemoteSharers)
+{
+    Addr a = addrOf(&buf[8]);
+    LineAddr line = lineOf(a);
+    // Cores 0 (tile 0) and 4 (tile 1) read the line: both share it.
+    mem.access(0, a, false);
+    mem.access(4, a, false);
+    EXPECT_EQ(__builtin_popcountll(mem.sharerMask(line)), 2);
+    // Core 8 (tile 2) writes: all other copies invalidated.
+    mem.access(8, a, true);
+    EXPECT_EQ(mem.sharerMask(line), uint64_t(1) << 2);
+    EXPECT_FALSE(mem.inL1(0, line));
+    EXPECT_FALSE(mem.inL2(0, line));
+    EXPECT_FALSE(mem.inL2(1, line));
+    EXPECT_TRUE(mem.inL2(2, line));
+}
+
+TEST_F(MemSystem, UpgradeOnSharedWrite)
+{
+    Addr a = addrOf(&buf[16]);
+    mem.access(0, a, false); // tile 0 Shared
+    mem.access(4, a, false); // tile 1 Shared
+    uint64_t abortFlitsBefore = mesh.flitsOf(TrafficClass::MemAcc);
+    auto up = mem.access(0, a, true); // upgrade
+    EXPECT_TRUE(up.leftTile);
+    EXPECT_GT(mesh.flitsOf(TrafficClass::MemAcc), abortFlitsBefore);
+    // Subsequent writes from the same core hit in L1.
+    auto w2 = mem.access(0, a, true);
+    EXPECT_EQ(w2.latency, cfg.l1Latency);
+}
+
+TEST_F(MemSystem, DirtyDataForwardedBetweenTiles)
+{
+    Addr a = addrOf(&buf[24]);
+    mem.access(0, a, true); // tile 0 Modified
+    auto r = mem.access(12, a, false); // tile 3 reads: owner forwards
+    EXPECT_TRUE(r.leftTile);
+    uint64_t mask = mem.sharerMask(lineOf(a));
+    EXPECT_EQ(mask, (1ull << 0) | (1ull << 3));
+}
+
+TEST_F(MemSystem, MissLatencyOrdering)
+{
+    // Memory > L3 > L2 > L1 latency ordering must hold.
+    Addr a = addrOf(&buf[32]);
+    auto mem_miss = mem.access(0, a, false); // cold: memory
+    auto l1_hit = mem.access(0, a, false);
+    EXPECT_GT(mem_miss.latency, cfg.memLatency);
+    EXPECT_EQ(l1_hit.latency, cfg.l1Latency);
+    // Another core in the same tile: L1 miss, L2 hit.
+    auto l2_hit = mem.access(1, a, false);
+    EXPECT_EQ(l2_hit.latency, cfg.l1Latency + cfg.l2Latency);
+    // A remote tile: L3 hit, longer than an L2 hit.
+    auto l3_hit = mem.access(4, a, false);
+    EXPECT_GT(l3_hit.latency, l2_hit.latency);
+    EXPECT_LT(l3_hit.latency, mem_miss.latency);
+}
+
+TEST_F(MemSystem, HomeDistribution)
+{
+    // Static NUCA interleaving spreads lines across all 4 tiles.
+    std::array<int, 4> count{};
+    for (LineAddr l = 0; l < 4096; l++)
+        count[mem.homeOf(l)]++;
+    for (int c : count)
+        EXPECT_GT(c, 700);
+}

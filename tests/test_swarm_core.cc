@@ -1,0 +1,316 @@
+/**
+ * @file
+ * Unit tests for the Swarm core: speculation semantics (conflicts,
+ * forwarding, cascading aborts, undo), dispatch serialization, spills,
+ * the load balancer, the event queue, and the config.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.h"
+#include "swarm/load_balancer.h"
+#include "swarm/machine.h"
+#include "swarm/task_unit.h"
+
+using namespace ssim;
+
+// ---- Event queue -------------------------------------------------------------
+
+TEST(EventQueue, OrdersByTimeThenInsertion)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(10, [&] { order.push_back(2); });
+    eq.schedule(5, [&] { order.push_back(1); });
+    eq.schedule(10, [&] { order.push_back(3); }); // same time: after 2
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 10u);
+    EXPECT_EQ(eq.executedEvents(), 3u);
+}
+
+TEST(EventQueue, ScheduleFromCallbackAndStop)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] {
+        fired++;
+        eq.scheduleAfter(5, [&] { fired++; });
+    });
+    EXPECT_EQ(eq.runSome(1), 1u);
+    EXPECT_EQ(fired, 1);
+    eq.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 6u);
+}
+
+// ---- Config --------------------------------------------------------------------
+
+TEST(Config, WithCoresFollowsPaperScaling)
+{
+    auto c1 = SimConfig::withCores(1);
+    EXPECT_EQ(c1.ntiles, 1u);
+    EXPECT_EQ(c1.coresPerTile, 1u);
+    auto c256 = SimConfig::withCores(256);
+    EXPECT_EQ(c256.ntiles, 64u);
+    EXPECT_EQ(c256.coresPerTile, 4u);
+    EXPECT_EQ(c256.meshDim(), 8u);
+    EXPECT_EQ(c256.totalCores(), 256u);
+    EXPECT_EQ(c256.numBuckets(), 1024u); // 16 buckets/tile (Sec. VI)
+    EXPECT_FALSE(SimConfig::withCores(64, SchedulerType::Random)
+                     .serializeSameHint);
+    EXPECT_TRUE(SimConfig::withCores(64, SchedulerType::Hints)
+                    .serializeSameHint);
+    EXPECT_FALSE(SimConfig::withCores(16).describe().empty());
+    EXPECT_EQ(schedulerFromName("LBHints"), SchedulerType::LBHints);
+}
+
+// ---- Load balancer ---------------------------------------------------------------
+
+TEST(LoadBalancer, InitialMapIsUniform)
+{
+    SimConfig cfg = SimConfig::withCores(64); // 16 tiles
+    LoadBalancer lb(cfg);
+    std::vector<uint32_t> per(cfg.ntiles, 0);
+    for (uint32_t b = 0; b < lb.numBuckets(); b++)
+        per[lb.tileOfBucket(b)]++;
+    for (uint32_t p : per)
+        EXPECT_EQ(p, cfg.bucketsPerTile);
+}
+
+TEST(LoadBalancer, MovesBucketsFromOverloadedTiles)
+{
+    SimConfig cfg = SimConfig::withCores(16); // 4 tiles, 64 buckets
+    LoadBalancer lb(cfg);
+    // Tile 0 heavily loaded through two of its buckets.
+    uint32_t b0 = 0, b4 = 4; // both initially map to tile 0
+    ASSERT_EQ(lb.tileOfBucket(b0), 0u);
+    ASSERT_EQ(lb.tileOfBucket(b4), 0u);
+    lb.profileCommit(0, b0, 100000);
+    lb.profileCommit(0, b4, 100000);
+    lb.profileCommit(1, 1, 1000);
+    lb.profileCommit(2, 2, 1000);
+    lb.profileCommit(3, 3, 1000);
+    uint32_t moved = lb.reconfigure({});
+    EXPECT_GE(moved, 1u);
+    // At least one of the hot buckets left tile 0.
+    EXPECT_TRUE(lb.tileOfBucket(b0) != 0 || lb.tileOfBucket(b4) != 0);
+}
+
+TEST(LoadBalancer, RespectsFractionCap)
+{
+    // With f = 0.8, a single reconfiguration must not fully drain the
+    // overloaded tile (avoiding oscillation, Sec. VI).
+    SimConfig cfg = SimConfig::withCores(16);
+    cfg.lbFraction = 0.5;
+    LoadBalancer lb(cfg);
+    for (uint32_t b = 0; b < lb.numBuckets(); b++)
+        if (lb.tileOfBucket(b) == 0)
+            lb.profileCommit(0, b, 10000);
+    lb.reconfigure({});
+    uint32_t still0 = 0;
+    for (uint32_t b = 0; b < lb.numBuckets(); b++)
+        still0 += lb.tileOfBucket(b) == 0;
+    EXPECT_GE(still0, 4u); // at least half its 16 buckets (f=0.5) remain
+}
+
+TEST(LoadBalancer, IdleSignalVariant)
+{
+    SimConfig cfg = SimConfig::withCores(16);
+    cfg.lbSignal = LbSignal::IdleTasks;
+    LoadBalancer lb(cfg);
+    uint32_t moved = lb.reconfigure({1000, 10, 10, 10});
+    EXPECT_GE(moved, 1u);
+}
+
+TEST(LoadBalancer, TaggedCountersAreBounded)
+{
+    SimConfig cfg = SimConfig::withCores(16);
+    LoadBalancer lb(cfg);
+    // Hammer one tile with more distinct buckets than it has counters
+    // (32 = 2x bucketsPerTile); overflow samples are dropped like in
+    // hardware, so this must not grow without bound or crash.
+    for (uint32_t b = 0; b < lb.numBuckets(); b++)
+        lb.profileCommit(0, b, 10);
+    EXPECT_LE(lb.profiledLoad(0), 32u * 10u);
+}
+
+// ---- Speculation semantics through the Machine ------------------------------------
+
+namespace {
+
+struct SpecState
+{
+    uint64_t x = 0;
+    uint64_t y = 0;
+    alignas(64) uint64_t log[8] = {};
+    uint64_t logIdx = 0;
+};
+
+// Reads x (forwarded if an earlier writer is uncommitted), records it.
+swarm::TaskCoro
+readerTask(swarm::TaskCtx& ctx, swarm::Timestamp ts, const uint64_t* args)
+{
+    auto* s = swarm::argPtr<SpecState>(args[0]);
+    uint64_t v = co_await ctx.read(&s->x);
+    uint64_t i = co_await ctx.read(&s->logIdx);
+    co_await ctx.write(&s->log[i], v);
+    co_await ctx.write(&s->logIdx, i + 1);
+}
+
+// Writes x = ts after a long compute delay (runs late in real time).
+swarm::TaskCoro
+slowWriterTask(swarm::TaskCtx& ctx, swarm::Timestamp ts,
+               const uint64_t* args)
+{
+    auto* s = swarm::argPtr<SpecState>(args[0]);
+    co_await ctx.compute(uint32_t(args[1]));
+    co_await ctx.write(&s->x, ts);
+}
+
+swarm::TaskCoro
+incXTask(swarm::TaskCtx& ctx, swarm::Timestamp, const uint64_t* args)
+{
+    auto* s = swarm::argPtr<SpecState>(args[0]);
+    uint64_t v = co_await ctx.read(&s->x);
+    co_await ctx.write(&s->x, v + 1);
+}
+
+// Parent writes y then spawns a child that also writes y; used to check
+// that aborting the parent discards the child.
+swarm::TaskCoro
+childYTask(swarm::TaskCtx& ctx, swarm::Timestamp, const uint64_t* args)
+{
+    auto* s = swarm::argPtr<SpecState>(args[0]);
+    co_await ctx.write(&s->y, 99);
+}
+
+swarm::TaskCoro
+parentSpawner(swarm::TaskCtx& ctx, swarm::Timestamp ts,
+              const uint64_t* args)
+{
+    auto* s = swarm::argPtr<SpecState>(args[0]);
+    co_await ctx.compute(200);
+    uint64_t v = co_await ctx.read(&s->x); // conflicts with slow writer
+    co_await ctx.enqueue(childYTask, ts + 1, swarm::Hint(1), args[0]);
+    co_await ctx.write(&s->y, v);
+}
+
+} // namespace
+
+TEST(Speculation, LaterReaderAbortsOnEarlierWrite)
+{
+    // Reader (ts=10) runs before the slow writer (ts=5) commits its
+    // write; eager conflict detection must abort and re-run the reader
+    // so it observes the writer's value.
+    SimConfig cfg = SimConfig::withCores(4, SchedulerType::Hints);
+    Machine m(cfg);
+    SpecState s;
+    m.enqueueInitial(slowWriterTask, 5, swarm::Hint(1), &s, uint64_t(500));
+    m.enqueueInitial(readerTask, 10, swarm::Hint(2), &s);
+    m.run();
+    EXPECT_EQ(s.x, 5u);
+    EXPECT_EQ(s.log[0], 5u); // reader saw the writer's value
+    EXPECT_EQ(s.logIdx, 1u);
+    EXPECT_GE(m.stats().tasksAborted, 1u);
+}
+
+TEST(Speculation, SerializedIncrementsAreExact)
+{
+    // 32 unordered same-hint increments of one counter: must total 32
+    // under every scheduler (serializability), not lose updates.
+    for (auto sched : {SchedulerType::Random, SchedulerType::Hints}) {
+        SimConfig cfg = SimConfig::withCores(16, sched);
+        Machine m(cfg);
+        SpecState s;
+        for (int i = 0; i < 32; i++)
+            m.enqueueInitial(incXTask, 1, swarm::Hint(7), &s);
+        m.run();
+        EXPECT_EQ(s.x, 32u) << schedulerName(sched);
+    }
+}
+
+TEST(Speculation, AbortDiscardsSpeculativeChildren)
+{
+    // The parent reads x early (stale), spawns a child, then the earlier
+    // writer's write aborts the parent; the child's write of y=99 must
+    // be discarded and the final y must reflect the re-execution.
+    SimConfig cfg = SimConfig::withCores(4, SchedulerType::Hints);
+    Machine m(cfg);
+    SpecState s;
+    m.enqueueInitial(slowWriterTask, 1, swarm::Hint(1), &s, uint64_t(800));
+    m.enqueueInitial(parentSpawner, 10, swarm::Hint(2), &s);
+    m.run();
+    EXPECT_EQ(s.x, 1u);
+    EXPECT_EQ(s.y, 99u); // child re-created after parent re-ran
+    EXPECT_GE(m.stats().tasksAborted, 1u);
+}
+
+TEST(Speculation, HintSerializationReducesAborts)
+{
+    // Same-hint contended increments: with dispatch serialization the
+    // conflicting tasks never run concurrently on a tile.
+    auto run = [](bool serialize) {
+        SimConfig cfg = SimConfig::withCores(4, SchedulerType::Hints);
+        cfg.serializeSameHint = serialize;
+        Machine m(cfg);
+        static SpecState s;
+        s = SpecState();
+        for (int i = 0; i < 64; i++)
+            m.enqueueInitial(incXTask, 1, swarm::Hint(7), &s);
+        m.run();
+        EXPECT_EQ(s.x, 64u);
+        return m.stats();
+    };
+    auto off = run(false);
+    auto on = run(true);
+    EXPECT_LT(on.tasksAborted, off.tasksAborted);
+    EXPECT_GT(on.dispatchSkips, 0u);
+}
+
+TEST(Speculation, StatsAccounting)
+{
+    SimConfig cfg = SimConfig::withCores(4, SchedulerType::Hints);
+    Machine m(cfg);
+    SpecState s;
+    for (int i = 0; i < 10; i++)
+        m.enqueueInitial(incXTask, uint64_t(i), swarm::Hint(i), &s);
+    m.run();
+    const SimStats& st = m.stats();
+    EXPECT_EQ(st.tasksCommitted, 10u);
+    EXPECT_GT(st.coreCycles[size_t(CycleBucket::Commit)], 0u);
+    EXPECT_GT(st.cycles, 0u);
+    EXPECT_GT(st.l1Misses, 0u);
+    // GVT protocol traffic accrues every epoch.
+    EXPECT_GT(st.flits[size_t(TrafficClass::Gvt)], 0u);
+}
+
+// ---- Spills ----------------------------------------------------------------------
+
+namespace {
+
+swarm::TaskCoro
+tinyTask(swarm::TaskCtx& ctx, swarm::Timestamp, const uint64_t* args)
+{
+    auto* s = swarm::argPtr<SpecState>(args[0]);
+    uint64_t v = co_await ctx.read(&s->y);
+    co_await ctx.write(&s->y, v + 1);
+}
+
+} // namespace
+
+TEST(Spills, OverflowSpillsAndCompletes)
+{
+    // 1-core system: 64 task-queue entries; 1000 tasks must spill to
+    // memory and still all run.
+    SimConfig cfg = SimConfig::withCores(1, SchedulerType::Hints);
+    Machine m(cfg);
+    SpecState s;
+    for (int i = 0; i < 1000; i++)
+        m.enqueueInitial(tinyTask, uint64_t(i), swarm::Hint(uint64_t(i)),
+                         &s);
+    m.run();
+    EXPECT_EQ(s.y, 1000u);
+    EXPECT_EQ(m.stats().tasksCommitted, 1000u);
+    EXPECT_GT(m.stats().tasksSpilled, 0u);
+    EXPECT_GT(m.stats().coreCycles[size_t(CycleBucket::Spill)], 0u);
+}
