@@ -28,11 +28,12 @@ main()
         auto hints =
             runOnce(*app, SimConfig::withCores(cores, SchedulerType::Hints));
 
-        SimConfig lbc = SimConfig::withCores(cores, SchedulerType::LBHints);
+        SimConfig lbc = SimConfig::withCores(cores);
+        policies::apply(lbc, "sched=lbhints,lb-signal=committed");
         auto committed = runOnce(*app, lbc);
 
-        SimConfig lbi = lbc;
-        lbi.lbSignal = LbSignal::IdleTasks;
+        SimConfig lbi = SimConfig::withCores(cores);
+        policies::apply(lbi, "sched=lbhints,lb-signal=idle");
         auto idle = runOnce(*app, lbi);
 
         double base = double(hints.stats.cycles);

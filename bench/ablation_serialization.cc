@@ -29,11 +29,12 @@ main()
             runOnce(*app, SimConfig::withCores(1, SchedulerType::Hints))
                 .stats.cycles;
 
-        SimConfig off = SimConfig::withCores(cores, SchedulerType::Hints);
-        off.serializeSameHint = false;
+        SimConfig off = SimConfig::withCores(cores);
+        policies::apply(off, "sched=hints,serialize=off");
         auto roff = runOnce(*app, off);
 
-        SimConfig on = SimConfig::withCores(cores, SchedulerType::Hints);
+        SimConfig on = SimConfig::withCores(cores);
+        policies::apply(on, "sched=hints");
         auto ron = runOnce(*app, on);
 
         t.addRow({name, fmt(double(base) / double(roff.stats.cycles)) + "x",

@@ -19,14 +19,9 @@ main()
            "Victim in {most-loaded, random, nearest}; task in {earliest, "
            "random, latest}; speedups vs 1-core");
 
-    const std::pair<StealVictim, const char*> victims[] = {
-        {StealVictim::MostLoaded, "most-loaded"},
-        {StealVictim::Random, "random"},
-        {StealVictim::NearestNeighbor, "nearest"}};
-    const std::pair<StealChoice, const char*> choices[] = {
-        {StealChoice::EarliestTs, "earliest"},
-        {StealChoice::Random, "random"},
-        {StealChoice::LatestTs, "latest"}};
+    // Policies selected by name through the registry (swarm/policies.h).
+    const char* victims[] = {"most-loaded", "random", "nearest"};
+    const char* choices[] = {"earliest", "random", "latest"};
 
     uint32_t cores = maxCores();
     for (const std::string name : {"des", "sssp", "color"}) {
@@ -35,13 +30,13 @@ main()
             runOnce(*app, SimConfig::withCores(1, SchedulerType::Stealing))
                 .stats.cycles;
         Table t({"victim\\task", "earliest", "random", "latest"});
-        for (auto [v, vn] : victims) {
+        for (const char* vn : victims) {
             std::vector<std::string> row{vn};
-            for (auto [c, cn] : choices) {
-                SimConfig cfg =
-                    SimConfig::withCores(cores, SchedulerType::Stealing);
-                cfg.stealVictim = v;
-                cfg.stealChoice = c;
+            for (const char* cn : choices) {
+                SimConfig cfg = SimConfig::withCores(cores);
+                policies::apply(cfg,
+                                std::string("sched=stealing,steal-victim=") +
+                                    vn + ",steal-choice=" + cn);
                 auto r = runOnce(*app, cfg);
                 row.push_back(
                     fmt(double(base) / double(r.stats.cycles)) + "x" +

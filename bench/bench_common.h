@@ -20,6 +20,7 @@
 #include "harness/classifier.h"
 #include "harness/report.h"
 #include "harness/runner.h"
+#include "swarm/policies.h"
 
 namespace ssim::bench {
 

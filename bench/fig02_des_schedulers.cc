@@ -21,20 +21,18 @@ main()
     auto app = loadApp("des");
     auto cores = coreSweep();
 
-    const SchedulerType scheds[] = {
-        SchedulerType::Random, SchedulerType::Stealing,
-        SchedulerType::Hints, SchedulerType::LBHints};
+    // Schedulers selected by name through the policy registry.
+    const auto scheds = policies::schedulerNames();
 
     // (a) Speedups, relative to 1-core (all schedulers equivalent at 1c).
     std::vector<std::vector<RunResult>> results;
-    for (auto s : scheds)
-        results.push_back(sweep(*app, s, cores));
+    for (const auto& s : scheds)
+        results.push_back(sweep(*app, "sched=" + s, cores));
     uint64_t base = results[0][0].stats.cycles;
 
     Table speedup(coreHeaders());
     for (size_t i = 0; i < results.size(); i++)
-        printSpeedupRow(speedup, schedulerName(scheds[i]), results[i],
-                        base);
+        printSpeedupRow(speedup, scheds[i], results[i], base);
     std::printf("\n(a) des speedup vs 1-core Swarm\n");
     speedup.print();
     speedup.writeCsv("fig02a_des_speedup");
@@ -47,7 +45,7 @@ main()
     double norm = double(results[0].back().stats.totalCoreCycles());
     for (size_t i = 0; i < results.size(); i++) {
         auto row = cycleBreakdownRow(results[i].back().stats, norm);
-        row.insert(row.begin(), schedulerName(scheds[i]));
+        row.insert(row.begin(), scheds[i]);
         bd.addRow(row);
     }
     bd.print();

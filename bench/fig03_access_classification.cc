@@ -22,14 +22,11 @@ main()
              "single-RW", "accesses"});
     for (const auto& name : apps::appNames()) {
         auto app = loadApp(name);
-        app->reset();
         AccessClassifier cls;
-        SimConfig cfg = SimConfig::withCores(16, SchedulerType::Hints);
-        Machine m(cfg);
-        m.setProfiler(&cls);
-        app->enqueueInitial(m);
-        m.run();
-        ssim_assert(app->validate(), "%s failed validation", name.c_str());
+        SimConfig cfg = SimConfig::withCores(16);
+        policies::apply(cfg, "sched=hints");
+        auto run = runOnce(*app, cfg, &cls);
+        ssim_assert(run.valid, "%s failed validation", name.c_str());
         auto r = cls.classify();
         t.addRow({name, fmt(r.arguments), fmt(r.multiHintRO),
                   fmt(r.singleHintRO), fmt(r.multiHintRW),

@@ -25,14 +25,11 @@ main()
         uint64_t cgTotal = 0;
         for (bool fg : {false, true}) {
             auto app = loadApp(name, fg);
-            app->reset();
             AccessClassifier cls;
-            SimConfig cfg = SimConfig::withCores(16, SchedulerType::Hints);
-            Machine m(cfg);
-            m.setProfiler(&cls);
-            app->enqueueInitial(m);
-            m.run();
-            ssim_assert(app->validate(), "%s failed", name.c_str());
+            SimConfig cfg = SimConfig::withCores(16);
+            policies::apply(cfg, "sched=hints");
+            auto run = runOnce(*app, cfg, &cls);
+            ssim_assert(run.valid, "%s failed", name.c_str());
             auto r = cls.classify();
             if (!fg)
                 cgTotal = r.totalAccesses;

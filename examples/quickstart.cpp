@@ -15,6 +15,7 @@
 #include "apps/graph.h"
 #include "base/rng.h"
 #include "swarm/machine.h"
+#include "swarm/policies.h"
 
 using namespace ssim;
 
@@ -73,8 +74,11 @@ main()
     app.dist.assign(app.g.n, apps::kUnreached);
     app.dist[0] = 0;
 
-    // Run on a 64-core (16-tile) machine with the Hints scheduler.
-    SimConfig cfg = SimConfig::withCores(64, SchedulerType::Hints);
+    // Run on a 64-core (16-tile) machine with the Hints scheduler,
+    // selected by name through the policy registry.
+    SimConfig cfg = SimConfig::withCores(64);
+    policies::apply(cfg, "sched=hints");
+    std::printf("policies: %s\n", policies::describe(cfg).c_str());
     Machine m(cfg);
     m.enqueueInitial(ssspTask, 0, swarm::cacheLine(&app.dist[0]), &app,
                      uint64_t(0));

@@ -29,7 +29,7 @@ uint32_t
 Circuit::addGate(GateType t, uint8_t delay)
 {
     ssim_assert(!finalized_);
-    build_.push_back(Build{t, delay});
+    build_.push_back(Build{t, delay, 0, {}});
     if (t == GateType::Input)
         inputGates.push_back(uint32_t(build_.size() - 1));
     return uint32_t(build_.size() - 1);

@@ -16,7 +16,7 @@
 
 #include <unordered_map>
 
-#include "swarm/machine.h"
+#include "swarm/commit_controller.h"
 
 namespace ssim::harness {
 

@@ -3,14 +3,17 @@
 #include <cstdlib>
 
 #include "base/logging.h"
+#include "swarm/policies.h"
 
 namespace ssim::harness {
 
 RunResult
-runOnce(apps::App& app, const SimConfig& cfg)
+runOnce(apps::App& app, const SimConfig& cfg, AccessProfiler* profiler)
 {
     app.reset();
     Machine m(cfg);
+    if (profiler)
+        m.setProfiler(profiler);
     app.enqueueInitial(m);
     m.run();
     RunResult r;
@@ -31,6 +34,24 @@ sweep(apps::App& app, SchedulerType sched,
     std::vector<RunResult> out;
     for (uint32_t c : cores) {
         SimConfig cfg = SimConfig::withCores(c, sched, seed);
+        out.push_back(runOnce(app, cfg));
+    }
+    return out;
+}
+
+std::vector<RunResult>
+sweep(apps::App& app, const std::string& policy_spec,
+      const std::vector<uint32_t>& cores, uint64_t seed)
+{
+    // Require an explicit scheduler: a spec like "steal-victim=random"
+    // alone would otherwise silently measure the default scheduler.
+    ssim_assert(policy_spec.rfind("sched=", 0) == 0 ||
+                    policy_spec.find(",sched=") != std::string::npos,
+                "policy spec must select a scheduler (sched=...)");
+    std::vector<RunResult> out;
+    for (uint32_t c : cores) {
+        SimConfig cfg = SimConfig::withCores(c, SchedulerType::Hints, seed);
+        policies::apply(cfg, policy_spec);
         out.push_back(runOnce(app, cfg));
     }
     return out;

@@ -6,11 +6,16 @@
  */
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "apps/app.h"
 #include "base/stats.h"
 #include "sim/config.h"
+
+namespace ssim {
+class AccessProfiler;
+}
 
 namespace ssim::harness {
 
@@ -23,11 +28,26 @@ struct RunResult
     SimStats stats;
 };
 
-/** Reset the app, run it once on a fresh machine, validate. */
-RunResult runOnce(apps::App& app, const SimConfig& cfg);
+/**
+ * Reset the app, run it once on a fresh machine, validate. A profiler,
+ * if given, is attached to the machine's CommitController and receives
+ * every committed task's access trace.
+ */
+RunResult runOnce(apps::App& app, const SimConfig& cfg,
+                  AccessProfiler* profiler = nullptr);
 
 /** Run one scheduler across a core-count sweep. */
 std::vector<RunResult> sweep(apps::App& app, SchedulerType sched,
+                             const std::vector<uint32_t>& cores,
+                             uint64_t seed = 1);
+
+/**
+ * Run a named policy spec (see swarm/policies.h, e.g. "sched=lbhints" or
+ * "sched=stealing,steal-victim=random") across a core-count sweep. The
+ * spec must include "sched=..."; it fatals otherwise.
+ */
+std::vector<RunResult> sweep(apps::App& app,
+                             const std::string& policy_spec,
                              const std::vector<uint32_t>& cores,
                              uint64_t seed = 1);
 

@@ -120,6 +120,14 @@ struct SimConfig
     // Derived ------------------------------------------------------------------------
     uint32_t totalCores() const { return ntiles * coresPerTile; }
     uint32_t meshDim() const;
+
+    // Topology helpers: flat core ids <-> (tile, core index).
+    TileId tileOfCore(CoreId c) const { return c / coresPerTile; }
+    uint32_t coreIdx(CoreId c) const { return c % coresPerTile; }
+    CoreId coreId(TileId t, uint32_t idx) const
+    {
+        return t * coresPerTile + idx;
+    }
     uint32_t numBuckets() const { return bucketsPerTile * ntiles; }
     uint32_t taskQueueCap() const { return taskQueuePerCore * coresPerTile; }
     uint32_t commitQueueCap() const

@@ -1,0 +1,170 @@
+#include "swarm/capacity_manager.h"
+
+#include <vector>
+
+#include "base/logging.h"
+#include "swarm/execution_engine.h"
+#include "swarm/task_unit.h"
+
+namespace ssim {
+
+CapacityManager::CapacityManager(const SimConfig& cfg, Mesh& mesh,
+                                 SimStats& stats, Rng& rng,
+                                 ExecutionEngine& engine)
+    : cfg_(cfg), mesh_(mesh), stats_(stats), rng_(rng), engine_(engine)
+{
+}
+
+// ---- Spills (coalescers, Sec. II-B / Table II) ------------------------------------
+
+void
+CapacityManager::maybeSpill(TileId tile)
+{
+    TaskUnit& unit = engine_.unit(tile);
+    if (!unit.taskQueueAboveSpillThreshold())
+        return;
+
+    // Coalescer: spill up to spillBatch idle tasks, latest first,
+    // preferring untied tasks (paper spills only parent-committed tasks;
+    // we may spill tied ones too -- see DESIGN.md).
+    // Never spill the tile's earliest idle task: it may gate the GVT.
+    Task* keep = *unit.idle.begin();
+    std::vector<Task*> batch;
+    for (auto it = unit.idle.rbegin();
+         it != unit.idle.rend() && batch.size() < cfg_.spillBatch; ++it) {
+        if ((*it)->untied && *it != keep)
+            batch.push_back(*it);
+    }
+    if (batch.size() < cfg_.spillBatch) {
+        for (auto it = unit.idle.rbegin();
+             it != unit.idle.rend() && batch.size() < cfg_.spillBatch;
+             ++it) {
+            if (!(*it)->untied && *it != keep)
+                batch.push_back(*it);
+        }
+    }
+    for (Task* t : batch) {
+        unit.idle.erase(t);
+        unit.spillBuf.insert(t);
+        t->spilled = true;
+        stats_.tasksSpilled++;
+        stats_.coreCycles[size_t(CycleBucket::Spill)] +=
+            cfg_.spillCostPerTask;
+        mesh_.injectRaw(cfg_.taskDescFlits, TrafficClass::MemAcc);
+    }
+}
+
+void
+CapacityManager::unspillIfRoom(TileId tile)
+{
+    TaskUnit& unit = engine_.unit(tile);
+    uint32_t lowWater = uint32_t(0.5 * unit.taskQueueCap);
+    uint32_t brought = 0;
+    while (!unit.spillBuf.empty()) {
+        Task* t = *unit.spillBuf.begin();
+        // Progress guarantee: a spilled task that precedes every idle
+        // task must come back regardless of occupancy -- otherwise the
+        // tile's (and possibly the system's) earliest task is stranded
+        // in memory and the GVT never advances.
+        bool mustRestore =
+            unit.idle.empty() || t->before(**unit.idle.begin());
+        bool haveRoom = unit.taskQueueOcc() < lowWater &&
+                        brought < cfg_.spillBatch;
+        if (!mustRestore && !haveRoom)
+            break;
+        unit.spillBuf.erase(unit.spillBuf.begin());
+        t->spilled = false;
+        unit.idle.insert(t);
+        stats_.coreCycles[size_t(CycleBucket::Spill)] +=
+            cfg_.spillCostPerTask;
+        mesh_.injectRaw(cfg_.taskDescFlits, TrafficClass::MemAcc);
+        brought++;
+    }
+}
+
+// ---- Idealized work-stealing (Sec. II-C) ---------------------------------------------
+
+bool
+CapacityManager::trySteal(TileId thief)
+{
+    // Victim selection.
+    TileId victim = cfg_.ntiles; // invalid
+    switch (cfg_.stealVictim) {
+      case StealVictim::MostLoaded: {
+        size_t best = 0;
+        for (TileId t = 0; t < cfg_.ntiles; t++) {
+            if (t == thief)
+                continue;
+            size_t n = engine_.unit(t).idle.size();
+            if (n > best) {
+                best = n;
+                victim = t;
+            }
+        }
+        break;
+      }
+      case StealVictim::Random: {
+        // Try a few random probes, then fall back to a scan.
+        for (int i = 0; i < 4 && victim == cfg_.ntiles; i++) {
+            TileId t = TileId(rng_.range(cfg_.ntiles));
+            if (t != thief && !engine_.unit(t).idle.empty())
+                victim = t;
+        }
+        if (victim == cfg_.ntiles) {
+            for (TileId t = 0; t < cfg_.ntiles; t++)
+                if (t != thief && !engine_.unit(t).idle.empty()) {
+                    victim = t;
+                    break;
+                }
+        }
+        break;
+      }
+      case StealVictim::NearestNeighbor: {
+        uint32_t bestDist = ~0u;
+        for (TileId t = 0; t < cfg_.ntiles; t++) {
+            if (t == thief || engine_.unit(t).idle.empty())
+                continue;
+            uint32_t d = mesh_.hops(thief, t);
+            if (d < bestDist) {
+                bestDist = d;
+                victim = t;
+            }
+        }
+        break;
+      }
+    }
+    if (victim == cfg_.ntiles || engine_.unit(victim).idle.empty())
+        return false;
+
+    // Task selection within the victim tile.
+    TaskUnit& vu = engine_.unit(victim);
+    Task* t = nullptr;
+    switch (cfg_.stealChoice) {
+      case StealChoice::EarliestTs:
+        t = *vu.idle.begin();
+        break;
+      case StealChoice::LatestTs:
+        t = *vu.idle.rbegin();
+        break;
+      case StealChoice::Random: {
+        auto it = vu.idle.begin();
+        std::advance(it, rng_.range(vu.idle.size()));
+        t = *it;
+        break;
+      }
+    }
+    ssim_assert(t);
+
+    // Idealized: the steal itself is instantaneous and free (Sec. II-C);
+    // only the task's subsequent data accesses pay for the move.
+    vu.idle.erase(t);
+    vu.unfinished.erase(t);
+    t->tile = thief;
+    TaskUnit& tu = engine_.unit(thief);
+    tu.idle.insert(t);
+    tu.unfinished.insert(t);
+    stats_.tasksStolen++;
+    return true;
+}
+
+} // namespace ssim

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Capacity policy: task-queue virtualization through spill coalescers /
+ * requeuers (paper Sec. II-B, Table II) and idealized work-stealing
+ * (Sec. II-C).
+ *
+ * Decides *which* tasks leave or enter a tile when queues fill or drain;
+ * the ExecutionEngine invokes it on arrival (maybeSpill) and dispatch
+ * (unspillIfRoom, trySteal), and the CommitController after commits.
+ */
+#pragma once
+
+#include "base/rng.h"
+#include "base/stats.h"
+#include "noc/mesh.h"
+#include "sim/config.h"
+
+namespace ssim {
+
+class ExecutionEngine;
+
+class CapacityManager
+{
+  public:
+    CapacityManager(const SimConfig& cfg, Mesh& mesh, SimStats& stats,
+                    Rng& rng, ExecutionEngine& engine);
+
+    /** Spill a batch of idle tasks if the task queue crossed threshold. */
+    void maybeSpill(TileId tile);
+    /** Restore spilled tasks when there is room (or to guarantee progress). */
+    void unspillIfRoom(TileId tile);
+    /** Steal an idle task for @p thief; victim/choice per config policy. */
+    bool trySteal(TileId thief);
+
+  private:
+    const SimConfig& cfg_;
+    Mesh& mesh_;
+    SimStats& stats_;
+    Rng& rng_;
+    ExecutionEngine& engine_;
+};
+
+} // namespace ssim

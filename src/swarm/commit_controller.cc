@@ -1,28 +1,43 @@
-/**
- * @file
- * The virtual-time commit protocol (paper Sec. II-B "High-throughput
- * ordered commits") and the load balancer's periodic reconfiguration
- * (Sec. VI), both implemented as Machine methods.
- *
- * Tiles communicate with an arbiter every gvtEpoch cycles to discover the
- * earliest unfinished task in the system (the GVT). All finished tasks
- * that precede it commit.
- */
-#include "swarm/machine.h"
+#include "swarm/commit_controller.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
 #include "base/logging.h"
+#include "swarm/capacity_manager.h"
+#include "swarm/conflict_manager.h"
+#include "swarm/execution_engine.h"
+#include "swarm/load_balancer.h"
+#include "swarm/task_unit.h"
 
 namespace ssim {
 
+CommitController::CommitController(const SimConfig& cfg, EventQueue& eq,
+                                   Mesh& mesh, SimStats& stats,
+                                   ExecutionEngine& engine,
+                                   ConflictManager& conflict,
+                                   CapacityManager& capacity,
+                                   LoadBalancer* lb)
+    : cfg_(cfg), eq_(eq), mesh_(mesh), stats_(stats), engine_(engine),
+      conflict_(conflict), capacity_(capacity), lb_(lb)
+{
+}
+
+void
+CommitController::start()
+{
+    eq_.schedule(cfg_.gvtEpoch, [this] { gvtEpoch(); });
+    if (lb_)
+        eq_.schedule(cfg_.lbEpoch, [this] { lbEpoch(); });
+}
+
 std::optional<std::pair<Timestamp, uint64_t>>
-Machine::computeGvt() const
+CommitController::computeGvt() const
 {
     std::optional<std::pair<Timestamp, uint64_t>> gvt;
-    for (const TaskUnit& unit : units_) {
-        Task* m = unit.minUnfinished();
+    for (TileId tile = 0; tile < cfg_.ntiles; tile++) {
+        Task* m = engine_.unit(tile).minUnfinished();
         if (!m)
             continue;
         std::pair<Timestamp, uint64_t> key{m->ts, m->uid};
@@ -33,7 +48,7 @@ Machine::computeGvt() const
 }
 
 void
-Machine::gvtEpoch()
+CommitController::gvtEpoch()
 {
     static const bool trace = []() {
         const char* e = std::getenv("SWARMSIM_TRACE");
@@ -45,14 +60,14 @@ Machine::gvtEpoch()
                      "[gvt] cycle=%llu live=%llu committed=%llu "
                      "aborted=%llu gvt=(%llu,%llu)\n",
                      (unsigned long long)eq_.now(),
-                     (unsigned long long)tasksLive_,
+                     (unsigned long long)engine_.tasksLive(),
                      (unsigned long long)stats_.tasksCommitted,
                      (unsigned long long)stats_.tasksAborted,
                      gvtDbg ? (unsigned long long)gvtDbg->first : 0,
                      gvtDbg ? (unsigned long long)gvtDbg->second : 0);
         if (gvtDbg) {
-            Task* m = lookupTask(gvtDbg->second);
-            const TaskUnit& u = units_[m ? m->tile : 0];
+            Task* m = engine_.lookupTask(gvtDbg->second);
+            const TaskUnit& u = engine_.unit(m ? m->tile : 0);
             std::fprintf(
                 stderr,
                 "      min-task state=%s tile=%u spilled=%d | tile: "
@@ -61,7 +76,8 @@ Machine::gvtEpoch()
                 m ? int(m->spilled) : -1, u.idle.size(), u.commitQ.size(),
                 u.spillBuf.size(), u.inFlight, u.running);
             for (uint32_t i = 0; i < cfg_.coresPerTile; i++) {
-                const Core& c = cores_[coreId(m ? m->tile : 0, i)];
+                const auto& c =
+                    engine_.core(cfg_.coreId(m ? m->tile : 0, i));
                 std::fprintf(stderr,
                              "      core%u task=%llu pending=%d wait=%d\n",
                              i,
@@ -77,7 +93,8 @@ Machine::gvtEpoch()
 
     auto gvt = computeGvt();
 
-    for (TaskUnit& unit : units_) {
+    for (TileId tile = 0; tile < cfg_.ntiles; tile++) {
+        TaskUnit& unit = engine_.unit(tile);
         while (!unit.commitQ.empty()) {
             Task* t = *unit.commitQ.begin();
             std::pair<Timestamp, uint64_t> key{t->ts, t->uid};
@@ -88,23 +105,23 @@ Machine::gvtEpoch()
     }
 
     for (TileId tile = 0; tile < cfg_.ntiles; tile++) {
-        retryFinishPending(tile);
-        unspillIfRoom(tile);
+        engine_.retryFinishPending(tile);
+        capacity_.unspillIfRoom(tile);
         breakCommitGridlock(tile);
-        scheduleDispatch(tile);
+        engine_.scheduleDispatch(tile);
     }
 
-    if (tasksLive_ > 0)
+    if (engine_.tasksLive() > 0)
         eq_.scheduleAfter(cfg_.gvtEpoch, [this] { gvtEpoch(); });
 }
 
 void
-Machine::commitTask(Task* t)
+CommitController::commitTask(Task* t)
 {
     ssim_assert(t->state == TaskState::Finished);
-    TaskUnit& unit = units_[t->tile];
+    TaskUnit& unit = engine_.unit(t->tile);
     unit.commitQ.erase(t);
-    lineTable_.removeTask(t);
+    conflict_.onCommit(t);
 
     stats_.tasksCommitted++;
     stats_.coreCycles[size_t(CycleBucket::Commit)] += t->execCycles;
@@ -128,26 +145,23 @@ Machine::commitTask(Task* t)
         sib.erase(std::remove(sib.begin(), sib.end(), t), sib.end());
     }
 
-    liveTasks_.erase(t->uid);
-    ssim_assert(tasksLive_ > 0);
-    tasksLive_--;
-    delete t;
+    engine_.destroyTask(t);
 }
 
 void
-Machine::breakCommitGridlock(TileId tile)
+CommitController::breakCommitGridlock(TileId tile)
 {
     // All cores can end up holding finished tasks that wait for commit
     // queue slots while an earlier task sits idle on the tile; nothing
     // can then commit (the idle task gates the GVT) and the tile wedges.
     // Swarm's resource-exhaustion rule applies: abort the latest
     // higher-timestamp blocked task to free its core.
-    TaskUnit& unit = units_[tile];
+    TaskUnit& unit = engine_.unit(tile);
     if (unit.idle.empty())
         return;
     Task* latestBlocked = nullptr;
     for (uint32_t idx = 0; idx < cfg_.coresPerTile; idx++) {
-        Core& core = cores_[coreId(tile, idx)];
+        const auto& core = engine_.core(cfg_.coreId(tile, idx));
         if (!core.task)
             return; // a free core exists; normal dispatch proceeds
         if (core.finishPending &&
@@ -158,18 +172,21 @@ Machine::breakCommitGridlock(TileId tile)
     Task* earliestIdle = *unit.idle.begin();
     if (latestBlocked && earliestIdle->before(*latestBlocked)) {
         stats_.abortsGridlock++;
-        abortTasks({latestBlocked}, /*discard_roots=*/false, tile);
+        conflict_.abortTasks({latestBlocked}, /*discard_roots=*/false,
+                             tile);
     }
 }
 
 void
-Machine::lbEpoch()
+CommitController::lbEpoch()
 {
     if (!lb_)
         return;
     std::vector<uint64_t> idlePerTile(cfg_.ntiles, 0);
-    for (TileId t = 0; t < cfg_.ntiles; t++)
-        idlePerTile[t] = units_[t].idle.size() + units_[t].spillBuf.size();
+    for (TileId t = 0; t < cfg_.ntiles; t++) {
+        const TaskUnit& unit = engine_.unit(t);
+        idlePerTile[t] = unit.idle.size() + unit.spillBuf.size();
+    }
 
     uint32_t moved = lb_->reconfigure(idlePerTile);
     stats_.lbReconfigs++;
@@ -177,7 +194,7 @@ Machine::lbEpoch()
     // Counter collection + tile map broadcast traffic.
     mesh_.injectRaw(3 * cfg_.ntiles * cfg_.gvtFlits, TrafficClass::Gvt);
 
-    if (tasksLive_ > 0)
+    if (engine_.tasksLive() > 0)
         eq_.scheduleAfter(cfg_.lbEpoch, [this] { lbEpoch(); });
 }
 

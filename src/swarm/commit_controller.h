@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The virtual-time commit protocol (paper Sec. II-B "High-throughput
+ * ordered commits") and the load balancer's periodic reconfiguration
+ * (Sec. VI).
+ *
+ * Tiles communicate with an arbiter every gvtEpoch cycles to discover the
+ * earliest unfinished task in the system (the GVT). All finished tasks
+ * that precede it commit. The controller also breaks commit gridlock
+ * (aborting the latest blocked finisher when an earlier idle task gates
+ * the GVT) and owns the commit-side profiling hooks: the AccessProfiler
+ * and the load balancer's per-bucket committed-cycle counters.
+ */
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "base/stats.h"
+#include "noc/mesh.h"
+#include "sim/config.h"
+#include "sim/event_queue.h"
+#include "swarm/task.h"
+
+namespace ssim {
+
+class CapacityManager;
+class ConflictManager;
+class ExecutionEngine;
+class LoadBalancer;
+
+/** Receives every committed task (with its access trace) for profiling. */
+class AccessProfiler
+{
+  public:
+    virtual ~AccessProfiler() = default;
+    virtual void onCommit(const Task& t) = 0;
+};
+
+class CommitController
+{
+  public:
+    CommitController(const SimConfig& cfg, EventQueue& eq, Mesh& mesh,
+                     SimStats& stats, ExecutionEngine& engine,
+                     ConflictManager& conflict, CapacityManager& capacity,
+                     LoadBalancer* lb);
+
+    /** Schedule the first GVT (and, with a load balancer, LB) epochs. */
+    void start();
+
+    /** Enable access-trace profiling of committed tasks. */
+    void setProfiler(AccessProfiler* p) { profiler_ = p; }
+    AccessProfiler* profiler() const { return profiler_; }
+
+    /** Cycle of the last commit (the makespan of the parallel region). */
+    Cycle lastCommitCycle() const { return lastCommitCycle_; }
+
+    /** Earliest unfinished (ts, uid) in the system, if any. */
+    std::optional<std::pair<Timestamp, uint64_t>> computeGvt() const;
+
+  private:
+    void gvtEpoch();
+    void commitTask(Task* t);
+    void breakCommitGridlock(TileId tile);
+    void lbEpoch();
+
+    const SimConfig& cfg_;
+    EventQueue& eq_;
+    Mesh& mesh_;
+    SimStats& stats_;
+    ExecutionEngine& engine_;
+    ConflictManager& conflict_;
+    CapacityManager& capacity_;
+    LoadBalancer* lb_;
+
+    AccessProfiler* profiler_ = nullptr;
+    uint64_t traceEpochs_ = 0;
+    Cycle lastCommitCycle_ = 0;
+};
+
+} // namespace ssim

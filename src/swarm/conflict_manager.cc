@@ -1,0 +1,235 @@
+#include "swarm/conflict_manager.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "base/logging.h"
+#include "swarm/execution_engine.h"
+#include "swarm/task_unit.h"
+
+namespace ssim {
+
+ConflictManager::ConflictManager(const SimConfig& cfg, Mesh& mesh,
+                                 MemorySystem& mem, SimStats& stats,
+                                 ExecutionEngine& engine)
+    : cfg_(cfg), mesh_(mesh), mem_(mem), stats_(stats), engine_(engine)
+{
+}
+
+void
+ConflictManager::trackRead(Task* t, LineAddr line)
+{
+    if (t->readSet.insert(line).second)
+        lineTable_.addReader(line, t);
+}
+
+void
+ConflictManager::trackWrite(Task* t, LineAddr line)
+{
+    if (t->writeSet.insert(line).second)
+        lineTable_.addWriter(line, t);
+}
+
+uint32_t
+ConflictManager::resolveConflicts(Task* t, LineAddr line, bool is_write)
+{
+    LineTable::Entry* e = lineTable_.find(line);
+    if (!e)
+        return 0;
+
+    uint32_t compared = 0;
+    std::vector<Task*> toAbort;
+    auto considerLater = [&](Task* o) {
+        compared++;
+        if (o != t && t->before(*o))
+            toAbort.push_back(o);
+    };
+    auto recordDependence = [&](Task* o) {
+        // o wrote this line earlier in program order and is uncommitted:
+        // t consumes forwarded speculative data and must abort with o.
+        if (o != t && o->before(*t))
+            o->dependents.emplace_back(t->uid, t->generation);
+    };
+
+    if (is_write) {
+        for (Task* r : e->readers)
+            considerLater(r);
+        for (Task* w : e->writers) {
+            considerLater(w);
+            recordDependence(w);
+        }
+    } else {
+        for (Task* w : e->writers) {
+            considerLater(w);
+            recordDependence(w);
+        }
+    }
+
+    if (!toAbort.empty()) {
+        std::sort(toAbort.begin(), toAbort.end());
+        toAbort.erase(std::unique(toAbort.begin(), toAbort.end()),
+                      toAbort.end());
+        stats_.abortsConflict += toAbort.size();
+        abortTasks(toAbort, /*discard_roots=*/false, t->tile);
+    }
+    return compared;
+}
+
+void
+ConflictManager::abortTasks(const std::vector<Task*>& roots,
+                            bool discard_roots, TileId cause_tile)
+{
+    // Build the abort set: descendants are discarded (their parent's
+    // execution attempt, which created them, is rolled back); dependent
+    // tasks are aborted and requeued. Discard dominates requeue.
+    std::unordered_map<Task*, bool> marked; // -> discard?
+    std::vector<std::pair<Task*, bool>> wl;
+    for (Task* r : roots)
+        wl.emplace_back(r, discard_roots);
+
+    while (!wl.empty()) {
+        auto [x, disc] = wl.back();
+        wl.pop_back();
+        auto it = marked.find(x);
+        if (it != marked.end() && (it->second || !disc))
+            continue; // already marked at an equal or stronger level
+        marked[x] = disc;
+        for (Task* child : x->children)
+            wl.emplace_back(child, true);
+        for (auto [uid, gen] : x->dependents) {
+            Task* dep = engine_.lookupTask(uid);
+            if (dep && dep->generation == gen &&
+                (dep->state == TaskState::Running ||
+                 dep->state == TaskState::Finished)) {
+                wl.emplace_back(dep, false);
+            }
+        }
+    }
+
+    // Roll back in reverse program order: per line, chronological write
+    // order equals program order among live writers (DESIGN.md §5.3), so
+    // descending (ts, uid) restoration is exact.
+    std::vector<Task*> order;
+    order.reserve(marked.size());
+    for (auto& [task, disc] : marked)
+        order.push_back(task);
+    std::sort(order.begin(), order.end(), [](Task* a, Task* b) {
+        return TaskOrder()(b, a); // descending
+    });
+
+    std::vector<TileId> touched;
+    for (Task* x : order) {
+        touched.push_back(x->tile);
+        rollbackTask(x, cause_tile);
+        if (marked[x])
+            discardTask(x);
+        else
+            requeueTask(x);
+    }
+
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()),
+                  touched.end());
+    for (TileId tile : touched) {
+        engine_.retryFinishPending(tile);
+        engine_.scheduleDispatch(tile);
+    }
+}
+
+void
+ConflictManager::rollbackTask(Task* t, TileId cause_tile)
+{
+    bool hadRun = (t->state == TaskState::Running ||
+                   t->state == TaskState::Finished);
+
+    // Abort message to the task's tile.
+    mesh_.inject(cause_tile, t->tile, cfg_.ctrlFlits, TrafficClass::Abort);
+
+    uint64_t rollbackCycles = 0;
+    if (hadRun) {
+        // Restore the undo log in reverse; rollback writes go through the
+        // memory hierarchy and their traffic is abort traffic.
+        CoreId rbCore = t->runningOn != Task::kNoCore
+                            ? t->runningOn
+                            : cfg_.coreId(t->tile, 0);
+        for (auto it = t->undo.rbegin(); it != t->undo.rend(); ++it)
+            std::memcpy(reinterpret_cast<void*>(it->addr), &it->oldVal,
+                        it->size);
+        for (LineAddr line : t->writeSet) {
+            auto res = mem_.access(rbCore, line << lineBits, true,
+                                   TrafficClass::Abort);
+            rollbackCycles += res.latency;
+        }
+        stats_.tasksAborted++;
+        stats_.coreCycles[size_t(CycleBucket::Abort)] +=
+            t->execCycles + rollbackCycles;
+    }
+
+    lineTable_.removeTask(t);
+
+    if (t->state == TaskState::Running) {
+        if (t->coro) {
+            t->coro.destroy();
+            t->coro = {};
+        }
+        engine_.freeCore(t);
+    }
+}
+
+void
+ConflictManager::discardTask(Task* t)
+{
+    TaskUnit& unit = engine_.unit(t->tile);
+    switch (t->state) {
+      case TaskState::InFlight:
+        unit.unfinished.erase(t);
+        ssim_assert(unit.inFlight > 0);
+        unit.inFlight--;
+        break;
+      case TaskState::Idle:
+        if (t->spilled)
+            unit.spillBuf.erase(t);
+        else
+            unit.idle.erase(t);
+        unit.unfinished.erase(t);
+        break;
+      case TaskState::Running: // core already freed by rollbackTask
+        unit.unfinished.erase(t);
+        break;
+      case TaskState::Finished:
+        unit.commitQ.erase(t);
+        break;
+    }
+    if (t->parent) {
+        auto& sib = t->parent->children;
+        sib.erase(std::remove(sib.begin(), sib.end(), t), sib.end());
+    }
+    // Children of a discarded task are always in the same abort set
+    // (marked discard), so no dangling child->parent pointers survive;
+    // clear ours defensively.
+    for (Task* c : t->children)
+        c->parent = nullptr;
+    engine_.destroyTask(t);
+}
+
+void
+ConflictManager::requeueTask(Task* t)
+{
+    TaskUnit& unit = engine_.unit(t->tile);
+    ssim_assert(t->state == TaskState::Running ||
+                t->state == TaskState::Finished,
+                "only executed tasks are requeued");
+    if (t->state == TaskState::Finished) {
+        unit.commitQ.erase(t);
+        unit.unfinished.insert(t); // it left unfinished when it finished
+    }
+    // Children created by the rolled-back attempt are discarded in the
+    // same cascade; drop our references.
+    t->children.clear();
+    t->generation++;
+    t->resetSpecState();
+    t->state = TaskState::Idle;
+    unit.idle.insert(t);
+}
+
+} // namespace ssim

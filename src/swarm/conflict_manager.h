@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Speculation policy: eager conflict detection over the line table, and
+ * the abort machinery (rollback, discard-descendant / requeue-dependent
+ * cascades) shared by conflict, displacement, and gridlock aborts.
+ *
+ * The ConflictManager owns every task's speculative footprint (read/write
+ * line registration) and is the only subsystem that aborts tasks; the
+ * ExecutionEngine, CommitController, and CapacityManager call into it.
+ */
+#pragma once
+
+#include <vector>
+
+#include "base/stats.h"
+#include "mem/memory_system.h"
+#include "noc/mesh.h"
+#include "sim/config.h"
+#include "swarm/spec.h"
+#include "swarm/task.h"
+
+namespace ssim {
+
+class ExecutionEngine;
+
+class ConflictManager
+{
+  public:
+    ConflictManager(const SimConfig& cfg, Mesh& mesh, MemorySystem& mem,
+                    SimStats& stats, ExecutionEngine& engine);
+
+    /**
+     * Abort every uncommitted task conflicting with @p t's access; returns
+     * the number of candidate tasks compared (for check latency).
+     */
+    uint32_t resolveConflicts(Task* t, LineAddr line, bool is_write);
+
+    /** Register a read/write line in @p t's speculative footprint. */
+    void trackRead(Task* t, LineAddr line);
+    void trackWrite(Task* t, LineAddr line);
+
+    /**
+     * Abort @p roots and cascade: descendants are discarded, dependent
+     * (forwarded-data) tasks are aborted and requeued.
+     */
+    void abortTasks(const std::vector<Task*>& roots, bool discard_roots,
+                    TileId cause_tile);
+
+    /** Forget a committed task's speculative line-table footprint. */
+    void onCommit(Task* t) { lineTable_.removeTask(t); }
+
+    const LineTable& lineTable() const { return lineTable_; }
+
+  private:
+    void rollbackTask(Task* t, TileId cause_tile);
+    void discardTask(Task* t);
+    void requeueTask(Task* t);
+
+    const SimConfig& cfg_;
+    Mesh& mesh_;
+    MemorySystem& mem_;
+    SimStats& stats_;
+    ExecutionEngine& engine_;
+    LineTable lineTable_;
+};
+
+} // namespace ssim

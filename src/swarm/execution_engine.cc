@@ -1,0 +1,400 @@
+#include "swarm/execution_engine.h"
+
+#include "base/hash.h"
+#include "base/logging.h"
+#include "swarm/capacity_manager.h"
+#include "swarm/commit_controller.h"
+#include "swarm/conflict_manager.h"
+
+namespace ssim {
+
+ExecutionEngine::ExecutionEngine(const SimConfig& cfg, EventQueue& eq,
+                                 Mesh& mesh, MemorySystem& mem,
+                                 SimStats& stats, SpatialScheduler& sched,
+                                 Machine* machine)
+    : cfg_(cfg), eq_(eq), mesh_(mesh), mem_(mem), stats_(stats),
+      sched_(sched), machine_(machine)
+{
+    units_.reserve(cfg_.ntiles);
+    for (TileId t = 0; t < cfg_.ntiles; t++)
+        units_.emplace_back(t, cfg_);
+    cores_.resize(cfg_.totalCores());
+}
+
+ExecutionEngine::~ExecutionEngine()
+{
+    // Destroy any leftover coroutine frames and task objects (only on
+    // abnormal teardown; a completed run() leaves no live tasks).
+    for (auto& [uid, t] : liveTasks_) {
+        if (t->coro)
+            t->coro.destroy();
+        delete t;
+    }
+}
+
+void
+ExecutionEngine::wire(ConflictManager* conflict, CapacityManager* capacity,
+                      CommitController* commit)
+{
+    conflict_ = conflict;
+    capacity_ = capacity;
+    commit_ = commit;
+}
+
+Task*
+ExecutionEngine::lookupTask(uint64_t uid) const
+{
+    auto it = liveTasks_.find(uid);
+    return it == liveTasks_.end() ? nullptr : it->second;
+}
+
+void
+ExecutionEngine::destroyTask(Task* t)
+{
+    liveTasks_.erase(t->uid);
+    ssim_assert(tasksLive_ > 0);
+    tasksLive_--;
+    delete t;
+}
+
+void
+ExecutionEngine::scheduleDispatch(TileId tile)
+{
+    eq_.scheduleAfter(0, [this, tile] { tryDispatch(tile); });
+}
+
+// ---- Task creation ----------------------------------------------------------
+
+Task*
+ExecutionEngine::createTask(swarm::TaskFn fn, Timestamp ts,
+                            swarm::Hint hint,
+                            const std::array<uint64_t, 3>& args,
+                            uint8_t nargs, Task* parent, TileId src_tile)
+{
+    ssim_assert(!parent || ts >= parent->ts,
+                "child timestamp must be >= parent's");
+
+    Task* t = new Task();
+    t->uid = nextUid_++;
+    t->ts = ts;
+    t->fn = fn;
+    t->args = args;
+    t->nargs = nargs;
+
+    // Resolve the hint. SAMEHINT inherits the parent's hint and is queued
+    // to the local tile (Sec. III-B).
+    TileId dst;
+    if (hint.isSame()) {
+        if (parent) {
+            t->hint = parent->hint;
+            t->noHint = parent->noHint;
+        } else {
+            t->noHint = true;
+        }
+        dst = sched_.placeSameHint(src_tile);
+    } else {
+        t->noHint = hint.isNoHint();
+        t->hint = hint.isValue() ? hint.val : 0;
+        dst = sched_.place(!t->noHint, t->hint, src_tile);
+    }
+    if (!t->noHint) {
+        t->hintHash = hintHash16(t->hint);
+        t->bucket = hintToBucket(t->hint, cfg_.numBuckets());
+    }
+
+    t->tile = dst;
+    t->state = TaskState::InFlight;
+    t->parent = parent;
+    t->untied = (parent == nullptr);
+    if (parent)
+        parent->children.push_back(t);
+
+    liveTasks_.emplace(t->uid, t);
+    tasksLive_++;
+
+    TaskUnit& unit = units_[dst];
+    unit.unfinished.insert(t);
+    unit.inFlight++;
+
+    uint32_t lat = mesh_.latency(src_tile, dst);
+    mesh_.inject(src_tile, dst, cfg_.taskDescFlits, TrafficClass::Task);
+    uint64_t uid = t->uid, gen = t->generation;
+    eq_.scheduleAfter(lat, [this, uid, gen] { arriveTask(uid, gen); });
+    return t;
+}
+
+void
+ExecutionEngine::enqueueInitial(swarm::TaskFn fn, Timestamp ts,
+                                swarm::Hint hint,
+                                const std::array<uint64_t, 3>& args,
+                                uint8_t n)
+{
+    TileId src = 0;
+    if (sched_.stealing())
+        src = rrInitTile_++ % cfg_.ntiles;
+    createTask(fn, ts, hint, args, n, nullptr, src);
+}
+
+void
+ExecutionEngine::arriveTask(uint64_t uid, uint64_t gen)
+{
+    Task* t = lookupTask(uid);
+    if (!t || t->generation != gen || t->state != TaskState::InFlight)
+        return; // discarded while in flight
+    TaskUnit& unit = units_[t->tile];
+    unit.inFlight--;
+    t->state = TaskState::Idle;
+    unit.idle.insert(t);
+    capacity_->maybeSpill(t->tile);
+    tryDispatch(t->tile);
+}
+
+// ---- Dispatch ----------------------------------------------------------------
+
+void
+ExecutionEngine::tryDispatch(TileId tile)
+{
+    TaskUnit& unit = units_[tile];
+    for (uint32_t idx = 0; idx < cfg_.coresPerTile; idx++) {
+        Core& core = cores_[cfg_.coreId(tile, idx)];
+        if (core.task)
+            continue;
+
+        // Bring back spilled tasks first: the requeuer's progress rule
+        // restores any spilled task that precedes the idle queue's head,
+        // so dispatch never runs a later task ahead of an earlier spilled
+        // one (which would make it a commit-queue displacement victim).
+        if (!unit.spillBuf.empty())
+            capacity_->unspillIfRoom(tile);
+        Task* t = unit.pickDispatchable(cfg_.serializeSameHint,
+                                        stats_.dispatchSkips);
+        if (!t && sched_.stealing()) {
+            if (capacity_->trySteal(tile))
+                t = unit.pickDispatchable(cfg_.serializeSameHint,
+                                          stats_.dispatchSkips);
+        }
+        if (!t) {
+            if (core.wait == Core::Wait::None)
+                enterWait(core, Core::Wait::Empty);
+            continue;
+        }
+        if (core.wait == Core::Wait::Empty)
+            leaveWait(core, CycleBucket::Empty);
+        dispatchOn(tile, idx, t);
+    }
+}
+
+void
+ExecutionEngine::dispatchOn(TileId tile, uint32_t idx, Task* t)
+{
+    TaskUnit& unit = units_[tile];
+    ssim_assert(t->state == TaskState::Idle);
+    unit.idle.erase(t);
+    t->state = TaskState::Running;
+    t->runningOn = cfg_.coreId(tile, idx);
+    unit.running++;
+    unit.coreTasks[idx] = t;
+
+    Core& core = cores_[t->runningOn];
+    core.task = t;
+    core.everDispatched = true;
+
+    t->ctx = swarm::TaskCtx(machine_, t);
+    swarm::TaskCoro c = t->fn(t->ctx, t->ts, t->args.data());
+    t->coro = c.handle;
+
+    t->execCycles += cfg_.dequeueCost;
+    uint64_t uid = t->uid, gen = t->generation;
+    eq_.scheduleAfter(cfg_.dequeueCost,
+                      [this, uid, gen] { resumeCoro(uid, gen); });
+}
+
+void
+ExecutionEngine::resumeCoro(uint64_t uid, uint64_t gen)
+{
+    Task* t = lookupTask(uid);
+    if (!t || t->generation != gen || t->state != TaskState::Running)
+        return; // aborted or discarded in the meantime
+    ssim_assert(t->coro && !t->coro.done());
+    t->coro.resume();
+    if (t->coro.done()) {
+        t->coro.destroy();
+        t->coro = {};
+        finishTaskAttempt(t);
+    }
+    // Otherwise an awaiter has scheduled the next resume.
+}
+
+// ---- Finish and commit-queue admission ------------------------------------------
+
+void
+ExecutionEngine::finishTaskAttempt(Task* t)
+{
+    t->execCycles += cfg_.finishCost;
+    Core& core = cores_[t->runningOn];
+    if (tryTakeCommitSlot(t))
+        return;
+    // Commit queue full and t is not earlier than any occupant: the core
+    // stalls holding the finished task until a slot frees.
+    core.finishPending = true;
+    enterWait(core, Core::Wait::StallCQ);
+}
+
+bool
+ExecutionEngine::tryTakeCommitSlot(Task* t)
+{
+    TaskUnit& unit = units_[t->tile];
+    // Displacing a victim can recursively admit other pending finishers
+    // (retryFinishPending runs inside abortTasks), so loop until we own
+    // a slot or a strictly-earlier occupant blocks us.
+    while (unit.commitQueueFull()) {
+        Task* victim = unit.maxCommitQ();
+        ssim_assert(victim);
+        if (!t->before(*victim))
+            return false;
+        // Abort the latest finished task to free space (Sec. II-B:
+        // "aborting higher-timestamp tasks to free space").
+        stats_.abortsDisplace++;
+        conflict_->abortTasks({victim}, /*discard_roots=*/false, t->tile);
+    }
+    TileId tile = t->tile;
+    Core& core = cores_[t->runningOn];
+    if (core.finishPending) {
+        core.finishPending = false;
+        leaveWait(core, CycleBucket::Stall);
+    }
+    freeCore(t);
+    t->state = TaskState::Finished;
+    unit.unfinished.erase(t);
+    unit.commitQ.insert(t);
+    scheduleDispatch(tile);
+    return true;
+}
+
+void
+ExecutionEngine::freeCore(Task* t)
+{
+    if (t->runningOn == Task::kNoCore)
+        return;
+    Core& core = cores_[t->runningOn];
+    ssim_assert(core.task == t);
+    if (core.finishPending) {
+        core.finishPending = false;
+        leaveWait(core, CycleBucket::Stall);
+    }
+    core.task = nullptr;
+    TaskUnit& unit = units_[t->tile];
+    unit.coreTasks[cfg_.coreIdx(t->runningOn)] = nullptr;
+    ssim_assert(unit.running > 0);
+    unit.running--;
+    t->runningOn = Task::kNoCore;
+}
+
+void
+ExecutionEngine::enterWait(Core& core, Core::Wait w)
+{
+    ssim_assert(core.wait == Core::Wait::None);
+    core.wait = w;
+    core.waitStart = eq_.now();
+}
+
+void
+ExecutionEngine::leaveWait(Core& core, CycleBucket bucket)
+{
+    ssim_assert(core.wait != Core::Wait::None);
+    stats_.coreCycles[size_t(bucket)] += eq_.now() - core.waitStart;
+    core.wait = Core::Wait::None;
+}
+
+void
+ExecutionEngine::retryFinishPending(TileId tile)
+{
+    for (uint32_t idx = 0; idx < cfg_.coresPerTile; idx++) {
+        Core& core = cores_[cfg_.coreId(tile, idx)];
+        if (core.finishPending && core.task) {
+            if (units_[tile].commitQueueFull())
+                return;
+            tryTakeCommitSlot(core.task);
+        }
+    }
+}
+
+void
+ExecutionEngine::flushWaitIntervals(Cycle end)
+{
+    for (Core& core : cores_) {
+        if (core.wait != Core::Wait::None) {
+            Cycle stop = std::max(end, core.waitStart);
+            CycleBucket b = core.wait == Core::Wait::Empty
+                                ? CycleBucket::Empty
+                                : CycleBucket::Stall;
+            stats_.coreCycles[size_t(b)] += stop - core.waitStart;
+            core.wait = Core::Wait::None;
+        }
+    }
+}
+
+// ---- Awaiter implementations ----------------------------------------------------
+
+void
+ExecutionEngine::issueAccess(Task* t, swarm::MemAwaiter* aw)
+{
+    ssim_assert(t->state == TaskState::Running);
+    ssim_assert((aw->addr & 7) + aw->size <= 8,
+                "accesses must not cross an 8-byte boundary");
+    LineAddr line = lineOf(aw->addr);
+
+    // Eager conflict detection: earlier tasks win; later conflicting
+    // tasks abort *before* this access's functional effect.
+    uint32_t compared = conflict_->resolveConflicts(t, line, aw->isWrite);
+
+    if (aw->isWrite) {
+        Task::UndoRec rec{aw->addr, uint8_t(aw->size), 0};
+        std::memcpy(&rec.oldVal, reinterpret_cast<void*>(aw->addr),
+                    aw->size);
+        t->undo.push_back(rec);
+        std::memcpy(reinterpret_cast<void*>(aw->addr), &aw->wval, aw->size);
+        conflict_->trackWrite(t, line);
+    } else {
+        std::memcpy(&aw->rval, reinterpret_cast<void*>(aw->addr), aw->size);
+        conflict_->trackRead(t, line);
+    }
+    if (commit_->profiler())
+        t->trace.push_back(((aw->addr >> 3) << 1) | (aw->isWrite ? 1 : 0));
+
+    auto res = mem_.access(t->runningOn, aw->addr, aw->isWrite,
+                           TrafficClass::MemAcc);
+    uint32_t lat = res.latency;
+    if (res.leftTile && compared > 0) {
+        // Remote conflict checks: Bloom filter lookup + one cycle per
+        // timestamp compared in the commit queue (Table II).
+        lat += cfg_.conflictCheckCost + compared * cfg_.conflictPerCmpCost;
+    }
+    stats_.conflictChecks += compared;
+
+    t->execCycles += lat;
+    uint64_t uid = t->uid, gen = t->generation;
+    eq_.scheduleAfter(lat, [this, uid, gen] { resumeCoro(uid, gen); });
+}
+
+void
+ExecutionEngine::issueCompute(Task* t, uint32_t cycles)
+{
+    ssim_assert(t->state == TaskState::Running);
+    t->execCycles += cycles;
+    uint64_t uid = t->uid, gen = t->generation;
+    eq_.scheduleAfter(cycles, [this, uid, gen] { resumeCoro(uid, gen); });
+}
+
+void
+ExecutionEngine::issueEnqueue(Task* t, const swarm::EnqueueAwaiter& aw)
+{
+    ssim_assert(t->state == TaskState::Running);
+    createTask(aw.fn, aw.ts, aw.hint, aw.args, aw.nargs, t, t->tile);
+    t->execCycles += cfg_.enqueueCost;
+    uint64_t uid = t->uid, gen = t->generation;
+    eq_.scheduleAfter(cfg_.enqueueCost,
+                      [this, uid, gen] { resumeCoro(uid, gen); });
+}
+
+} // namespace ssim

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The execution mechanism of the speculative pipeline: per-tile task
+ * units, per-core execution slots, task creation/arrival, dispatch,
+ * coroutine resumption, commit-queue admission, and wait-cycle
+ * accounting.
+ *
+ * The engine is pure mechanism. Policy decisions live in the
+ * collaborating subsystems it is wired to: placement in the
+ * SpatialScheduler, conflict resolution and abort cascades in the
+ * ConflictManager, spilling/stealing in the CapacityManager, and commit
+ * arbitration in the CommitController (which drives the engine through
+ * retryFinishPending/scheduleDispatch).
+ */
+#pragma once
+
+#include <array>
+#include <unordered_map>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/stats.h"
+#include "mem/memory_system.h"
+#include "noc/mesh.h"
+#include "sim/config.h"
+#include "sim/event_queue.h"
+#include "swarm/scheduler.h"
+#include "swarm/task.h"
+#include "swarm/task_unit.h"
+
+namespace ssim {
+
+class CapacityManager;
+class CommitController;
+class ConflictManager;
+class Machine;
+
+class ExecutionEngine
+{
+  public:
+    /** One core's execution slot. */
+    struct Core
+    {
+        enum class Wait : uint8_t { None, Empty, StallCQ };
+        Task* task = nullptr;
+        Wait wait = Wait::None;
+        Cycle waitStart = 0;
+        bool finishPending = false; ///< finished task waiting for a CQ slot
+        bool everDispatched = false;
+    };
+
+    ExecutionEngine(const SimConfig& cfg, EventQueue& eq, Mesh& mesh,
+                    MemorySystem& mem, SimStats& stats,
+                    SpatialScheduler& sched, Machine* machine);
+    ~ExecutionEngine();
+    ExecutionEngine(const ExecutionEngine&) = delete;
+    ExecutionEngine& operator=(const ExecutionEngine&) = delete;
+
+    /** Late wiring of the policy subsystems (they need the engine first). */
+    void wire(ConflictManager* conflict, CapacityManager* capacity,
+              CommitController* commit);
+
+    // ---- Task lifecycle ---------------------------------------------------
+    Task* createTask(swarm::TaskFn fn, Timestamp ts, swarm::Hint hint,
+                     const std::array<uint64_t, 3>& args, uint8_t nargs,
+                     Task* parent, TileId src_tile);
+    /** Place and create an initial (root) task before run(). */
+    void enqueueInitial(swarm::TaskFn fn, Timestamp ts, swarm::Hint hint,
+                        const std::array<uint64_t, 3>& args, uint8_t n);
+    void scheduleDispatch(TileId tile);
+    void retryFinishPending(TileId tile);
+    /** Admit a finished task to the commit queue; may displace a victim. */
+    bool tryTakeCommitSlot(Task* t);
+    void freeCore(Task* t);
+    Task* lookupTask(uint64_t uid) const;
+    /** Remove a task from the live registry and delete it. */
+    void destroyTask(Task* t);
+
+    // ---- Awaiter entry points (forwarded from Machine) --------------------
+    void issueAccess(Task* t, swarm::MemAwaiter* aw);
+    void issueCompute(Task* t, uint32_t cycles);
+    void issueEnqueue(Task* t, const swarm::EnqueueAwaiter& aw);
+
+    // ---- State access for the policy subsystems ---------------------------
+    TaskUnit& unit(TileId t) { return units_[t]; }
+    const TaskUnit& unit(TileId t) const { return units_[t]; }
+    uint32_t numTiles() const { return uint32_t(units_.size()); }
+    Core& core(CoreId c) { return cores_[c]; }
+    const Core& core(CoreId c) const { return cores_[c]; }
+    uint64_t tasksLive() const { return tasksLive_; }
+
+    // ---- Wait accounting --------------------------------------------------
+    void enterWait(Core& core, Core::Wait w);
+    void leaveWait(Core& core, CycleBucket bucket);
+    /** Flush trailing wait intervals at end of run (cores idle at exit). */
+    void flushWaitIntervals(Cycle end);
+
+  private:
+    void arriveTask(uint64_t uid, uint64_t gen);
+    void tryDispatch(TileId tile);
+    void dispatchOn(TileId tile, uint32_t idx, Task* t);
+    void resumeCoro(uint64_t uid, uint64_t gen);
+    void finishTaskAttempt(Task* t);
+
+    const SimConfig& cfg_;
+    EventQueue& eq_;
+    Mesh& mesh_;
+    MemorySystem& mem_;
+    SimStats& stats_;
+    SpatialScheduler& sched_;
+    Machine* machine_; ///< only for constructing TaskCtx (the public API)
+
+    ConflictManager* conflict_ = nullptr;
+    CapacityManager* capacity_ = nullptr;
+    CommitController* commit_ = nullptr;
+
+    std::vector<TaskUnit> units_; ///< one per tile
+    std::vector<Core> cores_;     ///< flat, coreId-indexed
+    std::unordered_map<uint64_t, Task*> liveTasks_;
+    uint64_t nextUid_ = 0;
+    uint64_t tasksLive_ = 0;
+    uint32_t rrInitTile_ = 0; ///< round-robin placement of initial tasks
+};
+
+} // namespace ssim

@@ -23,23 +23,37 @@ void
 LoadBalancer::profileCommit(TileId tile, uint32_t bucket, uint64_t cycles)
 {
     auto& counters = prof_[tile].counters;
-    auto it = counters.find(bucket);
-    if (it != counters.end()) {
-        it->second += cycles;
-    } else if (counters.size() < counterCap_) {
-        counters.emplace(bucket, cycles);
+    TileProfile::Counter* min = nullptr;
+    for (auto& c : counters) {
+        if (c.bucket == bucket) {
+            c.cycles += cycles;
+            return;
+        }
+        if (!min || c.cycles < min->cycles)
+            min = &c;
     }
-    // else: tagged counter structure is full; the sample is dropped, as in
-    // hardware with a bounded counter array.
+    if (counters.size() < counterCap_) {
+        counters.push_back({bucket, cycles});
+        return;
+    }
+    // Full: evict/merge the least-loaded counter (ties: lowest slot).
+    min->bucket = bucket;
+    min->cycles += cycles;
 }
 
 uint64_t
 LoadBalancer::profiledLoad(TileId t) const
 {
     uint64_t sum = 0;
-    for (const auto& [b, c] : prof_[t].counters)
-        sum += c;
+    for (const auto& c : prof_[t].counters)
+        sum += c.cycles;
     return sum;
+}
+
+size_t
+LoadBalancer::profiledCounters(TileId t) const
+{
+    return prof_[t].counters.size();
 }
 
 uint32_t
@@ -57,11 +71,11 @@ LoadBalancer::reconfigure(const std::vector<uint64_t>& idle_tasks_per_tile)
     std::vector<uint64_t> tileLoad(ntiles, 0);
     if (cfg_.lbSignal == LbSignal::CommittedCycles) {
         for (uint32_t t = 0; t < ntiles; t++) {
-            for (const auto& [b, c] : prof_[t].counters) {
+            for (const auto& c : prof_[t].counters) {
                 // A bucket may have been remapped mid-epoch; attribute
                 // its cycles to the tile that ran them.
-                bucketLoad[b] += c;
-                tileLoad[t] += c;
+                bucketLoad[c.bucket] += c.cycles;
+                tileLoad[t] += c.cycles;
             }
         }
     } else {

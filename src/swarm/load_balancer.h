@@ -13,7 +13,6 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "base/types.h"
@@ -45,11 +44,27 @@ class LoadBalancer
     /** Profiled committed cycles of a tile since the last reconfig. */
     uint64_t profiledLoad(TileId t) const;
 
+    /** Occupied counters of a tile's profile (bounded by counterCap_). */
+    size_t profiledCounters(TileId t) const;
+
   private:
-    /// Tagged per-tile committed-cycle counters (bounded, like hardware).
+    /**
+     * Tagged per-tile committed-cycle counters: a fixed array of
+     * counterCap_ (bucket, cycles) slots, like the hardware's small
+     * tagged counter structure. On overflow the least-loaded counter is
+     * merged away space-saving style: its tag is reassigned to the new
+     * bucket and the sample accumulates on top of the evicted count, so
+     * heavy buckets are never displaced by one-off samples and total
+     * profiled load is conserved.
+     */
     struct TileProfile
     {
-        std::unordered_map<uint32_t, uint64_t> counters;
+        struct Counter
+        {
+            uint32_t bucket;
+            uint64_t cycles;
+        };
+        std::vector<Counter> counters; ///< at most counterCap_ entries
     };
 
     const SimConfig& cfg_;

@@ -1,10 +1,7 @@
 #include "swarm/machine.h"
 
-#include <algorithm>
-#include <unordered_map>
-
-#include "base/hash.h"
 #include "base/logging.h"
+#include "swarm/policies.h"
 
 namespace swarm {
 
@@ -38,104 +35,24 @@ TaskCtx::ts() const
 
 namespace ssim {
 
+// ---- Wiring -----------------------------------------------------------------
+
 Machine::Machine(const SimConfig& cfg)
     : cfg_(cfg), mesh_(cfg), mem_(cfg, mesh_, stats_), rng_(cfg.seed)
 {
     ssim_assert(cfg_.ntiles >= 1 && cfg_.coresPerTile >= 1);
-    if (cfg_.sched == SchedulerType::LBHints)
-        lb_ = std::make_unique<LoadBalancer>(cfg_);
-    sched_ = makeScheduler(cfg_, rng_, lb_.get());
-    units_.reserve(cfg_.ntiles);
-    for (TileId t = 0; t < cfg_.ntiles; t++)
-        units_.emplace_back(t, cfg_);
-    cores_.resize(cfg_.totalCores());
-}
-
-Machine::~Machine()
-{
-    // Destroy any leftover coroutine frames and task objects (only on
-    // abnormal teardown; a completed run() leaves no live tasks).
-    for (auto& [uid, t] : liveTasks_) {
-        if (t->coro)
-            t->coro.destroy();
-        delete t;
-    }
-}
-
-Task*
-Machine::lookupTask(uint64_t uid) const
-{
-    auto it = liveTasks_.find(uid);
-    return it == liveTasks_.end() ? nullptr : it->second;
-}
-
-void
-Machine::scheduleDispatch(TileId tile)
-{
-    eq_.scheduleAfter(0, [this, tile] { tryDispatch(tile); });
-}
-
-// ---- Task creation ----------------------------------------------------------
-
-Task*
-Machine::createTask(swarm::TaskFn fn, Timestamp ts, swarm::Hint hint,
-                    const std::array<uint64_t, 3>& args, uint8_t nargs,
-                    Task* parent, TileId src_tile)
-{
-    ssim_assert(!parent || ts >= parent->ts,
-                "child timestamp must be >= parent's");
-
-    Task* t = new Task();
-    t->uid = nextUid_++;
-    t->ts = ts;
-    t->fn = fn;
-    t->args = args;
-    t->nargs = nargs;
-
-    // Resolve the hint. SAMEHINT inherits the parent's hint and is queued
-    // to the local tile (Sec. III-B).
-    TileId dst;
-    if (hint.isSame()) {
-        if (parent) {
-            t->hint = parent->hint;
-            t->noHint = parent->noHint;
-        } else {
-            t->noHint = true;
-        }
-        // SAMEHINT tasks are queued to the local task queue; the Random
-        // baseline ignores hints entirely.
-        dst = cfg_.sched == SchedulerType::Random
-                  ? TileId(rng_.range(cfg_.ntiles))
-                  : src_tile;
-    } else {
-        t->noHint = hint.isNoHint();
-        t->hint = hint.isValue() ? hint.val : 0;
-        dst = sched_->place(!t->noHint, t->hint, src_tile);
-    }
-    if (!t->noHint) {
-        t->hintHash = hintHash16(t->hint);
-        t->bucket = hintToBucket(t->hint, cfg_.numBuckets());
-    }
-
-    t->tile = dst;
-    t->state = TaskState::InFlight;
-    t->parent = parent;
-    t->untied = (parent == nullptr);
-    if (parent)
-        parent->children.push_back(t);
-
-    liveTasks_.emplace(t->uid, t);
-    tasksLive_++;
-
-    TaskUnit& unit = units_[dst];
-    unit.unfinished.insert(t);
-    unit.inFlight++;
-
-    uint32_t lat = mesh_.latency(src_tile, dst);
-    mesh_.inject(src_tile, dst, cfg_.taskDescFlits, TrafficClass::Task);
-    uint64_t uid = t->uid, gen = t->generation;
-    eq_.scheduleAfter(lat, [this, uid, gen] { arriveTask(uid, gen); });
-    return t;
+    lb_ = policies::makeLoadBalancer(cfg_);
+    sched_ = policies::makeScheduler(cfg_, rng_, lb_.get());
+    engine_ = std::make_unique<ExecutionEngine>(cfg_, eq_, mesh_, mem_,
+                                                stats_, *sched_, this);
+    conflict_ = std::make_unique<ConflictManager>(cfg_, mesh_, mem_, stats_,
+                                                  *engine_);
+    capacity_ = std::make_unique<CapacityManager>(cfg_, mesh_, stats_, rng_,
+                                                  *engine_);
+    commit_ = std::make_unique<CommitController>(cfg_, eq_, mesh_, stats_,
+                                                 *engine_, *conflict_,
+                                                 *capacity_, lb_.get());
+    engine_->wire(conflict_.get(), capacity_.get(), commit_.get());
 }
 
 void
@@ -143,633 +60,20 @@ Machine::enqueueInitialRaw(swarm::TaskFn fn, Timestamp ts, swarm::Hint hint,
                            const std::array<uint64_t, 3>& args, uint8_t n)
 {
     ssim_assert(!running_, "enqueueInitial must precede run()");
-    TileId src = 0;
-    if (sched_->stealing())
-        src = rrInitTile_++ % cfg_.ntiles;
-    createTask(fn, ts, hint, args, n, nullptr, src);
+    engine_->enqueueInitial(fn, ts, hint, args, n);
 }
 
-void
-Machine::arriveTask(uint64_t uid, uint64_t gen)
-{
-    Task* t = lookupTask(uid);
-    if (!t || t->generation != gen || t->state != TaskState::InFlight)
-        return; // discarded while in flight
-    TaskUnit& unit = units_[t->tile];
-    unit.inFlight--;
-    t->state = TaskState::Idle;
-    unit.idle.insert(t);
-    maybeSpill(t->tile);
-    tryDispatch(t->tile);
-}
-
-// ---- Dispatch ----------------------------------------------------------------
-
-void
-Machine::tryDispatch(TileId tile)
-{
-    TaskUnit& unit = units_[tile];
-    for (uint32_t idx = 0; idx < cfg_.coresPerTile; idx++) {
-        Core& core = cores_[coreId(tile, idx)];
-        if (core.task)
-            continue;
-
-        // Bring back spilled tasks first: the requeuer's progress rule
-        // restores any spilled task that precedes the idle queue's head,
-        // so dispatch never runs a later task ahead of an earlier spilled
-        // one (which would make it a commit-queue displacement victim).
-        if (!unit.spillBuf.empty())
-            unspillIfRoom(tile);
-        Task* t = unit.pickDispatchable(cfg_.serializeSameHint,
-                                        stats_.dispatchSkips);
-        if (!t && sched_->stealing()) {
-            if (trySteal(tile))
-                t = unit.pickDispatchable(cfg_.serializeSameHint,
-                                          stats_.dispatchSkips);
-        }
-        if (!t) {
-            if (core.wait == Core::Wait::None)
-                enterWait(core, Core::Wait::Empty);
-            continue;
-        }
-        if (core.wait == Core::Wait::Empty)
-            leaveWait(core, CycleBucket::Empty);
-        dispatchOn(tile, idx, t);
-    }
-}
-
-void
-Machine::dispatchOn(TileId tile, uint32_t idx, Task* t)
-{
-    TaskUnit& unit = units_[tile];
-    ssim_assert(t->state == TaskState::Idle);
-    unit.idle.erase(t);
-    t->state = TaskState::Running;
-    t->runningOn = coreId(tile, idx);
-    unit.running++;
-    unit.coreTasks[idx] = t;
-
-    Core& core = cores_[t->runningOn];
-    core.task = t;
-    core.everDispatched = true;
-
-    t->ctx = swarm::TaskCtx(this, t);
-    swarm::TaskCoro c = t->fn(t->ctx, t->ts, t->args.data());
-    t->coro = c.handle;
-
-    t->execCycles += cfg_.dequeueCost;
-    uint64_t uid = t->uid, gen = t->generation;
-    eq_.scheduleAfter(cfg_.dequeueCost,
-                      [this, uid, gen] { resumeCoro(uid, gen); });
-}
-
-void
-Machine::resumeCoro(uint64_t uid, uint64_t gen)
-{
-    Task* t = lookupTask(uid);
-    if (!t || t->generation != gen || t->state != TaskState::Running)
-        return; // aborted or discarded in the meantime
-    ssim_assert(t->coro && !t->coro.done());
-    t->coro.resume();
-    if (t->coro.done()) {
-        t->coro.destroy();
-        t->coro = {};
-        finishTaskAttempt(t);
-    }
-    // Otherwise an awaiter has scheduled the next resume.
-}
-
-// ---- Finish and commit-queue admission ------------------------------------------
-
-void
-Machine::finishTaskAttempt(Task* t)
-{
-    t->execCycles += cfg_.finishCost;
-    Core& core = cores_[t->runningOn];
-    if (tryTakeCommitSlot(t))
-        return;
-    // Commit queue full and t is not earlier than any occupant: the core
-    // stalls holding the finished task until a slot frees.
-    core.finishPending = true;
-    enterWait(core, Core::Wait::StallCQ);
-}
-
-bool
-Machine::tryTakeCommitSlot(Task* t)
-{
-    TaskUnit& unit = units_[t->tile];
-    // Displacing a victim can recursively admit other pending finishers
-    // (retryFinishPending runs inside abortTasks), so loop until we own
-    // a slot or a strictly-earlier occupant blocks us.
-    while (unit.commitQueueFull()) {
-        Task* victim = unit.maxCommitQ();
-        ssim_assert(victim);
-        if (!t->before(*victim))
-            return false;
-        // Abort the latest finished task to free space (Sec. II-B:
-        // "aborting higher-timestamp tasks to free space").
-        stats_.abortsDisplace++;
-        abortTasks({victim}, /*discard_roots=*/false, t->tile);
-    }
-    TileId tile = t->tile;
-    Core& core = cores_[t->runningOn];
-    if (core.finishPending) {
-        core.finishPending = false;
-        leaveWait(core, CycleBucket::Stall);
-    }
-    freeCore(t);
-    t->state = TaskState::Finished;
-    unit.unfinished.erase(t);
-    unit.commitQ.insert(t);
-    scheduleDispatch(tile);
-    return true;
-}
-
-void
-Machine::freeCore(Task* t)
-{
-    if (t->runningOn == Task::kNoCore)
-        return;
-    Core& core = cores_[t->runningOn];
-    ssim_assert(core.task == t);
-    if (core.finishPending) {
-        core.finishPending = false;
-        leaveWait(core, CycleBucket::Stall);
-    }
-    core.task = nullptr;
-    TaskUnit& unit = units_[t->tile];
-    unit.coreTasks[coreIdx(t->runningOn)] = nullptr;
-    ssim_assert(unit.running > 0);
-    unit.running--;
-    t->runningOn = Task::kNoCore;
-}
-
-void
-Machine::enterWait(Core& core, Core::Wait w)
-{
-    ssim_assert(core.wait == Core::Wait::None);
-    core.wait = w;
-    core.waitStart = eq_.now();
-}
-
-void
-Machine::leaveWait(Core& core, CycleBucket bucket)
-{
-    ssim_assert(core.wait != Core::Wait::None);
-    stats_.coreCycles[size_t(bucket)] += eq_.now() - core.waitStart;
-    core.wait = Core::Wait::None;
-}
-
-void
-Machine::retryFinishPending(TileId tile)
-{
-    for (uint32_t idx = 0; idx < cfg_.coresPerTile; idx++) {
-        Core& core = cores_[coreId(tile, idx)];
-        if (core.finishPending && core.task) {
-            if (units_[tile].commitQueueFull())
-                return;
-            tryTakeCommitSlot(core.task);
-        }
-    }
-}
-
-// ---- Awaiter implementations ----------------------------------------------------
-
-void
-Machine::issueAccess(Task* t, swarm::MemAwaiter* aw)
-{
-    ssim_assert(t->state == TaskState::Running);
-    ssim_assert((aw->addr & 7) + aw->size <= 8,
-                "accesses must not cross an 8-byte boundary");
-    LineAddr line = lineOf(aw->addr);
-
-    // Eager conflict detection: earlier tasks win; later conflicting
-    // tasks abort *before* this access's functional effect.
-    uint32_t compared = resolveConflicts(t, line, aw->isWrite);
-
-    if (aw->isWrite) {
-        Task::UndoRec rec{aw->addr, uint8_t(aw->size), 0};
-        std::memcpy(&rec.oldVal, reinterpret_cast<void*>(aw->addr),
-                    aw->size);
-        t->undo.push_back(rec);
-        std::memcpy(reinterpret_cast<void*>(aw->addr), &aw->wval, aw->size);
-        if (t->writeSet.insert(line).second)
-            lineTable_.addWriter(line, t);
-    } else {
-        std::memcpy(&aw->rval, reinterpret_cast<void*>(aw->addr), aw->size);
-        if (t->readSet.insert(line).second)
-            lineTable_.addReader(line, t);
-    }
-    if (profiler_)
-        t->trace.push_back(((aw->addr >> 3) << 1) | (aw->isWrite ? 1 : 0));
-
-    auto res = mem_.access(t->runningOn, aw->addr, aw->isWrite,
-                           TrafficClass::MemAcc);
-    uint32_t lat = res.latency;
-    if (res.leftTile && compared > 0) {
-        // Remote conflict checks: Bloom filter lookup + one cycle per
-        // timestamp compared in the commit queue (Table II).
-        lat += cfg_.conflictCheckCost + compared * cfg_.conflictPerCmpCost;
-    }
-    stats_.conflictChecks += compared;
-
-    t->execCycles += lat;
-    uint64_t uid = t->uid, gen = t->generation;
-    eq_.scheduleAfter(lat, [this, uid, gen] { resumeCoro(uid, gen); });
-}
-
-void
-Machine::issueCompute(Task* t, uint32_t cycles)
-{
-    ssim_assert(t->state == TaskState::Running);
-    t->execCycles += cycles;
-    uint64_t uid = t->uid, gen = t->generation;
-    eq_.scheduleAfter(cycles, [this, uid, gen] { resumeCoro(uid, gen); });
-}
-
-void
-Machine::issueEnqueue(Task* t, const swarm::EnqueueAwaiter& aw)
-{
-    ssim_assert(t->state == TaskState::Running);
-    createTask(aw.fn, aw.ts, aw.hint, aw.args, aw.nargs, t, t->tile);
-    t->execCycles += cfg_.enqueueCost;
-    uint64_t uid = t->uid, gen = t->generation;
-    eq_.scheduleAfter(cfg_.enqueueCost,
-                      [this, uid, gen] { resumeCoro(uid, gen); });
-}
-
-// ---- Conflict resolution and aborts ------------------------------------------------
-
-uint32_t
-Machine::resolveConflicts(Task* t, LineAddr line, bool is_write)
-{
-    LineTable::Entry* e = lineTable_.find(line);
-    if (!e)
-        return 0;
-
-    uint32_t compared = 0;
-    std::vector<Task*> toAbort;
-    auto considerLater = [&](Task* o) {
-        compared++;
-        if (o != t && t->before(*o))
-            toAbort.push_back(o);
-    };
-    auto recordDependence = [&](Task* o) {
-        // o wrote this line earlier in program order and is uncommitted:
-        // t consumes forwarded speculative data and must abort with o.
-        if (o != t && o->before(*t))
-            o->dependents.emplace_back(t->uid, t->generation);
-    };
-
-    if (is_write) {
-        for (Task* r : e->readers)
-            considerLater(r);
-        for (Task* w : e->writers) {
-            considerLater(w);
-            recordDependence(w);
-        }
-    } else {
-        for (Task* w : e->writers) {
-            considerLater(w);
-            recordDependence(w);
-        }
-    }
-
-    if (!toAbort.empty()) {
-        std::sort(toAbort.begin(), toAbort.end());
-        toAbort.erase(std::unique(toAbort.begin(), toAbort.end()),
-                      toAbort.end());
-        stats_.abortsConflict += toAbort.size();
-        abortTasks(toAbort, /*discard_roots=*/false, t->tile);
-    }
-    return compared;
-}
-
-void
-Machine::abortTasks(const std::vector<Task*>& roots, bool discard_roots,
-                    TileId cause_tile)
-{
-    // Build the abort set: descendants are discarded (their parent's
-    // execution attempt, which created them, is rolled back); dependent
-    // tasks are aborted and requeued. Discard dominates requeue.
-    std::unordered_map<Task*, bool> marked; // -> discard?
-    std::vector<std::pair<Task*, bool>> wl;
-    for (Task* r : roots)
-        wl.emplace_back(r, discard_roots);
-
-    while (!wl.empty()) {
-        auto [x, disc] = wl.back();
-        wl.pop_back();
-        auto it = marked.find(x);
-        if (it != marked.end() && (it->second || !disc))
-            continue; // already marked at an equal or stronger level
-        marked[x] = disc;
-        for (Task* child : x->children)
-            wl.emplace_back(child, true);
-        for (auto [uid, gen] : x->dependents) {
-            Task* dep = lookupTask(uid);
-            if (dep && dep->generation == gen &&
-                (dep->state == TaskState::Running ||
-                 dep->state == TaskState::Finished)) {
-                wl.emplace_back(dep, false);
-            }
-        }
-    }
-
-    // Roll back in reverse program order: per line, chronological write
-    // order equals program order among live writers (DESIGN.md §5.3), so
-    // descending (ts, uid) restoration is exact.
-    std::vector<Task*> order;
-    order.reserve(marked.size());
-    for (auto& [task, disc] : marked)
-        order.push_back(task);
-    std::sort(order.begin(), order.end(), [](Task* a, Task* b) {
-        return TaskOrder()(b, a); // descending
-    });
-
-    std::vector<TileId> touched;
-    for (Task* x : order) {
-        touched.push_back(x->tile);
-        rollbackTask(x, cause_tile);
-        if (marked[x])
-            discardTask(x);
-        else
-            requeueTask(x);
-    }
-
-    std::sort(touched.begin(), touched.end());
-    touched.erase(std::unique(touched.begin(), touched.end()),
-                  touched.end());
-    for (TileId tile : touched) {
-        retryFinishPending(tile);
-        scheduleDispatch(tile);
-    }
-}
-
-void
-Machine::rollbackTask(Task* t, TileId cause_tile)
-{
-    bool hadRun = (t->state == TaskState::Running ||
-                   t->state == TaskState::Finished);
-
-    // Abort message to the task's tile.
-    mesh_.inject(cause_tile, t->tile, cfg_.ctrlFlits, TrafficClass::Abort);
-
-    uint64_t rollbackCycles = 0;
-    if (hadRun) {
-        // Restore the undo log in reverse; rollback writes go through the
-        // memory hierarchy and their traffic is abort traffic.
-        CoreId rbCore = t->runningOn != Task::kNoCore
-                            ? t->runningOn
-                            : coreId(t->tile, 0);
-        for (auto it = t->undo.rbegin(); it != t->undo.rend(); ++it)
-            std::memcpy(reinterpret_cast<void*>(it->addr), &it->oldVal,
-                        it->size);
-        for (LineAddr line : t->writeSet) {
-            auto res = mem_.access(rbCore, line << lineBits, true,
-                                   TrafficClass::Abort);
-            rollbackCycles += res.latency;
-        }
-        stats_.tasksAborted++;
-        stats_.coreCycles[size_t(CycleBucket::Abort)] +=
-            t->execCycles + rollbackCycles;
-    }
-
-    lineTable_.removeTask(t);
-
-    if (t->state == TaskState::Running) {
-        if (t->coro) {
-            t->coro.destroy();
-            t->coro = {};
-        }
-        freeCore(t);
-    }
-}
-
-void
-Machine::discardTask(Task* t)
-{
-    TaskUnit& unit = units_[t->tile];
-    switch (t->state) {
-      case TaskState::InFlight:
-        unit.unfinished.erase(t);
-        ssim_assert(unit.inFlight > 0);
-        unit.inFlight--;
-        break;
-      case TaskState::Idle:
-        if (t->spilled)
-            unit.spillBuf.erase(t);
-        else
-            unit.idle.erase(t);
-        unit.unfinished.erase(t);
-        break;
-      case TaskState::Running: // core already freed by rollbackTask
-        unit.unfinished.erase(t);
-        break;
-      case TaskState::Finished:
-        unit.commitQ.erase(t);
-        break;
-    }
-    if (t->parent) {
-        auto& sib = t->parent->children;
-        sib.erase(std::remove(sib.begin(), sib.end(), t), sib.end());
-    }
-    // Children of a discarded task are always in the same abort set
-    // (marked discard), so no dangling child->parent pointers survive;
-    // clear ours defensively.
-    for (Task* c : t->children)
-        c->parent = nullptr;
-    liveTasks_.erase(t->uid);
-    ssim_assert(tasksLive_ > 0);
-    tasksLive_--;
-    delete t;
-}
-
-void
-Machine::requeueTask(Task* t)
-{
-    TaskUnit& unit = units_[t->tile];
-    ssim_assert(t->state == TaskState::Running ||
-                t->state == TaskState::Finished,
-                "only executed tasks are requeued");
-    if (t->state == TaskState::Finished) {
-        unit.commitQ.erase(t);
-        unit.unfinished.insert(t); // it left unfinished when it finished
-    }
-    // Children created by the rolled-back attempt are discarded in the
-    // same cascade; drop our references.
-    t->children.clear();
-    t->generation++;
-    t->resetSpecState();
-    t->state = TaskState::Idle;
-    unit.idle.insert(t);
-}
-
-// ---- Spills (coalescers, Sec. II-B / Table II) ------------------------------------
-
-void
-Machine::maybeSpill(TileId tile)
-{
-    TaskUnit& unit = units_[tile];
-    if (!unit.taskQueueAboveSpillThreshold())
-        return;
-
-    // Coalescer: spill up to spillBatch idle tasks, latest first,
-    // preferring untied tasks (paper spills only parent-committed tasks;
-    // we may spill tied ones too -- see DESIGN.md).
-    // Never spill the tile's earliest idle task: it may gate the GVT.
-    Task* keep = *unit.idle.begin();
-    std::vector<Task*> batch;
-    for (auto it = unit.idle.rbegin();
-         it != unit.idle.rend() && batch.size() < cfg_.spillBatch; ++it) {
-        if ((*it)->untied && *it != keep)
-            batch.push_back(*it);
-    }
-    if (batch.size() < cfg_.spillBatch) {
-        for (auto it = unit.idle.rbegin();
-             it != unit.idle.rend() && batch.size() < cfg_.spillBatch;
-             ++it) {
-            if (!(*it)->untied && *it != keep)
-                batch.push_back(*it);
-        }
-    }
-    for (Task* t : batch) {
-        unit.idle.erase(t);
-        unit.spillBuf.insert(t);
-        t->spilled = true;
-        stats_.tasksSpilled++;
-        stats_.coreCycles[size_t(CycleBucket::Spill)] +=
-            cfg_.spillCostPerTask;
-        mesh_.injectRaw(cfg_.taskDescFlits, TrafficClass::MemAcc);
-    }
-}
-
-void
-Machine::unspillIfRoom(TileId tile)
-{
-    TaskUnit& unit = units_[tile];
-    uint32_t lowWater = uint32_t(0.5 * unit.taskQueueCap);
-    uint32_t brought = 0;
-    while (!unit.spillBuf.empty()) {
-        Task* t = *unit.spillBuf.begin();
-        // Progress guarantee: a spilled task that precedes every idle
-        // task must come back regardless of occupancy -- otherwise the
-        // tile's (and possibly the system's) earliest task is stranded
-        // in memory and the GVT never advances.
-        bool mustRestore =
-            unit.idle.empty() || t->before(**unit.idle.begin());
-        bool haveRoom = unit.taskQueueOcc() < lowWater &&
-                        brought < cfg_.spillBatch;
-        if (!mustRestore && !haveRoom)
-            break;
-        unit.spillBuf.erase(unit.spillBuf.begin());
-        t->spilled = false;
-        unit.idle.insert(t);
-        stats_.coreCycles[size_t(CycleBucket::Spill)] +=
-            cfg_.spillCostPerTask;
-        mesh_.injectRaw(cfg_.taskDescFlits, TrafficClass::MemAcc);
-        brought++;
-    }
-}
-
-// ---- Idealized work-stealing (Sec. II-C) ---------------------------------------------
-
-bool
-Machine::trySteal(TileId thief)
-{
-    // Victim selection.
-    TileId victim = cfg_.ntiles; // invalid
-    switch (cfg_.stealVictim) {
-      case StealVictim::MostLoaded: {
-        size_t best = 0;
-        for (TileId t = 0; t < cfg_.ntiles; t++) {
-            if (t == thief)
-                continue;
-            size_t n = units_[t].idle.size();
-            if (n > best) {
-                best = n;
-                victim = t;
-            }
-        }
-        break;
-      }
-      case StealVictim::Random: {
-        // Try a few random probes, then fall back to a scan.
-        for (int i = 0; i < 4 && victim == cfg_.ntiles; i++) {
-            TileId t = TileId(rng_.range(cfg_.ntiles));
-            if (t != thief && !units_[t].idle.empty())
-                victim = t;
-        }
-        if (victim == cfg_.ntiles) {
-            for (TileId t = 0; t < cfg_.ntiles; t++)
-                if (t != thief && !units_[t].idle.empty()) {
-                    victim = t;
-                    break;
-                }
-        }
-        break;
-      }
-      case StealVictim::NearestNeighbor: {
-        uint32_t bestDist = ~0u;
-        for (TileId t = 0; t < cfg_.ntiles; t++) {
-            if (t == thief || units_[t].idle.empty())
-                continue;
-            uint32_t d = mesh_.hops(thief, t);
-            if (d < bestDist) {
-                bestDist = d;
-                victim = t;
-            }
-        }
-        break;
-      }
-    }
-    if (victim == cfg_.ntiles || units_[victim].idle.empty())
-        return false;
-
-    // Task selection within the victim tile.
-    TaskUnit& vu = units_[victim];
-    Task* t = nullptr;
-    switch (cfg_.stealChoice) {
-      case StealChoice::EarliestTs:
-        t = *vu.idle.begin();
-        break;
-      case StealChoice::LatestTs:
-        t = *vu.idle.rbegin();
-        break;
-      case StealChoice::Random: {
-        auto it = vu.idle.begin();
-        std::advance(it, rng_.range(vu.idle.size()));
-        t = *it;
-        break;
-      }
-    }
-    ssim_assert(t);
-
-    // Idealized: the steal itself is instantaneous and free (Sec. II-C);
-    // only the task's subsequent data accesses pay for the move.
-    vu.idle.erase(t);
-    vu.unfinished.erase(t);
-    t->tile = thief;
-    TaskUnit& tu = units_[thief];
-    tu.idle.insert(t);
-    tu.unfinished.insert(t);
-    stats_.tasksStolen++;
-    return true;
-}
-
-// ---- Run loop ------------------------------------------------------------------------
+// ---- Run loop ----------------------------------------------------------------
 
 void
 Machine::run()
 {
     running_ = true;
     for (TileId t = 0; t < cfg_.ntiles; t++)
-        scheduleDispatch(t);
-    eq_.schedule(cfg_.gvtEpoch, [this] { gvtEpoch(); });
-    if (lb_)
-        eq_.schedule(cfg_.lbEpoch, [this] { lbEpoch(); });
+        engine_->scheduleDispatch(t);
+    commit_->start();
     eq_.run();
-    ssim_assert(tasksLive_ == 0, "run ended with stranded tasks");
+    ssim_assert(engine_->tasksLive() == 0, "run ended with stranded tasks");
     finalizeStats();
     running_ = false;
 }
@@ -777,18 +81,10 @@ Machine::run()
 void
 Machine::finalizeStats()
 {
-    stats_.cycles = lastCommitCycle_ ? lastCommitCycle_ : eq_.now();
+    stats_.cycles = commit_->lastCommitCycle() ? commit_->lastCommitCycle()
+                                               : eq_.now();
     // Flush trailing wait intervals (cores idle at the end of the run).
-    for (Core& core : cores_) {
-        if (core.wait != Core::Wait::None) {
-            Cycle end = std::max(stats_.cycles, core.waitStart);
-            CycleBucket b = core.wait == Core::Wait::Empty
-                                ? CycleBucket::Empty
-                                : CycleBucket::Stall;
-            stats_.coreCycles[size_t(b)] += end - core.waitStart;
-            core.wait = Core::Wait::None;
-        }
-    }
+    engine_->flushWaitIntervals(stats_.cycles);
     stats_.flits = mesh_.flits();
 }
 

@@ -1,19 +1,28 @@
 /**
  * @file
- * The top-level Swarm machine: tiles with cores and task units, the cache
- * hierarchy, the mesh NoC, the commit (GVT) protocol, a spatial scheduler,
- * and (for LBHints) the data-centric load balancer.
+ * The top-level Swarm machine: wiring and the public API.
  *
- * The Machine executes applications written against swarm/api.h. It is
- * single-threaded and fully deterministic for a given (config, seed,
- * initial task set).
+ * Machine composes the layered execution pipeline out of four
+ * collaborating subsystems behind narrow interfaces:
+ *
+ *  - ExecutionEngine (swarm/execution_engine.h): core dispatch, task
+ *    lifecycle, coroutine resumption, wait accounting — pure mechanism.
+ *  - ConflictManager (swarm/conflict_manager.h): line table, eager
+ *    conflict detection, abort/rollback/requeue cascades.
+ *  - CommitController (swarm/commit_controller.h): GVT epochs, ordered
+ *    commits, gridlock breaking, commit-side profiling hooks.
+ *  - CapacityManager (swarm/capacity_manager.h): spill/unspill
+ *    coalescers and work-stealing.
+ *
+ * Placement policy (the spatial scheduler) and the data-centric load
+ * balancer are constructed through the policy registry
+ * (swarm/policies.h). The Machine executes applications written against
+ * swarm/api.h. It is single-threaded and fully deterministic for a given
+ * (config, seed, initial task set).
  */
 #pragma once
 
 #include <memory>
-#include <optional>
-#include <unordered_map>
-#include <vector>
 
 #include "base/rng.h"
 #include "base/stats.h"
@@ -21,27 +30,20 @@
 #include "noc/mesh.h"
 #include "sim/config.h"
 #include "sim/event_queue.h"
+#include "swarm/capacity_manager.h"
+#include "swarm/commit_controller.h"
+#include "swarm/conflict_manager.h"
+#include "swarm/execution_engine.h"
 #include "swarm/load_balancer.h"
 #include "swarm/scheduler.h"
-#include "swarm/spec.h"
 #include "swarm/task.h"
-#include "swarm/task_unit.h"
 
 namespace ssim {
-
-/** Receives every committed task (with its access trace) for profiling. */
-class AccessProfiler
-{
-  public:
-    virtual ~AccessProfiler() = default;
-    virtual void onCommit(const Task& t) = 0;
-};
 
 class Machine
 {
   public:
     explicit Machine(const SimConfig& cfg);
-    ~Machine();
     Machine(const Machine&) = delete;
     Machine& operator=(const Machine&) = delete;
 
@@ -62,7 +64,7 @@ class Machine
                            const std::array<uint64_t, 3>& args, uint8_t n);
 
     /** Enable access-trace profiling for the classifier. */
-    void setProfiler(AccessProfiler* p) { profiler_ = p; }
+    void setProfiler(AccessProfiler* p) { commit_->setProfiler(p); }
 
     // ---- Execution --------------------------------------------------------
     /** Run all tasks to completion (the paper's swarm::run()). */
@@ -75,75 +77,29 @@ class Machine
     const Mesh& mesh() const { return mesh_; }
     MemorySystem& memory() { return mem_; }
     LoadBalancer* loadBalancer() { return lb_.get(); }
-    uint64_t liveTasks() const { return tasksLive_; }
+    uint64_t liveTasks() const { return engine_->tasksLive(); }
+
+    // ---- Subsystem access (tools, white-box tests) --------------------------
+    ExecutionEngine& engine() { return *engine_; }
+    ConflictManager& conflictManager() { return *conflict_; }
+    CommitController& commitController() { return *commit_; }
+    CapacityManager& capacityManager() { return *capacity_; }
 
     // ---- Internal entry points used by the api.h awaiters -------------------
-    void issueAccess(Task* t, swarm::MemAwaiter* aw);
-    void issueCompute(Task* t, uint32_t cycles);
-    void issueEnqueue(Task* t, const swarm::EnqueueAwaiter& aw);
-
-  private:
-    friend class MachineTestPeer; // white-box unit tests
-
-    struct Core
+    void issueAccess(Task* t, swarm::MemAwaiter* aw)
     {
-        enum class Wait : uint8_t { None, Empty, StallCQ };
-        Task* task = nullptr;
-        Wait wait = Wait::None;
-        Cycle waitStart = 0;
-        bool finishPending = false; ///< finished task waiting for a CQ slot
-        bool everDispatched = false;
-    };
-
-    // Topology helpers ------------------------------------------------------
-    TileId tileOfCore(CoreId c) const { return c / cfg_.coresPerTile; }
-    uint32_t coreIdx(CoreId c) const { return c % cfg_.coresPerTile; }
-    CoreId coreId(TileId t, uint32_t idx) const
+        engine_->issueAccess(t, aw);
+    }
+    void issueCompute(Task* t, uint32_t cycles)
     {
-        return t * cfg_.coresPerTile + idx;
+        engine_->issueCompute(t, cycles);
+    }
+    void issueEnqueue(Task* t, const swarm::EnqueueAwaiter& aw)
+    {
+        engine_->issueEnqueue(t, aw);
     }
 
-    // Task lifecycle (machine.cc) ------------------------------------------
-    Task* createTask(swarm::TaskFn fn, Timestamp ts, swarm::Hint hint,
-                     const std::array<uint64_t, 3>& args, uint8_t nargs,
-                     Task* parent, TileId src_tile);
-    void arriveTask(uint64_t uid, uint64_t gen);
-    void tryDispatch(TileId tile);
-    void dispatchOn(TileId tile, uint32_t idx, Task* t);
-    void resumeCoro(uint64_t uid, uint64_t gen);
-    void finishTaskAttempt(Task* t);
-    bool tryTakeCommitSlot(Task* t); ///< may displace a later finished task
-    void freeCore(Task* t);
-    void leaveWait(Core& core, CycleBucket bucket);
-    void enterWait(Core& core, Core::Wait w);
-    void retryFinishPending(TileId tile);
-    Task* lookupTask(uint64_t uid) const;
-
-    // Spills (machine.cc) ------------------------------------------------------
-    void maybeSpill(TileId tile);
-    void unspillIfRoom(TileId tile);
-
-    // Stealing (machine.cc) ------------------------------------------------------
-    bool trySteal(TileId thief);
-
-    // Conflicts and aborts (machine.cc) -------------------------------------------
-    /// Abort every uncommitted task conflicting with t's access; returns
-    /// the number of candidate tasks compared (for check latency).
-    uint32_t resolveConflicts(Task* t, LineAddr line, bool is_write);
-    void abortTasks(const std::vector<Task*>& roots, bool discard_roots,
-                    TileId cause_tile);
-    void rollbackTask(Task* t, TileId cause_tile);
-    void discardTask(Task* t);
-    void requeueTask(Task* t);
-
-    // Commit protocol (gvt.cc) -----------------------------------------------------
-    void gvtEpoch();
-    std::optional<std::pair<Timestamp, uint64_t>> computeGvt() const;
-    void commitTask(Task* t);
-    void breakCommitGridlock(TileId tile);
-    void lbEpoch();
-
-    void scheduleDispatch(TileId tile);
+  private:
     void finalizeStats();
 
     template <typename T>
@@ -168,18 +124,10 @@ class Machine
     Rng rng_;
     std::unique_ptr<LoadBalancer> lb_;
     std::unique_ptr<SpatialScheduler> sched_;
-
-    std::vector<TaskUnit> units_; ///< one per tile
-    std::vector<Core> cores_;     ///< flat, coreId-indexed
-    LineTable lineTable_;
-    std::unordered_map<uint64_t, Task*> liveTasks_;
-
-    AccessProfiler* profiler_ = nullptr;
-    uint64_t nextUid_ = 0;
-    uint64_t tasksLive_ = 0;
-    uint64_t traceEpochs_ = 0;
-    uint32_t rrInitTile_ = 0; ///< round-robin placement of initial tasks
-    Cycle lastCommitCycle_ = 0;
+    std::unique_ptr<ExecutionEngine> engine_;
+    std::unique_ptr<ConflictManager> conflict_;
+    std::unique_ptr<CapacityManager> capacity_;
+    std::unique_ptr<CommitController> commit_;
     bool running_ = false;
 };
 

@@ -1,0 +1,264 @@
+#include "swarm/policies.h"
+
+#include <array>
+
+#include "base/hash.h"
+#include "base/logging.h"
+#include "swarm/load_balancer.h"
+#include "swarm/scheduler.h"
+
+namespace ssim {
+
+namespace {
+
+// ---- Concrete spatial schedulers (paper Sec. II-C, III-B) -------------------
+
+class RandomScheduler : public SpatialScheduler
+{
+  public:
+    using SpatialScheduler::SpatialScheduler;
+
+    TileId
+    place(bool, uint64_t, TileId) override
+    {
+        return randomTile();
+    }
+
+    // The Random baseline ignores hints entirely, SAMEHINT included.
+    TileId
+    placeSameHint(TileId) override
+    {
+        return randomTile();
+    }
+};
+
+class StealingScheduler : public SpatialScheduler
+{
+  public:
+    using SpatialScheduler::SpatialScheduler;
+
+    TileId
+    place(bool, uint64_t, TileId src_tile) override
+    {
+        return src_tile; // new tasks enqueue to the local tile
+    }
+
+    bool stealing() const override { return true; }
+};
+
+class HintScheduler : public SpatialScheduler
+{
+  public:
+    using SpatialScheduler::SpatialScheduler;
+
+    TileId
+    place(bool has_hint, uint64_t hint, TileId) override
+    {
+        if (!has_hint)
+            return randomTile();
+        return hintToTile(hint, cfg_.ntiles);
+    }
+};
+
+class LbHintScheduler : public SpatialScheduler
+{
+  public:
+    LbHintScheduler(const SimConfig& cfg, Rng& rng, LoadBalancer* lb)
+        : SpatialScheduler(cfg, rng), lb_(lb)
+    {
+        ssim_assert(lb_, "LBHints requires a load balancer");
+    }
+
+    TileId
+    place(bool has_hint, uint64_t hint, TileId) override
+    {
+        if (!has_hint)
+            return randomTile();
+        return lb_->tileOfBucket(hintToBucket(hint, cfg_.numBuckets()));
+    }
+
+  private:
+    LoadBalancer* lb_;
+};
+
+template <typename S>
+std::unique_ptr<SpatialScheduler>
+makeSimple(const SimConfig& cfg, Rng& rng, LoadBalancer*)
+{
+    return std::make_unique<S>(cfg, rng);
+}
+
+std::unique_ptr<SpatialScheduler>
+makeLbHints(const SimConfig& cfg, Rng& rng, LoadBalancer* lb)
+{
+    return std::make_unique<LbHintScheduler>(cfg, rng, lb);
+}
+
+constexpr size_t kNumSchedulers = 4;
+
+/// Value<->name tables shared by set() and describe() so every knob has
+/// a single source of names.
+constexpr std::array<const char*, 3> kVictimNames = {"most-loaded",
+                                                     "random", "nearest"};
+constexpr std::array<const char*, 3> kChoiceNames = {"earliest", "random",
+                                                     "latest"};
+constexpr std::array<const char*, 2> kSignalNames = {"committed", "idle"};
+
+template <typename E, size_t N>
+bool
+lookup(const std::array<const char*, N>& names, const std::string& value,
+       E& out)
+{
+    for (size_t i = 0; i < N; i++) {
+        if (value == names[i]) {
+            out = E(i);
+            return true;
+        }
+    }
+    return false;
+}
+
+/// One registry slot per SchedulerType: factory plus the name used for
+/// selection (set), listing (schedulerNames), and labeling (describe).
+/// Overriding a slot relabels it everywhere consistently.
+struct SchedulerEntry
+{
+    const char* name;
+    policies::SchedulerFactory factory;
+};
+
+std::array<SchedulerEntry, kNumSchedulers>&
+registry()
+{
+    static std::array<SchedulerEntry, kNumSchedulers> r = {{
+        {"random", &makeSimple<RandomScheduler>},     // Random
+        {"stealing", &makeSimple<StealingScheduler>}, // Stealing
+        {"hints", &makeSimple<HintScheduler>},        // Hints
+        {"lbhints", &makeLbHints},                    // LBHints
+    }};
+    return r;
+}
+
+} // namespace
+
+namespace policies {
+
+void
+registerScheduler(SchedulerType type, SchedulerFactory f, const char* name)
+{
+    ssim_assert(size_t(type) < kNumSchedulers && f);
+    registry()[size_t(type)].factory = f;
+    if (name)
+        registry()[size_t(type)].name = name;
+}
+
+std::unique_ptr<SpatialScheduler>
+makeScheduler(const SimConfig& cfg, Rng& rng, LoadBalancer* lb)
+{
+    ssim_assert(size_t(cfg.sched) < kNumSchedulers, "bad scheduler type");
+    return registry()[size_t(cfg.sched)].factory(cfg, rng, lb);
+}
+
+std::unique_ptr<LoadBalancer>
+makeLoadBalancer(const SimConfig& cfg)
+{
+    if (cfg.sched != SchedulerType::LBHints)
+        return nullptr;
+    return std::make_unique<LoadBalancer>(cfg);
+}
+
+std::vector<std::string>
+schedulerNames()
+{
+    std::vector<std::string> names;
+    names.reserve(kNumSchedulers);
+    for (const auto& e : registry())
+        names.push_back(e.name);
+    return names;
+}
+
+bool
+set(SimConfig& cfg, const std::string& key, const std::string& value)
+{
+    if (key == "sched") {
+        for (size_t i = 0; i < kNumSchedulers; i++) {
+            if (value == registry()[i].name) {
+                cfg.sched = SchedulerType(i);
+                cfg.serializeSameHint =
+                    (cfg.sched == SchedulerType::Hints ||
+                     cfg.sched == SchedulerType::LBHints);
+                return true;
+            }
+        }
+        return false;
+    }
+    if (key == "steal-victim")
+        return lookup(kVictimNames, value, cfg.stealVictim);
+    if (key == "steal-choice")
+        return lookup(kChoiceNames, value, cfg.stealChoice);
+    if (key == "lb-signal")
+        return lookup(kSignalNames, value, cfg.lbSignal);
+    if (key == "serialize") {
+        if (value == "on")
+            cfg.serializeSameHint = true;
+        else if (value == "off")
+            cfg.serializeSameHint = false;
+        else
+            return false;
+        return true;
+    }
+    return false;
+}
+
+SimConfig&
+apply(SimConfig& cfg, const std::string& spec)
+{
+    std::vector<std::pair<std::string, std::string>> pairs;
+    size_t pos = 0;
+    while (pos < spec.size()) {
+        size_t end = spec.find(',', pos);
+        if (end == std::string::npos)
+            end = spec.size();
+        std::string pair = spec.substr(pos, end - pos);
+        size_t eq = pair.find('=');
+        if (eq == std::string::npos)
+            fatal("bad policy spec '%s' (at '%s')", spec.c_str(),
+                  pair.c_str());
+        pairs.emplace_back(pair.substr(0, eq), pair.substr(eq + 1));
+        pos = end + 1;
+    }
+    // Selecting a scheduler resets dependent defaults (serialization),
+    // so apply sched first regardless of its position in the spec: the
+    // other keys are explicit overrides and must win.
+    for (int schedPass = 1; schedPass >= 0; schedPass--) {
+        for (const auto& [key, value] : pairs) {
+            if ((key == "sched") != (schedPass == 1))
+                continue;
+            if (!set(cfg, key, value))
+                fatal("bad policy spec '%s' (at '%s=%s')", spec.c_str(),
+                      key.c_str(), value.c_str());
+        }
+    }
+    return cfg;
+}
+
+std::string
+describe(const SimConfig& cfg)
+{
+    std::string s =
+        std::string("sched=") + registry()[size_t(cfg.sched)].name;
+    if (cfg.sched == SchedulerType::Stealing) {
+        s += std::string(",steal-victim=") +
+             kVictimNames[size_t(cfg.stealVictim)];
+        s += std::string(",steal-choice=") +
+             kChoiceNames[size_t(cfg.stealChoice)];
+    }
+    if (cfg.sched == SchedulerType::LBHints)
+        s += std::string(",lb-signal=") + kSignalNames[size_t(cfg.lbSignal)];
+    s += ",serialize=";
+    s += cfg.serializeSameHint ? "on" : "off";
+    return s;
+}
+
+} // namespace policies
+} // namespace ssim

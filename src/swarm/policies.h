@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The policy registry: one place where spatial schedulers and the load
+ * balancer are constructed, and where every tunable policy knob can be
+ * selected *by name*. Benches, examples, and the harness use this instead
+ * of reaching into concrete factories or poking SimConfig fields.
+ *
+ * Scheduler factories are registered per SchedulerType and can be
+ * overridden (pluggable policies); `apply()` parses a comma-separated
+ * `key=value` spec:
+ *
+ *   sched=random|stealing|hints|lbhints
+ *   steal-victim=most-loaded|random|nearest
+ *   steal-choice=earliest|random|latest
+ *   lb-signal=committed|idle
+ *   serialize=on|off
+ *
+ * Setting `sched` also applies the scheduler's default for same-hint
+ * dispatch serialization (on for hints/lbhints), matching
+ * SimConfig::withCores. apply() processes `sched=` before the other
+ * keys regardless of its position, so an explicit `serialize=` anywhere
+ * in the spec overrides the scheduler default.
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "sim/config.h"
+
+namespace ssim {
+
+class LoadBalancer;
+class SpatialScheduler;
+
+namespace policies {
+
+/** Factory for a spatial scheduler; @p lb is non-null only for LBHints. */
+using SchedulerFactory = std::unique_ptr<SpatialScheduler> (*)(
+    const SimConfig&, Rng&, LoadBalancer*);
+
+/**
+ * Replace the factory for @p type (plug in a custom placement policy).
+ * A non-null @p name relabels the slot on every registry surface —
+ * selection via set()/apply(), schedulerNames(), and describe(). Note
+ * that code labeling rows by enum via config.cc's
+ * schedulerName(SchedulerType) still prints the built-in name; prefer
+ * the registry names when a slot may be overridden. The string must
+ * outlive the process (use a literal).
+ */
+void registerScheduler(SchedulerType type, SchedulerFactory f,
+                       const char* name = nullptr);
+
+/** Construct the scheduler registered for cfg.sched. */
+std::unique_ptr<SpatialScheduler> makeScheduler(const SimConfig& cfg,
+                                                Rng& rng, LoadBalancer* lb);
+
+/** Construct the load balancer iff cfg's scheduler uses one (LBHints). */
+std::unique_ptr<LoadBalancer> makeLoadBalancer(const SimConfig& cfg);
+
+/** Registered scheduler names, in SchedulerType order. */
+std::vector<std::string> schedulerNames();
+
+/**
+ * Set one policy knob by name; returns false (and leaves cfg untouched)
+ * for an unknown key or value.
+ */
+bool set(SimConfig& cfg, const std::string& key, const std::string& value);
+
+/**
+ * Apply a comma-separated `key=value` policy spec; fatals on a malformed
+ * pair so benches fail loudly rather than silently measuring the wrong
+ * configuration.
+ */
+SimConfig& apply(SimConfig& cfg, const std::string& spec);
+
+/** Active policy selection as a spec string (inverse of apply). */
+std::string describe(const SimConfig& cfg);
+
+} // namespace policies
+} // namespace ssim

@@ -1,25 +1,18 @@
 /**
  * @file
- * Spatial task-mapping policies (paper Sec. II-C, III-B).
+ * Spatial task-mapping policy interface (paper Sec. II-C, III-B).
  *
- *  - Random:   Swarm's default; new tasks go to a uniformly random tile.
- *  - Stealing: idealized work-stealing; new tasks enqueue locally and the
- *              Machine steals on demand (victim/task policies in config).
- *  - Hints:    hash the 64-bit hint down to a tile id; NOHINT tasks go to
- *              a random tile; SAMEHINT tasks are queued locally.
- *  - LBHints:  hints through the load balancer's bucket -> tile map.
+ * Concrete policies (Random, Stealing, Hints, LBHints) live in
+ * policies.cc and are constructed through the policy registry
+ * (swarm/policies.h); the ExecutionEngine only sees this interface.
  */
 #pragma once
-
-#include <memory>
 
 #include "base/rng.h"
 #include "base/types.h"
 #include "sim/config.h"
 
 namespace ssim {
-
-class LoadBalancer;
 
 class SpatialScheduler
 {
@@ -29,12 +22,17 @@ class SpatialScheduler
 
     /**
      * Destination tile for a new task. @p has_hint is false for NOHINT
-     * tasks; SAMEHINT placement (local queue) is resolved by the caller
-     * before this is invoked.
+     * tasks; SAMEHINT placement is resolved by placeSameHint().
      */
     virtual TileId place(bool has_hint, uint64_t hint, TileId src_tile) = 0;
 
-    /** Whether the Machine should steal on dispatch failure. */
+    /**
+     * Destination tile for a SAMEHINT task: the local queue, except for
+     * policies that ignore hints entirely (Random).
+     */
+    virtual TileId placeSameHint(TileId src_tile) { return src_tile; }
+
+    /** Whether the engine should steal on dispatch failure. */
     virtual bool stealing() const { return false; }
 
   protected:
@@ -43,9 +41,5 @@ class SpatialScheduler
     const SimConfig& cfg_;
     Rng& rng_;
 };
-
-/** Factory; @p lb must be non-null for LBHints. */
-std::unique_ptr<SpatialScheduler> makeScheduler(const SimConfig& cfg,
-                                                Rng& rng, LoadBalancer* lb);
 
 } // namespace ssim

@@ -127,11 +127,34 @@ TEST(LoadBalancer, TaggedCountersAreBounded)
     SimConfig cfg = SimConfig::withCores(16);
     LoadBalancer lb(cfg);
     // Hammer one tile with more distinct buckets than it has counters
-    // (32 = 2x bucketsPerTile); overflow samples are dropped like in
-    // hardware, so this must not grow without bound or crash.
+    // (32 = 2x bucketsPerTile); the structure must stay bounded, with
+    // overflow samples merged onto the least-loaded counter rather than
+    // dropped, so total profiled load is conserved.
     for (uint32_t b = 0; b < lb.numBuckets(); b++)
         lb.profileCommit(0, b, 10);
-    EXPECT_LE(lb.profiledLoad(0), 32u * 10u);
+    EXPECT_LE(lb.profiledCounters(0), 32u);
+    EXPECT_EQ(lb.profiledLoad(0), uint64_t(lb.numBuckets()) * 10u);
+}
+
+TEST(LoadBalancer, EvictMergePreservesHeavyBuckets)
+{
+    SimConfig cfg = SimConfig::withCores(16);
+    LoadBalancer lb(cfg);
+    // One hot bucket, then a flood of distinct cold buckets: the merges
+    // must displace cold tags, never the hot counter's accumulated load.
+    lb.profileCommit(0, 0, 1000000);
+    for (uint32_t b = 1; b < lb.numBuckets(); b++)
+        lb.profileCommit(0, b, 1);
+    EXPECT_LE(lb.profiledCounters(0), 32u);
+    EXPECT_EQ(lb.profiledLoad(0), 1000000u + lb.numBuckets() - 1);
+    // A reconfiguration must not displace the hot bucket: its weight
+    // exceeds tile 0's capped shed budget (f=0.8 of the surplus), so the
+    // donor sheds only cold buckets.
+    for (uint32_t b = 0; b < lb.numBuckets(); b++)
+        if (lb.tileOfBucket(b) != 0)
+            lb.profileCommit(lb.tileOfBucket(b), b, 100);
+    lb.reconfigure({});
+    EXPECT_EQ(lb.tileOfBucket(0), 0u);
 }
 
 // ---- Speculation semantics through the Machine ------------------------------------
@@ -148,7 +171,7 @@ struct SpecState
 
 // Reads x (forwarded if an earlier writer is uncommitted), records it.
 swarm::TaskCoro
-readerTask(swarm::TaskCtx& ctx, swarm::Timestamp ts, const uint64_t* args)
+readerTask(swarm::TaskCtx& ctx, swarm::Timestamp, const uint64_t* args)
 {
     auto* s = swarm::argPtr<SpecState>(args[0]);
     uint64_t v = co_await ctx.read(&s->x);

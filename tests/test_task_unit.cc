@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Unit tests for the per-tile TaskUnit dispatch policy (serialization
+ * skips, NOHINT behavior), the spill threshold, and the policy registry.
+ */
+#include <gtest/gtest.h>
+
+#include "swarm/load_balancer.h"
+#include "swarm/policies.h"
+#include "swarm/scheduler.h"
+#include "swarm/task_unit.h"
+
+using namespace ssim;
+
+namespace {
+
+// Build a bare task in a given dispatch-relevant state; these tasks never
+// run, so only ordering/hint fields matter.
+Task*
+makeTask(uint64_t uid, Timestamp ts, uint16_t hint_hash, bool no_hint,
+         TaskState state)
+{
+    Task* t = new Task();
+    t->uid = uid;
+    t->ts = ts;
+    t->hintHash = hint_hash;
+    t->noHint = no_hint;
+    t->state = state;
+    return t;
+}
+
+struct TaskUnitTest : ::testing::Test
+{
+    TaskUnitTest()
+        : cfg(SimConfig::withCores(4, SchedulerType::Hints)),
+          unit(0, cfg)
+    {
+    }
+
+    ~TaskUnitTest() override
+    {
+        for (Task* t : owned)
+            delete t;
+    }
+
+    Task*
+    idleTask(uint64_t uid, Timestamp ts, uint16_t hash, bool no_hint = false)
+    {
+        Task* t = makeTask(uid, ts, hash, no_hint, TaskState::Idle);
+        owned.push_back(t);
+        unit.idle.insert(t);
+        return t;
+    }
+
+    Task*
+    runningTask(uint32_t core_idx, uint64_t uid, Timestamp ts,
+                uint16_t hash, bool no_hint = false)
+    {
+        Task* t = makeTask(uid, ts, hash, no_hint, TaskState::Running);
+        owned.push_back(t);
+        unit.coreTasks[core_idx] = t;
+        return t;
+    }
+
+    SimConfig cfg;
+    TaskUnit unit;
+    std::vector<Task*> owned;
+    uint64_t skips = 0;
+};
+
+} // namespace
+
+TEST_F(TaskUnitTest, PicksEarliestIdleTask)
+{
+    idleTask(2, 20, 0xa);
+    Task* first = idleTask(1, 10, 0xb);
+    EXPECT_EQ(unit.pickDispatchable(true, skips), first);
+    EXPECT_EQ(skips, 0u);
+}
+
+TEST_F(TaskUnitTest, SerializationSkipsSameHashBehindEarlierRunner)
+{
+    runningTask(0, 1, 10, 0xbeef);
+    Task* blocked = idleTask(2, 20, 0xbeef);
+    Task* other = idleTask(3, 30, 0xcafe);
+    // blocked shares its hash with an earlier running task: skipped.
+    EXPECT_EQ(unit.pickDispatchable(true, skips), other);
+    EXPECT_EQ(skips, 1u);
+    // With serialization off the same candidate dispatches.
+    skips = 0;
+    EXPECT_EQ(unit.pickDispatchable(false, skips), blocked);
+    EXPECT_EQ(skips, 0u);
+}
+
+TEST_F(TaskUnitTest, LaterRunnerDoesNotBlockEarlierCandidate)
+{
+    // The running same-hash task is *later* than the candidate; the
+    // comparators only serialize behind earlier tasks.
+    runningTask(0, 9, 90, 0xbeef);
+    Task* cand = idleTask(1, 10, 0xbeef);
+    EXPECT_EQ(unit.pickDispatchable(true, skips), cand);
+    EXPECT_EQ(skips, 0u);
+}
+
+TEST_F(TaskUnitTest, NoHintTasksNeverMatch)
+{
+    // A NOHINT candidate must dispatch even when a running task carries
+    // an equal (meaningless) hash, and a NOHINT runner blocks nobody.
+    runningTask(0, 1, 10, 0x0);
+    Task* nohintCand = idleTask(2, 20, 0x0, /*no_hint=*/true);
+    EXPECT_EQ(unit.pickDispatchable(true, skips), nohintCand);
+    EXPECT_EQ(skips, 0u);
+
+    unit.idle.erase(nohintCand);
+    unit.coreTasks[0]->noHint = true;
+    Task* cand = idleTask(3, 30, 0x0);
+    EXPECT_EQ(unit.pickDispatchable(true, skips), cand);
+    EXPECT_EQ(skips, 0u);
+}
+
+TEST_F(TaskUnitTest, NonRunningCoreOccupantDoesNotSerialize)
+{
+    // coreTasks can briefly hold finished tasks; only Running ones drive
+    // the comparators.
+    runningTask(0, 1, 10, 0xbeef)->state = TaskState::Finished;
+    Task* cand = idleTask(2, 20, 0xbeef);
+    EXPECT_EQ(unit.pickDispatchable(true, skips), cand);
+    EXPECT_EQ(skips, 0u);
+}
+
+TEST_F(TaskUnitTest, AllCandidatesBlockedReturnsNull)
+{
+    runningTask(0, 1, 10, 0xbeef);
+    idleTask(2, 20, 0xbeef);
+    idleTask(3, 30, 0xbeef);
+    EXPECT_EQ(unit.pickDispatchable(true, skips), nullptr);
+    EXPECT_EQ(skips, 2u);
+}
+
+TEST_F(TaskUnitTest, SpillThresholdTracksOccupancy)
+{
+    // withCores(4): 64 entries/core * 4 cores = 256; threshold 85%.
+    uint32_t cap = cfg.taskQueueCap();
+    uint32_t thresh = uint32_t(cfg.spillThreshold * cap);
+    ASSERT_EQ(unit.taskQueueOcc(), 0u);
+    EXPECT_FALSE(unit.taskQueueAboveSpillThreshold());
+
+    unit.inFlight = thresh - 1;
+    EXPECT_FALSE(unit.taskQueueAboveSpillThreshold());
+    unit.inFlight = thresh;
+    EXPECT_TRUE(unit.taskQueueAboveSpillThreshold());
+
+    // Occupancy counts idle + in-flight + running + commit queue, but
+    // not the (memory-backed) spill buffer.
+    unit.inFlight = thresh - 1;
+    Task* t = idleTask(1, 1, 0x1);
+    EXPECT_TRUE(unit.taskQueueAboveSpillThreshold());
+    unit.idle.erase(t);
+    unit.spillBuf.insert(t);
+    EXPECT_FALSE(unit.taskQueueAboveSpillThreshold());
+}
+
+// ---- Policy registry ---------------------------------------------------------
+
+TEST(Policies, ApplySelectsSchedulerAndSerializationDefaults)
+{
+    SimConfig cfg = SimConfig::withCores(16, SchedulerType::Random);
+    EXPECT_FALSE(cfg.serializeSameHint);
+    policies::apply(cfg, "sched=hints");
+    EXPECT_EQ(cfg.sched, SchedulerType::Hints);
+    EXPECT_TRUE(cfg.serializeSameHint);
+    policies::apply(cfg, "sched=stealing,steal-victim=nearest,"
+                         "steal-choice=latest");
+    EXPECT_EQ(cfg.sched, SchedulerType::Stealing);
+    EXPECT_FALSE(cfg.serializeSameHint);
+    EXPECT_EQ(cfg.stealVictim, StealVictim::NearestNeighbor);
+    EXPECT_EQ(cfg.stealChoice, StealChoice::LatestTs);
+    policies::apply(cfg, "sched=lbhints,lb-signal=idle,serialize=off");
+    EXPECT_EQ(cfg.sched, SchedulerType::LBHints);
+    EXPECT_EQ(cfg.lbSignal, LbSignal::IdleTasks);
+    EXPECT_FALSE(cfg.serializeSameHint);
+    // sched= is applied first regardless of spec order, so an explicit
+    // serialize= wins even when it precedes sched=.
+    policies::apply(cfg, "serialize=off,sched=hints");
+    EXPECT_EQ(cfg.sched, SchedulerType::Hints);
+    EXPECT_FALSE(cfg.serializeSameHint);
+}
+
+TEST(Policies, SetRejectsUnknownKeysAndValues)
+{
+    SimConfig cfg;
+    EXPECT_FALSE(policies::set(cfg, "sched", "mystery"));
+    EXPECT_FALSE(policies::set(cfg, "frobnicate", "on"));
+    EXPECT_FALSE(policies::set(cfg, "steal-victim", "loudest"));
+    EXPECT_TRUE(policies::set(cfg, "serialize", "off"));
+}
+
+TEST(Policies, DescribeRoundTrips)
+{
+    for (const char* spec :
+         {"sched=stealing,steal-victim=random,steal-choice=latest",
+          "sched=stealing,steal-victim=nearest",
+          "sched=lbhints,lb-signal=idle", "sched=hints,serialize=off"}) {
+        SimConfig cfg = SimConfig::withCores(16);
+        policies::apply(cfg, spec);
+        SimConfig again = SimConfig::withCores(16);
+        policies::apply(again, policies::describe(cfg));
+        EXPECT_EQ(again.sched, cfg.sched) << spec;
+        EXPECT_EQ(again.stealVictim, cfg.stealVictim) << spec;
+        EXPECT_EQ(again.stealChoice, cfg.stealChoice) << spec;
+        EXPECT_EQ(again.lbSignal, cfg.lbSignal) << spec;
+        EXPECT_EQ(again.serializeSameHint, cfg.serializeSameHint) << spec;
+    }
+}
+
+TEST(Policies, RegistryConstructsSchedulersAndLoadBalancer)
+{
+    Rng rng(1);
+    for (const auto& name : policies::schedulerNames()) {
+        SimConfig cfg = SimConfig::withCores(16);
+        policies::apply(cfg, "sched=" + name);
+        auto lb = policies::makeLoadBalancer(cfg);
+        EXPECT_EQ(lb != nullptr, cfg.sched == SchedulerType::LBHints)
+            << name;
+        auto sched = policies::makeScheduler(cfg, rng, lb.get());
+        ASSERT_NE(sched, nullptr) << name;
+        EXPECT_EQ(sched->stealing(), cfg.sched == SchedulerType::Stealing)
+            << name;
+        TileId t = sched->place(true, 12345, 0);
+        EXPECT_LT(t, cfg.ntiles) << name;
+    }
+}
