@@ -10,6 +10,7 @@
  */
 #include <cmath>
 #include <memory>
+#include <queue>
 
 #include "apps/app.h"
 #include "apps/factories.h"

@@ -11,6 +11,7 @@
  *
  * Segments are 32 characters over a 2-bit alphabet = one 64-bit word.
  */
+#include <algorithm>
 #include <memory>
 
 #include "apps/app.h"

@@ -68,6 +68,13 @@ struct SimStats
     uint64_t l2Hits = 0, l2Misses = 0;
     uint64_t l3Hits = 0, l3Misses = 0;
 
+    // Sharded data-plane occupancy (snapshotted at end of run; excluded
+    // from the golden-determinism digest, which hashes timing-visible
+    // fields only). Lane 0 is the global control lane; tile t = lane t+1.
+    std::vector<uint64_t> laneScheduled;   ///< events scheduled per lane
+    std::vector<uint64_t> lanePeakPending; ///< peak pending events per lane
+    std::vector<uint64_t> bankPeakLines;   ///< peak tracked lines per bank
+
     uint64_t totalCoreCycles() const;
     uint64_t totalFlits() const;
 

@@ -1,5 +1,7 @@
 #include "harness/report.h"
 
+#include <algorithm>
+#include <array>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -103,6 +105,38 @@ trafficBreakdownRow(const SimStats& s, double norm_total)
         row.push_back(fmt(double(s.flits[c]) / norm_total, 3));
     row.push_back(fmt(double(s.totalFlits()) / norm_total, 3));
     return row;
+}
+
+std::string
+occupancySummary(const SimStats& s)
+{
+    if (s.laneScheduled.empty() || s.bankPeakLines.empty())
+        return "";
+    auto minMeanMax = [](const std::vector<uint64_t>& v, size_t from) {
+        uint64_t lo = ~0ull, hi = 0, sum = 0;
+        for (size_t i = from; i < v.size(); i++) {
+            lo = std::min(lo, v[i]);
+            hi = std::max(hi, v[i]);
+            sum += v[i];
+        }
+        size_t n = v.size() - from;
+        return std::array<uint64_t, 3>{lo, n ? sum / n : 0, hi};
+    };
+    auto ev = minMeanMax(s.laneScheduled, 1);
+    auto pk = minMeanMax(s.lanePeakPending, 1);
+    auto bk = minMeanMax(s.bankPeakLines, 0);
+    char buf[256];
+    std::snprintf(
+        buf, sizeof(buf),
+        "lanes: %zu tile + global (%llu ev); tile events "
+        "min/mean/max=%llu/%llu/%llu, peak pending max=%llu\n"
+        "banks: %zu; peak lines min/mean/max=%llu/%llu/%llu",
+        s.laneScheduled.size() - 1, (unsigned long long)s.laneScheduled[0],
+        (unsigned long long)ev[0], (unsigned long long)ev[1],
+        (unsigned long long)ev[2], (unsigned long long)pk[2],
+        s.bankPeakLines.size(), (unsigned long long)bk[0],
+        (unsigned long long)bk[1], (unsigned long long)bk[2]);
+    return buf;
 }
 
 void

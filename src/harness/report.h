@@ -46,6 +46,13 @@ std::vector<std::string> cycleBreakdownRow(const SimStats& s,
 std::vector<std::string> trafficBreakdownRow(const SimStats& s,
                                              double norm_total);
 
+/**
+ * Two-line occupancy summary of the sharded data plane: events per tile
+ * event lane (min/mean/max plus the global control lane) and peak lines
+ * per line-table bank. Empty string if the run predates lane stats.
+ */
+std::string occupancySummary(const SimStats& s);
+
 /** Section banner for bench output. */
 void banner(const std::string& title, const std::string& subtitle = "");
 

@@ -1,8 +1,10 @@
 #include "harness/runner.h"
 
+#include <cstdio>
 #include <cstdlib>
 
 #include "base/logging.h"
+#include "harness/report.h"
 #include "swarm/policies.h"
 
 namespace ssim::harness {
@@ -24,6 +26,15 @@ runOnce(apps::App& app, const SimConfig& cfg, AccessProfiler* profiler)
     if (!r.valid)
         warn("%s failed validation under %s @ %u cores",
              app.name().c_str(), schedulerName(cfg.sched), r.cores);
+    // SWARMSIM_OCC=1: dump per-lane / per-bank occupancy of the sharded
+    // data plane after each run.
+    static const bool occ = [] {
+        const char* e = std::getenv("SWARMSIM_OCC");
+        return e && e[0] == '1';
+    }();
+    if (occ)
+        std::printf("[occ] %s @ %u cores\n%s\n", app.name().c_str(),
+                    r.cores, occupancySummary(r.stats).c_str());
     return r;
 }
 

@@ -88,6 +88,8 @@ struct SimConfig
     uint32_t finishCost = 5;
 
     // Conflict detection -----------------------------------------------------
+    /// Line-table banks (0 = one per tile, matching the directory banks).
+    uint32_t lineTableBanks = 0;
     uint32_t bloomBits = 2048;
     uint32_t bloomWays = 8;
     uint32_t conflictCheckCost = 5; ///< Bloom filter check at a tile
@@ -129,6 +131,10 @@ struct SimConfig
         return t * coresPerTile + idx;
     }
     uint32_t numBuckets() const { return bucketsPerTile * ntiles; }
+    uint32_t numLineBanks() const
+    {
+        return lineTableBanks ? lineTableBanks : ntiles;
+    }
     uint32_t taskQueueCap() const { return taskQueuePerCore * coresPerTile; }
     uint32_t commitQueueCap() const
     {

@@ -5,21 +5,117 @@
 namespace ssim {
 
 void
-EventQueue::schedule(Cycle when, Callback cb)
+EventQueue::configureLanes(uint32_t ntiles)
+{
+    ssim_assert(pendingTotal_ == 0,
+                "configureLanes requires an empty queue");
+    lanes_.clear();
+    lanes_.resize(size_t(ntiles) + 1);
+    lanePos_.assign(size_t(ntiles) + 1, kNoPos);
+    merge_.clear();
+    merge_.reserve(lanes_.size());
+}
+
+void
+EventQueue::mergeSiftUp(size_t i)
+{
+    HeadRef item = merge_[i];
+    while (i > 0) {
+        size_t parent = (i - 1) / 2;
+        if (!HeadLess{}(item, merge_[parent]))
+            break;
+        merge_[i] = merge_[parent];
+        lanePos_[merge_[i].lane] = uint32_t(i);
+        i = parent;
+    }
+    merge_[i] = item;
+    lanePos_[item.lane] = uint32_t(i);
+}
+
+void
+EventQueue::mergeSiftDown(size_t i)
+{
+    HeadRef item = merge_[i];
+    size_t n = merge_.size();
+    while (true) {
+        size_t c = 2 * i + 1;
+        if (c >= n)
+            break;
+        if (c + 1 < n && HeadLess{}(merge_[c + 1], merge_[c]))
+            c++;
+        if (!HeadLess{}(merge_[c], item))
+            break;
+        merge_[i] = merge_[c];
+        lanePos_[merge_[i].lane] = uint32_t(i);
+        i = c;
+    }
+    merge_[i] = item;
+    lanePos_[item.lane] = uint32_t(i);
+}
+
+void
+EventQueue::scheduleLane(uint32_t lane, Cycle when, Callback cb)
 {
     ssim_assert(when >= now_, "cannot schedule event in the past");
-    heap_.push(Event{when, seq_++, std::move(cb)});
+    Lane& L = lanes_[lane];
+    uint64_t seq = seq_++;
+    detail::heapPush(L.heap, Event{when, seq, std::move(cb)}, EventLess{});
+    L.scheduled++;
+    if (L.heap.size() > L.peak)
+        L.peak = L.heap.size();
+    pendingTotal_++;
+    // Maintain the merge invariant: one up-to-date head entry per
+    // non-empty lane.
+    if (L.heap.front().seq == seq) { // the new event became the head
+        uint32_t pos = lanePos_[lane];
+        if (pos == kNoPos) { // lane was empty
+            merge_.push_back(HeadRef{when, seq, lane});
+            mergeSiftUp(merge_.size() - 1);
+        } else { // head key decreased in place
+            merge_[pos].when = when;
+            merge_[pos].seq = seq;
+            mergeSiftUp(pos);
+        }
+    }
+}
+
+EventQueue::Event
+EventQueue::popNext()
+{
+    const HeadRef top = merge_.front();
+    Lane& L = lanes_[top.lane];
+    Event ev = detail::heapPop(L.heap, EventLess{});
+    pendingTotal_--;
+    if (!L.heap.empty()) {
+        // Same lane keeps the root slot with its new head key.
+        merge_[0].when = L.heap.front().when;
+        merge_[0].seq = L.heap.front().seq;
+        mergeSiftDown(0);
+    } else {
+        lanePos_[top.lane] = kNoPos;
+        HeadRef last = merge_.back();
+        merge_.pop_back();
+        if (!merge_.empty()) {
+            merge_[0] = last;
+            lanePos_[last.lane] = 0;
+            mergeSiftDown(0);
+        }
+    }
+    return ev;
+}
+
+Cycle
+EventQueue::nextEventCycle() const
+{
+    return merge_.empty() ? kCycleMax : merge_.front().when;
 }
 
 void
 EventQueue::run()
 {
     stopped_ = false;
-    while (!heap_.empty() && !stopped_) {
-        // priority_queue::top() returns const&; we need to move the
-        // callback out, so const_cast the (about to be popped) node.
-        Event ev = std::move(const_cast<Event&>(heap_.top()));
-        heap_.pop();
+    while (pendingTotal_ > 0 && !stopped_) {
+        Event ev = popNext();
         now_ = ev.when;
         executed_++;
         ev.cb();
@@ -31,9 +127,8 @@ EventQueue::runSome(uint64_t max_events)
 {
     stopped_ = false;
     uint64_t n = 0;
-    while (!heap_.empty() && !stopped_ && n < max_events) {
-        Event ev = std::move(const_cast<Event&>(heap_.top()));
-        heap_.pop();
+    while (pendingTotal_ > 0 && !stopped_ && n < max_events) {
+        Event ev = popNext();
         now_ = ev.when;
         executed_++;
         n++;

@@ -1,34 +1,128 @@
 /**
  * @file
- * The event-driven simulation kernel.
+ * The event-driven simulation kernel: per-tile event lanes merged
+ * deterministically.
  *
- * A single global queue of (cycle, sequence, callback) events drives the
- * whole machine. Ties at the same cycle execute in insertion order, which
- * keeps the simulator fully deterministic.
+ * Events carry (cycle, global sequence, callback). The queue is sharded
+ * into one lane per tile plus a global lane (lane 0) for control events
+ * with no tile affinity (GVT/LB epochs). Each lane is its own binary
+ * heap; pop() min-merges the lane heads keyed on (cycle, global seq).
+ *
+ * Determinism invariant: the sequence counter is GLOBAL across all
+ * lanes, so the merged pop order is exactly the pop order of a single
+ * heap ordered by (cycle, seq) — sharding is a data-structure change,
+ * not a behavior change. Ties at the same cycle still execute in
+ * schedule-call order regardless of which lane they landed in, and the
+ * golden-determinism digests (tests/test_determinism.cc) are
+ * bit-identical to the single-heap implementation.
+ *
+ * The heaps use hole-based sift operations: pop() moves the root out,
+ * then sifts the hole down comparing only live elements, so no
+ * comparison ever observes a moved-from node (the old single-heap
+ * implementation const_cast + moved out of priority_queue::top(), which
+ * relied on the comparator never touching the moved-from callback).
  */
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
 #include "base/types.h"
+#include "sim/inline_function.h"
 
 namespace ssim {
+
+namespace detail {
+
+/**
+ * Hole-based binary min-heap primitives over a vector. @p Less compares
+ * fully-constructed elements only; the sift loops move elements into the
+ * hole left by the element being inserted/extracted and never compare a
+ * moved-from slot.
+ */
+template <typename T, typename Less>
+void
+heapPush(std::vector<T>& v, T item, Less less)
+{
+    size_t i = v.size();
+    v.emplace_back(); // the initial hole
+    while (i > 0) {
+        size_t parent = (i - 1) / 2;
+        if (!less(item, v[parent]))
+            break;
+        v[i] = std::move(v[parent]);
+        i = parent;
+    }
+    v[i] = std::move(item);
+}
+
+template <typename T, typename Less>
+T
+heapPop(std::vector<T>& v, Less less)
+{
+    T out = std::move(v.front());
+    T last = std::move(v.back());
+    v.pop_back();
+    if (!v.empty()) {
+        size_t i = 0, n = v.size();
+        while (true) {
+            size_t c = 2 * i + 1;
+            if (c >= n)
+                break;
+            if (c + 1 < n && less(v[c + 1], v[c]))
+                c++;
+            if (!less(v[c], last))
+                break;
+            v[i] = std::move(v[c]);
+            i = c;
+        }
+        v[i] = std::move(last);
+    }
+    return out;
+}
+
+} // namespace detail
 
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = InlineCallback;
 
-    /** Schedule @p cb to run at absolute cycle @p when (>= now). */
-    void schedule(Cycle when, Callback cb);
+    /// Lane 0 carries events with no tile affinity (GVT/LB epochs,
+    /// standalone-test scheduling). Tile t's lane is t + 1.
+    static constexpr uint32_t kGlobalLane = 0;
 
-    /** Schedule @p cb to run @p delta cycles from now. */
+    EventQueue() : lanes_(1), lanePos_(1, kNoPos) {}
+
+    /**
+     * Size the queue to one lane per tile plus the global lane. Must be
+     * called while the queue is empty (the Machine calls it at wiring
+     * time). Without it, every event lands in the global lane.
+     */
+    void configureLanes(uint32_t ntiles);
+
+    /** Schedule @p cb at absolute cycle @p when (>= now), global lane. */
+    void schedule(Cycle when, Callback cb)
+    {
+        scheduleLane(kGlobalLane, when, std::move(cb));
+    }
+
+    /** Schedule @p cb at absolute cycle @p when on @p tile's lane. */
+    void scheduleOn(TileId tile, Cycle when, Callback cb)
+    {
+        scheduleLane(laneOf(tile), when, std::move(cb));
+    }
+
+    /** Schedule @p cb to run @p delta cycles from now (global lane). */
     void scheduleAfter(Cycle delta, Callback cb)
     {
-        schedule(now_ + delta, std::move(cb));
+        scheduleLane(kGlobalLane, now_ + delta, std::move(cb));
+    }
+
+    /** Schedule @p cb @p delta cycles from now on @p tile's lane. */
+    void scheduleAfterOn(TileId tile, Cycle delta, Callback cb)
+    {
+        scheduleLane(laneOf(tile), now_ + delta, std::move(cb));
     }
 
     /** Current simulated time. */
@@ -43,31 +137,93 @@ class EventQueue
     /** Request run() to return after the current event. */
     void stop() { stopped_ = true; }
 
-    bool empty() const { return heap_.empty(); }
-    size_t pending() const { return heap_.size(); }
+    bool empty() const { return pendingTotal_ == 0; }
+    size_t pending() const { return pendingTotal_; }
     uint64_t executedEvents() const { return executed_; }
+
+    // ---- Per-lane introspection (GVT lower bounds, occupancy stats) ----
+    uint32_t numLanes() const { return uint32_t(lanes_.size()); }
+    size_t pending(uint32_t lane) const { return lanes_[lane].heap.size(); }
+    /** Cycle of @p lane's earliest event, or kCycleMax if drained. */
+    Cycle laneMinCycle(uint32_t lane) const
+    {
+        const auto& h = lanes_[lane].heap;
+        return h.empty() ? kCycleMax : h.front().when;
+    }
+    /** Cycle of the earliest event in any lane, or kCycleMax. */
+    Cycle nextEventCycle() const;
+    /** Events ever scheduled on @p lane. */
+    uint64_t laneScheduled(uint32_t lane) const
+    {
+        return lanes_[lane].scheduled;
+    }
+    /** Peak simultaneous pending events on @p lane. */
+    uint64_t lanePeakPending(uint32_t lane) const
+    {
+        return lanes_[lane].peak;
+    }
 
   private:
     struct Event
     {
-        Cycle when;
-        uint64_t seq;
+        Cycle when = 0;
+        uint64_t seq = 0;
         Callback cb;
     };
-    struct Later
+    struct EventLess
     {
         bool
         operator()(const Event& a, const Event& b) const
         {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
+            return a.when != b.when ? a.when < b.when : a.seq < b.seq;
         }
     };
+    struct Lane
+    {
+        std::vector<Event> heap;
+        uint64_t scheduled = 0;
+        uint64_t peak = 0;
+    };
+    /// Merge-heap entry: the head key of one non-empty lane.
+    struct HeadRef
+    {
+        Cycle when = 0;
+        uint64_t seq = 0;
+        uint32_t lane = 0;
+    };
+    struct HeadLess
+    {
+        bool
+        operator()(const HeadRef& a, const HeadRef& b) const
+        {
+            return a.when != b.when ? a.when < b.when : a.seq < b.seq;
+        }
+    };
+    static constexpr uint32_t kNoPos = ~0u;
 
-    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    uint32_t
+    laneOf(TileId tile) const
+    {
+        uint32_t lane = tile + 1;
+        return lane < lanes_.size() ? lane : kGlobalLane;
+    }
+
+    void scheduleLane(uint32_t lane, Cycle when, Callback cb);
+    /** Extract the globally-earliest event. Queue must be non-empty. */
+    Event popNext();
+    // Position-tracked sifts over merge_ (update lanePos_ as they move).
+    void mergeSiftUp(size_t i);
+    void mergeSiftDown(size_t i);
+
+    std::vector<Lane> lanes_;
+    /// Indexed min-heap over lane heads: exactly one entry per non-empty
+    /// lane, updated in place as heads change (no stale entries), so a
+    /// pop costs one lane-heap pop plus one merge sift.
+    std::vector<HeadRef> merge_;
+    std::vector<uint32_t> lanePos_; ///< lane -> index in merge_, or kNoPos
+    size_t pendingTotal_ = 0;
     Cycle now_ = 0;
-    uint64_t seq_ = 0;
+    uint64_t seq_ = 0; ///< global: total-orders events across lanes
     uint64_t executed_ = 0;
     bool stopped_ = false;
 };

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Reference single-heap event queue — the pre-sharding implementation,
+ * kept as a test shim and benchmark baseline.
+ *
+ * tests/test_event_queue.cc schedules interleaved workloads on this and
+ * on the sharded EventQueue and asserts identical pop sequences;
+ * bench/micro_eventq.cc uses it as the single-heap baseline (templated
+ * on the callback type to isolate the std::function-vs-InlineCallback
+ * allocation cost from the heap-sharding cost).
+ *
+ * Unlike the original, pop moves only the callback out of top() and
+ * leaves the (when, seq) ordering keys intact, so priority_queue::pop's
+ * internal comparisons never read state invalidated by the move.
+ */
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "base/logging.h"
+#include "base/types.h"
+
+namespace ssim {
+
+template <typename CB>
+class SingleHeapEventQueue
+{
+  public:
+    using Callback = CB;
+
+    void
+    schedule(Cycle when, Callback cb)
+    {
+        ssim_assert(when >= now_, "cannot schedule event in the past");
+        heap_.push(Event{when, seq_++, std::move(cb)});
+    }
+
+    void
+    scheduleAfter(Cycle delta, Callback cb)
+    {
+        schedule(now_ + delta, std::move(cb));
+    }
+
+    /** Tile-affine scheduling collapses to the single heap. */
+    void
+    scheduleOn(TileId, Cycle when, Callback cb)
+    {
+        schedule(when, std::move(cb));
+    }
+
+    Cycle now() const { return now_; }
+    bool empty() const { return heap_.empty(); }
+    size_t pending() const { return heap_.size(); }
+    uint64_t executedEvents() const { return executed_; }
+    void stop() { stopped_ = true; }
+
+    void
+    run()
+    {
+        stopped_ = false;
+        while (!heap_.empty() && !stopped_) {
+            auto& top = const_cast<Event&>(heap_.top());
+            Callback cb = std::move(top.cb);
+            now_ = top.when;
+            heap_.pop();
+            executed_++;
+            cb();
+        }
+    }
+
+  private:
+    struct Event
+    {
+        Cycle when;
+        uint64_t seq;
+        Callback cb;
+    };
+    struct Later
+    {
+        bool
+        operator()(const Event& a, const Event& b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    Cycle now_ = 0;
+    uint64_t seq_ = 0;
+    uint64_t executed_ = 0;
+    bool stopped_ = false;
+};
+
+} // namespace ssim

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * A small-buffer-optimized move-only callable for event callbacks.
+ *
+ * Every event the simulator schedules captures at most a few words (a
+ * subsystem pointer plus a uid/generation pair), yet std::function's
+ * small-object buffer is implementation-defined and its type erasure
+ * drags in copyability requirements. InlineCallback stores any callable
+ * up to kInlineSize bytes in place — no heap allocation on the
+ * schedule/dispatch hot path — and falls back to the heap for larger
+ * captures (counted, so the microbenchmark can prove the buffer is big
+ * enough in practice; see bench/micro_eventq.cc).
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace ssim {
+
+class InlineCallback
+{
+  public:
+    /// Captures up to this many bytes live in the event itself, sized to
+    /// the largest capture in the simulator — (this, uid, gen) =
+    /// 24 bytes — so the enclosing Event (when + seq + vtable + buffer)
+    /// is 48 bytes, matching the std::function event it replaced minus
+    /// the per-event heap allocation. Larger captures still work: they
+    /// fall back to the heap and show up in heapFallbacks().
+    static constexpr size_t kInlineSize = 24;
+
+    InlineCallback() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<!std::is_same_v<
+                  std::decay_t<F>, InlineCallback>>>
+    InlineCallback(F&& f) // NOLINT: intentionally implicit, like std::function
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(std::is_invocable_r_v<void, Fn&>);
+        if constexpr (sizeof(Fn) <= kInlineSize &&
+                      alignof(Fn) <= alignof(std::max_align_t) &&
+                      std::is_nothrow_move_constructible_v<Fn>) {
+            ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+            vt_ = inlineVt<Fn>();
+        } else {
+            ::new (static_cast<void*>(buf_))
+                Fn*(new Fn(std::forward<F>(f)));
+            vt_ = heapVt<Fn>();
+            heapFallbacks_++;
+        }
+    }
+
+    InlineCallback(InlineCallback&& o) noexcept : vt_(o.vt_)
+    {
+        if (vt_) {
+            relocateFrom(o);
+            o.vt_ = nullptr;
+        }
+    }
+
+    InlineCallback&
+    operator=(InlineCallback&& o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            vt_ = o.vt_;
+            if (vt_) {
+                relocateFrom(o);
+                o.vt_ = nullptr;
+            }
+        }
+        return *this;
+    }
+
+    InlineCallback(const InlineCallback&) = delete;
+    InlineCallback& operator=(const InlineCallback&) = delete;
+
+    ~InlineCallback() { reset(); }
+
+    void
+    operator()()
+    {
+        vt_->invoke(buf_);
+    }
+
+    explicit operator bool() const { return vt_ != nullptr; }
+
+    /**
+     * Number of callables constructed via the heap-fallback path since
+     * process start (single-threaded counter). Zero in a healthy build:
+     * every simulator callback fits the inline buffer.
+     */
+    static uint64_t heapFallbacks() { return heapFallbacks_; }
+
+  private:
+    struct VTable
+    {
+        void (*invoke)(void*);
+        /// Move the callable from @p src storage into @p dst storage and
+        /// leave @p src empty (ownership transfer, no destructor owed).
+        /// nullptr = trivially relocatable: a plain memcpy of the buffer
+        /// (the common case — simulator captures are pointers and ints —
+        /// which keeps heap sifts free of indirect calls).
+        void (*relocate)(void* src, void* dst);
+        void (*destroy)(void*);
+    };
+
+    void
+    relocateFrom(InlineCallback& o)
+    {
+        if (vt_->relocate)
+            vt_->relocate(o.buf_, buf_);
+        else
+            std::memcpy(buf_, o.buf_, kInlineSize);
+    }
+
+    void
+    reset()
+    {
+        if (vt_) {
+            vt_->destroy(buf_);
+            vt_ = nullptr;
+        }
+    }
+
+    template <typename Fn>
+    static const VTable*
+    inlineVt()
+    {
+        static constexpr VTable vt{
+            [](void* p) { (*static_cast<Fn*>(p))(); },
+            std::is_trivially_copyable_v<Fn>
+                ? nullptr
+                : +[](void* src, void* dst) {
+                      Fn* s = static_cast<Fn*>(src);
+                      ::new (dst) Fn(std::move(*s));
+                      s->~Fn();
+                  },
+            [](void* p) { static_cast<Fn*>(p)->~Fn(); },
+        };
+        return &vt;
+    }
+
+    template <typename Fn>
+    static const VTable*
+    heapVt()
+    {
+        // The stored Fn* is trivially relocatable by definition.
+        static constexpr VTable vt{
+            [](void* p) { (**static_cast<Fn**>(p))(); },
+            nullptr,
+            [](void* p) { delete *static_cast<Fn**>(p); },
+        };
+        return &vt;
+    }
+
+    alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+    const VTable* vt_ = nullptr;
+
+    static inline uint64_t heapFallbacks_ = 0;
+};
+
+} // namespace ssim

@@ -35,6 +35,8 @@ CommitController::start()
 std::optional<std::pair<Timestamp, uint64_t>>
 CommitController::computeGvt() const
 {
+    // Min-merge of per-tile minima, like the arbiter: each tile reports
+    // its lane-local lower bound and the global bound is their minimum.
     std::optional<std::pair<Timestamp, uint64_t>> gvt;
     for (TileId tile = 0; tile < cfg_.ntiles; tile++) {
         Task* m = engine_.unit(tile).minUnfinished();
@@ -47,6 +49,15 @@ CommitController::computeGvt() const
     return gvt;
 }
 
+Cycle
+CommitController::tileLaneLowerBound() const
+{
+    Cycle lb = kCycleMax;
+    for (TileId tile = 0; tile < cfg_.ntiles; tile++)
+        lb = std::min(lb, eq_.laneMinCycle(tile + 1));
+    return lb;
+}
+
 void
 CommitController::gvtEpoch()
 {
@@ -57,9 +68,12 @@ CommitController::gvtEpoch()
     if (trace && ++traceEpochs_ % 2000 == 0) {
         auto gvtDbg = computeGvt();
         std::fprintf(stderr,
-                     "[gvt] cycle=%llu live=%llu committed=%llu "
+                     "[gvt] cycle=%llu lanes=%u pending=%zu lane-lb=%llu "
+                     "live=%llu committed=%llu "
                      "aborted=%llu gvt=(%llu,%llu)\n",
-                     (unsigned long long)eq_.now(),
+                     (unsigned long long)eq_.now(), eq_.numLanes(),
+                     eq_.pending(),
+                     (unsigned long long)tileLaneLowerBound(),
                      (unsigned long long)engine_.tasksLive(),
                      (unsigned long long)stats_.tasksCommitted,
                      (unsigned long long)stats_.tasksAborted,

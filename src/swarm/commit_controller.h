@@ -55,8 +55,24 @@ class CommitController
     /** Cycle of the last commit (the makespan of the parallel region). */
     Cycle lastCommitCycle() const { return lastCommitCycle_; }
 
-    /** Earliest unfinished (ts, uid) in the system, if any. */
+    /**
+     * Earliest unfinished (ts, uid) in the system, if any: a min-merge
+     * over the per-tile lower bounds (each TaskUnit's ordered unfinished
+     * set head), mirroring how the event queue merges per-tile lanes.
+     */
     std::optional<std::pair<Timestamp, uint64_t>> computeGvt() const;
+
+    /**
+     * Lower bound, from per-lane event minima, on the cycle at which
+     * task state can next change: the earliest pending event across the
+     * tile lanes (the global control lane — GVT/LB epochs — is
+     * excluded). kCycleMax once the tile lanes are drained. The next
+     * epoch cannot commit or abort anything before this cycle.
+     */
+    Cycle tileLaneLowerBound() const;
+
+    /** Pending events on one lane (0 = global control lane). */
+    size_t lanePending(uint32_t lane) const { return eq_.pending(lane); }
 
   private:
     void gvtEpoch();

@@ -12,22 +12,25 @@ namespace ssim {
 ConflictManager::ConflictManager(const SimConfig& cfg, Mesh& mesh,
                                  MemorySystem& mem, SimStats& stats,
                                  ExecutionEngine& engine)
-    : cfg_(cfg), mesh_(mesh), mem_(mem), stats_(stats), engine_(engine)
+    : cfg_(cfg), mesh_(mesh), mem_(mem), stats_(stats), engine_(engine),
+      lineTable_(cfg.numLineBanks())
 {
 }
 
 void
 ConflictManager::trackRead(Task* t, LineAddr line)
 {
+    bool first = !t->writeSet.count(line);
     if (t->readSet.insert(line).second)
-        lineTable_.addReader(line, t);
+        lineTable_.addReader(line, t, first);
 }
 
 void
 ConflictManager::trackWrite(Task* t, LineAddr line)
 {
+    bool first = !t->readSet.count(line);
     if (t->writeSet.insert(line).second)
-        lineTable_.addWriter(line, t);
+        lineTable_.addWriter(line, t, first);
 }
 
 uint32_t

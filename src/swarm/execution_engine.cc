@@ -60,7 +60,7 @@ ExecutionEngine::destroyTask(Task* t)
 void
 ExecutionEngine::scheduleDispatch(TileId tile)
 {
-    eq_.scheduleAfter(0, [this, tile] { tryDispatch(tile); });
+    eq_.scheduleAfterOn(tile, 0, [this, tile] { tryDispatch(tile); });
 }
 
 // ---- Task creation ----------------------------------------------------------
@@ -119,7 +119,8 @@ ExecutionEngine::createTask(swarm::TaskFn fn, Timestamp ts,
     uint32_t lat = mesh_.latency(src_tile, dst);
     mesh_.inject(src_tile, dst, cfg_.taskDescFlits, TrafficClass::Task);
     uint64_t uid = t->uid, gen = t->generation;
-    eq_.scheduleAfter(lat, [this, uid, gen] { arriveTask(uid, gen); });
+    eq_.scheduleAfterOn(dst, lat,
+                        [this, uid, gen] { arriveTask(uid, gen); });
     return t;
 }
 
@@ -205,8 +206,8 @@ ExecutionEngine::dispatchOn(TileId tile, uint32_t idx, Task* t)
 
     t->execCycles += cfg_.dequeueCost;
     uint64_t uid = t->uid, gen = t->generation;
-    eq_.scheduleAfter(cfg_.dequeueCost,
-                      [this, uid, gen] { resumeCoro(uid, gen); });
+    eq_.scheduleAfterOn(tile, cfg_.dequeueCost,
+                        [this, uid, gen] { resumeCoro(uid, gen); });
 }
 
 void
@@ -374,7 +375,8 @@ ExecutionEngine::issueAccess(Task* t, swarm::MemAwaiter* aw)
 
     t->execCycles += lat;
     uint64_t uid = t->uid, gen = t->generation;
-    eq_.scheduleAfter(lat, [this, uid, gen] { resumeCoro(uid, gen); });
+    eq_.scheduleAfterOn(t->tile, lat,
+                        [this, uid, gen] { resumeCoro(uid, gen); });
 }
 
 void
@@ -383,7 +385,8 @@ ExecutionEngine::issueCompute(Task* t, uint32_t cycles)
     ssim_assert(t->state == TaskState::Running);
     t->execCycles += cycles;
     uint64_t uid = t->uid, gen = t->generation;
-    eq_.scheduleAfter(cycles, [this, uid, gen] { resumeCoro(uid, gen); });
+    eq_.scheduleAfterOn(t->tile, cycles,
+                        [this, uid, gen] { resumeCoro(uid, gen); });
 }
 
 void
@@ -393,8 +396,8 @@ ExecutionEngine::issueEnqueue(Task* t, const swarm::EnqueueAwaiter& aw)
     createTask(aw.fn, aw.ts, aw.hint, aw.args, aw.nargs, t, t->tile);
     t->execCycles += cfg_.enqueueCost;
     uint64_t uid = t->uid, gen = t->generation;
-    eq_.scheduleAfter(cfg_.enqueueCost,
-                      [this, uid, gen] { resumeCoro(uid, gen); });
+    eq_.scheduleAfterOn(t->tile, cfg_.enqueueCost,
+                        [this, uid, gen] { resumeCoro(uid, gen); });
 }
 
 } // namespace ssim

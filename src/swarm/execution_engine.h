@@ -11,6 +11,14 @@
  * ConflictManager, spilling/stealing in the CapacityManager, and commit
  * arbitration in the CommitController (which drives the engine through
  * retryFinishPending/scheduleDispatch).
+ *
+ * Every event the engine schedules is tile-affine and goes through that
+ * tile's event lane (EventQueue::scheduleOn): dispatch retries, task
+ * arrivals, and coroutine resumptions — including those triggered by
+ * the CapacityManager's spill/steal decisions and the Mesh-latency
+ * arrival delays, which are charged synchronously and materialize as
+ * lane events here. Only the CommitController's GVT/LB epochs use the
+ * global lane.
  */
 #pragma once
 

@@ -41,6 +41,11 @@ Machine::Machine(const SimConfig& cfg)
     : cfg_(cfg), mesh_(cfg), mem_(cfg, mesh_, stats_), rng_(cfg.seed)
 {
     ssim_assert(cfg_.ntiles >= 1 && cfg_.coresPerTile >= 1);
+    // One event lane per tile plus the global control lane; per-tile
+    // events (dispatch, arrival, resumption) stay tile-local while the
+    // (cycle, global seq) min-merge keeps pop order bit-identical to a
+    // single heap.
+    eq_.configureLanes(cfg_.ntiles);
     lb_ = policies::makeLoadBalancer(cfg_);
     sched_ = policies::makeScheduler(cfg_, rng_, lb_.get());
     engine_ = std::make_unique<ExecutionEngine>(cfg_, eq_, mesh_, mem_,
@@ -86,6 +91,19 @@ Machine::finalizeStats()
     // Flush trailing wait intervals (cores idle at the end of the run).
     engine_->flushWaitIntervals(stats_.cycles);
     stats_.flits = mesh_.flits();
+
+    // Sharded data-plane occupancy: per-lane event counts/peaks and
+    // per-bank line-table peaks (not part of the golden digest).
+    stats_.laneScheduled.resize(eq_.numLanes());
+    stats_.lanePeakPending.resize(eq_.numLanes());
+    for (uint32_t l = 0; l < eq_.numLanes(); l++) {
+        stats_.laneScheduled[l] = eq_.laneScheduled(l);
+        stats_.lanePeakPending[l] = eq_.lanePeakPending(l);
+    }
+    const LineTable& lt = conflict_->lineTable();
+    stats_.bankPeakLines.resize(lt.numBanks());
+    for (uint32_t b = 0; b < lt.numBanks(); b++)
+        stats_.bankPeakLines[b] = lt.bankPeakLines(b);
 }
 
 } // namespace ssim

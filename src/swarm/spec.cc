@@ -6,25 +6,69 @@
 
 namespace ssim {
 
-void
-LineTable::scrub(LineAddr line, Task* t, bool from_writers)
+LineTable::LineTable(uint32_t nbanks)
+    : banks_(nbanks ? nbanks : 1), peaks_(nbanks ? nbanks : 1, 0)
 {
-    auto it = map_.find(line);
-    if (it == map_.end())
-        return;
-    auto& vec = from_writers ? it->second.writers : it->second.readers;
-    vec.erase(std::remove(vec.begin(), vec.end(), t), vec.end());
-    if (it->second.readers.empty() && it->second.writers.empty())
-        map_.erase(it);
+}
+
+LineEntry&
+LineTable::entryFor(LineAddr line)
+{
+    uint32_t b = bankOf(line);
+    auto& bank = banks_[b];
+    Entry& e = bank[line];
+    if (bank.size() > peaks_[b])
+        peaks_[b] = bank.size();
+    return e;
+}
+
+void
+LineTable::addReader(LineAddr line, Task* t, bool first_for_task)
+{
+    Entry& e = entryFor(line);
+    e.readers.push_back(t);
+    t->footprint.push_back(
+        {&e, line, /*isWrite=*/false, /*ownsLine=*/first_for_task});
+}
+
+void
+LineTable::addWriter(LineAddr line, Task* t, bool first_for_task)
+{
+    Entry& e = entryFor(line);
+    e.writers.push_back(t);
+    t->footprint.push_back(
+        {&e, line, /*isWrite=*/true, /*ownsLine=*/first_for_task});
 }
 
 void
 LineTable::removeTask(Task* t)
 {
-    for (LineAddr line : t->readSet)
-        scrub(line, t, false);
-    for (LineAddr line : t->writeSet)
-        scrub(line, t, true);
+    // Pass 1: scrub the task from every vector it registered in. Entry
+    // pointers stay valid throughout (unordered_map references survive
+    // rehash, and nothing is erased yet).
+    for (const Task::FootRec& rec : t->footprint) {
+        auto& vec = rec.isWrite ? rec.entry->writers : rec.entry->readers;
+        vec.erase(std::remove(vec.begin(), vec.end(), t), vec.end());
+    }
+    // Pass 2: erase entries the scrub emptied. Exactly one record per
+    // line owns the erase, so no record dereferences an entry another
+    // record already destroyed.
+    for (const Task::FootRec& rec : t->footprint) {
+        if (!rec.ownsLine)
+            continue;
+        if (rec.entry->readers.empty() && rec.entry->writers.empty())
+            banks_[bankOf(rec.line)].erase(rec.line);
+    }
+    t->footprint.clear();
+}
+
+size_t
+LineTable::numLines() const
+{
+    size_t n = 0;
+    for (const auto& bank : banks_)
+        n += bank.size();
+    return n;
 }
 
 } // namespace ssim

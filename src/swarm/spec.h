@@ -7,49 +7,92 @@
  * per-task Bloom filters; the simulator keeps an exact registry of which
  * uncommitted tasks have read/written each line (see DESIGN.md §1 for the
  * fidelity discussion) and charges the modeled check latency.
+ *
+ * The registry is BANKED by line address with the same mix64 interleaving
+ * the L3/directory uses (mem/memory_system.cc homeOf), one bank per
+ * directory bank by default, so a line's conflict state lives with its
+ * coherence state. Banking is pure partitioning: a line's entry content
+ * (reader/writer vectors in registration order) is identical to the old
+ * single-map implementation, so conflict resolution order — and the
+ * golden-determinism digests — are unchanged.
+ *
+ * Each registration appends an indexed footprint record to the task
+ * (Task::footprint), so removeTask scrubs exactly the vectors it appears
+ * in without probing the map per line; a bank probe happens only to erase
+ * an entry the removal emptied.
  */
 #pragma once
 
 #include <unordered_map>
 #include <vector>
 
+#include "base/hash.h"
 #include "base/types.h"
 #include "swarm/task.h"
 
 namespace ssim {
 
+/** Per-line registry of uncommitted readers/writers. */
+struct LineEntry
+{
+    std::vector<Task*> readers;
+    std::vector<Task*> writers;
+};
+
 class LineTable
 {
   public:
-    struct Entry
-    {
-        std::vector<Task*> readers;
-        std::vector<Task*> writers;
-    };
+    using Entry = LineEntry;
 
-    /** Register @p t as a reader of @p line (caller dedups per task). */
-    void addReader(LineAddr line, Task* t) { map_[line].readers.push_back(t); }
+    /** @p nbanks line-address-interleaved banks (>= 1). */
+    explicit LineTable(uint32_t nbanks = 1);
 
-    /** Register @p t as a writer of @p line (caller dedups per task). */
-    void addWriter(LineAddr line, Task* t) { map_[line].writers.push_back(t); }
+    /**
+     * Register @p t as a reader of @p line and record the footprint.
+     * @p first_for_task: this is the first registration of @p line in
+     * either of @p t's sets (the record then owns the line's empty-erase
+     * in removeTask). The caller dedups per task via Task::readSet.
+     */
+    void addReader(LineAddr line, Task* t, bool first_for_task);
 
-    /** Look up the entry for a line, or nullptr. */
+    /** Writer-side counterpart of addReader (dedup via Task::writeSet). */
+    void addWriter(LineAddr line, Task* t, bool first_for_task);
+
+    /** Look up the entry for a line in its bank, or nullptr. */
     Entry*
     find(LineAddr line)
     {
-        auto it = map_.find(line);
-        return it == map_.end() ? nullptr : &it->second;
+        auto& bank = banks_[bankOf(line)];
+        auto it = bank.find(line);
+        return it == bank.end() ? nullptr : &it->second;
     }
 
-    /** Remove a task from all lines in its read/write sets. */
+    /**
+     * Remove a task from every line it registered, via its indexed
+     * footprint: no per-line map probes, only an erase per entry the
+     * removal emptied. Clears Task::footprint.
+     */
     void removeTask(Task* t);
 
-    size_t numLines() const { return map_.size(); }
+    size_t numLines() const;
+
+    // ---- Bank introspection (occupancy stats, tests) -------------------
+    uint32_t numBanks() const { return uint32_t(banks_.size()); }
+    /** Bank of a line: the directory's mix64 interleaving. */
+    uint32_t
+    bankOf(LineAddr line) const
+    {
+        return uint32_t(mix64(line) % banks_.size());
+    }
+    size_t bankLines(uint32_t b) const { return banks_[b].size(); }
+    /** Peak simultaneous tracked lines in bank @p b. */
+    uint64_t bankPeakLines(uint32_t b) const { return peaks_[b]; }
 
   private:
-    void scrub(LineAddr line, Task* t, bool fromWriters);
+    Entry& entryFor(LineAddr line);
 
-    std::unordered_map<LineAddr, Entry> map_;
+    std::vector<std::unordered_map<LineAddr, Entry>> banks_;
+    std::vector<uint64_t> peaks_;
 };
 
 } // namespace ssim

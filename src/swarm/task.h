@@ -22,6 +22,8 @@
 
 namespace ssim {
 
+struct LineEntry; // the banked line table's per-line registry (spec.h)
+
 /** Lifecycle of a task inside the machine. */
 enum class TaskState : uint8_t
 {
@@ -72,6 +74,17 @@ class Task
     std::vector<UndoRec> undo; ///< in write order; restored in reverse
     std::unordered_set<LineAddr> readSet;
     std::unordered_set<LineAddr> writeSet;
+    /// Indexed line-table footprint: one record per (line, role)
+    /// registration, so LineTable::removeTask scrubs exactly this task's
+    /// lines without probing the banked map (see swarm/spec.h).
+    struct FootRec
+    {
+        LineEntry* entry;
+        LineAddr line;
+        bool isWrite;
+        bool ownsLine; ///< first record for this line; owns empty-erase
+    };
+    std::vector<FootRec> footprint;
     /// Tasks that consumed data this task wrote (abort with us): (uid, gen).
     std::vector<std::pair<uint64_t, uint64_t>> dependents;
 
@@ -103,6 +116,7 @@ class Task
         undo.clear();
         readSet.clear();
         writeSet.clear();
+        footprint.clear();
         dependents.clear();
         trace.clear();
         execCycles = 0;

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Sharded event queue tests: the ordering-equivalence property (the
+ * per-tile lane queue pops in exactly the order of the old single heap,
+ * kept as a shim in sim/event_queue_ref.h), per-lane stats, and the
+ * small-buffer-optimized callable.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "base/hash.h"
+#include "sim/event_queue.h"
+#include "sim/event_queue_ref.h"
+
+using namespace ssim;
+
+namespace {
+
+/**
+ * A deterministic interleaved workload: events append their id to a log
+ * and schedule 0–2 successors on mix64-derived tiles (or the global
+ * lane) at small deltas, producing plenty of same-cycle ties. The
+ * schedule-call stream depends only on pop order, so identical logs
+ * prove identical pop sequences.
+ */
+template <typename Q>
+struct Workload
+{
+    Q* q;
+    std::vector<uint64_t> log;
+    uint64_t rng = 42;
+    uint64_t nextId = 0;
+    uint64_t budget = 5000;
+    uint32_t ntiles;
+
+    struct Ev
+    {
+        Workload* s;
+        uint64_t id;
+        void
+        operator()() const
+        {
+            s->log.push_back(id);
+            uint64_t h = splitmix64(s->rng);
+            uint32_t fan = h % 3;
+            for (uint32_t i = 0; i < fan && s->budget > 0; i++) {
+                s->budget--;
+                uint64_t hi = mix64(h + i);
+                Cycle when = s->q->now() + (hi >> 16) % 4; // ties common
+                if (((hi >> 24) & 3) == 0)
+                    s->q->schedule(when, Ev{s, s->nextId++});
+                else
+                    s->q->scheduleOn(uint32_t(hi % s->ntiles), when,
+                                     Ev{s, s->nextId++});
+            }
+        }
+    };
+
+    std::vector<uint64_t>
+    run()
+    {
+        for (uint32_t i = 0; i < 64; i++) {
+            uint64_t h = mix64(i + 1);
+            q->scheduleOn(uint32_t(h % ntiles), h % 16, Ev{this, nextId++});
+        }
+        q->run();
+        return log;
+    }
+};
+
+} // namespace
+
+TEST(ShardedEventQueue, PopOrderMatchesSingleHeapShim)
+{
+    for (uint32_t ntiles : {1u, 3u, 16u, 64u}) {
+        SingleHeapEventQueue<InlineCallback> ref;
+        Workload<SingleHeapEventQueue<InlineCallback>> wref{&ref};
+        wref.ntiles = ntiles;
+        auto logRef = wref.run();
+
+        EventQueue lanes;
+        lanes.configureLanes(ntiles);
+        Workload<EventQueue> wlanes{&lanes};
+        wlanes.ntiles = ntiles;
+        auto logLanes = wlanes.run();
+
+        ASSERT_GT(logRef.size(), 5000u) << ntiles << " tiles";
+        EXPECT_EQ(logRef, logLanes) << ntiles << " tiles";
+        EXPECT_EQ(ref.now(), lanes.now()) << ntiles << " tiles";
+        EXPECT_EQ(ref.executedEvents(), lanes.executedEvents());
+    }
+}
+
+TEST(ShardedEventQueue, OrdersByTimeThenGlobalSequenceAcrossLanes)
+{
+    EventQueue eq;
+    eq.configureLanes(4);
+    std::vector<int> order;
+    eq.scheduleOn(2, 10, [&] { order.push_back(2); });
+    eq.schedule(5, [&] { order.push_back(1); });         // global lane
+    eq.scheduleOn(0, 10, [&] { order.push_back(3); });   // tie: after 2
+    eq.scheduleOn(2, 10, [&] { order.push_back(4); });   // tie: after 3
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+    EXPECT_EQ(eq.now(), 10u);
+}
+
+TEST(ShardedEventQueue, PerLaneStatsAndMinima)
+{
+    EventQueue eq;
+    eq.configureLanes(4); // lanes: 1 global + 4 tiles
+    EXPECT_EQ(eq.numLanes(), 5u);
+
+    eq.schedule(7, [] {});      // global lane 0
+    eq.scheduleOn(1, 3, [] {}); // tile 1 = lane 2
+    eq.scheduleOn(1, 9, [] {});
+    eq.scheduleOn(3, 5, [] {}); // tile 3 = lane 4
+
+    EXPECT_EQ(eq.pending(), 4u);
+    EXPECT_EQ(eq.pending(0), 1u);
+    EXPECT_EQ(eq.pending(2), 2u);
+    EXPECT_EQ(eq.pending(4), 1u);
+    EXPECT_EQ(eq.pending(1), 0u);
+    EXPECT_EQ(eq.laneMinCycle(0), 7u);
+    EXPECT_EQ(eq.laneMinCycle(2), 3u);
+    EXPECT_EQ(eq.laneMinCycle(1), kCycleMax);
+    EXPECT_EQ(eq.nextEventCycle(), 3u);
+
+    eq.run();
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_EQ(eq.nextEventCycle(), kCycleMax);
+    EXPECT_EQ(eq.laneScheduled(2), 2u);
+    EXPECT_EQ(eq.lanePeakPending(2), 2u);
+    EXPECT_EQ(eq.laneScheduled(1), 0u);
+}
+
+TEST(ShardedEventQueue, RunSomeAndStopWork)
+{
+    EventQueue eq;
+    eq.configureLanes(2);
+    int fired = 0;
+    eq.scheduleOn(0, 1, [&] {
+        fired++;
+        eq.scheduleAfterOn(1, 5, [&] { fired++; });
+    });
+    EXPECT_EQ(eq.runSome(1), 1u);
+    EXPECT_EQ(fired, 1);
+    eq.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 6u);
+}
+
+TEST(ShardedEventQueue, UnconfiguredQueueRoutesEverythingGlobally)
+{
+    EventQueue eq; // no configureLanes: tests and tools use it bare
+    std::vector<int> order;
+    eq.scheduleOn(7, 4, [&] { order.push_back(1); });
+    eq.schedule(2, [&] { order.push_back(0); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1}));
+    EXPECT_EQ(eq.numLanes(), 1u);
+    EXPECT_EQ(eq.laneScheduled(0), 2u);
+}
+
+// ---- InlineCallback ---------------------------------------------------------
+
+TEST(InlineCallbackTest, SmallCapturesStayInline)
+{
+    uint64_t before = InlineCallback::heapFallbacks();
+    uint64_t a = 1, b = 2;
+    uint64_t got = 0;
+    // Three words — the (this, uid, gen) shape of the simulator's hot
+    // callbacks, and exactly kInlineSize.
+    InlineCallback cb([&got, a, b] { got = a + b; });
+    InlineCallback cb2 = std::move(cb);
+    cb2();
+    EXPECT_EQ(got, 3u);
+    EXPECT_FALSE(bool(cb));
+    EXPECT_TRUE(bool(cb2));
+    EXPECT_EQ(InlineCallback::heapFallbacks(), before);
+}
+
+TEST(InlineCallbackTest, OversizedCapturesFallBackToHeapAndStillWork)
+{
+    uint64_t before = InlineCallback::heapFallbacks();
+    struct Big
+    {
+        uint64_t v[6];
+    } big{{1, 2, 3, 4, 5, 6}};
+    uint64_t got = 0;
+    InlineCallback cb([&got, big] { got = big.v[0] + big.v[5]; });
+    EXPECT_EQ(InlineCallback::heapFallbacks(), before + 1);
+    InlineCallback cb2 = std::move(cb);
+    cb2();
+    EXPECT_EQ(got, 7u);
+}
+
+TEST(InlineCallbackTest, DestroysCapturedState)
+{
+    auto token = std::make_shared<int>(5);
+    std::weak_ptr<int> weak = token;
+    {
+        InlineCallback cb[2];
+        cb[0] = InlineCallback([t = std::move(token)] { (void)*t; });
+        cb[1] = std::move(cb[0]);
+        EXPECT_FALSE(weak.expired());
+    }
+    EXPECT_TRUE(weak.expired()); // move-only capture destroyed exactly once
+}

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Banked line table tests: bank distribution (mix64 interleaving, same
+ * mapping as the L3 directory), the indexed-footprint removeTask scrub,
+ * and per-bank occupancy stats.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "base/hash.h"
+#include "swarm/spec.h"
+#include "swarm/task.h"
+
+using namespace ssim;
+
+namespace {
+
+/** Mirror ConflictManager::trackRead (dedup + first-registration flag). */
+void
+trackRead(LineTable& lt, Task* t, LineAddr line)
+{
+    bool first = !t->writeSet.count(line);
+    if (t->readSet.insert(line).second)
+        lt.addReader(line, t, first);
+}
+
+void
+trackWrite(LineTable& lt, Task* t, LineAddr line)
+{
+    bool first = !t->readSet.count(line);
+    if (t->writeSet.insert(line).second)
+        lt.addWriter(line, t, first);
+}
+
+} // namespace
+
+TEST(LineTableBanking, LinesLandInTheirMix64Bank)
+{
+    LineTable lt(16);
+    EXPECT_EQ(lt.numBanks(), 16u);
+    Task t;
+    size_t perBank[16] = {};
+    for (LineAddr line = 0; line < 512; line++) {
+        trackRead(lt, &t, line);
+        EXPECT_EQ(lt.bankOf(line), uint32_t(mix64(line) % 16)) << line;
+        perBank[lt.bankOf(line)]++;
+    }
+    EXPECT_EQ(lt.numLines(), 512u);
+    size_t sum = 0;
+    for (uint32_t b = 0; b < 16; b++) {
+        EXPECT_EQ(lt.bankLines(b), perBank[b]) << "bank " << b;
+        EXPECT_GT(perBank[b], 0u) << "bank " << b << " empty: bad spread";
+        sum += lt.bankLines(b);
+    }
+    EXPECT_EQ(sum, 512u);
+    // find() resolves through the right bank.
+    for (LineAddr line : {LineAddr(0), LineAddr(17), LineAddr(511)}) {
+        auto* e = lt.find(line);
+        ASSERT_NE(e, nullptr);
+        EXPECT_EQ(e->readers.size(), 1u);
+        EXPECT_EQ(e->readers[0], &t);
+    }
+    EXPECT_EQ(lt.find(9999), nullptr);
+}
+
+TEST(LineTableBanking, SingleBankDegeneratesToOneMap)
+{
+    LineTable lt(1);
+    EXPECT_EQ(lt.numBanks(), 1u);
+    Task t;
+    trackWrite(lt, &t, 7);
+    trackWrite(lt, &t, 8);
+    EXPECT_EQ(lt.bankLines(0), 2u);
+    EXPECT_EQ(lt.numLines(), 2u);
+}
+
+TEST(LineTableRemoveTask, IndexedScrubRemovesExactlyOwnLines)
+{
+    LineTable lt(8);
+    Task t1, t2;
+
+    trackRead(lt, &t1, 100);
+    trackWrite(lt, &t1, 100); // reader AND writer of the same line
+    trackRead(lt, &t1, 200);
+    trackWrite(lt, &t1, 300);
+    trackRead(lt, &t2, 100);
+    trackRead(lt, &t2, 200);
+
+    EXPECT_EQ(lt.numLines(), 3u);
+    EXPECT_EQ(t1.footprint.size(), 4u); // 100r, 100w, 200r, 300w
+
+    lt.removeTask(&t1);
+    EXPECT_TRUE(t1.footprint.empty());
+
+    // Shared lines survive with only t2; t1-exclusive lines are erased.
+    auto* e100 = lt.find(100);
+    ASSERT_NE(e100, nullptr);
+    EXPECT_EQ(e100->readers, (std::vector<Task*>{&t2}));
+    EXPECT_TRUE(e100->writers.empty());
+    auto* e200 = lt.find(200);
+    ASSERT_NE(e200, nullptr);
+    EXPECT_EQ(e200->readers, (std::vector<Task*>{&t2}));
+    EXPECT_EQ(lt.find(300), nullptr);
+    EXPECT_EQ(lt.numLines(), 2u);
+
+    lt.removeTask(&t2);
+    EXPECT_EQ(lt.numLines(), 0u);
+    for (uint32_t b = 0; b < lt.numBanks(); b++)
+        EXPECT_EQ(lt.bankLines(b), 0u);
+}
+
+TEST(LineTableRemoveTask, RemoveIsIdempotentAfterReset)
+{
+    // The abort path calls removeTask, then resetSpecState, and the task
+    // re-registers on its next attempt; a second removeTask with an
+    // empty footprint must be a no-op.
+    LineTable lt(4);
+    Task t;
+    trackRead(lt, &t, 42);
+    lt.removeTask(&t);
+    EXPECT_EQ(lt.numLines(), 0u);
+    lt.removeTask(&t); // footprint empty: no-op
+    EXPECT_EQ(lt.numLines(), 0u);
+
+    t.resetSpecState();
+    trackRead(lt, &t, 42);
+    EXPECT_EQ(lt.numLines(), 1u);
+    EXPECT_EQ(t.footprint.size(), 1u);
+    lt.removeTask(&t);
+    EXPECT_EQ(lt.numLines(), 0u);
+}
+
+TEST(LineTableBanking, TracksPerBankPeakOccupancy)
+{
+    LineTable lt(2);
+    Task t1, t2;
+    for (LineAddr line = 0; line < 64; line++)
+        trackRead(lt, &t1, line);
+    uint64_t peak0 = lt.bankPeakLines(0), peak1 = lt.bankPeakLines(1);
+    EXPECT_EQ(peak0, lt.bankLines(0));
+    EXPECT_EQ(peak1, lt.bankLines(1));
+    lt.removeTask(&t1);
+    // Peaks persist after the table drains.
+    EXPECT_EQ(lt.bankPeakLines(0), peak0);
+    EXPECT_EQ(lt.bankPeakLines(1), peak1);
+    EXPECT_EQ(lt.bankLines(0), 0u);
+    trackRead(lt, &t2, 7);
+    EXPECT_EQ(lt.bankPeakLines(lt.bankOf(7)),
+              std::max<uint64_t>(lt.bankOf(7) ? peak1 : peak0, 1));
+}
