@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Parallel host execution microbenchmark: serial event loop vs the
+ * N-thread ParallelExecutor on a fig04-style 64-tile (256-core)
+ * machine.
+ *
+ * Two workloads bound the win:
+ *
+ *  - compute: tasks run a real host-side kernel (an iterated mix64
+ *    chain) between awaiters. The kernel is the pure coroutine segment
+ *    the executor pre-executes on workers, so wall-clock should scale
+ *    with host threads while every stat stays bit-identical to serial.
+ *  - membound: tasks are awaiter-chatty (reads/writes with almost no
+ *    host compute between suspensions). Nearly all host time is the
+ *    coordinator's timing model, so the expected speedup is ~1.0x —
+ *    reported honestly; serial mode remains the right default for such
+ *    workloads.
+ *
+ * Every configuration's stats digest is checked against the serial run:
+ * a digest mismatch is a hard failure, because thread-count invariance
+ * is the executor's core contract.
+ *
+ * Flags: --smoke (CI-sized run), --host-threads=N (upper bound of the
+ * thread sweep, also via SWARMSIM_HOST_THREADS).
+ */
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "base/hash.h"
+#include "base/logging.h"
+#include "harness/report.h"
+#include "harness/runner.h"
+#include "swarm/machine.h"
+
+namespace {
+
+using namespace ssim;
+
+// Shared task state, allocated once so data addresses — and therefore
+// cache indexing, hint hashes, and the stats digest — are identical
+// across every run of the process.
+constexpr uint32_t kMaxTasks = 1u << 14;
+struct BenchState
+{
+    alignas(64) uint64_t cells[kMaxTasks];
+    uint32_t iters = 0; ///< kernel length (host work per task)
+};
+BenchState g_state;
+
+uint64_t
+kernel(uint64_t seed, uint32_t iters)
+{
+    uint64_t x = seed | 1;
+    for (uint32_t i = 0; i < iters; i++)
+        x = mix64(x + i);
+    return x;
+}
+
+// One heavy pure segment, then timed effects: the executor pre-executes
+// the kernel AND runs ahead through the compute charge, the write, and
+// the finish in a single worker visit.
+swarm::TaskCoro
+computeTask(swarm::TaskCtx& ctx, swarm::Timestamp ts, const uint64_t* args)
+{
+    auto* st = swarm::argPtr<BenchState>(args[0]);
+    uint64_t idx = args[1];
+    uint64_t acc = kernel(idx * 0x9e3779b97f4a7c15ull, st->iters);
+    co_await ctx.compute(uint32_t(20 + (acc & 31)));
+    co_await ctx.write(&st->cells[idx], acc);
+}
+
+// Awaiter-chatty: five suspensions, trivial host work between them.
+swarm::TaskCoro
+memTask(swarm::TaskCtx& ctx, swarm::Timestamp ts, const uint64_t* args)
+{
+    auto* st = swarm::argPtr<BenchState>(args[0]);
+    uint64_t idx = args[1];
+    uint64_t n = uint64_t(args[2]);
+    uint64_t a = co_await ctx.read(&st->cells[idx]);
+    uint64_t b = co_await ctx.read(&st->cells[(idx + 64) % n]);
+    co_await ctx.compute(5);
+    uint64_t c = co_await ctx.read(&st->cells[(idx + 128) % n]);
+    co_await ctx.write(&st->cells[idx], a + b + c + ts);
+}
+
+struct RunOut
+{
+    double ms = 0;
+    uint64_t digest = 0;
+    SimStats stats;
+    Machine::HostExecStats host;
+};
+
+RunOut
+runOne(bool compute_bound, uint32_t ntasks, uint32_t host_threads)
+{
+    std::memset(g_state.cells, 0, sizeof(g_state.cells));
+    SimConfig cfg = SimConfig::withCores(256, SchedulerType::Hints, 42);
+    cfg.hostThreads = host_threads;
+    Machine m(cfg);
+    for (uint64_t i = 0; i < ntasks; i++) {
+        if (compute_bound)
+            m.enqueueInitial(computeTask, i / 8, swarm::Hint(i), &g_state,
+                             i);
+        else
+            m.enqueueInitial(memTask, i / 8, swarm::Hint(i), &g_state, i,
+                             uint64_t(ntasks));
+    }
+    auto t0 = std::chrono::steady_clock::now();
+    m.run();
+    auto t1 = std::chrono::steady_clock::now();
+    RunOut out;
+    out.ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    // statsDigest hashes the same fields as the golden-determinism
+    // tests, so this gate and theirs cannot drift apart.
+    out.digest = statsDigest(m.stats());
+    out.stats = m.stats();
+    out.host = m.hostExecStats();
+    return out;
+}
+
+int
+runWorkload(const char* name, bool compute_bound, uint32_t ntasks,
+            uint32_t max_threads)
+{
+    std::printf("\n== %s: %u tasks on 64 tiles / 256 cores ==\n", name,
+                ntasks);
+    RunOut serial = runOne(compute_bound, ntasks, 1);
+    std::printf("  serial: %8.1f ms  (cycles=%llu committed=%llu "
+                "aborted=%llu)\n",
+                serial.ms, (unsigned long long)serial.stats.cycles,
+                (unsigned long long)serial.stats.tasksCommitted,
+                (unsigned long long)serial.stats.tasksAborted);
+
+    int failures = 0;
+    for (uint32_t threads = 2; threads <= max_threads; threads *= 2) {
+        RunOut p = runOne(compute_bound, ntasks, threads);
+        bool ok = p.digest == serial.digest;
+        if (!ok)
+            failures++;
+        std::printf("  %2u thr: %8.1f ms  %5.2fx  digest %s  "
+                    "(pre-resumed %llu segments in %llu phases, %llu "
+                    "scans)\n",
+                    threads, p.ms, serial.ms / p.ms,
+                    ok ? "identical" : "MISMATCH",
+                    (unsigned long long)p.host.preResumed,
+                    (unsigned long long)p.host.phases,
+                    (unsigned long long)p.host.scans);
+    }
+    return failures;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; i++)
+        if (std::string(argv[i]) == "--smoke")
+            smoke = true;
+
+    uint32_t maxThreads = 8;
+    {
+        SimConfig flagCfg;
+        flagCfg.hostThreads = 0; // sentinel: detect an explicit setting
+        harness::applyHostThreads(flagCfg, argc, argv);
+        if (flagCfg.hostThreads >= 1)
+            maxThreads = flagCfg.hostThreads; // 1 = serial-only run
+    }
+
+    uint32_t ntasks = smoke ? 2048 : 8192;
+    g_state.iters = smoke ? 2000 : 6000;
+    ssim_assert(ntasks <= kMaxTasks);
+
+    std::printf("micro_parallel_host: serial loop vs ParallelExecutor "
+                "(max %u host threads)%s\n",
+                maxThreads, smoke ? " [smoke]" : "");
+
+    int failures = 0;
+    failures += runWorkload("compute-bound", true, ntasks, maxThreads);
+    failures += runWorkload("memory-bound", false, ntasks, maxThreads);
+
+    if (failures) {
+        std::printf("\nFAIL: %d thread configuration(s) diverged from "
+                    "serial stats\n",
+                    failures);
+        return 1;
+    }
+    std::printf("\nall thread counts bit-identical to serial\n");
+    return 0;
+}

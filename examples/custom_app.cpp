@@ -15,6 +15,7 @@
 #include "base/logging.h"
 #include "base/rng.h"
 #include "swarm/machine.h"
+#include "swarm/policies.h"
 
 using namespace ssim;
 
@@ -66,7 +67,10 @@ main()
         v = 1000;
     const uint64_t expected = 1000ull * kAccounts;
 
-    SimConfig cfg = SimConfig::withCores(64, SchedulerType::Hints);
+    // Scheduler selected by registry name (swarm/policies.h), not by
+    // poking config fields.
+    SimConfig cfg = SimConfig::withCores(64);
+    policies::apply(cfg, "sched=hints");
     Machine m(cfg);
 
     Rng rng(7);

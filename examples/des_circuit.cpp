@@ -11,6 +11,7 @@
 #include "base/logging.h"
 #include "apps/app.h"
 #include "harness/runner.h"
+#include "swarm/policies.h"
 
 using namespace ssim;
 
@@ -27,19 +28,24 @@ main()
     std::printf("%-10s %14s %10s %10s %8s\n", "scheduler", "cycles",
                 "committed", "aborted", "valid");
 
+    // Select each scheduler by its registry name (a plugged-in policy —
+    // policies::registerScheduler — is picked up automatically). The
+    // first registered scheduler is the speedup baseline.
+    const std::vector<std::string> names = policies::schedulerNames();
     uint64_t base = 0;
-    for (auto s : {SchedulerType::Random, SchedulerType::Stealing,
-                   SchedulerType::Hints, SchedulerType::LBHints}) {
-        auto r = harness::runOnce(*app, SimConfig::withCores(64, s));
+    for (const std::string& name : names) {
+        SimConfig cfg = SimConfig::withCores(64);
+        policies::apply(cfg, "sched=" + name);
+        auto r = harness::runOnce(*app, cfg);
         if (!base)
             base = r.stats.cycles;
-        std::printf("%-10s %14llu %10llu %10llu %8s   (%.2fx vs Random)\n",
-                    schedulerName(s),
-                    (unsigned long long)r.stats.cycles,
+        std::printf("%-10s %14llu %10llu %10llu %8s   (%.2fx vs %s)\n",
+                    name.c_str(), (unsigned long long)r.stats.cycles,
                     (unsigned long long)r.stats.tasksCommitted,
                     (unsigned long long)r.stats.tasksAborted,
                     r.valid ? "yes" : "NO",
-                    double(base) / double(r.stats.cycles));
+                    double(base) / double(r.stats.cycles),
+                    names.front().c_str());
     }
     return 0;
 }

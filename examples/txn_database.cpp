@@ -11,6 +11,7 @@
 #include "base/logging.h"
 #include "apps/app.h"
 #include "harness/runner.h"
+#include "swarm/policies.h"
 
 using namespace ssim;
 
@@ -27,10 +28,15 @@ main()
                 "tables\n\n");
 
     for (uint32_t cores : {1u, 16u, 64u}) {
-        auto hints = harness::runOnce(
-            *app, SimConfig::withCores(cores, SchedulerType::Hints));
-        auto random = harness::runOnce(
-            *app, SimConfig::withCores(cores, SchedulerType::Random));
+        // Policies are selected by registry name, not by poking config
+        // fields (policies::apply also sets the scheduler's serialization
+        // default, matching SimConfig::withCores).
+        SimConfig hintsCfg = SimConfig::withCores(cores);
+        policies::apply(hintsCfg, "sched=hints");
+        SimConfig randomCfg = SimConfig::withCores(cores);
+        policies::apply(randomCfg, "sched=random");
+        auto hints = harness::runOnce(*app, hintsCfg);
+        auto random = harness::runOnce(*app, randomCfg);
         std::printf("%3u cores: Hints %10llu cyc (%s), Random %10llu cyc "
                     "(%s), Hints/Random speedup %.2fx\n",
                     cores, (unsigned long long)hints.stats.cycles,

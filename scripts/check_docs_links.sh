@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Fail on dead relative links in README.md and docs/*.md.
+#
+# Checks every inline markdown link [text](target): http(s)/mailto and
+# pure-anchor links are skipped; anything else must resolve to an
+# existing file or directory relative to the markdown file that
+# contains it (anchors are stripped before the check).
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+for f in README.md docs/*.md; do
+    [ -e "$f" ] || continue
+    dir=$(dirname "$f")
+    while IFS= read -r link; do
+        case "$link" in
+          http://* | https://* | mailto:* | '#'*) continue ;;
+        esac
+        target="${link%%#*}"
+        [ -z "$target" ] && continue
+        if [ ! -e "$dir/$target" ]; then
+            echo "dead link in $f: ($link)"
+            fail=1
+        fi
+    done < <(grep -oE '\]\([^)]+\)' "$f" | sed -E 's/^\]\(//; s/\)$//')
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "docs link check FAILED"
+else
+    echo "docs link check OK"
+fi
+exit $fail

@@ -34,6 +34,43 @@ trafficClassName(TrafficClass c)
 }
 
 uint64_t
+statsDigest(const SimStats& s)
+{
+    // Field order is frozen: tests/test_determinism.cc's recorded golden
+    // digests depend on it.
+    uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](uint64_t v) {
+        for (int i = 0; i < 8; i++) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    };
+    mix(s.cycles);
+    for (uint64_t c : s.coreCycles)
+        mix(c);
+    for (uint64_t f : s.flits)
+        mix(f);
+    mix(s.tasksCommitted);
+    mix(s.tasksAborted);
+    mix(s.abortsConflict);
+    mix(s.abortsDisplace);
+    mix(s.abortsGridlock);
+    mix(s.tasksSpilled);
+    mix(s.tasksStolen);
+    mix(s.dispatchSkips);
+    mix(s.conflictChecks);
+    mix(s.lbReconfigs);
+    mix(s.bucketsMoved);
+    mix(s.l1Hits);
+    mix(s.l1Misses);
+    mix(s.l2Hits);
+    mix(s.l2Misses);
+    mix(s.l3Hits);
+    mix(s.l3Misses);
+    return h;
+}
+
+uint64_t
 SimStats::totalCoreCycles() const
 {
     return std::accumulate(coreCycles.begin(), coreCycles.end(),

@@ -82,6 +82,14 @@ struct SimStats
     std::string summary() const;
 };
 
+/**
+ * FNV-1a digest over every timing-visible stats field, in a fixed
+ * order — the single definition behind the golden-determinism tests and
+ * the parallel-host bench's thread-count-invariance gate (occupancy
+ * vectors are excluded: they are data-plane introspection, not timing).
+ */
+uint64_t statsDigest(const SimStats& s);
+
 /** Geometric mean of a vector of positive values. */
 double gmean(const std::vector<double>& v);
 

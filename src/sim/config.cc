@@ -86,7 +86,9 @@ SimConfig::describe() const
         "Spills     coalescers fire at %.0f%% full, spill up to %u tasks\n"
         "Scheduler  %s (serialize same-hint: %s)\n"
         "LB         %u buckets/tile, reconfig every %lluKcycles, f=%.2f, "
-        "signal=%s",
+        "signal=%s\n"
+        "Host       %u thread%s (simulation wall-clock only; behavior is "
+        "thread-count invariant)",
         totalCores(), ntiles, coresPerTile,
         l1SizeKB, l1Ways, l1Latency,
         l2SizeKB, l2Ways, l2Latency,
@@ -103,7 +105,8 @@ SimConfig::describe() const
         schedulerName(sched), serializeSameHint ? "yes" : "no",
         bucketsPerTile, (unsigned long long)(lbEpoch / 1000), lbFraction,
         lbSignal == LbSignal::CommittedCycles ? "committed-cycles"
-                                              : "idle-tasks");
+                                              : "idle-tasks",
+        hostThreads, hostThreads == 1 ? "" : "s");
     return buf;
 }
 

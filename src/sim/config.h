@@ -98,6 +98,14 @@ struct SimConfig
     // Commit protocol ---------------------------------------------------------
     uint32_t gvtEpoch = 200; ///< cycles between GVT arbiter updates
 
+    // Host execution (not a modeled-machine knob: simulation wall-clock
+    // only; simulated behavior is bit-identical at any value) -----------------
+    /// Host threads driving the simulation. 1 = the serial event loop;
+    /// >1 = sim/parallel_executor.h pre-executes pure coroutine segments
+    /// on hostThreads-1 workers. Overridable via SWARMSIM_HOST_THREADS
+    /// (harness runs) and --host-threads=N (benches).
+    uint32_t hostThreads = 1;
+
     // Spills -------------------------------------------------------------------
     double spillThreshold = 0.85; ///< coalescers fire at 85% task queue full
     uint32_t spillBatch = 15;     ///< tasks spilled per coalescer firing

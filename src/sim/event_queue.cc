@@ -54,12 +54,16 @@ EventQueue::mergeSiftDown(size_t i)
 }
 
 void
-EventQueue::scheduleLane(uint32_t lane, Cycle when, Callback cb)
+EventQueue::scheduleLane(uint32_t lane, Cycle when, Callback cb,
+                         uint64_t tag)
 {
     ssim_assert(when >= now_, "cannot schedule event in the past");
     Lane& L = lanes_[lane];
     uint64_t seq = seq_++;
-    detail::heapPush(L.heap, Event{when, seq, std::move(cb)}, EventLess{});
+    detail::heapPush(L.heap, Event{when, seq, std::move(cb), tag},
+                     EventLess{});
+    if (tag)
+        pendingResumes_++;
     L.scheduled++;
     if (L.heap.size() > L.peak)
         L.peak = L.heap.size();
@@ -86,6 +90,8 @@ EventQueue::popNext()
     Lane& L = lanes_[top.lane];
     Event ev = detail::heapPop(L.heap, EventLess{});
     pendingTotal_--;
+    if (ev.tag)
+        pendingResumes_--;
     if (!L.heap.empty()) {
         // Same lane keeps the root slot with its new head key.
         merge_[0].when = L.heap.front().when;

@@ -21,6 +21,16 @@
  * comparison ever observes a moved-from node (the old single-heap
  * implementation const_cast + moved out of priority_queue::top(), which
  * relied on the comparator never touching the moved-from callback).
+ *
+ * THREADING CONTRACT: the queue is confined to the coordinator (main)
+ * thread. Every method — schedule*, pop, run*, and the introspection
+ * calls — may only be called from the thread driving the event loop.
+ * The parallel host mode (sim/parallel_executor.h) keeps this contract:
+ * worker threads never touch the queue; they only pre-execute pure
+ * coroutine segments of tasks whose resume events the coordinator
+ * discovered via forEachPendingResume() between events. Event pop order
+ * and all scheduling therefore stay bit-identical to the serial loop at
+ * any host thread count.
  */
 #pragma once
 
@@ -125,6 +135,23 @@ class EventQueue
         scheduleLane(laneOf(tile), now_ + delta, std::move(cb));
     }
 
+    /**
+     * Like scheduleAfterOn, but tags the event as a coroutine-resume of
+     * task (@p uid, @p gen) so forEachPendingResume() can surface it to
+     * the parallel host executor. Serial mode ignores the tag entirely.
+     * The tag packs into one word (uid: 40 bits, gen: 24 bits) to keep
+     * Event small on the serial hot path; out-of-range ids — beyond
+     * 2^40 tasks or 2^24 aborts of one task — schedule untagged, which
+     * only means that resume runs inline instead of being pre-executed.
+     */
+    void
+    scheduleResumeOn(TileId tile, Cycle delta, uint64_t uid, uint64_t gen,
+                     Callback cb)
+    {
+        scheduleLane(laneOf(tile), now_ + delta, std::move(cb),
+                     packResumeTag(uid, gen));
+    }
+
     /** Current simulated time. */
     Cycle now() const { return now_; }
 
@@ -136,6 +163,8 @@ class EventQueue
 
     /** Request run() to return after the current event. */
     void stop() { stopped_ = true; }
+    /** True if stop() ended the last run()/runSome() stretch. */
+    bool stopped() const { return stopped_; }
 
     bool empty() const { return pendingTotal_ == 0; }
     size_t pending() const { return pendingTotal_; }
@@ -163,13 +192,49 @@ class EventQueue
         return lanes_[lane].peak;
     }
 
+    // ---- Parallel host execution support (coordinator thread only) -----
+    /** Pending events currently tagged as coroutine resumes. */
+    size_t pendingResumes() const { return pendingResumes_; }
+    /**
+     * Visit every pending resume-tagged event, in no particular order
+     * (lane by lane, heap array order). The visitor must not schedule or
+     * pop; it typically collects (uid, gen) pairs for the pre-resume
+     * batch. Pre-resume correctness does not depend on visit order: the
+     * pre-executed segments are pure and their effects are replayed in
+     * exact (cycle, seq) pop order.
+     */
+    template <typename Fn>
+    void
+    forEachPendingResume(Fn&& fn) const
+    {
+        for (const Lane& L : lanes_)
+            for (const Event& e : L.heap)
+                if (e.tag)
+                    fn((e.tag - 1) & kTagUidMask, (e.tag - 1) >> kTagUidBits);
+    }
+
   private:
     struct Event
     {
         Cycle when = 0;
         uint64_t seq = 0;
         Callback cb;
+        /// Resume tag (parallel host mode): 1 + (gen << 40 | uid), or 0
+        /// for non-resume events. One word, so the serial hot path's
+        /// heap moves stay cheap.
+        uint64_t tag = 0;
     };
+    static constexpr uint32_t kTagUidBits = 40;
+    static constexpr uint64_t kTagUidMask = (uint64_t(1) << kTagUidBits) - 1;
+    static constexpr uint64_t kTagGenMax = uint64_t(1) << 24;
+
+    static uint64_t
+    packResumeTag(uint64_t uid, uint64_t gen)
+    {
+        if (uid > kTagUidMask || gen >= kTagGenMax)
+            return 0; // untagged: pre-resume skips it, inline path runs
+        return ((gen << kTagUidBits) | uid) + 1;
+    }
     struct EventLess
     {
         bool
@@ -208,7 +273,8 @@ class EventQueue
         return lane < lanes_.size() ? lane : kGlobalLane;
     }
 
-    void scheduleLane(uint32_t lane, Cycle when, Callback cb);
+    void scheduleLane(uint32_t lane, Cycle when, Callback cb,
+                      uint64_t tag = 0);
     /** Extract the globally-earliest event. Queue must be non-empty. */
     Event popNext();
     // Position-tracked sifts over merge_ (update lanePos_ as they move).
@@ -222,6 +288,7 @@ class EventQueue
     std::vector<HeadRef> merge_;
     std::vector<uint32_t> lanePos_; ///< lane -> index in merge_, or kNoPos
     size_t pendingTotal_ = 0;
+    size_t pendingResumes_ = 0;
     Cycle now_ = 0;
     uint64_t seq_ = 0; ///< global: total-orders events across lanes
     uint64_t executed_ = 0;

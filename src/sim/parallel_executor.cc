@@ -1,0 +1,121 @@
+#include "sim/parallel_executor.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace ssim {
+
+ParallelExecutor::ParallelExecutor(EventQueue& eq, ParallelBackend& backend,
+                                   uint32_t threads, uint32_t min_batch)
+    : eq_(eq), backend_(backend), nslices_(std::max(threads, 1u)),
+      minBatch_(min_batch ? min_batch : std::max(4u, threads))
+{
+    workers_.reserve(nslices_ - 1);
+    for (uint32_t w = 1; w < nslices_; w++)
+        workers_.emplace_back([this, w] { workerLoop(w); });
+}
+
+ParallelExecutor::~ParallelExecutor()
+{
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        exit_ = true;
+    }
+    cvStart_.notify_all();
+    for (std::thread& t : workers_)
+        t.join();
+}
+
+ParallelExecutor::PhaseResult
+ParallelExecutor::runSlice(uint32_t slice)
+{
+    PhaseResult r;
+    for (size_t i = slice; i < candidates_.size(); i += nslices_) {
+        uint32_t steps = backend_.preResume(candidates_[i].first,
+                                            candidates_[i].second);
+        r.segments += steps > 0;
+        r.steps += steps;
+    }
+    return r;
+}
+
+void
+ParallelExecutor::workerLoop(uint32_t slice)
+{
+    uint64_t seen = 0;
+    while (true) {
+        {
+            std::unique_lock<std::mutex> lk(m_);
+            cvStart_.wait(lk, [&] { return exit_ || phaseId_ != seen; });
+            if (exit_)
+                return;
+            seen = phaseId_;
+        }
+        PhaseResult r = runSlice(slice);
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            phaseAccum_.segments += r.segments;
+            phaseAccum_.steps += r.steps;
+            if (--pendingWorkers_ == 0)
+                cvDone_.notify_one();
+        }
+    }
+}
+
+ParallelExecutor::PhaseResult
+ParallelExecutor::runPhase()
+{
+    phases_++;
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        phaseId_++;
+        pendingWorkers_ = nslices_ - 1;
+        phaseAccum_ = {};
+    }
+    cvStart_.notify_all();
+    PhaseResult r = runSlice(0); // the coordinator works slice 0
+    {
+        std::unique_lock<std::mutex> lk(m_);
+        cvDone_.wait(lk, [&] { return pendingWorkers_ == 0; });
+        r.segments += phaseAccum_.segments;
+        r.steps += phaseAccum_.steps;
+    }
+    return r;
+}
+
+void
+ParallelExecutor::run()
+{
+    uint64_t stride = kMinStride;
+    while (!eq_.empty()) {
+        if (eq_.pendingResumes() >= minBatch_) {
+            scans_++;
+            candidates_.clear();
+            eq_.forEachPendingResume([this](uint64_t uid, uint64_t gen) {
+                candidates_.emplace_back(uid, gen);
+            });
+            PhaseResult r = candidates_.size() >= minBatch_
+                                ? runPhase()
+                                : PhaseResult{};
+            preResumed_ += r.segments;
+            // Back off when the scan found little new work (stale or
+            // already-recorded tags) or when run-ahead is too shallow
+            // to amortize the barrier (awaiter-chatty tasks that park
+            // at their first read); return to the fine stride as soon
+            // as a scan pays again.
+            bool fruitful =
+                r.segments >= minBatch_ &&
+                r.steps >= kMinRunaheadPerSegment * r.segments;
+            stride =
+                fruitful ? kMinStride : std::min(stride * 2, kMaxStride);
+        } else {
+            stride = std::min(stride * 2, kMaxStride);
+        }
+        eq_.runSome(stride);
+        if (eq_.stopped())
+            break; // stop() requested: return like the serial loop
+    }
+}
+
+} // namespace ssim

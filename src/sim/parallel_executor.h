@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Parallel host execution over per-tile event lanes.
+ *
+ * The simulator's unit of host work is one event callback; the hot
+ * callbacks are coroutine resumes, and each resume has a rigid shape:
+ * run a PURE application segment (tasks may only touch shared state
+ * through their TaskCtx awaiters, which always suspend), then perform
+ * exactly one engine-side effect (memory access, compute charge, child
+ * enqueue, or finish). That shape is the parallelism seam this executor
+ * exploits:
+ *
+ *  - Between events, the coordinator scans the per-tile lanes for
+ *    pending resume-tagged events (EventQueue::forEachPendingResume)
+ *    and hands the batch to a worker pool.
+ *  - Workers pre-execute the pure coroutine segments in RECORD mode
+ *    (ParallelBackend::preResume): the engine effects the segments
+ *    request are captured into the task (Task::PendingRun) instead of
+ *    being applied. A worker runs ahead through effects that return no
+ *    data (compute charges, enqueues, writes) and parks at the first
+ *    read (its value does not exist until the access is applied) or at
+ *    completion.
+ *  - The coordinator then resumes the ordinary serial event loop. When
+ *    a resume event fires and finds recorded steps for its (uid, gen),
+ *    it skips the (already executed) pure segment and applies the next
+ *    recorded effect through the identical serial engine code path.
+ *
+ * DETERMINISM ARGUMENT: every simulator-state mutation — event
+ * scheduling, conflict checks, cache/directory updates, functional
+ * memory, stats — happens on the coordinator thread, in exactly the
+ * (cycle, global seq) order the serial loop would use. Worker threads
+ * only run pure application code and write into their own task's
+ * recording slot, so the interleaving of workers, the thread count, and
+ * the scan cadence are all invisible to simulated behavior: golden
+ * determinism digests are bit-identical to the serial loop at any
+ * hostThreads. Aborts cannot invalidate a pre-executed segment
+ * retroactively: an abort bumps the task's generation on the
+ * coordinator, the stale recording is discarded at the task's next
+ * event (or cleared with its spec state), and the rolled-back attempt's
+ * coroutine frame is destroyed exactly as in serial mode.
+ *
+ * THREADING CONTRACT: run() is called on the coordinator thread and
+ * drives the EventQueue exclusively from there. Workers touch only the
+ * tasks assigned to their slice of one batch, and batches never overlap
+ * an apply: the pool is strictly fork-join (phase barrier before the
+ * serial stretch resumes). Cross-thread visibility is provided by the
+ * phase mutex: recordings a worker wrote are read by the coordinator
+ * only after the barrier.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace ssim {
+
+/**
+ * The execution engine's pre-resume hook. preResume() is called from
+ * WORKER threads; it must only touch state owned by task (@p uid) and
+ * read-only simulator state, and must record — not apply — the engine
+ * effects the coroutine requests. Returns the number of steps recorded
+ * (0: stale tag, already recorded, not running). The step count is the
+ * executor's benefit signal: deep run-ahead means worker time amortizes
+ * the phase barrier, a single parked step means it mostly does not.
+ */
+class ParallelBackend
+{
+  public:
+    virtual ~ParallelBackend() = default;
+    virtual uint32_t preResume(uint64_t uid, uint64_t gen) = 0;
+};
+
+class ParallelExecutor
+{
+  public:
+    /**
+     * @p threads is the total host thread count (coordinator included),
+     * i.e. cfg.hostThreads; threads-1 workers are spawned. @p min_batch
+     * gates the parallel phase: batches smaller than this run inline in
+     * the serial loop (0 picks a default of max(4, threads)).
+     */
+    ParallelExecutor(EventQueue& eq, ParallelBackend& backend,
+                     uint32_t threads, uint32_t min_batch = 0);
+    ~ParallelExecutor();
+    ParallelExecutor(const ParallelExecutor&) = delete;
+    ParallelExecutor& operator=(const ParallelExecutor&) = delete;
+
+    /** Drive the event queue to drain (the parallel analogue of eq.run()). */
+    void run();
+
+    // ---- Host-side counters (bench/micro_parallel_host reporting) ------
+    uint64_t scans() const { return scans_; }
+    uint64_t phases() const { return phases_; }
+    uint64_t preResumed() const { return preResumed_; }
+
+  private:
+    /// Serial-stretch length bounds: after a fruitful scan the
+    /// coordinator re-checks every kMinStride events; barren or
+    /// low-benefit scans (few fresh segments, or run-ahead too shallow
+    /// to amortize the phase barrier) back off exponentially up to
+    /// kMaxStride, so awaiter-chatty workloads degrade toward serial
+    /// cost instead of paying a barrier every few events.
+    static constexpr uint64_t kMinStride = 64;
+    static constexpr uint64_t kMaxStride = 8192;
+    /// A scan is fruitful only if segments averaged at least this many
+    /// recorded steps (compute/enqueue/write run-ahead); parked-at-
+    /// first-read singletons carry almost no worker time.
+    static constexpr uint64_t kMinRunaheadPerSegment = 2;
+
+    struct PhaseResult
+    {
+        uint64_t segments = 0; ///< tasks freshly pre-resumed
+        uint64_t steps = 0;    ///< total recorded steps across them
+    };
+    PhaseResult runPhase();
+    PhaseResult runSlice(uint32_t slice);
+    void workerLoop(uint32_t slice);
+
+    EventQueue& eq_;
+    ParallelBackend& backend_;
+    uint32_t nslices_;
+    uint32_t minBatch_;
+
+    std::vector<std::pair<uint64_t, uint64_t>> candidates_; ///< (uid, gen)
+
+    std::mutex m_;
+    std::condition_variable cvStart_;
+    std::condition_variable cvDone_;
+    uint64_t phaseId_ = 0;
+    uint32_t pendingWorkers_ = 0;
+    PhaseResult phaseAccum_;
+    bool exit_ = false;
+    std::vector<std::thread> workers_;
+
+    uint64_t scans_ = 0;
+    uint64_t phases_ = 0;
+    uint64_t preResumed_ = 0;
+};
+
+} // namespace ssim

@@ -61,6 +61,7 @@ CommitController::tileLaneLowerBound() const
 void
 CommitController::gvtEpoch()
 {
+    gvtEpochsRun_++;
     static const bool trace = []() {
         const char* e = std::getenv("SWARMSIM_TRACE");
         return e && e[0] == '1';

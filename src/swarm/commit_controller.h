@@ -10,6 +10,17 @@
  * (aborting the latest blocked finisher when an earlier idle task gates
  * the GVT) and owns the commit-side profiling hooks: the AccessProfiler
  * and the load balancer's per-bucket committed-cycle counters.
+ *
+ * THREADING CONTRACT: every method runs on the coordinator thread. GVT
+ * and LB epochs are global-lane events, so in parallel host mode
+ * (sim/parallel_executor.h) they execute at their exact serial slots
+ * between pre-resume phases; worker threads never observe or mutate
+ * commit state. tileLaneLowerBound() is the published safe horizon: no
+ * commit or abort the next epoch performs can take effect before the
+ * earliest pending tile-lane event, which is why pre-executed pure
+ * segments whose resume events are pending now can never be invalidated
+ * except through the abort path (which bumps the task generation on
+ * this thread and voids the recording at its next event).
  */
 #pragma once
 
@@ -74,6 +85,9 @@ class CommitController
     /** Pending events on one lane (0 = global control lane). */
     size_t lanePending(uint32_t lane) const { return eq_.pending(lane); }
 
+    /** GVT epochs run so far (epoch barriers in parallel host mode). */
+    uint64_t gvtEpochsRun() const { return gvtEpochsRun_; }
+
   private:
     void gvtEpoch();
     void commitTask(Task* t);
@@ -91,6 +105,7 @@ class CommitController
 
     AccessProfiler* profiler_ = nullptr;
     uint64_t traceEpochs_ = 0;
+    uint64_t gvtEpochsRun_ = 0;
     Cycle lastCommitCycle_ = 0;
 };
 

@@ -15,27 +15,35 @@ ConflictManager::ConflictManager(const SimConfig& cfg, Mesh& mesh,
     : cfg_(cfg), mesh_(mesh), mem_(mem), stats_(stats), engine_(engine),
       lineTable_(cfg.numLineBanks())
 {
+    lineTable_.setLocking(cfg.hostThreads > 1);
 }
 
 void
 ConflictManager::trackRead(Task* t, LineAddr line)
 {
     bool first = !t->writeSet.count(line);
-    if (t->readSet.insert(line).second)
+    if (t->readSet.insert(line).second) {
+        auto guard = lineTable_.lockFor(line);
         lineTable_.addReader(line, t, first);
+    }
 }
 
 void
 ConflictManager::trackWrite(Task* t, LineAddr line)
 {
     bool first = !t->readSet.count(line);
-    if (t->writeSet.insert(line).second)
+    if (t->writeSet.insert(line).second) {
+        auto guard = lineTable_.lockFor(line);
         lineTable_.addWriter(line, t, first);
+    }
 }
 
 uint32_t
 ConflictManager::resolveConflicts(Task* t, LineAddr line, bool is_write)
 {
+    // The guard covers the probe AND the reader/writer scans: a
+    // concurrent backend must not observe a bank mid-registration.
+    auto guard = lineTable_.lockFor(line);
     LineTable::Entry* e = lineTable_.find(line);
     if (!e)
         return 0;
@@ -67,6 +75,11 @@ ConflictManager::resolveConflicts(Task* t, LineAddr line, bool is_write)
             recordDependence(w);
         }
     }
+
+    // Release the bank before the abort cascade: rollback re-enters the
+    // line table (removeTask takes its own per-bank locks).
+    if (guard.owns_lock())
+        guard.unlock();
 
     if (!toAbort.empty()) {
         std::sort(toAbort.begin(), toAbort.end());

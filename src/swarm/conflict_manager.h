@@ -7,6 +7,17 @@
  * The ConflictManager owns every task's speculative footprint (read/write
  * line registration) and is the only subsystem that aborts tasks; the
  * ExecutionEngine, CommitController, and CapacityManager call into it.
+ *
+ * THREADING CONTRACT: every method runs on the coordinator thread, in
+ * event order — in parallel host mode (sim/parallel_executor.h),
+ * conflict checks happen when a recorded access is APPLIED at its
+ * event's serial slot, never during worker pre-execution, which is what
+ * keeps conflict-resolution order (and therefore abort sets and the
+ * golden digests) bit-identical at any host thread count. When
+ * cfg.hostThreads > 1 the banked line table's per-bank locks are armed
+ * and taken around each compound per-line operation; with the shipped
+ * executor they are uncontended invariants, and they are the seam a
+ * future concurrent conflict-check backend extends.
  */
 #pragma once
 

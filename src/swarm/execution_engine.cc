@@ -205,9 +205,15 @@ ExecutionEngine::dispatchOn(TileId tile, uint32_t idx, Task* t)
     t->coro = c.handle;
 
     t->execCycles += cfg_.dequeueCost;
+    scheduleResume(t, cfg_.dequeueCost);
+}
+
+void
+ExecutionEngine::scheduleResume(Task* t, Cycle delta)
+{
     uint64_t uid = t->uid, gen = t->generation;
-    eq_.scheduleAfterOn(tile, cfg_.dequeueCost,
-                        [this, uid, gen] { resumeCoro(uid, gen); });
+    eq_.scheduleResumeOn(t->tile, delta, uid, gen,
+                         [this, uid, gen] { resumeCoro(uid, gen); });
 }
 
 void
@@ -216,6 +222,12 @@ ExecutionEngine::resumeCoro(uint64_t uid, uint64_t gen)
     Task* t = lookupTask(uid);
     if (!t || t->generation != gen || t->state != TaskState::Running)
         return; // aborted or discarded in the meantime
+    if (t->pending.hasSteps() && t->pending.gen == gen) {
+        // Parallel host mode: the pure segment already ran on a worker;
+        // apply its next recorded effect at this event's serial slot.
+        applyPendingStep(t);
+        return;
+    }
     ssim_assert(t->coro && !t->coro.done());
     t->coro.resume();
     if (t->coro.done()) {
@@ -224,6 +236,74 @@ ExecutionEngine::resumeCoro(uint64_t uid, uint64_t gen)
         finishTaskAttempt(t);
     }
     // Otherwise an awaiter has scheduled the next resume.
+}
+
+uint32_t
+ExecutionEngine::preResume(uint64_t uid, uint64_t gen)
+{
+    Task* t = lookupTask(uid);
+    if (!t || t->generation != gen || t->state != TaskState::Running)
+        return 0; // stale tag: aborted/discarded since the scan
+    if (!t->coro || t->coro.done() || t->pending.hasSteps() ||
+        t->pending.recording) {
+        return 0; // mid-chain (steps recorded) or finish-pending
+    }
+    t->pending.clear(); // drop fully-consumed step storage
+    t->pending.gen = gen;
+    t->pending.recording = true;
+    for (uint32_t n = 0; n < kMaxRunahead; n++) {
+        t->coro.resume(); // pure: effects are recorded, not applied
+        if (t->coro.done()) {
+            Task::PendingStep s;
+            s.kind = Task::PendingStep::Kind::Finish;
+            t->pending.steps.push_back(s);
+            break;
+        }
+        ssim_assert(!t->pending.steps.empty(),
+                    "suspended without recording a step");
+        Task::PendingStep& last = t->pending.steps.back();
+        // Park at the first read: its value exists only once the access
+        // is applied in event order.
+        if (last.kind == Task::PendingStep::Kind::Access && !last.isWrite)
+            break;
+        if (n + 1 >= kMaxRunahead)
+            break; // parked on a continuable step; coordinator resumes it
+        // Running ahead past this step: the awaiter's frame slot may be
+        // reused by later segments, so keep only the by-value record.
+        last.aw = nullptr;
+    }
+    t->pending.recording = false;
+    return uint32_t(t->pending.steps.size());
+}
+
+void
+ExecutionEngine::applyPendingStep(Task* t)
+{
+    Task::PendingStep s = t->pending.steps[t->pending.next++];
+    if (!t->pending.hasSteps())
+        t->pending.clear();
+    switch (s.kind) {
+      case Task::PendingStep::Kind::Access: {
+        uint64_t dummy = 0;
+        issueAccessImpl(t, s.addr, s.size, s.isWrite, s.wval,
+                        s.aw ? &s.aw->rval : &dummy);
+        break;
+      }
+      case Task::PendingStep::Kind::Compute:
+        t->execCycles += s.cycles;
+        scheduleResume(t, s.cycles);
+        break;
+      case Task::PendingStep::Kind::Enqueue:
+        createTask(s.fn, s.ets, s.hint, s.eargs, s.enargs, t, t->tile);
+        t->execCycles += cfg_.enqueueCost;
+        scheduleResume(t, cfg_.enqueueCost);
+        break;
+      case Task::PendingStep::Kind::Finish:
+        t->coro.destroy();
+        t->coro = {};
+        finishTaskAttempt(t);
+        break;
+    }
 }
 
 // ---- Finish and commit-queue admission ------------------------------------------
@@ -343,28 +423,47 @@ ExecutionEngine::issueAccess(Task* t, swarm::MemAwaiter* aw)
     ssim_assert(t->state == TaskState::Running);
     ssim_assert((aw->addr & 7) + aw->size <= 8,
                 "accesses must not cross an 8-byte boundary");
-    LineAddr line = lineOf(aw->addr);
+    if (t->pending.recording) {
+        Task::PendingStep s;
+        s.kind = Task::PendingStep::Kind::Access;
+        s.addr = aw->addr;
+        s.size = uint8_t(aw->size);
+        s.isWrite = aw->isWrite;
+        s.wval = aw->wval;
+        s.aw = aw;
+        t->pending.steps.push_back(s);
+        return;
+    }
+    issueAccessImpl(t, aw->addr, aw->size, aw->isWrite, aw->wval,
+                    &aw->rval);
+}
+
+void
+ExecutionEngine::issueAccessImpl(Task* t, Addr addr, uint32_t size,
+                                 bool is_write, uint64_t wval,
+                                 uint64_t* rval)
+{
+    LineAddr line = lineOf(addr);
 
     // Eager conflict detection: earlier tasks win; later conflicting
     // tasks abort *before* this access's functional effect.
-    uint32_t compared = conflict_->resolveConflicts(t, line, aw->isWrite);
+    uint32_t compared = conflict_->resolveConflicts(t, line, is_write);
 
-    if (aw->isWrite) {
-        Task::UndoRec rec{aw->addr, uint8_t(aw->size), 0};
-        std::memcpy(&rec.oldVal, reinterpret_cast<void*>(aw->addr),
-                    aw->size);
+    if (is_write) {
+        Task::UndoRec rec{addr, uint8_t(size), 0};
+        std::memcpy(&rec.oldVal, reinterpret_cast<void*>(addr), size);
         t->undo.push_back(rec);
-        std::memcpy(reinterpret_cast<void*>(aw->addr), &aw->wval, aw->size);
+        std::memcpy(reinterpret_cast<void*>(addr), &wval, size);
         conflict_->trackWrite(t, line);
     } else {
-        std::memcpy(&aw->rval, reinterpret_cast<void*>(aw->addr), aw->size);
+        std::memcpy(rval, reinterpret_cast<void*>(addr), size);
         conflict_->trackRead(t, line);
     }
     if (commit_->profiler())
-        t->trace.push_back(((aw->addr >> 3) << 1) | (aw->isWrite ? 1 : 0));
+        t->trace.push_back(((addr >> 3) << 1) | (is_write ? 1 : 0));
 
-    auto res = mem_.access(t->runningOn, aw->addr, aw->isWrite,
-                           TrafficClass::MemAcc);
+    auto res =
+        mem_.access(t->runningOn, addr, is_write, TrafficClass::MemAcc);
     uint32_t lat = res.latency;
     if (res.leftTile && compared > 0) {
         // Remote conflict checks: Bloom filter lookup + one cycle per
@@ -374,30 +473,42 @@ ExecutionEngine::issueAccess(Task* t, swarm::MemAwaiter* aw)
     stats_.conflictChecks += compared;
 
     t->execCycles += lat;
-    uint64_t uid = t->uid, gen = t->generation;
-    eq_.scheduleAfterOn(t->tile, lat,
-                        [this, uid, gen] { resumeCoro(uid, gen); });
+    scheduleResume(t, lat);
 }
 
 void
 ExecutionEngine::issueCompute(Task* t, uint32_t cycles)
 {
     ssim_assert(t->state == TaskState::Running);
+    if (t->pending.recording) {
+        Task::PendingStep s;
+        s.kind = Task::PendingStep::Kind::Compute;
+        s.cycles = cycles;
+        t->pending.steps.push_back(s);
+        return;
+    }
     t->execCycles += cycles;
-    uint64_t uid = t->uid, gen = t->generation;
-    eq_.scheduleAfterOn(t->tile, cycles,
-                        [this, uid, gen] { resumeCoro(uid, gen); });
+    scheduleResume(t, cycles);
 }
 
 void
 ExecutionEngine::issueEnqueue(Task* t, const swarm::EnqueueAwaiter& aw)
 {
     ssim_assert(t->state == TaskState::Running);
+    if (t->pending.recording) {
+        Task::PendingStep s;
+        s.kind = Task::PendingStep::Kind::Enqueue;
+        s.fn = aw.fn;
+        s.ets = aw.ts;
+        s.hint = aw.hint;
+        s.eargs = aw.args;
+        s.enargs = aw.nargs;
+        t->pending.steps.push_back(s);
+        return;
+    }
     createTask(aw.fn, aw.ts, aw.hint, aw.args, aw.nargs, t, t->tile);
     t->execCycles += cfg_.enqueueCost;
-    uint64_t uid = t->uid, gen = t->generation;
-    eq_.scheduleAfterOn(t->tile, cfg_.enqueueCost,
-                        [this, uid, gen] { resumeCoro(uid, gen); });
+    scheduleResume(t, cfg_.enqueueCost);
 }
 
 } // namespace ssim

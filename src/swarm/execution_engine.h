@@ -19,6 +19,14 @@
  * arrival delays, which are charged synchronously and materialize as
  * lane events here. Only the CommitController's GVT/LB epochs use the
  * global lane.
+ *
+ * Parallel host mode (sim/parallel_executor.h): the engine is the
+ * ParallelBackend. preResume() runs on WORKER threads and only
+ * pre-executes a task's pure coroutine segments, recording the
+ * requested effects into Task::pending; every other method — including
+ * the apply side of those recordings inside resumeCoro() — runs on the
+ * coordinator thread in exact event order. Resume events are tagged
+ * (EventQueue::scheduleResumeOn) so the executor can find them.
  */
 #pragma once
 
@@ -32,6 +40,7 @@
 #include "noc/mesh.h"
 #include "sim/config.h"
 #include "sim/event_queue.h"
+#include "sim/parallel_executor.h"
 #include "swarm/scheduler.h"
 #include "swarm/task.h"
 #include "swarm/task_unit.h"
@@ -43,7 +52,7 @@ class CommitController;
 class ConflictManager;
 class Machine;
 
-class ExecutionEngine
+class ExecutionEngine : public ParallelBackend
 {
   public:
     /** One core's execution slot. */
@@ -85,9 +94,23 @@ class ExecutionEngine
     void destroyTask(Task* t);
 
     // ---- Awaiter entry points (forwarded from Machine) --------------------
+    // In record mode (Task::pending.recording, set by preResume on a
+    // worker) these capture the request into the task; otherwise they
+    // apply it through the timing model immediately.
     void issueAccess(Task* t, swarm::MemAwaiter* aw);
     void issueCompute(Task* t, uint32_t cycles);
     void issueEnqueue(Task* t, const swarm::EnqueueAwaiter& aw);
+
+    /**
+     * ParallelBackend: pre-execute (uid, gen)'s pure coroutine segments
+     * in record mode, running ahead through data-independent effects
+     * (compute charges, enqueues, writes) and parking at the first read
+     * or at completion. Returns the number of steps recorded (0: stale
+     * tag). WORKER-THREAD callable: touches only the task's own state
+     * (coroutine frame, Task::pending) and read-only engine state;
+     * never the event queue, stats, or other tasks.
+     */
+    uint32_t preResume(uint64_t uid, uint64_t gen) override;
 
     // ---- State access for the policy subsystems ---------------------------
     TaskUnit& unit(TileId t) { return units_[t]; }
@@ -104,11 +127,23 @@ class ExecutionEngine
     void flushWaitIntervals(Cycle end);
 
   private:
+    /// Run-ahead bound per preResume: limits recorded-step memory and
+    /// worker-slice skew; exceeding it just parks the coroutine on a
+    /// continuable step (resumed inline by the coordinator later).
+    static constexpr uint32_t kMaxRunahead = 64;
+
     void arriveTask(uint64_t uid, uint64_t gen);
     void tryDispatch(TileId tile);
     void dispatchOn(TileId tile, uint32_t idx, Task* t);
     void resumeCoro(uint64_t uid, uint64_t gen);
     void finishTaskAttempt(Task* t);
+    /** Schedule @p t's next (tagged) resume @p delta cycles out. */
+    void scheduleResume(Task* t, Cycle delta);
+    /** Apply one recorded step through the serial engine paths. */
+    void applyPendingStep(Task* t);
+    /** The timing-model body of issueAccess (record mode bypasses it). */
+    void issueAccessImpl(Task* t, Addr addr, uint32_t size, bool is_write,
+                         uint64_t wval, uint64_t* rval);
 
     const SimConfig& cfg_;
     EventQueue& eq_;

@@ -1,6 +1,7 @@
 #include "swarm/machine.h"
 
 #include "base/logging.h"
+#include "sim/parallel_executor.h"
 #include "swarm/policies.h"
 
 namespace swarm {
@@ -77,7 +78,15 @@ Machine::run()
     for (TileId t = 0; t < cfg_.ntiles; t++)
         engine_->scheduleDispatch(t);
     commit_->start();
-    eq_.run();
+    if (cfg_.hostThreads > 1) {
+        ParallelExecutor px(eq_, *engine_, cfg_.hostThreads);
+        px.run();
+        hostStats_.scans = px.scans();
+        hostStats_.phases = px.phases();
+        hostStats_.preResumed = px.preResumed();
+    } else {
+        eq_.run(); // the exact serial code path
+    }
     ssim_assert(engine_->tasksLive() == 0, "run ended with stranded tasks");
     finalizeStats();
     running_ = false;

@@ -17,8 +17,12 @@
  * Placement policy (the spatial scheduler) and the data-centric load
  * balancer are constructed through the policy registry
  * (swarm/policies.h). The Machine executes applications written against
- * swarm/api.h. It is single-threaded and fully deterministic for a given
- * (config, seed, initial task set).
+ * swarm/api.h. It is fully deterministic for a given (config, seed,
+ * initial task set) at ANY cfg.hostThreads: with hostThreads == 1 run()
+ * is the serial event loop; with hostThreads > 1 a ParallelExecutor
+ * (sim/parallel_executor.h) pre-executes pure coroutine segments on a
+ * worker pool while all simulated behavior stays on the coordinator
+ * thread in event order, so stats are bit-identical to serial mode.
  */
 #pragma once
 
@@ -71,6 +75,15 @@ class Machine
     void run();
 
     // ---- Results ------------------------------------------------------------
+    /** Host-side counters of the parallel executor (zero in serial mode). */
+    struct HostExecStats
+    {
+        uint64_t scans = 0;      ///< lane scans for pre-resumable events
+        uint64_t phases = 0;     ///< fork-join pre-resume phases run
+        uint64_t preResumed = 0; ///< coroutine segments pre-executed
+    };
+    const HostExecStats& hostExecStats() const { return hostStats_; }
+
     const SimStats& stats() const { return stats_; }
     const SimConfig& config() const { return cfg_; }
     Cycle now() const { return eq_.now(); }
@@ -128,6 +141,7 @@ class Machine
     std::unique_ptr<ConflictManager> conflict_;
     std::unique_ptr<CapacityManager> capacity_;
     std::unique_ptr<CommitController> commit_;
+    HostExecStats hostStats_;
     bool running_ = false;
 };
 

@@ -7,7 +7,8 @@
 namespace ssim {
 
 LineTable::LineTable(uint32_t nbanks)
-    : banks_(nbanks ? nbanks : 1), peaks_(nbanks ? nbanks : 1, 0)
+    : banks_(nbanks ? nbanks : 1), peaks_(nbanks ? nbanks : 1, 0),
+      locks_(std::make_unique<std::mutex[]>(nbanks ? nbanks : 1))
 {
 }
 
@@ -45,19 +46,31 @@ LineTable::removeTask(Task* t)
 {
     // Pass 1: scrub the task from every vector it registered in. Entry
     // pointers stay valid throughout (unordered_map references survive
-    // rehash, and nothing is erased yet).
+    // rehash, and no entry this task appears in can be erased yet — a
+    // non-empty entry never is, under locking or not).
     for (const Task::FootRec& rec : t->footprint) {
+        auto guard = lockFor(rec.line);
         auto& vec = rec.isWrite ? rec.entry->writers : rec.entry->readers;
         vec.erase(std::remove(vec.begin(), vec.end(), t), vec.end());
     }
     // Pass 2: erase entries the scrub emptied. Exactly one record per
-    // line owns the erase, so no record dereferences an entry another
-    // record already destroyed.
+    // (task, line) owns the erase; under locking the entry is re-probed
+    // because a concurrent removeTask may have erased it already.
     for (const Task::FootRec& rec : t->footprint) {
         if (!rec.ownsLine)
             continue;
-        if (rec.entry->readers.empty() && rec.entry->writers.empty())
+        auto guard = lockFor(rec.line);
+        if (locking_) {
+            auto& bank = banks_[bankOf(rec.line)];
+            auto it = bank.find(rec.line);
+            if (it != bank.end() && it->second.readers.empty() &&
+                it->second.writers.empty()) {
+                bank.erase(it);
+            }
+        } else if (rec.entry->readers.empty() &&
+                   rec.entry->writers.empty()) {
             banks_[bankOf(rec.line)].erase(rec.line);
+        }
     }
     t->footprint.clear();
 }

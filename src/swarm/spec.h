@@ -20,9 +20,24 @@
  * (Task::footprint), so removeTask scrubs exactly the vectors it appears
  * in without probing the map per line; a bank probe happens only to erase
  * an entry the removal emptied.
+ *
+ * THREADING CONTRACT: banks double as the lock seam for concurrent
+ * conflict checks. With setLocking(true) (armed when cfg.hostThreads >
+ * 1), each bank carries a mutex: callers guard compound per-line
+ * operations (find + scan, addReader/addWriter) with lockFor(line),
+ * while removeTask — which spans banks — takes its per-record locks
+ * internally and re-probes before the empty-erase so it never
+ * dereferences an entry another thread just erased. The shipped
+ * parallel executor issues every conflict operation from the
+ * coordinator thread (worker pre-execution is pure), so the locks are
+ * uncontended invariants today and the ready seam for a concurrent
+ * conflict-check backend; tests/test_line_table.cc exercises them from
+ * real threads under TSan.
  */
 #pragma once
 
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -70,11 +85,33 @@ class LineTable
     /**
      * Remove a task from every line it registered, via its indexed
      * footprint: no per-line map probes, only an erase per entry the
-     * removal emptied. Clears Task::footprint.
+     * removal emptied. Clears Task::footprint. Takes its own per-bank
+     * locks when locking is enabled (do not hold lockFor around it).
      */
     void removeTask(Task* t);
 
     size_t numLines() const;
+
+    // ---- Per-bank lock seam (parallel host mode) -----------------------
+    /** Arm/disarm the per-bank mutexes. Call only while quiescent. */
+    void setLocking(bool on) { locking_ = on; }
+    bool locking() const { return locking_; }
+    /**
+     * Scoped lock over @p line's bank for a compound operation (find +
+     * scan, add*). Returns an unowned guard when locking is disabled.
+     */
+    std::unique_lock<std::mutex>
+    lockFor(LineAddr line)
+    {
+        return lockBank(bankOf(line));
+    }
+    std::unique_lock<std::mutex>
+    lockBank(uint32_t b)
+    {
+        if (!locking_)
+            return {};
+        return std::unique_lock<std::mutex>(locks_[b]);
+    }
 
     // ---- Bank introspection (occupancy stats, tests) -------------------
     uint32_t numBanks() const { return uint32_t(banks_.size()); }
@@ -93,6 +130,8 @@ class LineTable
 
     std::vector<std::unordered_map<LineAddr, Entry>> banks_;
     std::vector<uint64_t> peaks_;
+    std::unique_ptr<std::mutex[]> locks_; ///< one per bank
+    bool locking_ = false;
 };
 
 } // namespace ssim

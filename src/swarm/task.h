@@ -94,6 +94,51 @@ class Task
     uint64_t execCycles = 0; ///< cycles of this execution attempt
     Cycle arrivalCycle = 0;
 
+    // Parallel host mode: recorded coroutine steps (sim/parallel_executor.h).
+    // A worker thread pre-executes this task's pure coroutine segments in
+    // "record" mode: each awaiter the coroutine hits is captured here
+    // instead of applied. The coordinator replays one step per resume
+    // event, through the exact serial engine paths, in exact (cycle, seq)
+    // order — so pre-execution never changes simulated behavior.
+    struct PendingStep
+    {
+        enum class Kind : uint8_t { Access, Compute, Enqueue, Finish };
+        Kind kind = Kind::Compute;
+        // Access (recorded by value: the awaiter frame slot may be
+        // reused once the worker runs past a write).
+        Addr addr = 0;
+        uint8_t size = 0;
+        bool isWrite = false;
+        uint64_t wval = 0;
+        /// Live only for the parked tail step (the coroutine is
+        /// suspended on this awaiter); the read value is delivered here.
+        swarm::MemAwaiter* aw = nullptr;
+        // Compute.
+        uint32_t cycles = 0;
+        // Enqueue (EnqueueAwaiter payload minus the ctx pointer).
+        swarm::TaskFn fn = nullptr;
+        Timestamp ets = 0;
+        swarm::Hint hint;
+        std::array<uint64_t, 3> eargs{};
+        uint8_t enargs = 0;
+    };
+    struct PendingRun
+    {
+        std::vector<PendingStep> steps;
+        size_t next = 0;     ///< first unconsumed step
+        uint64_t gen = 0;    ///< generation the steps were recorded for
+        bool recording = false; ///< worker is recording into steps
+        bool hasSteps() const { return next < steps.size(); }
+        void
+        clear()
+        {
+            steps.clear();
+            next = 0;
+            recording = false;
+        }
+    };
+    PendingRun pending;
+
     // Profiling (memory-access classifier; harness/classifier.h) ---------------------
     /// Encoded (wordAddr << 1 | isWrite); filled only when profiling.
     std::vector<uint64_t> trace;
@@ -119,6 +164,7 @@ class Task
         footprint.clear();
         dependents.clear();
         trace.clear();
+        pending.clear();
         execCycles = 0;
         runningOn = kNoCore;
         coro = {};

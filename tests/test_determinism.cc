@@ -25,12 +25,24 @@ namespace {
 constexpr uintptr_t kArenaAddr = 0x200000000000ull;
 constexpr size_t kArenaSize = 1ull << 20;
 
+// ThreadSanitizer owns large fixed regions of the address space
+// (including kArenaAddr); asking for a fixed mapping there trips its
+// mmap interceptor. The double-run and cross-thread-count tests work at
+// any address; only the golden-digest tests skip without a fixed arena.
+#if defined(__SANITIZE_THREAD__)
+#define SSIM_TSAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SSIM_TSAN_BUILD 1
+#endif
+#endif
+
 void*
 arena()
 {
     static void* mem = [] {
         void* p = MAP_FAILED;
-#ifdef MAP_FIXED_NOREPLACE
+#if defined(MAP_FIXED_NOREPLACE) && !defined(SSIM_TSAN_BUILD)
         p = mmap(reinterpret_cast<void*>(kArenaAddr), kArenaSize,
                  PROT_READ | PROT_WRITE,
                  MAP_PRIVATE | MAP_ANONYMOUS | MAP_FIXED_NOREPLACE, -1, 0);
@@ -55,40 +67,12 @@ arenaIsFixed()
     return p == reinterpret_cast<void*>(kArenaAddr);
 }
 
-// FNV-1a over every stats field, in a fixed order.
+// The digest lives in base/stats.cc (statsDigest) so the bench's
+// thread-count-invariance gate hashes exactly the same fields.
 uint64_t
 digestStats(const SimStats& s)
 {
-    uint64_t h = 1469598103934665603ull;
-    auto mix = [&h](uint64_t v) {
-        for (int i = 0; i < 8; i++) {
-            h ^= (v >> (8 * i)) & 0xff;
-            h *= 1099511628211ull;
-        }
-    };
-    mix(s.cycles);
-    for (uint64_t c : s.coreCycles)
-        mix(c);
-    for (uint64_t f : s.flits)
-        mix(f);
-    mix(s.tasksCommitted);
-    mix(s.tasksAborted);
-    mix(s.abortsConflict);
-    mix(s.abortsDisplace);
-    mix(s.abortsGridlock);
-    mix(s.tasksSpilled);
-    mix(s.tasksStolen);
-    mix(s.dispatchSkips);
-    mix(s.conflictChecks);
-    mix(s.lbReconfigs);
-    mix(s.bucketsMoved);
-    mix(s.l1Hits);
-    mix(s.l1Misses);
-    mix(s.l2Hits);
-    mix(s.l2Misses);
-    mix(s.l3Hits);
-    mix(s.l3Misses);
-    return h;
+    return statsDigest(s);
 }
 
 struct WorkState
@@ -142,7 +126,7 @@ tiny(swarm::TaskCtx& ctx, swarm::Timestamp, const uint64_t* args)
 enum class Workload { Spawn, Contend, Spill };
 
 uint64_t
-runWorkload(Workload w, SchedulerType sched)
+runWorkload(Workload w, SchedulerType sched, uint32_t host_threads = 1)
 {
     auto* st = new (arena()) WorkState();
     SimConfig cfg;
@@ -157,6 +141,7 @@ runWorkload(Workload w, SchedulerType sched)
         cfg = SimConfig::withCores(1, sched, 1);
         break;
     }
+    cfg.hostThreads = host_threads;
     Machine m(cfg);
     switch (w) {
       case Workload::Spawn:
@@ -219,6 +204,56 @@ TEST(Determinism, IdenticalConfigAndSeedGiveIdenticalStats)
         uint64_t second = runWorkload(g.w, g.sched);
         EXPECT_EQ(first, second) << g.name;
     }
+}
+
+// Parallel host mode must be invisible to simulated behavior: the same
+// workload at hostThreads ∈ {1, 2, 8} produces bit-identical stat
+// digests (sim/parallel_executor.h's determinism argument, checked).
+TEST(ParallelDeterminism, HostThreadCountIsInvisibleToStats)
+{
+    ASSERT_NE(arena(), nullptr);
+    for (const Golden& g : kGoldens) {
+        uint64_t serial = runWorkload(g.w, g.sched, 1);
+        for (uint32_t threads : {2u, 8u}) {
+            uint64_t parallel = runWorkload(g.w, g.sched, threads);
+            EXPECT_EQ(serial, parallel)
+                << g.name << " @ hostThreads=" << threads;
+        }
+    }
+}
+
+// The parallel loop must also reproduce the recorded goldens directly
+// (not just match a serial run of the same build).
+TEST(ParallelDeterminism, GoldenDigestsHoldAtEightHostThreads)
+{
+    if (!arenaIsFixed())
+        GTEST_SKIP() << "fixed-address arena unavailable; digests are "
+                        "address-dependent";
+    for (const Golden& g : kGoldens)
+        EXPECT_EQ(runWorkload(g.w, g.sched, 8), g.digest) << g.name;
+}
+
+// A 64-tile run exercises many lanes per worker slice and GVT epochs
+// interleaved with pre-resume phases.
+TEST(ParallelDeterminism, WideMachineMatchesAcrossThreadCounts)
+{
+    ASSERT_NE(arena(), nullptr);
+    auto runWide = [](uint32_t threads) {
+        auto* st = new (arena()) WorkState();
+        SimConfig cfg = SimConfig::withCores(256, SchedulerType::Hints, 11);
+        cfg.hostThreads = threads;
+        Machine m(cfg);
+        m.enqueueInitial(spawner, 0, swarm::Hint(0), st, uint64_t(200));
+        for (uint64_t i = 0; i < 64; i++)
+            m.enqueueInitial(rmwCells, 300 + i / 2, swarm::Hint(i % 16),
+                             st);
+        m.run();
+        EXPECT_EQ(m.liveTasks(), 0u);
+        return digestStats(m.stats());
+    };
+    uint64_t serial = runWide(1);
+    EXPECT_EQ(serial, runWide(2));
+    EXPECT_EQ(serial, runWide(8));
 }
 
 TEST(Determinism, GoldenDigests)

@@ -13,6 +13,7 @@
 #include "base/hash.h"
 #include "sim/event_queue.h"
 #include "sim/event_queue_ref.h"
+#include "sim/parallel_executor.h"
 
 using namespace ssim;
 
@@ -162,6 +163,37 @@ TEST(ShardedEventQueue, UnconfiguredQueueRoutesEverythingGlobally)
     EXPECT_EQ(order, (std::vector<int>{0, 1}));
     EXPECT_EQ(eq.numLanes(), 1u);
     EXPECT_EQ(eq.laneScheduled(0), 2u);
+}
+
+TEST(ShardedEventQueue, StopHaltsParallelExecutorLikeSerialRun)
+{
+    // stop() must behave identically under the parallel driver: return
+    // after the current event, leaving later events pending.
+    struct NoneBackend : ParallelBackend
+    {
+        uint32_t preResume(uint64_t, uint64_t) override { return 0; }
+    };
+    for (bool parallel : {false, true}) {
+        EventQueue eq;
+        eq.configureLanes(4);
+        std::vector<int> order;
+        eq.scheduleOn(0, 1, [&] { order.push_back(0); });
+        eq.scheduleOn(1, 2, [&, peq = &eq] {
+            order.push_back(1);
+            peq->stop();
+        });
+        eq.scheduleOn(2, 3, [&] { order.push_back(2); });
+        if (parallel) {
+            NoneBackend backend;
+            ParallelExecutor px(eq, backend, 2);
+            px.run();
+        } else {
+            eq.run();
+        }
+        EXPECT_EQ(order, (std::vector<int>{0, 1})) << parallel;
+        EXPECT_TRUE(eq.stopped());
+        EXPECT_EQ(eq.pending(), 1u);
+    }
 }
 
 // ---- InlineCallback ---------------------------------------------------------
