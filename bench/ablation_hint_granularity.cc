@@ -37,8 +37,9 @@ runWith(const char* env, const char* val, const std::string& app_name,
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    harness::applyBenchFlags(argc, argv);
     setVerbose(false);
     banner("Ablation (Sec. III-C): hint granularity",
            "Coarse hints exploit line sharing (sssp) and co-located "

@@ -13,8 +13,9 @@ using namespace ssim::bench;
 using namespace ssim::harness;
 
 int
-main()
+main(int argc, char** argv)
 {
+    harness::applyBenchFlags(argc, argv);
     setVerbose(false);
     banner("Ablation (Sec. VI-A): LB signal = committed cycles vs idle "
            "tasks",

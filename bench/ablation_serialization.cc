@@ -12,8 +12,9 @@ using namespace ssim::bench;
 using namespace ssim::harness;
 
 int
-main()
+main(int argc, char** argv)
 {
+    harness::applyBenchFlags(argc, argv);
     setVerbose(false);
     banner("Ablation (Sec. III-B): same-hint dispatch serialization",
            "Mapping-only vs mapping+serialization; aborts should rise "

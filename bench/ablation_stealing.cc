@@ -12,8 +12,9 @@ using namespace ssim::bench;
 using namespace ssim::harness;
 
 int
-main()
+main(int argc, char** argv)
 {
+    harness::applyBenchFlags(argc, argv);
     setVerbose(false);
     banner("Ablation (Sec. II-C/VII-B): stealing policies",
            "Victim in {most-loaded, random, nearest}; task in {earliest, "

@@ -11,8 +11,9 @@ using namespace ssim::bench;
 using namespace ssim::harness;
 
 int
-main()
+main(int argc, char** argv)
 {
+    harness::applyBenchFlags(argc, argv);
     setVerbose(false);
     banner("Figure 2: des under Random / Stealing / Hints / LBHints",
            "Paper: Stealing 52x, Random 49x, Hints 186x, LBHints 236x "

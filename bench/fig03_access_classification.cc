@@ -11,8 +11,9 @@ using namespace ssim::bench;
 using namespace ssim::harness;
 
 int
-main()
+main(int argc, char** argv)
 {
+    harness::applyBenchFlags(argc, argv);
     setVerbose(false);
     banner("Figure 3: classification of memory accesses",
            "Expected shape: des/nocsim/silo/kmeans mostly single-hint RW; "

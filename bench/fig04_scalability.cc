@@ -10,8 +10,9 @@ using namespace ssim::bench;
 using namespace ssim::harness;
 
 int
-main()
+main(int argc, char** argv)
 {
+    harness::applyBenchFlags(argc, argv);
     setVerbose(false);
     banner("Figure 4: scalability of Random / Stealing / Hints",
            "Paper: Hints >= Random everywhere (up to 13x on kmeans); "

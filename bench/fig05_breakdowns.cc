@@ -11,8 +11,9 @@ using namespace ssim::bench;
 using namespace ssim::harness;
 
 int
-main()
+main(int argc, char** argv)
 {
+    harness::applyBenchFlags(argc, argv);
     setVerbose(false);
     banner("Figure 5: core-cycle and NoC-traffic breakdowns (R/S/H)",
            "Paper: Hints cuts aborted cycles up to 6x and traffic up to "

@@ -12,8 +12,9 @@ using namespace ssim::bench;
 using namespace ssim::harness;
 
 int
-main()
+main(int argc, char** argv)
 {
+    harness::applyBenchFlags(argc, argv);
     setVerbose(false);
     banner("Figure 6: CG vs FG access classification",
            "Paper: FG makes virtually all read-write accesses single-hint "

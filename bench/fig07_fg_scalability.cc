@@ -11,8 +11,9 @@ using namespace ssim::bench;
 using namespace ssim::harness;
 
 int
-main()
+main(int argc, char** argv)
 {
+    harness::applyBenchFlags(argc, argv);
     setVerbose(false);
     banner("Figure 7: fine-grain vs coarse-grain scalability",
            "Paper: FG improves Hints uniformly (up to 2.7x); mixed "

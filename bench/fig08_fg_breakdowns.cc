@@ -11,8 +11,9 @@ using namespace ssim::bench;
 using namespace ssim::harness;
 
 int
-main()
+main(int argc, char** argv)
 {
+    harness::applyBenchFlags(argc, argv);
     setVerbose(false);
     banner("Figure 8: fine-grain breakdowns (normalized to CG Random)",
            "Paper: FG under Hints cuts traffic up to 4.8x vs CG Hints");

@@ -12,8 +12,9 @@ using namespace ssim::bench;
 using namespace ssim::harness;
 
 int
-main()
+main(int argc, char** argv)
 {
+    harness::applyBenchFlags(argc, argv);
     setVerbose(false);
     banner("Figure 10: Random / Stealing / Hints / LBHints, best version",
            "Paper gmeans at 256c: Random 58x, Hints 146x (179x with FG), "

@@ -11,8 +11,9 @@ using namespace ssim::bench;
 using namespace ssim::harness;
 
 int
-main()
+main(int argc, char** argv)
 {
+    harness::applyBenchFlags(argc, argv);
     setVerbose(false);
     banner("Figure 11: core-cycle breakdowns incl. LBHints",
            "Paper: LBHints cuts des aborts and nocsim/kmeans empty+stall "

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Engine-backend microbenchmark: the cycle-accurate TimingBackend vs
+ * the FunctionalBackend on every registered app (docs/backends.md).
+ *
+ * For each app the bench runs the same workload once per backend on a
+ * 64-tile / 256-core machine (the paper's headline system) and reports
+ * host wall-clock, simulated cycles, and commit/abort counts. Two
+ * checks are hard failures:
+ *
+ *  - every run must validate against the app's host-native oracle, and
+ *  - the functional backend's result digest must equal the timing
+ *    backend's (same functional outputs, only the clock differs).
+ *
+ * The speedup column is the point of the backend split: the functional
+ * backend skips the cache hierarchy, directory, and NoC — and, in
+ * inline-effects mode, the per-access event round-trip itself — so
+ * memory-bound apps should run well over 2x faster while producing
+ * identical results.
+ *
+ * Flags: --smoke (CI-sized run at the tiny preset), --app=name (one
+ * app only), --backend=name (run only that backend — the CI
+ * functional smoke lane), --host-threads=N / --policy=spec
+ * (harness/cli.h overrides).
+ */
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "apps/app.h"
+#include "base/logging.h"
+#include "harness/cli.h"
+#include "swarm/machine.h"
+
+namespace {
+
+using namespace ssim;
+
+struct RunOut
+{
+    double ms = 0;
+    uint64_t resultDigest = 0;
+    uint64_t cycles = 0;
+    uint64_t committed = 0;
+    uint64_t aborted = 0;
+    uint64_t abrConflict = 0, abrDisplace = 0, abrGridlock = 0;
+    bool valid = false;
+};
+
+RunOut
+runOne(apps::App& app, SimConfig cfg, const std::string& backend)
+{
+    app.reset();
+    cfg.engineBackend = backend;
+    Machine m(cfg);
+    app.enqueueInitial(m);
+    auto t0 = std::chrono::steady_clock::now();
+    m.run();
+    auto t1 = std::chrono::steady_clock::now();
+    RunOut out;
+    out.ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    out.resultDigest = app.resultDigest();
+    out.cycles = m.stats().cycles;
+    out.committed = m.stats().tasksCommitted;
+    out.aborted = m.stats().tasksAborted;
+    out.abrConflict = m.stats().abortsConflict;
+    out.abrDisplace = m.stats().abortsDisplace;
+    out.abrGridlock = m.stats().abortsGridlock;
+    out.valid = app.validate();
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool smoke = harness::hasFlag(argc, argv, "--smoke");
+    // --backend=name: run only that backend (e.g. the CI functional
+    // smoke lane); validation stays a hard failure, the cross-backend
+    // digest comparison needs both and is skipped.
+    const char* onlyBackend = harness::flagValue(argc, argv, "--backend");
+
+    if (onlyBackend) {
+        std::printf("micro_backend: %s backend on all registered apps "
+                    "(256 cores)%s\n",
+                    onlyBackend, smoke ? " [smoke]" : "");
+        std::printf("%-8s %10s   %-24s %s\n", "app", "ms",
+                    "cyc/com/abr", "checks");
+    } else {
+        std::printf("micro_backend: timing vs functional EngineBackend "
+                    "on all registered apps (256 cores)%s\n",
+                    smoke ? " [smoke]" : "");
+        std::printf("%-8s %10s %10s %8s   %-24s %-24s %s\n", "app",
+                    "timing ms", "func ms", "speedup",
+                    "timing cyc/com/abr", "func cyc/com/abr", "checks");
+    }
+
+    const char* only = harness::flagValue(argc, argv, "--app");
+    int failures = 0;
+    for (const auto& name : apps::appNames()) {
+        if (only && name != only)
+            continue;
+        auto app = apps::makeApp(name);
+        apps::AppParams p;
+        p.preset = smoke ? apps::Preset::Tiny : apps::presetFromEnv();
+        p.seed = 42;
+        app->setup(p);
+
+        SimConfig cfg = SimConfig::withCores(256, SchedulerType::Hints, 42);
+        harness::applyHostThreads(cfg, argc, argv);
+        harness::applyPolicy(cfg, argc, argv);
+
+        // cycles/committed/aborted(conflict+displace+gridlock)
+        auto fmtRow = [](const RunOut& r, char* buf, size_t n) {
+            std::snprintf(buf, n, "%llu/%llu/%llu(%llu+%llu+%llu)",
+                          (unsigned long long)r.cycles,
+                          (unsigned long long)r.committed,
+                          (unsigned long long)r.aborted,
+                          (unsigned long long)r.abrConflict,
+                          (unsigned long long)r.abrDisplace,
+                          (unsigned long long)r.abrGridlock);
+        };
+
+        if (onlyBackend) {
+            RunOut r = runOne(*app, cfg, onlyBackend);
+            if (!r.valid)
+                failures++;
+            char rb[64];
+            fmtRow(r, rb, sizeof(rb));
+            std::printf("%-8s %10.1f   %-24s %s\n", name.c_str(), r.ms,
+                        rb, r.valid ? "valid" : "INVALID");
+            continue;
+        }
+
+        RunOut t = runOne(*app, cfg, "timing");
+        RunOut f = runOne(*app, cfg, "functional");
+
+        bool digestOk = t.resultDigest == f.resultDigest;
+        bool ok = digestOk && t.valid && f.valid;
+        if (!ok)
+            failures++;
+
+        char tb[64], fb[64];
+        fmtRow(t, tb, sizeof(tb));
+        fmtRow(f, fb, sizeof(fb));
+        std::printf("%-8s %10.1f %10.1f %7.2fx   %-24s %-24s %s%s%s\n",
+                    name.c_str(), t.ms, f.ms, t.ms / f.ms, tb, fb,
+                    digestOk ? "results identical" : "RESULT MISMATCH",
+                    t.valid ? "" : ", timing INVALID",
+                    f.valid ? "" : ", functional INVALID");
+    }
+
+    if (failures) {
+        std::printf("\nFAIL: %d app(s) failed validation or diverged "
+                    "across backends\n",
+                    failures);
+        return 1;
+    }
+    if (onlyBackend)
+        std::printf("\nall apps validate under the %s backend\n",
+                    onlyBackend);
+    else
+        std::printf("\nall apps validate under both backends with "
+                    "identical results\n");
+    return 0;
+}

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "base/hash.h"
+#include "harness/cli.h"
 #include "harness/report.h"
 #include "sim/event_queue.h"
 #include "sim/event_queue_ref.h"
@@ -158,7 +159,7 @@ measure(MakeQ make_q, uint32_t ntiles, uint32_t per_tile,
 int
 main(int argc, char** argv)
 {
-    bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
+    bool smoke = ssim::harness::hasFlag(argc, argv, "--smoke");
     const uint64_t events = smoke ? 300000 : 3000000;
     // Constant pending population per tile: 64 task-queue entries/core
     // x 4 cores (Table II).

@@ -158,10 +158,7 @@ runWorkload(const char* name, bool compute_bound, uint32_t ntasks,
 int
 main(int argc, char** argv)
 {
-    bool smoke = false;
-    for (int i = 1; i < argc; i++)
-        if (std::string(argv[i]) == "--smoke")
-            smoke = true;
+    bool smoke = harness::hasFlag(argc, argv, "--smoke");
 
     uint32_t maxThreads = 8;
     {

@@ -12,8 +12,9 @@ using namespace ssim::bench;
 using namespace ssim::harness;
 
 int
-main()
+main(int argc, char** argv)
 {
+    harness::applyBenchFlags(argc, argv);
     setVerbose(false);
     banner("Table I: benchmark information",
            "Paper's 'perf vs serial' at 1 core ranges from -18% (bfs) "

@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
-# Fail on dead relative links in README.md and docs/*.md.
+# Docs hygiene gate, two checks:
 #
-# Checks every inline markdown link [text](target): http(s)/mailto and
-# pure-anchor links are skipped; anything else must resolve to an
-# existing file or directory relative to the markdown file that
-# contains it (anchors are stripped before the check).
+#  1. Fail on dead relative links in README.md and docs/*.md. Checks
+#     every inline markdown link [text](target): http(s)/mailto and
+#     pure-anchor links are skipped; anything else must resolve to an
+#     existing file or directory relative to the markdown file that
+#     contains it (anchors are stripped before the check).
+#  2. Fail on SimConfig knobs (data members of src/sim/config.h) that
+#     are not mentioned (backtick-quoted) in docs/configuration.md, so
+#     the knob table cannot silently fall behind the code.
 set -u
 cd "$(dirname "$0")/.."
 
@@ -25,9 +29,28 @@ for f in README.md docs/*.md; do
     done < <(grep -oE '\]\([^)]+\)' "$f" | sed -E 's/^\]\(//; s/\)$//')
 done
 
+# ---- SimConfig knob coverage -------------------------------------------
+# Extract data-member names: lines like "    uint32_t ntiles = 64;".
+# Default-argument lines of member functions contain parens and are
+# filtered out. Knobs that are deliberately undocumented go in the
+# allowlist.
+allow=""
+knobs=$(sed -E 's|//.*$||' src/sim/config.h |
+        grep -E '^[[:space:]]+[A-Za-z_][A-Za-z0-9_:]*[[:space:]]+[A-Za-z_][A-Za-z0-9_]*[[:space:]]*=[^;]*;' |
+        grep -v '[()]' |
+        sed -E 's/^[[:space:]]+[A-Za-z_][A-Za-z0-9_:]*[[:space:]]+([A-Za-z_][A-Za-z0-9_]*)[[:space:]]*=.*/\1/')
+[ -n "$knobs" ] || { echo "knob extraction found nothing in src/sim/config.h"; fail=1; }
+for k in $knobs; do
+    case " $allow " in *" $k "*) continue ;; esac
+    if ! grep -q "\`$k\`" docs/configuration.md; then
+        echo "undocumented SimConfig knob: $k (add it to docs/configuration.md)"
+        fail=1
+    fi
+done
+
 if [ "$fail" -ne 0 ]; then
-    echo "docs link check FAILED"
+    echo "docs check FAILED"
 else
-    echo "docs link check OK"
+    echo "docs check OK"
 fi
 exit $fail

@@ -14,8 +14,10 @@
 
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <vector>
 
+#include "base/hash.h"
 #include "swarm/machine.h"
 
 namespace ssim {
@@ -56,6 +58,17 @@ class App
     /** Check the run's output against a host-native oracle. */
     virtual bool validate() const = 0;
 
+    /**
+     * Digest of exactly the output state validate() checks. Because
+     * every app validates against a deterministic oracle, the digest
+     * is a pure function of (setup params, workload) — independent of
+     * scheduler, core count, host threads, and engine backend — which
+     * is what lets tests/test_backends.cc assert that the functional
+     * backend computes the same results as the timing backend. Chain
+     * fields with digestRange/fnv1aU64 in declaration order.
+     */
+    virtual uint64_t resultDigest() const = 0;
+
     /** Tuned serial implementation on the serial timing model; returns
      *  its cycle count. Calls reset() internally. */
     virtual uint64_t serialCycles(SerialMachine& sm) = 0;
@@ -69,6 +82,15 @@ class App
     /** True if a fine-grain restructuring exists (Sec. V). */
     virtual bool hasFineGrain() const { return false; }
 };
+
+/** Chain a vector of trivially-copyable values into a result digest. */
+template <typename T>
+inline uint64_t
+digestRange(const std::vector<T>& v, uint64_t h = kFnvBasis)
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+    return v.empty() ? h : fnv1a(v.data(), v.size() * sizeof(T), h);
+}
 
 /**
  * Create an app by name: bfs, sssp, astar, color, des, nocsim, silo,

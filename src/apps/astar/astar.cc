@@ -86,6 +86,8 @@ class AstarApp : public App
         return gscore == oracle_ && gscore[dst_] == oracle_[dst_];
     }
 
+    uint64_t resultDigest() const override { return digestRange(gscore); }
+
     uint64_t
     serialCycles(SerialMachine& sm) override
     {

@@ -67,6 +67,8 @@ class BfsApp : public App
         return level == oracle_;
     }
 
+    uint64_t resultDigest() const override { return digestRange(level); }
+
     uint64_t
     serialCycles(SerialMachine& sm) override
     {

@@ -94,6 +94,8 @@ class ColorApp : public App
         return c32 == oracle_ && isProperColoring(g_, c32);
     }
 
+    uint64_t resultDigest() const override { return digestRange(color); }
+
     uint64_t
     serialCycles(SerialMachine& sm) override
     {

@@ -92,6 +92,16 @@ class DesApp : public App
     }
 
     uint64_t
+    resultDigest() const override
+    {
+        // Exactly the validated state: each gate's settled output bit.
+        uint64_t h = kFnvBasis;
+        for (uint32_t g = 0; g < circ_.numGates(); g++)
+            h = fnv1aU64(GateRec::outOf(circ_.gates[g].w0), h);
+        return h;
+    }
+
+    uint64_t
     serialCycles(SerialMachine& sm) override
     {
         // Tuned serial baseline: a priority-queue event simulator.

@@ -124,6 +124,18 @@ class GenomeApp : public App
     }
 
     uint64_t
+    resultDigest() const override
+    {
+        // Exactly the validated state: the reconstructed length and
+        // every reconstructed 2-bit char (not the raw words, whose
+        // bits past resultChars_ are not part of the result).
+        uint64_t h = fnv1aU64(resultChars_, kFnvBasis);
+        for (uint64_t i = 0; i < resultChars_ && i < geneChars_; i++)
+            h = fnv1aU64((result_[i / 32] >> ((i % 32) * 2)) & 3, h);
+        return h;
+    }
+
+    uint64_t
     serialCycles(SerialMachine& sm) override
     {
         reset();

@@ -133,6 +133,18 @@ class KmeansApp : public App
                              uint64_t(0));
     }
 
+    uint64_t
+    resultDigest() const override
+    {
+        // Exactly the validated state: memberships plus the final
+        // centroid coordinates (hashed bitwise; validate() compares
+        // the doubles exactly, so bitwise equality is the contract).
+        uint64_t h = digestRange(membership_);
+        for (const auto& c : centroids_)
+            h = fnv1a(c.c, sizeof(c.c), h);
+        return h;
+    }
+
     bool
     validate() const override
     {

@@ -102,6 +102,15 @@ class NocsimApp : public App
     }
 
     uint64_t
+    resultDigest() const override
+    {
+        // Exactly the validated state: the delivered-packet count and
+        // latency sum (per-router state is not part of the oracle).
+        return fnv1aU64(totalLatSum(), fnv1aU64(totalDelivered(),
+                                                kFnvBasis));
+    }
+
+    uint64_t
     serialCycles(SerialMachine& sm) override
     {
         reset();

@@ -132,6 +132,18 @@ class SiloApp : public App
     }
 
     uint64_t
+    resultDigest() const override
+    {
+        // Exactly the validated state: every table validate() memcmps.
+        uint64_t h = digestRange(db_.warehouses);
+        h = digestRange(db_.districts, h);
+        h = digestRange(db_.customers, h);
+        h = digestRange(db_.stocks, h);
+        h = digestRange(db_.orders, h);
+        return digestRange(db_.orderLines, h);
+    }
+
+    uint64_t
     serialCycles(SerialMachine& sm) override
     {
         reset();

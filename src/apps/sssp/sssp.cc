@@ -90,6 +90,8 @@ class SsspApp : public App
         return dist == oracle_;
     }
 
+    uint64_t resultDigest() const override { return digestRange(dist); }
+
     uint64_t
     serialCycles(SerialMachine& sm) override
     {

@@ -27,6 +27,30 @@ splitmix64(uint64_t& state)
     return z ^ (z >> 31);
 }
 
+// ---- FNV-1a (chainable): result digests, content hashing -------------------
+
+constexpr uint64_t kFnvBasis = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x00000100000001b3ull;
+
+/** FNV-1a over a byte range; chain by passing the previous digest. */
+inline uint64_t
+fnv1a(const void* data, size_t len, uint64_t h = kFnvBasis)
+{
+    auto* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < len; i++) {
+        h ^= p[i];
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+/** Chain one 64-bit value into an FNV-1a digest. */
+inline uint64_t
+fnv1aU64(uint64_t v, uint64_t h)
+{
+    return fnv1a(&v, sizeof(v), h);
+}
+
 /** A strong 64->64 bit mixer (finalizer of MurmurHash3). */
 inline uint64_t
 mix64(uint64_t x)

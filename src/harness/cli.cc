@@ -1,0 +1,104 @@
+#include "harness/cli.h"
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+#include "base/logging.h"
+#include "swarm/policies.h"
+
+namespace ssim::harness {
+
+const char*
+flagValue(int argc, char** argv, const char* flag)
+{
+    const size_t n = std::strlen(flag);
+    const char* found = nullptr;
+    for (int i = 1; i < argc; i++) {
+        const char* arg = argv[i];
+        if (std::strncmp(arg, flag, n) == 0 && arg[n] == '=')
+            found = arg + n + 1; // later flags win
+    }
+    return found;
+}
+
+bool
+hasFlag(int argc, char** argv, const char* flag)
+{
+    for (int i = 1; i < argc; i++)
+        if (std::strcmp(argv[i], flag) == 0)
+            return true;
+    return false;
+}
+
+uint32_t
+parsePositiveInt(const char* flag, const char* text)
+{
+    errno = 0;
+    char* end = nullptr;
+    long long v = std::strtoll(text, &end, 10);
+    if (!end || *end != '\0' || errno == ERANGE || v < 1 ||
+        v > (long long)UINT32_MAX)
+        fatal("%s needs a positive 32-bit integer, got '%s'", flag, text);
+    return uint32_t(v);
+}
+
+void
+applyHostThreads(SimConfig& cfg, int argc, char** argv)
+{
+    // Env is lenient (an invalid or <1 value is ignored with a warning,
+    // preserving the long-standing 'SWARMSIM_HOST_THREADS=0 means
+    // serial' idiom); the explicit flag is strict.
+    if (const char* e = std::getenv("SWARMSIM_HOST_THREADS")) {
+        int n = std::atoi(e);
+        if (n >= 1) {
+            cfg.hostThreads = uint32_t(n);
+        } else {
+            static bool warned = false; // runOnce applies this per run
+            if (!warned) {
+                warned = true;
+                warn("ignoring SWARMSIM_HOST_THREADS='%s' (needs a "
+                     "positive integer); running serial",
+                     e);
+            }
+        }
+    }
+    if (const char* v = flagValue(argc, argv, "--host-threads"))
+        cfg.hostThreads = parsePositiveInt("--host-threads", v);
+}
+
+void
+applyBackend(SimConfig& cfg, int argc, char** argv)
+{
+    if (const char* e = std::getenv("SWARMSIM_BACKEND")) {
+        policies::requireKnownBackend(e, "SWARMSIM_BACKEND");
+        cfg.engineBackend = e;
+    }
+    if (const char* v = flagValue(argc, argv, "--backend")) {
+        policies::requireKnownBackend(v, "--backend");
+        cfg.engineBackend = v;
+    }
+}
+
+void
+applyPolicy(SimConfig& cfg, int argc, char** argv)
+{
+    if (const char* v = flagValue(argc, argv, "--policy"))
+        policies::apply(cfg, v); // fatals on a malformed spec
+}
+
+void
+applyBenchFlags(int argc, char** argv)
+{
+    if (const char* v = flagValue(argc, argv, "--host-threads")) {
+        parsePositiveInt("--host-threads", v); // validate before export
+        setenv("SWARMSIM_HOST_THREADS", v, /*overwrite=*/1);
+    }
+    if (const char* v = flagValue(argc, argv, "--backend")) {
+        policies::requireKnownBackend(v, "--backend");
+        setenv("SWARMSIM_BACKEND", v, /*overwrite=*/1);
+    }
+}
+
+} // namespace ssim::harness

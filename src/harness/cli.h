@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Shared command-line and environment parsing for benches and the
+ * harness: the single place where `--host-threads=`, `--backend=`, and
+ * `--policy=` are spelled, validated, and turned into SimConfig
+ * overrides, so every binary shares one set of error messages instead
+ * of copy-pasting argv loops.
+ *
+ * Two usage patterns:
+ *
+ *  - Binaries that build their own SimConfig call the specific
+ *    apply* helpers they support, per config (env first, then flags,
+ *    which win) — e.g. bench/micro_backend.cc applies host threads and
+ *    policy but intercepts --backend itself.
+ *  - Figure/table benches that run everything through harness::runOnce
+ *    call applyBenchFlags(argc, argv) once at the top of main(): it
+ *    validates the flags and re-exports them as the SWARMSIM_* env
+ *    vars, which runOnce applies to every machine it builds.
+ */
+#pragma once
+
+#include <string>
+
+#include "sim/config.h"
+
+namespace ssim::harness {
+
+/**
+ * Value of the last `--flag=value` occurrence in argv (later flags
+ * win), or nullptr if absent. @p flag is the part before '=', e.g.
+ * "--backend".
+ */
+const char* flagValue(int argc, char** argv, const char* flag);
+
+/** True if bare `--flag` appears anywhere in argv. */
+bool hasFlag(int argc, char** argv, const char* flag);
+
+/** Parse @p text as a positive integer; fatals naming @p flag. */
+uint32_t parsePositiveInt(const char* flag, const char* text);
+
+/**
+ * Apply host-thread overrides to @p cfg: the SWARMSIM_HOST_THREADS
+ * environment variable (lenient: an invalid or < 1 value is ignored
+ * with a one-time warning — SWARMSIM_HOST_THREADS=0 has always meant
+ * "serial"), then any --host-threads=N in argv, which wins and must
+ * be a positive integer.
+ */
+void applyHostThreads(SimConfig& cfg, int argc = 0, char** argv = nullptr);
+
+/**
+ * Apply engine-backend overrides to @p cfg: the SWARMSIM_BACKEND
+ * environment variable, then any --backend=name in argv (which wins).
+ * Fatals, listing the registered backends, on an unknown name.
+ */
+void applyBackend(SimConfig& cfg, int argc = 0, char** argv = nullptr);
+
+/**
+ * Apply any --policy=spec in argv through policies::apply (scheduler
+ * and policy-knob selection by name; fatals on a malformed spec with
+ * the registry's error message).
+ */
+void applyPolicy(SimConfig& cfg, int argc, char** argv);
+
+/**
+ * For figure/table bench main()s that never touch a SimConfig
+ * themselves: validate --host-threads= / --backend= and re-export them
+ * as SWARMSIM_HOST_THREADS / SWARMSIM_BACKEND so every subsequent
+ * harness::runOnce picks them up.
+ */
+void applyBenchFlags(int argc, char** argv);
+
+} // namespace ssim::harness

@@ -9,31 +9,14 @@
 
 namespace ssim::harness {
 
-void
-applyHostThreads(SimConfig& cfg, int argc, char** argv)
-{
-    if (const char* e = std::getenv("SWARMSIM_HOST_THREADS")) {
-        int n = std::atoi(e);
-        if (n >= 1)
-            cfg.hostThreads = uint32_t(n);
-    }
-    for (int i = 1; i < argc; i++) {
-        const std::string arg = argv[i];
-        const std::string flag = "--host-threads=";
-        if (arg.rfind(flag, 0) == 0) {
-            int n = std::atoi(arg.c_str() + flag.size());
-            ssim_assert(n >= 1, "--host-threads needs a positive count");
-            cfg.hostThreads = uint32_t(n);
-        }
-    }
-}
-
 RunResult
 runOnce(apps::App& app, const SimConfig& cfg, AccessProfiler* profiler)
 {
     app.reset();
     SimConfig hostCfg = cfg;
+    // Env-only pass: host threads and engine backend (harness/cli.h).
     applyHostThreads(hostCfg);
+    applyBackend(hostCfg);
     Machine m(hostCfg);
     if (profiler)
         m.setProfiler(profiler);

@@ -11,6 +11,7 @@
 
 #include "apps/app.h"
 #include "base/stats.h"
+#include "harness/cli.h"
 #include "sim/config.h"
 
 namespace ssim {
@@ -31,20 +32,14 @@ struct RunResult
 /**
  * Reset the app, run it once on a fresh machine, validate. A profiler,
  * if given, is attached to the machine's CommitController and receives
- * every committed task's access trace. SWARMSIM_HOST_THREADS=N runs the
- * simulation on N host threads (behavior is thread-count invariant; see
- * sim/parallel_executor.h).
+ * every committed task's access trace. Host-side env overrides are
+ * applied per run (see harness/cli.h): SWARMSIM_HOST_THREADS=N runs
+ * the simulation on N host threads (behavior is thread-count
+ * invariant; see sim/parallel_executor.h) and SWARMSIM_BACKEND selects
+ * the engine backend (docs/backends.md).
  */
 RunResult runOnce(apps::App& app, const SimConfig& cfg,
                   AccessProfiler* profiler = nullptr);
-
-/**
- * Apply host-execution overrides to @p cfg: the SWARMSIM_HOST_THREADS
- * environment variable, then any --host-threads=N in argv (which wins).
- * Benches call this from main(); runOnce applies the env var on its own.
- */
-void applyHostThreads(SimConfig& cfg, int argc = 0,
-                      char** argv = nullptr);
 
 /** Run one scheduler across a core-count sweep. */
 std::vector<RunResult> sweep(apps::App& app, SchedulerType sched,

@@ -106,6 +106,16 @@ struct SimConfig
     /// (harness runs) and --host-threads=N (benches).
     uint32_t hostThreads = 1;
 
+    // Engine backend ----------------------------------------------------------
+    /// Execution-engine cost model, selected by name through the
+    /// backend registry (swarm/policies.h): "timing" (the paper's
+    /// cycle-accurate NoC + cache model, the default) or "functional"
+    /// (bounded pseudo-cycles, no microarchitectural state — fast
+    /// functional simulation with full speculation/abort/commit
+    /// semantics; see docs/backends.md). Overridable via
+    /// SWARMSIM_BACKEND (harness runs) and --backend= (benches).
+    std::string engineBackend = "timing";
+
     // Spills -------------------------------------------------------------------
     double spillThreshold = 0.85; ///< coalescers fire at 85% task queue full
     uint32_t spillBatch = 15;     ///< tasks spilled per coalescer firing

@@ -4,8 +4,12 @@
  *
  * Programs consist of timestamped tasks. Each task is a C++20 coroutine
  * that accesses shared data through its TaskCtx; every load, store,
- * enqueue, and explicit compute charge is a suspension point that passes
- * through the full timing model at its simulated issue time.
+ * enqueue, and explicit compute charge is conflict-checked, undo-logged,
+ * and priced by the machine's engine backend. Under the cycle-accurate
+ * timing backend (the default) each is a suspension point that passes
+ * through the full timing model at its simulated issue time; under an
+ * inline-effects backend (functional) the effect applies synchronously
+ * and the body runs straight through (docs/backends.md).
  *
  * A task creates children with
  *     co_await ctx.enqueue(taskFn, timestamp, hint, args...);
@@ -101,8 +105,12 @@ struct MemAwaiter
     uint64_t wval = 0; ///< value to store (low `size` bytes)
     uint64_t rval = 0; ///< loaded value (low `size` bytes)
 
-    bool await_ready() const noexcept { return false; }
-    void await_suspend(std::coroutine_handle<> h); // defined in machine.cc
+    // In an inline-effects backend (swarm/backends/engine_backend.h)
+    // await_ready applies the access synchronously and the coroutine
+    // never suspends; otherwise the suspend path schedules the timed
+    // resume. Both are defined in machine.cc.
+    bool await_ready();
+    void await_suspend(std::coroutine_handle<> h);
     uint64_t await_resume() const noexcept { return rval; }
 };
 
@@ -126,7 +134,7 @@ struct ComputeAwaiter
     TaskCtx* ctx;
     uint32_t cycles;
 
-    bool await_ready() const noexcept { return cycles == 0; }
+    bool await_ready(); // defined in machine.cc
     void await_suspend(std::coroutine_handle<> h); // defined in machine.cc
     void await_resume() const noexcept {}
 };
@@ -141,7 +149,7 @@ struct EnqueueAwaiter
     std::array<uint64_t, 3> args;
     uint8_t nargs;
 
-    bool await_ready() const noexcept { return false; }
+    bool await_ready(); // defined in machine.cc
     void await_suspend(std::coroutine_handle<> h); // defined in machine.cc
     void await_resume() const noexcept {}
 };

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * EngineBackend: the ExecutionEngine's pluggable cost model.
+ *
+ * PR 3 carved two seams inside the engine: the record/apply split of
+ * every awaiter effect, and the ParallelBackend pre-resume hook. This
+ * interface promotes the third seam — every point where the engine
+ * consults the *timing model* — into a first-class abstraction, so the
+ * same speculation machinery (ConflictManager, CommitController,
+ * CapacityManager, the record/apply paths) can run under different
+ * notions of simulated time:
+ *
+ *  - TimingBackend (timing_backend.h): the paper's cycle-accurate
+ *    model — NoC hop latencies, the three-level cache hierarchy and
+ *    directory, Table II conflict-check costs. The default.
+ *  - FunctionalBackend (functional_backend.h): collapses the timing
+ *    model to bounded pseudo-cycles for fast functional simulation.
+ *
+ * A backend decides only HOW LONG each engine effect takes (and what
+ * NoC traffic it injects); it never decides WHAT happens. Functional
+ * memory, undo logging, conflict resolution, commit order, and task
+ * lifecycle stay in the engine and its collaborators, which is what
+ * keeps every backend's execution speculation-correct and
+ * deterministic. See docs/backends.md for the full contract and a
+ * checklist for writing a new backend.
+ *
+ * THREADING CONTRACT: every method is called on the coordinator thread,
+ * in event order, from the engine's apply paths — never from
+ * ParallelBackend::preResume worker segments. A backend may therefore
+ * mutate its own model state (caches, directories) without locking, but
+ * must be deterministic: cost must be a function of the call sequence
+ * so far, never of wall-clock, host addresses, or global mutable state
+ * shared across Machine instances.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "base/types.h"
+
+namespace ssim {
+
+class EngineBackend
+{
+  public:
+    virtual ~EngineBackend() = default;
+
+    /** Registry name (see policies::registerBackend). */
+    virtual const char* name() const = 0;
+
+    /**
+     * True if awaiter effects should be applied INLINE: the awaiter's
+     * await_ready applies the effect synchronously and the coroutine
+     * never suspends, so a task's whole body executes within its
+     * single resume event — no per-access latency events at all. The
+     * effects and their order within the body are identical to the
+     * suspending path; what changes is that other tasks' events no
+     * longer interleave *inside* a body (task bodies become atomic
+     * units of simulated time). Inline mode also disables resume-event
+     * tagging, so the parallel host executor finds no pre-resumable
+     * segments and hostThreads > 1 degrades to the serial loop — the
+     * two optimizations are alternatives, not a composition.
+     *
+     * The timing backend must return false: spreading a body across
+     * per-access events at modeled latencies IS the timing model.
+     */
+    virtual bool inlineEffects() const { return false; }
+
+    /**
+     * Cost of delivering a task descriptor from @p src to @p dst tile
+     * (ExecutionEngine::createTask schedules the arrival this many
+     * cycles out). Injects any NoC traffic the delivery generates.
+     */
+    virtual uint32_t taskSendCost(TileId src, TileId dst) = 0;
+
+    /**
+     * Cost of one conflict-checked memory access by @p core, after
+     * conflict resolution compared @p compared commit-queue timestamps.
+     * Called once per applied access, in event order — a stateful model
+     * (caches, directory) updates itself here. The functional effect
+     * (load/store, undo log, footprint registration) has already been
+     * applied by the engine.
+     */
+    virtual uint32_t accessCost(CoreId core, Addr addr, bool is_write,
+                                uint32_t compared) = 0;
+
+    /** Cost charged for an explicit ctx.compute(@p cycles) awaiter. */
+    virtual uint32_t computeCost(uint32_t cycles) = 0;
+
+    /** Cost of the enqueue instruction (child-task creation). */
+    virtual uint32_t enqueueCost() = 0;
+
+    /**
+     * Cost of the dequeue instruction (task dispatch onto a core).
+     * @p cq_occupancy is the dispatching tile's commit-queue occupancy
+     * — the engine's measure of how far execution has run ahead of the
+     * commit frontier. The timing backend charges the flat Table II
+     * cost; a collapsed-clock backend can use it as backpressure (see
+     * functional_backend.h).
+     */
+    virtual uint32_t dequeueCost(uint32_t cq_occupancy) = 0;
+
+    /** Cost of the finish instruction (task completion). */
+    virtual uint32_t finishCost() = 0;
+
+    // ---- Abort-path costs (called by the ConflictManager) --------------
+
+    /**
+     * Deliver the abort message for a task on @p victim_tile, caused by
+     * an event on @p cause_tile (injects its NoC traffic).
+     */
+    virtual void abortMessage(TileId cause_tile, TileId victim_tile) = 0;
+
+    /**
+     * Cost of rolling back one speculatively-written line of an aborted
+     * task that ran on @p core: the rollback write goes back through
+     * the memory system and its traffic is abort traffic. The summed
+     * cost lands in the abort cycle bucket.
+     */
+    virtual uint32_t rollbackLineCost(CoreId core, LineAddr line) = 0;
+};
+
+} // namespace ssim

@@ -1,0 +1,11 @@
+#include "swarm/backends/functional_backend.h"
+
+namespace ssim {
+
+std::unique_ptr<EngineBackend>
+makeFunctionalBackend(const SimConfig&, Mesh&, MemorySystem&)
+{
+    return std::make_unique<FunctionalBackend>();
+}
+
+} // namespace ssim

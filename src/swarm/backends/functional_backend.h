@@ -1,0 +1,95 @@
+/**
+ * @file
+ * FunctionalBackend: fast functional-only simulation behind the
+ * EngineBackend seam.
+ *
+ * Collapses the timing model: no cache or directory state, no
+ * per-access latency computation, and none of the engine- or
+ * abort-path NoC traffic (the commit protocol's GVT messages and the
+ * capacity manager's spill descriptors are subsystem-level modeling
+ * outside the backend seam and still inject — the only flits a
+ * functional run reports). Every engine effect resolves in one
+ * bounded pseudo-cycle, so simulated time advances strictly (no
+ * unbounded same-cycle event chains) but carries no microarchitectural
+ * meaning — event order, and with it conflict resolution and commit
+ * order, is keyed purely on the deterministic (cycle, seq) order in
+ * which effects are issued.
+ *
+ * Everything that makes execution *correct* still runs: tasks execute
+ * speculatively, accesses are conflict-checked against the line table
+ * and undo-logged, later conflicting tasks abort and re-execute, and
+ * commits retire in (timestamp, uid) order through the same GVT
+ * protocol. Functional results are therefore identical to the timing
+ * backend's (tests/test_backends.cc checks per-app result digests),
+ * and abort/commit counts are deterministic for a given (config, seed,
+ * input) — they just don't model a real machine's timing.
+ *
+ * Use it to debug applications, to smoke-test every app in CI, and as
+ * a fast reference run; use the timing backend for any figure or
+ * performance claim. See docs/backends.md.
+ */
+#pragma once
+
+#include <memory>
+
+#include "swarm/backends/engine_backend.h"
+
+namespace ssim {
+
+class MemorySystem;
+class Mesh;
+struct SimConfig;
+
+class FunctionalBackend : public EngineBackend
+{
+  public:
+    const char* name() const override { return "functional"; }
+
+    /// Task bodies run straight through their single resume event: no
+    /// per-access latency events, no coroutine suspensions — the bulk
+    /// of the backend's wall-clock win (bench/micro_backend).
+    bool inlineEffects() const override { return true; }
+
+    /// The bounded pseudo-cycle every effect resolves in. Nonzero so
+    /// every engine step advances simulated time: re-execution after an
+    /// abort always lands at a strictly later cycle, which (with eager
+    /// earliest-wins conflict resolution) rules out same-cycle abort
+    /// livelock by the same argument the timing model uses.
+    static constexpr uint32_t kStepCost = 1;
+
+    uint32_t taskSendCost(TileId, TileId) override { return kStepCost; }
+    uint32_t
+    accessCost(CoreId, Addr, bool, uint32_t) override
+    {
+        return kStepCost;
+    }
+    uint32_t computeCost(uint32_t) override { return kStepCost; }
+    uint32_t enqueueCost() override { return kStepCost; }
+    // The commit-queue occupancy signal is deliberately unused: pacing
+    // dispatch by occupancy was measured to cut the abort storms of
+    // accumulator-heavy apps (kmeans, nocsim) but to slow the graph
+    // apps more than it saved — flat cost wins overall
+    // (bench/micro_backend). A derived backend can override this with
+    // occupancy-based pacing without touching the engine.
+    uint32_t dequeueCost(uint32_t) override { return kStepCost; }
+    uint32_t finishCost() override { return kStepCost; }
+
+    // Aborts still happen (speculation is real); only their modeled
+    // traffic and rollback latency are collapsed.
+    void abortMessage(TileId, TileId) override {}
+    uint32_t rollbackLineCost(CoreId, LineAddr) override
+    {
+        return kStepCost;
+    }
+};
+
+/**
+ * Registry factory (policies::registerBackend signature). The mesh and
+ * memory system go unused: the functional backend never touches the
+ * microarchitectural model.
+ */
+std::unique_ptr<EngineBackend> makeFunctionalBackend(const SimConfig& cfg,
+                                                     Mesh& mesh,
+                                                     MemorySystem& mem);
+
+} // namespace ssim

@@ -1,0 +1,47 @@
+#include "swarm/backends/timing_backend.h"
+
+namespace ssim {
+
+std::unique_ptr<EngineBackend>
+makeTimingBackend(const SimConfig& cfg, Mesh& mesh, MemorySystem& mem)
+{
+    return std::make_unique<TimingBackend>(cfg, mesh, mem);
+}
+
+uint32_t
+TimingBackend::taskSendCost(TileId src, TileId dst)
+{
+    uint32_t lat = mesh_.latency(src, dst);
+    mesh_.inject(src, dst, cfg_.taskDescFlits, TrafficClass::Task);
+    return lat;
+}
+
+uint32_t
+TimingBackend::accessCost(CoreId core, Addr addr, bool is_write,
+                          uint32_t compared)
+{
+    auto res = mem_.access(core, addr, is_write, TrafficClass::MemAcc);
+    uint32_t lat = res.latency;
+    if (res.leftTile && compared > 0) {
+        // Remote conflict checks: Bloom filter lookup + one cycle per
+        // timestamp compared in the commit queue (Table II).
+        lat += cfg_.conflictCheckCost + compared * cfg_.conflictPerCmpCost;
+    }
+    return lat;
+}
+
+void
+TimingBackend::abortMessage(TileId cause_tile, TileId victim_tile)
+{
+    mesh_.inject(cause_tile, victim_tile, cfg_.ctrlFlits,
+                 TrafficClass::Abort);
+}
+
+uint32_t
+TimingBackend::rollbackLineCost(CoreId core, LineAddr line)
+{
+    return mem_.access(core, line << lineBits, true, TrafficClass::Abort)
+        .latency;
+}
+
+} // namespace ssim

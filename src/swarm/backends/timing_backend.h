@@ -1,0 +1,59 @@
+/**
+ * @file
+ * TimingBackend: the paper's cycle-accurate cost model behind the
+ * EngineBackend seam.
+ *
+ * This is the pre-existing engine timing path extracted verbatim: task
+ * descriptors pay mesh hop latency and inject Task-class flits, memory
+ * accesses go through the three-level cache hierarchy and MESI
+ * directory (mem/memory_system.h) and pay Table II's remote
+ * conflict-check costs, and the Swarm instruction overheads come from
+ * SimConfig. Behavior is bit-identical to the pre-refactor engine — the
+ * golden digests in tests/test_determinism.cc prove it.
+ */
+#pragma once
+
+#include <memory>
+
+#include "swarm/backends/engine_backend.h"
+
+#include "mem/memory_system.h"
+#include "noc/mesh.h"
+#include "sim/config.h"
+
+namespace ssim {
+
+class TimingBackend : public EngineBackend
+{
+  public:
+    TimingBackend(const SimConfig& cfg, Mesh& mesh, MemorySystem& mem)
+        : cfg_(cfg), mesh_(mesh), mem_(mem)
+    {
+    }
+
+    const char* name() const override { return "timing"; }
+
+    uint32_t taskSendCost(TileId src, TileId dst) override;
+    uint32_t accessCost(CoreId core, Addr addr, bool is_write,
+                        uint32_t compared) override;
+
+    uint32_t computeCost(uint32_t cycles) override { return cycles; }
+    uint32_t enqueueCost() override { return cfg_.enqueueCost; }
+    uint32_t dequeueCost(uint32_t) override { return cfg_.dequeueCost; }
+    uint32_t finishCost() override { return cfg_.finishCost; }
+
+    void abortMessage(TileId cause_tile, TileId victim_tile) override;
+    uint32_t rollbackLineCost(CoreId core, LineAddr line) override;
+
+  private:
+    const SimConfig& cfg_;
+    Mesh& mesh_;
+    MemorySystem& mem_;
+};
+
+/** Registry factory (policies::registerBackend signature). */
+std::unique_ptr<EngineBackend> makeTimingBackend(const SimConfig& cfg,
+                                                 Mesh& mesh,
+                                                 MemorySystem& mem);
+
+} // namespace ssim

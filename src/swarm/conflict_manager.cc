@@ -4,18 +4,22 @@
 #include <unordered_map>
 
 #include "base/logging.h"
+#include "swarm/backends/engine_backend.h"
 #include "swarm/execution_engine.h"
 #include "swarm/task_unit.h"
 
 namespace ssim {
 
-ConflictManager::ConflictManager(const SimConfig& cfg, Mesh& mesh,
-                                 MemorySystem& mem, SimStats& stats,
+ConflictManager::ConflictManager(const SimConfig& cfg,
+                                 EngineBackend& backend, SimStats& stats,
                                  ExecutionEngine& engine)
-    : cfg_(cfg), mesh_(mesh), mem_(mem), stats_(stats), engine_(engine),
+    : cfg_(cfg), backend_(backend), stats_(stats), engine_(engine),
       lineTable_(cfg.numLineBanks())
 {
-    lineTable_.setLocking(cfg.hostThreads > 1);
+    // Inline-effects backends disable resume tags, so workers never
+    // touch the line table and the bank locks would be pure overhead.
+    lineTable_.setLocking(cfg.hostThreads > 1 &&
+                          !backend.inlineEffects());
 }
 
 void
@@ -159,23 +163,21 @@ ConflictManager::rollbackTask(Task* t, TileId cause_tile)
                    t->state == TaskState::Finished);
 
     // Abort message to the task's tile.
-    mesh_.inject(cause_tile, t->tile, cfg_.ctrlFlits, TrafficClass::Abort);
+    backend_.abortMessage(cause_tile, t->tile);
 
     uint64_t rollbackCycles = 0;
     if (hadRun) {
-        // Restore the undo log in reverse; rollback writes go through the
-        // memory hierarchy and their traffic is abort traffic.
+        // Restore the undo log in reverse; the rollback writes'
+        // modeled cost (memory hierarchy + abort traffic) comes from
+        // the backend.
         CoreId rbCore = t->runningOn != Task::kNoCore
                             ? t->runningOn
                             : cfg_.coreId(t->tile, 0);
         for (auto it = t->undo.rbegin(); it != t->undo.rend(); ++it)
             std::memcpy(reinterpret_cast<void*>(it->addr), &it->oldVal,
                         it->size);
-        for (LineAddr line : t->writeSet) {
-            auto res = mem_.access(rbCore, line << lineBits, true,
-                                   TrafficClass::Abort);
-            rollbackCycles += res.latency;
-        }
+        for (LineAddr line : t->writeSet)
+            rollbackCycles += backend_.rollbackLineCost(rbCore, line);
         stats_.tasksAborted++;
         stats_.coreCycles[size_t(CycleBucket::Abort)] +=
             t->execCycles + rollbackCycles;

@@ -18,26 +18,29 @@
  * and taken around each compound per-line operation; with the shipped
  * executor they are uncontended invariants, and they are the seam a
  * future concurrent conflict-check backend extends.
+ *
+ * The abort path's modeled costs (abort messages, rollback memory
+ * traffic) are priced by the EngineBackend — the functional backend
+ * collapses them while the abort/rollback semantics stay identical.
  */
 #pragma once
 
 #include <vector>
 
 #include "base/stats.h"
-#include "mem/memory_system.h"
-#include "noc/mesh.h"
 #include "sim/config.h"
 #include "swarm/spec.h"
 #include "swarm/task.h"
 
 namespace ssim {
 
+class EngineBackend;
 class ExecutionEngine;
 
 class ConflictManager
 {
   public:
-    ConflictManager(const SimConfig& cfg, Mesh& mesh, MemorySystem& mem,
+    ConflictManager(const SimConfig& cfg, EngineBackend& backend,
                     SimStats& stats, ExecutionEngine& engine);
 
     /**
@@ -68,8 +71,7 @@ class ConflictManager
     void requeueTask(Task* t);
 
     const SimConfig& cfg_;
-    Mesh& mesh_;
-    MemorySystem& mem_;
+    EngineBackend& backend_;
     SimStats& stats_;
     ExecutionEngine& engine_;
     LineTable lineTable_;

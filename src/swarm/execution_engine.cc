@@ -2,6 +2,7 @@
 
 #include "base/hash.h"
 #include "base/logging.h"
+#include "swarm/backends/engine_backend.h"
 #include "swarm/capacity_manager.h"
 #include "swarm/commit_controller.h"
 #include "swarm/conflict_manager.h"
@@ -9,11 +10,11 @@
 namespace ssim {
 
 ExecutionEngine::ExecutionEngine(const SimConfig& cfg, EventQueue& eq,
-                                 Mesh& mesh, MemorySystem& mem,
-                                 SimStats& stats, SpatialScheduler& sched,
-                                 Machine* machine)
-    : cfg_(cfg), eq_(eq), mesh_(mesh), mem_(mem), stats_(stats),
-      sched_(sched), machine_(machine)
+                                 EngineBackend& backend, SimStats& stats,
+                                 SpatialScheduler& sched, Machine* machine)
+    : cfg_(cfg), eq_(eq), backend_(backend), stats_(stats),
+      sched_(sched), machine_(machine),
+      inline_(backend.inlineEffects())
 {
     units_.reserve(cfg_.ntiles);
     for (TileId t = 0; t < cfg_.ntiles; t++)
@@ -116,8 +117,7 @@ ExecutionEngine::createTask(swarm::TaskFn fn, Timestamp ts,
     unit.unfinished.insert(t);
     unit.inFlight++;
 
-    uint32_t lat = mesh_.latency(src_tile, dst);
-    mesh_.inject(src_tile, dst, cfg_.taskDescFlits, TrafficClass::Task);
+    uint32_t lat = backend_.taskSendCost(src_tile, dst);
     uint64_t uid = t->uid, gen = t->generation;
     eq_.scheduleAfterOn(dst, lat,
                         [this, uid, gen] { arriveTask(uid, gen); });
@@ -204,14 +204,23 @@ ExecutionEngine::dispatchOn(TileId tile, uint32_t idx, Task* t)
     swarm::TaskCoro c = t->fn(t->ctx, t->ts, t->args.data());
     t->coro = c.handle;
 
-    t->execCycles += cfg_.dequeueCost;
-    scheduleResume(t, cfg_.dequeueCost);
+    uint32_t lat = backend_.dequeueCost(uint32_t(unit.commitQ.size()));
+    t->execCycles += lat;
+    scheduleResume(t, lat);
 }
 
 void
 ExecutionEngine::scheduleResume(Task* t, Cycle delta)
 {
     uint64_t uid = t->uid, gen = t->generation;
+    if (inline_) {
+        // Inline mode: bodies are not pre-resumable (they run whole at
+        // one event), so leave the event untagged and invisible to the
+        // parallel executor.
+        eq_.scheduleAfterOn(t->tile, delta,
+                            [this, uid, gen] { resumeCoro(uid, gen); });
+        return;
+    }
     eq_.scheduleResumeOn(t->tile, delta, uid, gen,
                          [this, uid, gen] { resumeCoro(uid, gen); });
 }
@@ -289,15 +298,19 @@ ExecutionEngine::applyPendingStep(Task* t)
                         s.aw ? &s.aw->rval : &dummy);
         break;
       }
-      case Task::PendingStep::Kind::Compute:
-        t->execCycles += s.cycles;
-        scheduleResume(t, s.cycles);
+      case Task::PendingStep::Kind::Compute: {
+        uint32_t lat = backend_.computeCost(s.cycles);
+        t->execCycles += lat;
+        scheduleResume(t, lat);
         break;
-      case Task::PendingStep::Kind::Enqueue:
+      }
+      case Task::PendingStep::Kind::Enqueue: {
         createTask(s.fn, s.ets, s.hint, s.eargs, s.enargs, t, t->tile);
-        t->execCycles += cfg_.enqueueCost;
-        scheduleResume(t, cfg_.enqueueCost);
+        uint32_t lat = backend_.enqueueCost();
+        t->execCycles += lat;
+        scheduleResume(t, lat);
         break;
+      }
       case Task::PendingStep::Kind::Finish:
         t->coro.destroy();
         t->coro = {};
@@ -311,7 +324,7 @@ ExecutionEngine::applyPendingStep(Task* t)
 void
 ExecutionEngine::finishTaskAttempt(Task* t)
 {
-    t->execCycles += cfg_.finishCost;
+    t->execCycles += backend_.finishCost();
     Core& core = cores_[t->runningOn];
     if (tryTakeCommitSlot(t))
         return;
@@ -438,10 +451,10 @@ ExecutionEngine::issueAccess(Task* t, swarm::MemAwaiter* aw)
                     &aw->rval);
 }
 
-void
-ExecutionEngine::issueAccessImpl(Task* t, Addr addr, uint32_t size,
-                                 bool is_write, uint64_t wval,
-                                 uint64_t* rval)
+uint32_t
+ExecutionEngine::applyAccessEffects(Task* t, Addr addr, uint32_t size,
+                                    bool is_write, uint64_t wval,
+                                    uint64_t* rval)
 {
     LineAddr line = lineOf(addr);
 
@@ -462,18 +475,60 @@ ExecutionEngine::issueAccessImpl(Task* t, Addr addr, uint32_t size,
     if (commit_->profiler())
         t->trace.push_back(((addr >> 3) << 1) | (is_write ? 1 : 0));
 
-    auto res =
-        mem_.access(t->runningOn, addr, is_write, TrafficClass::MemAcc);
-    uint32_t lat = res.latency;
-    if (res.leftTile && compared > 0) {
-        // Remote conflict checks: Bloom filter lookup + one cycle per
-        // timestamp compared in the commit queue (Table II).
-        lat += cfg_.conflictCheckCost + compared * cfg_.conflictPerCmpCost;
-    }
+    uint32_t lat =
+        backend_.accessCost(t->runningOn, addr, is_write, compared);
     stats_.conflictChecks += compared;
+    return lat;
+}
 
+void
+ExecutionEngine::issueAccessImpl(Task* t, Addr addr, uint32_t size,
+                                 bool is_write, uint64_t wval,
+                                 uint64_t* rval)
+{
+    uint32_t lat = applyAccessEffects(t, addr, size, is_write, wval, rval);
     t->execCycles += lat;
     scheduleResume(t, lat);
+}
+
+// ---- Inline-effects fast path (await_ready) ---------------------------------
+// Same effect bodies as the suspend path, applied synchronously: the
+// coroutine keeps running and the whole task body executes within its
+// one resume event. Record mode always declines — a recording worker
+// must capture, not apply.
+
+bool
+ExecutionEngine::tryInlineAccess(Task* t, swarm::MemAwaiter* aw)
+{
+    if (!inline_ || t->pending.recording)
+        return false;
+    ssim_assert(t->state == TaskState::Running);
+    ssim_assert((aw->addr & 7) + aw->size <= 8,
+                "accesses must not cross an 8-byte boundary");
+    t->execCycles += applyAccessEffects(t, aw->addr, aw->size, aw->isWrite,
+                                        aw->wval, &aw->rval);
+    return true;
+}
+
+bool
+ExecutionEngine::tryInlineCompute(Task* t, uint32_t cycles)
+{
+    if (!inline_ || t->pending.recording)
+        return false;
+    ssim_assert(t->state == TaskState::Running);
+    t->execCycles += backend_.computeCost(cycles);
+    return true;
+}
+
+bool
+ExecutionEngine::tryInlineEnqueue(Task* t, const swarm::EnqueueAwaiter& aw)
+{
+    if (!inline_ || t->pending.recording)
+        return false;
+    ssim_assert(t->state == TaskState::Running);
+    createTask(aw.fn, aw.ts, aw.hint, aw.args, aw.nargs, t, t->tile);
+    t->execCycles += backend_.enqueueCost();
+    return true;
 }
 
 void
@@ -487,8 +542,9 @@ ExecutionEngine::issueCompute(Task* t, uint32_t cycles)
         t->pending.steps.push_back(s);
         return;
     }
-    t->execCycles += cycles;
-    scheduleResume(t, cycles);
+    uint32_t lat = backend_.computeCost(cycles);
+    t->execCycles += lat;
+    scheduleResume(t, lat);
 }
 
 void
@@ -507,8 +563,9 @@ ExecutionEngine::issueEnqueue(Task* t, const swarm::EnqueueAwaiter& aw)
         return;
     }
     createTask(aw.fn, aw.ts, aw.hint, aw.args, aw.nargs, t, t->tile);
-    t->execCycles += cfg_.enqueueCost;
-    scheduleResume(t, cfg_.enqueueCost);
+    uint32_t lat = backend_.enqueueCost();
+    t->execCycles += lat;
+    scheduleResume(t, lat);
 }
 
 } // namespace ssim

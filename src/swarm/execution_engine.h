@@ -27,6 +27,15 @@
  * the apply side of those recordings inside resumeCoro() — runs on the
  * coordinator thread in exact event order. Resume events are tagged
  * (EventQueue::scheduleResumeOn) so the executor can find them.
+ *
+ * The engine never computes a latency itself: every cost — task
+ * descriptor delivery, memory access, compute charge, and the Swarm
+ * instruction overheads — comes from the EngineBackend it is wired to
+ * (swarm/backends/engine_backend.h). The cycle-accurate TimingBackend
+ * is the default; the FunctionalBackend collapses the timing model for
+ * fast functional runs. Backend calls happen only on the apply paths
+ * (coordinator thread, event order), never during record-mode
+ * pre-execution.
  */
 #pragma once
 
@@ -36,8 +45,6 @@
 
 #include "base/rng.h"
 #include "base/stats.h"
-#include "mem/memory_system.h"
-#include "noc/mesh.h"
 #include "sim/config.h"
 #include "sim/event_queue.h"
 #include "sim/parallel_executor.h"
@@ -50,6 +57,7 @@ namespace ssim {
 class CapacityManager;
 class CommitController;
 class ConflictManager;
+class EngineBackend;
 class Machine;
 
 class ExecutionEngine : public ParallelBackend
@@ -66,8 +74,8 @@ class ExecutionEngine : public ParallelBackend
         bool everDispatched = false;
     };
 
-    ExecutionEngine(const SimConfig& cfg, EventQueue& eq, Mesh& mesh,
-                    MemorySystem& mem, SimStats& stats,
+    ExecutionEngine(const SimConfig& cfg, EventQueue& eq,
+                    EngineBackend& backend, SimStats& stats,
                     SpatialScheduler& sched, Machine* machine);
     ~ExecutionEngine();
     ExecutionEngine(const ExecutionEngine&) = delete;
@@ -100,6 +108,15 @@ class ExecutionEngine : public ParallelBackend
     void issueAccess(Task* t, swarm::MemAwaiter* aw);
     void issueCompute(Task* t, uint32_t cycles);
     void issueEnqueue(Task* t, const swarm::EnqueueAwaiter& aw);
+
+    // Inline-effects fast path (awaiter await_ready): when the backend
+    // declares inlineEffects(), apply the effect synchronously — same
+    // bodies, no resume event — and keep the coroutine running. Return
+    // false (suspend path) when inline mode is off or the task is in
+    // record mode.
+    bool tryInlineAccess(Task* t, swarm::MemAwaiter* aw);
+    bool tryInlineCompute(Task* t, uint32_t cycles);
+    bool tryInlineEnqueue(Task* t, const swarm::EnqueueAwaiter& aw);
 
     /**
      * ParallelBackend: pre-execute (uid, gen)'s pure coroutine segments
@@ -144,11 +161,19 @@ class ExecutionEngine : public ParallelBackend
     /** The timing-model body of issueAccess (record mode bypasses it). */
     void issueAccessImpl(Task* t, Addr addr, uint32_t size, bool is_write,
                          uint64_t wval, uint64_t* rval);
+    /**
+     * The shared effect body of an applied access (conflict resolution,
+     * functional load/store + undo, footprint, backend cost); returns
+     * the access latency. issueAccessImpl schedules the resume with it;
+     * the inline path only accrues it.
+     */
+    uint32_t applyAccessEffects(Task* t, Addr addr, uint32_t size,
+                                bool is_write, uint64_t wval,
+                                uint64_t* rval);
 
     const SimConfig& cfg_;
     EventQueue& eq_;
-    Mesh& mesh_;
-    MemorySystem& mem_;
+    EngineBackend& backend_;
     SimStats& stats_;
     SpatialScheduler& sched_;
     Machine* machine_; ///< only for constructing TaskCtx (the public API)
@@ -156,6 +181,11 @@ class ExecutionEngine : public ParallelBackend
     ConflictManager* conflict_ = nullptr;
     CapacityManager* capacity_ = nullptr;
     CommitController* commit_ = nullptr;
+
+    /// Cached backend.inlineEffects(): awaiter effects apply inline
+    /// (await_ready) and resume events go untagged, so the parallel
+    /// executor never pre-resumes an inline-mode task.
+    const bool inline_;
 
     std::vector<TaskUnit> units_; ///< one per tile
     std::vector<Core> cores_;     ///< flat, coreId-indexed

@@ -8,16 +8,35 @@ namespace swarm {
 
 // ---- Awaiter entry points (declared in api.h) ------------------------------
 
+bool
+MemAwaiter::await_ready()
+{
+    return ctx->machine()->tryInlineAccess(ctx->task(), this);
+}
+
 void
 MemAwaiter::await_suspend(std::coroutine_handle<>)
 {
     ctx->machine()->issueAccess(ctx->task(), this);
 }
 
+bool
+ComputeAwaiter::await_ready()
+{
+    return cycles == 0 ||
+           ctx->machine()->tryInlineCompute(ctx->task(), cycles);
+}
+
 void
 ComputeAwaiter::await_suspend(std::coroutine_handle<>)
 {
     ctx->machine()->issueCompute(ctx->task(), cycles);
+}
+
+bool
+EnqueueAwaiter::await_ready()
+{
+    return ctx->machine()->tryInlineEnqueue(ctx->task(), *this);
 }
 
 void
@@ -49,9 +68,10 @@ Machine::Machine(const SimConfig& cfg)
     eq_.configureLanes(cfg_.ntiles);
     lb_ = policies::makeLoadBalancer(cfg_);
     sched_ = policies::makeScheduler(cfg_, rng_, lb_.get());
-    engine_ = std::make_unique<ExecutionEngine>(cfg_, eq_, mesh_, mem_,
+    backend_ = policies::makeBackend(cfg_, mesh_, mem_);
+    engine_ = std::make_unique<ExecutionEngine>(cfg_, eq_, *backend_,
                                                 stats_, *sched_, this);
-    conflict_ = std::make_unique<ConflictManager>(cfg_, mesh_, mem_, stats_,
+    conflict_ = std::make_unique<ConflictManager>(cfg_, *backend_, stats_,
                                                   *engine_);
     capacity_ = std::make_unique<CapacityManager>(cfg_, mesh_, stats_, rng_,
                                                   *engine_);

@@ -14,8 +14,10 @@
  *  - CapacityManager (swarm/capacity_manager.h): spill/unspill
  *    coalescers and work-stealing.
  *
- * Placement policy (the spatial scheduler) and the data-centric load
- * balancer are constructed through the policy registry
+ * Placement policy (the spatial scheduler), the data-centric load
+ * balancer, and the engine's cost model (the EngineBackend — the
+ * cycle-accurate "timing" model or the fast "functional" one; see
+ * docs/backends.md) are constructed through the policy registry
  * (swarm/policies.h). The Machine executes applications written against
  * swarm/api.h. It is fully deterministic for a given (config, seed,
  * initial task set) at ANY cfg.hostThreads: with hostThreads == 1 run()
@@ -34,6 +36,7 @@
 #include "noc/mesh.h"
 #include "sim/config.h"
 #include "sim/event_queue.h"
+#include "swarm/backends/engine_backend.h"
 #include "swarm/capacity_manager.h"
 #include "swarm/commit_controller.h"
 #include "swarm/conflict_manager.h"
@@ -94,6 +97,7 @@ class Machine
 
     // ---- Subsystem access (tools, white-box tests) --------------------------
     ExecutionEngine& engine() { return *engine_; }
+    EngineBackend& backend() { return *backend_; }
     ConflictManager& conflictManager() { return *conflict_; }
     CommitController& commitController() { return *commit_; }
     CapacityManager& capacityManager() { return *capacity_; }
@@ -110,6 +114,19 @@ class Machine
     void issueEnqueue(Task* t, const swarm::EnqueueAwaiter& aw)
     {
         engine_->issueEnqueue(t, aw);
+    }
+    // Inline-effects fast path (awaiter await_ready; false = suspend).
+    bool tryInlineAccess(Task* t, swarm::MemAwaiter* aw)
+    {
+        return engine_->tryInlineAccess(t, aw);
+    }
+    bool tryInlineCompute(Task* t, uint32_t cycles)
+    {
+        return engine_->tryInlineCompute(t, cycles);
+    }
+    bool tryInlineEnqueue(Task* t, const swarm::EnqueueAwaiter& aw)
+    {
+        return engine_->tryInlineEnqueue(t, aw);
     }
 
   private:
@@ -137,6 +154,8 @@ class Machine
     Rng rng_;
     std::unique_ptr<LoadBalancer> lb_;
     std::unique_ptr<SpatialScheduler> sched_;
+    /// Declared before engine_: the engine holds a reference to it.
+    std::unique_ptr<EngineBackend> backend_;
     std::unique_ptr<ExecutionEngine> engine_;
     std::unique_ptr<ConflictManager> conflict_;
     std::unique_ptr<CapacityManager> capacity_;

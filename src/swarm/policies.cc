@@ -4,6 +4,8 @@
 
 #include "base/hash.h"
 #include "base/logging.h"
+#include "swarm/backends/functional_backend.h"
+#include "swarm/backends/timing_backend.h"
 #include "swarm/load_balancer.h"
 #include "swarm/scheduler.h"
 
@@ -139,6 +141,37 @@ registry()
     return r;
 }
 
+/// Engine-backend registry: open-ended (custom backends append), with
+/// the two built-ins pre-seeded. Selection is by name only — there is
+/// no enum, so plugging in a backend never touches SimConfig.
+struct BackendEntry
+{
+    const char* name;
+    policies::BackendFactory factory;
+};
+
+std::vector<BackendEntry>&
+backendRegistry()
+{
+    static std::vector<BackendEntry> r = {
+        {"timing", &makeTimingBackend},
+        {"functional", &makeFunctionalBackend},
+    };
+    return r;
+}
+
+std::string
+backendNameList()
+{
+    std::string s;
+    for (const auto& e : backendRegistry()) {
+        if (!s.empty())
+            s += ", ";
+        s += e.name;
+    }
+    return s;
+}
+
 } // namespace
 
 namespace policies {
@@ -177,6 +210,57 @@ schedulerNames()
     return names;
 }
 
+void
+registerBackend(const char* name, BackendFactory f)
+{
+    ssim_assert(name && f);
+    for (auto& e : backendRegistry()) {
+        if (std::string(e.name) == name) {
+            e.factory = f;
+            return;
+        }
+    }
+    backendRegistry().push_back({name, f});
+}
+
+std::unique_ptr<EngineBackend>
+makeBackend(const SimConfig& cfg, Mesh& mesh, MemorySystem& mem)
+{
+    requireKnownBackend(cfg.engineBackend, "cfg.engineBackend");
+    for (const auto& e : backendRegistry())
+        if (cfg.engineBackend == e.name)
+            return e.factory(cfg, mesh, mem);
+    panic("unreachable: '%s' validated but not found",
+          cfg.engineBackend.c_str());
+}
+
+void
+requireKnownBackend(const std::string& name, const char* source)
+{
+    if (!knownBackend(name))
+        fatal("unknown engine backend '%s' (from %s; registered: %s)",
+              name.c_str(), source, backendNameList().c_str());
+}
+
+std::vector<std::string>
+backendNames()
+{
+    std::vector<std::string> names;
+    names.reserve(backendRegistry().size());
+    for (const auto& e : backendRegistry())
+        names.push_back(e.name);
+    return names;
+}
+
+bool
+knownBackend(const std::string& name)
+{
+    for (const auto& e : backendRegistry())
+        if (name == e.name)
+            return true;
+    return false;
+}
+
 bool
 set(SimConfig& cfg, const std::string& key, const std::string& value)
 {
@@ -205,6 +289,12 @@ set(SimConfig& cfg, const std::string& key, const std::string& value)
             cfg.serializeSameHint = false;
         else
             return false;
+        return true;
+    }
+    if (key == "backend") {
+        if (!knownBackend(value))
+            return false;
+        cfg.engineBackend = value;
         return true;
     }
     return false;
@@ -257,6 +347,10 @@ describe(const SimConfig& cfg)
         s += std::string(",lb-signal=") + kSignalNames[size_t(cfg.lbSignal)];
     s += ",serialize=";
     s += cfg.serializeSameHint ? "on" : "off";
+    // The default backend is implicit so pre-existing labels (and the
+    // golden expectations built on them) stay unchanged.
+    if (cfg.engineBackend != "timing")
+        s += ",backend=" + cfg.engineBackend;
     return s;
 }
 

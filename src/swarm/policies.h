@@ -14,6 +14,12 @@
  *   steal-choice=earliest|random|latest
  *   lb-signal=committed|idle
  *   serialize=on|off
+ *   backend=timing|functional
+ *
+ * The registry also constructs the ExecutionEngine's cost model (the
+ * EngineBackend, swarm/backends/engine_backend.h) by name, and custom
+ * backends can be plugged in with registerBackend. See
+ * docs/backends.md.
  *
  * Setting `sched` also applies the scheduler's default for same-hint
  * dispatch serialization (on for hints/lbhints), matching
@@ -32,7 +38,10 @@
 
 namespace ssim {
 
+class EngineBackend;
 class LoadBalancer;
+class MemorySystem;
+class Mesh;
 class SpatialScheduler;
 
 namespace policies {
@@ -62,6 +71,43 @@ std::unique_ptr<LoadBalancer> makeLoadBalancer(const SimConfig& cfg);
 
 /** Registered scheduler names, in SchedulerType order. */
 std::vector<std::string> schedulerNames();
+
+// ---- Engine backends (swarm/backends/engine_backend.h) -----------------
+
+/**
+ * Factory for an engine backend. @p mesh and @p mem are the machine's
+ * NoC and cache hierarchy; a backend that collapses the timing model
+ * (e.g. "functional") simply ignores them.
+ */
+using BackendFactory = std::unique_ptr<EngineBackend> (*)(
+    const SimConfig&, Mesh&, MemorySystem&);
+
+/**
+ * Register (or override, by name) an engine backend. The name must
+ * outlive the process (use a literal). Built-ins: "timing",
+ * "functional".
+ */
+void registerBackend(const char* name, BackendFactory f);
+
+/**
+ * Construct the backend named by cfg.engineBackend; fatals, listing
+ * every registered backend, on an unknown name.
+ */
+std::unique_ptr<EngineBackend> makeBackend(const SimConfig& cfg, Mesh& mesh,
+                                           MemorySystem& mem);
+
+/** Registered backend names, in registration order. */
+std::vector<std::string> backendNames();
+
+/** True if @p name is a registered engine backend. */
+bool knownBackend(const std::string& name);
+
+/**
+ * Fatal — naming @p source (a flag, env var, or config field) and
+ * listing every registered backend — unless @p name is registered.
+ * The single definition of the unknown-backend error.
+ */
+void requireKnownBackend(const std::string& name, const char* source);
 
 /**
  * Set one policy knob by name; returns false (and leaves cfg untouched)

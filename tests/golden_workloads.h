@@ -1,0 +1,197 @@
+/**
+ * @file
+ * The golden-determinism workload harness, shared by
+ * tests/test_determinism.cc and tests/test_backends.cc.
+ *
+ * The simulator's timing depends on data addresses (cache indexing,
+ * hint hashes), so all workload state lives in an arena mmapped at a
+ * fixed address; digests are then stable across processes and builds.
+ * Set SSIM_PRINT_DIGESTS=1 to print current digests when updating
+ * goldens.
+ */
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <sys/mman.h>
+
+#include "swarm/machine.h"
+
+namespace ssim::golden {
+
+constexpr uintptr_t kArenaAddr = 0x200000000000ull;
+constexpr size_t kArenaSize = 1ull << 20;
+
+// ThreadSanitizer owns large fixed regions of the address space
+// (including kArenaAddr); asking for a fixed mapping there trips its
+// mmap interceptor. The double-run and cross-thread-count tests work at
+// any address; only the golden-digest tests skip without a fixed arena.
+#if defined(__SANITIZE_THREAD__)
+#define SSIM_TSAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SSIM_TSAN_BUILD 1
+#endif
+#endif
+
+inline void*
+arena()
+{
+    static void* mem = [] {
+        void* p = MAP_FAILED;
+#if defined(MAP_FIXED_NOREPLACE) && !defined(SSIM_TSAN_BUILD)
+        p = mmap(reinterpret_cast<void*>(kArenaAddr), kArenaSize,
+                 PROT_READ | PROT_WRITE,
+                 MAP_PRIVATE | MAP_ANONYMOUS | MAP_FIXED_NOREPLACE, -1, 0);
+#endif
+        // No fixed mapping available (platform without
+        // MAP_FIXED_NOREPLACE, or the address is taken): the double-run
+        // test works at any address; only the golden test skips.
+        if (p == MAP_FAILED)
+            p = mmap(nullptr, kArenaSize, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+        return p == MAP_FAILED ? nullptr : p;
+    }();
+    if (mem)
+        std::memset(mem, 0, kArenaSize);
+    return mem;
+}
+
+inline bool
+arenaIsFixed()
+{
+    void* p = arena();
+    return p == reinterpret_cast<void*>(kArenaAddr);
+}
+
+struct WorkState
+{
+    uint64_t counter = 0;
+    uint64_t order[64] = {};
+    uint64_t idx = 0;
+    alignas(64) uint64_t cells[16] = {};
+};
+
+inline swarm::TaskCoro
+incOrdered(swarm::TaskCtx& ctx, swarm::Timestamp ts, const uint64_t* args)
+{
+    auto* st = swarm::argPtr<WorkState>(args[0]);
+    uint64_t v = co_await ctx.read(&st->counter);
+    co_await ctx.write(&st->counter, v + 1);
+    uint64_t i = co_await ctx.read(&st->idx);
+    co_await ctx.write(&st->order[i % 64], ts);
+    co_await ctx.write(&st->idx, i + 1);
+}
+
+inline swarm::TaskCoro
+spawner(swarm::TaskCtx& ctx, swarm::Timestamp ts, const uint64_t* args)
+{
+    auto* st = swarm::argPtr<WorkState>(args[0]);
+    uint64_t n = args[1];
+    for (uint64_t i = 0; i < n; i++)
+        co_await ctx.enqueue(incOrdered, ts + 1 + i, swarm::Hint(i % 8),
+                             st);
+}
+
+inline swarm::TaskCoro
+rmwCells(swarm::TaskCtx& ctx, swarm::Timestamp ts, const uint64_t* args)
+{
+    auto* st = swarm::argPtr<WorkState>(args[0]);
+    uint64_t a = (ts * 7) % 16, b = (ts * 13 + 5) % 16;
+    uint64_t va = co_await ctx.read(&st->cells[a]);
+    uint64_t vb = co_await ctx.read(&st->cells[b]);
+    co_await ctx.compute(uint32_t(10 + ts % 23));
+    co_await ctx.write(&st->cells[a], va + vb + ts);
+}
+
+inline swarm::TaskCoro
+tiny(swarm::TaskCtx& ctx, swarm::Timestamp, const uint64_t* args)
+{
+    auto* st = swarm::argPtr<WorkState>(args[0]);
+    uint64_t v = co_await ctx.read(&st->counter);
+    co_await ctx.write(&st->counter, v + 1);
+}
+
+enum class Workload { Spawn, Contend, Spill };
+
+/**
+ * Run one golden workload; returns the stats digest (base/stats.cc's
+ * statsDigest — the same fields the parallel-host bench gates on).
+ * @p backend selects the engine backend by registry name.
+ */
+inline uint64_t
+runWorkload(Workload w, SchedulerType sched, uint32_t host_threads = 1,
+            const char* backend = "timing")
+{
+    auto* st = new (arena()) WorkState();
+    SimConfig cfg;
+    switch (w) {
+      case Workload::Spawn:
+        cfg = SimConfig::withCores(16, sched, 7);
+        break;
+      case Workload::Contend:
+        cfg = SimConfig::withCores(16, sched, 3);
+        break;
+      case Workload::Spill:
+        cfg = SimConfig::withCores(1, sched, 1);
+        break;
+    }
+    cfg.hostThreads = host_threads;
+    cfg.engineBackend = backend;
+    Machine m(cfg);
+    switch (w) {
+      case Workload::Spawn:
+        m.enqueueInitial(spawner, 0, swarm::Hint(0), st, uint64_t(48));
+        break;
+      case Workload::Contend:
+        for (uint64_t i = 0; i < 96; i++)
+            m.enqueueInitial(rmwCells, i / 3, swarm::Hint(i % 5), st);
+        break;
+      case Workload::Spill:
+        for (uint64_t i = 0; i < 400; i++)
+            m.enqueueInitial(tiny, i, swarm::Hint(i % 32), st);
+        break;
+    }
+    m.run();
+    EXPECT_EQ(m.liveTasks(), 0u);
+    return statsDigest(m.stats());
+}
+
+struct Golden
+{
+    Workload w;
+    SchedulerType sched;
+    const char* name;
+    uint64_t digest;
+};
+
+// Captured from the pre-refactor monolithic Machine; the layered
+// pipeline — and, since the EngineBackend split, the extracted
+// TimingBackend — must reproduce these exactly (bit-identical
+// behavior).
+inline const Golden kGoldens[] = {
+    {Workload::Spawn, SchedulerType::Random, "spawn/random",
+     0x5861322e76b6c8e6ull},
+    {Workload::Spawn, SchedulerType::Stealing, "spawn/stealing",
+     0x5941d690a128d563ull},
+    {Workload::Spawn, SchedulerType::Hints, "spawn/hints",
+     0xe67a2a3fe5a48a7eull},
+    {Workload::Spawn, SchedulerType::LBHints, "spawn/lbhints",
+     0xe48fa1397bb87200ull},
+    {Workload::Contend, SchedulerType::Random, "contend/random",
+     0x077faf686dd90017ull},
+    {Workload::Contend, SchedulerType::Stealing, "contend/stealing",
+     0x5288b8d0856d9446ull},
+    {Workload::Contend, SchedulerType::Hints, "contend/hints",
+     0xda60c262b413d935ull},
+    {Workload::Contend, SchedulerType::LBHints, "contend/lbhints",
+     0xba366eeafc05d1a9ull},
+    {Workload::Spill, SchedulerType::Hints, "spill/hints",
+     0x57cd2b15cf96cf09ull},
+    {Workload::Spill, SchedulerType::Stealing, "spill/stealing",
+     0x57cd2b15cf96cf09ull},
+};
+
+} // namespace ssim::golden

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * EngineBackend tests (docs/backends.md is the prose contract):
+ *
+ *  - The extracted TimingBackend reproduces the pre-refactor golden
+ *    digests bit-identically, serial and at any host thread count.
+ *  - The FunctionalBackend is deterministic (its own digests are
+ *    run-to-run and host-thread-count invariant) and computes the same
+ *    functional results as the timing backend on every registered app
+ *    (per-app result digests).
+ *  - Backend selection by name: registry surfaces, policy-spec key,
+ *    and the clear-error path for unknown names.
+ */
+#include <gtest/gtest.h>
+
+#include "apps/app.h"
+#include "golden_workloads.h"
+#include "swarm/policies.h"
+
+using namespace ssim;
+using namespace ssim::golden;
+
+// ---- (a) Timing backend: bit-identical to the pre-refactor goldens ---------
+
+TEST(Backends, TimingBackendReproducesGoldenDigests)
+{
+    if (!arenaIsFixed())
+        GTEST_SKIP() << "fixed-address arena unavailable; digests are "
+                        "address-dependent";
+    for (const Golden& g : kGoldens)
+        for (uint32_t threads : {1u, 2u, 8u})
+            EXPECT_EQ(runWorkload(g.w, g.sched, threads, "timing"),
+                      g.digest)
+                << g.name << " @ hostThreads=" << threads;
+}
+
+// ---- Functional backend: deterministic, host-thread invariant --------------
+
+TEST(Backends, FunctionalBackendIsDeterministic)
+{
+    ASSERT_NE(arena(), nullptr);
+    for (const Golden& g : kGoldens) {
+        uint64_t first = runWorkload(g.w, g.sched, 1, "functional");
+        uint64_t second = runWorkload(g.w, g.sched, 1, "functional");
+        EXPECT_EQ(first, second) << g.name;
+        // The record/apply machinery is backend-independent: parallel
+        // host mode must be invisible under the functional backend too.
+        for (uint32_t threads : {2u, 8u}) {
+            EXPECT_EQ(first, runWorkload(g.w, g.sched, threads,
+                                         "functional"))
+                << g.name << " @ hostThreads=" << threads;
+        }
+    }
+}
+
+// ---- (b) Functional results match the timing backend on every app ----------
+
+TEST(Backends, FunctionalMatchesTimingAppOutputs)
+{
+    for (const auto& name : apps::appNames()) {
+        auto app = apps::makeApp(name);
+        apps::AppParams params;
+        params.preset = apps::Preset::Tiny;
+        app->setup(params);
+
+        auto runWith = [&](const char* backend) {
+            app->reset();
+            SimConfig cfg = SimConfig::withCores(16, SchedulerType::Hints);
+            cfg.engineBackend = backend;
+            Machine m(cfg);
+            app->enqueueInitial(m);
+            m.run();
+            EXPECT_TRUE(app->validate()) << name << " under " << backend;
+            EXPECT_GT(m.stats().tasksCommitted, 0u) << name;
+            return app->resultDigest();
+        };
+
+        uint64_t timing = runWith("timing");
+        uint64_t functional = runWith("functional");
+        EXPECT_EQ(timing, functional)
+            << name << ": functional backend diverged from timing";
+    }
+}
+
+// ---- (c) Unknown backend names fail clearly --------------------------------
+
+TEST(BackendsDeath, UnknownBackendNameListsRegisteredOnes)
+{
+    SimConfig cfg = SimConfig::withCores(4);
+    cfg.engineBackend = "warp-speed";
+    EXPECT_EXIT({ Machine m(cfg); }, testing::ExitedWithCode(1),
+                "unknown engine backend 'warp-speed'.*timing.*functional");
+}
+
+// ---- Registry and policy-spec surfaces -------------------------------------
+
+TEST(Backends, RegistrySurfacesAndPolicyKey)
+{
+    auto names = policies::backendNames();
+    ASSERT_GE(names.size(), 2u);
+    EXPECT_EQ(names[0], "timing");
+    EXPECT_EQ(names[1], "functional");
+    EXPECT_TRUE(policies::knownBackend("timing"));
+    EXPECT_TRUE(policies::knownBackend("functional"));
+    EXPECT_FALSE(policies::knownBackend("warp-speed"));
+
+    SimConfig cfg;
+    EXPECT_TRUE(policies::set(cfg, "backend", "functional"));
+    EXPECT_EQ(cfg.engineBackend, "functional");
+    EXPECT_FALSE(policies::set(cfg, "backend", "warp-speed"));
+    EXPECT_EQ(cfg.engineBackend, "functional"); // untouched on failure
+
+    // describe() round-trips through apply(); the default backend stays
+    // implicit so existing labels don't change.
+    EXPECT_NE(policies::describe(cfg).find("backend=functional"),
+              std::string::npos);
+    cfg.engineBackend = "timing";
+    EXPECT_EQ(policies::describe(cfg).find("backend="), std::string::npos);
+    policies::apply(cfg, "sched=hints,backend=functional");
+    EXPECT_EQ(cfg.engineBackend, "functional");
+}
+
+TEST(Backends, MachineExposesSelectedBackend)
+{
+    SimConfig cfg = SimConfig::withCores(4);
+    cfg.engineBackend = "functional";
+    Machine m(cfg);
+    EXPECT_STREQ(m.backend().name(), "functional");
+}
