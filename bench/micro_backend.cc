@@ -20,8 +20,10 @@
  *
  * Flags: --smoke (CI-sized run at the tiny preset), --app=name (one
  * app only), --backend=name (run only that backend — the CI
- * functional smoke lane), --host-threads=N / --policy=spec
- * (harness/cli.h overrides).
+ * functional smoke lane), --host-threads=N / --conc-conflicts=on|off /
+ * --policy=spec (harness/cli.h overrides — the conc-conflicts pairing
+ * is the CI TSan smoke lane), --json=FILE (machine-readable results,
+ * docs/benchmarks.md).
  */
 #include <chrono>
 #include <cstdio>
@@ -30,6 +32,7 @@
 #include "apps/app.h"
 #include "base/logging.h"
 #include "harness/cli.h"
+#include "harness/report.h"
 #include "swarm/machine.h"
 
 namespace {
@@ -97,6 +100,10 @@ main(int argc, char** argv)
     }
 
     const char* only = harness::flagValue(argc, argv, "--app");
+    harness::BenchJson json("micro_backend");
+    json.meta("smoke", smoke);
+    if (onlyBackend)
+        json.meta("backend", onlyBackend);
     int failures = 0;
     for (const auto& name : apps::appNames()) {
         if (only && name != only)
@@ -109,6 +116,7 @@ main(int argc, char** argv)
 
         SimConfig cfg = SimConfig::withCores(256, SchedulerType::Hints, 42);
         harness::applyHostThreads(cfg, argc, argv);
+        harness::applyConcConflicts(cfg, argc, argv);
         harness::applyPolicy(cfg, argc, argv);
 
         // cycles/committed/aborted(conflict+displace+gridlock)
@@ -130,6 +138,14 @@ main(int argc, char** argv)
             fmtRow(r, rb, sizeof(rb));
             std::printf("%-8s %10.1f   %-24s %s\n", name.c_str(), r.ms,
                         rb, r.valid ? "valid" : "INVALID");
+            json.beginRow();
+            json.val("app", name);
+            json.val("backend", onlyBackend);
+            json.val("ms", r.ms);
+            json.val("sim_cycles", r.cycles);
+            json.val("committed", r.committed);
+            json.val("aborted", r.aborted);
+            json.val("valid", r.valid);
             continue;
         }
 
@@ -141,6 +157,18 @@ main(int argc, char** argv)
         if (!ok)
             failures++;
 
+        json.beginRow();
+        json.val("app", name);
+        json.val("timing_ms", t.ms);
+        json.val("functional_ms", f.ms);
+        json.val("speedup", t.ms / f.ms);
+        json.val("timing_cycles", t.cycles);
+        json.val("functional_cycles", f.cycles);
+        json.val("timing_aborted", t.aborted);
+        json.val("functional_aborted", f.aborted);
+        json.val("digest_ok", digestOk);
+        json.val("valid", t.valid && f.valid);
+
         char tb[64], fb[64];
         fmtRow(t, tb, sizeof(tb));
         fmtRow(f, fb, sizeof(fb));
@@ -150,6 +178,9 @@ main(int argc, char** argv)
                     t.valid ? "" : ", timing INVALID",
                     f.valid ? "" : ", functional INVALID");
     }
+
+    if (!json.finish(argc, argv, failures == 0))
+        failures++;
 
     if (failures) {
         std::printf("\nFAIL: %d app(s) failed validation or diverged "

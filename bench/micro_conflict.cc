@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Concurrent conflict-check microbenchmark: coordinator-only checks vs
+ * worker-side bank probes (cfg.concurrentConflicts) across line-table
+ * bank counts, on a conflict-heavy 64-tile (256-core) workload.
+ *
+ * Tasks hammer a small shared array with read-modify-write chains, so
+ * every access's conflict check scans real reader/writer lists and the
+ * abort cascade fires regularly — the probe/resolve split's worst and
+ * best case at once: deep scans are worth offloading, while every
+ * registration bumps its bank's op-sequence and invalidates in-flight
+ * probes. Sweeping `lineTableBanks` shows the data-centric claim
+ * directly: more banks → fewer invalidations per probe (higher hit
+ * rate) and wider concurrency.
+ *
+ * Two gates are hard failures:
+ *  - every concurrent run's stats digest must equal the serial run's
+ *    (thread-count and probe invisibility — the same contract the
+ *    golden tests pin), and
+ *  - with concurrent checks on, worker probes must actually run
+ *    (conflictPhases > 0) when host threads > 1.
+ *
+ * Wall-clock speedup depends on the host's core count and is reported,
+ * not asserted (a single-core runner time-shares everything).
+ *
+ * Flags: --smoke (CI-sized run), --host-threads=N (default 8),
+ * --json=FILE (machine-readable results, docs/benchmarks.md schema).
+ */
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "base/logging.h"
+#include "harness/cli.h"
+#include "harness/report.h"
+#include "swarm/machine.h"
+
+namespace {
+
+using namespace ssim;
+
+constexpr uint32_t kCells = 256; ///< shared RMW targets (32 cache lines)
+struct BenchState
+{
+    alignas(64) uint64_t cells[kCells];
+};
+BenchState g_state;
+
+// A read-read-compute-write chain over pseudo-randomly chosen shared
+// cells: multi-line footprints, frequent cross-task conflicts.
+swarm::TaskCoro
+rmwTask(swarm::TaskCtx& ctx, swarm::Timestamp ts, const uint64_t* args)
+{
+    auto* st = swarm::argPtr<BenchState>(args[0]);
+    uint64_t a = (ts * 7) % kCells, b = (ts * 13 + 5) % kCells;
+    uint64_t va = co_await ctx.read(&st->cells[a]);
+    uint64_t vb = co_await ctx.read(&st->cells[b]);
+    co_await ctx.compute(uint32_t(8 + ts % 17));
+    co_await ctx.write(&st->cells[a], va + vb + ts);
+}
+
+struct RunOut
+{
+    double ms = 0;
+    uint64_t digest = 0;
+    SimStats stats;
+    Machine::HostExecStats host;
+};
+
+RunOut
+runOne(uint32_t ntasks, uint32_t banks, uint32_t host_threads, bool conc)
+{
+    std::memset(g_state.cells, 0, sizeof(g_state.cells));
+    SimConfig cfg = SimConfig::withCores(256, SchedulerType::Hints, 42);
+    cfg.lineTableBanks = banks;
+    cfg.hostThreads = host_threads;
+    cfg.concurrentConflicts = conc;
+    Machine m(cfg);
+    for (uint64_t i = 0; i < ntasks; i++)
+        m.enqueueInitial(rmwTask, i / 4, swarm::Hint(i % 64), &g_state);
+    auto t0 = std::chrono::steady_clock::now();
+    m.run();
+    auto t1 = std::chrono::steady_clock::now();
+    RunOut out;
+    out.ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    out.digest = statsDigest(m.stats());
+    out.stats = m.stats();
+    out.host = m.hostExecStats();
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool smoke = harness::hasFlag(argc, argv, "--smoke");
+
+    uint32_t threads = 8;
+    {
+        SimConfig flagCfg;
+        flagCfg.hostThreads = 0; // sentinel: detect an explicit setting
+        harness::applyHostThreads(flagCfg, argc, argv);
+        if (flagCfg.hostThreads >= 1)
+            threads = flagCfg.hostThreads;
+    }
+    uint32_t ntasks = smoke ? 3072 : 12288;
+
+    harness::banner(
+        "micro_conflict: coordinator-only vs concurrent conflict checks",
+        "contended RMW tasks on 64 tiles / 256 cores; digest equality "
+        "with serial is the hard gate");
+    std::printf("%u tasks, %u host threads%s\n", ntasks, threads,
+                smoke ? " [smoke]" : "");
+
+    harness::Table table({"banks", "serial ms", "conc ms", "speedup",
+                          "phases", "probes", "hit/stale/cold",
+                          "contended", "scrubbed", "digest"});
+    harness::BenchJson json("micro_conflict");
+    json.meta("smoke", smoke);
+    json.meta("tasks", uint64_t(ntasks));
+    json.meta("host_threads", uint64_t(threads));
+
+    int failures = 0;
+    for (uint32_t banks : {1u, 4u, 16u, 64u}) {
+        RunOut serial = runOne(ntasks, banks, 1, false);
+        RunOut conc = runOne(ntasks, banks, threads, true);
+
+        bool digestOk = conc.digest == serial.digest;
+        // The machinery must actually engage when it can (threads > 1).
+        bool engaged = threads == 1 || conc.host.conflictPhases > 0;
+        if (!digestOk || !engaged)
+            failures++;
+
+        char hsc[64];
+        std::snprintf(hsc, sizeof(hsc), "%llu/%llu/%llu",
+                      (unsigned long long)conc.stats.concProbeHits,
+                      (unsigned long long)conc.stats.concProbeStale,
+                      (unsigned long long)conc.stats.concProbeCold);
+        table.addRow(
+            {std::to_string(banks), harness::fmt(serial.ms, 1),
+             harness::fmt(conc.ms, 1),
+             harness::fmt(serial.ms / conc.ms, 2) + "x",
+             harness::fmtInt(conc.host.conflictPhases),
+             harness::fmtInt(conc.stats.concWorkerProbes), hsc,
+             harness::fmtInt(conc.stats.bankLockContended),
+             harness::fmtInt(conc.stats.lineEntriesScrubbed),
+             digestOk ? (engaged ? "identical" : "IDLE") : "MISMATCH"});
+
+        json.beginRow();
+        json.val("banks", uint64_t(banks));
+        json.val("serial_ms", serial.ms);
+        json.val("conc_ms", conc.ms);
+        json.val("speedup", serial.ms / conc.ms);
+        json.val("conflict_phases", conc.host.conflictPhases);
+        json.val("worker_probes", conc.stats.concWorkerProbes);
+        json.val("probe_hits", conc.stats.concProbeHits);
+        json.val("probe_stale", conc.stats.concProbeStale);
+        json.val("probe_cold", conc.stats.concProbeCold);
+        json.val("lock_contended", conc.stats.bankLockContended);
+        json.val("scrubbed", conc.stats.lineEntriesScrubbed);
+        json.val("sim_cycles", conc.stats.cycles);
+        json.val("aborts_conflict", conc.stats.abortsConflict);
+        json.val("digest_ok", digestOk);
+        json.val("engaged", engaged);
+    }
+    table.print();
+    table.writeCsv("micro_conflict");
+    if (!json.finish(argc, argv, failures == 0))
+        failures++;
+
+    if (failures) {
+        std::printf("\nFAIL: %d bank configuration(s) diverged from "
+                    "serial stats or never engaged\n",
+                    failures);
+        return 1;
+    }
+    std::printf("\nall bank counts bit-identical to serial with "
+                "concurrent checks engaged\n");
+    return 0;
+}

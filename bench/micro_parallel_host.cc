@@ -21,7 +21,8 @@
  * is the executor's core contract.
  *
  * Flags: --smoke (CI-sized run), --host-threads=N (upper bound of the
- * thread sweep, also via SWARMSIM_HOST_THREADS).
+ * thread sweep, also via SWARMSIM_HOST_THREADS), --json=FILE
+ * (machine-readable results, docs/benchmarks.md).
  */
 #include <chrono>
 #include <cstdio>
@@ -124,7 +125,7 @@ runOne(bool compute_bound, uint32_t ntasks, uint32_t host_threads)
 
 int
 runWorkload(const char* name, bool compute_bound, uint32_t ntasks,
-            uint32_t max_threads)
+            uint32_t max_threads, harness::BenchJson& json)
 {
     std::printf("\n== %s: %u tasks on 64 tiles / 256 cores ==\n", name,
                 ntasks);
@@ -134,6 +135,13 @@ runWorkload(const char* name, bool compute_bound, uint32_t ntasks,
                 serial.ms, (unsigned long long)serial.stats.cycles,
                 (unsigned long long)serial.stats.tasksCommitted,
                 (unsigned long long)serial.stats.tasksAborted);
+    json.beginRow();
+    json.val("workload", name);
+    json.val("threads", uint64_t(1));
+    json.val("ms", serial.ms);
+    json.val("speedup", 1.0);
+    json.val("digest_ok", true);
+    json.val("sim_cycles", serial.stats.cycles);
 
     int failures = 0;
     for (uint32_t threads = 2; threads <= max_threads; threads *= 2) {
@@ -149,6 +157,16 @@ runWorkload(const char* name, bool compute_bound, uint32_t ntasks,
                     (unsigned long long)p.host.preResumed,
                     (unsigned long long)p.host.phases,
                     (unsigned long long)p.host.scans);
+        json.beginRow();
+        json.val("workload", name);
+        json.val("threads", uint64_t(threads));
+        json.val("ms", p.ms);
+        json.val("speedup", serial.ms / p.ms);
+        json.val("digest_ok", ok);
+        json.val("pre_resumed", p.host.preResumed);
+        json.val("phases", p.host.phases);
+        json.val("scans", p.host.scans);
+        json.val("sim_cycles", p.stats.cycles);
     }
     return failures;
 }
@@ -177,9 +195,18 @@ main(int argc, char** argv)
                 "(max %u host threads)%s\n",
                 maxThreads, smoke ? " [smoke]" : "");
 
+    harness::BenchJson json("micro_parallel_host");
+    json.meta("smoke", smoke);
+    json.meta("tasks", uint64_t(ntasks));
+    json.meta("kernel_iters", uint64_t(g_state.iters));
+    json.meta("max_threads", uint64_t(maxThreads));
+
     int failures = 0;
-    failures += runWorkload("compute-bound", true, ntasks, maxThreads);
-    failures += runWorkload("memory-bound", false, ntasks, maxThreads);
+    failures += runWorkload("compute-bound", true, ntasks, maxThreads, json);
+    failures += runWorkload("memory-bound", false, ntasks, maxThreads, json);
+
+    if (!json.finish(argc, argv, failures == 0))
+        failures++;
 
     if (failures) {
         std::printf("\nFAIL: %d thread configuration(s) diverged from "

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Docs hygiene gate, two checks:
+# Docs hygiene gate, three checks:
 #
 #  1. Fail on dead relative links in README.md and docs/*.md. Checks
 #     every inline markdown link [text](target): http(s)/mailto and
@@ -9,6 +9,9 @@
 #  2. Fail on SimConfig knobs (data members of src/sim/config.h) that
 #     are not mentioned (backtick-quoted) in docs/configuration.md, so
 #     the knob table cannot silently fall behind the code.
+#  3. Fail on SWARMSIM_* environment variables referenced anywhere in
+#     src/ but missing from docs/configuration.md, so every env knob an
+#     operator can set is documented.
 set -u
 cd "$(dirname "$0")/.."
 
@@ -44,6 +47,21 @@ for k in $knobs; do
     case " $allow " in *" $k "*) continue ;; esac
     if ! grep -q "\`$k\`" docs/configuration.md; then
         echo "undocumented SimConfig knob: $k (add it to docs/configuration.md)"
+        fail=1
+    fi
+done
+
+# ---- SWARMSIM_* env var coverage ---------------------------------------
+# Every env var the code reads (or documents in a comment) must appear
+# in docs/configuration.md. Vars that are deliberately undocumented go
+# in the allowlist.
+env_allow=""
+envs=$(grep -rhoE 'SWARMSIM_[A-Z0-9_]+' src/ | sort -u)
+[ -n "$envs" ] || { echo "env-var extraction found nothing in src/"; fail=1; }
+for v in $envs; do
+    case " $env_allow " in *" $v "*) continue ;; esac
+    if ! grep -q "$v" docs/configuration.md; then
+        echo "undocumented env var: $v (add it to docs/configuration.md)"
         fail=1
     fi
 done

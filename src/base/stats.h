@@ -75,6 +75,20 @@ struct SimStats
     std::vector<uint64_t> lanePeakPending; ///< peak pending events per lane
     std::vector<uint64_t> bankPeakLines;   ///< peak tracked lines per bank
 
+    // Concurrent conflict-check occupancy (cfg.concurrentConflicts; all
+    // zero otherwise). Host-side introspection: probe hit rates and lock
+    // traffic depend on host thread count and phase cadence, so — like
+    // the occupancy vectors above — these are EXCLUDED from the golden
+    // digest, which must stay thread-count invariant.
+    uint64_t concProbeHits = 0;  ///< applies that consumed a fresh probe
+    uint64_t concProbeStale = 0; ///< probes invalidated by a bank mutation
+    uint64_t concProbeCold = 0;  ///< conc-mode applies with no probe
+    uint64_t concWorkerProbes = 0; ///< probes executed on workers
+    uint64_t bankLockAcquired = 0; ///< line-table bank lock acquisitions
+    uint64_t bankLockContended = 0; ///< ... that found the bank held
+    uint64_t lineEntriesScrubbed = 0; ///< epoch-scrub reclamations
+    std::vector<uint64_t> bankProbes; ///< worker probes per bank
+
     uint64_t totalCoreCycles() const;
     uint64_t totalFlits() const;
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "base/logging.h"
 #include "swarm/policies.h"
@@ -81,6 +82,47 @@ applyBackend(SimConfig& cfg, int argc, char** argv)
     }
 }
 
+namespace {
+
+/// Shared on/off parsing: "on"/"1" and "off"/"0" are accepted; returns
+/// false (value untouched) otherwise.
+bool
+parseOnOff(const char* text, bool& out)
+{
+    std::string v(text);
+    if (v == "on" || v == "1") {
+        out = true;
+        return true;
+    }
+    if (v == "off" || v == "0") {
+        out = false;
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+void
+applyConcConflicts(SimConfig& cfg, int argc, char** argv)
+{
+    if (const char* e = std::getenv("SWARMSIM_CONC_CONFLICTS")) {
+        if (!parseOnOff(e, cfg.concurrentConflicts)) {
+            static bool warned = false; // runOnce applies this per run
+            if (!warned) {
+                warned = true;
+                warn("ignoring SWARMSIM_CONC_CONFLICTS='%s' (needs "
+                     "on/off)",
+                     e);
+            }
+        }
+    }
+    if (const char* v = flagValue(argc, argv, "--conc-conflicts")) {
+        if (!parseOnOff(v, cfg.concurrentConflicts))
+            fatal("--conc-conflicts needs on or off, got '%s'", v);
+    }
+}
+
 void
 applyPolicy(SimConfig& cfg, int argc, char** argv)
 {
@@ -98,6 +140,13 @@ applyBenchFlags(int argc, char** argv)
     if (const char* v = flagValue(argc, argv, "--backend")) {
         policies::requireKnownBackend(v, "--backend");
         setenv("SWARMSIM_BACKEND", v, /*overwrite=*/1);
+    }
+    if (const char* v = flagValue(argc, argv, "--conc-conflicts")) {
+        bool parsed = false;
+        if (!parseOnOff(v, parsed))
+            fatal("--conc-conflicts needs on or off, got '%s'", v);
+        setenv("SWARMSIM_CONC_CONFLICTS", parsed ? "on" : "off",
+               /*overwrite=*/1);
     }
 }
 

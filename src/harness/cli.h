@@ -55,6 +55,15 @@ void applyHostThreads(SimConfig& cfg, int argc = 0, char** argv = nullptr);
 void applyBackend(SimConfig& cfg, int argc = 0, char** argv = nullptr);
 
 /**
+ * Apply concurrent-conflict-check overrides to @p cfg: the
+ * SWARMSIM_CONC_CONFLICTS environment variable (on/1 arms, off/0
+ * disarms; anything else is ignored with a one-time warning), then any
+ * --conc-conflicts=on|off in argv, which wins and must be well-formed.
+ */
+void applyConcConflicts(SimConfig& cfg, int argc = 0,
+                        char** argv = nullptr);
+
+/**
  * Apply any --policy=spec in argv through policies::apply (scheduler
  * and policy-knob selection by name; fatals on a malformed spec with
  * the registry's error message).

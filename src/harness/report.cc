@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 
 #include "base/logging.h"
+#include "harness/cli.h"
 
 namespace ssim::harness {
 
@@ -125,8 +127,8 @@ occupancySummary(const SimStats& s)
     auto ev = minMeanMax(s.laneScheduled, 1);
     auto pk = minMeanMax(s.lanePeakPending, 1);
     auto bk = minMeanMax(s.bankPeakLines, 0);
-    char buf[256];
-    std::snprintf(
+    char buf[512];
+    int n = std::snprintf(
         buf, sizeof(buf),
         "lanes: %zu tile + global (%llu ev); tile events "
         "min/mean/max=%llu/%llu/%llu, peak pending max=%llu\n"
@@ -136,7 +138,202 @@ occupancySummary(const SimStats& s)
         (unsigned long long)ev[2], (unsigned long long)pk[2],
         s.bankPeakLines.size(), (unsigned long long)bk[0],
         (unsigned long long)bk[1], (unsigned long long)bk[2]);
+    // Concurrent conflict-check occupancy: worker probe spread across
+    // banks, probe consumption, and the armed-mode lock traffic.
+    if ((s.concWorkerProbes || s.bankLockAcquired) && n > 0 &&
+        size_t(n) < sizeof(buf)) {
+        uint64_t pb = 0;
+        for (uint64_t b : s.bankProbes)
+            pb = std::max(pb, b);
+        std::snprintf(
+            buf + n, sizeof(buf) - size_t(n),
+            "\nconflict checks: %llu worker probes (peak bank %llu), "
+            "hit/stale/cold=%llu/%llu/%llu; bank locks %llu "
+            "(%llu contended); %llu entries epoch-scrubbed",
+            (unsigned long long)s.concWorkerProbes,
+            (unsigned long long)pb,
+            (unsigned long long)s.concProbeHits,
+            (unsigned long long)s.concProbeStale,
+            (unsigned long long)s.concProbeCold,
+            (unsigned long long)s.bankLockAcquired,
+            (unsigned long long)s.bankLockContended,
+            (unsigned long long)s.lineEntriesScrubbed);
+    }
     return buf;
+}
+
+// ---- BenchJson --------------------------------------------------------------
+
+namespace {
+
+std::string
+jsonString(const std::string& s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += "\"";
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    // %.17g round-trips doubles; trim the plain-integer case for
+    // readable artifacts. The finite/range check must precede the
+    // long long cast (casting inf/NaN or >=2^63 is UB); non-finite
+    // values (a 0-ms denominator in a speedup) print as %g's inf/nan —
+    // not valid JSON numbers, but visible rather than exploding.
+    char buf[64];
+    if (std::isfinite(v) && std::abs(v) < 1e15 &&
+        v == static_cast<double>(static_cast<long long>(v))) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+    }
+    return buf;
+}
+
+void
+emitFields(std::ofstream& f,
+           const std::vector<std::pair<std::string, std::string>>& fields)
+{
+    f << "{";
+    for (size_t i = 0; i < fields.size(); i++) {
+        f << jsonString(fields[i].first) << ": " << fields[i].second;
+        if (i + 1 < fields.size())
+            f << ", ";
+    }
+    f << "}";
+}
+
+} // namespace
+
+BenchJson::BenchJson(std::string bench) : bench_(std::move(bench)) {}
+
+void
+BenchJson::add(Fields& f, const std::string& key, std::string json)
+{
+    for (auto& [k, v] : f) {
+        if (k == key) {
+            v = std::move(json); // last set wins, position stable
+            return;
+        }
+    }
+    f.emplace_back(key, std::move(json));
+}
+
+void
+BenchJson::meta(const std::string& key, const std::string& v)
+{
+    add(meta_, key, jsonString(v));
+}
+void
+BenchJson::meta(const std::string& key, const char* v)
+{
+    add(meta_, key, jsonString(v));
+}
+void
+BenchJson::meta(const std::string& key, double v)
+{
+    add(meta_, key, jsonNumber(v));
+}
+void
+BenchJson::meta(const std::string& key, uint64_t v)
+{
+    add(meta_, key, jsonNumber(double(v)));
+}
+void
+BenchJson::meta(const std::string& key, bool v)
+{
+    add(meta_, key, v ? "true" : "false");
+}
+
+void
+BenchJson::beginRow()
+{
+    rows_.emplace_back();
+}
+void
+BenchJson::val(const std::string& key, const std::string& v)
+{
+    ssim_assert(!rows_.empty(), "val() before beginRow()");
+    add(rows_.back(), key, jsonString(v));
+}
+void
+BenchJson::val(const std::string& key, const char* v)
+{
+    ssim_assert(!rows_.empty(), "val() before beginRow()");
+    add(rows_.back(), key, jsonString(v));
+}
+void
+BenchJson::val(const std::string& key, double v)
+{
+    ssim_assert(!rows_.empty(), "val() before beginRow()");
+    add(rows_.back(), key, jsonNumber(v));
+}
+void
+BenchJson::val(const std::string& key, uint64_t v)
+{
+    ssim_assert(!rows_.empty(), "val() before beginRow()");
+    add(rows_.back(), key, jsonNumber(double(v)));
+}
+void
+BenchJson::val(const std::string& key, bool v)
+{
+    ssim_assert(!rows_.empty(), "val() before beginRow()");
+    add(rows_.back(), key, v ? "true" : "false");
+}
+
+bool
+BenchJson::finish(int argc, char** argv, bool pass)
+{
+    meta("pass", pass);
+    if (const char* p = flagValue(argc, argv, "--json"))
+        return write(p);
+    return true;
+}
+
+bool
+BenchJson::write(const std::string& path) const
+{
+    std::ofstream f(path);
+    if (!f) {
+        warn("BenchJson: cannot open '%s' for writing", path.c_str());
+        return false;
+    }
+    f << "{\"bench\": " << jsonString(bench_) << ", \"schema\": 1,\n";
+    f << " \"meta\": ";
+    emitFields(f, meta_);
+    f << ",\n \"rows\": [";
+    for (size_t i = 0; i < rows_.size(); i++) {
+        f << "\n  ";
+        emitFields(f, rows_[i]);
+        if (i + 1 < rows_.size())
+            f << ",";
+    }
+    f << "\n ]}\n";
+    f.flush();
+    if (!f) {
+        warn("BenchJson: write to '%s' failed", path.c_str());
+        return false;
+    }
+    return true;
 }
 
 void

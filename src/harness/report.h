@@ -56,4 +56,59 @@ std::string occupancySummary(const SimStats& s);
 /** Section banner for bench output. */
 void banner(const std::string& title, const std::string& subtitle = "");
 
+/**
+ * Machine-readable bench results (the CI perf trajectory): every
+ * microbenchmark accepts `--json=FILE` and emits one document of this
+ * shape (schema documented in docs/benchmarks.md):
+ *
+ *   {
+ *     "bench": "<name>", "schema": 1,
+ *     "meta": { "<key>": <string|number|bool>, ... },
+ *     "rows": [ { "<key>": <value>, ... }, ... ]
+ *   }
+ *
+ * `meta` holds run-level facts (smoke mode, input sizes, pass/fail);
+ * each row is one measured configuration. Keys keep insertion order, so
+ * diffs across CI runs stay line-stable.
+ */
+class BenchJson
+{
+  public:
+    explicit BenchJson(std::string bench);
+
+    // Run-level metadata.
+    void meta(const std::string& key, const std::string& v);
+    void meta(const std::string& key, const char* v);
+    void meta(const std::string& key, double v);
+    void meta(const std::string& key, uint64_t v);
+    void meta(const std::string& key, bool v);
+
+    /** Start a new result row; subsequent val() calls land in it. */
+    void beginRow();
+    void val(const std::string& key, const std::string& v);
+    void val(const std::string& key, const char* v);
+    void val(const std::string& key, double v);
+    void val(const std::string& key, uint64_t v);
+    void val(const std::string& key, bool v);
+
+    /** Serialize to @p path; warns and returns false on I/O failure. */
+    bool write(const std::string& path) const;
+
+    /**
+     * The benches' shared epilogue: record @p pass as the `pass` meta
+     * field and, if `--json=FILE` is in argv, write the document there.
+     * Returns false only when a requested write failed — callers fold
+     * that into their exit gate.
+     */
+    bool finish(int argc, char** argv, bool pass);
+
+  private:
+    using Fields = std::vector<std::pair<std::string, std::string>>;
+    static void add(Fields& f, const std::string& key, std::string json);
+
+    std::string bench_;
+    Fields meta_;
+    std::vector<Fields> rows_;
+};
+
 } // namespace ssim::harness

@@ -14,9 +14,11 @@ runOnce(apps::App& app, const SimConfig& cfg, AccessProfiler* profiler)
 {
     app.reset();
     SimConfig hostCfg = cfg;
-    // Env-only pass: host threads and engine backend (harness/cli.h).
+    // Env-only pass: host threads, engine backend, and concurrent
+    // conflict checks (harness/cli.h).
     applyHostThreads(hostCfg);
     applyBackend(hostCfg);
+    applyConcConflicts(hostCfg);
     Machine m(hostCfg);
     if (profiler)
         m.setProfiler(profiler);

@@ -88,7 +88,7 @@ SimConfig::describe() const
         "LB         %u buckets/tile, reconfig every %lluKcycles, f=%.2f, "
         "signal=%s\n"
         "Host       %u thread%s (simulation wall-clock only; behavior is "
-        "thread-count invariant)",
+        "thread-count invariant; concurrent conflict checks %s)",
         totalCores(), ntiles, coresPerTile,
         l1SizeKB, l1Ways, l1Latency,
         l2SizeKB, l2Ways, l2Latency,
@@ -106,7 +106,8 @@ SimConfig::describe() const
         bucketsPerTile, (unsigned long long)(lbEpoch / 1000), lbFraction,
         lbSignal == LbSignal::CommittedCycles ? "committed-cycles"
                                               : "idle-tasks",
-        hostThreads, hostThreads == 1 ? "" : "s");
+        hostThreads, hostThreads == 1 ? "" : "s",
+        concurrentConflicts ? "on" : "off");
     return buf;
 }
 

@@ -106,6 +106,20 @@ struct SimConfig
     /// (harness runs) and --host-threads=N (benches).
     uint32_t hostThreads = 1;
 
+    /// Concurrent conflict checks (not a modeled-machine knob: simulation
+    /// wall-clock only). When true and hostThreads > 1, the parallel
+    /// executor runs a conflict-check phase between record and replay:
+    /// workers probe recorded accesses against their home line-table
+    /// banks (one bank per worker at a time, per-bank op-sequence
+    /// validation), and the coordinator reuses a probe at the access's
+    /// serial slot only if its bank is provably unchanged — so abort
+    /// sets, stats, and golden digests stay bit-identical to the serial
+    /// path. Ignored by inline-effects backends (no recorded accesses).
+    /// Overridable via SWARMSIM_CONC_CONFLICTS (harness runs),
+    /// --conc-conflicts=on|off (benches), and `conc-conflicts=` policy
+    /// specs. Default off so the goldens gate the serial path directly.
+    bool concurrentConflicts = false;
+
     // Engine backend ----------------------------------------------------------
     /// Execution-engine cost model, selected by name through the
     /// backend registry (swarm/policies.h): "timing" (the paper's

@@ -3,12 +3,15 @@
 #include <algorithm>
 
 #include "base/logging.h"
+#include "swarm/conflict_manager.h"
 
 namespace ssim {
 
 ParallelExecutor::ParallelExecutor(EventQueue& eq, ParallelBackend& backend,
-                                   uint32_t threads, uint32_t min_batch)
-    : eq_(eq), backend_(backend), nslices_(std::max(threads, 1u)),
+                                   uint32_t threads, uint32_t min_batch,
+                                   ConcurrentConflictBackend* conflicts)
+    : eq_(eq), backend_(backend), conflicts_(conflicts),
+      nslices_(std::max(threads, 1u)),
       minBatch_(min_batch ? min_batch : std::max(4u, threads))
 {
     workers_.reserve(nslices_ - 1);
@@ -28,9 +31,17 @@ ParallelExecutor::~ParallelExecutor()
 }
 
 ParallelExecutor::PhaseResult
-ParallelExecutor::runSlice(uint32_t slice)
+ParallelExecutor::runSlice(PhaseKind kind, uint32_t slice)
 {
     PhaseResult r;
+    if (kind == PhaseKind::ConflictProbe) {
+        // Bank-level work stealing: the backend's shared cursor hands
+        // out whole banks, so a worker's share adapts to queue depth.
+        auto [banks, probes] = conflicts_->probeSlice();
+        r.segments = banks;
+        r.steps = probes;
+        return r;
+    }
     for (size_t i = slice; i < candidates_.size(); i += nslices_) {
         uint32_t steps = backend_.preResume(candidates_[i].first,
                                             candidates_[i].second);
@@ -45,14 +56,16 @@ ParallelExecutor::workerLoop(uint32_t slice)
 {
     uint64_t seen = 0;
     while (true) {
+        PhaseKind kind;
         {
             std::unique_lock<std::mutex> lk(m_);
             cvStart_.wait(lk, [&] { return exit_ || phaseId_ != seen; });
             if (exit_)
                 return;
             seen = phaseId_;
+            kind = phaseKind_;
         }
-        PhaseResult r = runSlice(slice);
+        PhaseResult r = runSlice(kind, slice);
         {
             std::lock_guard<std::mutex> lk(m_);
             phaseAccum_.segments += r.segments;
@@ -64,17 +77,18 @@ ParallelExecutor::workerLoop(uint32_t slice)
 }
 
 ParallelExecutor::PhaseResult
-ParallelExecutor::runPhase()
+ParallelExecutor::runPhase(PhaseKind kind)
 {
     phases_++;
     {
         std::lock_guard<std::mutex> lk(m_);
         phaseId_++;
+        phaseKind_ = kind;
         pendingWorkers_ = nslices_ - 1;
         phaseAccum_ = {};
     }
     cvStart_.notify_all();
-    PhaseResult r = runSlice(0); // the coordinator works slice 0
+    PhaseResult r = runSlice(kind, 0); // the coordinator works slice 0
     {
         std::unique_lock<std::mutex> lk(m_);
         cvDone_.wait(lk, [&] { return pendingWorkers_ == 0; });
@@ -96,9 +110,24 @@ ParallelExecutor::run()
                 candidates_.emplace_back(uid, gen);
             });
             PhaseResult r = candidates_.size() >= minBatch_
-                                ? runPhase()
+                                ? runPhase(PhaseKind::Record)
                                 : PhaseResult{};
             preResumed_ += r.segments;
+            // Conflict-check phase: probe the freshly-recorded (and any
+            // still-unapplied) accesses against their home banks before
+            // the replay stretch consumes them. The barrier publishes
+            // the recordings to the probing workers and the probes back
+            // to the coordinator.
+            if (conflicts_) {
+                size_t queued = conflicts_->buildQueues(candidates_);
+                if (queued >= minBatch_) {
+                    conflictPhases_++;
+                    conflicts_->setInPhase(true);
+                    PhaseResult c = runPhase(PhaseKind::ConflictProbe);
+                    conflicts_->setInPhase(false);
+                    conflictProbes_ += c.steps;
+                }
+            }
             // Back off when the scan found little new work (stale or
             // already-recorded tags) or when run-ahead is too shallow
             // to amortize the barrier (awaiter-chatty tasks that park

@@ -20,6 +20,16 @@
  *    data (compute charges, enqueues, writes) and parks at the first
  *    read (its value does not exist until the access is applied) or at
  *    completion.
+ *  - With a ConcurrentConflictBackend wired (cfg.concurrentConflicts),
+ *    a CONFLICT-CHECK phase runs between record and replay: the
+ *    coordinator hands the scan's candidates to the backend, which
+ *    queues every recorded-but-unapplied access on its home line-table
+ *    bank; workers then claim whole banks from a shared cursor (work
+ *    stealing) and probe them in parallel, writing op-sequence-stamped
+ *    results into the steps. Resolution stays serialized: the
+ *    coordinator consumes a probe at the access's exact (cycle, seq)
+ *    slot only if its bank is provably unchanged (see
+ *    swarm/conflict_manager.h).
  *  - The coordinator then resumes the ordinary serial event loop. When
  *    a resume event fires and finds recorded steps for its (uid, gen),
  *    it skips the (already executed) pure segment and applies the next
@@ -60,6 +70,8 @@
 
 namespace ssim {
 
+class ConcurrentConflictBackend;
+
 /**
  * The execution engine's pre-resume hook. preResume() is called from
  * WORKER threads; it must only touch state owned by task (@p uid) and
@@ -84,9 +96,12 @@ class ParallelExecutor
      * i.e. cfg.hostThreads; threads-1 workers are spawned. @p min_batch
      * gates the parallel phase: batches smaller than this run inline in
      * the serial loop (0 picks a default of max(4, threads)).
+     * @p conflicts, when non-null, arms the conflict-check phase
+     * between record and replay (swarm/conflict_manager.h).
      */
     ParallelExecutor(EventQueue& eq, ParallelBackend& backend,
-                     uint32_t threads, uint32_t min_batch = 0);
+                     uint32_t threads, uint32_t min_batch = 0,
+                     ConcurrentConflictBackend* conflicts = nullptr);
     ~ParallelExecutor();
     ParallelExecutor(const ParallelExecutor&) = delete;
     ParallelExecutor& operator=(const ParallelExecutor&) = delete;
@@ -98,6 +113,8 @@ class ParallelExecutor
     uint64_t scans() const { return scans_; }
     uint64_t phases() const { return phases_; }
     uint64_t preResumed() const { return preResumed_; }
+    uint64_t conflictPhases() const { return conflictPhases_; }
+    uint64_t conflictProbes() const { return conflictProbes_; }
 
   private:
     /// Serial-stretch length bounds: after a fruitful scan the
@@ -113,17 +130,22 @@ class ParallelExecutor
     /// first-read singletons carry almost no worker time.
     static constexpr uint64_t kMinRunaheadPerSegment = 2;
 
+    /// What one fork-join phase does: pre-resume the candidate batch
+    /// (record mode) or drain the conflict backend's bank probe queues.
+    enum class PhaseKind : uint8_t { Record, ConflictProbe };
+
     struct PhaseResult
     {
-        uint64_t segments = 0; ///< tasks freshly pre-resumed
-        uint64_t steps = 0;    ///< total recorded steps across them
+        uint64_t segments = 0; ///< tasks pre-resumed / banks claimed
+        uint64_t steps = 0;    ///< recorded steps / probes executed
     };
-    PhaseResult runPhase();
-    PhaseResult runSlice(uint32_t slice);
+    PhaseResult runPhase(PhaseKind kind);
+    PhaseResult runSlice(PhaseKind kind, uint32_t slice);
     void workerLoop(uint32_t slice);
 
     EventQueue& eq_;
     ParallelBackend& backend_;
+    ConcurrentConflictBackend* conflicts_;
     uint32_t nslices_;
     uint32_t minBatch_;
 
@@ -133,6 +155,7 @@ class ParallelExecutor
     std::condition_variable cvStart_;
     std::condition_variable cvDone_;
     uint64_t phaseId_ = 0;
+    PhaseKind phaseKind_ = PhaseKind::Record; ///< published with phaseId_
     uint32_t pendingWorkers_ = 0;
     PhaseResult phaseAccum_;
     bool exit_ = false;
@@ -141,6 +164,8 @@ class ParallelExecutor
     uint64_t scans_ = 0;
     uint64_t phases_ = 0;
     uint64_t preResumed_ = 0;
+    uint64_t conflictPhases_ = 0;
+    uint64_t conflictProbes_ = 0;
 };
 
 } // namespace ssim

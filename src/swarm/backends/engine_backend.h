@@ -26,11 +26,15 @@
  *
  * THREADING CONTRACT: every method is called on the coordinator thread,
  * in event order, from the engine's apply paths — never from
- * ParallelBackend::preResume worker segments. A backend may therefore
- * mutate its own model state (caches, directories) without locking, but
- * must be deterministic: cost must be a function of the call sequence
- * so far, never of wall-clock, host addresses, or global mutable state
- * shared across Machine instances.
+ * ParallelBackend::preResume worker segments, and never from the
+ * concurrent conflict-check phase (workers only PROBE banks there; the
+ * resolve half that prices abort traffic through abortMessage /
+ * rollbackLineCost stays serialized on the coordinator and asserts it
+ * is not inside a probe phase — swarm/conflict_manager.h). A backend
+ * may therefore mutate its own model state (caches, directories)
+ * without locking, but must be deterministic: cost must be a function
+ * of the call sequence so far, never of wall-clock, host addresses, or
+ * global mutable state shared across Machine instances.
  */
 #pragma once
 

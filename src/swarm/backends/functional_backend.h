@@ -75,7 +75,11 @@ class FunctionalBackend : public EngineBackend
     uint32_t finishCost() override { return kStepCost; }
 
     // Aborts still happen (speculation is real); only their modeled
-    // traffic and rollback latency are collapsed.
+    // traffic and rollback latency are collapsed. Like the timing
+    // backend's, these are reached only from the ConflictManager's
+    // serialized resolve phase (never from worker-side bank probes) —
+    // moot here anyway: inlineEffects() disables recording, so
+    // concurrent conflict checks degrade to the serial path.
     void abortMessage(TileId, TileId) override {}
     uint32_t rollbackLineCost(CoreId, LineAddr) override
     {

@@ -42,6 +42,10 @@ class TimingBackend : public EngineBackend
     uint32_t dequeueCost(uint32_t) override { return cfg_.dequeueCost; }
     uint32_t finishCost() override { return cfg_.finishCost; }
 
+    // Abort traffic (control flits + rollback writes through the memory
+    // system). Reached only from the ConflictManager's serialized
+    // resolve phase — under concurrent conflict checks, worker-side
+    // bank probes never price anything here.
     void abortMessage(TileId cause_tile, TileId victim_tile) override;
     uint32_t rollbackLineCost(CoreId core, LineAddr line) override;
 

@@ -18,8 +18,30 @@ ConflictManager::ConflictManager(const SimConfig& cfg,
 {
     // Inline-effects backends disable resume tags, so workers never
     // touch the line table and the bank locks would be pure overhead.
-    lineTable_.setLocking(cfg.hostThreads > 1 &&
-                          !backend.inlineEffects());
+    bool parallelHost = cfg.hostThreads > 1 && !backend.inlineEffects();
+    lineTable_.setLocking(parallelHost);
+    if (parallelHost && cfg.concurrentConflicts) {
+        // Concurrent checks ride the parallel executor: workers probe
+        // banks between record and replay, and removeTask's empty-entry
+        // erase is deferred to the banks' epoch scrubs.
+        lineTable_.setDeferredScrub(true);
+        ccb_ = std::make_unique<ConcurrentConflictBackend>(*this, engine);
+    }
+}
+
+ConflictManager::~ConflictManager() = default;
+
+ConcurrentConflictBackend*
+ConflictManager::concurrentBackend()
+{
+    return ccb_.get();
+}
+
+void
+ConflictManager::finalizeRun()
+{
+    if (lineTable_.deferredScrub())
+        lineTable_.scrubAllDirty();
 }
 
 void
@@ -42,28 +64,28 @@ ConflictManager::trackWrite(Task* t, LineAddr line)
     }
 }
 
-uint32_t
-ConflictManager::resolveConflicts(Task* t, LineAddr line, bool is_write)
+void
+ConflictManager::probeLocked(const Task* t, LineAddr line, bool is_write,
+                             Task::ConflictProbe& out) const
 {
-    // The guard covers the probe AND the reader/writer scans: a
-    // concurrent backend must not observe a bank mid-registration.
-    auto guard = lineTable_.lockFor(line);
-    LineTable::Entry* e = lineTable_.find(line);
-    if (!e)
-        return 0;
+    out.later.clear();
+    out.earlierWriters.clear();
+    out.compared = 0;
 
-    uint32_t compared = 0;
-    std::vector<Task*> toAbort;
+    const LineTable::Entry* e = lineTable_.find(line);
+    if (!e)
+        return;
+
     auto considerLater = [&](Task* o) {
-        compared++;
+        out.compared++;
         if (o != t && t->before(*o))
-            toAbort.push_back(o);
+            out.later.push_back(o);
     };
-    auto recordDependence = [&](Task* o) {
+    auto considerEarlierWriter = [&](Task* o) {
         // o wrote this line earlier in program order and is uncommitted:
         // t consumes forwarded speculative data and must abort with o.
         if (o != t && o->before(*t))
-            o->dependents.emplace_back(t->uid, t->generation);
+            out.earlierWriters.push_back(o);
     };
 
     if (is_write) {
@@ -71,28 +93,57 @@ ConflictManager::resolveConflicts(Task* t, LineAddr line, bool is_write)
             considerLater(r);
         for (Task* w : e->writers) {
             considerLater(w);
-            recordDependence(w);
+            considerEarlierWriter(w);
         }
     } else {
         for (Task* w : e->writers) {
             considerLater(w);
-            recordDependence(w);
+            considerEarlierWriter(w);
         }
     }
+}
 
-    // Release the bank before the abort cascade: rollback re-enters the
-    // line table (removeTask takes its own per-bank locks).
-    if (guard.owns_lock())
-        guard.unlock();
+uint32_t
+ConflictManager::resolveConflicts(Task* t, LineAddr line, bool is_write,
+                                  Task::ConflictProbe* cached)
+{
+    // PROBE: consume the worker-side probe iff the bank's op-sequence
+    // proves no registration or scrub intervened — then its candidate
+    // sets and compared count are exactly what a fresh scan would
+    // produce. Otherwise scan inline under the bank lock (a concurrent
+    // probe must not observe the bank mid-registration).
+    Task::ConflictProbe probe;
+    if (cached && cached->valid &&
+        cached->opSeq == lineTable_.bankOpSeq(lineTable_.bankOf(line))) {
+        probe = std::move(*cached);
+        stats_.concProbeHits++;
+    } else {
+        if (ccb_)
+            (cached && cached->valid ? stats_.concProbeStale
+                                     : stats_.concProbeCold)++;
+        auto guard = lineTable_.lockFor(line);
+        probeLocked(t, line, is_write, probe);
+    }
 
-    if (!toAbort.empty()) {
+    // RESOLVE (coordinator, at this access's serial slot; asserted not
+    // to race a probe phase). Record forwarded-data dependences, then
+    // abort every later conflictor. The bank lock is NOT held here:
+    // rollback re-enters the line table (removeTask takes its own
+    // per-bank locks).
+    ssim_assert(!ccb_ || !ccb_->inPhase(),
+                "conflict resolution during a probe phase");
+    for (Task* o : probe.earlierWriters)
+        o->dependents.emplace_back(t->uid, t->generation);
+
+    if (!probe.later.empty()) {
+        std::vector<Task*>& toAbort = probe.later;
         std::sort(toAbort.begin(), toAbort.end());
         toAbort.erase(std::unique(toAbort.begin(), toAbort.end()),
                       toAbort.end());
         stats_.abortsConflict += toAbort.size();
         abortTasks(toAbort, /*discard_roots=*/false, t->tile);
     }
-    return compared;
+    return probe.compared;
 }
 
 void
@@ -162,7 +213,11 @@ ConflictManager::rollbackTask(Task* t, TileId cause_tile)
     bool hadRun = (t->state == TaskState::Running ||
                    t->state == TaskState::Finished);
 
-    // Abort message to the task's tile.
+    // Abort traffic goes through the EngineBackend from the serialized
+    // resolve phase only — never from worker probes (both the timing
+    // and functional backends rely on coordinator confinement).
+    ssim_assert(!ccb_ || !ccb_->inPhase(),
+                "rollback during a probe phase");
     backend_.abortMessage(cause_tile, t->tile);
 
     uint64_t rollbackCycles = 0;
@@ -248,6 +303,103 @@ ConflictManager::requeueTask(Task* t)
     t->resetSpecState();
     t->state = TaskState::Idle;
     unit.idle.insert(t);
+}
+
+// ---- ConcurrentConflictBackend ---------------------------------------------
+
+ConcurrentConflictBackend::ConcurrentConflictBackend(ConflictManager& cm,
+                                                     ExecutionEngine& engine)
+    : cm_(cm), engine_(engine),
+      bankItems_(cm.lineTable_.numBanks()),
+      bankProbes_(cm.lineTable_.numBanks(), 0)
+{
+}
+
+uint64_t
+ConcurrentConflictBackend::probes() const
+{
+    uint64_t n = 0;
+    for (uint64_t b : bankProbes_)
+        n += b;
+    return n;
+}
+
+size_t
+ConcurrentConflictBackend::buildQueues(
+    const std::vector<std::pair<uint64_t, uint64_t>>& candidates)
+{
+    LineTable& lt = cm_.lineTable_;
+    for (uint32_t b : activeBanks_)
+        bankItems_[b].clear();
+    activeBanks_.clear();
+
+    size_t queued = 0;
+    for (auto [uid, gen] : candidates) {
+        Task* t = engine_.lookupTask(uid);
+        if (!t || t->generation != gen || t->state != TaskState::Running)
+            continue; // stale tag: aborted/discarded since the scan
+        Task::PendingRun& p = t->pending;
+        if (p.gen != gen || !p.hasSteps())
+            continue; // nothing recorded (or a stale recording)
+        for (size_t i = p.next; i < p.steps.size(); i++) {
+            Task::PendingStep& s = p.steps[i];
+            if (s.kind != Task::PendingStep::Kind::Access)
+                continue;
+            LineAddr line = lineOf(s.addr);
+            uint32_t b = lt.bankOf(line);
+            if (s.probe.valid && s.probe.opSeq == lt.bankOpSeq(b))
+                continue; // an earlier phase's probe is still fresh
+            if (bankItems_[b].empty())
+                activeBanks_.push_back(b);
+            bankItems_[b].push_back({t, uint32_t(i), line, s.isWrite});
+            queued++;
+        }
+    }
+
+    // Dirty banks with no probe work still get their epoch scrub, so
+    // deferred empties cannot outlive the next conflict phase.
+    if (lt.deferredScrub()) {
+        for (uint32_t b = 0; b < lt.numBanks(); b++)
+            if (lt.bankDirty(b) && bankItems_[b].empty())
+                activeBanks_.push_back(b);
+    }
+
+    cursor_.store(0, std::memory_order_relaxed);
+    return queued;
+}
+
+std::pair<uint64_t, uint64_t>
+ConcurrentConflictBackend::probeSlice()
+{
+    LineTable& lt = cm_.lineTable_;
+    uint64_t banks = 0, probes = 0;
+    while (true) {
+        uint32_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= activeBanks_.size())
+            break;
+        uint32_t b = activeBanks_[i];
+        banks++;
+        // Epoch scrub first (takes the bank lock itself): reclaim the
+        // empty entries removeTask deferred to us. (Reclamation totals
+        // surface via LineTable::entriesScrubbed.)
+        if (lt.deferredScrub() && lt.bankDirty(b))
+            lt.scrubEmptyEntries(b);
+        if (bankItems_[b].empty())
+            continue; // scrub-only claim
+        // One lock acquisition for the whole queue: the bank is ours
+        // until we release it, and probes are pure reads.
+        auto guard = lt.lockBank(b);
+        uint64_t seq = lt.bankOpSeq(b);
+        for (const Item& it : bankItems_[b]) {
+            Task::ConflictProbe& out = it.t->pending.steps[it.step].probe;
+            cm_.probeLocked(it.t, it.line, it.isWrite, out);
+            out.opSeq = seq;
+            out.valid = true;
+            probes++;
+        }
+        bankProbes_[b] += bankItems_[b].size();
+    }
+    return {banks, probes};
 }
 
 } // namespace ssim

@@ -8,23 +8,50 @@
  * line registration) and is the only subsystem that aborts tasks; the
  * ExecutionEngine, CommitController, and CapacityManager call into it.
  *
- * THREADING CONTRACT: every method runs on the coordinator thread, in
- * event order — in parallel host mode (sim/parallel_executor.h),
- * conflict checks happen when a recorded access is APPLIED at its
- * event's serial slot, never during worker pre-execution, which is what
- * keeps conflict-resolution order (and therefore abort sets and the
- * golden digests) bit-identical at any host thread count. When
- * cfg.hostThreads > 1 the banked line table's per-bank locks are armed
- * and taken around each compound per-line operation; with the shipped
- * executor they are uncontended invariants, and they are the seam a
- * future concurrent conflict-check backend extends.
+ * PROBE/RESOLVE SPLIT: a conflict check has two halves with different
+ * concurrency properties.
  *
- * The abort path's modeled costs (abort messages, rollback memory
- * traffic) are priced by the EngineBackend — the functional backend
- * collapses them while the abort/rollback semantics stay identical.
+ *  - The PROBE is a pure read of one line-table bank: scan the line's
+ *    reader/writer vectors, classify each uncommitted task against the
+ *    accessor by immutable program order, and count the comparisons
+ *    (the modeled check latency). Probes against independent banks are
+ *    trivially parallel — the paper's data-centric locality claim.
+ *  - The RESOLVE applies the consequences — forwarded-data dependence
+ *    recording, abort decisions, rollback scheduling, stats — and must
+ *    run serialized in event order: it mutates tasks, the line table,
+ *    and (through the EngineBackend) the modeled machine.
+ *
+ * resolveConflicts() is the serialized entry point: it runs probe +
+ * resolve inline on the coordinator at the access's exact (cycle, seq)
+ * slot. With cfg.concurrentConflicts the ConcurrentConflictBackend
+ * (below) additionally lets the parallel executor's workers probe
+ * recorded accesses AHEAD of their serial slots, bank by bank; each
+ * probe carries its bank's op-sequence number, and resolveConflicts
+ * consumes it only if the bank is provably unchanged since — otherwise
+ * it rescans inline. Either way the candidate sets, compared counts,
+ * abort cascades, and stats are bit-identical to the serial path at any
+ * cfg.hostThreads.
+ *
+ * THREADING CONTRACT: every method except the ConcurrentConflictBackend
+ * probe surface runs on the coordinator thread, in event order. The
+ * resolve phase — and with it ALL abort traffic priced by the
+ * EngineBackend (abort messages, rollback memory traffic) — never runs
+ * during a conflict-check phase; an always-on ssim_assert (a relaxed
+ * atomic flag load, armed-mode only) enforces it in every build.
+ * Worker probes take the per-bank locks (armed when cfg.hostThreads >
+ * 1), one whole bank per worker at a time, so two workers never
+ * contend on a bank's data and the locks guard the documented seam.
+ *
+ * The abort path's modeled costs are priced by the EngineBackend — the
+ * functional backend collapses them while the abort/rollback semantics
+ * stay identical.
  */
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "base/stats.h"
@@ -34,6 +61,7 @@
 
 namespace ssim {
 
+class ConcurrentConflictBackend;
 class EngineBackend;
 class ExecutionEngine;
 
@@ -42,12 +70,18 @@ class ConflictManager
   public:
     ConflictManager(const SimConfig& cfg, EngineBackend& backend,
                     SimStats& stats, ExecutionEngine& engine);
+    ~ConflictManager();
 
     /**
-     * Abort every uncommitted task conflicting with @p t's access; returns
-     * the number of candidate tasks compared (for check latency).
+     * Probe-then-resolve for @p t's access of @p line: abort every
+     * uncommitted conflicting task; returns the number of candidate
+     * tasks compared (for check latency). @p cached is a worker-side
+     * probe of this exact (task, line, is_write) access, consumed iff
+     * its bank op-sequence still matches (else the scan reruns inline —
+     * same result either way).
      */
-    uint32_t resolveConflicts(Task* t, LineAddr line, bool is_write);
+    uint32_t resolveConflicts(Task* t, LineAddr line, bool is_write,
+                              Task::ConflictProbe* cached = nullptr);
 
     /** Register a read/write line in @p t's speculative footprint. */
     void trackRead(Task* t, LineAddr line);
@@ -65,7 +99,30 @@ class ConflictManager
 
     const LineTable& lineTable() const { return lineTable_; }
 
+    /**
+     * The worker-probe surface, non-null iff concurrent conflict checks
+     * are armed (cfg.concurrentConflicts, hostThreads > 1, and a
+     * non-inline backend). Handed to the ParallelExecutor by Machine.
+     */
+    ConcurrentConflictBackend* concurrentBackend();
+
+    /** End-of-run maintenance: drain the deferred epoch scrub. */
+    void finalizeRun();
+
   private:
+    friend class ConcurrentConflictBackend;
+
+    /**
+     * The probe: scan @p line's entry and fill @p out with the
+     * candidate sets and compared count the resolve needs. Pure read of
+     * one bank plus immutable task-order fields; the caller holds the
+     * bank's lock (or is single-threaded). The ONLY scan implementation
+     * — the serial path and worker probes share it, so they cannot
+     * diverge.
+     */
+    void probeLocked(const Task* t, LineAddr line, bool is_write,
+                     Task::ConflictProbe& out) const;
+
     void rollbackTask(Task* t, TileId cause_tile);
     void discardTask(Task* t);
     void requeueTask(Task* t);
@@ -75,6 +132,78 @@ class ConflictManager
     SimStats& stats_;
     ExecutionEngine& engine_;
     LineTable lineTable_;
+    std::unique_ptr<ConcurrentConflictBackend> ccb_;
+};
+
+/**
+ * Worker-side concurrent conflict checks over the line-table banks.
+ *
+ * Between the record and replay phases, the ParallelExecutor hands the
+ * scan's (uid, gen) candidates to buildQueues(), which collects every
+ * recorded-but-unapplied access step into its home bank's probe queue
+ * (in deterministic candidate order — probe results are order-
+ * independent pure reads, but the queues themselves stay reproducible).
+ * Workers then call probeSlice() concurrently: each claims whole banks
+ * from a shared cursor (work stealing — banks with deep queues simply
+ * occupy their claimer longer), locks the bank, runs its epoch scrub if
+ * the bank is dirty, and executes the queued probes, writing each
+ * result plus the bank's op-sequence number into the step. Resolution
+ * stays on the coordinator: resolveConflicts consumes a probe at the
+ * access's serial (cycle, seq) slot only while the op-sequence is
+ * unchanged, so the concurrency is invisible to simulated behavior.
+ *
+ * THREADING: buildQueues runs on the coordinator between phases;
+ * probeSlice is worker-callable within one fork-join phase (the
+ * executor's barrier separates it from every coordinator mutation).
+ */
+class ConcurrentConflictBackend
+{
+  public:
+    ConcurrentConflictBackend(ConflictManager& cm, ExecutionEngine& engine);
+
+    /**
+     * Rebuild the per-bank probe queues from @p candidates (the
+     * executor's pending-resume scan). Returns the number of probe
+     * items queued; steps whose previous probe is still fresh are
+     * skipped. Coordinator only.
+     */
+    size_t buildQueues(
+        const std::vector<std::pair<uint64_t, uint64_t>>& candidates);
+
+    /**
+     * Claim banks and probe until the queues drain. Returns (banks
+     * claimed, probes executed) for this call. Worker-callable.
+     */
+    std::pair<uint64_t, uint64_t> probeSlice();
+
+    // ---- Phase guard (abort traffic must never race a probe phase) ----
+    void setInPhase(bool on) { inPhase_.store(on, std::memory_order_relaxed); }
+    bool inPhase() const { return inPhase_.load(std::memory_order_relaxed); }
+
+    // ---- Cumulative counters (stats snapshot at end of run) -----------
+    /** Worker probes ever executed (sum of the per-bank counts). */
+    uint64_t probes() const;
+    const std::vector<uint64_t>& bankProbes() const { return bankProbes_; }
+
+  private:
+    struct Item
+    {
+        Task* t;
+        uint32_t step; ///< index into t->pending.steps
+        LineAddr line;
+        bool isWrite;
+    };
+
+    ConflictManager& cm_;
+    ExecutionEngine& engine_;
+    std::vector<std::vector<Item>> bankItems_; ///< one queue per bank
+    std::vector<uint32_t> activeBanks_; ///< banks with probes or a scrub
+    std::atomic<uint32_t> cursor_{0};   ///< work-stealing bank claim
+    std::atomic<bool> inPhase_{false};
+    /// Probes ever run, per bank: each slot is written only by the
+    /// worker that owns the bank at that moment (phase barrier orders
+    /// reads).
+    std::vector<uint64_t> bankProbes_;
 };
 
 } // namespace ssim

@@ -288,14 +288,16 @@ ExecutionEngine::preResume(uint64_t uid, uint64_t gen)
 void
 ExecutionEngine::applyPendingStep(Task* t)
 {
-    Task::PendingStep s = t->pending.steps[t->pending.next++];
+    // Move, not copy: the step owns its conflict probe's vectors, and
+    // pending.clear() below must not free them before they are applied.
+    Task::PendingStep s = std::move(t->pending.steps[t->pending.next++]);
     if (!t->pending.hasSteps())
         t->pending.clear();
     switch (s.kind) {
       case Task::PendingStep::Kind::Access: {
         uint64_t dummy = 0;
         issueAccessImpl(t, s.addr, s.size, s.isWrite, s.wval,
-                        s.aw ? &s.aw->rval : &dummy);
+                        s.aw ? &s.aw->rval : &dummy, &s.probe);
         break;
       }
       case Task::PendingStep::Kind::Compute: {
@@ -454,13 +456,17 @@ ExecutionEngine::issueAccess(Task* t, swarm::MemAwaiter* aw)
 uint32_t
 ExecutionEngine::applyAccessEffects(Task* t, Addr addr, uint32_t size,
                                     bool is_write, uint64_t wval,
-                                    uint64_t* rval)
+                                    uint64_t* rval,
+                                    Task::ConflictProbe* probe)
 {
     LineAddr line = lineOf(addr);
 
     // Eager conflict detection: earlier tasks win; later conflicting
-    // tasks abort *before* this access's functional effect.
-    uint32_t compared = conflict_->resolveConflicts(t, line, is_write);
+    // tasks abort *before* this access's functional effect. A fresh
+    // worker-side probe (concurrent conflict checks) is consumed here,
+    // at this access's serial slot.
+    uint32_t compared =
+        conflict_->resolveConflicts(t, line, is_write, probe);
 
     if (is_write) {
         Task::UndoRec rec{addr, uint8_t(size), 0};
@@ -484,9 +490,10 @@ ExecutionEngine::applyAccessEffects(Task* t, Addr addr, uint32_t size,
 void
 ExecutionEngine::issueAccessImpl(Task* t, Addr addr, uint32_t size,
                                  bool is_write, uint64_t wval,
-                                 uint64_t* rval)
+                                 uint64_t* rval, Task::ConflictProbe* probe)
 {
-    uint32_t lat = applyAccessEffects(t, addr, size, is_write, wval, rval);
+    uint32_t lat =
+        applyAccessEffects(t, addr, size, is_write, wval, rval, probe);
     t->execCycles += lat;
     scheduleResume(t, lat);
 }

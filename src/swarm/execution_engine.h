@@ -26,7 +26,12 @@
  * requested effects into Task::pending; every other method — including
  * the apply side of those recordings inside resumeCoro() — runs on the
  * coordinator thread in exact event order. Resume events are tagged
- * (EventQueue::scheduleResumeOn) so the executor can find them.
+ * (EventQueue::scheduleResumeOn) so the executor can find them. With
+ * cfg.concurrentConflicts, recorded accesses additionally carry
+ * worker-side conflict probes (Task::ConflictProbe, taken in the
+ * executor's conflict-check phase); applyPendingStep hands each step's
+ * probe to the ConflictManager, which consumes it only while its bank
+ * is provably unchanged.
  *
  * The engine never computes a latency itself: every cost — task
  * descriptor delivery, memory access, compute charge, and the Swarm
@@ -158,9 +163,14 @@ class ExecutionEngine : public ParallelBackend
     void scheduleResume(Task* t, Cycle delta);
     /** Apply one recorded step through the serial engine paths. */
     void applyPendingStep(Task* t);
-    /** The timing-model body of issueAccess (record mode bypasses it). */
+    /**
+     * The timing-model body of issueAccess (record mode bypasses it).
+     * @p probe: the step's worker-side conflict probe, if any (consumed
+     * by the ConflictManager when still fresh).
+     */
     void issueAccessImpl(Task* t, Addr addr, uint32_t size, bool is_write,
-                         uint64_t wval, uint64_t* rval);
+                         uint64_t wval, uint64_t* rval,
+                         Task::ConflictProbe* probe = nullptr);
     /**
      * The shared effect body of an applied access (conflict resolution,
      * functional load/store + undo, footprint, backend cost); returns
@@ -169,7 +179,8 @@ class ExecutionEngine : public ParallelBackend
      */
     uint32_t applyAccessEffects(Task* t, Addr addr, uint32_t size,
                                 bool is_write, uint64_t wval,
-                                uint64_t* rval);
+                                uint64_t* rval,
+                                Task::ConflictProbe* probe = nullptr);
 
     const SimConfig& cfg_;
     EventQueue& eq_;

@@ -99,11 +99,17 @@ Machine::run()
         engine_->scheduleDispatch(t);
     commit_->start();
     if (cfg_.hostThreads > 1) {
-        ParallelExecutor px(eq_, *engine_, cfg_.hostThreads);
+        // concurrentBackend() is non-null only when cfg.concurrentConflicts
+        // armed it (and the backend records accesses at all).
+        ParallelExecutor px(eq_, *engine_, cfg_.hostThreads,
+                            /*min_batch=*/0,
+                            conflict_->concurrentBackend());
         px.run();
         hostStats_.scans = px.scans();
         hostStats_.phases = px.phases();
         hostStats_.preResumed = px.preResumed();
+        hostStats_.conflictPhases = px.conflictPhases();
+        hostStats_.conflictProbes = px.conflictProbes();
     } else {
         eq_.run(); // the exact serial code path
     }
@@ -129,10 +135,24 @@ Machine::finalizeStats()
         stats_.laneScheduled[l] = eq_.laneScheduled(l);
         stats_.lanePeakPending[l] = eq_.lanePeakPending(l);
     }
+    // Drain the deferred epoch scrub before snapshotting bank stats.
+    conflict_->finalizeRun();
     const LineTable& lt = conflict_->lineTable();
     stats_.bankPeakLines.resize(lt.numBanks());
     for (uint32_t b = 0; b < lt.numBanks(); b++)
         stats_.bankPeakLines[b] = lt.bankPeakLines(b);
+
+    // Concurrent conflict-check occupancy (all zero unless armed):
+    // worker probe counts from the backend, lock traffic and scrub
+    // reclamations from the line table; probe hit/stale/cold counters
+    // were accumulated by resolveConflicts directly.
+    stats_.bankLockAcquired = lt.lockAcquired();
+    stats_.bankLockContended = lt.lockContended();
+    stats_.lineEntriesScrubbed = lt.entriesScrubbed();
+    if (ConcurrentConflictBackend* ccb = conflict_->concurrentBackend()) {
+        stats_.concWorkerProbes = ccb->probes();
+        stats_.bankProbes = ccb->bankProbes();
+    }
 }
 
 } // namespace ssim

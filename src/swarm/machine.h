@@ -82,8 +82,10 @@ class Machine
     struct HostExecStats
     {
         uint64_t scans = 0;      ///< lane scans for pre-resumable events
-        uint64_t phases = 0;     ///< fork-join pre-resume phases run
+        uint64_t phases = 0;     ///< fork-join phases run (record + probe)
         uint64_t preResumed = 0; ///< coroutine segments pre-executed
+        uint64_t conflictPhases = 0; ///< conflict-check phases run
+        uint64_t conflictProbes = 0; ///< accesses probed on workers
     };
     const HostExecStats& hostExecStats() const { return hostStats_; }
 

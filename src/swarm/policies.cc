@@ -297,6 +297,15 @@ set(SimConfig& cfg, const std::string& key, const std::string& value)
         cfg.engineBackend = value;
         return true;
     }
+    if (key == "conc-conflicts") {
+        if (value == "on")
+            cfg.concurrentConflicts = true;
+        else if (value == "off")
+            cfg.concurrentConflicts = false;
+        else
+            return false;
+        return true;
+    }
     return false;
 }
 
@@ -348,9 +357,12 @@ describe(const SimConfig& cfg)
     s += ",serialize=";
     s += cfg.serializeSameHint ? "on" : "off";
     // The default backend is implicit so pre-existing labels (and the
-    // golden expectations built on them) stay unchanged.
+    // golden expectations built on them) stay unchanged; likewise the
+    // default-off concurrent conflict checks.
     if (cfg.engineBackend != "timing")
         s += ",backend=" + cfg.engineBackend;
+    if (cfg.concurrentConflicts)
+        s += ",conc-conflicts=on";
     return s;
 }
 

@@ -15,6 +15,7 @@
  *   lb-signal=committed|idle
  *   serialize=on|off
  *   backend=timing|functional
+ *   conc-conflicts=on|off
  *
  * The registry also constructs the ExecutionEngine's cost model (the
  * EngineBackend, swarm/backends/engine_backend.h) by name, and custom

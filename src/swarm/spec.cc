@@ -8,8 +8,28 @@ namespace ssim {
 
 LineTable::LineTable(uint32_t nbanks)
     : banks_(nbanks ? nbanks : 1), peaks_(nbanks ? nbanks : 1, 0),
-      locks_(std::make_unique<std::mutex[]>(nbanks ? nbanks : 1))
+      opSeqs_(nbanks ? nbanks : 1, 0), dirty_(nbanks ? nbanks : 1, 0),
+      locks_(std::make_unique<std::mutex[]>(nbanks ? nbanks : 1)),
+      lockStats_(nbanks ? nbanks : 1)
 {
+}
+
+uint64_t
+LineTable::lockAcquired() const
+{
+    uint64_t n = 0;
+    for (const LockStats& s : lockStats_)
+        n += s.acquired;
+    return n;
+}
+
+uint64_t
+LineTable::lockContended() const
+{
+    uint64_t n = 0;
+    for (const LockStats& s : lockStats_)
+        n += s.contended;
+    return n;
 }
 
 LineEntry&
@@ -28,6 +48,7 @@ LineTable::addReader(LineAddr line, Task* t, bool first_for_task)
 {
     Entry& e = entryFor(line);
     e.readers.push_back(t);
+    opSeqs_[bankOf(line)]++;
     t->footprint.push_back(
         {&e, line, /*isWrite=*/false, /*ownsLine=*/first_for_task});
 }
@@ -37,6 +58,7 @@ LineTable::addWriter(LineAddr line, Task* t, bool first_for_task)
 {
     Entry& e = entryFor(line);
     e.writers.push_back(t);
+    opSeqs_[bankOf(line)]++;
     t->footprint.push_back(
         {&e, line, /*isWrite=*/true, /*ownsLine=*/first_for_task});
 }
@@ -52,16 +74,23 @@ LineTable::removeTask(Task* t)
         auto guard = lockFor(rec.line);
         auto& vec = rec.isWrite ? rec.entry->writers : rec.entry->readers;
         vec.erase(std::remove(vec.begin(), vec.end(), t), vec.end());
+        opSeqs_[bankOf(rec.line)]++;
     }
     // Pass 2: erase entries the scrub emptied. Exactly one record per
     // (task, line) owns the erase; under locking the entry is re-probed
-    // because a concurrent removeTask may have erased it already.
+    // because a concurrent removeTask may have erased it already. Under
+    // deferred scrub the erase is left for scrubEmptyEntries (the
+    // conflict-check phase or the end-of-run sweep): just mark the bank
+    // dirty. A lingering empty entry scans identically to a missing one.
     for (const Task::FootRec& rec : t->footprint) {
         if (!rec.ownsLine)
             continue;
         auto guard = lockFor(rec.line);
-        if (locking_) {
-            auto& bank = banks_[bankOf(rec.line)];
+        uint32_t b = bankOf(rec.line);
+        if (deferredScrub_) {
+            dirty_[b] = 1;
+        } else if (locking_) {
+            auto& bank = banks_[b];
             auto it = bank.find(rec.line);
             if (it != bank.end() && it->second.readers.empty() &&
                 it->second.writers.empty()) {
@@ -69,10 +98,40 @@ LineTable::removeTask(Task* t)
             }
         } else if (rec.entry->readers.empty() &&
                    rec.entry->writers.empty()) {
-            banks_[bankOf(rec.line)].erase(rec.line);
+            banks_[b].erase(rec.line);
         }
     }
     t->footprint.clear();
+}
+
+uint64_t
+LineTable::scrubEmptyEntries(uint32_t bank)
+{
+    auto guard = lockBank(bank);
+    uint64_t n = 0;
+    auto& map = banks_[bank];
+    for (auto it = map.begin(); it != map.end();) {
+        if (it->second.readers.empty() && it->second.writers.empty()) {
+            it = map.erase(it);
+            n++;
+        } else {
+            ++it;
+        }
+    }
+    dirty_[bank] = 0;
+    if (n)
+        scrubbed_.fetch_add(n, std::memory_order_relaxed);
+    return n;
+}
+
+uint64_t
+LineTable::scrubAllDirty()
+{
+    uint64_t n = 0;
+    for (uint32_t b = 0; b < uint32_t(banks_.size()); b++)
+        if (dirty_[b])
+            n += scrubEmptyEntries(b);
+    return n;
 }
 
 size_t

@@ -27,15 +27,34 @@
  * operations (find + scan, addReader/addWriter) with lockFor(line),
  * while removeTask — which spans banks — takes its per-record locks
  * internally and re-probes before the empty-erase so it never
- * dereferences an entry another thread just erased. The shipped
- * parallel executor issues every conflict operation from the
- * coordinator thread (worker pre-execution is pure), so the locks are
- * uncontended invariants today and the ready seam for a concurrent
- * conflict-check backend; tests/test_line_table.cc exercises them from
- * real threads under TSan.
+ * dereferences an entry another thread just erased. With
+ * cfg.concurrentConflicts the locks are genuinely exercised: the
+ * ConcurrentConflictBackend (swarm/conflict_manager.h) has workers
+ * probe whole banks under lockBank() during the executor's
+ * conflict-check phase; tests/test_line_table.cc additionally races
+ * them from unstructured threads under TSan.
+ *
+ * OP-SEQUENCE VALIDATION: every mutation that can change a probe's
+ * result — addReader/addWriter and the removeTask scrub — bumps its
+ * bank's op-sequence number (bankOpSeq). A worker-side probe records
+ * the number it read; the coordinator reuses the probe at the access's
+ * serial slot only if the number is unchanged, which makes probe reuse
+ * bit-identical to rescanning. Erasing an EMPTY entry does not bump:
+ * a scan of empty vectors and a missing entry produce the same result
+ * (0 candidates, 0 compared), so the epoch scrub below never
+ * invalidates sibling probes.
+ *
+ * EPOCH SCRUB: with setDeferredScrub(true) (armed with concurrent
+ * conflicts), removeTask skips the empty-entry erase pass and only
+ * marks the touched banks dirty; scrubEmptyEntries(bank) — called by
+ * the conflict-check phase for the banks it claims, and by the
+ * ConflictManager at end of run — erases the accumulated empty entries
+ * under the bank lock. Deferral changes only bank occupancy
+ * introspection (numLines/bankLines), never scan results.
  */
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -81,16 +100,46 @@ class LineTable
         auto it = bank.find(line);
         return it == bank.end() ? nullptr : &it->second;
     }
+    const Entry*
+    find(LineAddr line) const
+    {
+        auto& bank = banks_[bankOf(line)];
+        auto it = bank.find(line);
+        return it == bank.end() ? nullptr : &it->second;
+    }
 
     /**
      * Remove a task from every line it registered, via its indexed
      * footprint: no per-line map probes, only an erase per entry the
      * removal emptied. Clears Task::footprint. Takes its own per-bank
      * locks when locking is enabled (do not hold lockFor around it).
+     * Under deferred scrub the emptied entries are left in place (banks
+     * marked dirty) for a later scrubEmptyEntries.
      */
     void removeTask(Task* t);
 
     size_t numLines() const;
+
+    // ---- Epoch scrub (deferred empty-entry reclamation) ----------------
+    /**
+     * Defer removeTask's empty-entry erase to scrubEmptyEntries. Armed
+     * by the ConflictManager in concurrent-conflict mode so the erase
+     * work rides the conflict-check phase instead of the apply path.
+     * Call only while quiescent.
+     */
+    void setDeferredScrub(bool on) { deferredScrub_ = on; }
+    bool deferredScrub() const { return deferredScrub_; }
+    /**
+     * Erase @p bank's empty entries under its lock; returns the number
+     * erased and clears the bank's dirty flag. Safe concurrently with
+     * removeTask and probes on other threads: an empty entry is
+     * referenced by no live footprint record, and erasure never changes
+     * a scan's result (so it does not bump the op-sequence).
+     */
+    uint64_t scrubEmptyEntries(uint32_t bank);
+    /** Scrub every dirty bank (end of run, or a quiescent checkpoint). */
+    uint64_t scrubAllDirty();
+    bool bankDirty(uint32_t b) const { return dirty_[b] != 0; }
 
     // ---- Per-bank lock seam (parallel host mode) -----------------------
     /** Arm/disarm the per-bank mutexes. Call only while quiescent. */
@@ -110,7 +159,19 @@ class LineTable
     {
         if (!locking_)
             return {};
-        return std::unique_lock<std::mutex>(locks_[b]);
+        std::unique_lock<std::mutex> guard(locks_[b], std::try_to_lock);
+        bool contended = !guard.owns_lock();
+        if (contended) {
+            // Another thread holds the bank — the concurrency the
+            // banked layout is meant to keep rare (reported via
+            // SimStats.bankLockContended).
+            guard.lock();
+        }
+        // Counted under the bank lock into per-bank slots: no shared
+        // atomic for independent banks to ping-pong.
+        lockStats_[b].acquired++;
+        lockStats_[b].contended += contended;
+        return guard;
     }
 
     // ---- Bank introspection (occupancy stats, tests) -------------------
@@ -124,14 +185,46 @@ class LineTable
     size_t bankLines(uint32_t b) const { return banks_[b].size(); }
     /** Peak simultaneous tracked lines in bank @p b. */
     uint64_t bankPeakLines(uint32_t b) const { return peaks_[b]; }
+    /**
+     * Bank @p b's op-sequence number: bumped by every result-changing
+     * mutation (registration, removeTask scrub). The probe-validation
+     * token for concurrent conflict checks.
+     */
+    uint64_t bankOpSeq(uint32_t b) const { return opSeqs_[b]; }
+    // Armed-mode lock traffic (0 while locking is disabled). Summed
+    // from the per-bank slots; call only while quiescent.
+    uint64_t lockAcquired() const;
+    uint64_t lockContended() const;
+    uint64_t entriesScrubbed() const { return scrubbed_.load(); }
 
   private:
     Entry& entryFor(LineAddr line);
 
     std::vector<std::unordered_map<LineAddr, Entry>> banks_;
     std::vector<uint64_t> peaks_;
+    /// Per-bank op-sequence numbers. Written only by the thread that
+    /// owns the bank at that moment (the coordinator during serial
+    /// stretches; a bank-claiming worker never writes — scrubs do not
+    /// bump); cross-thread visibility comes from the executor's phase
+    /// barrier or the bank lock.
+    std::vector<uint64_t> opSeqs_;
+    /// Banks holding deferred-scrub empty entries (uint8_t, not bool:
+    /// written under the bank lock / phase barrier, vector<bool> bit
+    /// packing would let neighboring banks race).
+    std::vector<uint8_t> dirty_;
     std::unique_ptr<std::mutex[]> locks_; ///< one per bank
+    /// Lock traffic, one cache-line-padded slot per bank, written only
+    /// under that bank's lock (independent banks never share a line).
+    struct alignas(64) LockStats
+    {
+        uint64_t acquired = 0;
+        uint64_t contended = 0;
+    };
+    std::vector<LockStats> lockStats_;
+    std::atomic<uint64_t> scrubbed_{0}; ///< empty entries reclaimed
+                                        ///< (workers scrub concurrently)
     bool locking_ = false;
+    bool deferredScrub_ = false;
 };
 
 } // namespace ssim

@@ -94,6 +94,27 @@ class Task
     uint64_t execCycles = 0; ///< cycles of this execution attempt
     Cycle arrivalCycle = 0;
 
+    /**
+     * A speculative conflict probe of one recorded access, taken by a
+     * worker during the parallel executor's conflict-check phase
+     * (swarm/conflict_manager.h, ConcurrentConflictBackend). The probe
+     * is a pure read of the access's home line-table bank: the
+     * candidate lists and compared count the serial scan would produce,
+     * plus the bank's op-sequence number at probe time. At the access's
+     * serial apply slot the ConflictManager reuses the probe ONLY if
+     * the bank's op-sequence is unchanged — any registration or scrub
+     * in between invalidates it and the scan reruns inline — so a
+     * consumed probe is bit-identical to the scan it replaces.
+     */
+    struct ConflictProbe
+    {
+        std::vector<Task*> later; ///< uncommitted tasks after us (abort)
+        std::vector<Task*> earlierWriters; ///< forwarded-data sources
+        uint32_t compared = 0; ///< tasks scanned (check-latency input)
+        uint64_t opSeq = 0;    ///< bank op-sequence at probe time
+        bool valid = false;
+    };
+
     // Parallel host mode: recorded coroutine steps (sim/parallel_executor.h).
     // A worker thread pre-executes this task's pure coroutine segments in
     // "record" mode: each awaiter the coroutine hits is captured here
@@ -113,6 +134,10 @@ class Task
         /// Live only for the parked tail step (the coroutine is
         /// suspended on this awaiter); the read value is delivered here.
         swarm::MemAwaiter* aw = nullptr;
+        /// Access-only: worker-side conflict probe, consumed (moved out)
+        /// when the step is applied. Empty outside concurrent-conflict
+        /// mode.
+        ConflictProbe probe;
         // Compute.
         uint32_t cycles = 0;
         // Enqueue (EnqueueAwaiter payload minus the ctx pointer).

@@ -119,11 +119,13 @@ enum class Workload { Spawn, Contend, Spill };
 /**
  * Run one golden workload; returns the stats digest (base/stats.cc's
  * statsDigest — the same fields the parallel-host bench gates on).
- * @p backend selects the engine backend by registry name.
+ * @p backend selects the engine backend by registry name;
+ * @p conc_conflicts arms worker-side conflict checks (effective only
+ * when host_threads > 1 — the digests must not notice either way).
  */
 inline uint64_t
 runWorkload(Workload w, SchedulerType sched, uint32_t host_threads = 1,
-            const char* backend = "timing")
+            const char* backend = "timing", bool conc_conflicts = false)
 {
     auto* st = new (arena()) WorkState();
     SimConfig cfg;
@@ -140,6 +142,7 @@ runWorkload(Workload w, SchedulerType sched, uint32_t host_threads = 1,
     }
     cfg.hostThreads = host_threads;
     cfg.engineBackend = backend;
+    cfg.concurrentConflicts = conc_conflicts;
     Machine m(cfg);
     switch (w) {
       case Workload::Spawn:
