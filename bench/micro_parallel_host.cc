@@ -16,13 +16,20 @@
  *    reported honestly; serial mode remains the right default for such
  *    workloads.
  *
+ * Each thread count runs with parallel replay off and on (the
+ * bank-partitioned worker-side effect apply, docs/architecture.md
+ * "Parallel replay"), so the bench measures the coordinator's serial
+ * apply loop against the replay path on the same workload.
+ *
  * Every configuration's stats digest is checked against the serial run:
  * a digest mismatch is a hard failure, because thread-count invariance
- * is the executor's core contract.
+ * is the executor's core contract — with or without replay.
  *
  * Flags: --smoke (CI-sized run), --host-threads=N (upper bound of the
- * thread sweep, also via SWARMSIM_HOST_THREADS), --json=FILE
- * (machine-readable results, docs/benchmarks.md).
+ * thread sweep, also via SWARMSIM_HOST_THREADS), --parallel-replay=on|off
+ * (restrict the replay sweep to one setting), --json=FILE
+ * (machine-readable results, docs/benchmarks.md). Unrecognized flags
+ * fail fast (harness::requireKnownFlags).
  */
 #include <chrono>
 #include <cstdio>
@@ -32,6 +39,7 @@
 
 #include "base/hash.h"
 #include "base/logging.h"
+#include "harness/cli.h"
 #include "harness/report.h"
 #include "harness/runner.h"
 #include "swarm/machine.h"
@@ -96,11 +104,13 @@ struct RunOut
 };
 
 RunOut
-runOne(bool compute_bound, uint32_t ntasks, uint32_t host_threads)
+runOne(bool compute_bound, uint32_t ntasks, uint32_t host_threads,
+       bool replay)
 {
     std::memset(g_state.cells, 0, sizeof(g_state.cells));
     SimConfig cfg = SimConfig::withCores(256, SchedulerType::Hints, 42);
     cfg.hostThreads = host_threads;
+    cfg.parallelReplay = replay;
     Machine m(cfg);
     for (uint64_t i = 0; i < ntasks; i++) {
         if (compute_bound)
@@ -123,13 +133,21 @@ runOne(bool compute_bound, uint32_t ntasks, uint32_t host_threads)
     return out;
 }
 
+/// Which --parallel-replay settings to sweep (both unless restricted).
+struct ReplaySweep
+{
+    bool off = true;
+    bool on = true;
+};
+
 int
 runWorkload(const char* name, bool compute_bound, uint32_t ntasks,
-            uint32_t max_threads, harness::BenchJson& json)
+            uint32_t max_threads, ReplaySweep sweep,
+            harness::BenchJson& json)
 {
     std::printf("\n== %s: %u tasks on 64 tiles / 256 cores ==\n", name,
                 ntasks);
-    RunOut serial = runOne(compute_bound, ntasks, 1);
+    RunOut serial = runOne(compute_bound, ntasks, 1, /*replay=*/false);
     std::printf("  serial: %8.1f ms  (cycles=%llu committed=%llu "
                 "aborted=%llu)\n",
                 serial.ms, (unsigned long long)serial.stats.cycles,
@@ -138,6 +156,7 @@ runWorkload(const char* name, bool compute_bound, uint32_t ntasks,
     json.beginRow();
     json.val("workload", name);
     json.val("threads", uint64_t(1));
+    json.val("replay", false);
     json.val("ms", serial.ms);
     json.val("speedup", 1.0);
     json.val("digest_ok", true);
@@ -145,28 +164,42 @@ runWorkload(const char* name, bool compute_bound, uint32_t ntasks,
 
     int failures = 0;
     for (uint32_t threads = 2; threads <= max_threads; threads *= 2) {
-        RunOut p = runOne(compute_bound, ntasks, threads);
-        bool ok = p.digest == serial.digest;
-        if (!ok)
-            failures++;
-        std::printf("  %2u thr: %8.1f ms  %5.2fx  digest %s  "
-                    "(pre-resumed %llu segments in %llu phases, %llu "
-                    "scans)\n",
-                    threads, p.ms, serial.ms / p.ms,
-                    ok ? "identical" : "MISMATCH",
-                    (unsigned long long)p.host.preResumed,
-                    (unsigned long long)p.host.phases,
-                    (unsigned long long)p.host.scans);
-        json.beginRow();
-        json.val("workload", name);
-        json.val("threads", uint64_t(threads));
-        json.val("ms", p.ms);
-        json.val("speedup", serial.ms / p.ms);
-        json.val("digest_ok", ok);
-        json.val("pre_resumed", p.host.preResumed);
-        json.val("phases", p.host.phases);
-        json.val("scans", p.host.scans);
-        json.val("sim_cycles", p.stats.cycles);
+        for (int r = 0; r < 2; r++) {
+            bool replay = r == 1;
+            if (replay ? !sweep.on : !sweep.off)
+                continue;
+            RunOut p = runOne(compute_bound, ntasks, threads, replay);
+            bool ok = p.digest == serial.digest;
+            if (!ok)
+                failures++;
+            std::printf(
+                "  %2u thr%s: %8.1f ms  %5.2fx  digest %s  "
+                "(pre-resumed %llu; replay applied %llu / fallback %llu "
+                "/ squashed %llu in %llu phases)\n",
+                threads, replay ? " +replay" : "        ", p.ms,
+                serial.ms / p.ms, ok ? "identical" : "MISMATCH",
+                (unsigned long long)p.host.preResumed,
+                (unsigned long long)p.stats.workerApplies,
+                (unsigned long long)p.stats.coordinatorFallbackApplies,
+                (unsigned long long)p.stats.replaySquashed,
+                (unsigned long long)p.host.replayPhases);
+            json.beginRow();
+            json.val("workload", name);
+            json.val("threads", uint64_t(threads));
+            json.val("replay", replay);
+            json.val("ms", p.ms);
+            json.val("speedup", serial.ms / p.ms);
+            json.val("digest_ok", ok);
+            json.val("pre_resumed", p.host.preResumed);
+            json.val("phases", p.host.phases);
+            json.val("scans", p.host.scans);
+            json.val("replay_phases", p.host.replayPhases);
+            json.val("worker_applies", p.stats.workerApplies);
+            json.val("fallback_applies",
+                     p.stats.coordinatorFallbackApplies);
+            json.val("squashed", p.stats.replaySquashed);
+            json.val("sim_cycles", p.stats.cycles);
+        }
     }
     return failures;
 }
@@ -176,7 +209,19 @@ runWorkload(const char* name, bool compute_bound, uint32_t ntasks,
 int
 main(int argc, char** argv)
 {
+    harness::requireKnownFlags(argc, argv);
     bool smoke = harness::hasFlag(argc, argv, "--smoke");
+
+    ReplaySweep sweep;
+    if (const char* v = harness::flagValue(argc, argv, "--parallel-replay")) {
+        if (std::strcmp(v, "on") == 0 || std::strcmp(v, "1") == 0) {
+            sweep.off = false;
+        } else if (std::strcmp(v, "off") == 0 || std::strcmp(v, "0") == 0) {
+            sweep.on = false;
+        } else {
+            fatal("--parallel-replay needs on or off, got '%s'", v);
+        }
+    }
 
     uint32_t maxThreads = 8;
     {
@@ -202,8 +247,10 @@ main(int argc, char** argv)
     json.meta("max_threads", uint64_t(maxThreads));
 
     int failures = 0;
-    failures += runWorkload("compute-bound", true, ntasks, maxThreads, json);
-    failures += runWorkload("memory-bound", false, ntasks, maxThreads, json);
+    failures +=
+        runWorkload("compute-bound", true, ntasks, maxThreads, sweep, json);
+    failures +=
+        runWorkload("memory-bound", false, ntasks, maxThreads, sweep, json);
 
     if (!json.finish(argc, argv, failures == 0))
         failures++;

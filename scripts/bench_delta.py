@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Compare bench JSON artifacts against committed baselines.
+
+Every microbenchmark emits a ``BENCH_<name>.json`` document (schema in
+docs/benchmarks.md: ``{"bench", "schema", "meta", "rows"}``). This script
+compares such artifacts against the committed snapshots in
+``bench/baselines/`` and turns perf regressions into CI signal:
+
+- Rows are matched between artifact and baseline on their *identity*
+  fields — every key whose value is not a number in both documents, plus
+  integer knob fields (``threads``) — so a row is compared against the
+  baseline row measuring the same configuration.
+- The gated fields are listed by each baseline in
+  ``meta.delta_gated_fields`` (default: ``["sim_cycles"]``). A gated
+  field that grew by >= 5% prints a warning; >= 15% fails the check.
+  Simulated-cycle counts are deterministic for fixed data addresses, but
+  benches whose state lives in ASLR-placed globals see run-to-run cycle
+  jitter from address-dependent cache indexing and hint hashes — the
+  generous default thresholds absorb the common case, and a baseline
+  whose workload is unusually address-sensitive can widen its own bands
+  via ``meta.delta_warn_pct`` / ``meta.delta_fail_pct``.
+- Wall-clock fields (``ms``, ``speedup``) are never gated: CI runners
+  share cores and the container may have one. They are printed for the
+  trajectory only.
+- ``meta.pass == false`` or any row with ``digest_ok == false`` in the
+  *artifact* is a hard failure regardless of deltas: the bench's own
+  correctness gate tripped.
+- A missing baseline, a missing artifact, or an unmatched row warns but
+  does not fail — new benches and new sweep axes land before their
+  baselines do.
+
+Usage:
+    scripts/bench_delta.py [--baselines DIR] ARTIFACT.json...
+Exit status: 0 ok (possibly with warnings), 1 regression or gate failure.
+
+Refreshing a baseline after an intentional change:
+    ./build-rel/micro_parallel_host --smoke --json=/tmp/b.json
+    cp /tmp/b.json bench/baselines/micro_parallel_host.json
+"""
+
+import argparse
+import json
+import os
+import sys
+
+WARN_PCT = 5.0
+FAIL_PCT = 15.0
+DEFAULT_GATED = ["sim_cycles"]
+# Wall-clock measurements: never gated, never used as row identity.
+TIMING_FIELDS = {"ms", "speedup"}
+
+
+def is_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def identity_fields(rows):
+    """Keys that identify a row's configuration: every key present with
+    a non-numeric value anywhere, plus small integer knobs like
+    ``threads`` (numeric but configuration, not measurement).
+
+    Measurement keys are floats or large counters; knob keys are the
+    ones with few distinct values relative to the row count — but a
+    robust-enough heuristic here is: non-numeric keys plus bools plus
+    any key named in KNOB_KEYS.
+    """
+    KNOB_KEYS = {"threads", "banks", "cores", "lanes", "replay", "conc"}
+    ids = set()
+    for row in rows:
+        for k, v in row.items():
+            if k in TIMING_FIELDS:
+                continue
+            if not is_number(v) or k in KNOB_KEYS:
+                ids.add(k)
+    return ids
+
+
+def row_key(row, ids):
+    return tuple(sorted((k, json.dumps(row[k])) for k in ids if k in row))
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if "bench" not in doc or "rows" not in doc:
+        raise ValueError(f"{path}: not a bench JSON document")
+    return doc
+
+
+def check_artifact(art_path, baseline_dir):
+    """Returns (warnings, failures) message lists for one artifact."""
+    warnings, failures = [], []
+    art = load(art_path)
+    name = art["bench"]
+
+    # The bench's own gates are authoritative regardless of baselines.
+    if art.get("meta", {}).get("pass") is False:
+        failures.append(f"{name}: artifact meta.pass is false "
+                        "(the bench's own gate tripped)")
+    for row in art["rows"]:
+        if row.get("digest_ok") is False:
+            failures.append(f"{name}: row {row} has digest_ok=false")
+
+    base_path = os.path.join(baseline_dir, f"{name}.json")
+    if not os.path.exists(base_path):
+        warnings.append(f"{name}: no baseline at {base_path} "
+                        "(new bench? commit one to enable delta gating)")
+        return warnings, failures
+    base = load(base_path)
+
+    meta = base.get("meta", {})
+    gated = meta.get("delta_gated_fields", DEFAULT_GATED)
+    warn_pct = float(meta.get("delta_warn_pct", WARN_PCT))
+    fail_pct = float(meta.get("delta_fail_pct", FAIL_PCT))
+    ids = identity_fields(base["rows"]) | identity_fields(art["rows"])
+    base_rows = {row_key(r, ids): r for r in base["rows"]}
+
+    compared = 0
+    for row in art["rows"]:
+        key = row_key(row, ids)
+        b = base_rows.get(key)
+        label = ", ".join(f"{k}={v}" for k, v in
+                          ((k, row.get(k)) for k in sorted(ids))
+                          if v is not None)
+        if b is None:
+            warnings.append(f"{name}: no baseline row for ({label})")
+            continue
+        for field in gated:
+            if field not in row or field not in b:
+                continue
+            cur, ref = row[field], b[field]
+            if not (is_number(cur) and is_number(ref)) or ref == 0:
+                continue
+            compared += 1
+            pct = 100.0 * (cur - ref) / ref
+            line = (f"{name} ({label}) {field}: {ref} -> {cur} "
+                    f"({pct:+.1f}%)")
+            if pct >= fail_pct:
+                failures.append(line + f" exceeds fail threshold "
+                                f"{fail_pct:.0f}%")
+            elif pct >= warn_pct:
+                warnings.append(line + f" exceeds warn threshold "
+                               f"{warn_pct:.0f}%")
+            else:
+                print(f"  ok   {line}")
+    if compared == 0:
+        warnings.append(f"{name}: no gated fields compared "
+                        f"(gated={gated}) — check the baseline")
+    return warnings, failures
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baselines", default="bench/baselines",
+                    help="directory of committed baseline JSONs")
+    ap.add_argument("artifacts", nargs="+", help="BENCH_*.json files")
+    args = ap.parse_args()
+
+    all_warn, all_fail = [], []
+    for path in args.artifacts:
+        if not os.path.exists(path):
+            all_warn.append(f"{path}: artifact missing")
+            continue
+        print(f"== {path}")
+        try:
+            w, f = check_artifact(path, args.baselines)
+        except (ValueError, json.JSONDecodeError) as e:
+            all_fail.append(f"{path}: unreadable ({e})")
+            continue
+        all_warn += w
+        all_fail += f
+
+    for w in all_warn:
+        print(f"  WARN {w}")
+    for f in all_fail:
+        print(f"  FAIL {f}")
+    if all_fail:
+        print(f"bench_delta: {len(all_fail)} failure(s), "
+              f"{len(all_warn)} warning(s)")
+        return 1
+    print(f"bench_delta: ok ({len(all_warn)} warning(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -89,6 +89,22 @@ struct SimStats
     uint64_t lineEntriesScrubbed = 0; ///< epoch-scrub reclamations
     std::vector<uint64_t> bankProbes; ///< worker probes per bank
 
+    // Parallel-replay occupancy (cfg.parallelReplay; all zero
+    // otherwise). Host-side introspection like the concurrent-check
+    // counters above: EXCLUDED from the golden digest, which must stay
+    // thread-count invariant.
+    uint64_t workerApplies = 0; ///< worker pre-applies consumed at slot
+    uint64_t replaySquashed = 0; ///< pre-applies squashed by a fence
+    /// Recorded access steps the coordinator applied serially while
+    /// replay was armed (not pre-applied: conflicted, stale, or simply
+    /// not reached by a replay phase).
+    uint64_t coordinatorFallbackApplies = 0;
+    /// Recorded non-access steps (compute/enqueue/finish) applied while
+    /// replay was armed: effects that stay coordinator-confined because
+    /// their footprint is not a single line-table bank.
+    uint64_t crossBankEffects = 0;
+    std::vector<uint64_t> bankApplies; ///< worker pre-applies per bank
+
     uint64_t totalCoreCycles() const;
     uint64_t totalFlits() const;
 

@@ -124,6 +124,53 @@ applyConcConflicts(SimConfig& cfg, int argc, char** argv)
 }
 
 void
+applyParallelReplay(SimConfig& cfg, int argc, char** argv)
+{
+    if (const char* e = std::getenv("SWARMSIM_PARALLEL_REPLAY")) {
+        if (!parseOnOff(e, cfg.parallelReplay)) {
+            static bool warned = false; // runOnce applies this per run
+            if (!warned) {
+                warned = true;
+                warn("ignoring SWARMSIM_PARALLEL_REPLAY='%s' (needs "
+                     "on/off)",
+                     e);
+            }
+        }
+    }
+    if (const char* v = flagValue(argc, argv, "--parallel-replay")) {
+        if (!parseOnOff(v, cfg.parallelReplay))
+            fatal("--parallel-replay needs on or off, got '%s'", v);
+    }
+}
+
+void
+requireKnownFlags(int argc, char** argv, const char* const* extras)
+{
+    static const char* const kShared[] = {
+        "--host-threads", "--backend",  "--conc-conflicts",
+        "--parallel-replay", "--policy", "--json", "--smoke",
+    };
+    for (int i = 1; i < argc; i++) {
+        const char* arg = argv[i];
+        if (std::strncmp(arg, "--", 2) != 0)
+            continue; // positional operands are the binary's business
+        std::string flag(arg);
+        if (size_t eq = flag.find('='); eq != std::string::npos)
+            flag.resize(eq);
+        bool known = false;
+        for (const char* k : kShared)
+            known = known || flag == k;
+        for (const char* const* e = extras; !known && e && *e; e++)
+            known = known || flag == *e;
+        if (!known)
+            fatal("unrecognized flag '%s' (check the spelling; a typo'd "
+                  "flag would otherwise silently measure the default "
+                  "configuration)",
+                  arg);
+    }
+}
+
+void
 applyPolicy(SimConfig& cfg, int argc, char** argv)
 {
     if (const char* v = flagValue(argc, argv, "--policy"))
@@ -146,6 +193,13 @@ applyBenchFlags(int argc, char** argv)
         if (!parseOnOff(v, parsed))
             fatal("--conc-conflicts needs on or off, got '%s'", v);
         setenv("SWARMSIM_CONC_CONFLICTS", parsed ? "on" : "off",
+               /*overwrite=*/1);
+    }
+    if (const char* v = flagValue(argc, argv, "--parallel-replay")) {
+        bool parsed = false;
+        if (!parseOnOff(v, parsed))
+            fatal("--parallel-replay needs on or off, got '%s'", v);
+        setenv("SWARMSIM_PARALLEL_REPLAY", parsed ? "on" : "off",
                /*overwrite=*/1);
     }
 }

@@ -64,6 +64,28 @@ void applyConcConflicts(SimConfig& cfg, int argc = 0,
                         char** argv = nullptr);
 
 /**
+ * Apply parallel-replay overrides to @p cfg: the
+ * SWARMSIM_PARALLEL_REPLAY environment variable (on/1 arms, off/0
+ * disarms; anything else is ignored with a one-time warning), then any
+ * --parallel-replay=on|off in argv, which wins and must be well-formed.
+ */
+void applyParallelReplay(SimConfig& cfg, int argc = 0,
+                         char** argv = nullptr);
+
+/**
+ * Fail fast on unrecognized `--` flags: fatals (exit, not abort) naming
+ * the first argv token that starts with "--" whose flag part (before
+ * any '=') is neither in the shared bench set — --host-threads,
+ * --backend, --conc-conflicts, --parallel-replay, --policy, --json,
+ * --smoke — nor in @p extras. Benches call it first in main() so a typo
+ * like `--host-thread=8` aborts the run instead of silently measuring
+ * the default configuration. @p extras is a nullptr-terminated array of
+ * additional accepted flag spellings (may be nullptr).
+ */
+void requireKnownFlags(int argc, char** argv,
+                       const char* const* extras = nullptr);
+
+/**
  * Apply any --policy=spec in argv through policies::apply (scheduler
  * and policy-knob selection by name; fatals on a malformed spec with
  * the registry's error message).

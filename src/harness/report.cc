@@ -127,7 +127,7 @@ occupancySummary(const SimStats& s)
     auto ev = minMeanMax(s.laneScheduled, 1);
     auto pk = minMeanMax(s.lanePeakPending, 1);
     auto bk = minMeanMax(s.bankPeakLines, 0);
-    char buf[512];
+    char buf[768];
     int n = std::snprintf(
         buf, sizeof(buf),
         "lanes: %zu tile + global (%llu ev); tile events "
@@ -145,7 +145,7 @@ occupancySummary(const SimStats& s)
         uint64_t pb = 0;
         for (uint64_t b : s.bankProbes)
             pb = std::max(pb, b);
-        std::snprintf(
+        n += std::snprintf(
             buf + n, sizeof(buf) - size_t(n),
             "\nconflict checks: %llu worker probes (peak bank %llu), "
             "hit/stale/cold=%llu/%llu/%llu; bank locks %llu "
@@ -158,6 +158,24 @@ occupancySummary(const SimStats& s)
             (unsigned long long)s.bankLockAcquired,
             (unsigned long long)s.bankLockContended,
             (unsigned long long)s.lineEntriesScrubbed);
+    }
+    // Parallel-replay occupancy: worker pre-applies vs. coordinator
+    // fallbacks, squash traffic, and the per-bank apply spread.
+    if ((s.workerApplies || s.replaySquashed ||
+         s.coordinatorFallbackApplies) &&
+        n > 0 && size_t(n) < sizeof(buf)) {
+        uint64_t pb = 0;
+        for (uint64_t b : s.bankApplies)
+            pb = std::max(pb, b);
+        std::snprintf(
+            buf + n, sizeof(buf) - size_t(n),
+            "\nreplay: %llu worker applies (peak bank %llu), "
+            "%llu squashed; coordinator fallback %llu, "
+            "cross-bank %llu",
+            (unsigned long long)s.workerApplies, (unsigned long long)pb,
+            (unsigned long long)s.replaySquashed,
+            (unsigned long long)s.coordinatorFallbackApplies,
+            (unsigned long long)s.crossBankEffects);
     }
     return buf;
 }

@@ -14,11 +14,12 @@ runOnce(apps::App& app, const SimConfig& cfg, AccessProfiler* profiler)
 {
     app.reset();
     SimConfig hostCfg = cfg;
-    // Env-only pass: host threads, engine backend, and concurrent
-    // conflict checks (harness/cli.h).
+    // Env-only pass: host threads, engine backend, concurrent conflict
+    // checks, and parallel replay (harness/cli.h).
     applyHostThreads(hostCfg);
     applyBackend(hostCfg);
     applyConcConflicts(hostCfg);
+    applyParallelReplay(hostCfg);
     Machine m(hostCfg);
     if (profiler)
         m.setProfiler(profiler);

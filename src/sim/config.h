@@ -120,6 +120,21 @@ struct SimConfig
     /// specs. Default off so the goldens gate the serial path directly.
     bool concurrentConflicts = false;
 
+    /// Bank-partitioned parallel replay (not a modeled-machine knob:
+    /// simulation wall-clock only). When true and hostThreads > 1, the
+    /// parallel executor runs a replay phase after the conflict phase:
+    /// workers claim whole line-table banks and speculatively PRE-APPLY
+    /// recorded accesses proven conflict-free, in each bank's serial
+    /// slot order; the coordinator consumes each pre-apply at its exact
+    /// (cycle, seq) slot, or squashes it first if any serial-path
+    /// operation touches the bank — so golden digests stay bit-identical
+    /// to the serial path. Composes with (but does not require)
+    /// concurrentConflicts; ignored by inline-effects backends.
+    /// Overridable via SWARMSIM_PARALLEL_REPLAY (harness runs),
+    /// --parallel-replay=on|off (benches), and `parallel-replay=` policy
+    /// specs. Default off so the goldens gate the serial path directly.
+    bool parallelReplay = false;
+
     // Engine backend ----------------------------------------------------------
     /// Execution-engine cost model, selected by name through the
     /// backend registry (swarm/policies.h): "timing" (the paper's

@@ -198,10 +198,12 @@ class EventQueue
     /**
      * Visit every pending resume-tagged event, in no particular order
      * (lane by lane, heap array order). The visitor must not schedule or
-     * pop; it typically collects (uid, gen) pairs for the pre-resume
-     * batch. Pre-resume correctness does not depend on visit order: the
-     * pre-executed segments are pure and their effects are replayed in
-     * exact (cycle, seq) pop order.
+     * pop; it receives (uid, gen, when, seq) — the task identity plus
+     * the event's serial slot, so the replay backend can order staged
+     * applies by the slot they will be consumed at. Pre-resume
+     * correctness does not depend on visit order: the pre-executed
+     * segments are pure and their effects are replayed in exact
+     * (cycle, seq) pop order.
      */
     template <typename Fn>
     void
@@ -210,7 +212,8 @@ class EventQueue
         for (const Lane& L : lanes_)
             for (const Event& e : L.heap)
                 if (e.tag)
-                    fn((e.tag - 1) & kTagUidMask, (e.tag - 1) >> kTagUidBits);
+                    fn((e.tag - 1) & kTagUidMask, (e.tag - 1) >> kTagUidBits,
+                       e.when, e.seq);
     }
 
   private:

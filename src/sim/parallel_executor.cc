@@ -9,8 +9,9 @@ namespace ssim {
 
 ParallelExecutor::ParallelExecutor(EventQueue& eq, ParallelBackend& backend,
                                    uint32_t threads, uint32_t min_batch,
-                                   ConcurrentConflictBackend* conflicts)
-    : eq_(eq), backend_(backend), conflicts_(conflicts),
+                                   ConcurrentConflictBackend* conflicts,
+                                   ParallelReplayBackend* replay)
+    : eq_(eq), backend_(backend), conflicts_(conflicts), replay_(replay),
       nslices_(std::max(threads, 1u)),
       minBatch_(min_batch ? min_batch : std::max(4u, threads))
 {
@@ -42,9 +43,15 @@ ParallelExecutor::runSlice(PhaseKind kind, uint32_t slice)
         r.steps = probes;
         return r;
     }
+    if (kind == PhaseKind::Replay) {
+        auto [banks, applies] = replay_->applySlice();
+        r.segments = banks;
+        r.steps = applies;
+        return r;
+    }
     for (size_t i = slice; i < candidates_.size(); i += nslices_) {
-        uint32_t steps = backend_.preResume(candidates_[i].first,
-                                            candidates_[i].second);
+        uint32_t steps =
+            backend_.preResume(candidates_[i].uid, candidates_[i].gen);
         r.segments += steps > 0;
         r.steps += steps;
     }
@@ -106,8 +113,9 @@ ParallelExecutor::run()
         if (eq_.pendingResumes() >= minBatch_) {
             scans_++;
             candidates_.clear();
-            eq_.forEachPendingResume([this](uint64_t uid, uint64_t gen) {
-                candidates_.emplace_back(uid, gen);
+            eq_.forEachPendingResume([this](uint64_t uid, uint64_t gen,
+                                            Cycle when, uint64_t seq) {
+                candidates_.push_back({uid, gen, when, seq});
             });
             PhaseResult r = candidates_.size() >= minBatch_
                                 ? runPhase(PhaseKind::Record)
@@ -126,6 +134,21 @@ ParallelExecutor::run()
                     PhaseResult c = runPhase(PhaseKind::ConflictProbe);
                     conflicts_->setInPhase(false);
                     conflictProbes_ += c.steps;
+                }
+            }
+            // Replay phase: workers pre-apply conflict-free bank-local
+            // accesses in bank-slot order. Runs after the conflict
+            // phase so probe results (when armed) are reusable, but is
+            // independently gated: replay stages its own probes when
+            // conc-conflicts is off.
+            if (replay_) {
+                size_t rq = replay_->buildQueues(candidates_);
+                if (rq >= minBatch_) {
+                    replayPhases_++;
+                    replay_->setInPhase(true);
+                    PhaseResult p = runPhase(PhaseKind::Replay);
+                    replay_->setInPhase(false);
+                    replayApplies_ += p.steps;
                 }
             }
             // Back off when the scan found little new work (stale or

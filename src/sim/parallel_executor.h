@@ -30,6 +30,14 @@
  *    coordinator consumes a probe at the access's exact (cycle, seq)
  *    slot only if its bank is provably unchanged (see
  *    swarm/conflict_manager.h).
+ *  - With a ParallelReplayBackend wired (cfg.parallelReplay), a REPLAY
+ *    phase follows: workers claim whole line-table banks and
+ *    speculatively PRE-APPLY accesses they can prove conflict-free and
+ *    bank-local, in each bank's serial (cycle, seq) slot order. The
+ *    coordinator consumes a pre-applied effect at its exact serial slot
+ *    — or squashes it first if any serial-path bank operation
+ *    intervenes — so the observable simulation is bit-identical either
+ *    way (swarm/conflict_manager.h, ParallelReplayBackend).
  *  - The coordinator then resumes the ordinary serial event loop. When
  *    a resume event fires and finds recorded steps for its (uid, gen),
  *    it skips the (already executed) pure segment and applies the next
@@ -71,6 +79,21 @@
 namespace ssim {
 
 class ConcurrentConflictBackend;
+class ParallelReplayBackend;
+
+/**
+ * One pending resume event, as surfaced by a coordinator scan: the task
+ * identity plus the serial (cycle, seq) slot its next recorded step will
+ * be applied at. The slot lets the replay backend stage bank-local
+ * applies in exact serial order within each bank.
+ */
+struct ResumeCandidate
+{
+    uint64_t uid = 0;
+    uint64_t gen = 0;
+    Cycle when = 0;
+    uint64_t seq = 0;
+};
 
 /**
  * The execution engine's pre-resume hook. preResume() is called from
@@ -97,11 +120,15 @@ class ParallelExecutor
      * gates the parallel phase: batches smaller than this run inline in
      * the serial loop (0 picks a default of max(4, threads)).
      * @p conflicts, when non-null, arms the conflict-check phase
-     * between record and replay (swarm/conflict_manager.h).
+     * between record and replay (swarm/conflict_manager.h). @p replay,
+     * when non-null, arms the bank-partitioned replay phase in which
+     * workers speculatively pre-apply conflict-free bank-local accesses
+     * (cfg.parallelReplay; swarm/conflict_manager.h).
      */
     ParallelExecutor(EventQueue& eq, ParallelBackend& backend,
                      uint32_t threads, uint32_t min_batch = 0,
-                     ConcurrentConflictBackend* conflicts = nullptr);
+                     ConcurrentConflictBackend* conflicts = nullptr,
+                     ParallelReplayBackend* replay = nullptr);
     ~ParallelExecutor();
     ParallelExecutor(const ParallelExecutor&) = delete;
     ParallelExecutor& operator=(const ParallelExecutor&) = delete;
@@ -115,6 +142,8 @@ class ParallelExecutor
     uint64_t preResumed() const { return preResumed_; }
     uint64_t conflictPhases() const { return conflictPhases_; }
     uint64_t conflictProbes() const { return conflictProbes_; }
+    uint64_t replayPhases() const { return replayPhases_; }
+    uint64_t replayApplies() const { return replayApplies_; }
 
   private:
     /// Serial-stretch length bounds: after a fruitful scan the
@@ -131,8 +160,9 @@ class ParallelExecutor
     static constexpr uint64_t kMinRunaheadPerSegment = 2;
 
     /// What one fork-join phase does: pre-resume the candidate batch
-    /// (record mode) or drain the conflict backend's bank probe queues.
-    enum class PhaseKind : uint8_t { Record, ConflictProbe };
+    /// (record mode), drain the conflict backend's bank probe queues,
+    /// or drain the replay backend's per-bank effect queues.
+    enum class PhaseKind : uint8_t { Record, ConflictProbe, Replay };
 
     struct PhaseResult
     {
@@ -146,10 +176,11 @@ class ParallelExecutor
     EventQueue& eq_;
     ParallelBackend& backend_;
     ConcurrentConflictBackend* conflicts_;
+    ParallelReplayBackend* replay_;
     uint32_t nslices_;
     uint32_t minBatch_;
 
-    std::vector<std::pair<uint64_t, uint64_t>> candidates_; ///< (uid, gen)
+    std::vector<ResumeCandidate> candidates_;
 
     std::mutex m_;
     std::condition_variable cvStart_;
@@ -166,6 +197,8 @@ class ParallelExecutor
     uint64_t preResumed_ = 0;
     uint64_t conflictPhases_ = 0;
     uint64_t conflictProbes_ = 0;
+    uint64_t replayPhases_ = 0;
+    uint64_t replayApplies_ = 0;
 };
 
 } // namespace ssim

@@ -136,6 +136,10 @@ CommitController::commitTask(Task* t)
     ssim_assert(t->state == TaskState::Finished);
     TaskUnit& unit = engine_.unit(t->tile);
     unit.commitQ.erase(t);
+    // onCommit fences any staged parallel-replay pre-applies on the
+    // task's footprint banks before releasing its line-table entries:
+    // removeTask changes probe compared counts, which feed the
+    // digest-included conflictChecks stat.
     conflict_.onCommit(t);
 
     stats_.tasksCommitted++;

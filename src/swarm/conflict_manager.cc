@@ -1,6 +1,7 @@
 #include "swarm/conflict_manager.h"
 
 #include <algorithm>
+#include <cstring>
 #include <unordered_map>
 
 #include "base/logging.h"
@@ -27,6 +28,12 @@ ConflictManager::ConflictManager(const SimConfig& cfg,
         lineTable_.setDeferredScrub(true);
         ccb_ = std::make_unique<ConcurrentConflictBackend>(*this, engine);
     }
+    if (parallelHost && cfg.parallelReplay) {
+        // Parallel replay is independent of concurrent conflict checks:
+        // it stages its own probes when ccb_ is absent, and reuses
+        // still-fresh worker probes when both are armed.
+        rpb_ = std::make_unique<ParallelReplayBackend>(*this, engine);
+    }
 }
 
 ConflictManager::~ConflictManager() = default;
@@ -37,9 +44,25 @@ ConflictManager::concurrentBackend()
     return ccb_.get();
 }
 
+ParallelReplayBackend*
+ConflictManager::replayBackend()
+{
+    return rpb_.get();
+}
+
+void
+ConflictManager::onCommit(Task* t)
+{
+    if (rpb_)
+        rpb_->fenceTask(t);
+    lineTable_.removeTask(t);
+}
+
 void
 ConflictManager::finalizeRun()
 {
+    if (rpb_)
+        rpb_->fenceAll(); // defensive: nothing should be staged by now
     if (lineTable_.deferredScrub())
         lineTable_.scrubAllDirty();
 }
@@ -107,6 +130,14 @@ uint32_t
 ConflictManager::resolveConflicts(Task* t, LineAddr line, bool is_write,
                                   Task::ConflictProbe* cached)
 {
+    // Parallel replay: a serial-path resolution on this bank is an
+    // out-of-order bank touch — squash the bank's staged pre-applies
+    // first (their probes assumed no serial mutation before their own
+    // slots), BEFORE the cached-probe check: the squash bumps the
+    // op-sequence, invalidating probes that saw the staged state.
+    if (rpb_)
+        rpb_->fenceLine(line);
+
     // PROBE: consume the worker-side probe iff the bank's op-sequence
     // proves no registration or scrub intervened — then its candidate
     // sets and compared count are exactly what a fresh scan would
@@ -132,6 +163,8 @@ ConflictManager::resolveConflicts(Task* t, LineAddr line, bool is_write,
     // per-bank locks).
     ssim_assert(!ccb_ || !ccb_->inPhase(),
                 "conflict resolution during a probe phase");
+    ssim_assert(!rpb_ || !rpb_->inPhase(),
+                "conflict resolution during a replay phase");
     for (Task* o : probe.earlierWriters)
         o->dependents.emplace_back(t->uid, t->generation);
 
@@ -218,6 +251,15 @@ ConflictManager::rollbackTask(Task* t, TileId cause_tile)
     // and functional backends rely on coordinator confinement).
     ssim_assert(!ccb_ || !ccb_->inPhase(),
                 "rollback during a probe phase");
+    ssim_assert(!rpb_ || !rpb_->inPhase(),
+                "rollback during a replay phase");
+    // Squash staged pre-applies on every bank this task touched BEFORE
+    // restoring the undo log: the task's own staged write (if any) is
+    // the undo tail and must be popped by its squash, and other tasks'
+    // staged state on these banks assumed no rollback before their
+    // slots.
+    if (rpb_)
+        rpb_->fenceTask(t);
     backend_.abortMessage(cause_tile, t->tile);
 
     uint64_t rollbackCycles = 0;
@@ -326,7 +368,7 @@ ConcurrentConflictBackend::probes() const
 
 size_t
 ConcurrentConflictBackend::buildQueues(
-    const std::vector<std::pair<uint64_t, uint64_t>>& candidates)
+    const std::vector<ResumeCandidate>& candidates)
 {
     LineTable& lt = cm_.lineTable_;
     for (uint32_t b : activeBanks_)
@@ -334,16 +376,16 @@ ConcurrentConflictBackend::buildQueues(
     activeBanks_.clear();
 
     size_t queued = 0;
-    for (auto [uid, gen] : candidates) {
-        Task* t = engine_.lookupTask(uid);
-        if (!t || t->generation != gen || t->state != TaskState::Running)
+    for (const ResumeCandidate& c : candidates) {
+        Task* t = engine_.lookupTask(c.uid);
+        if (!t || t->generation != c.gen || t->state != TaskState::Running)
             continue; // stale tag: aborted/discarded since the scan
         Task::PendingRun& p = t->pending;
-        if (p.gen != gen || !p.hasSteps())
+        if (p.gen != c.gen || !p.hasSteps())
             continue; // nothing recorded (or a stale recording)
         for (size_t i = p.next; i < p.steps.size(); i++) {
             Task::PendingStep& s = p.steps[i];
-            if (s.kind != Task::PendingStep::Kind::Access)
+            if (s.kind != Task::PendingStep::Kind::Access || s.applied)
                 continue;
             LineAddr line = lineOf(s.addr);
             uint32_t b = lt.bankOf(line);
@@ -400,6 +442,269 @@ ConcurrentConflictBackend::probeSlice()
         bankProbes_[b] += bankItems_[b].size();
     }
     return {banks, probes};
+}
+
+// ---- ParallelReplayBackend -------------------------------------------------
+
+ParallelReplayBackend::ParallelReplayBackend(ConflictManager& cm,
+                                             ExecutionEngine& engine)
+    : cm_(cm), engine_(engine),
+      bankItems_(cm.lineTable_.numBanks()),
+      bankStaged_(cm.lineTable_.numBanks()),
+      bankApplies_(cm.lineTable_.numBanks(), 0)
+{
+}
+
+uint64_t
+ParallelReplayBackend::applies() const
+{
+    uint64_t n = 0;
+    for (uint64_t b : bankApplies_)
+        n += b;
+    return n;
+}
+
+size_t
+ParallelReplayBackend::buildQueues(
+    const std::vector<ResumeCandidate>& candidates)
+{
+    LineTable& lt = cm_.lineTable_;
+    for (uint32_t b : activeBanks_)
+        bankItems_[b].clear();
+    activeBanks_.clear();
+
+    size_t queued = 0;
+    for (const ResumeCandidate& c : candidates) {
+        Task* t = engine_.lookupTask(c.uid);
+        if (!t || t->generation != c.gen || t->state != TaskState::Running)
+            continue; // stale tag: aborted/discarded since the scan
+        Task::PendingRun& p = t->pending;
+        if (p.gen != c.gen || !p.hasSteps())
+            continue; // nothing recorded (or a stale recording)
+        // Only the HEAD step is stageable: it alone has a known serial
+        // slot (this resume event's); later steps' slots are scheduled
+        // as each applies. Non-access heads (compute, enqueue, finish)
+        // mutate coordinator-confined state and stay serial.
+        Task::PendingStep& s = p.steps[p.next];
+        if (s.kind != Task::PendingStep::Kind::Access || s.applied)
+            continue;
+        LineAddr line = lineOf(s.addr);
+        uint32_t b = lt.bankOf(line);
+        if (bankItems_[b].empty())
+            activeBanks_.push_back(b);
+        bankItems_[b].push_back(
+            {t, uint32_t(p.next), line, s.isWrite, c.when, c.seq});
+        queued++;
+    }
+    // Slot-order each bank's queue: staging must happen in consume
+    // order so the staged deque can be consumed from the front.
+    for (uint32_t b : activeBanks_)
+        std::sort(bankItems_[b].begin(), bankItems_[b].end(),
+                  [](const Item& a, const Item& x) {
+                      return a.when != x.when ? a.when < x.when
+                                              : a.seq < x.seq;
+                  });
+    cursor_.store(0, std::memory_order_relaxed);
+    return queued;
+}
+
+std::pair<uint64_t, uint64_t>
+ParallelReplayBackend::applySlice()
+{
+    LineTable& lt = cm_.lineTable_;
+    uint64_t banks = 0, applies = 0;
+    while (true) {
+        uint32_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= activeBanks_.size())
+            break;
+        uint32_t b = activeBanks_[i];
+        banks++;
+        // Epoch scrub first (takes the bank lock itself): pre-applies
+        // must not leave deferred empties to skew a later scan.
+        if (lt.deferredScrub() && lt.bankDirty(b))
+            lt.scrubEmptyEntries(b);
+        auto guard = lt.lockBank(b);
+        auto& dq = bankStaged_[b];
+        for (const Item& it : bankItems_[b]) {
+            // Monotonic staging: an item at or before an already-staged
+            // slot (staged in an earlier phase, consume order already
+            // committed) cannot be appended in consume order — leave it
+            // for the serial path, which fences the bank at its slot.
+            if (!dq.empty() && !(dq.back().when < it.when ||
+                                 (dq.back().when == it.when &&
+                                  dq.back().seq < it.seq)))
+                continue;
+            Task::PendingStep& s = it.t->pending.steps[it.step];
+            // Reuse a still-fresh probe (conflict phase, or an earlier
+            // replay pass); otherwise scan under our bank lock. Unlike
+            // the serial consume, freshness is re-checked per item: our
+            // own pre-applies bump the bank's op-sequence.
+            uint64_t seqNow = lt.bankOpSeq(b);
+            bool zero;
+            uint32_t compared;
+            if (s.probe.valid && s.probe.opSeq == seqNow) {
+                zero = s.probe.later.empty() &&
+                       s.probe.earlierWriters.empty();
+                compared = s.probe.compared;
+            } else {
+                Task::ConflictProbe probe;
+                cm_.probeLocked(it.t, it.line, it.isWrite, probe);
+                zero = probe.later.empty() && probe.earlierWriters.empty();
+                compared = probe.compared;
+                probe.opSeq = seqNow;
+                probe.valid = true;
+                s.probe = std::move(probe);
+            }
+            if (!zero) {
+                // Needs serialized resolution (aborts, forwarded-data
+                // dependences). Stop draining this bank: the serial
+                // resolve at this item's slot fences the bank, so
+                // anything staged past it would only be squashed. The
+                // stamped probe above still saves the serial rescan.
+                break;
+            }
+            preApply(it.t, s, it.line, compared);
+            dq.push_back({it.t, it.step, it.when, it.seq});
+            pendingApplied_.fetch_add(1, std::memory_order_relaxed);
+            bankApplies_[b]++;
+            applies++;
+        }
+    }
+    return {banks, applies};
+}
+
+void
+ParallelReplayBackend::preApply(Task* t, Task::PendingStep& s,
+                                LineAddr line, uint32_t compared)
+{
+    // Mirror of the serial apply's functional half (ExecutionEngine::
+    // applyAccessEffects, minus resolve/trace/latency, which happen at
+    // the consume slot): undo record + memory write + registration, or
+    // read-value capture + registration, in the same order with the
+    // same first-registration computation.
+    LineTable& lt = cm_.lineTable_;
+    if (s.isWrite) {
+        Task::UndoRec rec{s.addr, s.size, 0};
+        std::memcpy(&rec.oldVal, reinterpret_cast<void*>(s.addr), s.size);
+        t->undo.push_back(rec);
+        std::memcpy(reinterpret_cast<void*>(s.addr), &s.wval, s.size);
+        bool first = !t->readSet.count(line);
+        s.didInsertSet = t->writeSet.insert(line).second;
+        if (s.didInsertSet) {
+            s.createdEntry = lt.find(line) == nullptr;
+            lt.addWriter(line, t, first);
+        }
+    } else {
+        s.stagedRval = 0;
+        std::memcpy(&s.stagedRval, reinterpret_cast<void*>(s.addr),
+                    s.size);
+        bool first = !t->writeSet.count(line);
+        s.didInsertSet = t->readSet.insert(line).second;
+        if (s.didInsertSet) {
+            s.createdEntry = lt.find(line) == nullptr;
+            lt.addReader(line, t, first);
+        }
+    }
+    s.stagedCompared = compared;
+    s.applied = true;
+}
+
+void
+ParallelReplayBackend::squash(const Staged& rec)
+{
+    Task* t = rec.t;
+    Task::PendingStep& s = t->pending.steps[rec.step];
+    ssim_assert(s.applied);
+    LineAddr line = lineOf(s.addr);
+    if (s.isWrite) {
+        // The staged write is the task's newest: its undo record is the
+        // log's tail (the task is suspended until this step's slot, and
+        // every path that could append ran a fence first).
+        ssim_assert(!t->undo.empty() && t->undo.back().addr == s.addr &&
+                    t->undo.back().size == s.size);
+        std::memcpy(reinterpret_cast<void*>(s.addr), &t->undo.back().oldVal,
+                    s.size);
+        t->undo.pop_back();
+    }
+    if (s.didInsertSet) {
+        cm_.lineTable_.unregisterTail(line, t, s.isWrite, s.createdEntry);
+        ssim_assert(!t->footprint.empty() &&
+                    t->footprint.back().line == line &&
+                    t->footprint.back().isWrite == s.isWrite);
+        t->footprint.pop_back();
+        if (s.isWrite)
+            t->writeSet.erase(line);
+        else
+            t->readSet.erase(line);
+        s.didInsertSet = false;
+        s.createdEntry = false;
+    }
+    s.applied = false;
+    squashed_++;
+    pendingApplied_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void
+ParallelReplayBackend::onSlotConsume(Task* t)
+{
+    Task::PendingRun& p = t->pending;
+    uint32_t b = cm_.lineTable_.bankOf(lineOf(p.steps[p.next].addr));
+    auto& dq = bankStaged_[b];
+    // The front IS this step: staging is slot-ordered per bank, consumes
+    // happen in global slot order, and any out-of-order serial touch of
+    // the bank squashed the whole deque first.
+    ssim_assert(!dq.empty() && dq.front().t == t &&
+                dq.front().step == p.next,
+                "staged consume out of bank slot order");
+    dq.pop_front();
+    consumed_++;
+    pendingApplied_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void
+ParallelReplayBackend::fenceBank(uint32_t b)
+{
+    if (pendingApplied_.load(std::memory_order_relaxed) == 0)
+        return; // the serial-stretch fast path
+    ssim_assert(!inPhase(), "fence during a replay phase");
+    auto& dq = bankStaged_[b];
+    // Reverse slot order: each squash pops exact vector/log tails.
+    while (!dq.empty()) {
+        squash(dq.back());
+        dq.pop_back();
+    }
+}
+
+void
+ParallelReplayBackend::fenceLine(LineAddr line)
+{
+    fenceBank(cm_.lineTable_.bankOf(line));
+}
+
+void
+ParallelReplayBackend::fenceTask(Task* t)
+{
+    if (pendingApplied_.load(std::memory_order_relaxed) == 0)
+        return;
+    // Collect the footprint's banks first: squashes pop footprint tails
+    // (this task's and others') while we would be iterating.
+    std::vector<uint32_t> banks;
+    for (const Task::FootRec& rec : t->footprint) {
+        uint32_t b = cm_.lineTable_.bankOf(rec.line);
+        if (std::find(banks.begin(), banks.end(), b) == banks.end())
+            banks.push_back(b);
+    }
+    for (uint32_t b : banks)
+        fenceBank(b);
+}
+
+void
+ParallelReplayBackend::fenceAll()
+{
+    if (pendingApplied_.load(std::memory_order_relaxed) == 0)
+        return;
+    for (uint32_t b = 0; b < uint32_t(bankStaged_.size()); b++)
+        fenceBank(b);
 }
 
 } // namespace ssim

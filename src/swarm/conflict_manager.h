@@ -50,12 +50,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <utility>
 #include <vector>
 
 #include "base/stats.h"
 #include "sim/config.h"
+#include "sim/parallel_executor.h"
 #include "swarm/spec.h"
 #include "swarm/task.h"
 
@@ -64,6 +66,7 @@ namespace ssim {
 class ConcurrentConflictBackend;
 class EngineBackend;
 class ExecutionEngine;
+class ParallelReplayBackend;
 
 class ConflictManager
 {
@@ -94,8 +97,13 @@ class ConflictManager
     void abortTasks(const std::vector<Task*>& roots, bool discard_roots,
                     TileId cause_tile);
 
-    /** Forget a committed task's speculative line-table footprint. */
-    void onCommit(Task* t) { lineTable_.removeTask(t); }
+    /**
+     * Forget a committed task's speculative line-table footprint. In
+     * replay mode the footprint's banks are fenced first: a committed
+     * task leaving the table changes later scans' compared counts, and
+     * conflictChecks is digest-included.
+     */
+    void onCommit(Task* t);
 
     const LineTable& lineTable() const { return lineTable_; }
 
@@ -106,11 +114,20 @@ class ConflictManager
      */
     ConcurrentConflictBackend* concurrentBackend();
 
+    /**
+     * The worker-apply surface, non-null iff parallel replay is armed
+     * (cfg.parallelReplay, hostThreads > 1, and a non-inline backend).
+     * Handed to the ParallelExecutor by Machine; consulted by the
+     * ExecutionEngine at every apply slot.
+     */
+    ParallelReplayBackend* replayBackend();
+
     /** End-of-run maintenance: drain the deferred epoch scrub. */
     void finalizeRun();
 
   private:
     friend class ConcurrentConflictBackend;
+    friend class ParallelReplayBackend;
 
     /**
      * The probe: scan @p line's entry and fill @p out with the
@@ -133,6 +150,7 @@ class ConflictManager
     ExecutionEngine& engine_;
     LineTable lineTable_;
     std::unique_ptr<ConcurrentConflictBackend> ccb_;
+    std::unique_ptr<ParallelReplayBackend> rpb_;
 };
 
 /**
@@ -167,8 +185,7 @@ class ConcurrentConflictBackend
      * items queued; steps whose previous probe is still fresh are
      * skipped. Coordinator only.
      */
-    size_t buildQueues(
-        const std::vector<std::pair<uint64_t, uint64_t>>& candidates);
+    size_t buildQueues(const std::vector<ResumeCandidate>& candidates);
 
     /**
      * Claim banks and probe until the queues drain. Returns (banks
@@ -204,6 +221,148 @@ class ConcurrentConflictBackend
     /// worker that owns the bank at that moment (phase barrier orders
     /// reads).
     std::vector<uint64_t> bankProbes_;
+};
+
+/**
+ * Bank-partitioned parallel replay: workers speculatively PRE-APPLY
+ * recorded accesses, breaking the coordinator's serial apply loop for
+ * the conflict-free common case.
+ *
+ * After the record (and, when armed, conflict-probe) phases, the
+ * executor hands the pending-resume candidates to buildQueues(), which
+ * collects each candidate's HEAD access step — the one step with a
+ * known serial slot: its resume event's (cycle, seq) — into its home
+ * bank's queue, sorted by slot. Workers then call applySlice()
+ * concurrently: each claims whole banks from a shared cursor, and walks
+ * its bank's queue in slot order. A step whose probe shows ZERO
+ * conflict candidates is PRE-APPLIED: its functional effect (memory
+ * write + undo record, or read-value capture) and line registration are
+ * performed early, exactly as the serial apply would, and the step is
+ * pushed onto the bank's staged deque. The first step with candidates
+ * stops the bank's drain (it needs serialized resolution; anything
+ * staged after it would be squashed at its slot anyway) and leaves a
+ * stamped probe for the serial path.
+ *
+ * DETERMINISM: a pre-apply is only observable through the line table
+ * bank and the functional memory it touched. Every serial-path
+ * operation that can touch those — resolveConflicts on the bank, a
+ * commit or rollback whose footprint includes the bank — FENCES it
+ * first: staged steps are squashed in reverse slot order (memory
+ * restored from the undo tail, the tail line registration undone via
+ * LineTable::unregisterTail, which bumps the bank's op-sequence), so
+ * the serial path sees exactly the state it would have seen without
+ * replay, and re-applies the step inline. A staged step that survives
+ * to its own slot is CONSUMED there (ExecutionEngine::applyPendingStep):
+ * the staged read value, compared count, and modeled latency are
+ * charged in exact slot order through the stateful backend — so the
+ * observable simulation, including digest-included conflictChecks, is
+ * bit-identical to the serial path.
+ *
+ * Soundness of the squash inverses: a staged step is always its task's
+ * NEWEST speculative state (the task is suspended until the step's own
+ * slot consumes it, and a fence covers every path that could grow the
+ * task's undo/footprint earlier), so the staged undo record is
+ * undo.back() and the staged registration is footprint.back(); per
+ * line, staged registrations are vector tails popped in reverse
+ * staging order. One staged step maps to exactly one bank, and a bank
+ * is owned by one worker per phase, so staging itself never races.
+ *
+ * THREADING: buildQueues and the fences run on the coordinator;
+ * applySlice is worker-callable within one fork-join phase. The fences'
+ * empty fast path is one relaxed atomic load.
+ */
+class ParallelReplayBackend
+{
+  public:
+    ParallelReplayBackend(ConflictManager& cm, ExecutionEngine& engine);
+
+    /**
+     * Rebuild the per-bank apply queues from @p candidates: each
+     * Running candidate's head access step, keyed by the resume event's
+     * serial slot. Returns the number queued. Coordinator only.
+     */
+    size_t buildQueues(const std::vector<ResumeCandidate>& candidates);
+
+    /**
+     * Claim banks and pre-apply until the queues drain. Returns (banks
+     * claimed, steps pre-applied) for this call. Worker-callable.
+     */
+    std::pair<uint64_t, uint64_t> applySlice();
+
+    /**
+     * Consume @p t's staged head step at its serial slot (the engine
+     * checked steps[next].applied). Pops the bank's staged deque —
+     * always from the front: staging is slot-ordered and any
+     * out-of-order serial touch of the bank fences it first.
+     */
+    void onSlotConsume(Task* t);
+
+    // ---- Fences (coordinator only; O(1) when nothing is staged) -------
+    /** Squash every staged step in @p line's bank. */
+    void fenceLine(LineAddr line);
+    /** Squash every staged step in bank @p b, in reverse slot order. */
+    void fenceBank(uint32_t b);
+    /** Squash the banks of @p t's footprint (commit/rollback paths). */
+    void fenceTask(Task* t);
+    /** Squash everything (end-of-run safety net). */
+    void fenceAll();
+
+    // ---- Phase guard (fences must never race an apply phase) ----------
+    void setInPhase(bool on) { inPhase_.store(on, std::memory_order_relaxed); }
+    bool inPhase() const { return inPhase_.load(std::memory_order_relaxed); }
+
+    // ---- Cumulative counters (stats snapshot at end of run) -----------
+    /** Pre-applies consumed at their serial slot (the replay win). */
+    uint64_t consumed() const { return consumed_; }
+    /** Pre-applies squashed by a fence (wasted speculation). */
+    uint64_t squashed() const { return squashed_; }
+    /** Pre-applies ever staged (= consumed + squashed + still staged). */
+    uint64_t applies() const;
+    const std::vector<uint64_t>& bankApplies() const { return bankApplies_; }
+
+  private:
+    struct Item
+    {
+        Task* t;
+        uint32_t step; ///< index into t->pending.steps (== pending.next)
+        LineAddr line;
+        bool isWrite;
+        Cycle when; ///< the resume event's serial slot
+        uint64_t seq;
+    };
+    /// One staged (pre-applied, unconsumed) step.
+    struct Staged
+    {
+        Task* t;
+        uint32_t step;
+        Cycle when;
+        uint64_t seq;
+    };
+
+    /// Pre-apply @p s (the bank's lock is held by the caller).
+    void preApply(Task* t, Task::PendingStep& s, LineAddr line,
+                  uint32_t compared);
+    /// Undo one staged step (coordinator, serial stretch).
+    void squash(const Staged& rec);
+
+    ConflictManager& cm_;
+    ExecutionEngine& engine_;
+    std::vector<std::vector<Item>> bankItems_; ///< one queue per bank
+    /// Staged steps per bank, in slot order: consumed from the front,
+    /// squashed from the back.
+    std::vector<std::deque<Staged>> bankStaged_;
+    std::vector<uint32_t> activeBanks_; ///< banks with queued items
+    std::atomic<uint32_t> cursor_{0};   ///< work-stealing bank claim
+    std::atomic<bool> inPhase_{false};
+    /// Total staged-but-unconsumed steps: the fences' fast-path gate.
+    /// Incremented by bank-owning workers in-phase, decremented by the
+    /// coordinator at consume/squash (phase barrier orders the reads).
+    std::atomic<uint64_t> pendingApplied_{0};
+    /// Pre-applies ever staged, per bank: each slot is written only by
+    /// the worker that owns the bank at that moment.
+    std::vector<uint64_t> bankApplies_;
+    uint64_t consumed_ = 0;
+    uint64_t squashed_ = 0;
 };
 
 } // namespace ssim

@@ -40,6 +40,7 @@ ExecutionEngine::wire(ConflictManager* conflict, CapacityManager* capacity,
     conflict_ = conflict;
     capacity_ = capacity;
     commit_ = commit;
+    replay_ = conflict ? conflict->replayBackend() : nullptr;
 }
 
 Task*
@@ -288,6 +289,33 @@ ExecutionEngine::preResume(uint64_t uid, uint64_t gen)
 void
 ExecutionEngine::applyPendingStep(Task* t)
 {
+    // Parallel replay: the head step may have been PRE-APPLIED by a
+    // worker (swarm/conflict_manager.h, ParallelReplayBackend). Its
+    // functional effect and line registration already happened and the
+    // bank was provably untouched since (any serial touch would have
+    // squashed it), so only the slot-ordered half remains: deliver the
+    // staged read value, charge the modeled latency through the
+    // stateful backend at this exact slot, and account conflictChecks
+    // from the staged compared count — bit-identical to the serial
+    // apply.
+    if (replay_ && t->pending.steps[t->pending.next].applied) {
+        Task::PendingStep& s = t->pending.steps[t->pending.next];
+        replay_->onSlotConsume(t);
+        if (!s.isWrite && s.aw)
+            std::memcpy(&s.aw->rval, &s.stagedRval, s.size);
+        if (commit_->profiler())
+            t->trace.push_back(((s.addr >> 3) << 1) | (s.isWrite ? 1 : 0));
+        uint32_t lat = backend_.accessCost(t->runningOn, s.addr, s.isWrite,
+                                           s.stagedCompared);
+        stats_.conflictChecks += s.stagedCompared;
+        s.applied = false; // consumed
+        t->pending.next++;
+        if (!t->pending.hasSteps())
+            t->pending.clear();
+        t->execCycles += lat;
+        scheduleResume(t, lat);
+        return;
+    }
     // Move, not copy: the step owns its conflict probe's vectors, and
     // pending.clear() below must not free them before they are applied.
     Task::PendingStep s = std::move(t->pending.steps[t->pending.next++]);
@@ -295,18 +323,26 @@ ExecutionEngine::applyPendingStep(Task* t)
         t->pending.clear();
     switch (s.kind) {
       case Task::PendingStep::Kind::Access: {
+        // A recorded access the workers could not (or did not) pre-apply
+        // falls back to the serial path (digest-excluded visibility).
+        if (replay_)
+            stats_.coordinatorFallbackApplies++;
         uint64_t dummy = 0;
         issueAccessImpl(t, s.addr, s.size, s.isWrite, s.wval,
                         s.aw ? &s.aw->rval : &dummy, &s.probe);
         break;
       }
       case Task::PendingStep::Kind::Compute: {
+        if (replay_)
+            stats_.crossBankEffects++;
         uint32_t lat = backend_.computeCost(s.cycles);
         t->execCycles += lat;
         scheduleResume(t, lat);
         break;
       }
       case Task::PendingStep::Kind::Enqueue: {
+        if (replay_)
+            stats_.crossBankEffects++;
         createTask(s.fn, s.ets, s.hint, s.eargs, s.enargs, t, t->tile);
         uint32_t lat = backend_.enqueueCost();
         t->execCycles += lat;
@@ -314,6 +350,8 @@ ExecutionEngine::applyPendingStep(Task* t)
         break;
       }
       case Task::PendingStep::Kind::Finish:
+        if (replay_)
+            stats_.crossBankEffects++;
         t->coro.destroy();
         t->coro = {};
         finishTaskAttempt(t);

@@ -64,6 +64,7 @@ class CommitController;
 class ConflictManager;
 class EngineBackend;
 class Machine;
+class ParallelReplayBackend;
 
 class ExecutionEngine : public ParallelBackend
 {
@@ -192,6 +193,10 @@ class ExecutionEngine : public ParallelBackend
     ConflictManager* conflict_ = nullptr;
     CapacityManager* capacity_ = nullptr;
     CommitController* commit_ = nullptr;
+    /// Cached conflict_->replayBackend(): non-null iff parallel replay
+    /// is armed. applyPendingStep consults it to consume worker
+    /// pre-applies at their serial slots.
+    ParallelReplayBackend* replay_ = nullptr;
 
     /// Cached backend.inlineEffects(): awaiter effects apply inline
     /// (await_ready) and resume events go untagged, so the parallel

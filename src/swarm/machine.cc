@@ -100,16 +100,20 @@ Machine::run()
     commit_->start();
     if (cfg_.hostThreads > 1) {
         // concurrentBackend() is non-null only when cfg.concurrentConflicts
-        // armed it (and the backend records accesses at all).
+        // armed it (and the backend records accesses at all); likewise
+        // replayBackend() for cfg.parallelReplay.
         ParallelExecutor px(eq_, *engine_, cfg_.hostThreads,
                             /*min_batch=*/0,
-                            conflict_->concurrentBackend());
+                            conflict_->concurrentBackend(),
+                            conflict_->replayBackend());
         px.run();
         hostStats_.scans = px.scans();
         hostStats_.phases = px.phases();
         hostStats_.preResumed = px.preResumed();
         hostStats_.conflictPhases = px.conflictPhases();
         hostStats_.conflictProbes = px.conflictProbes();
+        hostStats_.replayPhases = px.replayPhases();
+        hostStats_.workerApplies = px.replayApplies();
     } else {
         eq_.run(); // the exact serial code path
     }
@@ -152,6 +156,16 @@ Machine::finalizeStats()
     if (ConcurrentConflictBackend* ccb = conflict_->concurrentBackend()) {
         stats_.concWorkerProbes = ccb->probes();
         stats_.bankProbes = ccb->bankProbes();
+    }
+
+    // Parallel-replay occupancy (all zero unless armed): consumed and
+    // squashed pre-applies from the backend; the coordinator-side
+    // fallback/cross-bank counters were accumulated by applyPendingStep
+    // directly.
+    if (ParallelReplayBackend* rpb = conflict_->replayBackend()) {
+        stats_.workerApplies = rpb->consumed();
+        stats_.replaySquashed = rpb->squashed();
+        stats_.bankApplies = rpb->bankApplies();
     }
 }
 

@@ -86,6 +86,8 @@ class Machine
         uint64_t preResumed = 0; ///< coroutine segments pre-executed
         uint64_t conflictPhases = 0; ///< conflict-check phases run
         uint64_t conflictProbes = 0; ///< accesses probed on workers
+        uint64_t replayPhases = 0;   ///< parallel-replay phases run
+        uint64_t workerApplies = 0;  ///< effects pre-applied on workers
     };
     const HostExecStats& hostExecStats() const { return hostStats_; }
 

@@ -306,6 +306,15 @@ set(SimConfig& cfg, const std::string& key, const std::string& value)
             return false;
         return true;
     }
+    if (key == "parallel-replay") {
+        if (value == "on")
+            cfg.parallelReplay = true;
+        else if (value == "off")
+            cfg.parallelReplay = false;
+        else
+            return false;
+        return true;
+    }
     return false;
 }
 
@@ -363,6 +372,8 @@ describe(const SimConfig& cfg)
         s += ",backend=" + cfg.engineBackend;
     if (cfg.concurrentConflicts)
         s += ",conc-conflicts=on";
+    if (cfg.parallelReplay)
+        s += ",parallel-replay=on";
     return s;
 }
 

@@ -16,6 +16,7 @@
  *   serialize=on|off
  *   backend=timing|functional
  *   conc-conflicts=on|off
+ *   parallel-replay=on|off
  *
  * The registry also constructs the ExecutionEngine's cost model (the
  * EngineBackend, swarm/backends/engine_backend.h) by name, and custom

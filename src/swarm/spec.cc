@@ -64,6 +64,26 @@ LineTable::addWriter(LineAddr line, Task* t, bool first_for_task)
 }
 
 void
+LineTable::unregisterTail(LineAddr line, Task* t, bool is_write,
+                          bool erase_if_empty)
+{
+    uint32_t b = bankOf(line);
+    auto guard = lockBank(b);
+    auto& bank = banks_[b];
+    auto it = bank.find(line);
+    ssim_assert(it != bank.end());
+    auto& vec = is_write ? it->second.writers : it->second.readers;
+    ssim_assert(!vec.empty() && vec.back() == t);
+    vec.pop_back();
+    opSeqs_[b]++;
+    if (erase_if_empty) {
+        ssim_assert(it->second.readers.empty() &&
+                    it->second.writers.empty());
+        bank.erase(it);
+    }
+}
+
+void
 LineTable::removeTask(Task* t)
 {
     // Pass 1: scrub the task from every vector it registered in. Entry

@@ -92,6 +92,20 @@ class LineTable
     /** Writer-side counterpart of addReader (dedup via Task::writeSet). */
     void addWriter(LineAddr line, Task* t, bool first_for_task);
 
+    /**
+     * Undo the most recent registration of @p t on @p line: @p t must be
+     * the LAST element of the line's reader or writer vector (checked).
+     * Used by the parallel-replay squash path to reverse a speculative
+     * pre-apply; since a staged step is always the task's newest
+     * registration and squashes run in reverse staging order, the
+     * tail-position invariant holds by construction. Bumps the bank's
+     * op-sequence (it is a result-changing mutation). When
+     * @p erase_if_empty the (necessarily empty) entry created by the
+     * registration is erased. Takes the bank lock itself.
+     */
+    void unregisterTail(LineAddr line, Task* t, bool is_write,
+                        bool erase_if_empty);
+
     /** Look up the entry for a line in its bank, or nullptr. */
     Entry*
     find(LineAddr line)
@@ -203,10 +217,12 @@ class LineTable
     std::vector<std::unordered_map<LineAddr, Entry>> banks_;
     std::vector<uint64_t> peaks_;
     /// Per-bank op-sequence numbers. Written only by the thread that
-    /// owns the bank at that moment (the coordinator during serial
-    /// stretches; a bank-claiming worker never writes — scrubs do not
-    /// bump); cross-thread visibility comes from the executor's phase
-    /// barrier or the bank lock.
+    /// owns the bank at that moment: the coordinator during serial
+    /// stretches, and — in parallel-replay mode — the single worker
+    /// that claimed the bank for the phase (pre-applies register lines
+    /// via addReader/addWriter, which bump; scrubs do not bump).
+    /// Cross-thread visibility comes from the executor's phase barrier
+    /// or the bank lock.
     std::vector<uint64_t> opSeqs_;
     /// Banks holding deferred-scrub empty entries (uint8_t, not bool:
     /// written under the bank lock / phase barrier, vector<bool> bit

@@ -138,6 +138,18 @@ class Task
         /// when the step is applied. Empty outside concurrent-conflict
         /// mode.
         ConflictProbe probe;
+        // Speculative pre-apply staging (parallel replay,
+        // swarm/conflict_manager.h ParallelReplayBackend). A worker that
+        // proved this access conflict-free pre-applied its functional
+        // effect ahead of the serial slot; the coordinator either
+        // consumes the staging at the exact (cycle, seq) slot or
+        // squashes it (fence) before any serial path could observe the
+        // early state.
+        bool applied = false;      ///< effect pre-applied, not yet consumed
+        bool didInsertSet = false; ///< pre-apply registered a new line
+        bool createdEntry = false; ///< ... and created the line's entry
+        uint64_t stagedRval = 0;   ///< read value captured at pre-apply
+        uint32_t stagedCompared = 0; ///< probe's compared count (latency)
         // Compute.
         uint32_t cycles = 0;
         // Enqueue (EnqueueAwaiter payload minus the ctx pointer).

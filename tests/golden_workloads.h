@@ -120,12 +120,14 @@ enum class Workload { Spawn, Contend, Spill };
  * Run one golden workload; returns the stats digest (base/stats.cc's
  * statsDigest — the same fields the parallel-host bench gates on).
  * @p backend selects the engine backend by registry name;
- * @p conc_conflicts arms worker-side conflict checks (effective only
- * when host_threads > 1 — the digests must not notice either way).
+ * @p conc_conflicts arms worker-side conflict checks and
+ * @p parallel_replay arms worker-side effect pre-apply (both effective
+ * only when host_threads > 1 — the digests must not notice either way).
  */
 inline uint64_t
 runWorkload(Workload w, SchedulerType sched, uint32_t host_threads = 1,
-            const char* backend = "timing", bool conc_conflicts = false)
+            const char* backend = "timing", bool conc_conflicts = false,
+            bool parallel_replay = false)
 {
     auto* st = new (arena()) WorkState();
     SimConfig cfg;
@@ -143,6 +145,7 @@ runWorkload(Workload w, SchedulerType sched, uint32_t host_threads = 1,
     cfg.hostThreads = host_threads;
     cfg.engineBackend = backend;
     cfg.concurrentConflicts = conc_conflicts;
+    cfg.parallelReplay = parallel_replay;
     Machine m(cfg);
     switch (w) {
       case Workload::Spawn:

@@ -114,6 +114,27 @@ TEST(ConcurrentConflictDeterminism, FunctionalBackendDegradesCleanly)
     }
 }
 
+// Concurrent conflict checks compose with parallel replay
+// (tests/test_parallel_replay.cc): both worker-side phases armed, the
+// probe accounting invariants must still hold — a staged-then-squashed
+// registration either bumps the bank op-sequence (stale probe) or was
+// consumed at its slot (legitimate serial state), so the hit/stale/cold
+// partition stays exact.
+TEST(ConcurrentConflictDeterminism, ComposesWithParallelReplay)
+{
+    ASSERT_NE(arena(), nullptr);
+    for (const Golden& g : kGoldens) {
+        uint64_t serial = runWorkload(g.w, g.sched, 1);
+        for (uint32_t threads : {2u, 8u}) {
+            uint64_t both = runWorkload(g.w, g.sched, threads, "timing",
+                                        /*conc_conflicts=*/true,
+                                        /*parallel_replay=*/true);
+            EXPECT_EQ(serial, both)
+                << g.name << " @ hostThreads=" << threads;
+        }
+    }
+}
+
 // The knob's spelling surfaces: policy specs round-trip, the env var
 // and flag parse, and defaults stay off.
 TEST(ConcurrentConflictKnob, SelectionSurfaces)

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Parallel-replay tests (cfg.parallelReplay): with worker-side effect
+ * pre-apply armed, simulated behavior must stay bit-identical to the
+ * serial path at any host thread count, with or without concurrent
+ * conflict checks, on both engine backends — the speculative
+ * pre-apply/squash scheme's core contract (swarm/conflict_manager.h,
+ * docs/architecture.md "Parallel replay"). The ParallelReplay* filter
+ * runs under the TSan CI job, which races the bank drains, the squash
+ * fences, and the deferred epoch scrub for real.
+ *
+ * Note these tests deliberately do NOT assert the concurrent-probe
+ * accounting invariants of test_concurrent_conflicts.cc in replay-only
+ * mode: a squash of a step that did not register a new line leaves a
+ * stamped probe consumable at serial re-apply, so probe counters are
+ * only meaningful when conc-conflicts armed them.
+ */
+#include <gtest/gtest.h>
+
+#include "golden_workloads.h"
+#include "harness/cli.h"
+#include "swarm/policies.h"
+
+using namespace ssim;
+using namespace ssim::golden;
+
+// The golden workloads with replay armed must match a plain serial run
+// of the same build, at every host thread count, with conc-conflicts
+// both off and on (the two worker-side phases compose).
+TEST(ParallelReplayDeterminism, MatchesSerialAcrossThreadCounts)
+{
+    ASSERT_NE(arena(), nullptr);
+    for (const Golden& g : kGoldens) {
+        uint64_t serial = runWorkload(g.w, g.sched, 1);
+        for (uint32_t threads : {1u, 2u, 8u}) {
+            for (bool conc : {false, true}) {
+                uint64_t replay =
+                    runWorkload(g.w, g.sched, threads, "timing", conc,
+                                /*parallel_replay=*/true);
+                EXPECT_EQ(serial, replay)
+                    << g.name << " @ hostThreads=" << threads
+                    << " conc=" << conc;
+            }
+        }
+    }
+}
+
+// ... and reproduce the recorded goldens directly (the hard gate: the
+// replay path is bit-identical to the PRE-refactor machine, not just
+// internally consistent).
+TEST(ParallelReplayDeterminism, GoldenDigestsHoldWithReplay)
+{
+    if (!arenaIsFixed())
+        GTEST_SKIP() << "fixed-address arena unavailable; digests are "
+                        "address-dependent";
+    for (const Golden& g : kGoldens) {
+        EXPECT_EQ(runWorkload(g.w, g.sched, 8, "timing", false, true),
+                  g.digest)
+            << g.name << " (replay)";
+        EXPECT_EQ(runWorkload(g.w, g.sched, 8, "timing", true, true),
+                  g.digest)
+            << g.name << " (replay+conc)";
+    }
+}
+
+// A contended 256-core workload drives real replay traffic: deep bank
+// queues, abort cascades squashing staged effects, commit fences racing
+// the next phase's drain. The digest must not notice; the counters must
+// show the machinery actually ran and must balance exactly.
+TEST(ParallelReplayDeterminism, ContendedWideMachineAppliesAndMatches)
+{
+    ASSERT_NE(arena(), nullptr);
+    auto runWide = [](uint32_t threads, bool replay, SimStats* out,
+                      Machine::HostExecStats* host) {
+        auto* st = new (arena()) WorkState();
+        SimConfig cfg = SimConfig::withCores(256, SchedulerType::Hints, 11);
+        cfg.hostThreads = threads;
+        cfg.parallelReplay = replay;
+        Machine m(cfg);
+        m.enqueueInitial(spawner, 0, swarm::Hint(0), st, uint64_t(200));
+        for (uint64_t i = 0; i < 64; i++)
+            m.enqueueInitial(rmwCells, 300 + i / 2, swarm::Hint(i % 16),
+                             st);
+        m.run();
+        EXPECT_EQ(m.liveTasks(), 0u);
+        if (out)
+            *out = m.stats();
+        if (host)
+            *host = m.hostExecStats();
+        return statsDigest(m.stats());
+    };
+    uint64_t serial = runWide(1, false, nullptr, nullptr);
+    SimStats st;
+    Machine::HostExecStats host;
+    EXPECT_EQ(serial, runWide(2, true, nullptr, nullptr));
+    EXPECT_EQ(serial, runWide(8, true, &st, &host));
+
+    // The replay path really ran: replay phases fired, workers
+    // pre-applied effects, and the coordinator consumed them.
+    EXPECT_GT(host.replayPhases, 0u);
+    EXPECT_GT(host.workerApplies, 0u);
+    EXPECT_GT(st.workerApplies, 0u);
+    // Every pre-apply staged on a worker (the host-side counter) is
+    // either consumed at its slot or squashed by a fence; per-bank
+    // staging counts account for all of them.
+    EXPECT_EQ(host.workerApplies, st.workerApplies + st.replaySquashed);
+    uint64_t sum = 0;
+    for (uint64_t b : st.bankApplies)
+        sum += b;
+    EXPECT_EQ(sum, st.workerApplies + st.replaySquashed);
+    // This workload aborts heavily, so fences must have squashed some
+    // staged effects and the coordinator must have applied the
+    // conflicted remainder serially.
+    EXPECT_GT(st.replaySquashed, 0u);
+    EXPECT_GT(st.coordinatorFallbackApplies, 0u);
+    // Non-access effects (compute/enqueue/finish) always stay on the
+    // coordinator.
+    EXPECT_GT(st.crossBankEffects, 0u);
+}
+
+// Forced-fallback case: every task hammers the same cell, so nearly
+// every recorded access has live conflict candidates and replay must
+// decline to pre-apply (conflicted head steps stop the bank drain).
+// The digest still holds and the fallback counter shows the serial path
+// carried the load.
+TEST(ParallelReplayDeterminism, ContendedSingleLineFallsBack)
+{
+    ASSERT_NE(arena(), nullptr);
+    auto run = [](uint32_t threads, bool replay, SimStats* out) {
+        auto* st = new (arena()) WorkState();
+        SimConfig cfg = SimConfig::withCores(16, SchedulerType::Hints, 5);
+        cfg.hostThreads = threads;
+        cfg.parallelReplay = replay;
+        Machine m(cfg);
+        // tiny: read+write of the single shared counter — every access
+        // after the first sees earlier readers/writers on the line.
+        for (uint64_t i = 0; i < 120; i++)
+            m.enqueueInitial(tiny, i / 4, swarm::Hint(i % 8), st);
+        m.run();
+        EXPECT_EQ(m.liveTasks(), 0u);
+        if (out)
+            *out = m.stats();
+        return statsDigest(m.stats());
+    };
+    uint64_t serial = run(1, false, nullptr);
+    SimStats st;
+    EXPECT_EQ(serial, run(8, true, &st));
+    // The coordinator applied conflicted accesses serially; the replay
+    // machinery stayed sound (whatever it staged was consumed or
+    // squashed, never lost).
+    EXPECT_GT(st.coordinatorFallbackApplies, 0u);
+    uint64_t sum = 0;
+    for (uint64_t b : st.bankApplies)
+        sum += b;
+    EXPECT_EQ(sum, st.workerApplies + st.replaySquashed);
+}
+
+// The functional backend's default configuration inlines effects, which
+// disables recording entirely — replay must then be a clean no-op with
+// zeroed counters and an unchanged digest.
+TEST(ParallelReplayDeterminism, FunctionalBackendDegradesCleanly)
+{
+    ASSERT_NE(arena(), nullptr);
+    uint64_t serial = runWorkload(Workload::Contend, SchedulerType::Hints,
+                                  1, "functional");
+    for (uint32_t threads : {2u, 8u}) {
+        for (bool conc : {false, true}) {
+            uint64_t replay =
+                runWorkload(Workload::Contend, SchedulerType::Hints,
+                            threads, "functional", conc, true);
+            EXPECT_EQ(serial, replay)
+                << "hostThreads=" << threads << " conc=" << conc;
+        }
+    }
+}
+
+// Replay composes with the deferred epoch scrub (armed by
+// conc-conflicts): scrub runs on workers at phase start, racing the
+// bank drains that TSan watches. The digest must not notice.
+TEST(ParallelReplayDeterminism, ComposesWithDeferredScrub)
+{
+    ASSERT_NE(arena(), nullptr);
+    // Spill churns 400 tiny tasks through a 1-core machine — maximal
+    // commit/scrub traffic per line.
+    uint64_t serial = runWorkload(Workload::Spill, SchedulerType::Hints, 1);
+    for (uint32_t threads : {2u, 8u}) {
+        uint64_t both = runWorkload(Workload::Spill, SchedulerType::Hints,
+                                    threads, "timing", true, true);
+        EXPECT_EQ(serial, both) << "hostThreads=" << threads;
+    }
+}
+
+// The knob's spelling surfaces: policy specs round-trip, the env var
+// and flag parse, and defaults stay off.
+TEST(ParallelReplayKnob, SelectionSurfaces)
+{
+    SimConfig cfg;
+    EXPECT_FALSE(cfg.parallelReplay);
+
+    EXPECT_TRUE(policies::set(cfg, "parallel-replay", "on"));
+    EXPECT_TRUE(cfg.parallelReplay);
+    EXPECT_NE(policies::describe(cfg).find("parallel-replay=on"),
+              std::string::npos);
+    // describe() round-trips through apply().
+    SimConfig again;
+    policies::apply(again, policies::describe(cfg));
+    EXPECT_TRUE(again.parallelReplay);
+
+    EXPECT_TRUE(policies::set(cfg, "parallel-replay", "off"));
+    EXPECT_FALSE(cfg.parallelReplay);
+    EXPECT_EQ(policies::describe(cfg).find("parallel-replay"),
+              std::string::npos);
+    EXPECT_FALSE(policies::set(cfg, "parallel-replay", "sometimes"));
+
+    // Flag parsing (cli.h): later flags win; env is applied first.
+    {
+        SimConfig c;
+        const char* argv[] = {"prog", "--parallel-replay=on"};
+        harness::applyParallelReplay(c, 2, const_cast<char**>(argv));
+        EXPECT_TRUE(c.parallelReplay);
+    }
+    {
+        SimConfig c;
+        setenv("SWARMSIM_PARALLEL_REPLAY", "on", 1);
+        harness::applyParallelReplay(c);
+        EXPECT_TRUE(c.parallelReplay);
+        const char* argv[] = {"prog", "--parallel-replay=off"};
+        harness::applyParallelReplay(c, 2, const_cast<char**>(argv));
+        EXPECT_FALSE(c.parallelReplay);
+        unsetenv("SWARMSIM_PARALLEL_REPLAY");
+    }
+}
+
+// requireKnownFlags fails fast (exit, not silent) on a typo'd flag, and
+// accepts the shared set plus caller extras.
+TEST(ParallelReplayKnob, UnknownFlagsDie)
+{
+    const char* ok[] = {"prog", "--parallel-replay=on", "--host-threads=4",
+                        "positional", "--smoke"};
+    harness::requireKnownFlags(5, const_cast<char**>(ok)); // no death
+
+    static const char* const kExtras[] = {"--widgets", nullptr};
+    const char* extra[] = {"prog", "--widgets=7"};
+    harness::requireKnownFlags(2, const_cast<char**>(extra), kExtras);
+
+    const char* typo[] = {"prog", "--parallel-reply=on"};
+    EXPECT_DEATH(harness::requireKnownFlags(2, const_cast<char**>(typo)),
+                 "unrecognized flag '--parallel-reply=on'");
+    const char* unknown[] = {"prog", "--host-thread=8"};
+    EXPECT_DEATH(harness::requireKnownFlags(2, const_cast<char**>(unknown)),
+                 "unrecognized flag");
+}
