@@ -39,6 +39,7 @@ runWith(const char* env, const char* val, const std::string& app_name,
 int
 main(int argc, char** argv)
 {
+    harness::requireKnownFlags(argc, argv);
     harness::applyBenchFlags(argc, argv);
     setVerbose(false);
     banner("Ablation (Sec. III-C): hint granularity",

@@ -15,6 +15,7 @@ using namespace ssim::harness;
 int
 main(int argc, char** argv)
 {
+    harness::requireKnownFlags(argc, argv);
     harness::applyBenchFlags(argc, argv);
     setVerbose(false);
     banner("Ablation (Sec. VI-A): LB signal = committed cycles vs idle "

@@ -14,6 +14,7 @@ using namespace ssim::harness;
 int
 main(int argc, char** argv)
 {
+    harness::requireKnownFlags(argc, argv);
     harness::applyBenchFlags(argc, argv);
     setVerbose(false);
     banner("Ablation (Sec. II-C/VII-B): stealing policies",

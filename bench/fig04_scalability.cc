@@ -12,6 +12,7 @@ using namespace ssim::harness;
 int
 main(int argc, char** argv)
 {
+    harness::requireKnownFlags(argc, argv);
     harness::applyBenchFlags(argc, argv);
     setVerbose(false);
     banner("Figure 4: scalability of Random / Stealing / Hints",

@@ -13,6 +13,7 @@ using namespace ssim::harness;
 int
 main(int argc, char** argv)
 {
+    harness::requireKnownFlags(argc, argv);
     harness::applyBenchFlags(argc, argv);
     setVerbose(false);
     banner("Figure 8: fine-grain breakdowns (normalized to CG Random)",

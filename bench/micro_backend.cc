@@ -78,6 +78,8 @@ runOne(apps::App& app, SimConfig cfg, const std::string& backend)
 int
 main(int argc, char** argv)
 {
+    static const char* const kExtras[] = {"--app", nullptr};
+    harness::requireKnownFlags(argc, argv, kExtras);
     bool smoke = harness::hasFlag(argc, argv, "--smoke");
     // --backend=name: run only that backend (e.g. the CI functional
     // smoke lane); validation stays a hard failure, the cross-backend

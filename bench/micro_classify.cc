@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Profile-guided access-classification microbenchmark: how much
+ * speculative footprint the classification pass keeps out of the line
+ * table, and what it buys in conflict aborts (DESIGN.md §5.3,
+ * docs/configuration.md `classifyMode`).
+ *
+ * For kmeans and nocsim — the two apps whose hot accumulator lines the
+ * profile classifies as Reduction — and each engine backend, the bench
+ * runs the same workload twice on a 64-tile / 256-core machine:
+ *
+ *  A. classification off, with an AccessClassifier profiling every
+ *     committed task's access trace;
+ *  B. classification on, consuming the map built from run A's profile
+ *     and the app's declared reduction ranges.
+ *
+ * Two checks are hard failures:
+ *
+ *  - every run must validate against the app's host-native oracle, and
+ *  - run B's result digest must equal run A's (classification is a
+ *    conflict-pipeline optimization; it must never change results).
+ *
+ * The payoff columns are line-table registrations (classified accesses
+ * skip the banks entirely) and conflict aborts (same-line commutative
+ * updates stop killing each other); both are delta-gated against
+ * bench/baselines/micro_classify.json in CI.
+ *
+ * Flags: --smoke (CI-sized run at the tiny preset), --host-threads=N /
+ * --conc-conflicts=on|off / --parallel-replay=on|off / --policy=spec
+ * (harness/cli.h overrides), --json=FILE (machine-readable results,
+ * docs/benchmarks.md).
+ */
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "apps/app.h"
+#include "base/logging.h"
+#include "harness/classifier.h"
+#include "harness/cli.h"
+#include "harness/report.h"
+#include "swarm/classification.h"
+#include "swarm/machine.h"
+
+namespace {
+
+using namespace ssim;
+
+struct RunOut
+{
+    double ms = 0;
+    uint64_t resultDigest = 0;
+    uint64_t cycles = 0;
+    uint64_t lineTableRegs = 0;
+    uint64_t abortsConflict = 0;
+    uint64_t conflictChecks = 0;
+    uint64_t classifyAborts = 0;
+    uint64_t demotions = 0;
+    uint64_t redOps = 0;
+    bool valid = false;
+};
+
+RunOut
+runOne(apps::App& app, const SimConfig& cfg, AccessProfiler* profiler)
+{
+    app.reset();
+    Machine m(cfg);
+    if (profiler)
+        m.setProfiler(profiler);
+    app.enqueueInitial(m);
+    auto t0 = std::chrono::steady_clock::now();
+    m.run();
+    auto t1 = std::chrono::steady_clock::now();
+    RunOut out;
+    out.ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    out.resultDigest = app.resultDigest();
+    out.cycles = m.stats().cycles;
+    out.lineTableRegs = m.stats().lineTableRegs;
+    out.abortsConflict = m.stats().abortsConflict;
+    out.conflictChecks = m.stats().conflictChecks;
+    out.classifyAborts = m.stats().classifyAborts;
+    out.demotions = m.stats().classifiedDemotions;
+    out.redOps = m.stats().classifiedRedOps;
+    out.valid = app.validate();
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    harness::requireKnownFlags(argc, argv);
+    bool smoke = harness::hasFlag(argc, argv, "--smoke");
+
+    harness::banner(
+        "micro_classify: profile-guided access classification",
+        "off vs profile-guided on 64 tiles / 256 cores; digest equality "
+        "between the two runs is the hard gate");
+
+    std::printf("%-8s %-10s %12s %12s %8s %8s %6s %6s %s\n", "app",
+                "backend", "regs off", "regs on", "abr off", "abr on",
+                "fold", "demote", "checks");
+
+    harness::BenchJson json("micro_classify");
+    json.meta("smoke", smoke);
+    int failures = 0;
+    for (const std::string& name : {std::string("kmeans"),
+                                    std::string("nocsim")}) {
+        auto app = apps::makeApp(name);
+        apps::AppParams p;
+        p.preset = smoke ? apps::Preset::Tiny : apps::presetFromEnv();
+        p.seed = 42;
+        app->setup(p);
+
+        for (const char* backend : {"timing", "functional"}) {
+            SimConfig cfg =
+                SimConfig::withCores(256, SchedulerType::Hints, 42);
+            cfg.engineBackend = backend;
+            harness::applyHostThreads(cfg, argc, argv);
+            harness::applyConcConflicts(cfg, argc, argv);
+            harness::applyParallelReplay(cfg, argc, argv);
+            harness::applyPolicy(cfg, argc, argv);
+
+            // Run A: classification off, profiling.
+            harness::AccessClassifier cls;
+            RunOut off = runOne(*app, cfg, &cls);
+
+            // Run B: classification on, consuming run A's profile.
+            SimConfig onCfg = cfg;
+            onCfg.classifyMode = "profile";
+            onCfg.classifyMap = std::make_shared<ClassificationMap>(
+                cls.buildMap(app->reductionRanges()));
+            RunOut on = runOne(*app, onCfg, nullptr);
+
+            bool digestOk = off.resultDigest == on.resultDigest;
+            bool ok = digestOk && off.valid && on.valid;
+            if (!ok)
+                failures++;
+
+            json.beginRow();
+            json.val("app", name);
+            json.val("backend", backend);
+            json.val("classified_lines",
+                     uint64_t(onCfg.classifyMap->size()));
+            json.val("ms_off", off.ms);
+            json.val("ms_on", on.ms);
+            json.val("cycles_off", off.cycles);
+            json.val("cycles_on", on.cycles);
+            json.val("line_table_regs_off", off.lineTableRegs);
+            json.val("line_table_regs_on", on.lineTableRegs);
+            json.val("conflict_aborts_off", off.abortsConflict);
+            json.val("conflict_aborts_on", on.abortsConflict);
+            json.val("conflict_checks_off", off.conflictChecks);
+            json.val("conflict_checks_on", on.conflictChecks);
+            json.val("classify_aborts", on.classifyAborts);
+            json.val("demotions", on.demotions);
+            json.val("red_ops", on.redOps);
+            json.val("digest_ok", digestOk);
+            json.val("valid", off.valid && on.valid);
+
+            std::printf(
+                "%-8s %-10s %12llu %12llu %8llu %8llu %6llu %6llu "
+                "%s%s\n",
+                name.c_str(), backend,
+                (unsigned long long)off.lineTableRegs,
+                (unsigned long long)on.lineTableRegs,
+                (unsigned long long)off.abortsConflict,
+                (unsigned long long)on.abortsConflict,
+                (unsigned long long)on.redOps,
+                (unsigned long long)on.demotions,
+                digestOk ? "results identical" : "RESULT MISMATCH",
+                off.valid && on.valid ? "" : ", INVALID");
+        }
+    }
+
+    if (!json.finish(argc, argv, failures == 0))
+        failures++;
+
+    if (failures) {
+        std::printf("\nFAIL: %d run(s) failed validation or diverged "
+                    "with classification on\n",
+                    failures);
+        return 1;
+    }
+    std::printf("\nclassification preserves results on every app and "
+                "backend\n");
+    return 0;
+}

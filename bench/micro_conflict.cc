@@ -94,6 +94,7 @@ runOne(uint32_t ntasks, uint32_t banks, uint32_t host_threads, bool conc)
 int
 main(int argc, char** argv)
 {
+    harness::requireKnownFlags(argc, argv);
     bool smoke = harness::hasFlag(argc, argv, "--smoke");
 
     uint32_t threads = 8;

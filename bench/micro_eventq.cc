@@ -160,6 +160,7 @@ measure(MakeQ make_q, uint32_t ntiles, uint32_t per_tile,
 int
 main(int argc, char** argv)
 {
+    ssim::harness::requireKnownFlags(argc, argv);
     bool smoke = ssim::harness::hasFlag(argc, argv, "--smoke");
     const uint64_t events = smoke ? 300000 : 3000000;
     // Constant pending population per tile: 64 task-queue entries/core

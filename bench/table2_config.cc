@@ -10,8 +10,9 @@ using namespace ssim::bench;
 using namespace ssim::harness;
 
 int
-main()
+main(int argc, char** argv)
 {
+    requireKnownFlags(argc, argv);
     banner("Table II: system configuration");
     SimConfig cfg =
         SimConfig::withCores(maxCores(), SchedulerType::LBHints);

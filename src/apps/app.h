@@ -81,6 +81,21 @@ class App
 
     /** True if a fine-grain restructuring exists (Sec. V). */
     virtual bool hasFineGrain() const { return false; }
+
+    /**
+     * Address ranges whose 64-bit words are pure commutative-addition
+     * accumulators (updated only via ctx.reduce, values read only after
+     * the parallel region or through reads that tolerate a
+     * demotion-triggering interleave). The profile-guided classifier
+     * (harness/classifier.h buildMap) only marks a line Reduction if it
+     * falls entirely inside one of these ranges AND the profile saw no
+     * plain writes to it — an app declaration plus profile evidence,
+     * never either alone. Default: none.
+     */
+    virtual std::vector<ReductionRange> reductionRanges() const
+    {
+        return {};
+    }
 };
 
 /** Chain a vector of trivially-copyable values into a result digest. */

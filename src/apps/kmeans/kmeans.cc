@@ -133,6 +133,15 @@ class KmeansApp : public App
                              uint64_t(0));
     }
 
+    std::vector<ReductionRange>
+    reductionRanges() const override
+    {
+        // The per-cluster accumulators are pure adders: updateCluster
+        // folds points in, recompute reads them (before its own
+        // reduces) and clears them with negative reduces.
+        return {{addrOf(accums_.data()), accums_.size() * sizeof(Accum)}};
+    }
+
     uint64_t
     resultDigest() const override
     {
@@ -284,13 +293,15 @@ KmeansApp::updateCluster(swarm::TaskCtx& ctx, swarm::Timestamp ts,
     uint32_t i = uint32_t(args[1]);
     uint32_t c = uint32_t(args[2]);
 
+    // Pure commutative adds: under a classified run these buffer per
+    // task and fold at commit, so same-cluster updaters never conflict
+    // on the accumulator line; unclassified they degrade to tracked
+    // read-modify-writes with the same results.
     for (uint32_t j = 0; j < kDim; j++) {
         int64_t x = co_await ctx.read(&a->points_[i].x[j]);
-        int64_t s = co_await ctx.read(&a->accums_[c].sum[j]);
-        co_await ctx.write(&a->accums_[c].sum[j], s + x);
+        co_await ctx.reduce(&a->accums_[c].sum[j], x);
     }
-    int64_t cnt = co_await ctx.read(&a->accums_[c].count);
-    co_await ctx.write(&a->accums_[c].count, cnt + 1);
+    co_await ctx.reduce(&a->accums_[c].count, 1);
 }
 
 // Phase 3i+2: new centroid = sum / count; clear the accumulators.
@@ -302,15 +313,21 @@ KmeansApp::recompute(swarm::TaskCtx& ctx, swarm::Timestamp ts,
     uint32_t c = uint32_t(args[1]);
     uint32_t iter = uint32_t(args[2]);
 
+    // All plain reads of the accumulator line come BEFORE the first
+    // reduce to it: a read after our own buffered delta would demote
+    // the line (self-visibility). Clearing via negative reduces keeps
+    // the line free of plain writes, which would also demote it.
     int64_t cnt = co_await ctx.read(&a->accums_[c].count);
     if (cnt) {
-        for (uint32_t j = 0; j < kDim; j++) {
-            int64_t s = co_await ctx.read(&a->accums_[c].sum[j]);
+        int64_t s[kDim];
+        for (uint32_t j = 0; j < kDim; j++)
+            s[j] = co_await ctx.read(&a->accums_[c].sum[j]);
+        for (uint32_t j = 0; j < kDim; j++)
             co_await ctx.write(&a->centroids_[c].c[j],
-                               double(s) / double(cnt));
-            co_await ctx.write(&a->accums_[c].sum[j], int64_t(0));
-        }
-        co_await ctx.write(&a->accums_[c].count, int64_t(0));
+                               double(s[j]) / double(cnt));
+        for (uint32_t j = 0; j < kDim; j++)
+            co_await ctx.reduce(&a->accums_[c].sum[j], -s[j]);
+        co_await ctx.reduce(&a->accums_[c].count, -cnt);
     }
     if (iter + 1 < a->iters_)
         co_await ctx.enqueue(recompute, ts + 3, swarm::SAMEHINT, args[0],

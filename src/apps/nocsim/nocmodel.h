@@ -40,9 +40,14 @@ struct alignas(64) NocRouter
     uint64_t meta[kNumPorts];           ///< head(8) | count(8)
     uint64_t credits;                   ///< byte lane per output dir
     uint64_t nextWake;                  ///< wake-dedup for router cycles
-    uint64_t delivered;
-    uint64_t latSum;
     uint64_t rr;                        ///< round-robin arbitration start
+    /// Delivery statistics: pure commutative accumulators (updated only
+    /// via ctx.reduce during the run, summed host-side afterwards).
+    /// Grouped on their own cache line — away from the plain-written
+    /// meta/credits/nextWake/rr words — so the access classifier can
+    /// mark it a Reduction line (NocsimApp::reductionRanges).
+    alignas(64) uint64_t delivered;
+    uint64_t latSum;
 };
 
 // Flit encoding: dst(16) | injectCycle(32) | src(16).

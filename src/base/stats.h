@@ -105,6 +105,29 @@ struct SimStats
     uint64_t crossBankEffects = 0;
     std::vector<uint64_t> bankApplies; ///< worker pre-applies per bank
 
+    // Access-classification counters (cfg.classifyMode; all zero with
+    // classification off). EXCLUDED from the golden digest: the digest
+    // gates "same configuration => same behavior", and a classified run
+    // is a deliberately different configuration (gated on the app's
+    // resultDigest instead). All are deterministic for a fixed
+    // configuration — classification state only mutates on coordinator
+    // serial paths — so benches can delta-gate them.
+    uint64_t classifiedRoReads = 0; ///< reads satisfied untracked (RO lines)
+    uint64_t classifiedPrivAccesses = 0; ///< owner accesses to private lines
+    uint64_t classifiedRedOps = 0; ///< reduces buffered on classified lines
+    uint64_t classifiedFoldWords = 0; ///< delta words folded at commit
+    uint64_t classifiedDemotions = 0; ///< lines demoted to full tracking
+    /// Aborts triggered by classification machinery itself (reduction
+    /// folds invalidating tracked readers); demotion-path aborts flow
+    /// through the normal resolve and count as abortsConflict.
+    uint64_t classifyAborts = 0;
+    /// Successful line-table registrations (reader/writer set inserts) —
+    /// counted with classification on or off, so the classified run's
+    /// footprint shrinkage is directly measurable. Deterministic and
+    /// thread-count invariant (worker pre-applied registrations are
+    /// counted when their slot consumes them).
+    uint64_t lineTableRegs = 0;
+
     uint64_t totalCoreCycles() const;
     uint64_t totalFlits() const;
 

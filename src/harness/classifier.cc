@@ -15,11 +15,15 @@ AccessClassifier::onCommit(const Task& t)
     // data is single-hint only if nothing else touches it.
     uint64_t hint = t.hasHint() ? t.hint : (mix64(t.uid) | (1ull << 63));
     for (uint64_t enc : t.trace) {
-        Loc& loc = locs_[enc >> 1];
-        if (enc & 1)
-            loc.writes++;
-        else
-            loc.reads++;
+        // Trace entries are (wordAddr << 2) | op; op 0=read 1=write
+        // 2=reduce (swarm/task.h). Words map to their covering line.
+        Addr word = enc >> 2;
+        Loc& loc = locs_[lineOf(word << 3)];
+        switch (enc & 3) {
+          case 0: loc.reads++; break;
+          case 1: loc.writes++; break;
+          default: loc.reduces++; break;
+        }
         loc.byHint[hint]++;
     }
 }
@@ -29,9 +33,11 @@ AccessClassifier::classify() const
 {
     Result r;
     uint64_t cat[4] = {}; // [single][ro]
-    for (const auto& [addr, loc] : locs_) {
-        uint64_t total = loc.reads + loc.writes;
-        bool ro = loc.writes == 0 || loc.reads >= roRatio_ * loc.writes;
+    for (const auto& [line, loc] : locs_) {
+        // For the Fig. 3/6 axes a reduce is a (commutative) write.
+        uint64_t wr = loc.writes + loc.reduces;
+        uint64_t total = loc.reads + wr;
+        bool ro = wr == 0 || loc.reads >= roRatio_ * wr;
         uint64_t maxHint = 0;
         for (const auto& [h, n] : loc.byHint)
             maxHint = std::max(maxHint, n);
@@ -48,6 +54,39 @@ AccessClassifier::classify() const
     r.singleHintRW = double(cat[2]) / double(all);
     r.singleHintRO = double(cat[3]) / double(all);
     return r;
+}
+
+ClassificationMap
+AccessClassifier::buildMap(const std::vector<ReductionRange>& ranges) const
+{
+    auto lineInRanges = [&](LineAddr line) {
+        Addr lo = line << lineBits;
+        Addr hi = lo + lineBytes;
+        for (const auto& r : ranges)
+            if (lo >= r.base && hi <= r.base + r.bytes)
+                return true;
+        return false;
+    };
+
+    ClassificationMap map;
+    for (const auto& [line, loc] : locs_) {
+        if (loc.writes == 0 && loc.reduces == 0) {
+            if (loc.reads > 0)
+                map.lines[line] = LineClass::ReadOnly;
+            continue;
+        }
+        if (loc.writes == 0 && loc.reduces > 0 && lineInRanges(line)) {
+            map.lines[line] = LineClass::Reduction;
+            continue;
+        }
+        uint64_t total = loc.reads + loc.writes + loc.reduces;
+        uint64_t maxHint = 0;
+        for (const auto& [h, n] : loc.byHint)
+            maxHint = std::max(maxHint, n);
+        if (double(maxHint) > singleFrac_ * double(total))
+            map.lines[line] = LineClass::Private;
+    }
+    return map;
 }
 
 } // namespace ssim::harness

@@ -3,19 +3,31 @@
  * Architecture-independent memory-access classifier (paper Sec. IV-B,
  * Figs. 3 and 6).
  *
- * Profiles all memory accesses made by committing tasks and classifies
- * each word-granularity location on two axes:
+ * Profiles all memory accesses made by committing tasks at *line*
+ * granularity — the same keys the LineTable banks use, so the
+ * classification map and the conflict pipeline agree — and classifies
+ * each line on two axes:
  *   read-only:   >= `ro_ratio` reads per write over its profiled life
  *                (data never written by tasks, e.g. initialized once, is
  *                read-only);
  *   single-hint: > `single_frac` of its accesses come from tasks of a
  *                single hint.
  * Accesses to task arguments are a separate category.
+ *
+ * Beyond the passive Fig. 3/6 reporting (classify()), buildMap() turns
+ * the profile into an active ClassificationMap consumed by the
+ * ConflictManager (classifyMode=profile): strictly-never-written lines
+ * become ReadOnly, reduce-only lines inside app-declared ranges become
+ * Reduction, and written single-hint lines become Private. Every class
+ * is correctness-neutral — a contradicting access at runtime demotes
+ * the line to full tracking (swarm/classification.h).
  */
 #pragma once
 
 #include <unordered_map>
+#include <vector>
 
+#include "swarm/classification.h"
 #include "swarm/commit_controller.h"
 
 namespace ssim::harness {
@@ -43,18 +55,32 @@ class AccessClassifier : public AccessProfiler
     };
     Result classify() const;
 
+    /**
+     * Build the active classification map from the profile:
+     *  - ReadOnly:  never written (no plain writes, no reduces);
+     *  - Reduction: mutated only by ctx.reduce() and entirely inside
+     *    one of @p ranges (the app's declared combiner state);
+     *  - Private:   written, and > single_frac of accesses from one
+     *    hint (the paper's single-hint-RW quadrant; same-hint tasks
+     *    serialize at dispatch, so one-owner-at-a-time mostly holds
+     *    and the demotion path absorbs the exceptions).
+     */
+    ClassificationMap buildMap(
+        const std::vector<ReductionRange>& ranges = {}) const;
+
   private:
     struct Loc
     {
         uint64_t reads = 0;
-        uint64_t writes = 0;
+        uint64_t writes = 0;  // plain writes only
+        uint64_t reduces = 0; // ctx.reduce() ops
         std::unordered_map<uint64_t, uint64_t> byHint;
     };
 
     uint64_t roRatio_;
     double singleFrac_;
     uint64_t argAccesses_ = 0;
-    std::unordered_map<uint64_t, Loc> locs_; // by word address
+    std::unordered_map<LineAddr, Loc> locs_; // by line address
 };
 
 } // namespace ssim::harness

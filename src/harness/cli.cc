@@ -143,12 +143,49 @@ applyParallelReplay(SimConfig& cfg, int argc, char** argv)
     }
 }
 
+namespace {
+
+/// Classification-mode parsing shared by env and flag: only the two
+/// modes the runner understands are accepted.
+bool
+parseClassifyMode(const char* text, std::string& out)
+{
+    std::string v(text);
+    if (v != "off" && v != "profile")
+        return false;
+    out = std::move(v);
+    return true;
+}
+
+} // namespace
+
+void
+applyClassify(SimConfig& cfg, int argc, char** argv)
+{
+    if (const char* e = std::getenv("SWARMSIM_CLASSIFY")) {
+        if (!parseClassifyMode(e, cfg.classifyMode)) {
+            static bool warned = false; // runOnce applies this per run
+            if (!warned) {
+                warned = true;
+                warn("ignoring SWARMSIM_CLASSIFY='%s' (needs "
+                     "off/profile)",
+                     e);
+            }
+        }
+    }
+    if (const char* v = flagValue(argc, argv, "--classify")) {
+        if (!parseClassifyMode(v, cfg.classifyMode))
+            fatal("--classify needs off or profile, got '%s'", v);
+    }
+}
+
 void
 requireKnownFlags(int argc, char** argv, const char* const* extras)
 {
     static const char* const kShared[] = {
         "--host-threads", "--backend",  "--conc-conflicts",
-        "--parallel-replay", "--policy", "--json", "--smoke",
+        "--parallel-replay", "--classify", "--policy", "--json",
+        "--smoke",
     };
     for (int i = 1; i < argc; i++) {
         const char* arg = argv[i];
@@ -201,6 +238,12 @@ applyBenchFlags(int argc, char** argv)
             fatal("--parallel-replay needs on or off, got '%s'", v);
         setenv("SWARMSIM_PARALLEL_REPLAY", parsed ? "on" : "off",
                /*overwrite=*/1);
+    }
+    if (const char* v = flagValue(argc, argv, "--classify")) {
+        std::string mode;
+        if (!parseClassifyMode(v, mode))
+            fatal("--classify needs off or profile, got '%s'", v);
+        setenv("SWARMSIM_CLASSIFY", mode.c_str(), /*overwrite=*/1);
     }
 }
 

@@ -73,11 +73,21 @@ void applyParallelReplay(SimConfig& cfg, int argc = 0,
                          char** argv = nullptr);
 
 /**
+ * Apply access-classification overrides to @p cfg: the SWARMSIM_CLASSIFY
+ * environment variable (off/profile; anything else is ignored with a
+ * one-time warning), then any --classify=off|profile in argv, which wins
+ * and must be well-formed. "profile" makes harness::runOnce do a
+ * profiling pre-run and feed the resulting map to the real run
+ * (docs/configuration.md).
+ */
+void applyClassify(SimConfig& cfg, int argc = 0, char** argv = nullptr);
+
+/**
  * Fail fast on unrecognized `--` flags: fatals (exit, not abort) naming
  * the first argv token that starts with "--" whose flag part (before
  * any '=') is neither in the shared bench set — --host-threads,
- * --backend, --conc-conflicts, --parallel-replay, --policy, --json,
- * --smoke — nor in @p extras. Benches call it first in main() so a typo
+ * --backend, --conc-conflicts, --parallel-replay, --classify, --policy,
+ * --json, --smoke — nor in @p extras. Benches call it first in main() so a typo
  * like `--host-thread=8` aborts the run instead of silently measuring
  * the default configuration. @p extras is a nullptr-terminated array of
  * additional accepted flag spellings (may be nullptr).

@@ -127,7 +127,7 @@ occupancySummary(const SimStats& s)
     auto ev = minMeanMax(s.laneScheduled, 1);
     auto pk = minMeanMax(s.lanePeakPending, 1);
     auto bk = minMeanMax(s.bankPeakLines, 0);
-    char buf[768];
+    char buf[1024];
     int n = std::snprintf(
         buf, sizeof(buf),
         "lanes: %zu tile + global (%llu ev); tile events "
@@ -167,7 +167,7 @@ occupancySummary(const SimStats& s)
         uint64_t pb = 0;
         for (uint64_t b : s.bankApplies)
             pb = std::max(pb, b);
-        std::snprintf(
+        n += std::snprintf(
             buf + n, sizeof(buf) - size_t(n),
             "\nreplay: %llu worker applies (peak bank %llu), "
             "%llu squashed; coordinator fallback %llu, "
@@ -176,6 +176,25 @@ occupancySummary(const SimStats& s)
             (unsigned long long)s.replaySquashed,
             (unsigned long long)s.coordinatorFallbackApplies,
             (unsigned long long)s.crossBankEffects);
+    }
+    // Access-classification footprint: how much speculative state the
+    // classified fast paths kept out of the line table, and how often
+    // the demotion safety net fired.
+    if ((s.classifiedRoReads || s.classifiedPrivAccesses ||
+         s.classifiedRedOps || s.classifiedDemotions) &&
+        n > 0 && size_t(n) < sizeof(buf)) {
+        std::snprintf(
+            buf + n, sizeof(buf) - size_t(n),
+            "\nclassification: ro/priv/red ops %llu/%llu/%llu; "
+            "%llu words folded, %llu fold-aborts, %llu demotions; "
+            "%llu line-table regs",
+            (unsigned long long)s.classifiedRoReads,
+            (unsigned long long)s.classifiedPrivAccesses,
+            (unsigned long long)s.classifiedRedOps,
+            (unsigned long long)s.classifiedFoldWords,
+            (unsigned long long)s.classifyAborts,
+            (unsigned long long)s.classifiedDemotions,
+            (unsigned long long)s.lineTableRegs);
     }
     return buf;
 }

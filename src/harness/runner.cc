@@ -2,9 +2,12 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 
 #include "base/logging.h"
+#include "harness/classifier.h"
 #include "harness/report.h"
+#include "swarm/classification.h"
 #include "swarm/policies.h"
 
 namespace ssim::harness {
@@ -15,11 +18,34 @@ runOnce(apps::App& app, const SimConfig& cfg, AccessProfiler* profiler)
     app.reset();
     SimConfig hostCfg = cfg;
     // Env-only pass: host threads, engine backend, concurrent conflict
-    // checks, and parallel replay (harness/cli.h).
+    // checks, parallel replay, and access classification
+    // (harness/cli.h).
     applyHostThreads(hostCfg);
     applyBackend(hostCfg);
     applyConcConflicts(hostCfg);
     applyParallelReplay(hostCfg);
+    applyClassify(hostCfg);
+    if (hostCfg.classifyMode == "profile" && !hostCfg.classifyMap) {
+        // Profile-guided classification: run the workload once with
+        // classification off, feeding every committed task's access
+        // trace to an AccessClassifier, then hand the resulting map to
+        // the measured run below. The pre-run is deliberately plain —
+        // any caller-supplied profiler only observes the real run.
+        SimConfig profCfg = hostCfg;
+        profCfg.classifyMode = "off";
+        AccessClassifier cls;
+        Machine pm(profCfg);
+        pm.setProfiler(&cls);
+        app.enqueueInitial(pm);
+        pm.run();
+        auto map = std::make_shared<ClassificationMap>(
+            cls.buildMap(app.reductionRanges()));
+        if (const char* path = std::getenv("SWARMSIM_CLASSIFY_SAVE"))
+            if (!map->save(path))
+                warn("SWARMSIM_CLASSIFY_SAVE: cannot write '%s'", path);
+        hostCfg.classifyMap = std::move(map);
+        app.reset();
+    }
     Machine m(hostCfg);
     if (profiler)
         m.setProfiler(profiler);

@@ -9,11 +9,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "base/types.h"
 
 namespace ssim {
+
+struct ClassificationMap;
 
 /** Spatial task-mapping scheduler (Sec. II-C). */
 enum class SchedulerType : uint8_t
@@ -134,6 +137,29 @@ struct SimConfig
     /// --parallel-replay=on|off (benches), and `parallel-replay=` policy
     /// specs. Default off so the goldens gate the serial path directly.
     bool parallelReplay = false;
+
+    // Access classification (speculation-aware footprint shrinking) ----------
+    /// Profile-guided access classification: "off" (default; track every
+    /// access) or "profile" (harness runs: runOnce first performs a
+    /// recorded profiling run, builds a per-line ClassificationMap with
+    /// harness::AccessClassifier::buildMap, and re-runs with the map
+    /// armed). Classified lines — read-only, task-private, and
+    /// app-declared commutative reductions (App::reductionRanges +
+    /// ctx.reduce) — skip line-table registration, probe queues, and
+    /// replay queues; any contradicting access demotes its line to full
+    /// tracking for the rest of the run, so results are exact by
+    /// construction (swarm/classification.h). NOT timing-neutral: a
+    /// classified run is a different (cheaper) machine configuration, so
+    /// it is gated on App::resultDigest equality, not the stats digest.
+    /// Overridable via SWARMSIM_CLASSIFY (harness runs),
+    /// --classify=off|profile (benches), and `classify=` policy specs.
+    std::string classifyMode = "off";
+
+    /// The armed classification map (null = none). runOnce fills this in
+    /// classifyMode=profile; tests inject hand-built maps directly. The
+    /// ConflictManager copies it at construction and demotes lines from
+    /// its private copy, so one map can serve many runs.
+    std::shared_ptr<const ClassificationMap> classifyMap;
 
     // Engine backend ----------------------------------------------------------
     /// Execution-engine cost model, selected by name through the

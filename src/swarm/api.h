@@ -128,6 +128,25 @@ struct TypedMemAwaiter : MemAwaiter
     }
 };
 
+/**
+ * Awaiter for a commutative reduction: *p += delta (64-bit integer
+ * add) without observing the value. On lines the classification map
+ * marks Reduction (swarm/classification.h) the delta is buffered per
+ * task and folded at commit — no line-table registration, no
+ * write-write aborts among reducers; everywhere else it degrades to a
+ * single tracked read-modify-write.
+ */
+struct ReduceAwaiter
+{
+    TaskCtx* ctx;
+    ssim::Addr addr;
+    int64_t delta;
+
+    bool await_ready(); // defined in machine.cc
+    void await_suspend(std::coroutine_handle<> h); // defined in machine.cc
+    void await_resume() const noexcept {}
+};
+
 /** Awaiter charging fixed compute cycles. */
 struct ComputeAwaiter
 {
@@ -191,6 +210,20 @@ class TaskCtx
         aw.isWrite = true;
         std::memcpy(&aw.wval, &v, sizeof(T));
         return aw;
+    }
+
+    /**
+     * Commutative reduction *p += delta. The task must not rely on the
+     * stored value (use read+write for that); deltas may be buffered
+     * and folded at commit. @p T must be a 64-bit integer.
+     */
+    template <typename T>
+    ReduceAwaiter
+    reduce(T* p, int64_t delta)
+    {
+        static_assert(sizeof(T) == 8 && std::is_integral_v<T>,
+                      "reductions are 64-bit integer adds");
+        return {this, ssim::addrOf(p), delta};
     }
 
     /** Charge @p cycles of non-memory compute work. */

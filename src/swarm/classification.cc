@@ -1,0 +1,94 @@
+#include "swarm/classification.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "base/logging.h"
+
+namespace ssim {
+
+const char*
+lineClassName(LineClass c)
+{
+    switch (c) {
+      case LineClass::ReadOnly: return "ro";
+      case LineClass::Private: return "private";
+      case LineClass::Reduction: return "reduction";
+    }
+    return "?";
+}
+
+size_t
+ClassificationMap::count(LineClass c) const
+{
+    size_t n = 0;
+    for (const auto& [line, cls] : lines)
+        n += cls == c;
+    return n;
+}
+
+bool
+ClassificationMap::save(const std::string& path) const
+{
+    std::ofstream f(path);
+    if (!f) {
+        warn("ClassificationMap: cannot open '%s' for writing",
+             path.c_str());
+        return false;
+    }
+    std::vector<std::pair<LineAddr, LineClass>> sorted(lines.begin(),
+                                                       lines.end());
+    std::sort(sorted.begin(), sorted.end());
+    for (const auto& [line, cls] : sorted) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%" PRIx64 " %s\n", line,
+                      lineClassName(cls));
+        f << buf;
+    }
+    f.flush();
+    return bool(f);
+}
+
+bool
+ClassificationMap::load(const std::string& path)
+{
+    std::ifstream f(path);
+    if (!f) {
+        warn("ClassificationMap: cannot open '%s'", path.c_str());
+        return false;
+    }
+    std::unordered_map<LineAddr, LineClass> parsed;
+    std::string lineStr;
+    while (std::getline(f, lineStr)) {
+        if (lineStr.empty())
+            continue;
+        std::istringstream is(lineStr);
+        std::string addrHex, clsName;
+        if (!(is >> addrHex >> clsName)) {
+            warn("ClassificationMap: bad line '%s' in %s", lineStr.c_str(),
+                 path.c_str());
+            return false;
+        }
+        LineAddr line = strtoull(addrHex.c_str(), nullptr, 16);
+        LineClass cls;
+        if (clsName == "ro")
+            cls = LineClass::ReadOnly;
+        else if (clsName == "private")
+            cls = LineClass::Private;
+        else if (clsName == "reduction")
+            cls = LineClass::Reduction;
+        else {
+            warn("ClassificationMap: unknown class '%s' in %s",
+                 clsName.c_str(), path.c_str());
+            return false;
+        }
+        parsed[line] = cls;
+    }
+    lines = std::move(parsed);
+    return true;
+}
+
+} // namespace ssim

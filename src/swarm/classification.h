@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The access-classification map: the profile-guided contract between
+ * the AccessClassifier (harness/classifier.h, which builds it from a
+ * recorded profiling run) and the ConflictManager (which consumes it so
+ * classified lines never enter the line-table banks, probe queues, or
+ * replay queues).
+ *
+ * Classes and their runtime meaning:
+ *  - ReadOnly:  reads skip line-table registration entirely; the first
+ *    write demotes the line (untracked readers are registered
+ *    retroactively and the write resolves against them as usual).
+ *  - Private:   one task at a time owns the line; the owner's accesses
+ *    skip registration (writes stay eager with undo records — in an
+ *    eager-versioning simulator the undo log *is* the per-task write
+ *    buffer, and install-at-commit is the no-op of keeping the values
+ *    already in place). Any access by a non-owner demotes the line.
+ *  - Reduction: tasks mutate the line only through ctx.reduce()
+ *    (commutative int64 add); deltas are buffered per task and folded
+ *    into memory at commit instead of aborting on write-write. A plain
+ *    write demotes the line (buffered deltas are materialized with
+ *    undo records first, in task order, so rollback stays exact).
+ *
+ * Misclassification is never a correctness hazard: every contradicting
+ * access demotes the line to full tracking for the rest of the run.
+ * The map is correctness-neutral by construction; it only moves work
+ * off the speculative tracking paths.
+ *
+ * Addresses are host virtual addresses of the current process: a saved
+ * map is only meaningful where data placement is reproducible (e.g.
+ * the tests' fixed arena). save()/load() exist for such setups and for
+ * offline inspection; the default flow (classifyMode=profile) builds
+ * the map in-process and never serializes it.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/types.h"
+
+namespace ssim {
+
+enum class LineClass : uint8_t
+{
+    ReadOnly = 1,
+    Private = 2,
+    Reduction = 3,
+};
+
+const char* lineClassName(LineClass c);
+
+/**
+ * A half-open byte range an app declares as commutative-reduction
+ * state (int64 add via ctx.reduce). Only lines that lie entirely
+ * inside a declared range are eligible for Reduction classification.
+ */
+struct ReductionRange
+{
+    Addr base = 0;
+    uint64_t bytes = 0;
+};
+
+struct ClassificationMap
+{
+    std::unordered_map<LineAddr, LineClass> lines;
+
+    size_t size() const { return lines.size(); }
+    bool empty() const { return lines.empty(); }
+
+    /** Count of lines with the given class. */
+    size_t count(LineClass c) const;
+
+    /**
+     * Serialize as sorted text ("<hex line> <class name>" per line) —
+     * deterministic output for diffing and the round-trip test. See
+     * the file comment for the address-validity caveat.
+     */
+    bool save(const std::string& path) const;
+
+    /** Parse a save()d map. Returns false (map untouched) on error. */
+    bool load(const std::string& path);
+};
+
+} // namespace ssim

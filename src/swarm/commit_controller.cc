@@ -108,15 +108,37 @@ CommitController::gvtEpoch()
 
     auto gvt = computeGvt();
 
-    for (TileId tile = 0; tile < cfg_.ntiles; tile++) {
-        TaskUnit& unit = engine_.unit(tile);
-        while (!unit.commitQ.empty()) {
-            Task* t = *unit.commitQ.begin();
-            std::pair<Timestamp, uint64_t> key{t->ts, t->uid};
-            if (gvt && !(key < *gvt))
-                break;
-            commitTask(t);
+    // Commit in GLOBAL timestamp order (min-merge over the per-tile
+    // commit-queue heads), not tile-by-tile. Plain commits have no
+    // memory effects, so batching per tile used to be safe — but a
+    // commit that folds classified reduction deltas writes memory and
+    // may abort registered readers, and those effects must land in
+    // timestamp order. A fold-abort additionally requeues its victims
+    // live again, invalidating the GVT computed at the top of the
+    // epoch: tighten the bound to the earliest victim so the sweep
+    // keeps committing (and folding) everything still earlier than it,
+    // but never overtakes a requeued task.
+    conflict_.consumeFoldAbort(); // defensive clear (nothing folds
+                                  // outside the sweep)
+    while (true) {
+        Task* next = nullptr;
+        for (TileId tile = 0; tile < cfg_.ntiles; tile++) {
+            TaskUnit& unit = engine_.unit(tile);
+            if (unit.commitQ.empty())
+                continue;
+            Task* head = *unit.commitQ.begin();
+            if (!next || head->before(*next))
+                next = head;
         }
+        if (!next)
+            break;
+        std::pair<Timestamp, uint64_t> key{next->ts, next->uid};
+        if (gvt && !(key < *gvt))
+            break;
+        commitTask(next);
+        if (auto victim = conflict_.consumeFoldAbort())
+            if (!gvt || *victim < *gvt)
+                gvt = victim;
     }
 
     for (TileId tile = 0; tile < cfg_.ntiles; tile++) {
@@ -157,8 +179,9 @@ CommitController::commitTask(Task* t)
         c->untied = true;
         c->parent = nullptr;
     }
-    // If our parent is still live (it commits in this same sweep, later
-    // in tile order), unlink ourselves from it.
+    // If our parent is still live, unlink ourselves from it (defensive:
+    // under the timestamp-ordered sweep the parent commits first and
+    // clears our link above).
     if (t->parent) {
         auto& sib = t->parent->children;
         sib.erase(std::remove(sib.begin(), sib.end(), t), sib.end());

@@ -34,6 +34,11 @@ ConflictManager::ConflictManager(const SimConfig& cfg,
         // still-fresh worker probes when both are armed.
         rpb_ = std::make_unique<ParallelReplayBackend>(*this, engine);
     }
+    // Arm access classification from a private copy of the map: lines
+    // are demoted (erased) as contradicting accesses arrive, so the
+    // shared map can serve many runs unchanged.
+    if (cfg.classifyMap)
+        classMap_ = cfg.classifyMap->lines;
 }
 
 ConflictManager::~ConflictManager() = default;
@@ -55,6 +60,9 @@ ConflictManager::onCommit(Task* t)
 {
     if (rpb_)
         rpb_->fenceTask(t);
+    if (!t->redLines.empty())
+        foldReductions(t);
+    clearClassifiedState(t);
     lineTable_.removeTask(t);
 }
 
@@ -74,6 +82,7 @@ ConflictManager::trackRead(Task* t, LineAddr line)
     if (t->readSet.insert(line).second) {
         auto guard = lineTable_.lockFor(line);
         lineTable_.addReader(line, t, first);
+        stats_.lineTableRegs++;
     }
 }
 
@@ -84,6 +93,7 @@ ConflictManager::trackWrite(Task* t, LineAddr line)
     if (t->writeSet.insert(line).second) {
         auto guard = lineTable_.lockFor(line);
         lineTable_.addWriter(line, t, first);
+        stats_.lineTableRegs++;
     }
 }
 
@@ -280,6 +290,11 @@ ConflictManager::rollbackTask(Task* t, TileId cause_tile)
             t->execCycles + rollbackCycles;
     }
 
+    // Classified footprint dies with the attempt: unfolded reduction
+    // deltas are discarded (they never touched memory), eager private
+    // writes were restored by the undo log above, and the side
+    // registries drop this task so demotion never registers a corpse.
+    clearClassifiedState(t);
     lineTable_.removeTask(t);
 
     if (t->state == TaskState::Running) {
@@ -347,6 +362,288 @@ ConflictManager::requeueTask(Task* t)
     unit.idle.insert(t);
 }
 
+// ---- Access classification -------------------------------------------------
+
+/// Does @p t hold a buffered reduction delta on any word of @p line?
+static bool
+hasShadowOnLine(const Task* t, LineAddr line)
+{
+    auto it = t->redShadow.lower_bound(Addr(line) << lineBits);
+    return it != t->redShadow.end() && lineOf(it->first) == line;
+}
+
+bool
+ConflictManager::tryClassifiedAccess(Task* t, Addr addr, uint32_t size,
+                                     bool is_write, uint64_t wval,
+                                     uint64_t* rval)
+{
+    if (classMap_.empty())
+        return false;
+    LineAddr line = lineOf(addr);
+    auto it = classMap_.find(line);
+    if (it == classMap_.end())
+        return false;
+
+    switch (it->second) {
+      case LineClass::ReadOnly: {
+        if (is_write) {
+            // The profile lied: demote, then let the write take the
+            // full resolve+track path (the demotion just registered
+            // every untracked reader, so the probe sees them all).
+            demoteLine(line);
+            return false;
+        }
+        *rval = 0;
+        std::memcpy(rval, reinterpret_cast<void*>(addr), size);
+        if (t->roSet.insert(line).second)
+            roReaders_[line].push_back(t);
+        stats_.classifiedRoReads++;
+        return true;
+      }
+
+      case LineClass::Private: {
+        PrivUse& pu = privUse_[line];
+        if (!pu.owner) {
+            pu.owner = t;
+            t->privLines.push_back(line);
+        } else if (pu.owner != t) {
+            // Foreign access: register the owner's hidden accesses and
+            // fall through to resolve, which orders the two normally.
+            demoteLine(line);
+            return false;
+        }
+        // Owner access, untracked but EAGER: the undo log is the
+        // per-task write buffer, so abort recovery needs nothing new.
+        if (is_write) {
+            Task::UndoRec rec{addr, uint8_t(size), 0};
+            std::memcpy(&rec.oldVal, reinterpret_cast<void*>(addr), size);
+            t->undo.push_back(rec);
+            std::memcpy(reinterpret_cast<void*>(addr), &wval, size);
+            pu.wrote = true;
+        } else {
+            *rval = 0;
+            std::memcpy(rval, reinterpret_cast<void*>(addr), size);
+            pu.readIt = true;
+        }
+        stats_.classifiedPrivAccesses++;
+        return true;
+      }
+
+      case LineClass::Reduction: {
+        if (is_write) {
+            demoteLine(line); // plain write: materialize + track
+            return false;
+        }
+        // A plain read is exact as a TRACKED base read — any committer
+        // folding deltas into this line aborts us — unless this task
+        // has its own buffered deltas here, which the base read would
+        // miss (a task must see its own writes): demote for
+        // self-visibility.
+        if (hasShadowOnLine(t, line))
+            demoteLine(line);
+        return false;
+      }
+    }
+    return false;
+}
+
+bool
+ConflictManager::tryClassifiedReduce(Task* t, Addr addr, int64_t delta)
+{
+    if (classMap_.empty())
+        return false;
+    LineAddr line = lineOf(addr);
+    auto it = classMap_.find(line);
+    if (it == classMap_.end())
+        return false;
+
+    switch (it->second) {
+      case LineClass::Reduction: {
+        if (!hasShadowOnLine(t, line)) {
+            redUsers_[line].push_back(t);
+            t->redLines.push_back(line);
+        }
+        t->redShadow[addr] += delta;
+        stats_.classifiedRedOps++;
+        return true;
+      }
+      case LineClass::Private: {
+        PrivUse& pu = privUse_[line];
+        if (!pu.owner) {
+            pu.owner = t;
+            t->privLines.push_back(line);
+        } else if (pu.owner != t) {
+            demoteLine(line);
+            return false;
+        }
+        // Owner reduce: just an eager read-modify-write.
+        uint64_t cur = 0;
+        std::memcpy(&cur, reinterpret_cast<void*>(addr), 8);
+        t->undo.push_back({addr, 8, cur});
+        uint64_t nv = cur + uint64_t(delta);
+        std::memcpy(reinterpret_cast<void*>(addr), &nv, 8);
+        pu.wrote = true;
+        stats_.classifiedPrivAccesses++;
+        return true;
+      }
+      case LineClass::ReadOnly: {
+        demoteLine(line); // a reduce IS a write
+        return false;
+      }
+    }
+    return false;
+}
+
+void
+ConflictManager::demoteLine(LineAddr line)
+{
+    auto it = classMap_.find(line);
+    if (it == classMap_.end())
+        return;
+    // Squash any staged pre-applies on the home bank before mutating it
+    // (the registrations below bump its op-sequence, invalidating any
+    // probe that could have seen the pre-demotion state).
+    if (rpb_)
+        rpb_->fenceLine(line);
+    LineClass cls = it->second;
+    classMap_.erase(it); // first: track* below must see "unclassified"
+
+    switch (cls) {
+      case LineClass::ReadOnly: {
+        auto rit = roReaders_.find(line);
+        if (rit != roReaders_.end()) {
+            std::vector<Task*> readers = std::move(rit->second);
+            roReaders_.erase(rit);
+            for (Task* r : readers)
+                trackRead(r, line);
+        }
+        break;
+      }
+      case LineClass::Private: {
+        auto pit = privUse_.find(line);
+        if (pit != privUse_.end()) {
+            PrivUse pu = pit->second;
+            privUse_.erase(pit);
+            if (pu.owner) {
+                if (pu.readIt)
+                    trackRead(pu.owner, line);
+                if (pu.wrote)
+                    trackWrite(pu.owner, line);
+            }
+        }
+        break;
+      }
+      case LineClass::Reduction: {
+        auto uit = redUsers_.find(line);
+        if (uit != redUsers_.end()) {
+            std::vector<Task*> users = std::move(uit->second);
+            redUsers_.erase(uit);
+            // Materialize buffered deltas IN PROGRAM ORDER: per line,
+            // chronological write order must equal program order among
+            // live writers (the undo log snapshots absolute values, so
+            // descending-order rollback is only exact under that
+            // invariant — DESIGN.md §5.3). No tracked writers can
+            // coexist with a classified Reduction line (a plain write
+            // demotes first), so this establishes the order outright.
+            std::sort(users.begin(), users.end(), TaskOrder());
+            for (Task* u : users) {
+                auto sit =
+                    u->redShadow.lower_bound(Addr(line) << lineBits);
+                while (sit != u->redShadow.end() &&
+                       lineOf(sit->first) == line) {
+                    Addr w = sit->first;
+                    uint64_t cur = 0;
+                    std::memcpy(&cur, reinterpret_cast<void*>(w), 8);
+                    u->undo.push_back({w, 8, cur});
+                    uint64_t nv = cur + uint64_t(sit->second);
+                    std::memcpy(reinterpret_cast<void*>(w), &nv, 8);
+                    sit = u->redShadow.erase(sit);
+                }
+                trackWrite(u, line);
+            }
+        }
+        break;
+      }
+    }
+    stats_.classifiedDemotions++;
+}
+
+void
+ConflictManager::foldReductions(Task* t)
+{
+    std::vector<Task*> victims;
+    for (LineAddr line : t->redLines) {
+        auto cit = classMap_.find(line);
+        if (cit == classMap_.end() || cit->second != LineClass::Reduction)
+            continue; // demoted: deltas were already materialized
+        // Committed: fold the deltas straight into memory (no undo).
+        auto sit = t->redShadow.lower_bound(Addr(line) << lineBits);
+        while (sit != t->redShadow.end() && lineOf(sit->first) == line) {
+            uint64_t cur = 0;
+            std::memcpy(&cur, reinterpret_cast<void*>(sit->first), 8);
+            uint64_t nv = cur + uint64_t(sit->second);
+            std::memcpy(reinterpret_cast<void*>(sit->first), &nv, 8);
+            stats_.classifiedFoldWords++;
+            sit = t->redShadow.erase(sit);
+        }
+        // Every task still registered on the line read the pre-fold
+        // value — and is later than the committing task (GVT head), so
+        // the fold invalidates it. Only plain readers can be here: a
+        // tracked writer would have demoted the line first.
+        if (const LineTable::Entry* e = lineTable_.find(line)) {
+            for (Task* r : e->readers)
+                if (r != t)
+                    victims.push_back(r);
+            for (Task* w : e->writers)
+                if (w != t)
+                    victims.push_back(w);
+        }
+    }
+    if (!victims.empty()) {
+        std::sort(victims.begin(), victims.end());
+        victims.erase(std::unique(victims.begin(), victims.end()),
+                      victims.end());
+        stats_.classifyAborts += victims.size();
+        // The victims are requeued with their original timestamps and
+        // become live again: record the earliest so the in-progress
+        // commit sweep can tighten its GVT bound (consumeFoldAbort).
+        for (Task* v : victims) {
+            std::pair<Timestamp, uint64_t> key{v->ts, v->uid};
+            if (!foldAbortMin_ || key < *foldAbortMin_)
+                foldAbortMin_ = key;
+        }
+        abortTasks(victims, /*discard_roots=*/false, t->tile);
+    }
+}
+
+void
+ConflictManager::clearClassifiedState(Task* t)
+{
+    for (LineAddr line : t->roSet) {
+        auto it = roReaders_.find(line);
+        if (it == roReaders_.end())
+            continue; // line demoted since
+        auto& v = it->second;
+        v.erase(std::remove(v.begin(), v.end(), t), v.end());
+        if (v.empty())
+            roReaders_.erase(it);
+    }
+    for (LineAddr line : t->privLines) {
+        auto it = privUse_.find(line);
+        if (it != privUse_.end() && it->second.owner == t)
+            privUse_.erase(it); // release for serial reuse
+    }
+    for (LineAddr line : t->redLines) {
+        auto it = redUsers_.find(line);
+        if (it == redUsers_.end())
+            continue; // line demoted since
+        auto& v = it->second;
+        v.erase(std::remove(v.begin(), v.end(), t), v.end());
+        if (v.empty())
+            redUsers_.erase(it);
+    }
+}
+
 // ---- ConcurrentConflictBackend ---------------------------------------------
 
 ConcurrentConflictBackend::ConcurrentConflictBackend(ConflictManager& cm,
@@ -388,6 +685,8 @@ ConcurrentConflictBackend::buildQueues(
             if (s.kind != Task::PendingStep::Kind::Access || s.applied)
                 continue;
             LineAddr line = lineOf(s.addr);
+            if (cm_.classifiedLine(line))
+                continue; // classified: no line-table state to probe
             uint32_t b = lt.bankOf(line);
             if (s.probe.valid && s.probe.opSeq == lt.bankOpSeq(b))
                 continue; // an earlier phase's probe is still fresh
@@ -489,6 +788,8 @@ ParallelReplayBackend::buildQueues(
         if (s.kind != Task::PendingStep::Kind::Access || s.applied)
             continue;
         LineAddr line = lineOf(s.addr);
+        if (cm_.classifiedLine(line))
+            continue; // classified: applies at its slot, bypassing banks
         uint32_t b = lt.bankOf(line);
         if (bankItems_[b].empty())
             activeBanks_.push_back(b);

@@ -52,12 +52,15 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <optional>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "base/stats.h"
 #include "sim/config.h"
 #include "sim/parallel_executor.h"
+#include "swarm/classification.h"
 #include "swarm/spec.h"
 #include "swarm/task.h"
 
@@ -89,6 +92,61 @@ class ConflictManager
     /** Register a read/write line in @p t's speculative footprint. */
     void trackRead(Task* t, LineAddr line);
     void trackWrite(Task* t, LineAddr line);
+
+    // ---- Access classification (swarm/classification.h) ---------------
+    //
+    // Armed when cfg.classifyMap is non-null: classified lines bypass
+    // the line table entirely (no registration, no probes, no replay
+    // staging — buildQueues skips them). All classification state
+    // mutates on the coordinator only, outside worker phases, so it
+    // composes with concurrent conflicts and parallel replay without
+    // new locks; demotions route through the same fences (fenceLine
+    // before any materialization, registrations bump bankOpSeq so
+    // stale cached probes and staged steps are squashed).
+
+    /**
+     * Classified fast path for a plain access. Returns true if the
+     * access was fully handled (value delivered / write applied, no
+     * line-table traffic — charge zero compared). Returns false to fall
+     * through to the full resolve+track path, possibly after demoting
+     * the line (a write to a ReadOnly line, any foreign access to a
+     * Private line, a plain write to a Reduction line).
+     */
+    bool tryClassifiedAccess(Task* t, Addr addr, uint32_t size,
+                             bool is_write, uint64_t wval, uint64_t* rval);
+
+    /**
+     * Classified fast path for a reduce op: buffer the delta per task
+     * on Reduction lines (folded at commit). Returns false to fall
+     * through to the tracked read-modify-write fallback.
+     */
+    bool tryClassifiedReduce(Task* t, Addr addr, int64_t delta);
+
+    /** Is @p line currently classified (not yet demoted)? */
+    bool
+    classifiedLine(LineAddr line) const
+    {
+        return !classMap_.empty() && classMap_.count(line) != 0;
+    }
+
+    /** Lines still classified (monotonically shrinks via demotion). */
+    size_t classifiedLines() const { return classMap_.size(); }
+
+    /**
+     * Minimum (ts, uid) key among tasks fold-aborted since the last
+     * call, or nullopt (returns-and-clears). The commit controller
+     * polls this after every commit: fold-aborted victims are requeued
+     * LIVE again, possibly earlier than the epoch's remaining commit
+     * candidates, so the sweep must tighten its GVT bound to the
+     * earliest victim before committing further.
+     */
+    std::optional<std::pair<Timestamp, uint64_t>>
+    consumeFoldAbort()
+    {
+        auto k = foldAbortMin_;
+        foldAbortMin_.reset();
+        return k;
+    }
 
     /**
      * Abort @p roots and cascade: descendants are discarded, dependent
@@ -144,6 +202,27 @@ class ConflictManager
     void discardTask(Task* t);
     void requeueTask(Task* t);
 
+    /**
+     * Demote @p line to full tracking for the rest of the run:
+     * retroactively register the untracked tasks the class was hiding
+     * (RO readers, the private owner, reduction users — buffered deltas
+     * materialized with undo records in task order, so descending
+     * rollback stays exact), then erase the line from the map. Fences
+     * the line's bank first; the registrations bump its op-sequence.
+     */
+    void demoteLine(LineAddr line);
+
+    /**
+     * Commit-time reduction fold: apply @p t's buffered deltas to
+     * memory and abort every task still registered on the folded lines
+     * (all later than the committer — their tracked reads missed the
+     * deltas).
+     */
+    void foldReductions(Task* t);
+
+    /** Drop @p t from the classification side registries. */
+    void clearClassifiedState(Task* t);
+
     const SimConfig& cfg_;
     EngineBackend& backend_;
     SimStats& stats_;
@@ -151,6 +230,30 @@ class ConflictManager
     LineTable lineTable_;
     std::unique_ptr<ConcurrentConflictBackend> ccb_;
     std::unique_ptr<ParallelReplayBackend> rpb_;
+
+    // ---- Classification state (coordinator-only) ----------------------
+    /// Live classification (demotion erases; never grows mid-run).
+    std::unordered_map<LineAddr, LineClass> classMap_;
+    /// Earliest (ts, uid) fold-abort victim since the last poll;
+    /// consumed by CommitController::gvtEpoch (see consumeFoldAbort).
+    /// Cascade members (descendants, forwarded-data dependents) are
+    /// always later than the root victims, so the min over roots
+    /// bounds the whole cascade.
+    std::optional<std::pair<Timestamp, uint64_t>> foldAbortMin_;
+    /// Untracked readers per ReadOnly line (live tasks only; cleaned at
+    /// commit/rollback via Task::roSet).
+    std::unordered_map<LineAddr, std::vector<Task*>> roReaders_;
+    /// Private-line ownership: claimed by the first accessor, released
+    /// when the owner commits or rolls back (serial reuse).
+    struct PrivUse
+    {
+        Task* owner = nullptr;
+        bool readIt = false;
+        bool wrote = false;
+    };
+    std::unordered_map<LineAddr, PrivUse> privUse_;
+    /// Tasks with buffered deltas per Reduction line, insertion order.
+    std::unordered_map<LineAddr, std::vector<Task*>> redUsers_;
 };
 
 /**

@@ -304,10 +304,12 @@ ExecutionEngine::applyPendingStep(Task* t)
         if (!s.isWrite && s.aw)
             std::memcpy(&s.aw->rval, &s.stagedRval, s.size);
         if (commit_->profiler())
-            t->trace.push_back(((s.addr >> 3) << 1) | (s.isWrite ? 1 : 0));
+            t->trace.push_back(((s.addr >> 3) << 2) | (s.isWrite ? 1 : 0));
         uint32_t lat = backend_.accessCost(t->runningOn, s.addr, s.isWrite,
                                            s.stagedCompared);
         stats_.conflictChecks += s.stagedCompared;
+        if (s.didInsertSet)
+            stats_.lineTableRegs++; // pre-applied registration, now real
         s.applied = false; // consumed
         t->pending.next++;
         if (!t->pending.hasSteps())
@@ -330,6 +332,16 @@ ExecutionEngine::applyPendingStep(Task* t)
         uint64_t dummy = 0;
         issueAccessImpl(t, s.addr, s.size, s.isWrite, s.wval,
                         s.aw ? &s.aw->rval : &dummy, &s.probe);
+        break;
+      }
+      case Task::PendingStep::Kind::Reduce: {
+        // Reduces are never pre-applied or probed (classified lines
+        // bypass the banks entirely; unclassified reduces stay serial).
+        if (replay_)
+            stats_.coordinatorFallbackApplies++;
+        int64_t delta = 0;
+        std::memcpy(&delta, &s.wval, 8);
+        issueReduceImpl(t, s.addr, delta);
         break;
       }
       case Task::PendingStep::Kind::Compute: {
@@ -491,6 +503,26 @@ ExecutionEngine::issueAccess(Task* t, swarm::MemAwaiter* aw)
                     &aw->rval);
 }
 
+void
+ExecutionEngine::issueReduce(Task* t, const swarm::ReduceAwaiter& aw)
+{
+    ssim_assert(t->state == TaskState::Running);
+    ssim_assert((aw.addr & 7) == 0, "reduces must be 8-byte aligned");
+    if (t->pending.recording) {
+        // Value-free like a write: runahead continues past it (the
+        // park-at-first-read rule only checks plain Access reads).
+        Task::PendingStep s;
+        s.kind = Task::PendingStep::Kind::Reduce;
+        s.addr = aw.addr;
+        s.size = 8;
+        s.isWrite = true;
+        std::memcpy(&s.wval, &aw.delta, 8);
+        t->pending.steps.push_back(s);
+        return;
+    }
+    issueReduceImpl(t, aw.addr, aw.delta);
+}
+
 uint32_t
 ExecutionEngine::applyAccessEffects(Task* t, Addr addr, uint32_t size,
                                     bool is_write, uint64_t wval,
@@ -498,6 +530,16 @@ ExecutionEngine::applyAccessEffects(Task* t, Addr addr, uint32_t size,
                                     Task::ConflictProbe* probe)
 {
     LineAddr line = lineOf(addr);
+
+    // Classified fast path: the access completes without touching the
+    // line table (zero conflict comparisons). A false return may have
+    // demoted the line — fall through to the full path either way.
+    if (conflict_->tryClassifiedAccess(t, addr, size, is_write, wval,
+                                       rval)) {
+        if (commit_->profiler())
+            t->trace.push_back(((addr >> 3) << 2) | (is_write ? 1 : 0));
+        return backend_.accessCost(t->runningOn, addr, is_write, 0);
+    }
 
     // Eager conflict detection: earlier tasks win; later conflicting
     // tasks abort *before* this access's functional effect. A fresh
@@ -517,12 +559,56 @@ ExecutionEngine::applyAccessEffects(Task* t, Addr addr, uint32_t size,
         conflict_->trackRead(t, line);
     }
     if (commit_->profiler())
-        t->trace.push_back(((addr >> 3) << 1) | (is_write ? 1 : 0));
+        t->trace.push_back(((addr >> 3) << 2) | (is_write ? 1 : 0));
 
     uint32_t lat =
         backend_.accessCost(t->runningOn, addr, is_write, compared);
     stats_.conflictChecks += compared;
     return lat;
+}
+
+uint32_t
+ExecutionEngine::applyReduceEffects(Task* t, Addr addr, int64_t delta)
+{
+    // Classified Reduction lines buffer the delta per task (folded at
+    // commit); classified Private lines fold it eagerly. Either way no
+    // line-table traffic and zero conflict comparisons.
+    if (conflict_->tryClassifiedReduce(t, addr, delta)) {
+        if (commit_->profiler())
+            t->trace.push_back(((addr >> 3) << 2) | 2u);
+        return backend_.accessCost(t->runningOn, addr, /*is_write=*/true,
+                                   0);
+    }
+
+    // Fallback: a tracked read-modify-write. Write-side registration
+    // covers both directions of the conflict (the write probe scans
+    // readers and writers and records earlier uncommitted writers as
+    // forwarded-data sources, exactly like a plain read+write pair).
+    LineAddr line = lineOf(addr);
+    uint32_t compared =
+        conflict_->resolveConflicts(t, line, /*is_write=*/true, nullptr);
+    Task::UndoRec rec{addr, 8, 0};
+    std::memcpy(&rec.oldVal, reinterpret_cast<void*>(addr), 8);
+    t->undo.push_back(rec);
+    uint64_t nv = rec.oldVal + uint64_t(delta);
+    std::memcpy(reinterpret_cast<void*>(addr), &nv, 8);
+    conflict_->trackWrite(t, line);
+    if (commit_->profiler())
+        t->trace.push_back(((addr >> 3) << 2) | 2u);
+
+    uint32_t lat =
+        backend_.accessCost(t->runningOn, addr, /*is_write=*/true,
+                            compared);
+    stats_.conflictChecks += compared;
+    return lat;
+}
+
+void
+ExecutionEngine::issueReduceImpl(Task* t, Addr addr, int64_t delta)
+{
+    uint32_t lat = applyReduceEffects(t, addr, delta);
+    t->execCycles += lat;
+    scheduleResume(t, lat);
 }
 
 void
@@ -552,6 +638,17 @@ ExecutionEngine::tryInlineAccess(Task* t, swarm::MemAwaiter* aw)
                 "accesses must not cross an 8-byte boundary");
     t->execCycles += applyAccessEffects(t, aw->addr, aw->size, aw->isWrite,
                                         aw->wval, &aw->rval);
+    return true;
+}
+
+bool
+ExecutionEngine::tryInlineReduce(Task* t, const swarm::ReduceAwaiter& aw)
+{
+    if (!inline_ || t->pending.recording)
+        return false;
+    ssim_assert(t->state == TaskState::Running);
+    ssim_assert((aw.addr & 7) == 0, "reduces must be 8-byte aligned");
+    t->execCycles += applyReduceEffects(t, aw.addr, aw.delta);
     return true;
 }
 

@@ -112,6 +112,7 @@ class ExecutionEngine : public ParallelBackend
     // worker) these capture the request into the task; otherwise they
     // apply it through the timing model immediately.
     void issueAccess(Task* t, swarm::MemAwaiter* aw);
+    void issueReduce(Task* t, const swarm::ReduceAwaiter& aw);
     void issueCompute(Task* t, uint32_t cycles);
     void issueEnqueue(Task* t, const swarm::EnqueueAwaiter& aw);
 
@@ -121,6 +122,7 @@ class ExecutionEngine : public ParallelBackend
     // false (suspend path) when inline mode is off or the task is in
     // record mode.
     bool tryInlineAccess(Task* t, swarm::MemAwaiter* aw);
+    bool tryInlineReduce(Task* t, const swarm::ReduceAwaiter& aw);
     bool tryInlineCompute(Task* t, uint32_t cycles);
     bool tryInlineEnqueue(Task* t, const swarm::EnqueueAwaiter& aw);
 
@@ -182,6 +184,13 @@ class ExecutionEngine : public ParallelBackend
                                 bool is_write, uint64_t wval,
                                 uint64_t* rval,
                                 Task::ConflictProbe* probe = nullptr);
+    /**
+     * The effect body of a reduce op (ctx.reduce): buffered on
+     * classified Reduction lines, otherwise a tracked read-modify-write
+     * with write-side conflict resolution. Returns the access latency.
+     */
+    uint32_t applyReduceEffects(Task* t, Addr addr, int64_t delta);
+    void issueReduceImpl(Task* t, Addr addr, int64_t delta);
 
     const SimConfig& cfg_;
     EventQueue& eq_;

@@ -21,6 +21,18 @@ MemAwaiter::await_suspend(std::coroutine_handle<>)
 }
 
 bool
+ReduceAwaiter::await_ready()
+{
+    return ctx->machine()->tryInlineReduce(ctx->task(), *this);
+}
+
+void
+ReduceAwaiter::await_suspend(std::coroutine_handle<>)
+{
+    ctx->machine()->issueReduce(ctx->task(), *this);
+}
+
+bool
 ComputeAwaiter::await_ready()
 {
     return cycles == 0 ||

@@ -111,6 +111,10 @@ class Machine
     {
         engine_->issueAccess(t, aw);
     }
+    void issueReduce(Task* t, const swarm::ReduceAwaiter& aw)
+    {
+        engine_->issueReduce(t, aw);
+    }
     void issueCompute(Task* t, uint32_t cycles)
     {
         engine_->issueCompute(t, cycles);
@@ -123,6 +127,10 @@ class Machine
     bool tryInlineAccess(Task* t, swarm::MemAwaiter* aw)
     {
         return engine_->tryInlineAccess(t, aw);
+    }
+    bool tryInlineReduce(Task* t, const swarm::ReduceAwaiter& aw)
+    {
+        return engine_->tryInlineReduce(t, aw);
     }
     bool tryInlineCompute(Task* t, uint32_t cycles)
     {

@@ -315,6 +315,12 @@ set(SimConfig& cfg, const std::string& key, const std::string& value)
             return false;
         return true;
     }
+    if (key == "classify") {
+        if (value != "off" && value != "profile")
+            return false;
+        cfg.classifyMode = value;
+        return true;
+    }
     return false;
 }
 
@@ -374,6 +380,8 @@ describe(const SimConfig& cfg)
         s += ",conc-conflicts=on";
     if (cfg.parallelReplay)
         s += ",parallel-replay=on";
+    if (cfg.classifyMode != "off")
+        s += ",classify=" + cfg.classifyMode;
     return s;
 }
 

@@ -13,6 +13,7 @@
 #include <array>
 #include <coroutine>
 #include <cstdint>
+#include <map>
 #include <set>
 #include <unordered_set>
 #include <vector>
@@ -88,6 +89,19 @@ class Task
     /// Tasks that consumed data this task wrote (abort with us): (uid, gen).
     std::vector<std::pair<uint64_t, uint64_t>> dependents;
 
+    // Classified-access state (swarm/classification.h; all empty with
+    // classification off). These mirror readSet/writeSet for lines that
+    // skip line-table registration, so the ConflictManager can clean its
+    // side registries at commit/rollback and demotion can retroactively
+    // register exactly the right tasks.
+    std::unordered_set<LineAddr> roSet; ///< ReadOnly lines read untracked
+    std::vector<LineAddr> privLines;    ///< Private lines owned (claimed)
+    std::vector<LineAddr> redLines;     ///< Reduction lines with deltas
+    /// Buffered reduction deltas by word address, folded into memory at
+    /// commit (or materialized with undo records at demotion). Ordered
+    /// so fold/materialize order is deterministic.
+    std::map<Addr, int64_t> redShadow;
+
     // Execution ---------------------------------------------------------------------
     std::coroutine_handle<swarm::TaskCoro::promise_type> coro{};
     swarm::TaskCtx ctx;
@@ -123,10 +137,11 @@ class Task
     // order — so pre-execution never changes simulated behavior.
     struct PendingStep
     {
-        enum class Kind : uint8_t { Access, Compute, Enqueue, Finish };
+        enum class Kind : uint8_t { Access, Compute, Enqueue, Finish, Reduce };
         Kind kind = Kind::Compute;
         // Access (recorded by value: the awaiter frame slot may be
-        // reused once the worker runs past a write).
+        // reused once the worker runs past a write). Reduce reuses addr
+        // and carries its delta bit-cast in wval.
         Addr addr = 0;
         uint8_t size = 0;
         bool isWrite = false;
@@ -177,7 +192,8 @@ class Task
     PendingRun pending;
 
     // Profiling (memory-access classifier; harness/classifier.h) ---------------------
-    /// Encoded (wordAddr << 1 | isWrite); filled only when profiling.
+    /// Encoded (wordAddr << 2) | op, op 0=read 1=write 2=reduce; filled
+    /// only when profiling.
     std::vector<uint64_t> trace;
 
     static constexpr CoreId kNoCore = ~CoreId(0);
@@ -200,6 +216,10 @@ class Task
         writeSet.clear();
         footprint.clear();
         dependents.clear();
+        roSet.clear();
+        privLines.clear();
+        redLines.clear();
+        redShadow.clear();
         trace.clear();
         pending.clear();
         execCycles = 0;

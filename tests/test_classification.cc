@@ -1,0 +1,418 @@
+/**
+ * @file
+ * End-to-end tests for profile-guided access classification
+ * (swarm/classification.h consumed by the ConflictManager):
+ *
+ *  - Classification is result-neutral: profiled-on runs produce the
+ *    same final memory and app results as classification-off runs, on
+ *    both backends, at any host thread count, with worker-side
+ *    conflict checks and parallel replay armed.
+ *  - Deliberately poisoned maps (wrong class for contended RMW lines)
+ *    are absorbed by demotion, never corrupting results.
+ *  - Commutative-reduction semantics stay exact under fold-at-commit:
+ *    a reader interleaved among reducers observes exactly the prefix
+ *    sum of earlier deltas — the regression test for the commit-epoch
+ *    GVT bug where a fold-abort let later reducers fold before an
+ *    earlier, requeued reader re-read.
+ *
+ * Suite names start with "Classif" so CI's TSan lane picks them up
+ * (.github/workflows/ci.yml).
+ */
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+
+#include "apps/app.h"
+#include "golden_workloads.h"
+#include "harness/classifier.h"
+#include "swarm/classification.h"
+
+using namespace ssim;
+using namespace ssim::golden;
+
+namespace {
+
+struct GoldenRun
+{
+    uint64_t statsDig = 0;
+    uint64_t lineTableRegs = 0;
+    uint64_t demotions = 0;
+    WorkState finalState;
+};
+
+/**
+ * golden_workloads.h's runWorkload, extended with an optional
+ * classification map, an optional profiler, and a snapshot of the
+ * final workload memory (the result-equality check).
+ */
+GoldenRun
+runClassified(Workload w, SchedulerType sched, uint32_t host_threads,
+              const char* backend, bool conc, bool replay,
+              std::shared_ptr<const ClassificationMap> map,
+              AccessProfiler* profiler = nullptr)
+{
+    auto* st = new (arena()) WorkState();
+    SimConfig cfg;
+    switch (w) {
+      case Workload::Spawn:
+        cfg = SimConfig::withCores(16, sched, 7);
+        break;
+      case Workload::Contend:
+        cfg = SimConfig::withCores(16, sched, 3);
+        break;
+      case Workload::Spill:
+        cfg = SimConfig::withCores(1, sched, 1);
+        break;
+    }
+    cfg.hostThreads = host_threads;
+    cfg.engineBackend = backend;
+    cfg.concurrentConflicts = conc;
+    cfg.parallelReplay = replay;
+    if (map) {
+        cfg.classifyMode = "profile";
+        cfg.classifyMap = std::move(map);
+    }
+    Machine m(cfg);
+    if (profiler)
+        m.setProfiler(profiler);
+    switch (w) {
+      case Workload::Spawn:
+        m.enqueueInitial(spawner, 0, swarm::Hint(0), st, uint64_t(48));
+        break;
+      case Workload::Contend:
+        for (uint64_t i = 0; i < 96; i++)
+            m.enqueueInitial(rmwCells, i / 3, swarm::Hint(i % 5), st);
+        break;
+      case Workload::Spill:
+        for (uint64_t i = 0; i < 400; i++)
+            m.enqueueInitial(tiny, i, swarm::Hint(i % 32), st);
+        break;
+    }
+    m.run();
+    EXPECT_EQ(m.liveTasks(), 0u);
+    GoldenRun out;
+    out.statsDig = statsDigest(m.stats());
+    out.lineTableRegs = m.stats().lineTableRegs;
+    out.demotions = m.stats().classifiedDemotions;
+    std::memcpy(&out.finalState, st, sizeof(WorkState));
+    return out;
+}
+
+} // namespace
+
+// ---- Result-neutrality on the golden workloads -----------------------------
+
+TEST(Classification, ProfiledMapPreservesResultsAndDigests)
+{
+    ASSERT_NE(arena(), nullptr);
+    for (const Golden& g : kGoldens) {
+        // Baseline + profile in one pass.
+        harness::AccessClassifier cls;
+        GoldenRun off = runClassified(g.w, g.sched, 1, "timing", false,
+                                      false, nullptr, &cls);
+        auto map = std::make_shared<ClassificationMap>(cls.buildMap());
+
+        for (const char* backend : {"timing", "functional"}) {
+            GoldenRun base = runClassified(g.w, g.sched, 1, backend,
+                                           false, false, nullptr);
+            GoldenRun first = runClassified(g.w, g.sched, 1, backend,
+                                            false, false, map);
+            // Same final memory as the unclassified run...
+            EXPECT_EQ(std::memcmp(&first.finalState, &base.finalState,
+                                  sizeof(WorkState)),
+                      0)
+                << g.name << " @ " << backend;
+            // ...and the classified configuration is itself
+            // deterministic and host-parallelism invariant.
+            struct
+            {
+                uint32_t threads;
+                bool conc, replay;
+            } cfgs[] = {{1, false, false},
+                        {2, false, false},
+                        {8, false, false},
+                        {8, true, false},
+                        {8, true, true}};
+            for (const auto& c : cfgs) {
+                GoldenRun r =
+                    runClassified(g.w, g.sched, c.threads, backend,
+                                  c.conc, c.replay, map);
+                EXPECT_EQ(r.statsDig, first.statsDig)
+                    << g.name << " @ " << backend << " t=" << c.threads
+                    << " conc=" << c.conc << " replay=" << c.replay;
+                EXPECT_EQ(std::memcmp(&r.finalState, &base.finalState,
+                                      sizeof(WorkState)),
+                          0)
+                    << g.name << " @ " << backend;
+            }
+        }
+    }
+}
+
+// ---- Poisoned maps: misclassification is correct by construction -----------
+
+TEST(Classification, PoisonedMapIsAbsorbedByDemotion)
+{
+    ASSERT_NE(arena(), nullptr);
+    // The Contend workload RMWs st->cells from five different hints —
+    // the worst candidate lines for every class. Classify them wrongly
+    // on purpose: the first write (ReadOnly), non-owner access
+    // (Private), or plain write (Reduction) must demote the line and
+    // full tracking must keep the final state exact.
+    auto* st = static_cast<WorkState*>(arena());
+    Addr cellsBase = addrOf(&st->cells[0]);
+    auto poison = std::make_shared<ClassificationMap>();
+    poison->lines[lineOf(cellsBase)] = LineClass::Reduction;
+    poison->lines[lineOf(cellsBase + 64)] = LineClass::ReadOnly;
+    poison->lines[lineOf(addrOf(&st->counter))] = LineClass::Private;
+
+    for (const char* backend : {"timing", "functional"}) {
+        GoldenRun base = runClassified(Workload::Contend,
+                                       SchedulerType::Hints, 1, backend,
+                                       false, false, nullptr);
+        for (uint32_t threads : {1u, 8u}) {
+            GoldenRun r = runClassified(Workload::Contend,
+                                        SchedulerType::Hints, threads,
+                                        backend, false, false, poison);
+            EXPECT_GE(r.demotions, 2u) << backend; // both cells lines
+            EXPECT_EQ(std::memcmp(&r.finalState, &base.finalState,
+                                  sizeof(WorkState)),
+                      0)
+                << backend << " @ hostThreads=" << threads
+                << ": poisoned map corrupted results";
+        }
+    }
+}
+
+// ---- Reduction fold semantics (commit-epoch regression test) ---------------
+
+namespace {
+
+struct ReduceState
+{
+    alignas(64) int64_t total = 0;
+    alignas(64) uint64_t snap[64] = {};
+};
+
+swarm::TaskCoro
+reducerTask(swarm::TaskCtx& ctx, swarm::Timestamp, const uint64_t* args)
+{
+    auto* st = swarm::argPtr<ReduceState>(args[0]);
+    co_await ctx.reduce(&st->total, int64_t(args[1]));
+}
+
+swarm::TaskCoro
+readerTask(swarm::TaskCtx& ctx, swarm::Timestamp, const uint64_t* args)
+{
+    auto* st = swarm::argPtr<ReduceState>(args[0]);
+    int64_t v = co_await ctx.read(&st->total);
+    co_await ctx.write(&st->snap[args[1]], uint64_t(v));
+}
+
+} // namespace
+
+TEST(Classification, FoldsObeyTimestampOrderUnderFoldAborts)
+{
+    ASSERT_NE(arena(), nullptr);
+    // 48 reducers at even timestamps add 1 to a Reduction-classified
+    // word; 48 readers at odd timestamps snapshot it. Reader j (ts
+    // 2j+1) must observe exactly j+1 — the prefix sum of the reducers
+    // ordered before it. Readers race far ahead speculatively and are
+    // fold-aborted when earlier reducers commit; a commit sweep that
+    // lets reducers LATER than a requeued reader fold first inflates
+    // the snapshots (the bug this test pins down).
+    constexpr uint64_t kN = 48;
+    auto map = std::make_shared<ClassificationMap>();
+
+    for (const char* backend : {"timing", "functional"}) {
+        for (uint32_t threads : {1u, 2u, 8u}) {
+            auto* st = new (arena()) ReduceState();
+            map->lines = {{lineOf(addrOf(&st->total)),
+                           LineClass::Reduction}};
+            SimConfig cfg = SimConfig::withCores(64,
+                                                 SchedulerType::Hints, 5);
+            cfg.hostThreads = threads;
+            cfg.engineBackend = backend;
+            cfg.classifyMode = "profile";
+            cfg.classifyMap = map;
+            Machine m(cfg);
+            for (uint64_t i = 0; i < kN; i++) {
+                m.enqueueInitial(reducerTask, 2 * i, swarm::Hint(i % 8),
+                                 st, uint64_t(1));
+                m.enqueueInitial(readerTask, 2 * i + 1,
+                                 swarm::Hint(8 + i % 8), st, i);
+            }
+            m.run();
+            EXPECT_EQ(m.liveTasks(), 0u);
+            EXPECT_EQ(st->total, int64_t(kN)) << backend;
+            for (uint64_t j = 0; j < kN; j++)
+                EXPECT_EQ(st->snap[j], j + 1)
+                    << backend << " @ hostThreads=" << threads
+                    << ": reader ts=" << 2 * j + 1
+                    << " saw a fold from a later reducer";
+            EXPECT_GT(m.stats().classifiedRedOps, 0u);
+        }
+    }
+}
+
+// ---- ReadOnly + Private end-to-end: profile → map → exact results ----------
+
+namespace {
+
+struct RoPrivState
+{
+    alignas(64) uint64_t table[32] = {};   // never written: ReadOnly
+    alignas(64) uint64_t slot[16][8] = {}; // one line per hint: Private
+    alignas(64) uint64_t shared = 0;       // multi-hint RMW: tracked
+};
+
+swarm::TaskCoro
+roPrivTask(swarm::TaskCtx& ctx, swarm::Timestamp ts, const uint64_t* args)
+{
+    auto* st = swarm::argPtr<RoPrivState>(args[0]);
+    uint64_t h = args[1];
+    uint64_t acc = 0;
+    for (uint64_t k = 0; k < 4; k++)
+        acc += co_await ctx.read(&st->table[(ts * 7 + k * 5) % 32]);
+    uint64_t v = co_await ctx.read(&st->slot[h][0]);
+    co_await ctx.write(&st->slot[h][0], v + acc + ts);
+    // Contended tracked line: induces real aborts, so Private owners
+    // get rolled back mid-run and their eager writes must undo exactly.
+    uint64_t c = co_await ctx.read(&st->shared);
+    co_await ctx.write(&st->shared, c + 1);
+}
+
+} // namespace
+
+TEST(Classification, ReadOnlyAndPrivateClassesStayExactUnderAborts)
+{
+    ASSERT_NE(arena(), nullptr);
+    constexpr uint64_t kN = 96;
+
+    for (const char* backend : {"timing", "functional"}) {
+        auto* st = new (arena()) RoPrivState();
+        for (uint64_t i = 0; i < 32; i++)
+            st->table[i] = i * i + 3;
+
+        auto enqueueAll = [&](Machine& m) {
+            for (uint64_t i = 0; i < kN; i++)
+                m.enqueueInitial(roPrivTask, i, swarm::Hint(i % 16), st,
+                                 i % 16);
+        };
+        auto makeCfg = [&](uint32_t threads) {
+            SimConfig cfg =
+                SimConfig::withCores(64, SchedulerType::Hints, 9);
+            cfg.hostThreads = threads;
+            cfg.engineBackend = backend;
+            return cfg;
+        };
+
+        // Profile pass (classification off).
+        harness::AccessClassifier cls;
+        uint64_t regsOff;
+        {
+            Machine m(makeCfg(1));
+            m.setProfiler(&cls);
+            enqueueAll(m);
+            m.run();
+            regsOff = m.stats().lineTableRegs;
+        }
+        auto map = std::make_shared<ClassificationMap>(cls.buildMap());
+        EXPECT_EQ(map->count(LineClass::ReadOnly), 4u) << backend;
+        EXPECT_EQ(map->count(LineClass::Private), 16u) << backend;
+
+        // Host-computed expectation (the serial ts-order semantics).
+        uint64_t wantSlot[16] = {};
+        for (uint64_t ts = 0; ts < kN; ts++) {
+            uint64_t acc = 0;
+            for (uint64_t k = 0; k < 4; k++)
+                acc += st->table[(ts * 7 + k * 5) % 32];
+            wantSlot[ts % 16] += acc + ts;
+        }
+
+        for (uint32_t threads : {1u, 8u}) {
+            new (st) RoPrivState();
+            for (uint64_t i = 0; i < 32; i++)
+                st->table[i] = i * i + 3;
+            SimConfig cfg = makeCfg(threads);
+            cfg.classifyMode = "profile";
+            cfg.classifyMap = map;
+            Machine m(cfg);
+            enqueueAll(m);
+            m.run();
+            EXPECT_EQ(st->shared, kN) << backend;
+            for (uint64_t h = 0; h < 16; h++)
+                EXPECT_EQ(st->slot[h][0], wantSlot[h])
+                    << backend << " hostThreads=" << threads
+                    << " slot=" << h;
+            // Private ownership is released at commit, so a same-hint
+            // successor dispatched while its predecessor awaits commit
+            // demotes the slot line — the documented escape hatch, not
+            // an error. Only the 16 slot lines may demote; the
+            // ReadOnly table lines never do.
+            EXPECT_LE(m.stats().classifiedDemotions, 16u) << backend;
+            EXPECT_GT(m.stats().classifiedRoReads, 0u) << backend;
+            EXPECT_GT(m.stats().classifiedPrivAccesses, 0u) << backend;
+            if (threads == 1)
+                EXPECT_LT(m.stats().lineTableRegs, regsOff) << backend;
+        }
+    }
+}
+
+// ---- Apps: off-vs-on result equality and footprint reduction ---------------
+
+TEST(Classification, AppsProduceIdenticalResultsWithSmallerFootprint)
+{
+    for (const auto& name : apps::appNames()) {
+        auto app = apps::makeApp(name);
+        apps::AppParams params;
+        params.preset = apps::Preset::Tiny;
+        params.seed = 42;
+        app->setup(params);
+
+        harness::AccessClassifier cls;
+        std::shared_ptr<ClassificationMap> map;
+
+        auto runWith = [&](const char* backend, bool on,
+                           AccessProfiler* prof, uint64_t* regs) {
+            app->reset();
+            SimConfig cfg = SimConfig::withCores(16, SchedulerType::Hints);
+            cfg.engineBackend = backend;
+            if (on) {
+                cfg.classifyMode = "profile";
+                cfg.classifyMap = map;
+            }
+            Machine m(cfg);
+            if (prof)
+                m.setProfiler(prof);
+            app->enqueueInitial(m);
+            m.run();
+            EXPECT_TRUE(app->validate())
+                << name << " under " << backend
+                << (on ? " with classification" : "");
+            if (regs)
+                *regs = m.stats().lineTableRegs;
+            return app->resultDigest();
+        };
+
+        uint64_t regsOff = 0, regsOn = 0;
+        uint64_t off = runWith("timing", false, &cls, &regsOff);
+        map = std::make_shared<ClassificationMap>(
+            cls.buildMap(app->reductionRanges()));
+
+        uint64_t on = runWith("timing", true, nullptr, &regsOn);
+        EXPECT_EQ(off, on) << name << ": classification changed results";
+        uint64_t onFunc = runWith("functional", true, nullptr, nullptr);
+        EXPECT_EQ(off, onFunc)
+            << name << ": functional+classification diverged";
+
+        // The payoff the tentpole claims: on the apps with profiled
+        // read-only/reduction state, classified accesses visibly skip
+        // the line-table banks.
+        if (name == "kmeans" || name == "nocsim") {
+            EXPECT_FALSE(map->empty()) << name;
+            EXPECT_LT(regsOn, regsOff) << name;
+        }
+    }
+}

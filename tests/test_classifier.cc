@@ -1,0 +1,215 @@
+/**
+ * @file
+ * AccessClassifier unit tests (harness/classifier.h): the profile →
+ * classification pipeline in isolation, with hand-built commit traces
+ * instead of simulator runs.
+ *
+ *  - Fig. 3/6 axis boundaries: the ro_ratio read/write threshold and
+ *    the strict single_frac hint-dominance comparison.
+ *  - Line granularity: words sharing a cache line share one profile
+ *    entry (the map must use the LineTable's keys).
+ *  - buildMap class rules: ReadOnly only for never-written lines,
+ *    Reduction only for reduce-only lines wholly inside a declared
+ *    range, Private only for hint-dominated written lines.
+ *  - ClassificationMap save()/load() round-trip and rejection of
+ *    malformed input.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "harness/classifier.h"
+#include "swarm/task.h"
+
+using namespace ssim;
+using namespace ssim::harness;
+
+namespace {
+
+// Trace entries are (wordAddr << 2) | op (swarm/task.h); op 0=read
+// 1=write 2=reduce.
+uint64_t
+enc(Addr byteAddr, uint64_t op)
+{
+    return ((byteAddr >> 3) << 2) | op;
+}
+
+// A committed task for onCommit(): only uid/hint/nargs/trace matter.
+Task
+mkTask(uint64_t uid, uint64_t hint, std::vector<uint64_t> trace,
+       uint8_t nargs = 0)
+{
+    Task t;
+    t.uid = uid;
+    t.hint = hint;
+    t.noHint = false;
+    t.nargs = nargs;
+    t.trace = std::move(trace);
+    return t;
+}
+
+// Distinct line-aligned byte addresses (64 B lines).
+constexpr Addr kLineA = 0x10000;
+constexpr Addr kLineB = 0x10040;
+constexpr Addr kLineC = 0x10080;
+
+} // namespace
+
+TEST(Classifier, EmptyProfileIsEmpty)
+{
+    AccessClassifier cls;
+    auto r = cls.classify();
+    EXPECT_EQ(r.totalAccesses, 0u);
+    EXPECT_EQ(r.arguments, 0.0);
+    EXPECT_TRUE(cls.buildMap().empty());
+}
+
+TEST(Classifier, LineGranularityMergesWordsOfOneLine)
+{
+    AccessClassifier cls;
+    // Two different words of line A, one word of line B — all
+    // read-only. The map must key by line: exactly two entries.
+    cls.onCommit(mkTask(1, 7,
+                        {enc(kLineA, 0), enc(kLineA + 24, 0),
+                         enc(kLineB + 8, 0)}));
+    ClassificationMap map = cls.buildMap();
+    EXPECT_EQ(map.size(), 2u);
+    EXPECT_EQ(map.lines.at(lineOf(kLineA)), LineClass::ReadOnly);
+    EXPECT_EQ(map.lines.at(lineOf(kLineB)), LineClass::ReadOnly);
+}
+
+TEST(Classifier, ReadOnlyRequiresStrictlyNoWrites)
+{
+    AccessClassifier cls(/*ro_ratio=*/2);
+    // Line A: 1000 reads, one write. Passes the Fig. 3 ro_ratio axis
+    // easily, but buildMap's ReadOnly is stricter (a single runtime
+    // write would demote it immediately): written lines never qualify.
+    std::vector<uint64_t> tr(1000, enc(kLineA, 0));
+    tr.push_back(enc(kLineA, 1));
+    cls.onCommit(mkTask(1, 7, tr));
+    auto r = cls.classify();
+    EXPECT_GT(r.singleHintRO, 0.0); // ratio axis: read-only
+    EXPECT_EQ(cls.buildMap().count(LineClass::ReadOnly), 0u);
+}
+
+TEST(Classifier, RoRatioBoundary)
+{
+    // ro if reads >= ro_ratio * writes: 10 reads / 1 write at ratio 10
+    // is read-only; 9 reads / 1 write is not.
+    for (uint64_t reads : {10u, 9u}) {
+        AccessClassifier cls(/*ro_ratio=*/10);
+        std::vector<uint64_t> tr(reads, enc(kLineA, 0));
+        tr.push_back(enc(kLineA, 1));
+        cls.onCommit(mkTask(1, 7, tr));
+        auto r = cls.classify();
+        if (reads == 10) {
+            EXPECT_GT(r.singleHintRO, 0.0);
+            EXPECT_EQ(r.singleHintRW, 0.0);
+        } else {
+            EXPECT_EQ(r.singleHintRO, 0.0);
+            EXPECT_GT(r.singleHintRW, 0.0);
+        }
+    }
+}
+
+TEST(Classifier, SingleFracBoundaryIsStrict)
+{
+    // single iff maxHint > single_frac * total (strict): at
+    // single_frac=0.9 with 10 accesses, 9-from-one-hint is NOT
+    // single-hint (9 > 9 fails), 10-from-one-hint is.
+    AccessClassifier nine(/*ro_ratio=*/100, /*single_frac=*/0.9);
+    std::vector<uint64_t> tr9(9, enc(kLineA, 0));
+    nine.onCommit(mkTask(1, 7, tr9));
+    nine.onCommit(mkTask(2, 8, {enc(kLineA, 0)}));
+    EXPECT_GT(nine.classify().multiHintRO, 0.0);
+    EXPECT_EQ(nine.classify().singleHintRO, 0.0);
+
+    AccessClassifier ten(/*ro_ratio=*/100, /*single_frac=*/0.9);
+    std::vector<uint64_t> tr10(10, enc(kLineA, 0));
+    ten.onCommit(mkTask(1, 7, tr10));
+    EXPECT_GT(ten.classify().singleHintRO, 0.0);
+    EXPECT_EQ(ten.classify().multiHintRO, 0.0);
+}
+
+TEST(Classifier, PrivateRequiresHintDominance)
+{
+    AccessClassifier cls(/*ro_ratio=*/100, /*single_frac=*/0.9);
+    // Line A: written, all accesses from hint 7 → Private.
+    cls.onCommit(mkTask(1, 7, {enc(kLineA, 0), enc(kLineA, 1)}));
+    // Line B: written, split across two hints → untracked (absent).
+    cls.onCommit(mkTask(2, 7, {enc(kLineB, 1)}));
+    cls.onCommit(mkTask(3, 8, {enc(kLineB, 1)}));
+    ClassificationMap map = cls.buildMap();
+    EXPECT_EQ(map.lines.at(lineOf(kLineA)), LineClass::Private);
+    EXPECT_EQ(map.lines.count(lineOf(kLineB)), 0u);
+}
+
+TEST(Classifier, ReductionRequiresDeclaredRange)
+{
+    AccessClassifier cls;
+    // Three reduce-only lines from different hints (so Private can't
+    // absorb them): A inside the declared range, B outside, C inside
+    // but also plainly written.
+    cls.onCommit(mkTask(1, 7,
+                        {enc(kLineA, 2), enc(kLineB, 2), enc(kLineC, 2)}));
+    cls.onCommit(mkTask(2, 8,
+                        {enc(kLineA, 2), enc(kLineB, 2), enc(kLineC, 1)}));
+    std::vector<ReductionRange> ranges = {
+        {kLineA, lineBytes}, {kLineC, lineBytes}};
+    ClassificationMap map = cls.buildMap(ranges);
+    EXPECT_EQ(map.lines.at(lineOf(kLineA)), LineClass::Reduction);
+    EXPECT_EQ(map.lines.count(lineOf(kLineB)), 0u); // undeclared
+    EXPECT_EQ(map.lines.count(lineOf(kLineC)), 0u); // plainly written
+}
+
+TEST(Classifier, ReductionRangeMustCoverWholeLine)
+{
+    AccessClassifier cls;
+    cls.onCommit(mkTask(1, 7, {enc(kLineA, 2)}));
+    cls.onCommit(mkTask(2, 8, {enc(kLineA, 2)}));
+    // A range covering only half the line is not enough: the fold
+    // would touch bytes the app never declared.
+    std::vector<ReductionRange> half = {{kLineA, lineBytes / 2}};
+    EXPECT_EQ(cls.buildMap(half).count(LineClass::Reduction), 0u);
+    std::vector<ReductionRange> full = {{kLineA, lineBytes}};
+    EXPECT_EQ(cls.buildMap(full).count(LineClass::Reduction), 1u);
+}
+
+TEST(Classifier, ArgumentAccessesAreBucketedSeparately)
+{
+    AccessClassifier cls;
+    cls.onCommit(mkTask(1, 7, {enc(kLineA, 0)}, /*nargs=*/3));
+    auto r = cls.classify();
+    EXPECT_EQ(r.totalAccesses, 4u);
+    EXPECT_DOUBLE_EQ(r.arguments, 0.75);
+    double sum = r.arguments + r.multiHintRO + r.singleHintRO +
+                 r.multiHintRW + r.singleHintRW;
+    EXPECT_DOUBLE_EQ(sum, 1.0);
+}
+
+TEST(Classifier, MapSaveLoadRoundTrip)
+{
+    ClassificationMap map;
+    map.lines[lineOf(kLineA)] = LineClass::ReadOnly;
+    map.lines[lineOf(kLineB)] = LineClass::Private;
+    map.lines[lineOf(kLineC)] = LineClass::Reduction;
+
+    std::string path =
+        testing::TempDir() + "/classifier_roundtrip.map";
+    ASSERT_TRUE(map.save(path));
+
+    ClassificationMap loaded;
+    ASSERT_TRUE(loaded.load(path));
+    EXPECT_EQ(loaded.lines, map.lines);
+
+    // Malformed input: load fails and leaves the map untouched.
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not a classification map\n", f);
+    std::fclose(f);
+    EXPECT_FALSE(loaded.load(path));
+    EXPECT_EQ(loaded.lines, map.lines);
+    EXPECT_FALSE(loaded.load(path + ".does-not-exist"));
+    std::remove(path.c_str());
+}
