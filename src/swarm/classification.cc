@@ -1,8 +1,10 @@
 #include "swarm/classification.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -72,7 +74,14 @@ ClassificationMap::load(const std::string& path)
                  path.c_str());
             return false;
         }
-        LineAddr line = strtoull(addrHex.c_str(), nullptr, 16);
+        char* end = nullptr;
+        errno = 0;
+        LineAddr line = strtoull(addrHex.c_str(), &end, 16);
+        if (end == addrHex.c_str() || *end != '\0' || errno == ERANGE) {
+            warn("ClassificationMap: bad address '%s' in %s",
+                 addrHex.c_str(), path.c_str());
+            return false;
+        }
         LineClass cls;
         if (clsName == "ro")
             cls = LineClass::ReadOnly;

@@ -198,12 +198,26 @@ ConflictManager::abortTasks(const std::vector<Task*>& roots,
     // tasks are aborted and requeued. Discard dominates requeue.
     std::unordered_map<Task*, bool> marked; // -> discard?
     std::vector<std::pair<Task*, bool>> wl;
+    bool doomShielded = false;
     for (Task* r : roots)
         wl.emplace_back(r, discard_roots);
 
     while (!wl.empty()) {
         auto [x, disc] = wl.back();
         wl.pop_back();
+        if (x == shieldedAccessor_) {
+            // A demotion's cascade reached the task whose in-flight
+            // access triggered it. Its coroutine frame is live on the
+            // host stack beneath us, so rolling it back here would free
+            // live frames — doom it via a same-cycle event instead. The
+            // event fires before the task's own resume (global event
+            // sequence), so the stale attempt never runs again; its
+            // children and dependents cascade when that abort runs.
+            if (disc)
+                x->doomedDiscard = true;
+            doomShielded = true;
+            continue;
+        }
         auto it = marked.find(x);
         if (it != marked.end() && (it->second || !disc))
             continue; // already marked at an equal or stronger level
@@ -248,6 +262,9 @@ ConflictManager::abortTasks(const std::vector<Task*>& roots,
         engine_.retryFinishPending(tile);
         engine_.scheduleDispatch(tile);
     }
+
+    if (doomShielded)
+        engine_.scheduleDoomedAbort(shieldedAccessor_, cause_tile);
 }
 
 void
@@ -390,7 +407,7 @@ ConflictManager::tryClassifiedAccess(Task* t, Addr addr, uint32_t size,
             // The profile lied: demote, then let the write take the
             // full resolve+track path (the demotion just registered
             // every untracked reader, so the probe sees them all).
-            demoteLine(line);
+            demoteLine(line, t);
             return false;
         }
         *rval = 0;
@@ -409,7 +426,7 @@ ConflictManager::tryClassifiedAccess(Task* t, Addr addr, uint32_t size,
         } else if (pu.owner != t) {
             // Foreign access: register the owner's hidden accesses and
             // fall through to resolve, which orders the two normally.
-            demoteLine(line);
+            demoteLine(line, t);
             return false;
         }
         // Owner access, untracked but EAGER: the undo log is the
@@ -431,7 +448,7 @@ ConflictManager::tryClassifiedAccess(Task* t, Addr addr, uint32_t size,
 
       case LineClass::Reduction: {
         if (is_write) {
-            demoteLine(line); // plain write: materialize + track
+            demoteLine(line, t); // plain write: materialize + track
             return false;
         }
         // A plain read is exact as a TRACKED base read — any committer
@@ -440,7 +457,7 @@ ConflictManager::tryClassifiedAccess(Task* t, Addr addr, uint32_t size,
         // miss (a task must see its own writes): demote for
         // self-visibility.
         if (hasShadowOnLine(t, line))
-            demoteLine(line);
+            demoteLine(line, t);
         return false;
       }
     }
@@ -473,7 +490,7 @@ ConflictManager::tryClassifiedReduce(Task* t, Addr addr, int64_t delta)
             pu.owner = t;
             t->privLines.push_back(line);
         } else if (pu.owner != t) {
-            demoteLine(line);
+            demoteLine(line, t);
             return false;
         }
         // Owner reduce: just an eager read-modify-write.
@@ -487,7 +504,7 @@ ConflictManager::tryClassifiedReduce(Task* t, Addr addr, int64_t delta)
         return true;
       }
       case LineClass::ReadOnly: {
-        demoteLine(line); // a reduce IS a write
+        demoteLine(line, t); // a reduce IS a write
         return false;
       }
     }
@@ -495,7 +512,7 @@ ConflictManager::tryClassifiedReduce(Task* t, Addr addr, int64_t delta)
 }
 
 void
-ConflictManager::demoteLine(LineAddr line)
+ConflictManager::demoteLine(LineAddr line, Task* accessor)
 {
     auto it = classMap_.find(line);
     if (it == classMap_.end())
@@ -546,7 +563,53 @@ ConflictManager::demoteLine(LineAddr line)
             // coexist with a classified Reduction line (a plain write
             // demotes first), so this establishes the order outright.
             std::sort(users.begin(), users.end(), TaskOrder());
-            for (Task* u : users) {
+            // Each materialization is a real speculative write at its
+            // user's timestamp and must RESOLVE like one. Tasks still
+            // registered on the line later than the user took tracked
+            // base reads that miss this delta — exact only under the
+            // commit-time fold-abort protocol, which this demotion
+            // cancels (foldReductions skips demoted lines) — so they
+            // abort NOW, not silently commit stale. Previously
+            // materialized users are earlier uncommitted writers whose
+            // undo snapshots chain: record forwarded-data dependent
+            // edges so a mid-chain abort takes the deltas stacked on
+            // top of it down with it. The cascade can reach a LATER
+            // entry of this list (as a victim's dependent or
+            // descendant), so walk by (uid, generation) and skip users
+            // already rolled back — their deltas died with the attempt.
+            shieldedAccessor_ = accessor;
+            std::vector<std::pair<uint64_t, uint64_t>> order;
+            order.reserve(users.size());
+            for (Task* u : users)
+                order.emplace_back(u->uid, u->generation);
+            for (auto [uid, gen] : order) {
+                Task* u = engine_.lookupTask(uid);
+                if (!u || u->generation != gen)
+                    continue; // aborted by an earlier user's resolve
+                Task::ConflictProbe probe;
+                {
+                    auto guard = lineTable_.lockFor(line);
+                    probeLocked(u, line, /*is_write=*/true, probe);
+                }
+                for (Task* o : probe.earlierWriters)
+                    o->dependents.emplace_back(u->uid, u->generation);
+                if (!probe.later.empty()) {
+                    std::vector<Task*>& toAbort = probe.later;
+                    std::sort(toAbort.begin(), toAbort.end());
+                    toAbort.erase(
+                        std::unique(toAbort.begin(), toAbort.end()),
+                        toAbort.end());
+                    // The shielded accessor's abort is deferred and
+                    // counted when it actually lands.
+                    stats_.classifyAborts +=
+                        toAbort.size() -
+                        (accessor && std::find(toAbort.begin(),
+                                               toAbort.end(), accessor) !=
+                                         toAbort.end()
+                             ? 1
+                             : 0);
+                    abortTasks(toAbort, /*discard_roots=*/false, u->tile);
+                }
                 auto sit =
                     u->redShadow.lower_bound(Addr(line) << lineBits);
                 while (sit != u->redShadow.end() &&
@@ -561,6 +624,7 @@ ConflictManager::demoteLine(LineAddr line)
                 }
                 trackWrite(u, line);
             }
+            shieldedAccessor_ = nullptr;
         }
         break;
       }

@@ -205,12 +205,25 @@ class ConflictManager
     /**
      * Demote @p line to full tracking for the rest of the run:
      * retroactively register the untracked tasks the class was hiding
-     * (RO readers, the private owner, reduction users — buffered deltas
-     * materialized with undo records in task order, so descending
-     * rollback stays exact), then erase the line from the map. Fences
-     * the line's bank first; the registrations bump its op-sequence.
+     * (RO readers, the private owner, reduction users), then erase the
+     * line from the map. Fences the line's bank first; the
+     * registrations bump its op-sequence.
+     *
+     * Reduction users' buffered deltas are materialized with undo
+     * records in task order (so descending rollback stays exact), and
+     * each materialization RESOLVES like the write it is: tasks still
+     * registered on the line later than the user took tracked base
+     * reads that miss the delta — exact only under the commit-time
+     * fold-abort protocol, which demotion cancels — and are aborted;
+     * previously materialized users become forwarded-data sources
+     * (dependent edges), so a mid-chain abort takes the deltas stacked
+     * on top of it down with it. @p accessor is the task whose
+     * in-flight access triggered the demotion: its coroutine frame is
+     * live on the host stack, so if the cascade reaches it, abortTasks
+     * defers its abort to a same-cycle event instead of rolling it back
+     * synchronously.
      */
-    void demoteLine(LineAddr line);
+    void demoteLine(LineAddr line, Task* accessor);
 
     /**
      * Commit-time reduction fold: apply @p t's buffered deltas to
@@ -234,6 +247,12 @@ class ConflictManager
     // ---- Classification state (coordinator-only) ----------------------
     /// Live classification (demotion erases; never grows mid-run).
     std::unordered_map<LineAddr, LineClass> classMap_;
+    /// Non-null only while demoteLine materializes reduction deltas: the
+    /// task whose in-flight access triggered the demotion. abortTasks
+    /// must not roll it back synchronously (its coroutine frame is on
+    /// the host stack) — it intercepts the mark and defers to
+    /// ExecutionEngine::scheduleDoomedAbort instead.
+    Task* shieldedAccessor_ = nullptr;
     /// Earliest (ts, uid) fold-abort victim since the last poll;
     /// consumed by CommitController::gvtEpoch (see consumeFoldAbort).
     /// Cascade members (descendants, forwarded-data dependents) are

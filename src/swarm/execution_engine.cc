@@ -65,6 +65,31 @@ ExecutionEngine::scheduleDispatch(TileId tile)
     eq_.scheduleAfterOn(tile, 0, [this, tile] { tryDispatch(tile); });
 }
 
+void
+ExecutionEngine::scheduleDoomedAbort(Task* t, TileId cause_tile)
+{
+    uint64_t uid = t->uid, gen = t->generation;
+    eq_.scheduleAfterOn(t->tile, 0, [this, uid, gen, cause_tile] {
+        Task* x = lookupTask(uid);
+        if (!x)
+            return; // discarded since the doom was recorded
+        if (x->generation != gen && !x->doomedDiscard)
+            return; // another abort already rolled the stale attempt
+                    // back, which is all a requeue-level doom requires
+        // A discard-level doom survives an intervening requeue (the
+        // flag persists across resetSpecState): the task's spawning
+        // attempt was rolled back, so it must be retired, not re-run.
+        // Between the doom and this event the task cannot have been
+        // re-dispatched (dispatch events carry later sequence numbers),
+        // so it is Running/Finished (generation match) or Idle
+        // (requeued by an intervening same-cycle abort) — abortTasks
+        // handles all three.
+        stats_.classifyAborts++;
+        conflict_->abortTasks({x}, /*discard_roots=*/x->doomedDiscard,
+                              cause_tile);
+    });
+}
+
 // ---- Task creation ----------------------------------------------------------
 
 Task*

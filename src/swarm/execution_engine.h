@@ -106,6 +106,17 @@ class ExecutionEngine : public ParallelBackend
     Task* lookupTask(uint64_t uid) const;
     /** Remove a task from the live registry and delete it. */
     void destroyTask(Task* t);
+    /**
+     * Abort @p t at the current cycle via a deferred event. Used when a
+     * classification demotion's abort cascade reaches the very task
+     * whose access triggered it: that task's coroutine frame is live on
+     * the host stack beneath the demotion, so a synchronous rollback
+     * would free live frames. The event's global sequence number orders
+     * it before the task's own resume (scheduled later in the same
+     * event), so the doomed attempt can never run again — let alone
+     * finish or commit — first.
+     */
+    void scheduleDoomedAbort(Task* t, TileId cause_tile);
 
     // ---- Awaiter entry points (forwarded from Machine) --------------------
     // In record mode (Task::pending.recording, set by preResume on a

@@ -70,7 +70,10 @@ namespace ssim {
 // ---- Wiring -----------------------------------------------------------------
 
 Machine::Machine(const SimConfig& cfg)
-    : cfg_(cfg), mesh_(cfg), mem_(cfg, mesh_, stats_), rng_(cfg.seed)
+    // Subsystems that hold a SimConfig reference must get the member
+    // copy, never the constructor argument: callers may pass a
+    // temporary.
+    : cfg_(cfg), mesh_(cfg_), mem_(cfg_, mesh_, stats_), rng_(cfg.seed)
 {
     ssim_assert(cfg_.ntiles >= 1 && cfg_.coresPerTile >= 1);
     // One event lane per tile plus the global control lane; per-tile

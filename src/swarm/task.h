@@ -101,6 +101,13 @@ class Task
     /// commit (or materialized with undo records at demotion). Ordered
     /// so fold/materialize order is deterministic.
     std::map<Addr, int64_t> redShadow;
+    /// A demotion's abort cascade reached this task while its access was
+    /// on the host stack AND its parent's attempt was rolled back: the
+    /// deferred doom event must DISCARD it, not requeue it, even if an
+    /// intervening abort bumped the generation first. Deliberately NOT
+    /// cleared by resetSpecState — a rollback satisfies a requeue-level
+    /// doom but cannot resurrect a task whose spawn was undone.
+    bool doomedDiscard = false;
 
     // Execution ---------------------------------------------------------------------
     std::coroutine_handle<swarm::TaskCoro::promise_type> coro{};

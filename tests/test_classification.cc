@@ -360,6 +360,219 @@ TEST(Classification, ReadOnlyAndPrivateClassesStayExactUnderAborts)
     }
 }
 
+// ---- Demotion must RESOLVE, not just register (review regressions) ---------
+
+namespace {
+
+struct DemoteState
+{
+    /// red[0] is the Reduction-classified word; red[1] shares its line,
+    /// so a plain write to it demotes without clobbering red[0].
+    alignas(64) uint64_t red[8] = {};
+    alignas(64) uint64_t snapR = 0;
+    alignas(64) uint64_t snapD = 0;
+    alignas(64) uint64_t y = 0;
+};
+
+constexpr uint64_t kRedBase = 100;
+constexpr int64_t kDelta1 = 3;
+constexpr int64_t kDelta2 = 7;
+constexpr uint64_t kW2Val = 55;
+constexpr uint64_t kYVal = 5;
+
+/// ts0: buffers a delta early, then dawdles far past the demotion so
+/// the delta is still buffered (not folded) when the line demotes.
+swarm::TaskCoro
+earlyReducer(swarm::TaskCtx& ctx, swarm::Timestamp, const uint64_t* args)
+{
+    auto* st = swarm::argPtr<DemoteState>(args[0]);
+    co_await ctx.reduce(&st->red[0], kDelta2);
+    for (int i = 0; i < 3000; i++)
+        co_await ctx.compute(1);
+}
+
+/// ts1: takes a tracked base read of the Reduction word — exact only
+/// under fold-abort, which demotion cancels — and snapshots it.
+swarm::TaskCoro
+baseReader(swarm::TaskCtx& ctx, swarm::Timestamp, const uint64_t* args)
+{
+    auto* st = swarm::argPtr<DemoteState>(args[0]);
+    for (int i = 0; i < 40; i++)
+        co_await ctx.compute(1);
+    uint64_t v = co_await ctx.read(&st->red[0]);
+    co_await ctx.write(&st->snapR, v);
+}
+
+/// ts2: tracked-reads the Reduction word (registering itself on the
+/// line), then plain-writes the NEIGHBOR word — the demotion trigger.
+/// The materialization of ts0's delta must abort this task even though
+/// its own write is mid-flight (the deferred-doom path).
+swarm::TaskCoro
+stalerDemoter(swarm::TaskCtx& ctx, swarm::Timestamp, const uint64_t* args)
+{
+    auto* st = swarm::argPtr<DemoteState>(args[0]);
+    for (int i = 0; i < 200; i++)
+        co_await ctx.compute(1);
+    uint64_t v = co_await ctx.read(&st->red[0]);
+    for (int i = 0; i < 200; i++)
+        co_await ctx.compute(1);
+    co_await ctx.write(&st->red[1], kW2Val);
+    co_await ctx.write(&st->snapD, v);
+}
+
+} // namespace
+
+TEST(Classification, DemotionAbortsStaleBaseReaders)
+{
+    ASSERT_NE(arena(), nullptr);
+    // The reviewer's scenario: A (ts0) buffers a reduction delta; R
+    // (ts1) and D (ts2) take tracked base reads that miss it; D's plain
+    // write to a neighbor word demotes the line while A is still live.
+    // Materializing A's delta makes A a registered writer BELOW already
+    // -registered later readers — exactly the state the eager protocol
+    // never allows — so the demotion must resolve like a real write and
+    // abort them. (The buggy demotion just called trackWrite: R and D
+    // then committed base-value snapshots while memory held base+delta.)
+    auto map = std::make_shared<ClassificationMap>();
+    for (const char* backend : {"timing", "functional"}) {
+        for (uint32_t threads : {1u, 8u}) {
+            auto* st = new (arena()) DemoteState();
+            st->red[0] = kRedBase;
+            map->lines = {
+                {lineOf(addrOf(&st->red[0])), LineClass::Reduction}};
+            SimConfig cfg =
+                SimConfig::withCores(64, SchedulerType::Hints, 5);
+            cfg.hostThreads = threads;
+            cfg.engineBackend = backend;
+            cfg.classifyMode = "profile";
+            cfg.classifyMap = map;
+            Machine m(cfg);
+            m.enqueueInitial(earlyReducer, 0, swarm::Hint(0), st);
+            m.enqueueInitial(baseReader, 1, swarm::Hint(1), st);
+            m.enqueueInitial(stalerDemoter, 2, swarm::Hint(2), st);
+            m.run();
+            EXPECT_EQ(m.liveTasks(), 0u);
+            const char* tag = threads == 1 ? " t1" : " t8";
+            EXPECT_EQ(st->red[0], kRedBase + kDelta2) << backend << tag;
+            EXPECT_EQ(st->red[1], kW2Val) << backend << tag;
+            EXPECT_EQ(st->snapR, kRedBase + kDelta2)
+                << backend << tag << ": reader committed a stale base"
+                << " read across a demotion";
+            EXPECT_EQ(st->snapD, kRedBase + kDelta2)
+                << backend << tag << ": the demoting accessor itself"
+                << " committed a stale base read";
+            EXPECT_EQ(m.stats().classifiedDemotions, 1u) << backend << tag;
+            if (std::strcmp(backend, "timing") == 0) {
+                // Deterministic interleaving (dawdle-paced): R aborts at
+                // materialization, D via the deferred doom event.
+                EXPECT_GE(m.stats().classifyAborts, 2u) << tag;
+            }
+        }
+    }
+}
+
+namespace {
+
+/// ts0: writes y late — after the chain below materialized — so its
+/// resolve aborts the first reducer mid-chain.
+swarm::TaskCoro
+lateYWriter(swarm::TaskCtx& ctx, swarm::Timestamp, const uint64_t* args)
+{
+    auto* st = swarm::argPtr<DemoteState>(args[0]);
+    for (int i = 0; i < 800; i++)
+        co_await ctx.compute(1);
+    co_await ctx.write(&st->y, kYVal);
+}
+
+/// ts1: reduces ONLY if y is still unwritten. Its re-execution after
+/// ts0's abort skips the reduce, so nothing re-applies the first delta
+/// — the surviving second delta must not be lost with it.
+swarm::TaskCoro
+chainReducer1(swarm::TaskCtx& ctx, swarm::Timestamp, const uint64_t* args)
+{
+    auto* st = swarm::argPtr<DemoteState>(args[0]);
+    for (int i = 0; i < 10; i++)
+        co_await ctx.compute(1);
+    uint64_t v = co_await ctx.read(&st->y);
+    if (v == 0) {
+        co_await ctx.reduce(&st->red[0], kDelta1);
+        for (int i = 0; i < 3000; i++)
+            co_await ctx.compute(1);
+    }
+}
+
+/// ts2: second buffered delta on the same word, stacked on ts1's at
+/// materialization.
+swarm::TaskCoro
+chainReducer2(swarm::TaskCtx& ctx, swarm::Timestamp, const uint64_t* args)
+{
+    auto* st = swarm::argPtr<DemoteState>(args[0]);
+    for (int i = 0; i < 60; i++)
+        co_await ctx.compute(1);
+    co_await ctx.reduce(&st->red[0], kDelta2);
+    for (int i = 0; i < 3000; i++)
+        co_await ctx.compute(1);
+}
+
+/// ts3: the demotion trigger (plain write to the neighbor word).
+swarm::TaskCoro
+chainDemoter(swarm::TaskCtx& ctx, swarm::Timestamp, const uint64_t* args)
+{
+    auto* st = swarm::argPtr<DemoteState>(args[0]);
+    for (int i = 0; i < 300; i++)
+        co_await ctx.compute(1);
+    co_await ctx.write(&st->red[1], kW2Val);
+}
+
+} // namespace
+
+TEST(Classification, MaterializedDeltasChainAsForwardedData)
+{
+    ASSERT_NE(arena(), nullptr);
+    // The chained-undo scenario: a demotion materializes A1's (ts1) and
+    // A2's (ts2) buffered deltas in order, so A2's undo record snapshots
+    // a value containing A1's delta. When ts0's late write aborts A1,
+    // the cascade must take A2 down too (forwarded-data dependent edge
+    // recorded at materialization): A1's rollback restores the
+    // pre-delta value, erasing A2's materialized delta from memory.
+    // (The buggy demotion recorded no edges: A2 survived, its redShadow
+    // already drained, and it committed nothing — the second delta
+    // vanished. A1's re-execution skips its reduce via the y-guard, so
+    // eager conflict detection cannot mask the loss.)
+    auto map = std::make_shared<ClassificationMap>();
+    for (const char* backend : {"timing", "functional"}) {
+        for (uint32_t threads : {1u, 8u}) {
+            auto* st = new (arena()) DemoteState();
+            st->red[0] = kRedBase;
+            map->lines = {
+                {lineOf(addrOf(&st->red[0])), LineClass::Reduction}};
+            SimConfig cfg =
+                SimConfig::withCores(64, SchedulerType::Hints, 5);
+            cfg.hostThreads = threads;
+            cfg.engineBackend = backend;
+            cfg.classifyMode = "profile";
+            cfg.classifyMap = map;
+            Machine m(cfg);
+            m.enqueueInitial(lateYWriter, 0, swarm::Hint(0), st);
+            m.enqueueInitial(chainReducer1, 1, swarm::Hint(1), st);
+            m.enqueueInitial(chainReducer2, 2, swarm::Hint(2), st);
+            m.enqueueInitial(chainDemoter, 3, swarm::Hint(3), st);
+            m.run();
+            EXPECT_EQ(m.liveTasks(), 0u);
+            const char* tag = threads == 1 ? " t1" : " t8";
+            // ts1's delta is legitimately undone (control-dependent on
+            // y); ts2's must survive the mid-chain abort.
+            EXPECT_EQ(st->red[0], kRedBase + kDelta2)
+                << backend << tag
+                << ": a mid-chain abort erased a surviving user's"
+                << " materialized delta";
+            EXPECT_EQ(st->red[1], kW2Val) << backend << tag;
+            EXPECT_EQ(st->y, kYVal) << backend << tag;
+            EXPECT_EQ(m.stats().classifiedDemotions, 1u) << backend << tag;
+        }
+    }
+}
+
 // ---- Apps: off-vs-on result equality and footprint reduction ---------------
 
 TEST(Classification, AppsProduceIdenticalResultsWithSmallerFootprint)

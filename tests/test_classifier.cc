@@ -210,6 +210,13 @@ TEST(Classifier, MapSaveLoadRoundTrip)
     std::fclose(f);
     EXPECT_FALSE(loaded.load(path));
     EXPECT_EQ(loaded.lines, map.lines);
+    // Malformed address token: must not silently classify line 0.
+    f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("zz ro\n", f);
+    std::fclose(f);
+    EXPECT_FALSE(loaded.load(path));
+    EXPECT_EQ(loaded.lines, map.lines);
     EXPECT_FALSE(loaded.load(path + ".does-not-exist"));
     std::remove(path.c_str());
 }
