@@ -10,6 +10,7 @@
 #include "base/bloom.h"
 #include "base/hash.h"
 #include "base/rng.h"
+#include "harness/cli.h"
 #include "mem/cache_array.h"
 #include "sim/event_queue.h"
 #include "swarm/machine.h"
@@ -86,4 +87,18 @@ BM_SimulatedCyclesPerSecond(benchmark::State& state)
 }
 BENCHMARK(BM_SimulatedCyclesPerSecond)->Arg(1)->Arg(16)->Arg(64);
 
-BENCHMARK_MAIN();
+// Not BENCHMARK_MAIN(): like every other bench, typo'd flags must abort
+// instead of silently measuring defaults. google-benchmark's own flags
+// pass through via the "--benchmark_*" prefix entry.
+int
+main(int argc, char** argv)
+{
+    static const char* const kExtras[] = {"--benchmark_*", nullptr};
+    harness::requireKnownFlags(argc, argv, kExtras);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Open-system serving microbenchmark (docs/serving.md): drives seeded
+ * open-loop request arrivals into a long-running 64-core machine for
+ * each servable app (silo's TPC-C mix, kvstore's Zipfian get/put) and
+ * reports sustainable throughput plus p50/p99/p999 completion latency
+ * from the deterministic LatencyRecorder.
+ *
+ * Hard gates (CI fails on any):
+ *  - every run validates against the app's host-native oracle;
+ *  - per backend, the latency histogram digest, the per-request
+ *    completion trace digest, and the app result digest are
+ *    bit-identical at host threads {1, 2, 8};
+ *  - the app result digest also matches across the timing and
+ *    functional backends (latency histograms are per-backend: the two
+ *    cost models measure different cycle domains).
+ *
+ * Flags: --smoke (tiny preset), --app=name, --backend=name,
+ * --arrivals=poisson|uniform|bursty, --target-qps=N (offered load,
+ * requests per million cycles; the mean inter-arrival gap is 1e6/N),
+ * --deadline=N (per-request deadline in cycles; 0 = none),
+ * --host-threads=N (restrict the thread grid), --json=FILE
+ * (docs/benchmarks.md schema).
+ */
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/app.h"
+#include "base/logging.h"
+#include "harness/cli.h"
+#include "harness/report.h"
+#include "harness/serving.h"
+
+namespace {
+
+using namespace ssim;
+
+/** The registered apps that declare a serving profile (the profile is
+ *  preset-sized, so probe with a tiny setup). */
+std::vector<std::string>
+servableApps()
+{
+    std::vector<std::string> out;
+    for (const auto& name : apps::appNames()) {
+        auto app = apps::makeApp(name);
+        apps::AppParams p;
+        p.preset = apps::Preset::Tiny;
+        app->setup(p);
+        if (app->servingProfile().requests > 0)
+            out.push_back(name);
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    static const char* const kExtras[] = {"--app", "--arrivals",
+                                          "--target-qps", "--deadline",
+                                          nullptr};
+    harness::requireKnownFlags(argc, argv, kExtras);
+    bool smoke = harness::hasFlag(argc, argv, "--smoke");
+
+    harness::ServingConfig scfg;
+    if (const char* a = harness::flagValue(argc, argv, "--arrivals"))
+        scfg.arrivals = harness::parseArrivalKind(a);
+    uint32_t qps = 2000;
+    if (const char* q = harness::flagValue(argc, argv, "--target-qps"))
+        qps = harness::parsePositiveInt("--target-qps", q);
+    scfg.meanGapCycles = (1000000 + qps / 2) / qps;
+    if (!scfg.meanGapCycles)
+        scfg.meanGapCycles = 1;
+    if (const char* d = harness::flagValue(argc, argv, "--deadline"))
+        scfg.deadlineCycles = harness::parsePositiveInt("--deadline", d);
+
+    const char* only = harness::flagValue(argc, argv, "--app");
+    const char* onlyBackend = harness::flagValue(argc, argv, "--backend");
+    std::vector<std::string> backends =
+        onlyBackend ? std::vector<std::string>{onlyBackend}
+                    : std::vector<std::string>{"timing", "functional"};
+    std::vector<uint32_t> threads = {1, 2, 8};
+    if (const char* t = harness::flagValue(argc, argv, "--host-threads"))
+        threads = {harness::parsePositiveInt("--host-threads", t)};
+
+    std::printf("micro_serve: open-loop %s arrivals, target %u req/Mcycle"
+                " (mean gap %llu), deadline %llu%s\n",
+                harness::arrivalKindName(scfg.arrivals), qps,
+                (unsigned long long)scfg.meanGapCycles,
+                (unsigned long long)scfg.deadlineCycles,
+                smoke ? " [smoke]" : "");
+    std::printf("%-8s %-10s %3s %8s %10s %8s %8s %8s %8s %6s   %s\n",
+                "app", "backend", "thr", "reqs", "cycles", "qps", "p50",
+                "p99", "p999", "miss", "checks");
+
+    harness::BenchJson json("micro_serve");
+    json.meta("smoke", smoke);
+    json.meta("arrivals", harness::arrivalKindName(scfg.arrivals));
+    json.meta("target_qps", uint64_t(qps));
+    json.meta("deadline", scfg.deadlineCycles);
+
+    int failures = 0;
+    for (const auto& name : servableApps()) {
+        if (only && name != only)
+            continue;
+        auto app = apps::makeApp(name);
+        apps::AppParams p;
+        p.preset = smoke ? apps::Preset::Tiny : apps::presetFromEnv();
+        p.seed = 42;
+        app->setup(p);
+
+        // Result digests must agree across backends (and with the
+        // closed-loop run's semantics; the goldens pin that in tests).
+        uint64_t crossBackendDigest = 0;
+        bool haveCross = false;
+        for (const auto& backend : backends) {
+            uint64_t refLat = 0, refTrace = 0, refResult = 0;
+            bool haveRef = false;
+            for (uint32_t thr : threads) {
+                SimConfig cfg =
+                    SimConfig::withCores(64, SchedulerType::Hints, 42);
+                cfg.engineBackend = backend;
+                cfg.hostThreads = thr;
+                harness::applyConcConflicts(cfg, argc, argv);
+                harness::applyParallelReplay(cfg, argc, argv);
+                harness::applyClassify(cfg, argc, argv);
+                harness::applyPolicy(cfg, argc, argv);
+
+                auto t0 = std::chrono::steady_clock::now();
+                harness::ServingResult r =
+                    harness::serveOnce(*app, cfg, scfg);
+                auto t1 = std::chrono::steady_clock::now();
+                double ms =
+                    std::chrono::duration<double, std::milli>(t1 - t0)
+                        .count();
+
+                uint64_t latDig = r.latency.digest();
+                bool digestOk = true;
+                if (!haveRef) {
+                    refLat = latDig;
+                    refTrace = r.traceDigest;
+                    refResult = r.resultDigest;
+                    haveRef = true;
+                } else {
+                    digestOk = latDig == refLat &&
+                               r.traceDigest == refTrace &&
+                               r.resultDigest == refResult;
+                }
+                if (!haveCross) {
+                    crossBackendDigest = r.resultDigest;
+                    haveCross = true;
+                } else if (r.resultDigest != crossBackendDigest) {
+                    digestOk = false;
+                }
+                if (!digestOk || !r.valid)
+                    failures++;
+
+                json.beginRow();
+                json.val("app", name);
+                json.val("backend", backend);
+                json.val("threads", uint64_t(thr));
+                json.val("requests", r.requests);
+                json.val("ms", ms);
+                json.val("sim_cycles", r.cycles);
+                json.val("qps", r.qpmc());
+                json.val("p50", r.p50);
+                json.val("p99", r.p99);
+                json.val("p999", r.p999);
+                json.val("deadline_misses", r.deadlineMisses);
+                json.val("digest_ok", digestOk);
+                json.val("valid", r.valid);
+
+                std::printf(
+                    "%-8s %-10s %3u %8llu %10llu %8.1f %8llu %8llu "
+                    "%8llu %6llu   %s%s\n",
+                    name.c_str(), backend.c_str(), thr,
+                    (unsigned long long)r.requests,
+                    (unsigned long long)r.cycles, r.qpmc(),
+                    (unsigned long long)r.p50,
+                    (unsigned long long)r.p99,
+                    (unsigned long long)r.p999,
+                    (unsigned long long)r.deadlineMisses,
+                    r.valid ? "valid" : "INVALID",
+                    digestOk ? "" : ", DIGEST MISMATCH");
+            }
+        }
+    }
+
+    if (!json.finish(argc, argv, failures == 0))
+        failures++;
+
+    if (failures) {
+        std::printf("\nFAIL: %d serving run(s) failed validation or "
+                    "broke digest invariance\n",
+                    failures);
+        return 1;
+    }
+    std::printf("\nall serving runs validate; histograms and digests "
+                "are thread- and backend-invariant\n");
+    return 0;
+}

@@ -14,6 +14,13 @@ presetFromEnv()
     return (e && e[0] == '1') ? Preset::Full : Preset::Small;
 }
 
+void
+App::injectRequest(Machine&, uint64_t)
+{
+    fatal("app '%s' is not servable (servingProfile().requests == 0)",
+          name().c_str());
+}
+
 std::unique_ptr<App>
 makeApp(const std::string& name, bool fine_grain)
 {
@@ -37,6 +44,10 @@ makeApp(const std::string& name, bool fine_grain)
         return makeGenomeApp();
     if (name == "kmeans")
         return makeKmeansApp();
+    if (name == "kvstore")
+        return makeKvstoreApp();
+    if (name == "pagerank")
+        return makePagerankApp();
     fatal("unknown app '%s'", name.c_str());
 }
 
@@ -44,8 +55,8 @@ const std::vector<std::string>&
 appNames()
 {
     static const std::vector<std::string> names = {
-        "bfs", "sssp", "astar", "color", "des",
-        "nocsim", "silo", "genome", "kmeans"};
+        "bfs",  "sssp",   "astar",  "color",  "des",     "nocsim",
+        "silo", "genome", "kmeans", "kvstore", "pagerank"};
     return names;
 }
 

@@ -83,6 +83,29 @@ class App
     virtual bool hasFineGrain() const { return false; }
 
     /**
+     * Open-system serving support (harness/serving.h). A servable app
+     * partitions its workload into `requests` independent units; the
+     * serving driver injects request r mid-run (Machine::injectRoot) at
+     * its seeded arrival cycle instead of enqueueing everything up
+     * front. Request r owns the timestamp range
+     * [(r+1)*tsSpan, (r+2)*tsSpan): every task the request creates must
+     * carry a timestamp in that range, which is how the driver's commit
+     * tap attributes completions (and thus latencies) to requests.
+     * Injecting ALL requests must leave exactly the state a normal
+     * closed-loop run produces, so validate()/resultDigest() apply
+     * unchanged. requests == 0 (the default) means "not servable".
+     */
+    struct ServingProfile
+    {
+        uint64_t requests = 0; ///< injectable requests (preset-sized)
+        uint64_t tsSpan = 0;   ///< timestamps owned per request
+    };
+    virtual ServingProfile servingProfile() const { return {}; }
+
+    /** Inject request @p req's root task(s) mid-run. Fatal by default. */
+    virtual void injectRequest(Machine& m, uint64_t req);
+
+    /**
      * Address ranges whose 64-bit words are pure commutative-addition
      * accumulators (updated only via ctx.reduce, values read only after
      * the parallel region or through reads that tolerate a
@@ -109,13 +132,14 @@ digestRange(const std::vector<T>& v, uint64_t h = kFnvBasis)
 
 /**
  * Create an app by name: bfs, sssp, astar, color, des, nocsim, silo,
- * genome, kmeans. @p fine_grain selects the Sec. V restructuring where
- * available (fatal otherwise).
+ * genome, kmeans, kvstore, pagerank. @p fine_grain selects the Sec. V
+ * restructuring where available (fatal otherwise).
  */
 std::unique_ptr<App> makeApp(const std::string& name,
                              bool fine_grain = false);
 
-/** The nine benchmark names, in Table I order. */
+/** The registered benchmark names: the paper's nine (Table I order)
+ *  plus the two serving-era workloads (kvstore, pagerank). */
 const std::vector<std::string>& appNames();
 
 /** Apps with CG and FG versions (Sec. V): bfs, sssp, astar, color. */

@@ -19,5 +19,7 @@ std::unique_ptr<App> makeNocsimApp();
 std::unique_ptr<App> makeSiloApp();
 std::unique_ptr<App> makeGenomeApp();
 std::unique_ptr<App> makeKmeansApp();
+std::unique_ptr<App> makeKvstoreApp();
+std::unique_ptr<App> makePagerankApp();
 
 } // namespace ssim::apps

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * kvstore: a get/put key-value store over Zipfian-skewed keys — the
+ * request-serving workload the open-system harness (harness/serving.h)
+ * drives against the machine. Each operation is one request: a get
+ * reads its key's row and records the value in a per-op result slot, a
+ * put overwrites the row; both fold a per-key touch count into a
+ * reduce-only counter array (a natural Reduction target for the
+ * profile-guided classifier). The Zipfian skew concentrates traffic on
+ * a few hot rows, so the hint scheduler's same-hint serialization and
+ * the load balancer see realistic hotspot pressure.
+ *
+ * Operations are totally ordered by timestamp (op i owns timestamp
+ * range [(i+1)*kOpTsStride, (i+2)*kOpTsStride)), so the final store
+ * state is a pure function of the op list — independent of arrival
+ * times, scheduler, core count, host threads, and backend — and the
+ * result digest is a golden.
+ */
+#include <cstdlib>
+#include <memory>
+
+#include "apps/app.h"
+#include "apps/factories.h"
+#include "apps/kvstore/zipf.h"
+#include "apps/serial_machine.h"
+#include "base/logging.h"
+
+namespace ssim::apps {
+
+namespace {
+
+/// Timestamps owned per operation (room for future multi-task ops).
+constexpr uint64_t kOpTsStride = 4;
+
+/// Default skew exponent s = 0.99 in Q32 (the YCSB-style default);
+/// override with SWARMSIM_KV_SKEW (a decimal like "1.2"; 0 = uniform).
+constexpr int64_t kDefaultSkewQ32 = 4252017623ll;
+
+/// One key's row: owns its cache line so the spatial hint (the key) and
+/// the conflict-detection granule coincide.
+struct alignas(64) KvRow
+{
+    uint64_t val;
+};
+
+struct Op
+{
+    uint32_t key;
+    uint32_t isPut; ///< 0 = get, 1 = put
+    uint64_t val;   ///< put payload
+};
+
+inline uint64_t
+opBase(uint64_t op)
+{
+    return (op + 1) * kOpTsStride;
+}
+
+class KvstoreApp : public App
+{
+  public:
+    std::string name() const override { return "kvstore"; }
+    uint32_t numTaskFunctions() const override { return 2; }
+    const char* hintPattern() const override { return "Key"; }
+
+    void
+    setup(const AppParams& p) override
+    {
+        Rng rng(p.seed);
+        switch (p.preset) {
+          case Preset::Tiny:
+            nKeys_ = 256;
+            nOps_ = 256;
+            break;
+          case Preset::Small:
+            nKeys_ = 4096;
+            nOps_ = 2048;
+            break;
+          default:
+            nKeys_ = 65536;
+            nOps_ = 16384;
+            break;
+        }
+        int64_t skew = kDefaultSkewQ32;
+        if (const char* e = std::getenv("SWARMSIM_KV_SKEW")) {
+            double s = std::strtod(e, nullptr);
+            if (s < 0 || s > 16)
+                fatal("SWARMSIM_KV_SKEW must be in [0, 16], got '%s'", e);
+            skew = int64_t(s * 4294967296.0);
+        }
+        zipf_ = ZipfGenerator(nKeys_, skew);
+
+        initStore_.resize(nKeys_);
+        for (uint32_t k = 0; k < nKeys_; k++)
+            initStore_[k].val = rng.next();
+        ops_.resize(nOps_);
+        for (uint64_t i = 0; i < nOps_; i++) {
+            ops_[i].key = zipf_.sample(rng.next());
+            ops_[i].isPut = rng.next() & 1;
+            ops_[i].val = rng.next();
+        }
+
+        // Oracle: apply the op list in order on the host.
+        expStore_ = initStore_;
+        expResults_.assign(nOps_, 0);
+        expCounts_.assign(nKeys_, 0);
+        for (uint64_t i = 0; i < nOps_; i++) {
+            const Op& op = ops_[i];
+            if (op.isPut)
+                expStore_[op.key].val = op.val;
+            else
+                expResults_[i] = expStore_[op.key].val;
+            expCounts_[op.key]++;
+        }
+        reset();
+    }
+
+    void
+    reset() override
+    {
+        store_ = initStore_;
+        results_.assign(nOps_, 0);
+        counts_.assign(nKeys_, 0);
+    }
+
+    void
+    enqueueInitial(Machine& m) override
+    {
+        for (uint64_t i = 0; i < nOps_; i++)
+            m.enqueueInitial(ops_[i].isPut ? putTask : getTask, opBase(i),
+                             uint64_t(ops_[i].key), this, i);
+    }
+
+    ServingProfile
+    servingProfile() const override
+    {
+        return {nOps_, kOpTsStride};
+    }
+
+    void
+    injectRequest(Machine& m, uint64_t req) override
+    {
+        m.injectRoot(ops_[req].isPut ? putTask : getTask, opBase(req),
+                     uint64_t(ops_[req].key), this, req);
+    }
+
+    std::vector<ReductionRange>
+    reductionRanges() const override
+    {
+        // The per-key touch counters are pure adders (updated only via
+        // ctx.reduce, read only by the post-run oracle check).
+        return {{addrOf(counts_.data()), counts_.size() * sizeof(int64_t)}};
+    }
+
+    bool
+    validate() const override
+    {
+        return std::memcmp(store_.data(), expStore_.data(),
+                           store_.size() * sizeof(KvRow)) == 0 &&
+               results_ == expResults_ && counts_ == expCounts_;
+    }
+
+    uint64_t
+    resultDigest() const override
+    {
+        // Exactly the validated state: final store rows, get results,
+        // per-key touch counts.
+        uint64_t h = kFnvBasis;
+        for (const KvRow& r : store_)
+            h = fnv1aU64(r.val, h);
+        h = digestRange(results_, h);
+        return digestRange(counts_, h);
+    }
+
+    uint64_t
+    serialCycles(SerialMachine& sm) override
+    {
+        reset();
+        for (uint64_t i = 0; i < nOps_; i++) {
+            const Op& op = ops_[i];
+            if (op.isPut) {
+                sm.write(&store_[op.key].val, op.val);
+            } else {
+                uint64_t v = sm.read(&store_[op.key].val);
+                sm.write(&results_[i], v);
+            }
+            int64_t c = sm.read(&counts_[op.key]);
+            sm.write(&counts_[op.key], c + 1);
+        }
+        ssim_assert(validate(), "serial kvstore is wrong");
+        return sm.cycles();
+    }
+
+    uint32_t nKeys_ = 0;
+    uint64_t nOps_ = 0;
+    ZipfGenerator zipf_;
+    std::vector<KvRow> store_, initStore_, expStore_;
+    std::vector<Op> ops_;
+    std::vector<uint64_t> results_, expResults_;
+    std::vector<int64_t> counts_, expCounts_;
+
+  private:
+    static swarm::TaskCoro getTask(swarm::TaskCtx&, swarm::Timestamp,
+                                   const uint64_t*);
+    static swarm::TaskCoro putTask(swarm::TaskCtx&, swarm::Timestamp,
+                                   const uint64_t*);
+};
+
+swarm::TaskCoro
+KvstoreApp::getTask(swarm::TaskCtx& ctx, swarm::Timestamp,
+                    const uint64_t* args)
+{
+    auto* a = swarm::argPtr<KvstoreApp>(args[0]);
+    uint64_t i = args[1];
+    uint32_t key = a->ops_[i].key;
+
+    uint64_t v = co_await ctx.read(&a->store_[key].val);
+    co_await ctx.write(&a->results_[i], v);
+    co_await ctx.reduce(&a->counts_[key], 1);
+}
+
+swarm::TaskCoro
+KvstoreApp::putTask(swarm::TaskCtx& ctx, swarm::Timestamp,
+                    const uint64_t* args)
+{
+    auto* a = swarm::argPtr<KvstoreApp>(args[0]);
+    uint64_t i = args[1];
+    uint32_t key = a->ops_[i].key;
+
+    co_await ctx.write(&a->store_[key].val, a->ops_[i].val);
+    co_await ctx.reduce(&a->counts_[key], 1);
+}
+
+} // namespace
+
+std::unique_ptr<App>
+makeKvstoreApp()
+{
+    return std::make_unique<KvstoreApp>();
+}
+
+} // namespace ssim::apps

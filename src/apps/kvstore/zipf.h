@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Seeded Zipfian key sampling for the kvstore workload generator and
+ * the serving-harness property tests.
+ *
+ * Keys are ranked 1..n with weight w_j = j^-s (s = the skew exponent,
+ * Q32 fixed point). The table is built once with the integer fixed-point
+ * exp/ln routines in base/fixmath.h — no libm — so the sampled key
+ * sequence for a given (n, skew, seed) is bit-identical on every
+ * platform, which is what lets kvstore's result digest be a golden. At
+ * s = 0 every weight is exactly 1.0 (Q32), degenerating to a uniform
+ * sampler.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/fixmath.h"
+
+namespace ssim::apps {
+
+class ZipfGenerator
+{
+  public:
+    ZipfGenerator() = default;
+
+    /** Build the cumulative weight table for keys [0, n). */
+    ZipfGenerator(uint32_t n, int64_t skew_q32)
+    {
+        cum_.reserve(n);
+        uint64_t total = 0;
+        for (uint32_t j = 0; j < n; j++) {
+            // w = exp(-s * ln(rank)), Q32; clamp to >= 1 so the
+            // cumulative table stays strictly increasing.
+            uint64_t w =
+                fxExpNegQ32(mulQ32(skew_q32, fxLnQ32(uint64_t(j) + 1)));
+            total += w ? w : 1;
+            cum_.push_back(total);
+        }
+    }
+
+    uint32_t n() const { return uint32_t(cum_.size()); }
+
+    /** Weight of key @p j (rank j + 1), Q32. */
+    uint64_t
+    weightQ32(uint32_t j) const
+    {
+        return j ? cum_[j] - cum_[j - 1] : cum_[0];
+    }
+
+    /** Map one 64-bit uniform draw to a key in [0, n). */
+    uint32_t
+    sample(uint64_t u) const
+    {
+        // Scale u into [0, total) with a 128-bit multiply (unbiased to
+        // within 1/2^64), then binary-search the cumulative table.
+        uint64_t total = cum_.back();
+        uint64_t r = uint64_t((unsigned __int128)u * total >> 64);
+        uint32_t lo = 0, hi = n() - 1;
+        while (lo < hi) {
+            uint32_t mid = (lo + hi) / 2;
+            if (cum_[mid] <= r)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        return lo;
+    }
+
+  private:
+    std::vector<uint64_t> cum_; ///< cum_[j] = w_0 + ... + w_j
+};
+
+} // namespace ssim::apps

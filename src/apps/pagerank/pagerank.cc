@@ -1,0 +1,246 @@
+/**
+ * @file
+ * pagerank: push-based iterative PageRank over an R-MAT graph.
+ *
+ * Each iteration is two timestamp phases, mirroring kmeans' pattern:
+ *   push(u)  reads u's rank, divides it over u's out-edges, and folds
+ *            the shares into the targets' accumulators via ctx.reduce
+ *            (hint = u's rank line);
+ *   apply(v) reads v's accumulated in-flow BEFORE its own reduces,
+ *            writes the damped new rank, clears the accumulator with a
+ *            negative reduce, and folds |new - old| into the
+ *            iteration's convergence cell (hint = v's accumulator
+ *            line).
+ * The accumulators and the per-iteration convergence cells are pure
+ * adders — natural Reduction lines for the profile-guided classifier.
+ *
+ * Ranks are Q32 fixed point (int64), so every operation is exact
+ * integer arithmetic: results are bit-identical across schedulers, core
+ * counts, host threads, and backends, and the digest over the final
+ * ranks plus the per-iteration convergence series is a golden.
+ */
+#include <memory>
+
+#include "apps/app.h"
+#include "apps/factories.h"
+#include "apps/graph.h"
+#include "apps/serial_machine.h"
+#include "base/fixmath.h"
+#include "base/logging.h"
+
+namespace ssim::apps {
+
+namespace {
+
+/// Damping factor d = 0.85 in Q32.
+constexpr int64_t kDampQ32 = 3650722202ll;
+constexpr int64_t kOneQ32 = int64_t(1) << 32;
+
+class PagerankApp : public App
+{
+  public:
+    std::string name() const override { return "pagerank"; }
+    uint32_t numTaskFunctions() const override { return 2; }
+    const char* hintPattern() const override
+    {
+        return "Rank line, accumulator line";
+    }
+
+    void
+    setup(const AppParams& p) override
+    {
+        Rng rng(p.seed);
+        uint32_t n, deg;
+        switch (p.preset) {
+          case Preset::Tiny:
+            n = 64;
+            deg = 4;
+            iters_ = 2;
+            break;
+          case Preset::Small:
+            n = 512;
+            deg = 8;
+            iters_ = 4;
+            break;
+          default:
+            n = 4096;
+            deg = 16;
+            iters_ = 10;
+            break;
+        }
+        g_ = rmat(n, deg, rng);
+        base_ = mulQ32(kOneQ32 - kDampQ32, kOneQ32 / n);
+
+        // Host oracle: identical fixed-point algorithm, untimed.
+        oracleRanks_.assign(g_.n, kOneQ32 / g_.n);
+        oracleDeltas_.assign(iters_, 0);
+        std::vector<int64_t> acc(g_.n, 0);
+        for (uint32_t it = 0; it < iters_; it++) {
+            std::fill(acc.begin(), acc.end(), 0);
+            for (uint32_t u = 0; u < g_.n; u++) {
+                uint32_t d = g_.degree(u);
+                if (!d)
+                    continue;
+                int64_t share = oracleRanks_[u] / d;
+                for (uint32_t v : g_.neigh(u))
+                    acc[v] += share;
+            }
+            for (uint32_t v = 0; v < g_.n; v++) {
+                int64_t nr = base_ + mulQ32(kDampQ32, acc[v]);
+                int64_t diff = nr - oracleRanks_[v];
+                oracleDeltas_[it] += diff < 0 ? -diff : diff;
+                oracleRanks_[v] = nr;
+            }
+        }
+        reset();
+    }
+
+    void
+    reset() override
+    {
+        ranks_.assign(g_.n, kOneQ32 / g_.n);
+        acc_.assign(g_.n, 0);
+        deltas_.assign(iters_, 0);
+    }
+
+    void
+    enqueueInitial(Machine& m) override
+    {
+        for (uint32_t u = 0; u < g_.n; u++)
+            m.enqueueInitial(push, 0, swarm::cacheLine(&ranks_[u]), this,
+                             uint64_t(u), uint64_t(0));
+        for (uint32_t v = 0; v < g_.n; v++)
+            m.enqueueInitial(apply, 1, swarm::cacheLine(&acc_[v]), this,
+                             uint64_t(v), uint64_t(0));
+    }
+
+    std::vector<ReductionRange>
+    reductionRanges() const override
+    {
+        // In-flow accumulators and per-iteration convergence cells are
+        // pure adders: push/apply fold in, apply reads acc before its
+        // own reduces and clears via negative reduces.
+        return {{addrOf(acc_.data()), acc_.size() * sizeof(int64_t)},
+                {addrOf(deltas_.data()), deltas_.size() * sizeof(int64_t)}};
+    }
+
+    bool
+    validate() const override
+    {
+        return ranks_ == oracleRanks_ && deltas_ == oracleDeltas_;
+    }
+
+    uint64_t
+    resultDigest() const override
+    {
+        // Exactly the validated state: final ranks plus the convergence
+        // series (sum of |rank delta| per iteration).
+        return digestRange(deltas_, digestRange(ranks_));
+    }
+
+    uint64_t
+    serialCycles(SerialMachine& sm) override
+    {
+        reset();
+        for (uint32_t it = 0; it < iters_; it++) {
+            for (uint32_t u = 0; u < g_.n; u++) {
+                uint32_t d = g_.degree(u);
+                if (!d)
+                    continue;
+                int64_t share = sm.read(&ranks_[u]) / d;
+                sm.compute(8);
+                for (uint32_t v : g_.neigh(u)) {
+                    int64_t a = sm.read(&acc_[v]);
+                    sm.write(&acc_[v], a + share);
+                }
+            }
+            for (uint32_t v = 0; v < g_.n; v++) {
+                int64_t a = sm.read(&acc_[v]);
+                int64_t nr = base_ + mulQ32(kDampQ32, a);
+                int64_t old = sm.read(&ranks_[v]);
+                sm.write(&ranks_[v], nr);
+                sm.write(&acc_[v], int64_t(0));
+                int64_t diff = nr - old;
+                int64_t dd = sm.read(&deltas_[it]);
+                sm.write(&deltas_[it], dd + (diff < 0 ? -diff : diff));
+                sm.compute(4);
+            }
+        }
+        ssim_assert(validate(), "serial pagerank is wrong");
+        return sm.cycles();
+    }
+
+    Graph g_;
+    uint32_t iters_ = 0;
+    int64_t base_ = 0;
+    std::vector<int64_t> ranks_, oracleRanks_;
+    std::vector<int64_t> acc_;
+    std::vector<int64_t> deltas_, oracleDeltas_;
+
+  private:
+    static swarm::TaskCoro push(swarm::TaskCtx&, swarm::Timestamp,
+                                const uint64_t*);
+    static swarm::TaskCoro apply(swarm::TaskCtx&, swarm::Timestamp,
+                                 const uint64_t*);
+};
+
+// Phase 3i: divide u's rank over its out-edges.
+swarm::TaskCoro
+PagerankApp::push(swarm::TaskCtx& ctx, swarm::Timestamp ts,
+                  const uint64_t* args)
+{
+    auto* a = swarm::argPtr<PagerankApp>(args[0]);
+    uint32_t u = uint32_t(args[1]);
+    uint32_t iter = uint32_t(args[2]);
+
+    uint32_t d = a->g_.degree(u);
+    if (d) {
+        int64_t rank = co_await ctx.read(&a->ranks_[u]);
+        int64_t share = rank / d;
+        co_await ctx.compute(8);
+        // Pure commutative adds: classified, same-target pushes never
+        // conflict on the accumulator line.
+        for (uint32_t v : a->g_.neigh(u))
+            co_await ctx.reduce(&a->acc_[v], share);
+    }
+    if (iter + 1 < a->iters_)
+        co_await ctx.enqueue(push, ts + 3, swarm::SAMEHINT, args[0],
+                             args[1], uint64_t(iter + 1));
+}
+
+// Phase 3i+1: new rank = (1-d)/n + d * in-flow; clear the accumulator.
+swarm::TaskCoro
+PagerankApp::apply(swarm::TaskCtx& ctx, swarm::Timestamp ts,
+                   const uint64_t* args)
+{
+    auto* a = swarm::argPtr<PagerankApp>(args[0]);
+    uint32_t v = uint32_t(args[1]);
+    uint32_t iter = uint32_t(args[2]);
+
+    // The plain read of the accumulator comes BEFORE our own reduce to
+    // it (a read after a buffered own-delta would demote the line), and
+    // the clear is a negative reduce so the line never sees a plain
+    // write.
+    int64_t flow = co_await ctx.read(&a->acc_[v]);
+    int64_t nr = a->base_ + mulQ32(kDampQ32, flow);
+    int64_t old = co_await ctx.read(&a->ranks_[v]);
+    co_await ctx.write(&a->ranks_[v], nr);
+    co_await ctx.compute(4);
+    if (flow)
+        co_await ctx.reduce(&a->acc_[v], -flow);
+    int64_t diff = nr - old;
+    co_await ctx.reduce(&a->deltas_[iter], diff < 0 ? -diff : diff);
+    if (iter + 1 < a->iters_)
+        co_await ctx.enqueue(apply, ts + 3, swarm::SAMEHINT, args[0],
+                             args[1], uint64_t(iter + 1));
+}
+
+} // namespace
+
+std::unique_ptr<App>
+makePagerankApp()
+{
+    return std::make_unique<PagerankApp>();
+}
+
+} // namespace ssim::apps

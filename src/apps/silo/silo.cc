@@ -153,6 +153,24 @@ class SiloApp : public App
         return sm.cycles();
     }
 
+    ServingProfile
+    servingProfile() const override
+    {
+        // One request = one transaction; every task a transaction
+        // creates carries a timestamp in [txnBase(t), txnBase(t) + 31]
+        // (children max out at base + 17 + kMaxItemsPerTxn - 1 < +32).
+        return {db_.txns.size(), kTxnTsStride};
+    }
+
+    void
+    injectRequest(Machine& m, uint64_t req) override
+    {
+        // args[2] = 1: serving mode — the driver owns the arrival
+        // schedule, so the root must not chain the next transaction.
+        m.injectRoot(rootTask, txnBase(req), swarm::NOHINT, this, req,
+                     uint64_t(1));
+    }
+
     std::vector<ReductionRange>
     reductionRanges() const override
     {
@@ -249,10 +267,14 @@ SiloApp::rootTask(swarm::TaskCtx& ctx, swarm::Timestamp ts,
                                  args[0], txn, uint64_t(i));
     }
 
-    uint64_t next = txn + kDrivers;
-    if (next < db.txns.size())
-        co_await ctx.enqueue(rootTask, txnBase(next), swarm::NOHINT,
-                             args[0], next);
+    // Driver chain: issue the next transaction — unless this root was
+    // injected by the serving driver (args[2] = 1), which owns arrivals.
+    if (!args[2]) {
+        uint64_t next = txn + kDrivers;
+        if (next < db.txns.size())
+            co_await ctx.enqueue(rootTask, txnBase(next), swarm::NOHINT,
+                                 args[0], next);
+    }
 }
 
 swarm::TaskCoro

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Integer fixed-point transcendentals (Q32: value * 2^32 in a 64-bit
+ * word) for workload generators whose outputs feed committed golden
+ * digests: seeded arrival streams and Zipfian key sequences
+ * (harness/serving.h, apps/kvstore). libm's log/exp/pow are NOT
+ * bit-stable across implementations, so any digest built on them would
+ * break between toolchains; these routines use only 64/128-bit integer
+ * arithmetic and are exact functions of their inputs everywhere.
+ *
+ * Accuracy is a few parts in 10^7 over the ranges used here — far finer
+ * than the histogram buckets and Zipf weight tables built on top — and
+ * irrelevant to correctness: the contract is determinism, not ULP
+ * fidelity to the real function.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace ssim {
+
+/// ln(2) in Q32.
+constexpr int64_t kLn2Q32 = 2977044472ll; // round(ln(2) * 2^32)
+
+/// (a * b) >> 32 with a 128-bit intermediate (signed).
+inline int64_t
+mulQ32(int64_t a, int64_t b)
+{
+    return int64_t((__int128)a * b >> 32);
+}
+
+/**
+ * ln(x) for an integer x >= 1, in Q32. Normalizes x to m in [1, 2),
+ * then ln(m) = 2 atanh((m-1)/(m+1)) via the odd series — y <= 1/3, so
+ * five terms reach ~2e-8 relative error.
+ */
+inline int64_t
+fxLnQ32(uint64_t x)
+{
+    if (x <= 1)
+        return 0;
+    int e = 63 - __builtin_clzll(x);
+    // m in [1, 2) as Q32: shift x so its leading bit lands at bit 32.
+    uint64_t m = e >= 32 ? x >> (e - 32) : x << (32 - e);
+    int64_t mq = int64_t(m);
+    constexpr int64_t kOneQ32 = int64_t(1) << 32;
+    // y = (m - 1) / (m + 1), Q32 division with a 128-bit numerator.
+    int64_t y = int64_t(((__int128)(mq - kOneQ32) << 32) / (mq + kOneQ32));
+    int64_t y2 = mulQ32(y, y);
+    int64_t t = y, sum = y;
+    t = mulQ32(t, y2);
+    sum += t / 3;
+    t = mulQ32(t, y2);
+    sum += t / 5;
+    t = mulQ32(t, y2);
+    sum += t / 7;
+    t = mulQ32(t, y2);
+    sum += t / 9;
+    return int64_t(e) * kLn2Q32 + 2 * sum;
+}
+
+/**
+ * exp(-x) for x >= 0 (Q32 in, Q32 out; result in (0, 1]). Splits
+ * x = k ln2 + r with r in [0, ln2), computes exp(-r) by Taylor series
+ * (eight terms: worst-case tail ~2e-8), and shifts by k.
+ */
+inline uint64_t
+fxExpNegQ32(int64_t x)
+{
+    if (x <= 0)
+        return uint64_t(1) << 32;
+    uint64_t k = uint64_t(x / kLn2Q32);
+    if (k >= 63)
+        return 0; // underflows Q32 entirely
+    int64_t r = x - int64_t(k) * kLn2Q32;
+    constexpr int64_t kOneQ32 = int64_t(1) << 32;
+    // exp(-r) = sum (-r)^n / n!
+    int64_t t = -r, sum = kOneQ32 - r;
+    t = mulQ32(t, -r) / 2;
+    sum += t;
+    t = mulQ32(t, -r) / 3;
+    sum += t;
+    t = mulQ32(t, -r) / 4;
+    sum += t;
+    t = mulQ32(t, -r) / 5;
+    sum += t;
+    t = mulQ32(t, -r) / 6;
+    sum += t;
+    t = mulQ32(t, -r) / 7;
+    sum += t;
+    t = mulQ32(t, -r) / 8;
+    sum += t;
+    if (sum < 0)
+        sum = 0;
+    return uint64_t(sum) >> k;
+}
+
+/**
+ * A standard-exponential variate -ln(U) in Q32 from one 64-bit uniform
+ * draw @p u (U = (u | 1) / 2^64, avoiding ln 0):
+ * -ln(u / 2^64) = 64 ln2 - ln(u).
+ */
+inline int64_t
+fxExpVariateQ32(uint64_t u)
+{
+    return 64 * kLn2Q32 - fxLnQ32(u | 1);
+}
+
+/** Scale an integer @p mean by a Q32 factor, rounding to nearest. */
+inline uint64_t
+fxScaleU64(uint64_t mean, int64_t q32)
+{
+    if (q32 <= 0)
+        return 0;
+    return uint64_t(((__int128)mean * uint64_t(q32) +
+                     (uint64_t(1) << 31)) >> 32);
+}
+
+} // namespace ssim

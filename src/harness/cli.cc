@@ -197,8 +197,13 @@ requireKnownFlags(int argc, char** argv, const char* const* extras)
         bool known = false;
         for (const char* k : kShared)
             known = known || flag == k;
-        for (const char* const* e = extras; !known && e && *e; e++)
-            known = known || flag == *e;
+        for (const char* const* e = extras; !known && e && *e; e++) {
+            size_t len = std::strlen(*e);
+            if (len && (*e)[len - 1] == '*') // prefix entry, e.g.
+                known = flag.compare(0, len - 1, *e, len - 1) == 0;
+            else // "--benchmark_*"
+                known = flag == *e;
+        }
         if (!known)
             fatal("unrecognized flag '%s' (check the spelling; a typo'd "
                   "flag would otherwise silently measure the default "

@@ -90,7 +90,9 @@ void applyClassify(SimConfig& cfg, int argc = 0, char** argv = nullptr);
  * --json, --smoke — nor in @p extras. Benches call it first in main() so a typo
  * like `--host-thread=8` aborts the run instead of silently measuring
  * the default configuration. @p extras is a nullptr-terminated array of
- * additional accepted flag spellings (may be nullptr).
+ * additional accepted flag spellings (may be nullptr); an entry ending
+ * in '*' accepts every flag with that prefix (e.g. "--benchmark_*" for
+ * binaries that hand google-benchmark its own flags).
  */
 void requireKnownFlags(int argc, char** argv,
                        const char* const* extras = nullptr);

@@ -1,0 +1,251 @@
+#include "harness/serving.h"
+
+#include <cstdlib>
+#include <memory>
+
+#include "base/fixmath.h"
+#include "base/logging.h"
+#include "base/rng.h"
+#include "harness/classifier.h"
+#include "harness/cli.h"
+#include "swarm/classification.h"
+#include "swarm/machine.h"
+
+namespace ssim::harness {
+
+const char*
+arrivalKindName(ArrivalKind k)
+{
+    switch (k) {
+      case ArrivalKind::Poisson: return "poisson";
+      case ArrivalKind::Uniform: return "uniform";
+      case ArrivalKind::Bursty: return "bursty";
+    }
+    return "?";
+}
+
+ArrivalKind
+parseArrivalKind(const std::string& name)
+{
+    if (name == "poisson")
+        return ArrivalKind::Poisson;
+    if (name == "uniform")
+        return ArrivalKind::Uniform;
+    if (name == "bursty")
+        return ArrivalKind::Bursty;
+    fatal("unknown arrival kind '%s' (poisson|uniform|bursty)",
+          name.c_str());
+}
+
+std::vector<Cycle>
+generateArrivals(ArrivalKind kind, uint64_t requests, uint64_t mean_gap,
+                 uint64_t seed)
+{
+    ssim_assert(mean_gap >= 1, "mean inter-arrival gap must be >= 1");
+    Rng rng(seed);
+    std::vector<Cycle> out;
+    out.reserve(requests);
+    Cycle t = 0;
+    /// 16-request hot/cold phases for the bursty shape; hot gaps run at
+    /// mean/4, cold at 7*mean/4, so the overall mean stays mean_gap.
+    constexpr uint64_t kBurstLen = 16;
+    for (uint64_t i = 0; i < requests; i++) {
+        uint64_t gap;
+        switch (kind) {
+          case ArrivalKind::Uniform:
+            gap = mean_gap;
+            break;
+          case ArrivalKind::Bursty: {
+            bool hot = (i / kBurstLen) % 2 == 0;
+            uint64_t mean = hot ? mean_gap / 4 : mean_gap * 7 / 4;
+            gap = fxScaleU64(mean ? mean : 1,
+                             fxExpVariateQ32(rng.next()));
+            break;
+          }
+          default: // Poisson
+            gap = fxScaleU64(mean_gap, fxExpVariateQ32(rng.next()));
+            break;
+        }
+        t += gap ? gap : 1;
+        out.push_back(t);
+    }
+    return out;
+}
+
+// ---- LatencyRecorder -------------------------------------------------------
+
+uint32_t
+LatencyRecorder::bucketOf(uint64_t v)
+{
+    if (v < kLinearMax)
+        return uint32_t(v);
+    uint32_t e = 63 - uint32_t(__builtin_clzll(v));
+    uint32_t sub = uint32_t(v >> (e - kSubBits)) & (kSub - 1);
+    return kLinearMax + (e - kSubBits) * kSub + sub;
+}
+
+uint64_t
+LatencyRecorder::bucketUpper(uint32_t b)
+{
+    if (b < kLinearMax)
+        return b;
+    uint32_t rel = b - kLinearMax;
+    uint32_t e = kSubBits + rel / kSub;
+    uint32_t sub = rel % kSub;
+    // Top bucket's upper bound wraps to 0; the unsigned -1 saturates it.
+    return (uint64_t(kSub + sub + 1) << (e - kSubBits)) - 1;
+}
+
+void
+LatencyRecorder::record(uint64_t v)
+{
+    counts_[bucketOf(v)]++;
+    count_++;
+    if (v > max_)
+        max_ = v;
+}
+
+uint64_t
+LatencyRecorder::percentile(uint32_t permille) const
+{
+    if (!count_)
+        return 0;
+    uint64_t rank = (count_ * permille + 999) / 1000;
+    if (rank < 1)
+        rank = 1;
+    if (rank > count_)
+        rank = count_;
+    uint64_t cum = 0;
+    for (uint32_t b = 0; b < kNumBuckets; b++) {
+        cum += counts_[b];
+        if (cum >= rank) {
+            uint64_t u = bucketUpper(b);
+            return u < max_ ? u : max_;
+        }
+    }
+    return max_;
+}
+
+uint64_t
+LatencyRecorder::digest() const
+{
+    uint64_t h = fnv1aU64(count_, kFnvBasis);
+    for (uint32_t b = 0; b < kNumBuckets; b++)
+        if (counts_[b]) {
+            h = fnv1aU64(b, h);
+            h = fnv1aU64(counts_[b], h);
+        }
+    return h;
+}
+
+// ---- serveOnce -------------------------------------------------------------
+
+namespace {
+
+/// Commit tap: attributes every committed task to the request owning
+/// its timestamp range and keeps the LAST commit cycle seen per request
+/// — commits are driven in global timestamp order at deterministic
+/// cycles, so the final value is the request's completion cycle.
+class ServeTap : public AccessProfiler
+{
+  public:
+    ServeTap(Machine& m, uint64_t span, std::vector<Cycle>& completion)
+        : m_(m), span_(span), completion_(completion)
+    {
+    }
+
+    void
+    onCommit(const Task& t) override
+    {
+        if (t.ts < span_)
+            return; // below every request's range (no owner)
+        uint64_t req = t.ts / span_ - 1;
+        if (req < completion_.size())
+            completion_[req] = m_.now();
+    }
+
+  private:
+    Machine& m_;
+    uint64_t span_;
+    std::vector<Cycle>& completion_;
+};
+
+} // namespace
+
+ServingResult
+serveOnce(apps::App& app, const SimConfig& cfg, const ServingConfig& scfg)
+{
+    app.reset();
+    SimConfig hostCfg = cfg;
+    // Same env-only override pass as runOnce (harness/cli.h).
+    applyHostThreads(hostCfg);
+    applyBackend(hostCfg);
+    applyConcConflicts(hostCfg);
+    applyParallelReplay(hostCfg);
+    applyClassify(hostCfg);
+    if (hostCfg.classifyMode == "profile" && !hostCfg.classifyMap) {
+        // Profile-guided classification: the pre-run profiles a
+        // closed-loop run of the same workload (identical footprint,
+        // identical timestamp order — arrivals only shift cycles).
+        SimConfig profCfg = hostCfg;
+        profCfg.classifyMode = "off";
+        AccessClassifier cls;
+        Machine pm(profCfg);
+        pm.setProfiler(&cls);
+        app.enqueueInitial(pm);
+        pm.run();
+        hostCfg.classifyMap = std::make_shared<ClassificationMap>(
+            cls.buildMap(app.reductionRanges()));
+        app.reset();
+    }
+
+    const apps::App::ServingProfile prof = app.servingProfile();
+    ssim_assert(prof.requests > 0 && prof.tsSpan > 0,
+                "app '%s' is not servable", app.name().c_str());
+    std::vector<Cycle> arrivals = generateArrivals(
+        scfg.arrivals, prof.requests, scfg.meanGapCycles, scfg.seed);
+
+    Machine m(hostCfg);
+    std::vector<Cycle> completion(prof.requests, 0);
+    ServeTap tap(m, prof.tsSpan, completion);
+    m.setProfiler(&tap);
+
+    // One global-lane event per request at its arrival cycle; the
+    // capture (machine, app, index) fits the event's inline buffer.
+    Machine* mp = &m;
+    apps::App* ap = &app;
+    for (uint64_t i = 0; i < prof.requests; i++)
+        m.scheduleAt(arrivals[i],
+                     [mp, ap, i] { ap->injectRequest(*mp, i); });
+    m.run();
+
+    ServingResult r;
+    r.requests = prof.requests;
+    r.cycles = m.stats().cycles;
+    r.lastArrival = arrivals.back();
+    for (uint64_t i = 0; i < prof.requests; i++) {
+        ssim_assert(completion[i] >= arrivals[i],
+                    "request %llu never completed",
+                    (unsigned long long)i);
+        uint64_t lat = completion[i] - arrivals[i];
+        r.latency.record(lat);
+        if (scfg.deadlineCycles && lat > scfg.deadlineCycles)
+            r.deadlineMisses++;
+    }
+    r.p50 = r.latency.percentile(500);
+    r.p99 = r.latency.percentile(990);
+    r.p999 = r.latency.percentile(999);
+    r.arrivalDigest =
+        fnv1a(arrivals.data(), arrivals.size() * sizeof(Cycle));
+    r.traceDigest =
+        fnv1a(completion.data(), completion.size() * sizeof(Cycle));
+    r.valid = app.validate();
+    r.resultDigest = app.resultDigest();
+    r.stats = m.stats();
+    if (!r.valid)
+        warn("%s failed validation under serving arrivals",
+             app.name().c_str());
+    return r;
+}
+
+} // namespace ssim::harness

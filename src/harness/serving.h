@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Open-system serving harness (docs/serving.md): an open-loop request
+ * stream driven into a long-running Machine.
+ *
+ * Closed-loop benches enqueue the whole workload up front and measure
+ * makespan; a serving system instead sees requests ARRIVE over time,
+ * and the interesting numbers are tail latency and sustainable
+ * throughput under a given offered load. serveOnce() pre-schedules one
+ * global-lane event per request at its seeded arrival cycle; each event
+ * injects the request's root task mid-run (Machine::injectRoot), so the
+ * machine runs open-loop — arrivals never wait for earlier requests
+ * (no coordinated omission).
+ *
+ * Determinism contract: arrival cycles come from a seeded generator
+ * built on integer fixed-point math (base/fixmath.h — no libm), and
+ * injection events run on the coordinator in exact (cycle, seq) order,
+ * so the request trace, the latency histogram, and the app's result
+ * digest are bit-identical at any cfg.hostThreads. The app result
+ * digest is additionally backend-independent (timestamp order fixes the
+ * semantics); latencies are measured in simulated cycles, so the
+ * histogram is a per-backend golden.
+ */
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/app.h"
+#include "base/stats.h"
+#include "sim/config.h"
+
+namespace ssim::harness {
+
+/** Arrival-process shapes for the open-loop driver. */
+enum class ArrivalKind : uint8_t { Poisson, Uniform, Bursty };
+
+const char* arrivalKindName(ArrivalKind k);
+
+/** Parse "poisson" | "uniform" | "bursty"; fatals on anything else. */
+ArrivalKind parseArrivalKind(const std::string& name);
+
+/**
+ * Seeded arrival cycles for @p requests requests with mean inter-arrival
+ * gap @p mean_gap (cycles):
+ *  - Poisson: exponential gaps, -ln(U) * mean (fixed-point, min 1);
+ *  - Uniform: a fixed gap of exactly mean_gap;
+ *  - Bursty:  alternating 16-request phases of hot (mean/4) and cold
+ *             (7*mean/4) exponential gaps — same overall mean, heavier
+ *             queueing transients.
+ * Strictly increasing (every gap >= 1 cycle), first arrival > 0.
+ */
+std::vector<Cycle> generateArrivals(ArrivalKind kind, uint64_t requests,
+                                    uint64_t mean_gap, uint64_t seed);
+
+/**
+ * A fixed-bucket log-scale latency histogram with deterministic
+ * percentiles. Values below 64 get exact buckets; above, each
+ * power-of-two octave splits into 64 log-spaced sub-buckets, so any
+ * recorded value maps to a bucket whose upper bound is within ~1.6% of
+ * it. Percentiles return the bucket's (deterministic) upper-bound
+ * representative — bit-reproducible across host thread counts, unlike
+ * anything interpolated from floating-point state. The digest hashes
+ * the raw bucket counts and is the serving tests' thread-invariance
+ * gate.
+ */
+class LatencyRecorder
+{
+  public:
+    static constexpr uint32_t kLinearMax = 64; ///< exact below this
+    static constexpr uint32_t kSubBits = 6;    ///< sub-buckets/octave
+    static constexpr uint32_t kSub = 1u << kSubBits;
+    static constexpr uint32_t kNumBuckets = kLinearMax + (64 - 6) * kSub;
+
+    void record(uint64_t v);
+
+    uint64_t count() const { return count_; }
+    uint64_t maxValue() const { return max_; }
+
+    /**
+     * Nearest-rank percentile at @p permille (500 = p50, 990 = p99,
+     * 999 = p999), as the holding bucket's upper-bound representative.
+     * 0 if nothing was recorded.
+     */
+    uint64_t percentile(uint32_t permille) const;
+
+    /** FNV-1a over the occupied (bucket, count) pairs. */
+    uint64_t digest() const;
+
+  private:
+    static uint32_t bucketOf(uint64_t v);
+    static uint64_t bucketUpper(uint32_t b);
+
+    std::array<uint64_t, kNumBuckets> counts_{};
+    uint64_t count_ = 0;
+    uint64_t max_ = 0;
+};
+
+/** Serving-run knobs (the SimConfig stays the machine's own shape). */
+struct ServingConfig
+{
+    ArrivalKind arrivals = ArrivalKind::Poisson;
+    /// Mean inter-arrival gap in simulated cycles — the offered-load
+    /// knob. micro_serve's --target-qps=N sets it to 1e6 / N (N =
+    /// requests per million cycles).
+    uint64_t meanGapCycles = 500;
+    /// Per-request completion deadline, cycles after arrival (0 = none).
+    uint64_t deadlineCycles = 0;
+    /// Seed for the arrival-stream generator (independent of the app's
+    /// workload seed).
+    uint64_t seed = 1;
+};
+
+struct ServingResult
+{
+    uint64_t requests = 0;
+    uint64_t deadlineMisses = 0;
+    Cycle cycles = 0;       ///< makespan (last commit cycle)
+    Cycle lastArrival = 0;  ///< cycle of the final request's arrival
+    uint64_t p50 = 0, p99 = 0, p999 = 0;
+    LatencyRecorder latency;
+    uint64_t arrivalDigest = 0; ///< over the arrival-cycle trace
+    uint64_t traceDigest = 0;   ///< over per-request completion cycles
+    uint64_t resultDigest = 0;  ///< the app's result digest
+    bool valid = false;
+    SimStats stats;
+
+    /** Achieved throughput, requests per million cycles. */
+    double qpmc() const
+    {
+        return cycles ? 1e6 * double(requests) / double(cycles) : 0;
+    }
+};
+
+/**
+ * Run @p app as a serving tenant: reset it, generate the seeded arrival
+ * stream, schedule one injection event per request, run the machine,
+ * and account per-request latency (completion = the last commit cycle
+ * of any task in the request's timestamp range) against the arrival.
+ * Applies the same SWARMSIM_* env overrides as runOnce, including the
+ * profile-guided classification pre-run (which profiles a closed-loop
+ * run of the same workload).
+ */
+ServingResult serveOnce(apps::App& app, const SimConfig& cfg,
+                        const ServingConfig& scfg);
+
+} // namespace ssim::harness

@@ -27,9 +27,25 @@ CommitController::CommitController(const SimConfig& cfg, EventQueue& eq,
 void
 CommitController::start()
 {
+    gvtScheduled_ = true;
     eq_.schedule(cfg_.gvtEpoch, [this] { gvtEpoch(); });
-    if (lb_)
+    if (lb_) {
+        lbScheduled_ = true;
         eq_.schedule(cfg_.lbEpoch, [this] { lbEpoch(); });
+    }
+}
+
+void
+CommitController::ensureEpochsScheduled()
+{
+    if (!gvtScheduled_) {
+        gvtScheduled_ = true;
+        eq_.scheduleAfter(cfg_.gvtEpoch, [this] { gvtEpoch(); });
+    }
+    if (lb_ && !lbScheduled_) {
+        lbScheduled_ = true;
+        eq_.scheduleAfter(cfg_.lbEpoch, [this] { lbEpoch(); });
+    }
 }
 
 std::optional<std::pair<Timestamp, uint64_t>>
@@ -61,6 +77,7 @@ CommitController::tileLaneLowerBound() const
 void
 CommitController::gvtEpoch()
 {
+    gvtScheduled_ = false;
     gvtEpochsRun_++;
     static const bool trace = []() {
         const char* e = std::getenv("SWARMSIM_TRACE");
@@ -148,8 +165,10 @@ CommitController::gvtEpoch()
         engine_.scheduleDispatch(tile);
     }
 
-    if (engine_.tasksLive() > 0)
+    if (engine_.tasksLive() > 0) {
+        gvtScheduled_ = true;
         eq_.scheduleAfter(cfg_.gvtEpoch, [this] { gvtEpoch(); });
+    }
 }
 
 void
@@ -224,6 +243,7 @@ CommitController::lbEpoch()
 {
     if (!lb_)
         return;
+    lbScheduled_ = false;
     std::vector<uint64_t> idlePerTile(cfg_.ntiles, 0);
     for (TileId t = 0; t < cfg_.ntiles; t++) {
         const TaskUnit& unit = engine_.unit(t);
@@ -236,8 +256,10 @@ CommitController::lbEpoch()
     // Counter collection + tile map broadcast traffic.
     mesh_.injectRaw(3 * cfg_.ntiles * cfg_.gvtFlits, TrafficClass::Gvt);
 
-    if (engine_.tasksLive() > 0)
+    if (engine_.tasksLive() > 0) {
+        lbScheduled_ = true;
         eq_.scheduleAfter(cfg_.lbEpoch, [this] { lbEpoch(); });
+    }
 }
 
 } // namespace ssim

@@ -59,6 +59,17 @@ class CommitController
     /** Schedule the first GVT (and, with a load balancer, LB) epochs. */
     void start();
 
+    /**
+     * Re-arm any epoch chain that ended because the machine drained.
+     * gvtEpoch/lbEpoch stop rescheduling themselves once tasksLive()
+     * hits zero; a root task injected mid-run after that quiescence
+     * (Machine::injectRoot — the serving driver's arrival path) would
+     * then never commit. Called from the injection path, which runs on
+     * the coordinator inside a global-lane event, so the re-scheduled
+     * epochs get deterministic (cycle, seq) slots.
+     */
+    void ensureEpochsScheduled();
+
     /** Enable access-trace profiling of committed tasks. */
     void setProfiler(AccessProfiler* p) { profiler_ = p; }
     AccessProfiler* profiler() const { return profiler_; }
@@ -107,6 +118,11 @@ class CommitController
     uint64_t traceEpochs_ = 0;
     uint64_t gvtEpochsRun_ = 0;
     Cycle lastCommitCycle_ = 0;
+    /// True while a gvtEpoch/lbEpoch event is pending: start() and the
+    /// self-reschedules set these, the epoch bodies clear them, and
+    /// ensureEpochsScheduled() re-arms whichever chain has stopped.
+    bool gvtScheduled_ = false;
+    bool lbScheduled_ = false;
 };
 
 } // namespace ssim

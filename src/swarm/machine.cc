@@ -104,6 +104,18 @@ Machine::enqueueInitialRaw(swarm::TaskFn fn, Timestamp ts, swarm::Hint hint,
     engine_->enqueueInitial(fn, ts, hint, args, n);
 }
 
+void
+Machine::injectRootRaw(swarm::TaskFn fn, Timestamp ts, swarm::Hint hint,
+                       const std::array<uint64_t, 3>& args, uint8_t n)
+{
+    ssim_assert(running_, "injectRoot is a mid-run entry point "
+                          "(use enqueueInitial before run())");
+    engine_->enqueueInitial(fn, ts, hint, args, n);
+    // The machine may have drained between arrivals, ending the GVT/LB
+    // epoch chains; re-arm them so the injected task can commit.
+    commit_->ensureEpochsScheduled();
+}
+
 // ---- Run loop ----------------------------------------------------------------
 
 void

@@ -70,6 +70,33 @@ class Machine
     void enqueueInitialRaw(swarm::TaskFn fn, Timestamp ts, swarm::Hint hint,
                            const std::array<uint64_t, 3>& args, uint8_t n);
 
+    /**
+     * Schedule a host callback at absolute cycle @p when on the global
+     * control lane (must be called before run(); events land between
+     * run()'s simulated events in deterministic (cycle, seq) order).
+     * The serving driver (harness/serving.h) pre-schedules one such
+     * event per request arrival, each of which calls injectRoot.
+     */
+    void scheduleAt(Cycle when, EventQueue::Callback cb)
+    {
+        eq_.schedule(when, std::move(cb));
+    }
+
+    /** Inject a root task MID-RUN (from a scheduleAt callback). */
+    template <typename... Args>
+    void
+    injectRoot(swarm::TaskFn fn, Timestamp ts, swarm::Hint hint,
+               Args... args)
+    {
+        static_assert(sizeof...(Args) <= 3);
+        std::array<uint64_t, 3> a{};
+        uint8_t n = 0;
+        ((a[n++] = toU64(args)), ...);
+        injectRootRaw(fn, ts, hint, a, n);
+    }
+    void injectRootRaw(swarm::TaskFn fn, Timestamp ts, swarm::Hint hint,
+                       const std::array<uint64_t, 3>& args, uint8_t n);
+
     /** Enable access-trace profiling for the classifier. */
     void setProfiler(AccessProfiler* p) { commit_->setProfiler(p); }
 

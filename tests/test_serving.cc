@@ -1,0 +1,421 @@
+/**
+ * @file
+ * Serving-harness tests (harness/serving.h, docs/serving.md):
+ *
+ *  - LatencyRecorder percentiles against a sorted-vector reference
+ *    (exact below the linear range, within one log-bucket above it).
+ *  - Property tests for the seeded generators: Zipfian weights
+ *    (reproducibility, rank-frequency monotonicity, s = 0 uniform
+ *    degeneration) and arrival streams (strictly increasing, mean
+ *    inter-arrival near the configured mean).
+ *  - The determinism lattice: one serving run's arrival trace,
+ *    completion trace, latency histogram, and app result digest are
+ *    bit-identical across host thread counts; the result digest also
+ *    across engine backends.
+ *  - Deadline-miss accounting.
+ *  - Pinned golden result digests for the two serving-era apps
+ *    (kvstore, pagerank) — value-based digests over pure integer math,
+ *    so they are address- and platform-independent. Set
+ *    SSIM_PRINT_DIGESTS=1 to print current values when updating.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "apps/app.h"
+#include "apps/kvstore/zipf.h"
+#include "base/rng.h"
+#include "harness/classifier.h"
+#include "harness/serving.h"
+#include "swarm/classification.h"
+
+using namespace ssim;
+using namespace ssim::harness;
+
+// ---- LatencyRecorder -------------------------------------------------------
+
+namespace {
+
+/// Nearest-rank percentile on the raw samples (the reference).
+uint64_t
+refPercentile(std::vector<uint64_t> v, uint32_t permille)
+{
+    std::sort(v.begin(), v.end());
+    uint64_t rank = (v.size() * permille + 999) / 1000;
+    if (rank < 1)
+        rank = 1;
+    return v[rank - 1];
+}
+
+} // namespace
+
+TEST(ServingLatency, ExactPercentilesBelowLinearRange)
+{
+    LatencyRecorder rec;
+    std::vector<uint64_t> samples;
+    Rng rng(7);
+    for (int i = 0; i < 1000; i++) {
+        uint64_t v = rng.next() % 64;
+        rec.record(v);
+        samples.push_back(v);
+    }
+    for (uint32_t pm : {100u, 500u, 900u, 990u, 999u})
+        EXPECT_EQ(rec.percentile(pm), refPercentile(samples, pm)) << pm;
+    EXPECT_EQ(rec.count(), 1000u);
+}
+
+TEST(ServingLatency, LogBucketsTrackReferenceWithinTolerance)
+{
+    LatencyRecorder rec;
+    std::vector<uint64_t> samples;
+    Rng rng(11);
+    for (int i = 0; i < 5000; i++) {
+        // Log-uniform over ~6 decades, the shape of a latency tail.
+        uint64_t v = (rng.next() % 1000 + 1) << (rng.next() % 20);
+        rec.record(v);
+        samples.push_back(v);
+    }
+    for (uint32_t pm : {500u, 990u, 999u}) {
+        uint64_t got = rec.percentile(pm);
+        uint64_t ref = refPercentile(samples, pm);
+        // The bucket's upper bound is >= the sample and within one
+        // sub-bucket width (1/64 of an octave, < 1.6%) above it.
+        EXPECT_GE(got, ref) << pm;
+        EXPECT_LE(got, ref + ref / 32) << pm;
+    }
+    EXPECT_EQ(rec.percentile(1000), rec.maxValue());
+}
+
+TEST(ServingLatency, DigestReflectsBucketCountsOnly)
+{
+    LatencyRecorder a, b, c;
+    for (uint64_t v : {3u, 700u, 700u, 1u << 20})
+        a.record(v);
+    for (uint64_t v : {700u, 1u << 20, 3u, 700u}) // order-invariant
+        b.record(v);
+    for (uint64_t v : {3u, 700u, 701u, 1u << 20}) // 701: same bucket
+        c.record(v);
+    EXPECT_EQ(a.digest(), b.digest());
+    EXPECT_EQ(a.digest(), c.digest());
+    a.record(5);
+    EXPECT_NE(a.digest(), b.digest());
+}
+
+// ---- Zipfian generator -----------------------------------------------------
+
+TEST(ServingZipf, SeededSamplingIsReproducible)
+{
+    apps::ZipfGenerator z(1024, int64_t(0.99 * (1ll << 32)));
+    Rng r1(42), r2(42);
+    for (int i = 0; i < 2000; i++) {
+        uint64_t u = r1.next();
+        EXPECT_EQ(r2.next(), u);
+        uint32_t k = z.sample(u);
+        EXPECT_EQ(z.sample(u), k);
+        EXPECT_LT(k, 1024u);
+    }
+}
+
+TEST(ServingZipf, WeightsAreRankMonotone)
+{
+    apps::ZipfGenerator z(4096, int64_t(0.99 * (1ll << 32)));
+    for (uint32_t j = 1; j < z.n(); j++)
+        EXPECT_LE(z.weightQ32(j), z.weightQ32(j - 1)) << j;
+    // Heavy head: rank 1 outweighs rank 100 by ~100^0.99.
+    EXPECT_GT(z.weightQ32(0), 50 * z.weightQ32(99));
+}
+
+TEST(ServingZipf, ZeroSkewDegeneratesToUniform)
+{
+    apps::ZipfGenerator z(256, 0);
+    for (uint32_t j = 0; j < z.n(); j++)
+        EXPECT_EQ(z.weightQ32(j), uint64_t(1) << 32) << j;
+    // Scaled-multiply sampling then maps draws uniformly: key k needs
+    // u in [k/n, (k+1)/n) of the 64-bit space.
+    EXPECT_EQ(z.sample(0), 0u);
+    EXPECT_EQ(z.sample(~uint64_t(0)), 255u);
+    EXPECT_EQ(z.sample(uint64_t(1) << 63), 128u);
+}
+
+TEST(ServingZipf, SkewConcentratesMassOnHotKeys)
+{
+    apps::ZipfGenerator z(1024, int64_t(0.99 * (1ll << 32)));
+    Rng rng(3);
+    uint64_t hot = 0, total = 20000;
+    for (uint64_t i = 0; i < total; i++)
+        if (z.sample(rng.next()) < 16)
+            hot++;
+    // s=0.99 over 1024 keys puts roughly half the mass on the top 16;
+    // uniform would put 16/1024 = 1.6% there.
+    EXPECT_GT(hot, total / 4);
+    EXPECT_LT(hot, total * 3 / 4);
+}
+
+// ---- Arrival streams -------------------------------------------------------
+
+TEST(ServingArrivals, StrictlyIncreasingAndSeedDeterministic)
+{
+    for (auto kind : {ArrivalKind::Poisson, ArrivalKind::Uniform,
+                      ArrivalKind::Bursty}) {
+        auto a = generateArrivals(kind, 500, 300, 9);
+        auto b = generateArrivals(kind, 500, 300, 9);
+        EXPECT_EQ(a, b) << arrivalKindName(kind);
+        for (size_t i = 1; i < a.size(); i++)
+            EXPECT_GT(a[i], a[i - 1]) << arrivalKindName(kind);
+        EXPECT_GT(a[0], 0u);
+        if (kind != ArrivalKind::Uniform)
+            EXPECT_NE(a, generateArrivals(kind, 500, 300, 10))
+                << arrivalKindName(kind);
+    }
+}
+
+TEST(ServingArrivals, MeanInterArrivalNearConfiguredMean)
+{
+    constexpr uint64_t kMean = 400, kReqs = 20000;
+    for (auto kind : {ArrivalKind::Poisson, ArrivalKind::Uniform,
+                      ArrivalKind::Bursty}) {
+        auto a = generateArrivals(kind, kReqs, kMean, 17);
+        uint64_t meanGap = a.back() / kReqs;
+        // Exponential gaps at this sample size land within ~5%.
+        EXPECT_GT(meanGap, kMean - kMean / 10) << arrivalKindName(kind);
+        EXPECT_LT(meanGap, kMean + kMean / 10) << arrivalKindName(kind);
+    }
+}
+
+TEST(ServingArrivals, BurstyAlternatesHotAndColdPhases)
+{
+    auto a = generateArrivals(ArrivalKind::Bursty, 320, 1000, 5);
+    // Average gap inside the first (hot) 16-request phase should be
+    // well below the first cold phase's.
+    uint64_t hotSpan = a[15] - a[0];
+    uint64_t coldSpan = a[31] - a[16];
+    EXPECT_LT(hotSpan * 2, coldSpan);
+}
+
+// ---- End-to-end serving determinism ----------------------------------------
+
+namespace {
+
+ServingResult
+serve(apps::App& app, const char* backend, uint32_t threads,
+      const ServingConfig& scfg)
+{
+    SimConfig cfg = SimConfig::withCores(16, SchedulerType::Hints, 42);
+    cfg.engineBackend = backend;
+    cfg.hostThreads = threads;
+    return serveOnce(app, cfg, scfg);
+}
+
+} // namespace
+
+TEST(Serving, TraceHistogramAndResultsAreHostThreadInvariant)
+{
+    for (const char* name : {"silo", "kvstore"}) {
+        auto app = apps::makeApp(name);
+        apps::AppParams p;
+        p.preset = apps::Preset::Tiny;
+        app->setup(p);
+        ServingConfig scfg; // poisson, mean gap 500, seed 1
+
+        for (const char* backend : {"timing", "functional"}) {
+            ServingResult ref = serve(*app, backend, 1, scfg);
+            EXPECT_TRUE(ref.valid) << name << "/" << backend;
+            EXPECT_EQ(ref.latency.count(), ref.requests);
+            for (uint32_t threads : {2u, 8u}) {
+                ServingResult r = serve(*app, backend, threads, scfg);
+                EXPECT_EQ(r.arrivalDigest, ref.arrivalDigest)
+                    << name << "/" << backend << " t" << threads;
+                EXPECT_EQ(r.traceDigest, ref.traceDigest)
+                    << name << "/" << backend << " t" << threads;
+                EXPECT_EQ(r.latency.digest(), ref.latency.digest())
+                    << name << "/" << backend << " t" << threads;
+                EXPECT_EQ(r.resultDigest, ref.resultDigest)
+                    << name << "/" << backend << " t" << threads;
+                EXPECT_EQ(r.cycles, ref.cycles)
+                    << name << "/" << backend << " t" << threads;
+                EXPECT_TRUE(r.valid) << name << "/" << backend;
+            }
+        }
+    }
+}
+
+TEST(Serving, ResultDigestMatchesClosedLoopAndBothBackends)
+{
+    for (const char* name : {"silo", "kvstore"}) {
+        auto app = apps::makeApp(name);
+        apps::AppParams p;
+        p.preset = apps::Preset::Tiny;
+        app->setup(p);
+
+        // Closed-loop reference run.
+        app->reset();
+        SimConfig cfg = SimConfig::withCores(16, SchedulerType::Hints, 42);
+        Machine m(cfg);
+        app->enqueueInitial(m);
+        m.run();
+        ASSERT_TRUE(app->validate()) << name;
+        uint64_t closed = app->resultDigest();
+
+        ServingConfig scfg;
+        EXPECT_EQ(serve(*app, "timing", 1, scfg).resultDigest, closed)
+            << name << ": serving changed the computed results";
+        EXPECT_EQ(serve(*app, "functional", 1, scfg).resultDigest, closed)
+            << name;
+    }
+}
+
+TEST(Serving, ArrivalShapesAndSeedsChangeTimingNotResults)
+{
+    auto app = apps::makeApp("kvstore");
+    apps::AppParams p;
+    p.preset = apps::Preset::Tiny;
+    app->setup(p);
+
+    ServingConfig base;
+    ServingResult ref = serve(*app, "timing", 1, base);
+
+    ServingConfig burst = base;
+    burst.arrivals = ArrivalKind::Bursty;
+    ServingResult b = serve(*app, "timing", 1, burst);
+    EXPECT_NE(b.arrivalDigest, ref.arrivalDigest);
+    EXPECT_EQ(b.resultDigest, ref.resultDigest);
+
+    ServingConfig reseeded = base;
+    reseeded.seed = 99;
+    ServingResult s = serve(*app, "timing", 1, reseeded);
+    EXPECT_NE(s.arrivalDigest, ref.arrivalDigest);
+    EXPECT_EQ(s.resultDigest, ref.resultDigest);
+}
+
+TEST(Serving, DeadlineMissAccounting)
+{
+    auto app = apps::makeApp("kvstore");
+    apps::AppParams p;
+    p.preset = apps::Preset::Tiny;
+    app->setup(p);
+
+    ServingConfig scfg;
+    scfg.deadlineCycles = 1; // nothing completes in one cycle
+    ServingResult all = serve(*app, "timing", 1, scfg);
+    EXPECT_EQ(all.deadlineMisses, all.requests);
+
+    scfg.deadlineCycles = 0; // disabled
+    EXPECT_EQ(serve(*app, "timing", 1, scfg).deadlineMisses, 0u);
+
+    scfg.deadlineCycles = all.latency.maxValue(); // everything makes it
+    EXPECT_EQ(serve(*app, "timing", 1, scfg).deadlineMisses, 0u);
+
+    scfg.deadlineCycles = all.p50; // the tail misses, the median makes it
+    ServingResult half = serve(*app, "timing", 1, scfg);
+    EXPECT_GT(half.deadlineMisses, 0u);
+    EXPECT_LE(half.deadlineMisses, half.requests / 2);
+}
+
+// ---- The full invariance grid for the serving-era apps ---------------------
+
+// kvstore and pagerank join the all-goldens lattice: backends ×
+// hostThreads {1, 2, 8} × conc-conflicts × parallel-replay × classify.
+// Every cell must validate against the host oracle (memcmp) and produce
+// the same result digest as the serial timing run with everything off.
+TEST(Serving, NewAppsPassFullInvarianceGrid)
+{
+    for (const char* name : {"kvstore", "pagerank"}) {
+        auto app = apps::makeApp(name);
+        apps::AppParams p;
+        p.preset = apps::Preset::Tiny;
+        p.seed = 42;
+        app->setup(p);
+
+        auto runCell = [&](const char* backend, uint32_t threads,
+                           bool conc, bool replay,
+                           std::shared_ptr<ClassificationMap> map) {
+            app->reset();
+            SimConfig cfg =
+                SimConfig::withCores(16, SchedulerType::Hints, 42);
+            cfg.engineBackend = backend;
+            cfg.hostThreads = threads;
+            cfg.concurrentConflicts = conc;
+            cfg.parallelReplay = replay;
+            if (map) {
+                cfg.classifyMode = "profile";
+                cfg.classifyMap = map;
+            }
+            Machine m(cfg);
+            app->enqueueInitial(m);
+            m.run();
+            EXPECT_TRUE(app->validate())
+                << name << "/" << backend << " t" << threads
+                << (conc ? " conc" : "") << (replay ? " replay" : "")
+                << (map ? " classify" : "");
+            return app->resultDigest();
+        };
+
+        // Profile once (serial timing, classification off) to build the
+        // map every classified cell consumes.
+        harness::AccessClassifier cls;
+        app->reset();
+        SimConfig profCfg =
+            SimConfig::withCores(16, SchedulerType::Hints, 42);
+        Machine pm(profCfg);
+        pm.setProfiler(&cls);
+        app->enqueueInitial(pm);
+        pm.run();
+        ASSERT_TRUE(app->validate()) << name;
+        uint64_t ref = app->resultDigest();
+        auto map = std::make_shared<ClassificationMap>(
+            cls.buildMap(app->reductionRanges()));
+
+        for (const char* backend : {"timing", "functional"})
+            for (uint32_t threads : {1u, 2u, 8u})
+                for (bool conc : {false, true})
+                    for (bool replay : {false, true})
+                        for (bool classify : {false, true})
+                            EXPECT_EQ(runCell(backend, threads, conc,
+                                              replay,
+                                              classify ? map : nullptr),
+                                      ref)
+                                << name << "/" << backend << " t"
+                                << threads << " conc=" << conc
+                                << " replay=" << replay
+                                << " classify=" << classify;
+    }
+}
+
+// ---- Golden result digests for the serving-era apps ------------------------
+
+TEST(Serving, GoldenResultDigests)
+{
+    // Value-based digests (no addresses), pure integer math: stable
+    // across platforms, schedulers, backends, and host threads. These
+    // pin the WORKLOAD SEMANTICS — a change here means the generated
+    // ops/graph or the computation itself changed, not the simulator.
+    struct Golden
+    {
+        const char* app;
+        uint64_t digest;
+    };
+    const Golden kGoldens[] = {
+        {"kvstore", 0xa27ff421aa3fc942ull},
+        {"pagerank", 0x568daa22e6296b37ull},
+    };
+    for (const Golden& g : kGoldens) {
+        auto app = apps::makeApp(g.app);
+        apps::AppParams p;
+        p.preset = apps::Preset::Tiny;
+        p.seed = 42;
+        app->setup(p);
+        app->reset();
+        SimConfig cfg = SimConfig::withCores(16, SchedulerType::Hints, 42);
+        Machine m(cfg);
+        app->enqueueInitial(m);
+        m.run();
+        ASSERT_TRUE(app->validate()) << g.app;
+        uint64_t d = app->resultDigest();
+        if (getenv("SSIM_PRINT_DIGESTS"))
+            printf("golden %s: 0x%016llxull\n", g.app,
+                   (unsigned long long)d);
+        EXPECT_EQ(d, g.digest) << g.app;
+    }
+}
