@@ -2,6 +2,11 @@
  * @file
  * Figure 4: speedup of the Random, Stealing, and Hints schedulers on all
  * nine applications across the core sweep, relative to 1 core.
+ *
+ * With --backend=trace-replay, each (app, scheduler) series records the
+ * timing model once at the first core count and replays the captured
+ * trace across the rest of the sweep; harness::sweep hard-checks every
+ * replayed point's result digest against the recording run's.
  */
 #include "bench_common.h"
 

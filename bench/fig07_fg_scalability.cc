@@ -3,6 +3,12 @@
  * Figure 7: speedup of fine-grain (FG) vs coarse-grain (CG) versions of
  * bfs, sssp, astar, color under the three schedulers, all relative to
  * the CG version at 1 core.
+ *
+ * With --backend=trace-replay, each (app, grain, scheduler) series
+ * records the timing model once at the first core count and replays the
+ * captured trace across the rest of the sweep; harness::sweep
+ * hard-checks every replayed point's result digest against the
+ * recording run's.
  */
 #include "bench_common.h"
 

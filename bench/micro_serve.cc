@@ -11,9 +11,11 @@
  *  - per backend, the latency histogram digest, the per-request
  *    completion trace digest, and the app result digest are
  *    bit-identical at host threads {1, 2, 8};
- *  - the app result digest also matches across the timing and
- *    functional backends (latency histograms are per-backend: the two
- *    cost models measure different cycle domains).
+ *  - the app result digest also matches across the timing, functional,
+ *    and trace-replay backends (latency histograms are per-backend:
+ *    the cost models measure different cycle domains). The trace-replay
+ *    lane records once per app and replays across the whole thread
+ *    grid, exercising mid-run injection + epoch re-arming under replay.
  *
  * Flags: --smoke (tiny preset), --app=name, --backend=name,
  * --arrivals=poisson|uniform|bursty, --target-qps=N (offered load,
@@ -31,6 +33,7 @@
 #include "base/logging.h"
 #include "harness/cli.h"
 #include "harness/report.h"
+#include "harness/runner.h"
 #include "harness/serving.h"
 
 namespace {
@@ -80,8 +83,10 @@ main(int argc, char** argv)
     const char* only = harness::flagValue(argc, argv, "--app");
     const char* onlyBackend = harness::flagValue(argc, argv, "--backend");
     std::vector<std::string> backends =
-        onlyBackend ? std::vector<std::string>{onlyBackend}
-                    : std::vector<std::string>{"timing", "functional"};
+        onlyBackend
+            ? std::vector<std::string>{onlyBackend}
+            : std::vector<std::string>{"timing", "functional",
+                                       "trace-replay"};
     std::vector<uint32_t> threads = {1, 2, 8};
     if (const char* t = harness::flagValue(argc, argv, "--host-threads"))
         threads = {harness::parsePositiveInt("--host-threads", t)};
@@ -117,12 +122,23 @@ main(int argc, char** argv)
         uint64_t crossBackendDigest = 0;
         bool haveCross = false;
         for (const auto& backend : backends) {
+            // One record pre-run per (app, backend=trace-replay): the
+            // whole thread grid replays the same captured trace — the
+            // invariance gate below covers serveOnce's re-armed epoch
+            // path under trace-replay injection with no per-thread
+            // timing re-runs.
+            SimConfig base =
+                SimConfig::withCores(64, SchedulerType::Hints, 42);
+            base.engineBackend = backend;
+            harness::prepareTraceReplay(*app, base);
+
             uint64_t refLat = 0, refTrace = 0, refResult = 0;
             bool haveRef = false;
             for (uint32_t thr : threads) {
                 SimConfig cfg =
                     SimConfig::withCores(64, SchedulerType::Hints, 42);
                 cfg.engineBackend = backend;
+                cfg.traceData = base.traceData;
                 cfg.hostThreads = thr;
                 harness::applyConcConflicts(cfg, argc, argv);
                 harness::applyParallelReplay(cfg, argc, argv);

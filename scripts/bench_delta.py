@@ -18,7 +18,12 @@ compares such artifacts against the committed snapshots in
   jitter from address-dependent cache indexing and hint hashes — the
   generous default thresholds absorb the common case, and a baseline
   whose workload is unusually address-sensitive can widen its own bands
-  via ``meta.delta_warn_pct`` / ``meta.delta_fail_pct``.
+  via ``meta.delta_warn_pct`` / ``meta.delta_fail_pct``. A single field
+  that is noisier than its siblings (e.g. replayed-trace cycle counts,
+  which inherit the recording run's address-dependent conflict pattern)
+  can carry its own bands: a gated entry may be an object
+  ``{"field": name, "warn_pct": W, "fail_pct": F}`` instead of a bare
+  string, overriding the file-level thresholds for that field only.
 - Wall-clock fields (``ms``, ``speedup``) are never gated: CI runners
   share cores and the container may have one. They are printed for the
   trajectory only.
@@ -109,9 +114,17 @@ def check_artifact(art_path, baseline_dir):
     base = load(base_path)
 
     meta = base.get("meta", {})
-    gated = meta.get("delta_gated_fields", DEFAULT_GATED)
     warn_pct = float(meta.get("delta_warn_pct", WARN_PCT))
     fail_pct = float(meta.get("delta_fail_pct", FAIL_PCT))
+    # Each gated entry is a field name, or an object with per-field
+    # threshold overrides: {"field": name, "warn_pct": W, "fail_pct": F}.
+    gated = {}
+    for entry in meta.get("delta_gated_fields", DEFAULT_GATED):
+        if isinstance(entry, dict):
+            gated[entry["field"]] = (float(entry.get("warn_pct", warn_pct)),
+                                     float(entry.get("fail_pct", fail_pct)))
+        else:
+            gated[entry] = (warn_pct, fail_pct)
     ids = identity_fields(base["rows"]) | identity_fields(art["rows"])
     base_rows = {row_key(r, ids): r for r in base["rows"]}
 
@@ -125,7 +138,7 @@ def check_artifact(art_path, baseline_dir):
         if b is None:
             warnings.append(f"{name}: no baseline row for ({label})")
             continue
-        for field in gated:
+        for field, (f_warn, f_fail) in gated.items():
             if field not in row or field not in b:
                 continue
             cur, ref = row[field], b[field]
@@ -135,17 +148,17 @@ def check_artifact(art_path, baseline_dir):
             pct = 100.0 * (cur - ref) / ref
             line = (f"{name} ({label}) {field}: {ref} -> {cur} "
                     f"({pct:+.1f}%)")
-            if pct >= fail_pct:
+            if pct >= f_fail:
                 failures.append(line + f" exceeds fail threshold "
-                                f"{fail_pct:.0f}%")
-            elif pct >= warn_pct:
+                                f"{f_fail:.0f}%")
+            elif pct >= f_warn:
                 warnings.append(line + f" exceeds warn threshold "
-                               f"{warn_pct:.0f}%")
+                               f"{f_warn:.0f}%")
             else:
                 print(f"  ok   {line}")
     if compared == 0:
         warnings.append(f"{name}: no gated fields compared "
-                        f"(gated={gated}) — check the baseline")
+                        f"(gated={sorted(gated)}) — check the baseline")
     return warnings, failures
 
 

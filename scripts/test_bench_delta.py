@@ -1,0 +1,238 @@
+#!/usr/bin/env python3
+"""Unit tests for scripts/bench_delta.py (run by CI's build-test job).
+
+bench_delta.py is the perf-regression gate between the BENCH_*.json
+artifacts the microbenchmarks emit and the committed snapshots in
+bench/baselines/. These tests pin its contract with synthetic JSON
+fixtures: row identity matching, the 5/15% warn/fail bands, per-baseline
+threshold and gated-field overrides, the meta.pass / digest_ok hard
+failures, and the warn-only paths (missing baseline, unmatched row,
+never-gated wall-clock fields).
+
+Usage: python3 scripts/test_bench_delta.py
+"""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import bench_delta
+
+
+def doc(bench, rows, meta=None):
+    d = {"bench": bench, "schema": 1, "rows": rows}
+    if meta is not None:
+        d["meta"] = meta
+    return d
+
+
+class BenchDeltaTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.baselines = os.path.join(self.dir.name, "baselines")
+        os.makedirs(self.baselines)
+
+    def tearDown(self):
+        self.dir.cleanup()
+
+    def write(self, name, document, where=None):
+        path = os.path.join(where or self.dir.name, name)
+        with open(path, "w") as f:
+            json.dump(document, f)
+        return path
+
+    def check(self, artifact_doc, baseline_doc=None):
+        """Run check_artifact on synthetic docs; returns (warn, fail)."""
+        if baseline_doc is not None:
+            self.write(f"{baseline_doc['bench']}.json", baseline_doc,
+                       where=self.baselines)
+        art = self.write("BENCH_art.json", artifact_doc)
+        return bench_delta.check_artifact(art, self.baselines)
+
+    # -- row identity -----------------------------------------------------
+
+    def test_rows_match_on_identity_not_order(self):
+        base = doc("m", [
+            {"app": "bfs", "backend": "timing", "sim_cycles": 100},
+            {"app": "bfs", "backend": "trace-replay", "sim_cycles": 100},
+        ])
+        # Same rows, reversed order, unchanged cycles: clean pass.
+        art = doc("m", [
+            {"app": "bfs", "backend": "trace-replay", "sim_cycles": 100},
+            {"app": "bfs", "backend": "timing", "sim_cycles": 100},
+        ])
+        warn, fail = self.check(art, base)
+        self.assertEqual(warn, [])
+        self.assertEqual(fail, [])
+
+    def test_numeric_knob_keys_are_identity(self):
+        # threads is numeric but a knob: rows must match per-thread-count,
+        # not collapse into one.
+        base = doc("m", [
+            {"app": "bfs", "threads": 1, "sim_cycles": 100},
+            {"app": "bfs", "threads": 8, "sim_cycles": 100},
+        ])
+        art = doc("m", [
+            {"app": "bfs", "threads": 1, "sim_cycles": 100},
+            {"app": "bfs", "threads": 8, "sim_cycles": 200},  # +100%
+        ])
+        warn, fail = self.check(art, base)
+        self.assertEqual(len(fail), 1)
+        self.assertIn("threads=8", fail[0])
+
+    def test_unmatched_artifact_row_warns_only(self):
+        base = doc("m", [{"app": "bfs", "sim_cycles": 100}])
+        art = doc("m", [{"app": "bfs", "sim_cycles": 100},
+                        {"app": "newapp", "sim_cycles": 999}])
+        warn, fail = self.check(art, base)
+        self.assertEqual(fail, [])
+        self.assertTrue(any("no baseline row" in w for w in warn))
+
+    # -- delta bands ------------------------------------------------------
+
+    def test_growth_below_warn_band_is_clean(self):
+        base = doc("m", [{"app": "bfs", "sim_cycles": 1000}])
+        art = doc("m", [{"app": "bfs", "sim_cycles": 1040}])  # +4%
+        warn, fail = self.check(art, base)
+        self.assertEqual(warn, [])
+        self.assertEqual(fail, [])
+
+    def test_growth_in_warn_band_warns(self):
+        base = doc("m", [{"app": "bfs", "sim_cycles": 1000}])
+        art = doc("m", [{"app": "bfs", "sim_cycles": 1100}])  # +10%
+        warn, fail = self.check(art, base)
+        self.assertEqual(fail, [])
+        self.assertEqual(len(warn), 1)
+        self.assertIn("warn threshold", warn[0])
+
+    def test_growth_past_fail_band_fails(self):
+        base = doc("m", [{"app": "bfs", "sim_cycles": 1000}])
+        art = doc("m", [{"app": "bfs", "sim_cycles": 1200}])  # +20%
+        warn, fail = self.check(art, base)
+        self.assertEqual(len(fail), 1)
+        self.assertIn("fail threshold", fail[0])
+
+    def test_improvement_is_never_flagged(self):
+        base = doc("m", [{"app": "bfs", "sim_cycles": 1000}])
+        art = doc("m", [{"app": "bfs", "sim_cycles": 500}])  # -50%
+        warn, fail = self.check(art, base)
+        self.assertEqual(warn, [])
+        self.assertEqual(fail, [])
+
+    def test_baseline_overrides_bands_and_gated_fields(self):
+        meta = {"delta_gated_fields": ["trace_cycles"],
+                "delta_warn_pct": 20, "delta_fail_pct": 50}
+        base = doc("m", [{"app": "bfs", "sim_cycles": 100,
+                          "trace_cycles": 1000}], meta)
+        # sim_cycles +900% is ignored (not gated here); trace_cycles +30%
+        # lands inside the widened warn band.
+        art = doc("m", [{"app": "bfs", "sim_cycles": 1000,
+                         "trace_cycles": 1300}])
+        warn, fail = self.check(art, base)
+        self.assertEqual(fail, [])
+        self.assertEqual(len(warn), 1)
+        self.assertIn("trace_cycles", warn[0])
+
+    def test_per_field_threshold_overrides(self):
+        # timing_cycles keeps the file-level 5/15 bands; trace_cycles
+        # (address-sensitive) carries its own widened object entry.
+        meta = {"delta_gated_fields": [
+            "timing_cycles",
+            {"field": "trace_cycles", "warn_pct": 20, "fail_pct": 50}]}
+        base = doc("m", [{"app": "bfs", "timing_cycles": 100,
+                          "trace_cycles": 1000}], meta)
+        # timing +20% fails at the file-level 15%; trace +30% only warns
+        # inside its per-field 20/50 band.
+        art = doc("m", [{"app": "bfs", "timing_cycles": 120,
+                         "trace_cycles": 1300}])
+        warn, fail = self.check(art, base)
+        self.assertEqual(len(fail), 1)
+        self.assertIn("timing_cycles", fail[0])
+        self.assertEqual(len(warn), 1)
+        self.assertIn("trace_cycles", warn[0])
+
+    def test_wall_clock_fields_are_not_gated_by_default(self):
+        # ms/speedup blow up 10x; they are excluded from row identity
+        # and absent from the default gated list, so the check is clean.
+        base = doc("m", [{"app": "bfs", "sim_cycles": 100, "ms": 1.0,
+                          "speedup": 8.0}])
+        art = doc("m", [{"app": "bfs", "sim_cycles": 100, "ms": 10.0,
+                         "speedup": 0.5}])
+        warn, fail = self.check(art, base)
+        self.assertEqual(warn, [])
+        self.assertEqual(fail, [])
+
+    # -- hard gates -------------------------------------------------------
+
+    def test_meta_pass_false_is_hard_fail(self):
+        art = doc("m", [{"app": "bfs", "sim_cycles": 100}],
+                  {"pass": False})
+        base = doc("m", [{"app": "bfs", "sim_cycles": 100}])
+        warn, fail = self.check(art, base)
+        self.assertTrue(any("meta.pass is false" in f for f in fail))
+
+    def test_digest_ok_false_row_is_hard_fail(self):
+        art = doc("m", [{"app": "bfs", "sim_cycles": 100,
+                         "digest_ok": False}])
+        base = doc("m", [{"app": "bfs", "sim_cycles": 100,
+                          "digest_ok": True}])
+        warn, fail = self.check(art, base)
+        self.assertTrue(any("digest_ok=false" in f for f in fail))
+
+    def test_digest_failure_outranks_missing_baseline(self):
+        # Even with no baseline at all, the bench's own gate is
+        # authoritative.
+        art = doc("unbaselined", [{"app": "bfs", "sim_cycles": 1,
+                                   "digest_ok": False}])
+        warn, fail = self.check(art)
+        self.assertTrue(any("digest_ok=false" in f for f in fail))
+
+    # -- warn-only edges --------------------------------------------------
+
+    def test_missing_baseline_warns_only(self):
+        art = doc("nobaseline", [{"app": "bfs", "sim_cycles": 100}])
+        warn, fail = self.check(art)
+        self.assertEqual(fail, [])
+        self.assertTrue(any("no baseline" in w for w in warn))
+
+    def test_nothing_compared_warns(self):
+        # Baseline gates a field the artifact doesn't carry.
+        base = doc("m", [{"app": "bfs", "sim_cycles": 100}],
+                   {"delta_gated_fields": ["absent_field"]})
+        art = doc("m", [{"app": "bfs", "sim_cycles": 100}])
+        warn, fail = self.check(art, base)
+        self.assertEqual(fail, [])
+        self.assertTrue(any("no gated fields compared" in w
+                            for w in warn))
+
+    def test_malformed_artifact_raises(self):
+        path = self.write("BENCH_bad.json", {"rows": []})  # no "bench"
+        with self.assertRaises(ValueError):
+            bench_delta.check_artifact(path, self.baselines)
+
+    # -- CLI entry point --------------------------------------------------
+
+    def test_main_exit_codes(self):
+        base = doc("m", [{"app": "bfs", "sim_cycles": 100}])
+        self.write("m.json", base, where=self.baselines)
+        ok = self.write("BENCH_ok.json",
+                        doc("m", [{"app": "bfs", "sim_cycles": 101}]))
+        bad = self.write("BENCH_bad.json",
+                         doc("m", [{"app": "bfs", "sim_cycles": 200}]))
+        argv = sys.argv
+        try:
+            sys.argv = ["bench_delta.py", "--baselines", self.baselines,
+                        ok]
+            self.assertEqual(bench_delta.main(), 0)
+            sys.argv = ["bench_delta.py", "--baselines", self.baselines,
+                        bad]
+            self.assertEqual(bench_delta.main(), 1)
+        finally:
+            sys.argv = argv
+
+
+if __name__ == "__main__":
+    unittest.main()

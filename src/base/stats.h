@@ -128,6 +128,16 @@ struct SimStats
     /// counted when their slot consumes them).
     uint64_t lineTableRegs = 0;
 
+    // Trace-replay cost provenance (backend=trace-replay; both zero
+    // otherwise). EXCLUDED from the golden digest like the
+    // classification counters above: a replayed run is gated on the
+    // app's resultDigest, and the served/fallback split depends on
+    // which trace was armed, not on the modeled machine. Deterministic
+    // for a fixed (trace, workload, seed), so benches can delta-gate.
+    uint64_t traceServedCosts = 0;   ///< costs served from the armed trace
+    uint64_t traceFallbackCosts = 0; ///< unseen keys priced by the seeded
+                                     ///< fallback model
+
     uint64_t totalCoreCycles() const;
     uint64_t totalFlits() const;
 

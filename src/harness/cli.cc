@@ -180,12 +180,24 @@ applyClassify(SimConfig& cfg, int argc, char** argv)
 }
 
 void
+applyTrace(SimConfig& cfg, int argc, char** argv)
+{
+    // A path has no well-formedness to check up front: existence and
+    // parseability are the runner's business (missing file = record
+    // pre-run; malformed file = fatal at load).
+    if (const char* e = std::getenv("SWARMSIM_TRACE"))
+        cfg.traceFile = e;
+    if (const char* v = flagValue(argc, argv, "--trace"))
+        cfg.traceFile = v;
+}
+
+void
 requireKnownFlags(int argc, char** argv, const char* const* extras)
 {
     static const char* const kShared[] = {
         "--host-threads", "--backend",  "--conc-conflicts",
-        "--parallel-replay", "--classify", "--policy", "--json",
-        "--smoke",
+        "--parallel-replay", "--classify", "--trace", "--policy",
+        "--json", "--smoke",
     };
     for (int i = 1; i < argc; i++) {
         const char* arg = argv[i];
@@ -250,6 +262,8 @@ applyBenchFlags(int argc, char** argv)
             fatal("--classify needs off or profile, got '%s'", v);
         setenv("SWARMSIM_CLASSIFY", mode.c_str(), /*overwrite=*/1);
     }
+    if (const char* v = flagValue(argc, argv, "--trace"))
+        setenv("SWARMSIM_TRACE", v, /*overwrite=*/1);
 }
 
 } // namespace ssim::harness

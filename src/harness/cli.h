@@ -83,11 +83,20 @@ void applyParallelReplay(SimConfig& cfg, int argc = 0,
 void applyClassify(SimConfig& cfg, int argc = 0, char** argv = nullptr);
 
 /**
+ * Apply trace-file overrides to @p cfg.traceFile: the SWARMSIM_TRACE
+ * environment variable (a path), then any --trace=path in argv, which
+ * wins. Only meaningful with backend=trace-replay: runOnce/serveOnce
+ * load the file if it exists (fatal when malformed) and otherwise save
+ * the record pre-run's fresh trace there (docs/backends.md).
+ */
+void applyTrace(SimConfig& cfg, int argc = 0, char** argv = nullptr);
+
+/**
  * Fail fast on unrecognized `--` flags: fatals (exit, not abort) naming
  * the first argv token that starts with "--" whose flag part (before
  * any '=') is neither in the shared bench set — --host-threads,
- * --backend, --conc-conflicts, --parallel-replay, --classify, --policy,
- * --json, --smoke — nor in @p extras. Benches call it first in main() so a typo
+ * --backend, --conc-conflicts, --parallel-replay, --classify, --trace,
+ * --policy, --json, --smoke — nor in @p extras. Benches call it first in main() so a typo
  * like `--host-thread=8` aborts the run instead of silently measuring
  * the default configuration. @p extras is a nullptr-terminated array of
  * additional accepted flag spellings (may be nullptr); an entry ending

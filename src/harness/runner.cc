@@ -2,15 +2,56 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
 
 #include "base/logging.h"
 #include "harness/classifier.h"
 #include "harness/report.h"
+#include "swarm/backends/trace_replay_backend.h"
 #include "swarm/classification.h"
 #include "swarm/policies.h"
 
 namespace ssim::harness {
+
+bool
+prepareTraceReplay(apps::App& app, SimConfig& cfg)
+{
+    if (cfg.engineBackend != "trace-replay" || cfg.traceData)
+        return false;
+    if (!cfg.traceFile.empty()) {
+        if (std::ifstream(cfg.traceFile).good()) {
+            auto loaded = std::make_shared<TraceData>();
+            if (!loaded->load(cfg.traceFile))
+                fatal("backend trace-replay: malformed trace file '%s' "
+                      "(delete it to re-record)",
+                      cfg.traceFile.c_str());
+            cfg.traceData = std::move(loaded);
+            return false;
+        }
+        // Missing file: fall through to record, then save there.
+    }
+    // Record pre-run: the timing model with a cost tap (trace-record),
+    // same machine configuration otherwise — classification maps, host
+    // threads, and policy knobs all apply to the recording run too.
+    SimConfig recCfg = cfg;
+    recCfg.engineBackend = "trace-record";
+    auto sink = std::make_shared<TraceData>();
+    recCfg.traceSink = sink;
+    Machine rm(recCfg);
+    app.enqueueInitial(rm);
+    rm.run();
+    sink->recordResultDigest = app.resultDigest();
+    if (!cfg.traceFile.empty() && !sink->save(cfg.traceFile))
+        warn("backend trace-replay: cannot save trace to '%s'",
+             cfg.traceFile.c_str());
+    if (const char* path = std::getenv("SWARMSIM_TRACE_SAVE"))
+        if (!sink->save(path))
+            warn("SWARMSIM_TRACE_SAVE: cannot write '%s'", path);
+    cfg.traceData = std::move(sink);
+    app.reset();
+    return true;
+}
 
 RunResult
 runOnce(apps::App& app, const SimConfig& cfg, AccessProfiler* profiler)
@@ -25,6 +66,7 @@ runOnce(apps::App& app, const SimConfig& cfg, AccessProfiler* profiler)
     applyConcConflicts(hostCfg);
     applyParallelReplay(hostCfg);
     applyClassify(hostCfg);
+    applyTrace(hostCfg);
     if (hostCfg.classifyMode == "profile" && !hostCfg.classifyMap) {
         // Profile-guided classification: run the workload once with
         // classification off, feeding every committed task's access
@@ -46,6 +88,7 @@ runOnce(apps::App& app, const SimConfig& cfg, AccessProfiler* profiler)
         hostCfg.classifyMap = std::move(map);
         app.reset();
     }
+    bool recordedHere = prepareTraceReplay(app, hostCfg);
     Machine m(hostCfg);
     if (profiler)
         m.setProfiler(profiler);
@@ -56,6 +99,24 @@ runOnce(apps::App& app, const SimConfig& cfg, AccessProfiler* profiler)
     r.sched = cfg.sched;
     r.valid = app.validate();
     r.stats = m.stats();
+    r.resultDigest = app.resultDigest();
+    if (hostCfg.engineBackend == "trace-replay")
+        r.trace = hostCfg.traceData;
+    if (r.trace && r.trace->recordResultDigest &&
+        r.trace->recordResultDigest != r.resultDigest) {
+        // Replay must reproduce its recording run's results exactly —
+        // costs never decide WHAT happens. A mismatch against a trace
+        // recorded in this very call is a hard failure; against a trace
+        // loaded from a file it usually means a stale/mismatched trace,
+        // so warn loudly but let validate() stand.
+        warn("trace-replay: %s result digest %016llx != recording run's "
+             "%016llx%s",
+             app.name().c_str(), (unsigned long long)r.resultDigest,
+             (unsigned long long)r.trace->recordResultDigest,
+             recordedHere ? "" : " (stale trace file?)");
+        if (recordedHere)
+            r.valid = false;
+    }
     if (!r.valid)
         warn("%s failed validation under %s @ %u cores",
              app.name().c_str(), schedulerName(cfg.sched), r.cores);
@@ -71,14 +132,53 @@ runOnce(apps::App& app, const SimConfig& cfg, AccessProfiler* profiler)
     return r;
 }
 
+namespace {
+
+/// Sweep-wide trace reuse: under backend=trace-replay the first point's
+/// runOnce records (or loads) the cost trace; every later point replays
+/// that same trace instead of re-paying the timing model per core
+/// count. Results are core-count invariant, so each replayed point's
+/// digest is asserted against the recording run's — a divergence
+/// invalidates that point loudly. No-op for non-trace backends (the
+/// first run returns no trace).
+struct SweepTraceReuse
+{
+    std::shared_ptr<const TraceData> trace;
+
+    void arm(SimConfig& cfg) const { cfg.traceData = trace; }
+
+    void
+    check(const apps::App& app, RunResult& r)
+    {
+        if (!trace) {
+            trace = r.trace;
+            return;
+        }
+        if (trace->recordResultDigest &&
+            r.resultDigest != trace->recordResultDigest) {
+            warn("sweep: %s @ %u cores replayed digest %016llx != the "
+                 "recorded timing run's %016llx",
+                 app.name().c_str(), r.cores,
+                 (unsigned long long)r.resultDigest,
+                 (unsigned long long)trace->recordResultDigest);
+            r.valid = false;
+        }
+    }
+};
+
+} // namespace
+
 std::vector<RunResult>
 sweep(apps::App& app, SchedulerType sched,
       const std::vector<uint32_t>& cores, uint64_t seed)
 {
     std::vector<RunResult> out;
+    SweepTraceReuse reuse;
     for (uint32_t c : cores) {
         SimConfig cfg = SimConfig::withCores(c, sched, seed);
+        reuse.arm(cfg);
         out.push_back(runOnce(app, cfg));
+        reuse.check(app, out.back());
     }
     return out;
 }
@@ -93,10 +193,13 @@ sweep(apps::App& app, const std::string& policy_spec,
                     policy_spec.find(",sched=") != std::string::npos,
                 "policy spec must select a scheduler (sched=...)");
     std::vector<RunResult> out;
+    SweepTraceReuse reuse;
     for (uint32_t c : cores) {
         SimConfig cfg = SimConfig::withCores(c, SchedulerType::Hints, seed);
         policies::apply(cfg, policy_spec);
+        reuse.arm(cfg);
         out.push_back(runOnce(app, cfg));
+        reuse.check(app, out.back());
     }
     return out;
 }

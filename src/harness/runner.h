@@ -6,6 +6,7 @@
  */
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,7 @@
 
 namespace ssim {
 class AccessProfiler;
+struct TraceData;
 }
 
 namespace ssim::harness {
@@ -27,6 +29,12 @@ struct RunResult
     bool fineGrain = false;
     bool valid = false;
     SimStats stats;
+    /// App::resultDigest after the run (backend/thread/core invariant).
+    uint64_t resultDigest = 0;
+    /// The trace this run served costs from (backend=trace-replay only;
+    /// null otherwise). Sweeps reuse it across points so the timing
+    /// model runs once per app, not once per core count.
+    std::shared_ptr<const TraceData> trace;
 };
 
 /**
@@ -40,6 +48,20 @@ struct RunResult
  */
 RunResult runOnce(apps::App& app, const SimConfig& cfg,
                   AccessProfiler* profiler = nullptr);
+
+/**
+ * Arm cfg.traceData for a backend=trace-replay run (no-op for any other
+ * backend, or when a trace is already armed). If cfg.traceFile names an
+ * existing file it is loaded — fatal when malformed, a bad trace must
+ * never silently fall back. Otherwise the workload runs once under
+ * backend=trace-record (the timing model with a cost tap, mirroring the
+ * classifyMode=profile pre-run), the fresh trace is saved to
+ * cfg.traceFile and/or $SWARMSIM_TRACE_SAVE when set, and the app is
+ * reset for the caller's measured run. Returns true iff the pre-run
+ * recorded in this process (same-process replays resolve task types
+ * exactly, so callers can hard-gate digest equality on it).
+ */
+bool prepareTraceReplay(apps::App& app, SimConfig& cfg);
 
 /** Run one scheduler across a core-count sweep. */
 std::vector<RunResult> sweep(apps::App& app, SchedulerType sched,

@@ -8,6 +8,7 @@
 #include "base/rng.h"
 #include "harness/classifier.h"
 #include "harness/cli.h"
+#include "harness/runner.h"
 #include "swarm/classification.h"
 #include "swarm/machine.h"
 
@@ -183,6 +184,7 @@ serveOnce(apps::App& app, const SimConfig& cfg, const ServingConfig& scfg)
     applyConcConflicts(hostCfg);
     applyParallelReplay(hostCfg);
     applyClassify(hostCfg);
+    applyTrace(hostCfg);
     if (hostCfg.classifyMode == "profile" && !hostCfg.classifyMap) {
         // Profile-guided classification: the pre-run profiles a
         // closed-loop run of the same workload (identical footprint,
@@ -198,6 +200,12 @@ serveOnce(apps::App& app, const SimConfig& cfg, const ServingConfig& scfg)
             cls.buildMap(app.reductionRanges()));
         app.reset();
     }
+    // Trace record pre-run under backend=trace-replay, mirroring the
+    // classify pre-run above: closed-loop, so the recorded streams cover
+    // the same task types and lines the injected requests touch
+    // (injecting all requests reproduces closed-loop state by the
+    // ServingProfile contract); arrival-time-only keys fall back.
+    prepareTraceReplay(app, hostCfg);
 
     const apps::App::ServingProfile prof = app.servingProfile();
     ssim_assert(prof.requests > 0 && prof.tsSpan > 0,

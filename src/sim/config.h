@@ -17,6 +17,7 @@
 namespace ssim {
 
 struct ClassificationMap;
+struct TraceData;
 
 /** Spatial task-mapping scheduler (Sec. II-C). */
 enum class SchedulerType : uint8_t
@@ -169,7 +170,30 @@ struct SimConfig
     /// functional simulation with full speculation/abort/commit
     /// semantics; see docs/backends.md). Overridable via
     /// SWARMSIM_BACKEND (harness runs) and --backend= (benches).
+    /// "trace-record" replays the timing model verbatim while capturing
+    /// per-access cost streams into `traceSink`; "trace-replay" serves
+    /// recorded costs from `traceData` at functional event granularity
+    /// (swarm/backends/trace_replay_backend.h).
     std::string engineBackend = "timing";
+
+    // Trace record/replay -----------------------------------------------------
+    /// Trace file for backend=trace-replay (empty = in-memory only).
+    /// If the file exists, runOnce/serveOnce load it (fatal when
+    /// malformed); otherwise the record pre-run saves the fresh trace
+    /// here. Overridable via SWARMSIM_TRACE (harness runs) and --trace=
+    /// (benches); SWARMSIM_TRACE_SAVE additionally exports a freshly
+    /// recorded trace without arming a load path.
+    std::string traceFile;
+
+    /// The armed recorded trace "trace-replay" serves costs from
+    /// (null = the harness performs a trace-record pre-run first,
+    /// mirroring classifyMode=profile; a bare Machine falls back to the
+    /// seeded cost model for every key, with a one-time warning).
+    std::shared_ptr<const TraceData> traceData;
+
+    /// Cost-stream sink for backend=trace-record (its factory fatals
+    /// without one). The recording run appends every observed cost here.
+    std::shared_ptr<TraceData> traceSink;
 
     // Spills -------------------------------------------------------------------
     double spillThreshold = 0.85; ///< coalescers fire at 85% task queue full

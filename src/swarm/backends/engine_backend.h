@@ -71,6 +71,22 @@ class EngineBackend
     virtual bool inlineEffects() const { return false; }
 
     /**
+     * Dispatch notification: the task whose function pointer is
+     * @p task_fn (opaque to backends — never dereferenced) is about to
+     * start an execution attempt on @p core. Called on the coordinator
+     * from ExecutionEngine::dispatchOn immediately before the matching
+     * dequeueCost, once per attempt (a re-dispatch after an abort
+     * notifies again). Default no-op; the trace backends use it to key
+     * cost streams by task type without widening every cost method's
+     * signature.
+     */
+    virtual void noteDispatch(CoreId core, const void* task_fn)
+    {
+        (void)core;
+        (void)task_fn;
+    }
+
+    /**
      * Cost of delivering a task descriptor from @p src to @p dst tile
      * (ExecutionEngine::createTask schedules the arrival this many
      * cycles out). Injects any NoC traffic the delivery generates.
@@ -95,14 +111,32 @@ class EngineBackend
     virtual uint32_t enqueueCost() = 0;
 
     /**
-     * Cost of the dequeue instruction (task dispatch onto a core).
-     * @p cq_occupancy is the dispatching tile's commit-queue occupancy
-     * — the engine's measure of how far execution has run ahead of the
-     * commit frontier. The timing backend charges the flat Table II
-     * cost; a collapsed-clock backend can use it as backpressure (see
-     * functional_backend.h).
+     * Scheduling signals the engine offers alongside a dequeueCost
+     * call. Backends may ignore all of them (the timing backend
+     * charges the flat Table II cost); a collapsed-clock backend can
+     * use them as backpressure and ordering signals — conflict aborts
+     * only happen when a later-timestamp body runs before an earlier
+     * one, so pacing dispatches by these directly shrinks the abort
+     * surface (see functional_backend.h and trace_replay_backend.h).
      */
-    virtual uint32_t dequeueCost(uint32_t cq_occupancy) = 0;
+    struct DispatchInfo
+    {
+        /// The dispatching tile's commit-queue occupancy: how far
+        /// execution has run ahead of the commit frontier.
+        uint32_t cqOccupancy = 0;
+        /// Same-tile cores currently running a task with a *smaller*
+        /// timestamp than the one being dispatched: how far this
+        /// dispatch jumps ahead of tasks that should logically run
+        /// first.
+        uint32_t olderRunning = 0;
+        /// Which execution attempt this is for the task (0 = first
+        /// dispatch; re-dispatches after aborts/requeues count up).
+        /// Lets a backend back off re-execution of contended tasks.
+        uint32_t attempt = 0;
+    };
+
+    /** Cost of the dequeue instruction (task dispatch onto a core). */
+    virtual uint32_t dequeueCost(const DispatchInfo& info) = 0;
 
     /** Cost of the finish instruction (task completion). */
     virtual uint32_t finishCost() = 0;

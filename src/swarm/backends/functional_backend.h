@@ -71,7 +71,10 @@ class FunctionalBackend : public EngineBackend
     // apps more than it saved — flat cost wins overall
     // (bench/micro_backend). A derived backend can override this with
     // occupancy-based pacing without touching the engine.
-    uint32_t dequeueCost(uint32_t) override { return kStepCost; }
+    uint32_t dequeueCost(const DispatchInfo&) override
+    {
+        return kStepCost;
+    }
     uint32_t finishCost() override { return kStepCost; }
 
     // Aborts still happen (speculation is real); only their modeled

@@ -39,7 +39,10 @@ class TimingBackend : public EngineBackend
 
     uint32_t computeCost(uint32_t cycles) override { return cycles; }
     uint32_t enqueueCost() override { return cfg_.enqueueCost; }
-    uint32_t dequeueCost(uint32_t) override { return cfg_.dequeueCost; }
+    uint32_t dequeueCost(const DispatchInfo&) override
+    {
+        return cfg_.dequeueCost;
+    }
     uint32_t finishCost() override { return cfg_.finishCost; }
 
     // Abort traffic (control flits + rollback writes through the memory

@@ -1,0 +1,471 @@
+#include "swarm/backends/trace_replay_backend.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <tuple>
+
+#include "base/logging.h"
+#include "sim/config.h"
+
+namespace ssim {
+
+const char*
+traceKindName(TraceKind k)
+{
+    switch (k) {
+      case TraceKind::Read: return "rd";
+      case TraceKind::Write: return "wr";
+      case TraceKind::Dequeue: return "deq";
+      case TraceKind::TaskSend: return "send";
+      case TraceKind::Enqueue: return "enq";
+      case TraceKind::Finish: return "fin";
+      case TraceKind::Rollback: return "rb";
+      case TraceKind::NumKinds: break;
+    }
+    return "?";
+}
+
+// ---- Trace file format ---------------------------------------------------
+//
+//   swarmsim-trace v1
+//   digest <resultDigest, hex>
+//   types <numTypes>
+//   k <type> <kind 0..6> <line, hex> <count> <sum> <nhead> <head costs...>
+//   ...
+//   end
+//
+// Sorted by (type, kind, line) so a save is byte-deterministic; the "end"
+// sentinel makes truncation detectable (satellite: malformed-trace tests).
+
+static constexpr const char* kTraceMagic = "swarmsim-trace v1";
+
+bool
+TraceData::save(const std::string& path) const
+{
+    std::ofstream f(path);
+    if (!f) {
+        warn("TraceData: cannot open '%s' for writing", path.c_str());
+        return false;
+    }
+    f << kTraceMagic << "\n";
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "digest %" PRIx64 "\n",
+                  recordResultDigest);
+    f << buf;
+    f << "types " << numTypes << "\n";
+
+    std::vector<const std::pair<const TraceKey, CostStream>*> sorted;
+    sorted.reserve(streams.size());
+    for (const auto& kv : streams)
+        sorted.push_back(&kv);
+    std::sort(sorted.begin(), sorted.end(), [](auto* a, auto* b) {
+        const TraceKey& x = a->first;
+        const TraceKey& y = b->first;
+        return std::tie(x.type, x.kind, x.line) <
+               std::tie(y.type, y.kind, y.line);
+    });
+    for (const auto* kv : sorted) {
+        const TraceKey& k = kv->first;
+        const CostStream& s = kv->second;
+        std::snprintf(buf, sizeof(buf),
+                      "k %u %u %" PRIx64 " %" PRIu64 " %" PRIu64 " %zu", k.type,
+                      uint32_t(k.kind), k.line, s.count, s.sum,
+                      s.head.size());
+        f << buf;
+        for (uint32_t c : s.head)
+            f << ' ' << c;
+        f << "\n";
+    }
+    f << "end\n";
+    f.flush();
+    return bool(f);
+}
+
+namespace {
+
+// Strict unsigned parse in the ClassificationMap::load idiom: the whole
+// token must consume, no range overflow.
+bool
+parseU64(const std::string& tok, int base, uint64_t& out)
+{
+    if (tok.empty())
+        return false;
+    char* end = nullptr;
+    errno = 0;
+    uint64_t v = strtoull(tok.c_str(), &end, base);
+    if (end == tok.c_str() || *end != '\0' || errno == ERANGE)
+        return false;
+    out = v;
+    return true;
+}
+
+} // namespace
+
+bool
+TraceData::load(const std::string& path)
+{
+    std::ifstream f(path);
+    if (!f) {
+        warn("TraceData: cannot open '%s'", path.c_str());
+        return false;
+    }
+    std::string lineStr;
+    if (!std::getline(f, lineStr) || lineStr != kTraceMagic) {
+        warn("TraceData: '%s' is not a %s file", path.c_str(), kTraceMagic);
+        return false;
+    }
+
+    // Parse into locals; *this is only touched after a full clean parse.
+    uint64_t digest = 0, types = 0;
+    std::unordered_map<TraceKey, CostStream, TraceKeyHash> parsed;
+    bool sawEnd = false;
+
+    while (std::getline(f, lineStr)) {
+        if (lineStr.empty())
+            continue;
+        if (lineStr == "end") {
+            sawEnd = true;
+            break;
+        }
+        std::istringstream is(lineStr);
+        std::string tag;
+        is >> tag;
+        if (tag == "digest" || tag == "types") {
+            std::string tok, extra;
+            uint64_t v = 0;
+            if (!(is >> tok) || (is >> extra) ||
+                !parseU64(tok, tag == "digest" ? 16 : 10, v)) {
+                warn("TraceData: bad %s line in %s", tag.c_str(),
+                     path.c_str());
+                return false;
+            }
+            (tag == "digest" ? digest : types) = v;
+            continue;
+        }
+        if (tag != "k") {
+            warn("TraceData: unknown record '%s' in %s", tag.c_str(),
+                 path.c_str());
+            return false;
+        }
+        std::string typeTok, kindTok, lineTok, countTok, sumTok, nheadTok;
+        if (!(is >> typeTok >> kindTok >> lineTok >> countTok >> sumTok >>
+              nheadTok)) {
+            warn("TraceData: short key record in %s", path.c_str());
+            return false;
+        }
+        uint64_t type, kind, lineAddr, count, sum, nhead;
+        if (!parseU64(typeTok, 10, type) || !parseU64(kindTok, 10, kind) ||
+            !parseU64(lineTok, 16, lineAddr) ||
+            !parseU64(countTok, 10, count) || !parseU64(sumTok, 10, sum) ||
+            !parseU64(nheadTok, 10, nhead) || type > UINT32_MAX ||
+            kind >= uint64_t(TraceKind::NumKinds) || count == 0 ||
+            nhead > kHeadCap || nhead > count) {
+            warn("TraceData: malformed key record '%s' in %s",
+                 lineStr.c_str(), path.c_str());
+            return false;
+        }
+        TraceKey key{uint32_t(type), uint8_t(kind), lineAddr};
+        if (parsed.count(key)) {
+            warn("TraceData: duplicate key record in %s", path.c_str());
+            return false;
+        }
+        CostStream s;
+        s.count = count;
+        s.sum = sum;
+        s.head.reserve(nhead);
+        uint64_t headSum = 0;
+        for (uint64_t i = 0; i < nhead; i++) {
+            std::string costTok;
+            uint64_t cost = 0;
+            // A cost wider than uint32 can only come from a corrupted or
+            // hand-edited file: reject, don't truncate.
+            if (!(is >> costTok) || !parseU64(costTok, 10, cost) ||
+                cost > UINT32_MAX) {
+                warn("TraceData: bad cost token in %s", path.c_str());
+                return false;
+            }
+            headSum += cost;
+            s.head.push_back(uint32_t(cost));
+        }
+        std::string extra;
+        if (is >> extra) {
+            warn("TraceData: trailing tokens in key record in %s",
+                 path.c_str());
+            return false;
+        }
+        if (headSum > sum) {
+            warn("TraceData: head exceeds recorded sum in %s", path.c_str());
+            return false;
+        }
+        parsed.emplace(key, std::move(s));
+    }
+    if (!sawEnd) {
+        warn("TraceData: truncated trace '%s' (missing end sentinel)",
+             path.c_str());
+        return false;
+    }
+
+    streams = std::move(parsed);
+    fnIds.clear(); // host pointers never survive a file round trip
+    numTypes = uint32_t(types);
+    recordResultDigest = digest;
+    return true;
+}
+
+// ---- TraceRecordBackend --------------------------------------------------
+
+void
+TraceRecordBackend::noteDispatch(CoreId core, const void* task_fn)
+{
+    auto [it, inserted] =
+        sink_->fnIds.try_emplace(task_fn, sink_->numTypes);
+    if (inserted)
+        sink_->numTypes++;
+    uint32_t type = it->second + 1;
+    coreType_[core] = type;
+    lastDispatchType_ = type;
+}
+
+uint32_t
+TraceRecordBackend::taskSendCost(TileId src, TileId dst)
+{
+    uint32_t c = inner_.taskSendCost(src, dst);
+    sink_->record({0, uint8_t(TraceKind::TaskSend),
+                   uint64_t(src) << 32 | dst},
+                  c);
+    return c;
+}
+
+uint32_t
+TraceRecordBackend::accessCost(CoreId core, Addr addr, bool is_write,
+                               uint32_t compared)
+{
+    uint32_t c = inner_.accessCost(core, addr, is_write, compared);
+    sink_->record({coreType_[core],
+                   uint8_t(is_write ? TraceKind::Write : TraceKind::Read),
+                   lineOf(addr)},
+                  c);
+    return c;
+}
+
+uint32_t
+TraceRecordBackend::enqueueCost()
+{
+    uint32_t c = inner_.enqueueCost();
+    sink_->record({0, uint8_t(TraceKind::Enqueue), 0}, c);
+    return c;
+}
+
+uint32_t
+TraceRecordBackend::dequeueCost(const DispatchInfo& info)
+{
+    uint32_t c = inner_.dequeueCost(info);
+    sink_->record({lastDispatchType_, uint8_t(TraceKind::Dequeue), 0}, c);
+    return c;
+}
+
+uint32_t
+TraceRecordBackend::finishCost()
+{
+    uint32_t c = inner_.finishCost();
+    sink_->record({0, uint8_t(TraceKind::Finish), 0}, c);
+    return c;
+}
+
+uint32_t
+TraceRecordBackend::rollbackLineCost(CoreId core, LineAddr line)
+{
+    uint32_t c = inner_.rollbackLineCost(core, line);
+    sink_->record({coreType_[core], uint8_t(TraceKind::Rollback), line}, c);
+    return c;
+}
+
+// ---- TraceReplayBackend --------------------------------------------------
+
+void
+TraceReplayBackend::noteDispatch(CoreId core, const void* task_fn)
+{
+    uint32_t type = 0;
+    if (!trace_->fnIds.empty()) {
+        // Same-process record -> replay: exact pointer identity.
+        auto it = trace_->fnIds.find(task_fn);
+        if (it != trace_->fnIds.end())
+            type = it->second + 1;
+    } else if (trace_->numTypes) {
+        // File-loaded trace: re-derive ids in this run's first-dispatch
+        // order. Matches the recording run for deterministic workloads;
+        // extra types beyond the recorded count stay unknown (type 0 ->
+        // fallback costs, never wrong results).
+        auto [it, inserted] =
+            derivedIds_.try_emplace(task_fn, uint32_t(derivedIds_.size()));
+        if (it->second < trace_->numTypes)
+            type = it->second + 1;
+        (void)inserted;
+    }
+    coreType_[core] = type;
+    lastDispatchType_ = type;
+}
+
+void
+TraceReplayBackend::computeBodyCosts()
+{
+    // Per 1-based type: Σ recorded read/write costs ÷ dispatch count —
+    // the mean simulated duration of one body's accesses. Integer sums
+    // over an unordered_map are order-independent, so this stays
+    // deterministic.
+    std::vector<uint64_t> accessSum(trace_->numTypes + 1, 0);
+    std::vector<uint64_t> dispatches(trace_->numTypes + 1, 0);
+    for (const auto& [key, s] : trace_->streams) {
+        if (key.type > trace_->numTypes)
+            continue; // corrupt/stale id: never index out of range
+        if (key.kind == uint8_t(TraceKind::Read) ||
+            key.kind == uint8_t(TraceKind::Write))
+            accessSum[key.type] += s.sum;
+        else if (key.kind == uint8_t(TraceKind::Dequeue))
+            dispatches[key.type] += s.count;
+    }
+    uint64_t totalAccess = 0, totalDispatch = 0;
+    for (uint32_t t = 1; t <= trace_->numTypes; t++) {
+        totalAccess += accessSum[t];
+        totalDispatch += dispatches[t];
+    }
+    bodyCost_.assign(trace_->numTypes + 1, 0);
+    contention_.assign(trace_->numTypes + 1, {});
+    auto meanOf = [](uint64_t sum, uint64_t n) {
+        uint64_t m = n ? sum / n : 0;
+        return m > UINT32_MAX ? uint32_t(UINT32_MAX) : uint32_t(m);
+    };
+    // Unknown types (index 0) pace at the global mean rather than
+    // free-running.
+    bodyCost_[0] = meanOf(totalAccess, totalDispatch);
+    for (uint32_t t = 1; t <= trace_->numTypes; t++)
+        bodyCost_[t] = dispatches[t] ? meanOf(accessSum[t], dispatches[t])
+                                     : bodyCost_[0];
+
+    // Pre-populate the open-addressed cursor table: one slot per
+    // recorded stream, hashed once here so the serve() hot path is a
+    // single probe with no unordered_map chain walk.
+    size_t want = trace_->streams.size() * 2;
+    size_t cap = 64;
+    while (cap < want)
+        cap *= 2;
+    cursors_.assign(cap, {});
+    cursorMask_ = cap - 1;
+    cursorCount_ = 0;
+    for (const auto& [key, s] : trace_->streams) {
+        uint64_t h = key.mixed();
+        size_t i = size_t(h) & cursorMask_;
+        while (cursors_[i].used)
+            i = (i + 1) & cursorMask_;
+        Cursor& cur = cursors_[i];
+        cur.hash = h;
+        cur.key = key;
+        cur.stream = &s;
+        cur.mean = s.mean();
+        cur.used = true;
+        cursorCount_++;
+    }
+}
+
+TraceReplayBackend::Cursor&
+TraceReplayBackend::cursorFor(const TraceKey& key)
+{
+    uint64_t h = key.mixed();
+    size_t i = size_t(h) & cursorMask_;
+    while (cursors_[i].used) {
+        if (cursors_[i].hash == h && cursors_[i].key == key)
+            return cursors_[i];
+        i = (i + 1) & cursorMask_;
+    }
+    // Unseen key: cache its absence so every later serve is one probe.
+    if ((cursorCount_ + 1) * 10 > cursors_.size() * 7) {
+        growCursors();
+        return cursorFor(key);
+    }
+    Cursor& cur = cursors_[i];
+    cur.hash = h;
+    cur.key = key;
+    cur.used = true;
+    cursorCount_++;
+    auto sit = trace_->streams.find(key);
+    if (sit != trace_->streams.end()) {
+        cur.stream = &sit->second;
+        cur.mean = sit->second.mean();
+    }
+    return cur;
+}
+
+void
+TraceReplayBackend::growCursors()
+{
+    std::vector<Cursor> old = std::move(cursors_);
+    cursors_.assign(old.size() * 2, {});
+    cursorMask_ = cursors_.size() - 1;
+    for (Cursor& c : old) {
+        if (!c.used)
+            continue;
+        size_t i = size_t(c.hash) & cursorMask_;
+        while (cursors_[i].used)
+            i = (i + 1) & cursorMask_;
+        cursors_[i] = c;
+    }
+}
+
+uint32_t
+TraceReplayBackend::serve(const TraceKey& key)
+{
+    Cursor& cur = cursorFor(key);
+    if (!cur.stream) {
+        fallbacks_++;
+        // Seeded deterministic stand-in for unseen keys: small (the
+        // scale of L1 hits + instruction overheads), nonzero, and a pure
+        // function of (key, seed) so replay stays reproducible.
+        return 1 + uint32_t(mix64(cur.hash ^ seed_) & 31);
+    }
+    served_++;
+    const CostStream& s = *cur.stream;
+    uint32_t cost =
+        cur.pos < s.head.size() ? s.head[cur.pos++] : cur.mean;
+    // Progress guarantee: a poisoned trace may carry zero costs, but an
+    // execution attempt must always advance simulated time (see the
+    // livelock argument in docs/backends.md).
+    return cost ? cost : 1;
+}
+
+// ---- Factories -----------------------------------------------------------
+
+std::unique_ptr<EngineBackend>
+makeTraceRecordBackend(const SimConfig& cfg, Mesh& mesh, MemorySystem& mem)
+{
+    if (!cfg.traceSink)
+        fatal("backend trace-record requires cfg.traceSink (the harness "
+              "record pre-run sets one up; see docs/backends.md)");
+    return std::make_unique<TraceRecordBackend>(cfg, mesh, mem,
+                                                cfg.traceSink);
+}
+
+std::unique_ptr<EngineBackend>
+makeTraceReplayBackend(const SimConfig& cfg, Mesh& mesh, MemorySystem& mem)
+{
+    (void)mesh;
+    (void)mem;
+    std::shared_ptr<const TraceData> trace = cfg.traceData;
+    if (!trace) {
+        static bool warned = false;
+        if (!warned) {
+            warned = true;
+            warn("backend trace-replay: no trace armed (cfg.traceData); "
+                 "every cost will use the seeded fallback model");
+        }
+        trace = std::make_shared<TraceData>();
+    }
+    return std::make_unique<TraceReplayBackend>(std::move(trace), cfg.seed,
+                                                cfg.totalCores());
+}
+
+} // namespace ssim

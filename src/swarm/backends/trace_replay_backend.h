@@ -1,0 +1,363 @@
+/**
+ * @file
+ * Trace record/replay: timing-faithful sweeps at functional speed.
+ *
+ * Two backends share one artifact, the TraceData cost trace:
+ *
+ *  - "trace-record" (TraceRecordBackend) rides a full TimingBackend
+ *    run: every cost call delegates to the cycle-accurate model and
+ *    returns its answer unchanged — a recording run is bit-identical
+ *    to a plain timing run (the golden digests prove it) — while the
+ *    observed costs stream into a TraceData sink keyed by (task type,
+ *    access kind, line).
+ *  - "trace-replay" (TraceReplayBackend) then serves those recorded
+ *    costs at FunctionalBackend event granularity: inline effects, no
+ *    mesh hops, no cache/directory model. Per key it replays the first
+ *    kHeadCap recorded costs exactly and the rounded mean thereafter;
+ *    keys the trace never saw fall back to a seeded deterministic cost
+ *    model (counted in SimStats::traceFallbackCosts, digest-excluded).
+ *
+ * Costs never decide WHAT happens — only how long it takes — so a
+ * replayed run produces the same functional results as timing on every
+ * app (tests/test_trace_replay.cc pins this per app, and keeps pinning
+ * it under poisoned, truncated, and empty traces: a bad trace costs
+ * timing fidelity, never correctness).
+ *
+ * Task-type identity: the engine announces each dispatch through
+ * EngineBackend::noteDispatch(core, task_fn). Within one process the
+ * recording run's fn-pointer -> id map travels inside TraceData, so a
+ * same-process record -> replay resolves types exactly. A trace loaded
+ * from a file cannot carry host pointers; the replayer then re-derives
+ * ids in first-dispatch order, which matches the recording run's order
+ * for deterministic workloads and otherwise degrades some keys to the
+ * fallback model — stale traces lose fidelity, not correctness
+ * (docs/backends.md#trace-replay).
+ *
+ * Trace files are versioned sorted text ("swarmsim-trace v1" magic, an
+ * "end" sentinel against truncation); load() rejects malformed input
+ * and leaves the map untouched, mirroring ClassificationMap::load.
+ * Line addresses are host-virtual like the classification map's: a
+ * saved trace is only meaningful where data placement is reproducible.
+ */
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/hash.h"
+#include "swarm/backends/engine_backend.h"
+#include "swarm/backends/timing_backend.h"
+
+namespace ssim {
+
+/** What a recorded cost priced (the key's access-kind dimension). */
+enum class TraceKind : uint8_t
+{
+    Read = 0,
+    Write,
+    Dequeue,  ///< dispatch; keyed by the dispatched task's type
+    TaskSend, ///< descriptor delivery; line packs (src tile, dst tile)
+    Enqueue,
+    Finish,
+    Rollback, ///< abort-path rollback write; keyed by victim line
+    NumKinds
+};
+
+const char* traceKindName(TraceKind k);
+
+/** A cost-stream key: (task type, access kind, line address). Type 0
+ *  means "no/unknown task type"; real types are 1-based ids assigned in
+ *  the recording run's first-dispatch order. */
+struct TraceKey
+{
+    uint32_t type = 0;
+    uint8_t kind = 0;
+    LineAddr line = 0;
+
+    bool operator==(const TraceKey&) const = default;
+
+    uint64_t
+    mixed() const
+    {
+        return mix64((uint64_t(type) << 8 | kind) ^ mix64(line));
+    }
+};
+
+struct TraceKeyHash
+{
+    size_t operator()(const TraceKey& k) const { return size_t(k.mixed()); }
+};
+
+/** One key's recorded costs: the first kHeadCap values exactly (replay
+ *  re-serves them in order — early accesses see cold-cache costs, later
+ *  ones warm), then the rounded mean of the whole stream. */
+struct CostStream
+{
+    std::vector<uint32_t> head;
+    uint64_t sum = 0;
+    uint64_t count = 0;
+
+    uint32_t
+    mean() const
+    {
+        return count ? uint32_t((sum + count / 2) / count) : 0;
+    }
+};
+
+/** The recorded cost trace: what "trace-record" writes and
+ *  "trace-replay" serves. Coordinator-built, then shared immutably. */
+struct TraceData
+{
+    static constexpr uint32_t kHeadCap = 32;
+
+    std::unordered_map<TraceKey, CostStream, TraceKeyHash> streams;
+
+    /// In-memory task-type identity: fn pointer -> 0-based id in
+    /// first-dispatch order of the recording run. Never serialized
+    /// (host pointers are process-local); load() leaves it empty and
+    /// the replayer re-derives ids by first-dispatch order.
+    std::unordered_map<const void*, uint32_t> fnIds;
+    uint32_t numTypes = 0;
+
+    /// App::resultDigest of the recording run (0 = unknown): harness
+    /// sweeps assert every replay point reproduces it.
+    uint64_t recordResultDigest = 0;
+
+    void
+    record(const TraceKey& key, uint32_t cost)
+    {
+        CostStream& s = streams[key];
+        if (s.head.size() < kHeadCap)
+            s.head.push_back(cost);
+        s.sum += cost;
+        s.count++;
+    }
+
+    /** Deterministic sorted text, "swarmsim-trace v1" header, "end"
+     *  sentinel. Returns false on I/O error. */
+    bool save(const std::string& path) const;
+
+    /** Parse a save()d trace. Rejects bad magic/version, malformed or
+     *  overflowing tokens, and truncation (missing sentinel): warns and
+     *  returns false with *this untouched — a malformed trace must
+     *  never silently price line 0. */
+    bool load(const std::string& path);
+};
+
+/**
+ * The recording backend: a TimingBackend with a tap. Costs, NoC
+ * traffic, and therefore the whole simulated execution are identical
+ * to "timing"; the only extra work is appending each observed cost to
+ * the sink's streams. Requires cfg.traceSink (the factory fatals
+ * without one). inlineEffects() stays false: recording composes with
+ * hostThreads > 1, concurrent conflict checks, and parallel replay
+ * like any timing run.
+ */
+class TraceRecordBackend : public EngineBackend
+{
+  public:
+    TraceRecordBackend(const SimConfig& cfg, Mesh& mesh, MemorySystem& mem,
+                       std::shared_ptr<TraceData> sink)
+        : inner_(cfg, mesh, mem), sink_(std::move(sink)),
+          coreType_(cfg.totalCores(), 0)
+    {
+    }
+
+    const char* name() const override { return "trace-record"; }
+
+    void noteDispatch(CoreId core, const void* task_fn) override;
+
+    uint32_t taskSendCost(TileId src, TileId dst) override;
+    uint32_t accessCost(CoreId core, Addr addr, bool is_write,
+                        uint32_t compared) override;
+    uint32_t computeCost(uint32_t cycles) override
+    {
+        // Passthrough under timing; nothing worth recording.
+        return inner_.computeCost(cycles);
+    }
+    uint32_t enqueueCost() override;
+    uint32_t dequeueCost(const DispatchInfo& info) override;
+    uint32_t finishCost() override;
+
+    void abortMessage(TileId cause_tile, TileId victim_tile) override
+    {
+        inner_.abortMessage(cause_tile, victim_tile);
+    }
+    uint32_t rollbackLineCost(CoreId core, LineAddr line) override;
+
+  private:
+    TimingBackend inner_;
+    std::shared_ptr<TraceData> sink_;
+    std::vector<uint32_t> coreType_; ///< 1-based type per core (0 none)
+    uint32_t lastDispatchType_ = 0;  ///< for the dequeueCost that follows
+};
+
+/**
+ * The replaying backend: FunctionalBackend execution style (inline
+ * effects — whole task body per resume event, hostThreads > 1 degrades
+ * to the serial loop, conc-conflicts/parallel-replay are ignored) with
+ * recorded timing-model costs instead of a flat pseudo-cycle. Unseen
+ * keys get a seeded deterministic fallback cost in [1, 32]; every
+ * served cost is clamped to >= 1 so execution attempts always advance
+ * simulated time (the livelock argument of docs/backends.md). The
+ * served/fallback split is exported through served()/fallbacks() into
+ * SimStats (digest-excluded introspection).
+ */
+class TraceReplayBackend : public EngineBackend
+{
+  public:
+    TraceReplayBackend(std::shared_ptr<const TraceData> trace,
+                       uint64_t seed, uint32_t total_cores)
+        : trace_(std::move(trace)), seed_(seed), coreType_(total_cores, 0)
+    {
+        computeBodyCosts();
+    }
+
+    const char* name() const override { return "trace-replay"; }
+    bool inlineEffects() const override { return true; }
+
+    void noteDispatch(CoreId core, const void* task_fn) override;
+
+    uint32_t taskSendCost(TileId src, TileId dst) override
+    {
+        return serve({0, uint8_t(TraceKind::TaskSend),
+                      uint64_t(src) << 32 | dst});
+    }
+    uint32_t accessCost(CoreId core, Addr addr, bool is_write,
+                        uint32_t) override
+    {
+        return serve({coreType_[core],
+                      uint8_t(is_write ? TraceKind::Write
+                                       : TraceKind::Read),
+                      lineOf(addr)});
+    }
+    uint32_t computeCost(uint32_t cycles) override
+    {
+        return cycles ? cycles : 1; // passthrough, like timing
+    }
+    uint32_t enqueueCost() override
+    {
+        return serve({0, uint8_t(TraceKind::Enqueue), 0});
+    }
+    uint32_t dequeueCost(const DispatchInfo& info) override
+    {
+        // Inline mode runs the whole body at the dispatch event, so the
+        // dispatch delay carries the type's recorded mean body duration
+        // on top of the dequeue instruction itself. This is what keeps
+        // replay paced like the recording run: without it cores free up
+        // the instant they dispatch, speculation runs far past the
+        // commit frontier, and the abort storms burn the wall-clock win
+        // (see the functional backend's dequeueCost note in
+        // docs/backends.md — here the trace tells us the real body
+        // duration). Three stretch terms, all in body units: one body
+        // per same-tile core still running an earlier-timestamp task
+        // (bodies fire in approximate timestamp order — a conflict can
+        // only abort someone when a later-timestamp body fires first);
+        // a contention backoff of up to three bodies per prior failed
+        // attempt — but only for task types whose observed mean
+        // attempt count says they re-abort in chains (accumulator-style
+        // contention, where immediate retries feed the same storm;
+        // wavefront types whose tasks abort at most once or twice skip
+        // the backoff: delaying their retries just parks stale writes
+        // in front of future readers); and commit-queue backpressure,
+        // one body per four occupied CQ slots — a filling queue means
+        // speculation is running far past the commit frontier, exactly
+        // when far-future dispatches are most likely to be aborted by
+        // the tasks ahead of them (this is what the finite commit queue
+        // does for the timing backend organically).
+        uint32_t deq =
+            serve({lastDispatchType_, uint8_t(TraceKind::Dequeue), 0});
+        uint64_t body = bodyCost_[lastDispatchType_];
+        TypeContention& tc = contention_[lastDispatchType_];
+        tc.attemptSum += info.attempt;
+        tc.dispatches++;
+        // Chain-y iff the running mean attempt exceeds 1.5.
+        bool chainy = tc.attemptSum * 2 > tc.dispatches * 3;
+        uint64_t stretch = uint64_t(info.olderRunning) +
+                           (chainy ? std::min(info.attempt, 3u) : 0) +
+                           info.cqOccupancy / 4;
+        uint64_t lat = deq + body * (1 + stretch);
+        return lat > UINT32_MAX ? UINT32_MAX : uint32_t(lat);
+    }
+    uint32_t finishCost() override
+    {
+        return serve({0, uint8_t(TraceKind::Finish), 0});
+    }
+
+    void abortMessage(TileId, TileId) override {} // no modeled traffic
+    uint32_t rollbackLineCost(CoreId core, LineAddr line) override
+    {
+        return serve({coreType_[core], uint8_t(TraceKind::Rollback), line});
+    }
+
+    uint64_t served() const { return served_; }
+    uint64_t fallbacks() const { return fallbacks_; }
+
+  private:
+    uint32_t serve(const TraceKey& key);
+    void computeBodyCosts();
+
+    std::shared_ptr<const TraceData> trace_;
+    uint64_t seed_;
+    /// Mean recorded per-body access cost per 1-based task type (index 0
+    /// = unknown type, global mean): Σ read/write costs of the type's
+    /// dispatches ÷ its dispatch count. Served at dispatch (see
+    /// dequeueCost) since inline bodies occupy no simulated time of
+    /// their own.
+    std::vector<uint32_t> bodyCost_;
+    std::vector<uint32_t> coreType_;
+    uint32_t lastDispatchType_ = 0;
+    /// Per-type running attempt statistics feeding the contention
+    /// backoff gate in dequeueCost (indexed like bodyCost_; sized in
+    /// computeBodyCosts).
+    struct TypeContention
+    {
+        uint64_t attemptSum = 0;
+        uint64_t dispatches = 0;
+    };
+    std::vector<TypeContention> contention_;
+    /// Replay cursor per key: caches the key's stream pointer (null =
+    /// unseen key, fallback model) and its rounded mean, plus the next
+    /// head index to serve. Kept in a flat open-addressing table —
+    /// serve() runs once per applied access, so this probe IS the
+    /// replay inner loop, and linear probing over a contiguous array
+    /// beats a chained unordered_map by the pointer chase per lookup.
+    /// Pre-populated from the trace's streams at construction; only
+    /// fallback (unseen) keys insert later.
+    struct Cursor
+    {
+        uint64_t hash = 0;
+        TraceKey key;
+        const CostStream* stream = nullptr;
+        uint32_t mean = 0;
+        uint32_t pos = 0;
+        bool used = false;
+    };
+    std::vector<Cursor> cursors_; ///< power-of-two sized, linear probe
+    size_t cursorMask_ = 0;
+    size_t cursorCount_ = 0;
+
+    Cursor& cursorFor(const TraceKey& key);
+    void growCursors();
+    /// File-loaded traces carry no fn pointers: ids re-derived in this
+    /// run's first-dispatch order (empty when trace_->fnIds is usable).
+    std::unordered_map<const void*, uint32_t> derivedIds_;
+    uint64_t served_ = 0;
+    uint64_t fallbacks_ = 0;
+};
+
+/** Registry factories (policies::registerBackend signature). The record
+ *  factory fatals unless cfg.traceSink is set; the replay factory
+ *  accepts a null cfg.traceData (every cost falls back, with a one-time
+ *  warning) so white-box tests can probe the fallback model. */
+std::unique_ptr<EngineBackend> makeTraceRecordBackend(const SimConfig& cfg,
+                                                      Mesh& mesh,
+                                                      MemorySystem& mem);
+std::unique_ptr<EngineBackend> makeTraceReplayBackend(const SimConfig& cfg,
+                                                      Mesh& mesh,
+                                                      MemorySystem& mem);
+
+} // namespace ssim

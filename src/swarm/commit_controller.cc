@@ -80,7 +80,9 @@ CommitController::gvtEpoch()
     gvtScheduled_ = false;
     gvtEpochsRun_++;
     static const bool trace = []() {
-        const char* e = std::getenv("SWARMSIM_TRACE");
+        // SWARMSIM_GVT_TRACE: GVT debug dumps. (Plain SWARMSIM_TRACE is
+        // the trace-replay backend's trace-file path — harness/cli.h.)
+        const char* e = std::getenv("SWARMSIM_GVT_TRACE");
         return e && e[0] == '1';
     }();
     if (trace && ++traceEpochs_ % 2000 == 0) {

@@ -1,5 +1,7 @@
 #include "swarm/execution_engine.h"
 
+#include <algorithm>
+
 #include "base/hash.h"
 #include "base/logging.h"
 #include "swarm/backends/engine_backend.h"
@@ -218,6 +220,7 @@ ExecutionEngine::dispatchOn(TileId tile, uint32_t idx, Task* t)
     ssim_assert(t->state == TaskState::Idle);
     unit.idle.erase(t);
     t->state = TaskState::Running;
+    t->inlineDefers = 0;
     t->runningOn = cfg_.coreId(tile, idx);
     unit.running++;
     unit.coreTasks[idx] = t;
@@ -230,7 +233,21 @@ ExecutionEngine::dispatchOn(TileId tile, uint32_t idx, Task* t)
     swarm::TaskCoro c = t->fn(t->ctx, t->ts, t->args.data());
     t->coro = c.handle;
 
-    uint32_t lat = backend_.dequeueCost(uint32_t(unit.commitQ.size()));
+    backend_.noteDispatch(t->runningOn,
+                          reinterpret_cast<const void*>(t->fn));
+    EngineBackend::DispatchInfo info;
+    info.cqOccupancy = uint32_t(unit.commitQ.size());
+    // How many same-tile cores are running an older-timestamp task:
+    // those bodies should logically fire before this one does.
+    for (uint32_t i = 0; i < cfg_.coresPerTile; i++) {
+        const Task* o = unit.coreTasks[i];
+        if (o && o != t && o->ts < t->ts)
+            info.olderRunning++;
+    }
+    // Attempt N > 0 means N prior aborts of this task: a contention
+    // backoff signal for collapsed-clock backends.
+    info.attempt = t->dispatches++;
+    uint32_t lat = backend_.dequeueCost(info);
     t->execCycles += lat;
     scheduleResume(t, lat);
 }
@@ -257,6 +274,32 @@ ExecutionEngine::resumeCoro(uint64_t uid, uint64_t gen)
     Task* t = lookupTask(uid);
     if (!t || t->generation != gen || t->state != TaskState::Running)
         return; // aborted or discarded in the meantime
+    if (inline_) {
+        // Inline bodies are atomic: the whole body fires at this event.
+        // Issue same-tile bodies in (ts, uid) order — if an older task
+        // on this tile is still Running (its body event hasn't fired),
+        // defer ours past it. A conflict can only abort someone when a
+        // later-timestamp body fires before an earlier one, so this
+        // tile-local in-order issue removes the abort storms the
+        // timing backend's per-access interleave never suffers from.
+        // The tile's minimum-(ts, uid) Running task never defers, so
+        // the chain always drains (no livelock).
+        const TaskUnit& unit = units_[t->tile];
+        for (const Task* o : unit.coreTasks) {
+            if (o && o != t && o->state == TaskState::Running &&
+                TaskOrder{}(o, t)) {
+                // Exponential re-check interval (capped): the older
+                // body may be a contention-backoff sleeper hundreds of
+                // cycles out, and re-polling it every few cycles would
+                // turn one defer into a host-event storm.
+                Cycle delta =
+                    kInlineIssueDefer << std::min(t->inlineDefers, 3u);
+                t->inlineDefers++;
+                scheduleResume(t, delta);
+                return;
+            }
+        }
+    }
     if (t->pending.hasSteps() && t->pending.gen == gen) {
         // Parallel host mode: the pure segment already ran on a worker;
         // apply its next recorded effect at this event's serial slot.

@@ -168,6 +168,13 @@ class ExecutionEngine : public ParallelBackend
     /// continuable step (resumed inline by the coordinator later).
     static constexpr uint32_t kMaxRunahead = 64;
 
+    /// Inline-mode body issue: a body event that finds an older
+    /// same-tile body still pending re-schedules itself this many
+    /// cycles out (resumeCoro). Small enough to stay responsive, large
+    /// enough that a defer chain costs a handful of events, not one
+    /// per cycle.
+    static constexpr Cycle kInlineIssueDefer = 8;
+
     void arriveTask(uint64_t uid, uint64_t gen);
     void tryDispatch(TileId tile);
     void dispatchOn(TileId tile, uint32_t idx, Task* t);

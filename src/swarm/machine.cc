@@ -2,6 +2,7 @@
 
 #include "base/logging.h"
 #include "sim/parallel_executor.h"
+#include "swarm/backends/trace_replay_backend.h"
 #include "swarm/policies.h"
 
 namespace swarm {
@@ -193,6 +194,12 @@ Machine::finalizeStats()
         stats_.workerApplies = rpb->consumed();
         stats_.replaySquashed = rpb->squashed();
         stats_.bankApplies = rpb->bankApplies();
+    }
+
+    // Trace-replay cost provenance (all zero unless backend=trace-replay).
+    if (auto* trb = dynamic_cast<TraceReplayBackend*>(backend_.get())) {
+        stats_.traceServedCosts = trb->served();
+        stats_.traceFallbackCosts = trb->fallbacks();
     }
 }
 

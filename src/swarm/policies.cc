@@ -6,6 +6,7 @@
 #include "base/logging.h"
 #include "swarm/backends/functional_backend.h"
 #include "swarm/backends/timing_backend.h"
+#include "swarm/backends/trace_replay_backend.h"
 #include "swarm/load_balancer.h"
 #include "swarm/scheduler.h"
 
@@ -142,7 +143,7 @@ registry()
 }
 
 /// Engine-backend registry: open-ended (custom backends append), with
-/// the two built-ins pre-seeded. Selection is by name only — there is
+/// the built-ins pre-seeded. Selection is by name only — there is
 /// no enum, so plugging in a backend never touches SimConfig.
 struct BackendEntry
 {
@@ -156,6 +157,8 @@ backendRegistry()
     static std::vector<BackendEntry> r = {
         {"timing", &makeTimingBackend},
         {"functional", &makeFunctionalBackend},
+        {"trace-record", &makeTraceRecordBackend},
+        {"trace-replay", &makeTraceReplayBackend},
     };
     return r;
 }

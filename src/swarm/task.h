@@ -114,6 +114,14 @@ class Task
     swarm::TaskCtx ctx;
     uint64_t execCycles = 0; ///< cycles of this execution attempt
     Cycle arrivalCycle = 0;
+    /// Inline-mode ordered body issue: times this attempt's body event
+    /// re-scheduled itself behind an older same-tile task (bounds the
+    /// idle-task wait — see ExecutionEngine::resumeCoro). Reset per
+    /// dispatch.
+    uint32_t inlineDefers = 0;
+    /// Execution attempts so far (dispatches; never reset): attempt
+    /// N > 0 means N prior aborts. Feeds DispatchInfo::attempt.
+    uint32_t dispatches = 0;
 
     /**
      * A speculative conflict probe of one recorded access, taken by a

@@ -15,6 +15,7 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <sys/mman.h>
 
 #include "swarm/machine.h"
@@ -123,11 +124,14 @@ enum class Workload { Spawn, Contend, Spill };
  * @p conc_conflicts arms worker-side conflict checks and
  * @p parallel_replay arms worker-side effect pre-apply (both effective
  * only when host_threads > 1 — the digests must not notice either way).
+ * @p tweak, if given, edits the final SimConfig before the machine is
+ * built (the trace tests arm traceSink/traceData through it).
  */
 inline uint64_t
 runWorkload(Workload w, SchedulerType sched, uint32_t host_threads = 1,
             const char* backend = "timing", bool conc_conflicts = false,
-            bool parallel_replay = false)
+            bool parallel_replay = false,
+            const std::function<void(SimConfig&)>& tweak = {})
 {
     auto* st = new (arena()) WorkState();
     SimConfig cfg;
@@ -146,6 +150,8 @@ runWorkload(Workload w, SchedulerType sched, uint32_t host_threads = 1,
     cfg.engineBackend = backend;
     cfg.concurrentConflicts = conc_conflicts;
     cfg.parallelReplay = parallel_replay;
+    if (tweak)
+        tweak(cfg);
     Machine m(cfg);
     switch (w) {
       case Workload::Spawn:

@@ -29,6 +29,7 @@
 #include "base/rng.h"
 #include "harness/classifier.h"
 #include "harness/serving.h"
+#include "swarm/backends/trace_replay_backend.h"
 #include "swarm/classification.h"
 
 using namespace ssim;
@@ -165,9 +166,10 @@ TEST(ServingArrivals, StrictlyIncreasingAndSeedDeterministic)
         for (size_t i = 1; i < a.size(); i++)
             EXPECT_GT(a[i], a[i - 1]) << arrivalKindName(kind);
         EXPECT_GT(a[0], 0u);
-        if (kind != ArrivalKind::Uniform)
+        if (kind != ArrivalKind::Uniform) {
             EXPECT_NE(a, generateArrivals(kind, 500, 300, 10))
                 << arrivalKindName(kind);
+        }
     }
 }
 
@@ -330,7 +332,9 @@ TEST(Serving, NewAppsPassFullInvarianceGrid)
 
         auto runCell = [&](const char* backend, uint32_t threads,
                            bool conc, bool replay,
-                           std::shared_ptr<ClassificationMap> map) {
+                           std::shared_ptr<ClassificationMap> map,
+                           std::shared_ptr<const TraceData> trace =
+                               nullptr) {
             app->reset();
             SimConfig cfg =
                 SimConfig::withCores(16, SchedulerType::Hints, 42);
@@ -338,6 +342,7 @@ TEST(Serving, NewAppsPassFullInvarianceGrid)
             cfg.hostThreads = threads;
             cfg.concurrentConflicts = conc;
             cfg.parallelReplay = replay;
+            cfg.traceData = std::move(trace);
             if (map) {
                 cfg.classifyMode = "profile";
                 cfg.classifyMap = map;
@@ -367,14 +372,35 @@ TEST(Serving, NewAppsPassFullInvarianceGrid)
         auto map = std::make_shared<ClassificationMap>(
             cls.buildMap(app->reductionRanges()));
 
-        for (const char* backend : {"timing", "functional"})
+        // Record one cost trace per app (timing-delegating record run;
+        // its results must already match the reference) so the
+        // trace-replay column of the grid replays a real trace.
+        auto sink = std::make_shared<TraceData>();
+        app->reset();
+        SimConfig recCfg =
+            SimConfig::withCores(16, SchedulerType::Hints, 42);
+        recCfg.engineBackend = "trace-record";
+        recCfg.traceSink = sink;
+        Machine rm(recCfg);
+        app->enqueueInitial(rm);
+        rm.run();
+        ASSERT_TRUE(app->validate()) << name << "/trace-record";
+        ASSERT_EQ(app->resultDigest(), ref) << name << "/trace-record";
+        sink->recordResultDigest = ref;
+
+        for (const char* backend :
+             {"timing", "functional", "trace-replay"})
             for (uint32_t threads : {1u, 2u, 8u})
                 for (bool conc : {false, true})
                     for (bool replay : {false, true})
                         for (bool classify : {false, true})
                             EXPECT_EQ(runCell(backend, threads, conc,
                                               replay,
-                                              classify ? map : nullptr),
+                                              classify ? map : nullptr,
+                                              std::string(backend) ==
+                                                      "trace-replay"
+                                                  ? sink
+                                                  : nullptr),
                                       ref)
                                 << name << "/" << backend << " t"
                                 << threads << " conc=" << conc

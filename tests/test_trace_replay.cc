@@ -1,0 +1,534 @@
+/**
+ * @file
+ * The trace-replay record/replay test lattice
+ * (swarm/backends/trace_replay_backend.h, docs/backends.md):
+ *
+ *  - trace-record is a timing run with a tap: it reproduces the
+ *    pre-refactor golden digests bit-identically at any host thread
+ *    count, and fills its sink.
+ *  - trace-replay reproduces the timing backend's functional results on
+ *    every registered app (record -> replay result-digest equality),
+ *    and its own digests are deterministic and invariant across
+ *    hostThreads {1,2,8} x conc-conflicts x parallel-replay.
+ *  - Trace files round-trip: save -> load preserves every stream and a
+ *    re-save is byte-identical; a file-loaded trace (first-dispatch
+ *    type derivation) still replays to timing-equal results.
+ *  - Malformed traces are rejected loudly: truncation, bad
+ *    magic/version, overflow cost tokens, duplicate/short records all
+ *    fail load() without touching the map, and an armed malformed
+ *    trace file is fatal in the harness — never a silent fallback.
+ *  - Poisoned traces (zeroed or inflated costs) and empty traces (pure
+ *    fallback) never corrupt results: costs decide HOW LONG, not WHAT.
+ *  - The harness seam: runOnce does the record pre-run when no trace
+ *    exists, cfg.traceFile round-trips through save/load, sweep()
+ *    records once and replays every other core count, and serving's
+ *    mid-run injection (CommitController epoch re-arming) composes
+ *    with replay.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "apps/app.h"
+#include "golden_workloads.h"
+#include "harness/runner.h"
+#include "harness/serving.h"
+#include "swarm/backends/trace_replay_backend.h"
+#include "swarm/policies.h"
+
+using namespace ssim;
+using namespace ssim::golden;
+
+namespace {
+
+std::string
+tmpPath(const char* name)
+{
+    return testing::TempDir() + "ssim_trace_" + name;
+}
+
+/// Record one golden workload into a fresh trace.
+std::shared_ptr<TraceData>
+recordWorkload(Workload w, SchedulerType sched, uint32_t threads = 1)
+{
+    auto sink = std::make_shared<TraceData>();
+    runWorkload(w, sched, threads, "trace-record", false, false,
+                [&](SimConfig& cfg) { cfg.traceSink = sink; });
+    return sink;
+}
+
+/// Replay digest of one golden workload under an armed trace.
+uint64_t
+replayWorkload(Workload w, SchedulerType sched,
+               std::shared_ptr<const TraceData> trace,
+               uint32_t threads = 1, bool conc = false, bool replay = false)
+{
+    return runWorkload(w, sched, threads, "trace-replay", conc, replay,
+                       [&](SimConfig& cfg) { cfg.traceData = trace; });
+}
+
+struct AppRun
+{
+    uint64_t result = 0;
+    bool valid = false;
+    SimStats stats;
+};
+
+/// One closed-loop app run at Tiny/16 cores under @p backend, with an
+/// optional sink (record) or trace (replay) armed.
+AppRun
+runApp(apps::App& app, const char* backend,
+       std::shared_ptr<TraceData> sink = nullptr,
+       std::shared_ptr<const TraceData> trace = nullptr)
+{
+    app.reset();
+    SimConfig cfg = SimConfig::withCores(16, SchedulerType::Hints, 42);
+    cfg.engineBackend = backend;
+    cfg.traceSink = std::move(sink);
+    cfg.traceData = std::move(trace);
+    Machine m(cfg);
+    app.enqueueInitial(m);
+    m.run();
+    AppRun r;
+    r.result = app.resultDigest();
+    r.valid = app.validate();
+    r.stats = m.stats();
+    return r;
+}
+
+} // namespace
+
+// ---- Record: a timing run, bit-identically -------------------------------
+
+TEST(TraceReplay, RecordBackendReproducesGoldenDigests)
+{
+    if (!arenaIsFixed())
+        GTEST_SKIP() << "fixed-address arena unavailable; digests are "
+                        "address-dependent";
+    for (const Golden& g : kGoldens) {
+        for (uint32_t threads : {1u, 2u, 8u}) {
+            auto sink = std::make_shared<TraceData>();
+            EXPECT_EQ(runWorkload(g.w, g.sched, threads, "trace-record",
+                                  false, false,
+                                  [&](SimConfig& cfg) {
+                                      cfg.traceSink = sink;
+                                  }),
+                      g.digest)
+                << g.name << " @ hostThreads=" << threads;
+            EXPECT_FALSE(sink->streams.empty()) << g.name;
+            EXPECT_GT(sink->numTypes, 0u) << g.name;
+        }
+    }
+}
+
+// ---- Replay: timing-equal results on every registered app ----------------
+
+TEST(TraceReplay, ReplayMatchesTimingResultsOnAllApps)
+{
+    for (const auto& name : apps::appNames()) {
+        auto app = apps::makeApp(name);
+        apps::AppParams params;
+        params.preset = apps::Preset::Tiny;
+        params.seed = 42;
+        app->setup(params);
+
+        AppRun timing = runApp(*app, "timing");
+        ASSERT_TRUE(timing.valid) << name;
+
+        auto sink = std::make_shared<TraceData>();
+        AppRun rec = runApp(*app, "trace-record", sink);
+        EXPECT_TRUE(rec.valid) << name << " under trace-record";
+        EXPECT_EQ(rec.result, timing.result)
+            << name << ": recording run diverged from timing";
+        sink->recordResultDigest = rec.result;
+
+        AppRun rep = runApp(*app, "trace-replay", nullptr, sink);
+        EXPECT_TRUE(rep.valid) << name << " under trace-replay";
+        EXPECT_EQ(rep.result, timing.result)
+            << name << ": replay diverged from timing";
+        EXPECT_GT(rep.stats.traceServedCosts, 0u) << name;
+        EXPECT_GT(rep.stats.tasksCommitted, 0u) << name;
+    }
+}
+
+// ---- Replay determinism and thread/conc/replay invariance ----------------
+
+TEST(TraceReplay, ReplayIsDeterministicAndInvariant)
+{
+    ASSERT_NE(arena(), nullptr);
+    for (const Golden& g : kGoldens) {
+        auto trace = recordWorkload(g.w, g.sched);
+        uint64_t first = replayWorkload(g.w, g.sched, trace);
+        EXPECT_EQ(first, replayWorkload(g.w, g.sched, trace)) << g.name;
+        // Inline-effects backends degrade hostThreads>1 to the serial
+        // loop and ignore conc/replay — digests must not notice any of
+        // the three knobs.
+        for (uint32_t threads : {1u, 2u, 8u})
+            for (bool conc : {false, true})
+                for (bool replay : {false, true})
+                    EXPECT_EQ(first, replayWorkload(g.w, g.sched, trace,
+                                                    threads, conc,
+                                                    replay))
+                        << g.name << " @ t" << threads
+                        << " conc=" << conc << " replay=" << replay;
+    }
+}
+
+// ---- Trace files: save/load round trip -----------------------------------
+
+TEST(TraceReplay, SaveLoadRoundTrip)
+{
+    auto trace = recordWorkload(Workload::Contend, SchedulerType::Hints);
+    trace->recordResultDigest = 0xfeedfacecafef00dull;
+    std::string path = tmpPath("roundtrip");
+    ASSERT_TRUE(trace->save(path));
+
+    TraceData loaded;
+    ASSERT_TRUE(loaded.load(path));
+    EXPECT_EQ(loaded.recordResultDigest, trace->recordResultDigest);
+    EXPECT_EQ(loaded.numTypes, trace->numTypes);
+    EXPECT_TRUE(loaded.fnIds.empty()); // pointers never round-trip
+    ASSERT_EQ(loaded.streams.size(), trace->streams.size());
+    for (const auto& [key, s] : trace->streams) {
+        auto it = loaded.streams.find(key);
+        ASSERT_NE(it, loaded.streams.end());
+        EXPECT_EQ(it->second.count, s.count);
+        EXPECT_EQ(it->second.sum, s.sum);
+        EXPECT_EQ(it->second.head, s.head);
+    }
+
+    // A re-save of the loaded trace is byte-identical (sorted text).
+    std::string path2 = tmpPath("roundtrip2");
+    ASSERT_TRUE(loaded.save(path2));
+    std::ifstream a(path), b(path2);
+    std::string sa((std::istreambuf_iterator<char>(a)),
+                   std::istreambuf_iterator<char>());
+    std::string sb((std::istreambuf_iterator<char>(b)),
+                   std::istreambuf_iterator<char>());
+    EXPECT_FALSE(sa.empty());
+    EXPECT_EQ(sa, sb);
+    std::remove(path.c_str());
+    std::remove(path2.c_str());
+}
+
+TEST(TraceReplay, FileLoadedTraceStillReplaysToTimingResults)
+{
+    // Through a file, fn pointers are gone: the replayer re-derives task
+    // types in first-dispatch order. Results must still equal timing.
+    auto app = apps::makeApp("bfs");
+    apps::AppParams params;
+    params.preset = apps::Preset::Tiny;
+    params.seed = 42;
+    app->setup(params);
+
+    AppRun timing = runApp(*app, "timing");
+    auto sink = std::make_shared<TraceData>();
+    AppRun rec = runApp(*app, "trace-record", sink);
+    sink->recordResultDigest = rec.result;
+
+    std::string path = tmpPath("fileload");
+    ASSERT_TRUE(sink->save(path));
+    auto loaded = std::make_shared<TraceData>();
+    ASSERT_TRUE(loaded->load(path));
+    std::remove(path.c_str());
+
+    AppRun rep = runApp(*app, "trace-replay", nullptr, loaded);
+    EXPECT_TRUE(rep.valid);
+    EXPECT_EQ(rep.result, timing.result);
+    EXPECT_GT(rep.stats.traceServedCosts, 0u);
+}
+
+// ---- Malformed traces: rejected loudly, never applied --------------------
+
+namespace {
+
+void
+writeFile(const std::string& path, const std::string& text)
+{
+    std::ofstream f(path);
+    f << text;
+}
+
+/// load() must return false AND leave the pre-existing contents intact.
+void
+expectRejected(const std::string& text, const char* what)
+{
+    std::string path = tmpPath("malformed");
+    writeFile(path, text);
+    TraceData t;
+    t.record({7, 0, 0x40}, 11); // pre-existing state the load must keep
+    t.numTypes = 9;
+    ASSERT_FALSE(t.load(path)) << what;
+    EXPECT_EQ(t.streams.size(), 1u) << what;
+    EXPECT_EQ(t.numTypes, 9u) << what;
+    ASSERT_NE(t.streams.find({7, 0, 0x40}), t.streams.end()) << what;
+    std::remove(path.c_str());
+}
+
+} // namespace
+
+TEST(TraceReplay, MalformedTracesAreRejected)
+{
+    expectRejected("", "empty file");
+    expectRejected("swarmsim-trace v9\ndigest 0\ntypes 1\nend\n",
+                   "bad version");
+    expectRejected("not a trace at all\n", "bad magic");
+    expectRejected("swarmsim-trace v1\ndigest 0\ntypes 1\n"
+                   "k 1 0 40 3 30 1 10\n",
+                   "truncated (missing end sentinel)");
+    expectRejected("swarmsim-trace v1\ndigest 0\ntypes 1\n"
+                   "k 1 0 40 3 30 1 4294967296\nend\n",
+                   "overflow cost token");
+    expectRejected("swarmsim-trace v1\ndigest 0\ntypes 1\n"
+                   "k 1 0 40 3 99999999999999999999999 1 10\nend\n",
+                   "overflow sum token");
+    expectRejected("swarmsim-trace v1\ndigest 0\ntypes 1\n"
+                   "k 1 0 40 0 0 0\nend\n",
+                   "zero-count stream");
+    expectRejected("swarmsim-trace v1\ndigest 0\ntypes 1\n"
+                   "k 1 99 40 3 30 1 10\nend\n",
+                   "unknown access kind");
+    expectRejected("swarmsim-trace v1\ndigest 0\ntypes 1\n"
+                   "k 1 0 40 1 10 2 5 5\nend\n",
+                   "nhead exceeds count");
+    expectRejected("swarmsim-trace v1\ndigest 0\ntypes 1\n"
+                   "k 1 0 40 3 30\nend\n",
+                   "short key record");
+    expectRejected("swarmsim-trace v1\ndigest 0\ntypes 1\n"
+                   "k 1 0 40 3 30 1 10 77\nend\n",
+                   "trailing tokens");
+    expectRejected("swarmsim-trace v1\ndigest 0\ntypes 1\n"
+                   "k 1 0 40 3 30 1 10\nk 1 0 40 3 30 1 10\nend\n",
+                   "duplicate key");
+    expectRejected("swarmsim-trace v1\ndigest 0\ntypes 1\n"
+                   "k 1 0 40 3 2 1 10\nend\n",
+                   "head exceeds recorded sum");
+    expectRejected("swarmsim-trace v1\ndigest zz\ntypes 1\nend\n",
+                   "bad digest token");
+    expectRejected("swarmsim-trace v1\ndigest 0\ntypes 1\n"
+                   "wat 1 2 3\nend\n",
+                   "unknown record tag");
+}
+
+TEST(TraceReplayDeath, ArmedMalformedTraceFileIsFatal)
+{
+    // The harness must never silently fall back on a malformed armed
+    // trace: runOnce's prepare step fatals before building a machine.
+    std::string path = tmpPath("fatal");
+    writeFile(path, "swarmsim-trace v1\ndigest 0\ntypes 1\n"
+                    "k 1 0 40 3 30 1 4294967296\nend\n");
+    auto app = apps::makeApp("bfs");
+    apps::AppParams params;
+    params.preset = apps::Preset::Tiny;
+    app->setup(params);
+    SimConfig cfg = SimConfig::withCores(16, SchedulerType::Hints, 42);
+    cfg.engineBackend = "trace-replay";
+    cfg.traceFile = path;
+    EXPECT_EXIT({ harness::prepareTraceReplay(*app, cfg); },
+                testing::ExitedWithCode(1), "malformed trace file");
+    std::remove(path.c_str());
+}
+
+TEST(TraceReplayDeath, RecordBackendWithoutSinkIsFatal)
+{
+    SimConfig cfg = SimConfig::withCores(4);
+    cfg.engineBackend = "trace-record";
+    EXPECT_EXIT({ Machine m(cfg); }, testing::ExitedWithCode(1),
+                "trace-record requires cfg.traceSink");
+}
+
+// ---- Poisoned / empty traces: fidelity lost, correctness kept ------------
+
+TEST(TraceReplay, PoisonedTraceCostsNeverCorruptResults)
+{
+    auto app = apps::makeApp("kvstore");
+    apps::AppParams params;
+    params.preset = apps::Preset::Tiny;
+    params.seed = 42;
+    app->setup(params);
+
+    AppRun timing = runApp(*app, "timing");
+    auto sink = std::make_shared<TraceData>();
+    runApp(*app, "trace-record", sink);
+
+    // Zeroed costs: the >=1 clamp must keep simulated time advancing.
+    auto zeroed = std::make_shared<TraceData>(*sink);
+    for (auto& [key, s] : zeroed->streams) {
+        for (auto& c : s.head)
+            c = 0;
+        s.sum = 0;
+    }
+    AppRun z = runApp(*app, "trace-replay", nullptr, zeroed);
+    EXPECT_TRUE(z.valid);
+    EXPECT_EQ(z.result, timing.result) << "zero-cost poisoned trace";
+
+    // Wildly inflated costs: different schedule, same results.
+    auto inflated = std::make_shared<TraceData>(*sink);
+    for (auto& [key, s] : inflated->streams) {
+        for (auto& c : s.head)
+            c = c * 977 + 13;
+        s.sum = s.sum * 977 + 13 * s.count;
+    }
+    AppRun i = runApp(*app, "trace-replay", nullptr, inflated);
+    EXPECT_TRUE(i.valid);
+    EXPECT_EQ(i.result, timing.result) << "inflated poisoned trace";
+}
+
+TEST(TraceReplay, EmptyTraceFallsBackForEveryCostAndStaysCorrect)
+{
+    auto app = apps::makeApp("sssp");
+    apps::AppParams params;
+    params.preset = apps::Preset::Tiny;
+    params.seed = 42;
+    app->setup(params);
+
+    AppRun timing = runApp(*app, "timing");
+    AppRun rep = runApp(*app, "trace-replay", nullptr,
+                        std::make_shared<TraceData>());
+    EXPECT_TRUE(rep.valid);
+    EXPECT_EQ(rep.result, timing.result);
+    EXPECT_EQ(rep.stats.traceServedCosts, 0u);
+    EXPECT_GT(rep.stats.traceFallbackCosts, 0u);
+}
+
+// ---- Registry / policy surfaces ------------------------------------------
+
+TEST(TraceReplay, RegistryAndPolicySurfaces)
+{
+    auto names = policies::backendNames();
+    ASSERT_GE(names.size(), 4u);
+    // The pre-existing order is pinned elsewhere; the trace pair rides
+    // behind it.
+    EXPECT_NE(std::find(names.begin(), names.end(), "trace-record"),
+              names.end());
+    EXPECT_NE(std::find(names.begin(), names.end(), "trace-replay"),
+              names.end());
+    EXPECT_TRUE(policies::knownBackend("trace-replay"));
+    EXPECT_TRUE(policies::knownBackend("trace-record"));
+
+    SimConfig cfg;
+    EXPECT_TRUE(policies::set(cfg, "backend", "trace-replay"));
+    EXPECT_EQ(cfg.engineBackend, "trace-replay");
+    EXPECT_NE(policies::describe(cfg).find("backend=trace-replay"),
+              std::string::npos);
+}
+
+// ---- Harness seam: pre-run, traceFile, sweep reuse -----------------------
+
+TEST(TraceReplay, RunOnceRecordsPrerunWhenNoTraceExists)
+{
+    auto app = apps::makeApp("bfs");
+    apps::AppParams params;
+    params.preset = apps::Preset::Tiny;
+    params.seed = 42;
+    app->setup(params);
+
+    SimConfig cfg = SimConfig::withCores(16, SchedulerType::Hints, 42);
+    cfg.engineBackend = "trace-replay";
+    harness::RunResult r = harness::runOnce(*app, cfg);
+    EXPECT_TRUE(r.valid);
+    ASSERT_NE(r.trace, nullptr);
+    EXPECT_EQ(r.resultDigest, r.trace->recordResultDigest)
+        << "replay diverged from its own record pre-run";
+    EXPECT_GT(r.stats.traceServedCosts, 0u);
+
+    // An armed trace suppresses the pre-run and replays identically.
+    SimConfig armed = cfg;
+    armed.traceData = r.trace;
+    harness::RunResult r2 = harness::runOnce(*app, armed);
+    EXPECT_TRUE(r2.valid);
+    EXPECT_EQ(r2.resultDigest, r.resultDigest);
+    EXPECT_EQ(r2.trace, r.trace);
+}
+
+TEST(TraceReplay, TraceFileRoundTripsThroughRunner)
+{
+    auto app = apps::makeApp("kvstore");
+    apps::AppParams params;
+    params.preset = apps::Preset::Tiny;
+    params.seed = 42;
+    app->setup(params);
+
+    std::string path = tmpPath("runner");
+    std::remove(path.c_str());
+    SimConfig cfg = SimConfig::withCores(16, SchedulerType::Hints, 42);
+    cfg.engineBackend = "trace-replay";
+    cfg.traceFile = path;
+
+    // No file yet: runOnce records, saves, replays.
+    harness::RunResult r1 = harness::runOnce(*app, cfg);
+    EXPECT_TRUE(r1.valid);
+    EXPECT_TRUE(std::ifstream(path).good()) << "trace was not saved";
+
+    // File exists: runOnce loads instead of re-recording.
+    harness::RunResult r2 = harness::runOnce(*app, cfg);
+    EXPECT_TRUE(r2.valid);
+    ASSERT_NE(r2.trace, nullptr);
+    EXPECT_NE(r2.trace, r1.trace); // loaded, not re-recorded
+    EXPECT_EQ(r2.trace->recordResultDigest, r1.trace->recordResultDigest);
+    EXPECT_EQ(r2.resultDigest, r1.resultDigest);
+    std::remove(path.c_str());
+}
+
+TEST(TraceReplay, SweepRecordsOnceAndReplaysEveryOtherCoreCount)
+{
+    auto app = apps::makeApp("bfs");
+    apps::AppParams params;
+    params.preset = apps::Preset::Tiny;
+    params.seed = 42;
+    app->setup(params);
+
+    // sweep() builds its own configs, so the backend rides the env var
+    // exactly as the fig benches set it (applyBenchFlags).
+    ASSERT_EQ(setenv("SWARMSIM_BACKEND", "trace-replay", 1), 0);
+    auto series = harness::sweep(*app, SchedulerType::Hints, {1, 4, 16});
+    ASSERT_EQ(unsetenv("SWARMSIM_BACKEND"), 0);
+
+    ASSERT_EQ(series.size(), 3u);
+    ASSERT_NE(series[0].trace, nullptr);
+    for (const auto& r : series) {
+        EXPECT_TRUE(r.valid) << r.cores << " cores";
+        // Pointer equality: the whole sweep shares ONE recorded trace.
+        EXPECT_EQ(r.trace, series[0].trace) << r.cores << " cores";
+        EXPECT_EQ(r.resultDigest, series[0].trace->recordResultDigest)
+            << r.cores << " cores";
+    }
+}
+
+// ---- Serving: mid-run injection + epoch re-arming under replay -----------
+
+TEST(TraceReplay, ServingInjectionReArmsEpochsUnderReplay)
+{
+    auto app = apps::makeApp("kvstore");
+    apps::AppParams params;
+    params.preset = apps::Preset::Tiny;
+    params.seed = 42;
+    app->setup(params);
+
+    // Huge arrival gaps force the machine to drain (quiesce) between
+    // requests, so every injection exercises
+    // CommitController::ensureEpochsScheduled re-arming; if replay broke
+    // it, requests would never commit and serveOnce's completion assert
+    // would fire.
+    harness::ServingConfig scfg;
+    scfg.arrivals = harness::ArrivalKind::Uniform;
+    scfg.meanGapCycles = 200000;
+    scfg.seed = 7;
+
+    SimConfig cfg = SimConfig::withCores(16, SchedulerType::Hints, 42);
+    cfg.engineBackend = "timing";
+    harness::ServingResult timing = harness::serveOnce(*app, cfg, scfg);
+    ASSERT_TRUE(timing.valid);
+
+    cfg.engineBackend = "trace-replay";
+    harness::ServingResult rep = harness::serveOnce(*app, cfg, scfg);
+    EXPECT_TRUE(rep.valid);
+    EXPECT_EQ(rep.requests, timing.requests);
+    EXPECT_EQ(rep.resultDigest, timing.resultDigest)
+        << "serving results diverged under trace-replay injection";
+    EXPECT_GT(rep.stats.traceServedCosts, 0u);
+}
