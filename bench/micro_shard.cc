@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Scale-out microbenchmark: the sharded process fabric vs the
+ * single-process run on every registered app (docs/scale-out.md).
+ *
+ * For each app the bench runs the same Tiny/16-core workload once
+ * single-process and once forked across N shard replicas (default 2)
+ * over the shm-ring transport, and reports host wall-clock for both
+ * plus the simulated cycle count and cross-shard traffic counters. Two
+ * checks are hard failures:
+ *
+ *  - every run must validate against the app's host-native oracle, and
+ *  - the sharded run's stats digest AND result digest must equal the
+ *    single-process run's bit-for-bit (digest_ok) — the replicated
+ *    state machines are only correct if no replica ever strays.
+ *
+ * Both runs happen in ONE bench process (fork shares this process's
+ * heap addresses), so the address-dependent stats digests are directly
+ * comparable. The wall-clock overhead column is the honest cost of the
+ * transport: every replica simulates the whole machine, so sharding
+ * buys address-space headroom and a process-failure boundary, not
+ * speed — a number worth watching, not gating.
+ *
+ * Flags: --smoke (identical workload, kept for CI symmetry),
+ * --app=name (one app only), --shards=N (replica count, default 2),
+ * --shard-hop=N (cross-shard NoC hop penalty; changes the digests, so
+ * both lanes get it), --json=FILE (machine-readable results,
+ * docs/benchmarks.md).
+ */
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "apps/app.h"
+#include "base/logging.h"
+#include "harness/cli.h"
+#include "harness/report.h"
+#include "harness/runner.h"
+#include "harness/shard_runner.h"
+#include "sim/topology.h"
+
+namespace {
+
+using namespace ssim;
+
+double
+msSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    static const char* const kExtras[] = {"--app", nullptr};
+    harness::requireKnownFlags(argc, argv, kExtras);
+    bool smoke = harness::hasFlag(argc, argv, "--smoke");
+    const char* only = harness::flagValue(argc, argv, "--app");
+
+    uint32_t nshards = 2;
+    if (const char* s = harness::flagValue(argc, argv, "--shards"))
+        nshards = harness::parsePositiveInt("--shards", s);
+    if (nshards < 2)
+        fatal("--shards=%u: the sharded lane needs at least 2 replicas",
+              nshards);
+
+    std::printf("micro_shard: single-process vs %u-shard shm-ring run on "
+                "all registered apps (16 cores)%s\n",
+                nshards, smoke ? " [smoke]" : "");
+    std::printf("%-8s %10s %10s %9s %12s %10s %8s   %s\n", "app",
+                "plain ms", "shard ms", "overhead", "sim cycles", "steps",
+                "progress", "checks");
+
+    harness::BenchJson json("micro_shard");
+    json.meta("smoke", smoke);
+    json.meta("shards", uint64_t(nshards));
+    int failures = 0;
+    for (const auto& name : apps::appNames()) {
+        if (only && name != only)
+            continue;
+        auto app = apps::makeApp(name);
+        apps::AppParams p;
+        p.preset = apps::Preset::Tiny;
+        p.seed = 42;
+        app->setup(p);
+
+        SimConfig cfg = SimConfig::withCores(16, SchedulerType::Hints, 42);
+        harness::applyShardHop(cfg, argc, argv);
+
+        SimConfig scfg = cfg;
+        scfg.numShards = nshards;
+        harness::resolveTopology(scfg);
+        // Both lanes must model the SAME simulated machine: the hop
+        // penalty only bites with a topology armed, so the plain lane
+        // gets the sharded lane's spec (numShards stays 1 — process
+        // fan-out is the only difference between the lanes).
+        cfg.topology = scfg.topology;
+
+        auto t0 = std::chrono::steady_clock::now();
+        harness::RunResult plain = harness::runOnce(*app, cfg);
+        double plainMs = msSince(t0);
+
+        t0 = std::chrono::steady_clock::now();
+        harness::RunResult sharded = harness::runSharded(*app, scfg);
+        double shardMs = msSince(t0);
+
+        bool digestOk =
+            statsDigest(sharded.stats) == statsDigest(plain.stats) &&
+            sharded.resultDigest == plain.resultDigest;
+        bool allValid = plain.valid && sharded.valid;
+        if (!digestOk || !allValid)
+            failures++;
+
+        json.beginRow();
+        json.val("app", name);
+        json.val("plain_ms", plainMs);
+        json.val("shard_ms", shardMs);
+        json.val("sim_cycles", plain.stats.cycles);
+        json.val("committed", plain.stats.tasksCommitted);
+        json.val("steps_sent", sharded.stats.shardStepsSent);
+        json.val("progress_msgs", sharded.stats.shardProgressMsgs);
+        json.val("digest_ok", digestOk);
+        json.val("valid", allValid);
+
+        std::printf("%-8s %10.1f %10.1f %8.2fx %12llu %10llu %8llu   "
+                    "%s%s\n",
+                    name.c_str(), plainMs, shardMs,
+                    plainMs > 0 ? shardMs / plainMs : 0.0,
+                    (unsigned long long)plain.stats.cycles,
+                    (unsigned long long)sharded.stats.shardStepsSent,
+                    (unsigned long long)sharded.stats.shardProgressMsgs,
+                    digestOk ? "digests identical" : "DIGEST MISMATCH",
+                    allValid ? "" : ", INVALID");
+    }
+
+    if (!json.finish(argc, argv, failures == 0))
+        failures++;
+
+    if (failures) {
+        std::printf("\nFAIL: %d app(s) failed validation or diverged "
+                    "between the single-process and sharded runs\n",
+                    failures);
+        return 1;
+    }
+    std::printf("\nall apps produce bit-identical digests across the "
+                "%u-shard process fabric\n",
+                nshards);
+    return 0;
+}

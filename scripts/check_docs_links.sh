@@ -12,6 +12,9 @@
 #  3. Fail on SWARMSIM_* environment variables referenced anywhere in
 #     src/ but missing from docs/configuration.md, so every env knob an
 #     operator can set is documented.
+#  4. Fail on topology-grammar keywords (the TOPO-KEYWORDS block in
+#     src/sim/topology.cc) missing from docs/scale-out.md, so the
+#     documented grammar cannot drift from the parser.
 set -u
 cd "$(dirname "$0")/.."
 
@@ -33,15 +36,21 @@ for f in README.md docs/*.md; do
 done
 
 # ---- SimConfig knob coverage -------------------------------------------
-# Extract data-member names: lines like "    uint32_t ntiles = 64;".
-# Default-argument lines of member functions contain parens and are
-# filtered out. Knobs that are deliberately undocumented go in the
-# allowlist.
+# Extract data-member names, both initialized ("uint32_t ntiles = 64;")
+# and initializer-less ("std::shared_ptr<const TopologySpec> topology;",
+# "std::string topologyFile;"). Default-argument lines of member
+# functions contain parens and are filtered out; return statements
+# don't fit the one-type-one-name shape. Knobs that are deliberately
+# undocumented go in the allowlist.
 allow=""
-knobs=$(sed -E 's|//.*$||' src/sim/config.h |
-        grep -E '^[[:space:]]+[A-Za-z_][A-Za-z0-9_:]*[[:space:]]+[A-Za-z_][A-Za-z0-9_]*[[:space:]]*=[^;]*;' |
+stripped=$(sed -E 's|//.*$||' src/sim/config.h)
+knobs_init=$(grep -E '^[[:space:]]+[A-Za-z_][A-Za-z0-9_:]*[[:space:]]+[A-Za-z_][A-Za-z0-9_]*[[:space:]]*=[^;]*;' <<<"$stripped" |
         grep -v '[()]' |
         sed -E 's/^[[:space:]]+[A-Za-z_][A-Za-z0-9_:]*[[:space:]]+([A-Za-z_][A-Za-z0-9_]*)[[:space:]]*=.*/\1/')
+knobs_bare=$(grep -E '^[[:space:]]+[A-Za-z_][A-Za-z0-9_:]*(<[^;=]*>)?[[:space:]]+[A-Za-z_][A-Za-z0-9_]*[[:space:]]*;[[:space:]]*$' <<<"$stripped" |
+        grep -v '[()=]' |
+        sed -E 's/^.*[[:space:]]([A-Za-z_][A-Za-z0-9_]*)[[:space:]]*;[[:space:]]*$/\1/')
+knobs=$(printf '%s\n%s\n' "$knobs_init" "$knobs_bare" | sort -u)
 [ -n "$knobs" ] || { echo "knob extraction found nothing in src/sim/config.h"; fail=1; }
 for k in $knobs; do
     case " $allow " in *" $k "*) continue ;; esac
@@ -62,6 +71,20 @@ for v in $envs; do
     case " $env_allow " in *" $v "*) continue ;; esac
     if ! grep -q "$v" docs/configuration.md; then
         echo "undocumented env var: $v (add it to docs/configuration.md)"
+        fail=1
+    fi
+done
+
+# ---- Topology grammar keyword coverage ---------------------------------
+# The parser's keyword list lives between the TOPO-KEYWORDS-BEGIN/END
+# markers in src/sim/topology.cc; every quoted keyword there must appear
+# in docs/scale-out.md so the documented grammar tracks the code.
+topo_kw=$(sed -n '/TOPO-KEYWORDS-BEGIN/,/TOPO-KEYWORDS-END/p' src/sim/topology.cc |
+          grep -oE '"[^"]+"' | tr -d '"' | sort -u)
+[ -n "$topo_kw" ] || { echo "TOPO-KEYWORDS extraction found nothing in src/sim/topology.cc"; fail=1; }
+for k in $topo_kw; do
+    if ! grep -qF "$k" docs/scale-out.md; then
+        echo "topology keyword missing from docs/scale-out.md: $k"
         fail=1
     fi
 done

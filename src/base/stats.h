@@ -128,6 +128,17 @@ struct SimStats
     /// counted when their slot consumes them).
     uint64_t lineTableRegs = 0;
 
+    // Cross-shard scale-out counters (cfg.topology / sharded runs; all
+    // zero otherwise). EXCLUDED from the golden digest: the digest
+    // gates "topology plus shardHopPenalty=0 changes nothing" and
+    // "N processes == 1 process", and these counters deliberately
+    // differ across those configurations (crossShardMsgs appears once
+    // a topology is armed; the wire counters only in a forked shard).
+    uint64_t crossShardMsgs = 0;  ///< NoC messages crossing a shard boundary
+    uint64_t shardStepsSent = 0;  ///< wire effect records sent by this shard
+    uint64_t shardStepsRecv = 0;  ///< wire effect records consumed
+    uint64_t shardProgressMsgs = 0; ///< GVT progress reports to the reducer
+
     // Trace-replay cost provenance (backend=trace-replay; both zero
     // otherwise). EXCLUDED from the golden digest like the
     // classification counters above: a replayed run is gated on the

@@ -191,13 +191,90 @@ applyTrace(SimConfig& cfg, int argc, char** argv)
         cfg.traceFile = v;
 }
 
+namespace {
+
+/// Non-negative u32 parse shared by --shard-hop and its env mirror
+/// (parsePositiveInt rejects 0, which is a legal penalty).
+bool
+parseNonNegativeU32(const char* text, uint32_t& out)
+{
+    errno = 0;
+    char* end = nullptr;
+    long long v = std::strtoll(text, &end, 10);
+    if (!end || end == text || *end != '\0' || errno == ERANGE || v < 0 ||
+        v > (long long)UINT32_MAX)
+        return false;
+    out = uint32_t(v);
+    return true;
+}
+
+} // namespace
+
+void
+applyShards(SimConfig& cfg, int argc, char** argv)
+{
+    if (const char* e = std::getenv("SWARMSIM_SHARDS")) {
+        int n = std::atoi(e);
+        if (n >= 1) {
+            cfg.numShards = uint32_t(n);
+        } else {
+            static bool warned = false; // runOnce applies this per run
+            if (!warned) {
+                warned = true;
+                warn("ignoring SWARMSIM_SHARDS='%s' (needs a positive "
+                     "integer); running single-process",
+                     e);
+            }
+        }
+    }
+    if (const char* v = flagValue(argc, argv, "--shards"))
+        cfg.numShards = parsePositiveInt("--shards", v);
+}
+
+void
+applyTopology(SimConfig& cfg, int argc, char** argv)
+{
+    // A path has no well-formedness to check up front: parsing is
+    // resolveTopology's business (malformed file = fatal, never a
+    // silent fallback).
+    if (const char* e = std::getenv("SWARMSIM_TOPOLOGY"))
+        cfg.topologyFile = e;
+    if (const char* v = flagValue(argc, argv, "--topology"))
+        cfg.topologyFile = v;
+}
+
+void
+applyShardHop(SimConfig& cfg, int argc, char** argv)
+{
+    if (const char* e = std::getenv("SWARMSIM_SHARD_HOP")) {
+        uint32_t n = 0;
+        if (parseNonNegativeU32(e, n)) {
+            cfg.shardHopPenalty = n;
+        } else {
+            static bool warned = false; // runOnce applies this per run
+            if (!warned) {
+                warned = true;
+                warn("ignoring SWARMSIM_SHARD_HOP='%s' (needs a "
+                     "non-negative integer)",
+                     e);
+            }
+        }
+    }
+    if (const char* v = flagValue(argc, argv, "--shard-hop")) {
+        if (!parseNonNegativeU32(v, cfg.shardHopPenalty))
+            fatal("--shard-hop needs a non-negative 32-bit integer, "
+                  "got '%s'",
+                  v);
+    }
+}
+
 void
 requireKnownFlags(int argc, char** argv, const char* const* extras)
 {
     static const char* const kShared[] = {
         "--host-threads", "--backend",  "--conc-conflicts",
-        "--parallel-replay", "--classify", "--trace", "--policy",
-        "--json", "--smoke",
+        "--parallel-replay", "--classify", "--trace", "--shards",
+        "--topology", "--shard-hop", "--policy", "--json", "--smoke",
     };
     for (int i = 1; i < argc; i++) {
         const char* arg = argv[i];
@@ -264,6 +341,20 @@ applyBenchFlags(int argc, char** argv)
     }
     if (const char* v = flagValue(argc, argv, "--trace"))
         setenv("SWARMSIM_TRACE", v, /*overwrite=*/1);
+    if (const char* v = flagValue(argc, argv, "--shards")) {
+        parsePositiveInt("--shards", v); // validate before export
+        setenv("SWARMSIM_SHARDS", v, /*overwrite=*/1);
+    }
+    if (const char* v = flagValue(argc, argv, "--topology"))
+        setenv("SWARMSIM_TOPOLOGY", v, /*overwrite=*/1);
+    if (const char* v = flagValue(argc, argv, "--shard-hop")) {
+        uint32_t n = 0;
+        if (!parseNonNegativeU32(v, n))
+            fatal("--shard-hop needs a non-negative 32-bit integer, "
+                  "got '%s'",
+                  v);
+        setenv("SWARMSIM_SHARD_HOP", v, /*overwrite=*/1);
+    }
 }
 
 } // namespace ssim::harness

@@ -92,11 +92,38 @@ void applyClassify(SimConfig& cfg, int argc = 0, char** argv = nullptr);
 void applyTrace(SimConfig& cfg, int argc = 0, char** argv = nullptr);
 
 /**
+ * Apply shard-count overrides to @p cfg.numShards: the SWARMSIM_SHARDS
+ * environment variable (lenient: an invalid or < 1 value is ignored
+ * with a one-time warning), then any --shards=N in argv, which wins and
+ * must be a positive integer. N > 1 makes harness::runOnce fork N
+ * replica processes connected by shm rings (docs/scale-out.md).
+ */
+void applyShards(SimConfig& cfg, int argc = 0, char** argv = nullptr);
+
+/**
+ * Apply topology-file overrides to @p cfg.topologyFile: the
+ * SWARMSIM_TOPOLOGY environment variable (a path), then any
+ * --topology=path in argv, which wins. The file must follow the
+ * sim/topology.h grammar; resolveTopology fatals on a malformed spec.
+ */
+void applyTopology(SimConfig& cfg, int argc = 0, char** argv = nullptr);
+
+/**
+ * Apply shard-hop-penalty overrides to @p cfg.shardHopPenalty: the
+ * SWARMSIM_SHARD_HOP environment variable (lenient: a non-numeric
+ * value is ignored with a one-time warning; 0 is valid and the
+ * default), then any --shard-hop=N in argv, which wins and must be a
+ * non-negative integer.
+ */
+void applyShardHop(SimConfig& cfg, int argc = 0, char** argv = nullptr);
+
+/**
  * Fail fast on unrecognized `--` flags: fatals (exit, not abort) naming
  * the first argv token that starts with "--" whose flag part (before
  * any '=') is neither in the shared bench set — --host-threads,
  * --backend, --conc-conflicts, --parallel-replay, --classify, --trace,
- * --policy, --json, --smoke — nor in @p extras. Benches call it first in main() so a typo
+ * --shards, --topology, --shard-hop, --policy, --json, --smoke — nor
+ * in @p extras. Benches call it first in main() so a typo
  * like `--host-thread=8` aborts the run instead of silently measuring
  * the default configuration. @p extras is a nullptr-terminated array of
  * additional accepted flag spellings (may be nullptr); an entry ending

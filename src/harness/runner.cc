@@ -8,6 +8,7 @@
 #include "base/logging.h"
 #include "harness/classifier.h"
 #include "harness/report.h"
+#include "harness/shard_runner.h"
 #include "swarm/backends/trace_replay_backend.h"
 #include "swarm/classification.h"
 #include "swarm/policies.h"
@@ -26,6 +27,10 @@ prepareTraceReplay(apps::App& app, SimConfig& cfg)
                 fatal("backend trace-replay: malformed trace file '%s' "
                       "(delete it to re-record)",
                       cfg.traceFile.c_str());
+            // Trace files carry no topology; a file the user points a
+            // topologized run at is adopted under that run's key (the
+            // in-memory reuse guard is for sweep/runOnce round trips).
+            loaded->topologyKey = topologyKeyOf(cfg);
             cfg.traceData = std::move(loaded);
             return false;
         }
@@ -42,6 +47,7 @@ prepareTraceReplay(apps::App& app, SimConfig& cfg)
     app.enqueueInitial(rm);
     rm.run();
     sink->recordResultDigest = app.resultDigest();
+    sink->topologyKey = topologyKeyOf(cfg);
     if (!cfg.traceFile.empty() && !sink->save(cfg.traceFile))
         warn("backend trace-replay: cannot save trace to '%s'",
              cfg.traceFile.c_str());
@@ -67,6 +73,25 @@ runOnce(apps::App& app, const SimConfig& cfg, AccessProfiler* profiler)
     applyParallelReplay(hostCfg);
     applyClassify(hostCfg);
     applyTrace(hostCfg);
+    // Scale-out knobs + topology resolution (docs/scale-out.md). The
+    // topology prices cross-shard hops, so it must be armed before any
+    // profiling or trace-record pre-run below — those measure the same
+    // simulated machine the real run models.
+    applyShards(hostCfg);
+    applyTopology(hostCfg);
+    applyShardHop(hostCfg);
+    resolveTopology(hostCfg);
+    if (hostCfg.traceData &&
+        hostCfg.traceData->topologyKey != topologyKeyOf(hostCfg)) {
+        // An armed trace recorded under a different topology prices
+        // cross-shard hops wrong: drop it loudly and re-record below
+        // rather than silently serve mismatched costs.
+        warn("dropping armed trace (topology '%s' != this run's '%s'); "
+             "re-recording",
+             hostCfg.traceData->topologyKey.c_str(),
+             topologyKeyOf(hostCfg).c_str());
+        hostCfg.traceData = nullptr;
+    }
     if (hostCfg.classifyMode == "profile" && !hostCfg.classifyMap) {
         // Profile-guided classification: run the workload once with
         // classification off, feeding every committed task's access
@@ -89,17 +114,28 @@ runOnce(apps::App& app, const SimConfig& cfg, AccessProfiler* profiler)
         app.reset();
     }
     bool recordedHere = prepareTraceReplay(app, hostCfg);
-    Machine m(hostCfg);
-    if (profiler)
-        m.setProfiler(profiler);
-    app.enqueueInitial(m);
-    m.run();
     RunResult r;
-    r.cores = cfg.totalCores();
-    r.sched = cfg.sched;
-    r.valid = app.validate();
-    r.stats = m.stats();
-    r.resultDigest = app.resultDigest();
+    if (hostCfg.numShards > 1) {
+        // Process fan-out: fork numShards replicas over shm rings
+        // (harness/shard_runner.h). Pre-runs above happened in THIS
+        // process, so the armed classification map / trace reach every
+        // replica through fork's copy-on-write.
+        if (profiler)
+            fatal("sharded runs do not take a commit profiler (profile "
+                  "single-process, then shard)");
+        r = runSharded(app, hostCfg);
+    } else {
+        Machine m(hostCfg);
+        if (profiler)
+            m.setProfiler(profiler);
+        app.enqueueInitial(m);
+        m.run();
+        r.cores = cfg.totalCores();
+        r.sched = cfg.sched;
+        r.valid = app.validate();
+        r.stats = m.stats();
+        r.resultDigest = app.resultDigest();
+    }
     if (hostCfg.engineBackend == "trace-replay")
         r.trace = hostCfg.traceData;
     if (r.trace && r.trace->recordResultDigest &&
@@ -140,7 +176,11 @@ namespace {
 /// count. Results are core-count invariant, so each replayed point's
 /// digest is asserted against the recording run's — a divergence
 /// invalidates that point loudly. No-op for non-trace backends (the
-/// first run returns no trace).
+/// first run returns no trace). Reuse is keyed on topology too: if a
+/// point resolves a different topology (e.g. SWARMSIM_TOPOLOGY mid
+/// sweep), runOnce drops the armed trace and re-records, returning a
+/// FRESH trace — check() adopts it so later points replay hop-correct
+/// costs instead of being gated against the stale recording.
 struct SweepTraceReuse
 {
     std::shared_ptr<const TraceData> trace;
@@ -150,7 +190,7 @@ struct SweepTraceReuse
     void
     check(const apps::App& app, RunResult& r)
     {
-        if (!trace) {
+        if (!trace || (r.trace && r.trace != trace)) {
             trace = r.trace;
             return;
         }

@@ -1,0 +1,301 @@
+#include "harness/shard_runner.h"
+
+#include <csignal>
+#include <cstdio>
+#include <deque>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#include <vector>
+
+#include "base/logging.h"
+#include "harness/runner.h"
+#include "sim/topology.h"
+#include "swarm/machine.h"
+#include "swarm/shard.h"
+#include "swarm/wire.h"
+
+namespace ssim::harness {
+
+void
+resolveTopology(SimConfig& cfg)
+{
+    if (cfg.topology) {
+        ssim_assert(cfg.topology->ntiles == cfg.ntiles,
+                    "injected topology covers %u tiles but the config "
+                    "has %u",
+                    cfg.topology->ntiles, cfg.ntiles);
+        if (cfg.numShards > 1)
+            ssim_assert(cfg.topology->numShards() == cfg.numShards,
+                        "injected topology has %u shards but "
+                        "numShards is %u",
+                        cfg.topology->numShards(), cfg.numShards);
+        return;
+    }
+    if (!cfg.topologyFile.empty()) {
+        std::ifstream in(cfg.topologyFile);
+        if (!in.good())
+            fatal("cannot open topology file '%s'",
+                  cfg.topologyFile.c_str());
+        std::stringstream ss;
+        ss << in.rdbuf();
+        auto topo = std::make_shared<TopologySpec>();
+        std::string err;
+        if (!topo->parse(ss.str(), &err))
+            fatal("malformed topology file '%s': %s",
+                  cfg.topologyFile.c_str(), err.c_str());
+        if (topo->ntiles != cfg.ntiles)
+            fatal("topology file '%s' covers %u tiles but the config "
+                  "has %u",
+                  cfg.topologyFile.c_str(), topo->ntiles, cfg.ntiles);
+        if (cfg.numShards > 1 && topo->numShards() != cfg.numShards)
+            fatal("topology file '%s' has %u shards but numShards is %u",
+                  cfg.topologyFile.c_str(), topo->numShards(),
+                  cfg.numShards);
+        cfg.topology = std::move(topo);
+        return;
+    }
+    if (cfg.numShards > cfg.ntiles) {
+        // A global SWARMSIM_SHARDS can meet a sweep's smallest configs
+        // (a 1-tile machine cannot split): clamp rather than die, so
+        // the knob composes with core sweeps. Explicit topology files
+        // above stay fatal on any mismatch.
+        static bool warned = false;
+        if (!warned) {
+            warned = true;
+            warn("clamping numShards %u to the machine's %u tile(s)",
+                 cfg.numShards, cfg.ntiles);
+        }
+        cfg.numShards = cfg.ntiles;
+    }
+    if (cfg.numShards > 1)
+        cfg.topology = std::make_shared<TopologySpec>(
+            TopologySpec::uniform(cfg.ntiles, cfg.numShards));
+}
+
+std::string
+topologyKeyOf(const SimConfig& cfg)
+{
+    if (!cfg.topology)
+        return "single";
+    return cfg.topology->key() + ":hop" +
+           std::to_string(cfg.shardHopPenalty);
+}
+
+namespace {
+
+/// Kill and reap every still-running child (failure path cleanup so a
+/// fatal in the parent never strands shard processes).
+void
+killShards(const std::vector<pid_t>& pids)
+{
+    for (pid_t p : pids) {
+        if (p <= 0)
+            continue;
+        kill(p, SIGKILL);
+        waitpid(p, nullptr, 0);
+    }
+}
+
+bool
+progressEqual(const WireProgress& a, const WireProgress& b)
+{
+    return a.epoch == b.epoch && a.cycle == b.cycle &&
+           a.gvtTs == b.gvtTs && a.gvtUid == b.gvtUid &&
+           a.hasGvt == b.hasGvt;
+}
+
+} // namespace
+
+ShardedRunOutcome
+runShardedRaw(const SimConfig& cfg,
+              const std::function<void(Machine&)>& setup,
+              const std::function<uint64_t()>& result_digest,
+              const std::function<bool()>& validate)
+{
+    ssim_assert(cfg.topology, "runShardedRaw needs an armed topology "
+                              "(resolveTopology)");
+    const uint32_t n = cfg.numShards;
+    ssim_assert(n >= 2 && cfg.topology->numShards() == n,
+                "runShardedRaw needs numShards == topology shards >= 2");
+
+    ShardGroup group(n);
+
+    // Fork AFTER the caller finished app setup: copy-on-write hands
+    // every replica a bit-identical heap at identical addresses, so
+    // the task function pointers and app data the wire records carry
+    // resolve identically in every process.
+    std::fflush(stdout);
+    std::fflush(stderr);
+    std::vector<pid_t> pids(n, -1);
+    for (uint32_t s = 0; s < n; s++) {
+        pid_t pid = fork();
+        if (pid < 0) {
+            killShards(pids);
+            fatal("fork failed for shard %u", s);
+        }
+        if (pid == 0) {
+            // Child: one replica of the deterministic event loop.
+            // Parallel-host modes are disabled — the wire protocol's
+            // record cadence is defined against the serial loop.
+            SimConfig childCfg = cfg;
+            childCfg.hostThreads = 1;
+            childCfg.concurrentConflicts = false;
+            childCfg.parallelReplay = false;
+            ShardContext ctx(*cfg.topology, s, group);
+            Machine m(childCfg, &ctx);
+            setup(m);
+            m.run();
+            ShardSnapshot snap;
+            snap.shard = s;
+            snap.valid = validate() ? 1 : 0;
+            snap.stats = m.stats();
+            snap.statsDigest = statsDigest(snap.stats);
+            snap.resultDigest = result_digest();
+            group.publishResult(s, snap.serialize());
+            std::fflush(stdout);
+            std::fflush(stderr);
+            _exit(0);
+        }
+        pids[s] = pid;
+    }
+
+    // Parent: the GVT reducer. Drain every shard's progress ring,
+    // align reports by arrival index (every replica emits the same
+    // epochs in the same order), and fail fast on disagreement — the
+    // cross-replica invariant check that a real (TCP) reduction would
+    // replace with an actual min-reduction.
+    ShardedRunOutcome out;
+    std::vector<std::deque<WireProgress>> prog(n);
+    uint32_t alive = n;
+    auto drainAndCheck = [&] {
+        for (uint32_t s = 0; s < n; s++) {
+            WireProgress p;
+            while (group.progressRing(s).tryPop(p))
+                prog[s].push_back(p);
+        }
+        while (true) {
+            bool allHave = true;
+            for (uint32_t s = 0; s < n; s++)
+                allHave = allHave && !prog[s].empty();
+            if (!allHave)
+                break;
+            const WireProgress& ref = prog[0].front();
+            for (uint32_t s = 1; s < n; s++) {
+                if (!progressEqual(ref, prog[s].front())) {
+                    const WireProgress& bad = prog[s].front();
+                    killShards(pids);
+                    fatal("sharded run diverged: shard 0 reported epoch "
+                          "%llu cycle %llu gvt=(%llu,%llu,%u) but shard "
+                          "%u reported epoch %llu cycle %llu "
+                          "gvt=(%llu,%llu,%u)",
+                          (unsigned long long)ref.epoch,
+                          (unsigned long long)ref.cycle,
+                          (unsigned long long)ref.gvtTs,
+                          (unsigned long long)ref.gvtUid, ref.hasGvt, s,
+                          (unsigned long long)bad.epoch,
+                          (unsigned long long)bad.cycle,
+                          (unsigned long long)bad.gvtTs,
+                          (unsigned long long)bad.gvtUid, bad.hasGvt);
+                }
+            }
+            for (uint32_t s = 0; s < n; s++)
+                prog[s].pop_front();
+            out.progressEpochsChecked++;
+        }
+    };
+    while (alive > 0) {
+        drainAndCheck();
+        bool reaped = false;
+        for (uint32_t s = 0; s < n; s++) {
+            if (pids[s] <= 0)
+                continue;
+            int status = 0;
+            pid_t r = waitpid(pids[s], &status, WNOHANG);
+            if (r == 0)
+                continue;
+            pids[s] = -1;
+            alive--;
+            reaped = true;
+            if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+                killShards(pids);
+                fatal("shard %u died (%s %d) before publishing its "
+                      "snapshot",
+                      s, WIFSIGNALED(status) ? "signal" : "status",
+                      WIFSIGNALED(status) ? WTERMSIG(status)
+                                          : WEXITSTATUS(status));
+            }
+        }
+        if (!reaped && alive > 0)
+            usleep(1000); // children own the cores; poll gently
+    }
+    drainAndCheck();
+    for (uint32_t s = 0; s < n; s++)
+        if (!prog[s].empty())
+            fatal("sharded run diverged: shard %u reported %zu more "
+                  "progress epochs than its peers",
+                  s, prog[s].size());
+
+    // Reduce the snapshots: strict parse, then hard-gate cross-replica
+    // equality — a replicated state machine that ran correctly cannot
+    // disagree on a single stats bit.
+    std::vector<ShardSnapshot> snaps(n);
+    for (uint32_t s = 0; s < n; s++) {
+        std::string text = group.takeResult(s);
+        if (text.empty())
+            fatal("shard %u exited without publishing a snapshot", s);
+        std::string err;
+        if (!snaps[s].parse(text, &err))
+            fatal("shard %u published a malformed snapshot: %s", s,
+                  err.c_str());
+        if (snaps[s].shard != s)
+            fatal("shard %u published a snapshot labeled shard %u", s,
+                  snaps[s].shard);
+        if (statsDigest(snaps[s].stats) != snaps[s].statsDigest)
+            fatal("shard %u snapshot stats do not hash to its declared "
+                  "digest",
+                  s);
+    }
+    for (uint32_t s = 1; s < n; s++) {
+        if (snaps[s].statsDigest != snaps[0].statsDigest)
+            fatal("sharded run diverged: shard %u stats digest %016llx "
+                  "!= shard 0's %016llx",
+                  s, (unsigned long long)snaps[s].statsDigest,
+                  (unsigned long long)snaps[0].statsDigest);
+        if (snaps[s].resultDigest != snaps[0].resultDigest)
+            fatal("sharded run diverged: shard %u result digest %016llx "
+                  "!= shard 0's %016llx",
+                  s, (unsigned long long)snaps[s].resultDigest,
+                  (unsigned long long)snaps[0].resultDigest);
+        if (snaps[s].valid != snaps[0].valid)
+            fatal("sharded run diverged: shard %u validation disagrees "
+                  "with shard 0's",
+                  s);
+    }
+    out.valid = snaps[0].valid != 0;
+    out.statsDigest = snaps[0].statsDigest;
+    out.resultDigest = snaps[0].resultDigest;
+    out.stats = snaps[0].stats;
+    return out;
+}
+
+RunResult
+runSharded(apps::App& app, const SimConfig& cfg)
+{
+    app.reset();
+    ShardedRunOutcome out = runShardedRaw(
+        cfg, [&](Machine& m) { app.enqueueInitial(m); },
+        [&] { return app.resultDigest(); }, [&] { return app.validate(); });
+    RunResult r;
+    r.cores = cfg.totalCores();
+    r.sched = cfg.sched;
+    r.valid = out.valid;
+    r.stats = out.stats;
+    r.resultDigest = out.resultDigest;
+    return r;
+}
+
+} // namespace ssim::harness

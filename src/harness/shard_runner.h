@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Sharded-run driver: fork N replica processes connected by shm rings
+ * and reduce their results (docs/scale-out.md).
+ *
+ * The process fan-out lives entirely in the harness: a Machine never
+ * forks. runShardedRaw builds the transport fabric (swarm/shard.h) in
+ * the parent, forks cfg.numShards children AFTER app setup — so
+ * copy-on-write hands every replica a bit-identical heap at identical
+ * addresses — and becomes the GVT reducer: it aligns the replicas'
+ * periodic progress reports by epoch index and fails fast on any
+ * divergence. At end of run each child publishes a versioned
+ * ShardSnapshot (swarm/wire.h); the parent strictly parses all of
+ * them, hard-gates cross-replica digest equality, and returns shard
+ * 0's view.
+ */
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "apps/app.h"
+#include "base/stats.h"
+#include "sim/config.h"
+
+namespace ssim {
+class Machine;
+}
+
+namespace ssim::harness {
+
+struct RunResult;
+
+/**
+ * Resolve cfg.topology from cfg.topologyFile / cfg.numShards:
+ *  - an injected cfg.topology is validated against ntiles/numShards;
+ *  - else a non-empty topologyFile is strictly parsed (fatal when
+ *    malformed or mismatched — a bad spec must never silently
+ *    degrade to an untopologized run);
+ *  - else numShards > 1 arms TopologySpec::uniform(ntiles, numShards);
+ *  - else the config stays untopologized.
+ */
+void resolveTopology(SimConfig& cfg);
+
+/**
+ * Trace-reuse key of the armed topology: "single" for an
+ * untopologized config, else the topology's key() plus the shard-hop
+ * penalty. numShards is deliberately absent: process fan-out never
+ * changes simulated timing, so traces stay valid across it.
+ */
+std::string topologyKeyOf(const SimConfig& cfg);
+
+/** What the parent reducer learned from one sharded run. */
+struct ShardedRunOutcome
+{
+    bool valid = false;        ///< every replica validated its app state
+    uint64_t statsDigest = 0;  ///< statsDigest(), equal across replicas
+    uint64_t resultDigest = 0; ///< App::resultDigest, equal across replicas
+    SimStats stats;            ///< shard 0's stats
+    uint64_t progressEpochsChecked = 0; ///< reducer agreement checks
+};
+
+/**
+ * Fork cfg.numShards replicas, run @p setup + Machine::run in each,
+ * and reduce. The callbacks run in the CHILD processes: @p setup
+ * enqueues the workload's initial tasks, @p result_digest and
+ * @p validate inspect the app state after the child's run. Fatal on
+ * replica divergence (progress disagreement, digest mismatch, child
+ * crash, malformed snapshot); requires cfg.topology with
+ * cfg.numShards == topology->numShards() >= 2.
+ */
+ShardedRunOutcome
+runShardedRaw(const SimConfig& cfg,
+              const std::function<void(Machine&)>& setup,
+              const std::function<uint64_t()>& result_digest,
+              const std::function<bool()>& validate);
+
+/**
+ * runOnce's sharded twin: reset @p app, run it on cfg.numShards
+ * replicas, return a RunResult carrying shard 0's stats and the
+ * cross-replica-verified digests. Unlike runOnce this applies no env
+ * overrides — runOnce itself routes here after its env pass.
+ */
+RunResult runSharded(apps::App& app, const SimConfig& cfg);
+
+} // namespace ssim::harness

@@ -9,8 +9,13 @@ namespace ssim {
 
 Mesh::Mesh(const SimConfig& cfg)
     : ntiles_(cfg.ntiles), dim_(cfg.meshDim()), hopLat_(cfg.hopLatency),
-      turnPenalty_(cfg.turnPenalty), memLat_(cfg.memLatency)
+      turnPenalty_(cfg.turnPenalty), memLat_(cfg.memLatency),
+      topo_(cfg.topology), shardPenalty_(cfg.shardHopPenalty)
 {
+    if (topo_)
+        ssim_assert(topo_->ntiles == ntiles_,
+                    "topology covers %u tiles but the mesh has %u",
+                    topo_->ntiles, ntiles_);
     // Four controllers at the midpoints of the chip edges (Fig. 1).
     uint32_t mid = dim_ / 2;
     uint32_t edge = dim_ ? dim_ - 1 : 0;
@@ -36,6 +41,8 @@ Mesh::latency(TileId a, TileId b) const
     uint32_t lat = (dx + dy) * hopLat_;
     if (dx > 0 && dy > 0)
         lat += turnPenalty_; // X-Y routing makes at most one turn
+    if (topo_ && topo_->shardOfTile(a) != topo_->shardOfTile(b))
+        lat += shardPenalty_; // cross-shard link (docs/scale-out.md)
     return lat;
 }
 

@@ -15,10 +15,12 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 
 #include "base/stats.h"
 #include "base/types.h"
 #include "sim/config.h"
+#include "sim/topology.h"
 
 namespace ssim {
 
@@ -35,12 +37,19 @@ class Mesh
     /** Manhattan hop count between two tiles. */
     uint32_t hops(TileId a, TileId b) const;
 
-    /** X-Y routed latency in cycles between two tiles. */
+    /**
+     * X-Y routed latency in cycles between two tiles. With a topology
+     * armed (cfg.topology), a message whose endpoints sit in different
+     * shards pays cfg.shardHopPenalty extra cycles — the modeled cost
+     * of a cross-shard link (docs/scale-out.md).
+     */
     uint32_t latency(TileId a, TileId b) const;
 
     /**
      * Latency from a tile to its line's memory controller (controllers sit
      * at the four edge midpoints; lines are interleaved across them).
+     * Exempt from the shard-hop penalty: controllers belong to the
+     * chip, not to a shard.
      */
     uint32_t memCtrlLatency(TileId t, LineAddr line) const;
 
@@ -50,6 +59,8 @@ class Mesh
     {
         if (src == dst)
             return; // intra-tile transfers do not use the NoC
+        if (topo_ && topo_->shardOfTile(src) != topo_->shardOfTile(dst))
+            crossShardMsgs_++;
         flits_[size_t(cls)] += flits;
     }
 
@@ -69,12 +80,20 @@ class Mesh
     uint32_t dim() const { return dim_; }
     uint32_t ntiles() const { return ntiles_; }
 
+    /// NoC messages whose endpoints sit in different shards (0 with no
+    /// topology armed). Digest-excluded: see SimStats::crossShardMsgs.
+    uint64_t crossShardMsgs() const { return crossShardMsgs_; }
+
   private:
     uint32_t ntiles_;
     uint32_t dim_;
     uint32_t hopLat_;
     uint32_t turnPenalty_;
     uint32_t memLat_;
+    /// The armed topology (null = untopologized run).
+    std::shared_ptr<const TopologySpec> topo_;
+    uint32_t shardPenalty_ = 0;
+    uint64_t crossShardMsgs_ = 0;
     std::array<uint64_t, kNumTrafficClasses> flits_{};
     std::array<std::pair<uint32_t, uint32_t>, 4> ctrlPos_;
 };

@@ -17,6 +17,7 @@
 namespace ssim {
 
 struct ClassificationMap;
+struct TopologySpec;
 struct TraceData;
 
 /** Spatial task-mapping scheduler (Sec. II-C). */
@@ -194,6 +195,39 @@ struct SimConfig
     /// Cost-stream sink for backend=trace-record (its factory fatals
     /// without one). The recording run appends every observed cost here.
     std::shared_ptr<TraceData> traceSink;
+
+    // Scale-out (docs/scale-out.md) -------------------------------------------
+    /// Shard processes for a sharded run. 1 = single-process (default).
+    /// N > 1 makes the harness fork N replicas connected by shm rings;
+    /// simulated behavior is bit-identical to a 1-process run of the
+    /// same topology. Overridable via SWARMSIM_SHARDS (harness runs)
+    /// and --shards=N (benches).
+    uint32_t numShards = 1;
+
+    /// Topology-spec file (sim/topology.h grammar; empty = a uniform
+    /// split of ntiles across numShards). Strictly parsed: a malformed
+    /// file is fatal, never silently ignored. Overridable via
+    /// SWARMSIM_TOPOLOGY (harness runs) and --topology= (benches).
+    std::string topologyFile;
+
+    /// Extra NoC latency (cycles) on every mesh hop whose endpoints sit
+    /// in different shards of the armed topology — the modeled cost of
+    /// a cross-shard link. A SIMULATED-machine knob, deliberately
+    /// decoupled from numShards (a host knob): penalty 0 makes a
+    /// topologized run digest-identical to an untopologized one.
+    /// Overridable via SWARMSIM_SHARD_HOP (harness runs) and
+    /// --shard-hop=N (benches).
+    uint32_t shardHopPenalty = 0;
+
+    /// GVT epochs between progress reports to the parent reducer of a
+    /// sharded run (host cadence knob: reports are out-of-band
+    /// invariant checks, not simulated traffic).
+    uint32_t shardProgressEvery = 8;
+
+    /// The armed topology (null = untopologized). The harness resolves
+    /// it from topologyFile/numShards before constructing Machines
+    /// (harness/shard_runner.h); tests inject specs directly.
+    std::shared_ptr<const TopologySpec> topology;
 
     // Spills -------------------------------------------------------------------
     double spillThreshold = 0.85; ///< coalescers fire at 85% task queue full

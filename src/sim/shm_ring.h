@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Shared-memory SPSC ring buffers: the first transport behind the
+ * scale-out shard seam (swarm/shard.h).
+ *
+ * A ShardGroup mmaps one anonymous MAP_SHARED region before forking
+ * its shard processes; every ring lives inside it at a fixed offset,
+ * so the post-fork children share the rings with each other and with
+ * the parent reducer. Each ring is single-producer single-consumer
+ * with acquire/release head/tail indices — exactly one (sender,
+ * receiver) pair per ring, no locks, no syscalls on the fast path.
+ *
+ * The transport interface is deliberately minimal (tryPush/tryPop on
+ * fixed-size POD slots): a TCP transport can implement the same
+ * contract later without touching the shard protocol above it
+ * (docs/scale-out.md).
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <sys/mman.h>
+#include <type_traits>
+
+#include "base/logging.h"
+
+namespace ssim {
+
+/** RAII anonymous MAP_SHARED mapping, inherited across fork(). */
+class ShmRegion
+{
+  public:
+    ShmRegion() = default;
+    explicit ShmRegion(size_t len) : len_(len)
+    {
+        base_ = mmap(nullptr, len, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+        if (base_ == MAP_FAILED)
+            fatal("shm: cannot map %zu shared bytes", len);
+    }
+    ~ShmRegion()
+    {
+        if (base_ && base_ != MAP_FAILED)
+            munmap(base_, len_);
+    }
+    ShmRegion(ShmRegion&& o) noexcept : base_(o.base_), len_(o.len_)
+    {
+        o.base_ = nullptr;
+        o.len_ = 0;
+    }
+    ShmRegion& operator=(ShmRegion&& o) noexcept
+    {
+        if (this != &o) {
+            if (base_ && base_ != MAP_FAILED)
+                munmap(base_, len_);
+            base_ = o.base_;
+            len_ = o.len_;
+            o.base_ = nullptr;
+            o.len_ = 0;
+        }
+        return *this;
+    }
+    ShmRegion(const ShmRegion&) = delete;
+    ShmRegion& operator=(const ShmRegion&) = delete;
+
+    char* base() const { return static_cast<char*>(base_); }
+    size_t size() const { return len_; }
+
+  private:
+    void* base_ = nullptr;
+    size_t len_ = 0;
+};
+
+/**
+ * Lock-free single-producer single-consumer ring over @p N slots of
+ * POD type T, laid out in shared memory (construct with placement new
+ * in the parent, before fork). Capacity is N - 1 usable slots.
+ */
+template <typename T, uint32_t N>
+class SpscRing
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "ring slots cross a process boundary");
+    static_assert((N & (N - 1)) == 0, "slot count must be a power of two");
+
+  public:
+    SpscRing() = default;
+
+    bool
+    tryPush(const T& v)
+    {
+        uint64_t h = head_.load(std::memory_order_relaxed);
+        uint64_t t = tail_.load(std::memory_order_acquire);
+        if (h - t >= N - 1)
+            return false; // full
+        slots_[h & (N - 1)] = v;
+        head_.store(h + 1, std::memory_order_release);
+        return true;
+    }
+
+    bool
+    tryPop(T& out)
+    {
+        uint64_t t = tail_.load(std::memory_order_relaxed);
+        uint64_t h = head_.load(std::memory_order_acquire);
+        if (t == h)
+            return false; // empty
+        out = slots_[t & (N - 1)];
+        tail_.store(t + 1, std::memory_order_release);
+        return true;
+    }
+
+    bool empty() const
+    {
+        return tail_.load(std::memory_order_acquire) ==
+               head_.load(std::memory_order_acquire);
+    }
+
+  private:
+    static_assert(std::atomic<uint64_t>::is_always_lock_free,
+                  "shared-memory indices must be lock-free");
+    alignas(64) std::atomic<uint64_t> head_{0}; ///< producer-owned
+    alignas(64) std::atomic<uint64_t> tail_{0}; ///< consumer-owned
+    alignas(64) T slots_[N];
+};
+
+} // namespace ssim

@@ -1,0 +1,222 @@
+#include "sim/topology.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "base/logging.h"
+
+namespace ssim {
+
+namespace {
+
+// The topology grammar's directive keywords. scripts/check_docs_links.sh
+// extracts this list (between the TOPO-KEYWORDS markers) and requires
+// each keyword to appear in docs/scale-out.md, so the grammar chapter
+// can never silently fall behind the parser.
+// TOPO-KEYWORDS-BEGIN
+[[maybe_unused]] const char* const kTopoKeywords[] = {
+    "swarmsim-topo", "ntiles", "shards", "shard", "tiles", "banks", "end",
+};
+// TOPO-KEYWORDS-END
+
+bool
+fail(std::string* err, const std::string& why)
+{
+    if (err)
+        *err = why;
+    return false;
+}
+
+bool
+parseU32(const std::string& tok, uint32_t& out)
+{
+    if (tok.empty() || tok.size() > 10)
+        return false;
+    uint64_t v = 0;
+    for (char c : tok) {
+        if (c < '0' || c > '9')
+            return false;
+        v = v * 10 + uint64_t(c - '0');
+    }
+    if (v > UINT32_MAX)
+        return false;
+    out = uint32_t(v);
+    return true;
+}
+
+} // namespace
+
+uint32_t
+TopologySpec::shardOfTile(TileId t) const
+{
+    ssim_assert(t < ntiles && !shards.empty());
+    for (uint32_t s = 0; s < shards.size(); s++)
+        if (t <= shards[s].lastTile)
+            return s;
+    panic("tile %u outside every shard range", t);
+}
+
+uint32_t
+TopologySpec::shardOfBank(uint32_t b) const
+{
+    ssim_assert(!shards.empty());
+    for (uint32_t s = 0; s < shards.size(); s++)
+        if (b <= shards[s].lastBank)
+            return s;
+    panic("bank %u outside every shard range", b);
+}
+
+TopologySpec
+TopologySpec::uniform(uint32_t ntiles, uint32_t nshards)
+{
+    ssim_assert(nshards >= 1 && nshards <= ntiles,
+                "need 1 <= shards (%u) <= tiles (%u)", nshards, ntiles);
+    TopologySpec spec;
+    spec.ntiles = ntiles;
+    uint32_t base = ntiles / nshards, extra = ntiles % nshards;
+    uint32_t first = 0;
+    for (uint32_t s = 0; s < nshards; s++) {
+        uint32_t count = base + (s < extra ? 1 : 0);
+        Shard sh;
+        sh.firstTile = first;
+        sh.lastTile = first + count - 1;
+        sh.firstBank = sh.firstTile;
+        sh.lastBank = sh.lastTile;
+        spec.shards.push_back(sh);
+        first += count;
+    }
+    return spec;
+}
+
+bool
+TopologySpec::parse(const std::string& text, std::string* err)
+{
+    std::istringstream in(text);
+    std::string line;
+
+    if (!std::getline(in, line) || line != "swarmsim-topo v1")
+        return fail(err, "missing 'swarmsim-topo v1' header");
+
+    TopologySpec spec; // parse into a fresh spec; swap only on success
+
+    if (!std::getline(in, line))
+        return fail(err, "truncated after header");
+    {
+        std::istringstream ls(line);
+        std::string kw, tok, extra;
+        if (!(ls >> kw >> tok) || kw != "ntiles" ||
+            !parseU32(tok, spec.ntiles) || spec.ntiles == 0 ||
+            (ls >> extra))
+            return fail(err, "expected 'ntiles N' with N >= 1");
+    }
+
+    uint32_t declared = 0;
+    if (!std::getline(in, line))
+        return fail(err, "truncated after ntiles");
+    {
+        std::istringstream ls(line);
+        std::string kw, tok, extra;
+        if (!(ls >> kw >> tok) || kw != "shards" ||
+            !parseU32(tok, declared) || declared == 0 || (ls >> extra))
+            return fail(err, "expected 'shards N' with N >= 1");
+    }
+
+    bool sawEnd = false;
+    while (std::getline(in, line)) {
+        if (line == "end") {
+            sawEnd = true;
+            break;
+        }
+        std::istringstream ls(line);
+        std::string kw, tkw;
+        uint32_t idx = 0;
+        std::string idxTok, loTok, hiTok;
+        if (!(ls >> kw >> idxTok >> tkw >> loTok >> hiTok) ||
+            kw != "shard" || tkw != "tiles" || !parseU32(idxTok, idx))
+            return fail(err, "expected 'shard I tiles LO HI [banks LO HI]',"
+                             " got '" + line + "'");
+        if (idx != spec.shards.size())
+            return fail(err, "shard indices must be 0..N-1 in order");
+        Shard sh;
+        if (!parseU32(loTok, sh.firstTile) || !parseU32(hiTok, sh.lastTile))
+            return fail(err, "malformed tile range in '" + line + "'");
+        std::string bkw;
+        if (ls >> bkw) {
+            std::string blo, bhi, extra;
+            if (bkw != "banks" || !(ls >> blo >> bhi) ||
+                !parseU32(blo, sh.firstBank) ||
+                !parseU32(bhi, sh.lastBank) || (ls >> extra))
+                return fail(err, "malformed bank range in '" + line + "'");
+        } else {
+            // Default one-bank-per-tile mapping: banks mirror tiles.
+            sh.firstBank = sh.firstTile;
+            sh.lastBank = sh.lastTile;
+        }
+        spec.shards.push_back(sh);
+    }
+    if (!sawEnd)
+        return fail(err, "missing 'end' sentinel (truncated file?)");
+    std::string trailing;
+    if (in >> trailing)
+        return fail(err, "trailing tokens after 'end'");
+
+    if (spec.shards.size() != declared)
+        return fail(err, "declared " + std::to_string(declared) +
+                             " shards, found " +
+                             std::to_string(spec.shards.size()));
+    // Tile and bank ranges must tile [0, ntiles) contiguously in order:
+    // contiguity is what keeps shardOfTile a range scan and ownership
+    // total (every tile has exactly one owner).
+    uint32_t nextTile = 0, nextBank = 0;
+    for (const Shard& sh : spec.shards) {
+        if (sh.firstTile != nextTile || sh.lastTile < sh.firstTile)
+            return fail(err, "tile ranges must be contiguous from 0");
+        if (sh.firstBank != nextBank || sh.lastBank < sh.firstBank)
+            return fail(err, "bank ranges must be contiguous from 0");
+        nextTile = sh.lastTile + 1;
+        nextBank = sh.lastBank + 1;
+    }
+    if (nextTile != spec.ntiles)
+        return fail(err, "tile ranges must cover all " +
+                             std::to_string(spec.ntiles) + " tiles");
+    if (nextBank != spec.ntiles)
+        return fail(err, "bank ranges must cover all " +
+                             std::to_string(spec.ntiles) + " banks");
+
+    *this = std::move(spec);
+    return true;
+}
+
+std::string
+TopologySpec::serialize() const
+{
+    std::ostringstream out;
+    out << "swarmsim-topo v1\n";
+    out << "ntiles " << ntiles << "\n";
+    out << "shards " << shards.size() << "\n";
+    for (uint32_t s = 0; s < shards.size(); s++) {
+        const Shard& sh = shards[s];
+        out << "shard " << s << " tiles " << sh.firstTile << " "
+            << sh.lastTile;
+        if (sh.firstBank != sh.firstTile || sh.lastBank != sh.lastTile)
+            out << " banks " << sh.firstBank << " " << sh.lastBank;
+        out << "\n";
+    }
+    out << "end\n";
+    return out.str();
+}
+
+std::string
+TopologySpec::key() const
+{
+    std::ostringstream out;
+    out << "topo" << shards.size() << ":";
+    for (uint32_t s = 0; s < shards.size(); s++) {
+        if (s)
+            out << ",";
+        out << shards[s].firstTile << "-" << shards[s].lastTile;
+    }
+    return out.str();
+}
+
+} // namespace ssim

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Shard topology: the tiles -> shards partition of the simulated
+ * machine.
+ *
+ * A TopologySpec slices the mesh into N shards, each owning a
+ * contiguous tile range plus its line-table banks (with the default
+ * one-bank-per-tile mapping the bank range mirrors the tile range).
+ * The spec is a SIMULATED-machine property, deliberately decoupled
+ * from host process fan-out:
+ *
+ *  - noc/mesh.h prices cross-shard hops (cfg.shardHopPenalty) in any
+ *    process count, so a one-process run with topology T is
+ *    bit-identical to an N-process run with topology T;
+ *  - harness/shard_runner.h forks one host process per shard
+ *    (cfg.numShards > 1) and carries cross-shard effects over
+ *    shared-memory rings (swarm/shard.h), reproducing exactly the
+ *    behavior the one-process run models.
+ *
+ * With shardHopPenalty == 0 a topologized run is additionally
+ * bit-identical to an untopologized one — the equality the golden
+ * scale-out gates are built on (docs/scale-out.md).
+ *
+ * The on-disk form is a versioned text format ("swarmsim-topo v1",
+ * grammar in docs/scale-out.md) with the trace-file discipline: a
+ * versioned header, strict parsing, and reject-don't-corrupt (a failed
+ * parse leaves the spec untouched).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.h"
+
+namespace ssim {
+
+struct TopologySpec
+{
+    /** One shard's slice of the machine (inclusive ranges). */
+    struct Shard
+    {
+        uint32_t firstTile = 0;
+        uint32_t lastTile = 0;
+        uint32_t firstBank = 0;
+        uint32_t lastBank = 0;
+
+        bool operator==(const Shard&) const = default;
+    };
+
+    uint32_t ntiles = 0;
+    std::vector<Shard> shards;
+
+    uint32_t numShards() const { return uint32_t(shards.size()); }
+
+    /** Shard owning tile @p t (tile ranges are contiguous and sorted). */
+    uint32_t shardOfTile(TileId t) const;
+
+    /** Shard owning line-table bank @p b. */
+    uint32_t shardOfBank(uint32_t b) const;
+
+    /**
+     * Even contiguous split of @p ntiles tiles into @p nshards shards
+     * (banks mirror tiles). Fatals if nshards is 0 or > ntiles.
+     */
+    static TopologySpec uniform(uint32_t ntiles, uint32_t nshards);
+
+    /**
+     * Parse the versioned text format into *this. Strict: any
+     * malformed, incomplete, overlapping, or non-covering spec returns
+     * false (with a one-line reason in @p err, if non-null) and leaves
+     * *this untouched.
+     */
+    bool parse(const std::string& text, std::string* err = nullptr);
+
+    /** The text form parse() accepts; roundtrips exactly. */
+    std::string serialize() const;
+
+    /**
+     * Compact identity string, e.g. "topo2:0-31,32-63" — used to key
+     * recorded cost traces so a sweep never silently replays a trace
+     * recorded under a different topology (harness/runner.cc).
+     */
+    std::string key() const;
+
+    bool operator==(const TopologySpec&) const = default;
+};
+
+} // namespace ssim

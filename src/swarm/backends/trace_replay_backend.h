@@ -126,6 +126,12 @@ struct TraceData
     /// sweeps assert every replay point reproduces it.
     uint64_t recordResultDigest = 0;
 
+    /// Topology under which this trace was recorded or loaded
+    /// (harness::topologyKeyOf; "" = pre-topology trace). In-memory
+    /// only, never serialized: runOnce re-records rather than serve a
+    /// trace whose shard-hop pricing doesn't match the current run.
+    std::string topologyKey;
+
     void
     record(const TraceKey& key, uint32_t cost)
     {

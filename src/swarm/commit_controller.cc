@@ -9,6 +9,7 @@
 #include "swarm/conflict_manager.h"
 #include "swarm/execution_engine.h"
 #include "swarm/load_balancer.h"
+#include "swarm/shard.h"
 #include "swarm/task_unit.h"
 
 namespace ssim {
@@ -126,6 +127,20 @@ CommitController::gvtEpoch()
     mesh_.injectRaw(2 * cfg_.ntiles * cfg_.gvtFlits, TrafficClass::Gvt);
 
     auto gvt = computeGvt();
+
+    // Sharded run: report this epoch to the parent reducer. Every
+    // replica computes the same GVT at the same epoch, so the parent's
+    // epoch-aligned comparison is a pure invariant check today — and
+    // the reduction seam a TCP transport would turn real.
+    if (shard_ && gvtEpochsRun_ % cfg_.shardProgressEvery == 0) {
+        WireProgress p{};
+        p.epoch = gvtEpochsRun_;
+        p.cycle = eq_.now();
+        p.gvtTs = gvt ? gvt->first : 0;
+        p.gvtUid = gvt ? gvt->second : 0;
+        p.hasGvt = gvt ? 1 : 0;
+        shard_->sendProgress(p);
+    }
 
     // Commit in GLOBAL timestamp order (min-merge over the per-tile
     // commit-queue heads), not tile-by-tile. Plain commits have no

@@ -39,6 +39,7 @@ class CapacityManager;
 class ConflictManager;
 class ExecutionEngine;
 class LoadBalancer;
+class ShardContext;
 
 /** Receives every committed task (with its access trace) for profiling. */
 class AccessProfiler
@@ -73,6 +74,14 @@ class CommitController
     /** Enable access-trace profiling of committed tasks. */
     void setProfiler(AccessProfiler* p) { profiler_ = p; }
     AccessProfiler* profiler() const { return profiler_; }
+
+    /**
+     * Arm the cross-shard seam (swarm/shard.h): every
+     * cfg.shardProgressEvery GVT epochs this replica reports its
+     * (epoch, cycle, gvt) to the parent reducer, which fails fast on
+     * any cross-replica divergence. Must precede run().
+     */
+    void setShard(ShardContext* shard) { shard_ = shard; }
 
     /** Cycle of the last commit (the makespan of the parallel region). */
     Cycle lastCommitCycle() const { return lastCommitCycle_; }
@@ -115,6 +124,8 @@ class CommitController
     LoadBalancer* lb_;
 
     AccessProfiler* profiler_ = nullptr;
+    /// Cross-shard seam (null = single-process); see setShard().
+    ShardContext* shard_ = nullptr;
     uint64_t traceEpochs_ = 0;
     uint64_t gvtEpochsRun_ = 0;
     Cycle lastCommitCycle_ = 0;

@@ -8,8 +8,25 @@
 #include "swarm/capacity_manager.h"
 #include "swarm/commit_controller.h"
 #include "swarm/conflict_manager.h"
+#include "swarm/shard.h"
 
 namespace ssim {
+
+namespace {
+
+/// Wire-record skeleton for one of @p t's effects at event slot @p now.
+WireStep
+makeStep(const Task* t, Cycle now, WireKind kind)
+{
+    WireStep w;
+    w.kind = kind;
+    w.uid = t->uid;
+    w.gen = t->generation;
+    w.cycle = now;
+    return w;
+}
+
+} // namespace
 
 ExecutionEngine::ExecutionEngine(const SimConfig& cfg, EventQueue& eq,
                                  EngineBackend& backend, SimStats& stats,
@@ -229,9 +246,15 @@ ExecutionEngine::dispatchOn(TileId tile, uint32_t idx, Task* t)
     core.task = t;
     core.everDispatched = true;
 
-    t->ctx = swarm::TaskCtx(machine_, t);
-    swarm::TaskCoro c = t->fn(t->ctx, t->ts, t->args.data());
-    t->coro = c.handle;
+    // Sharded mode: only the owner of this tile materializes and runs
+    // the coroutine; every other replica performs the same (purely
+    // deterministic) dispatch bookkeeping and later consumes the
+    // owner's wire records instead of a body (consumeRemoteSteps).
+    if (!shard_ || shard_->ownsTile(tile)) {
+        t->ctx = swarm::TaskCtx(machine_, t);
+        swarm::TaskCoro c = t->fn(t->ctx, t->ts, t->args.data());
+        t->coro = c.handle;
+    }
 
     backend_.noteDispatch(t->runningOn,
                           reinterpret_cast<const void*>(t->fn));
@@ -306,14 +329,94 @@ ExecutionEngine::resumeCoro(uint64_t uid, uint64_t gen)
         applyPendingStep(t);
         return;
     }
+    if (shard_ && !shard_->ownsTile(t->tile)) {
+        // Foreign task: this replica has no coroutine for it. Consume
+        // the owner shard's wire records at this exact slot instead.
+        consumeRemoteSteps(t);
+        return;
+    }
     ssim_assert(t->coro && !t->coro.done());
     t->coro.resume();
     if (t->coro.done()) {
         t->coro.destroy();
         t->coro = {};
+        if (shard_)
+            shard_->sendStep(makeStep(t, eq_.now(), WireKind::Finish));
         finishTaskAttempt(t);
     }
     // Otherwise an awaiter has scheduled the next resume.
+}
+
+void
+ExecutionEngine::consumeRemoteSteps(Task* t)
+{
+    uint32_t from = shard_->shardOfTile(t->tile);
+    // Suspending backends issue exactly one effect per resume event (or
+    // complete); inline-effects backends run the whole body at one
+    // event, so the owner's records stream until Finish.
+    for (;;) {
+        WireStep w = shard_->recvStep(from);
+        if (w.uid != t->uid || w.gen != t->generation ||
+            w.cycle != eq_.now()) {
+            fatal("shard %u: %s record (uid %llu gen %llu cycle %llu) "
+                  "from shard %u does not match the local slot (uid %llu "
+                  "gen %llu cycle %llu) — replicas diverged",
+                  shard_->shard(), wireKindName(w.kind),
+                  (unsigned long long)w.uid, (unsigned long long)w.gen,
+                  (unsigned long long)w.cycle, from,
+                  (unsigned long long)t->uid,
+                  (unsigned long long)t->generation,
+                  (unsigned long long)eq_.now());
+        }
+        switch (w.kind) {
+          case WireKind::Finish:
+            finishTaskAttempt(t);
+            return;
+          case WireKind::Access: {
+            uint64_t dummy = 0;
+            if (inline_) {
+                t->execCycles += applyAccessEffects(
+                    t, w.addr, w.size, w.isWrite != 0, w.wval, &dummy);
+            } else {
+                issueAccessImpl(t, w.addr, w.size, w.isWrite != 0, w.wval,
+                                &dummy);
+            }
+            break;
+          }
+          case WireKind::Reduce: {
+            int64_t delta = 0;
+            std::memcpy(&delta, &w.wval, 8);
+            if (inline_)
+                t->execCycles += applyReduceEffects(t, w.addr, delta);
+            else
+                issueReduceImpl(t, w.addr, delta);
+            break;
+          }
+          case WireKind::Compute: {
+            uint32_t lat = backend_.computeCost(w.cycles);
+            t->execCycles += lat;
+            if (!inline_)
+                scheduleResume(t, lat);
+            break;
+          }
+          case WireKind::Enqueue: {
+            swarm::Hint hint(w.hintVal);
+            hint.kind = swarm::Hint::Kind(w.hintKind);
+            createTask(reinterpret_cast<swarm::TaskFn>(w.fn), w.ets, hint,
+                       w.args, w.nargs, t, t->tile);
+            uint32_t lat = backend_.enqueueCost();
+            t->execCycles += lat;
+            if (!inline_)
+                scheduleResume(t, lat);
+            break;
+          }
+          default:
+            fatal("shard %u: unknown wire record kind %u from shard %u",
+                  shard_->shard(), unsigned(w.kind), from);
+        }
+        if (!inline_)
+            return;
+    }
 }
 
 uint32_t
@@ -432,8 +535,10 @@ ExecutionEngine::applyPendingStep(Task* t)
       case Task::PendingStep::Kind::Finish:
         if (replay_)
             stats_.crossBankEffects++;
-        t->coro.destroy();
-        t->coro = {};
+        if (t->coro) {
+            t->coro.destroy();
+            t->coro = {};
+        }
         finishTaskAttempt(t);
         break;
     }
@@ -567,6 +672,14 @@ ExecutionEngine::issueAccess(Task* t, swarm::MemAwaiter* aw)
         t->pending.steps.push_back(s);
         return;
     }
+    if (shard_) {
+        WireStep w = makeStep(t, eq_.now(), WireKind::Access);
+        w.addr = aw->addr;
+        w.size = uint8_t(aw->size);
+        w.isWrite = aw->isWrite ? 1 : 0;
+        w.wval = aw->wval;
+        shard_->sendStep(w);
+    }
     issueAccessImpl(t, aw->addr, aw->size, aw->isWrite, aw->wval,
                     &aw->rval);
 }
@@ -587,6 +700,12 @@ ExecutionEngine::issueReduce(Task* t, const swarm::ReduceAwaiter& aw)
         std::memcpy(&s.wval, &aw.delta, 8);
         t->pending.steps.push_back(s);
         return;
+    }
+    if (shard_) {
+        WireStep w = makeStep(t, eq_.now(), WireKind::Reduce);
+        w.addr = aw.addr;
+        std::memcpy(&w.wval, &aw.delta, 8);
+        shard_->sendStep(w);
     }
     issueReduceImpl(t, aw.addr, aw.delta);
 }
@@ -704,6 +823,14 @@ ExecutionEngine::tryInlineAccess(Task* t, swarm::MemAwaiter* aw)
     ssim_assert(t->state == TaskState::Running);
     ssim_assert((aw->addr & 7) + aw->size <= 8,
                 "accesses must not cross an 8-byte boundary");
+    if (shard_) {
+        WireStep w = makeStep(t, eq_.now(), WireKind::Access);
+        w.addr = aw->addr;
+        w.size = uint8_t(aw->size);
+        w.isWrite = aw->isWrite ? 1 : 0;
+        w.wval = aw->wval;
+        shard_->sendStep(w);
+    }
     t->execCycles += applyAccessEffects(t, aw->addr, aw->size, aw->isWrite,
                                         aw->wval, &aw->rval);
     return true;
@@ -716,6 +843,12 @@ ExecutionEngine::tryInlineReduce(Task* t, const swarm::ReduceAwaiter& aw)
         return false;
     ssim_assert(t->state == TaskState::Running);
     ssim_assert((aw.addr & 7) == 0, "reduces must be 8-byte aligned");
+    if (shard_) {
+        WireStep w = makeStep(t, eq_.now(), WireKind::Reduce);
+        w.addr = aw.addr;
+        std::memcpy(&w.wval, &aw.delta, 8);
+        shard_->sendStep(w);
+    }
     t->execCycles += applyReduceEffects(t, aw.addr, aw.delta);
     return true;
 }
@@ -726,6 +859,11 @@ ExecutionEngine::tryInlineCompute(Task* t, uint32_t cycles)
     if (!inline_ || t->pending.recording)
         return false;
     ssim_assert(t->state == TaskState::Running);
+    if (shard_) {
+        WireStep w = makeStep(t, eq_.now(), WireKind::Compute);
+        w.cycles = cycles;
+        shard_->sendStep(w);
+    }
     t->execCycles += backend_.computeCost(cycles);
     return true;
 }
@@ -736,6 +874,16 @@ ExecutionEngine::tryInlineEnqueue(Task* t, const swarm::EnqueueAwaiter& aw)
     if (!inline_ || t->pending.recording)
         return false;
     ssim_assert(t->state == TaskState::Running);
+    if (shard_) {
+        WireStep w = makeStep(t, eq_.now(), WireKind::Enqueue);
+        w.fn = reinterpret_cast<uint64_t>(aw.fn);
+        w.ets = aw.ts;
+        w.hintVal = aw.hint.val;
+        w.hintKind = uint8_t(aw.hint.kind);
+        w.args = aw.args;
+        w.nargs = aw.nargs;
+        shard_->sendStep(w);
+    }
     createTask(aw.fn, aw.ts, aw.hint, aw.args, aw.nargs, t, t->tile);
     t->execCycles += backend_.enqueueCost();
     return true;
@@ -751,6 +899,11 @@ ExecutionEngine::issueCompute(Task* t, uint32_t cycles)
         s.cycles = cycles;
         t->pending.steps.push_back(s);
         return;
+    }
+    if (shard_) {
+        WireStep w = makeStep(t, eq_.now(), WireKind::Compute);
+        w.cycles = cycles;
+        shard_->sendStep(w);
     }
     uint32_t lat = backend_.computeCost(cycles);
     t->execCycles += lat;
@@ -771,6 +924,16 @@ ExecutionEngine::issueEnqueue(Task* t, const swarm::EnqueueAwaiter& aw)
         s.enargs = aw.nargs;
         t->pending.steps.push_back(s);
         return;
+    }
+    if (shard_) {
+        WireStep w = makeStep(t, eq_.now(), WireKind::Enqueue);
+        w.fn = reinterpret_cast<uint64_t>(aw.fn);
+        w.ets = aw.ts;
+        w.hintVal = aw.hint.val;
+        w.hintKind = uint8_t(aw.hint.kind);
+        w.args = aw.args;
+        w.nargs = aw.nargs;
+        shard_->sendStep(w);
     }
     createTask(aw.fn, aw.ts, aw.hint, aw.args, aw.nargs, t, t->tile);
     uint32_t lat = backend_.enqueueCost();

@@ -65,6 +65,7 @@ class ConflictManager;
 class EngineBackend;
 class Machine;
 class ParallelReplayBackend;
+class ShardContext;
 
 class ExecutionEngine : public ParallelBackend
 {
@@ -90,6 +91,16 @@ class ExecutionEngine : public ParallelBackend
     /** Late wiring of the policy subsystems (they need the engine first). */
     void wire(ConflictManager* conflict, CapacityManager* capacity,
               CommitController* commit);
+
+    /**
+     * Arm the cross-shard seam (swarm/shard.h): this engine becomes one
+     * replica of a sharded run. Coroutine frames are created and run
+     * only for tasks on tiles this shard owns; their effects broadcast
+     * as wire records, and foreign tasks' resume events consume the
+     * owner's records instead of running a body. Must be set before
+     * run(); requires the serial event loop (hostThreads == 1).
+     */
+    void setShard(ShardContext* shard) { shard_ = shard; }
 
     // ---- Task lifecycle ---------------------------------------------------
     Task* createTask(swarm::TaskFn fn, Timestamp ts, swarm::Hint hint,
@@ -185,6 +196,13 @@ class ExecutionEngine : public ParallelBackend
     /** Apply one recorded step through the serial engine paths. */
     void applyPendingStep(Task* t);
     /**
+     * Sharded mode, foreign task: consume the owner shard's wire
+     * records at this resume event's slot and apply them through the
+     * serial engine paths (one record for suspending backends, a
+     * Finish-terminated sequence for inline-effects backends).
+     */
+    void consumeRemoteSteps(Task* t);
+    /**
      * The timing-model body of issueAccess (record mode bypasses it).
      * @p probe: the step's worker-side conflict probe, if any (consumed
      * by the ConflictManager when still fresh).
@@ -224,6 +242,9 @@ class ExecutionEngine : public ParallelBackend
     /// is armed. applyPendingStep consults it to consume worker
     /// pre-applies at their serial slots.
     ParallelReplayBackend* replay_ = nullptr;
+    /// Cross-shard seam (null = single-process). Owned by the harness
+    /// shard runner; see setShard().
+    ShardContext* shard_ = nullptr;
 
     /// Cached backend.inlineEffects(): awaiter effects apply inline
     /// (await_ready) and resume events go untagged, so the parallel

@@ -4,6 +4,7 @@
 #include "sim/parallel_executor.h"
 #include "swarm/backends/trace_replay_backend.h"
 #include "swarm/policies.h"
+#include "swarm/shard.h"
 
 namespace swarm {
 
@@ -70,13 +71,19 @@ namespace ssim {
 
 // ---- Wiring -----------------------------------------------------------------
 
-Machine::Machine(const SimConfig& cfg)
+Machine::Machine(const SimConfig& cfg, ShardContext* shard)
     // Subsystems that hold a SimConfig reference must get the member
     // copy, never the constructor argument: callers may pass a
     // temporary.
-    : cfg_(cfg), mesh_(cfg_), mem_(cfg_, mesh_, stats_), rng_(cfg.seed)
+    : cfg_(cfg), mesh_(cfg_), mem_(cfg_, mesh_, stats_), rng_(cfg.seed),
+      shard_(shard)
 {
     ssim_assert(cfg_.ntiles >= 1 && cfg_.coresPerTile >= 1);
+    if (shard_) {
+        ssim_assert(cfg_.hostThreads == 1,
+                    "sharded replicas require the serial event loop");
+        ssim_assert(cfg_.topology, "sharded runs require a topology");
+    }
     // One event lane per tile plus the global control lane; per-tile
     // events (dispatch, arrival, resumption) stay tile-local while the
     // (cycle, global seq) min-merge keeps pop order bit-identical to a
@@ -95,6 +102,10 @@ Machine::Machine(const SimConfig& cfg)
                                                  *engine_, *conflict_,
                                                  *capacity_, lb_.get());
     engine_->wire(conflict_.get(), capacity_.get(), commit_.get());
+    if (shard_) {
+        engine_->setShard(shard_);
+        commit_->setShard(shard_);
+    }
 }
 
 void
@@ -200,6 +211,15 @@ Machine::finalizeStats()
     if (auto* trb = dynamic_cast<TraceReplayBackend*>(backend_.get())) {
         stats_.traceServedCosts = trb->served();
         stats_.traceFallbackCosts = trb->fallbacks();
+    }
+
+    // Cross-shard scale-out counters (all zero unless a topology is
+    // armed / this machine is a sharded replica).
+    stats_.crossShardMsgs = mesh_.crossShardMsgs();
+    if (shard_) {
+        stats_.shardStepsSent = shard_->stepsSent();
+        stats_.shardStepsRecv = shard_->stepsRecv();
+        stats_.shardProgressMsgs = shard_->progressMsgs();
     }
 }
 

@@ -50,7 +50,13 @@ namespace ssim {
 class Machine
 {
   public:
-    explicit Machine(const SimConfig& cfg);
+    /**
+     * @p shard non-null makes this machine one replica of a sharded run
+     * (swarm/shard.h): the engine only runs coroutines for owned tiles
+     * and the commit controller reports GVT epochs to the reducer.
+     * Requires cfg.hostThreads == 1 and cfg.topology set.
+     */
+    explicit Machine(const SimConfig& cfg, ShardContext* shard = nullptr);
     Machine(const Machine&) = delete;
     Machine& operator=(const Machine&) = delete;
 
@@ -199,6 +205,8 @@ class Machine
     std::unique_ptr<ConflictManager> conflict_;
     std::unique_ptr<CapacityManager> capacity_;
     std::unique_ptr<CommitController> commit_;
+    /// Cross-shard seam (null = single-process); owned by the harness.
+    ShardContext* shard_ = nullptr;
     HostExecStats hostStats_;
     bool running_ = false;
 };

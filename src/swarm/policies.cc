@@ -121,6 +121,23 @@ lookup(const std::array<const char*, N>& names, const std::string& value,
     return false;
 }
 
+/// Digit-only u32 parse for numeric policy values (shards=, shard-hop=);
+/// rejects empty strings, signs, and overflow.
+bool
+parseU32Value(const std::string& value, uint32_t& out)
+{
+    if (value.empty() || value.size() > 9)
+        return false;
+    uint64_t v = 0;
+    for (char c : value) {
+        if (c < '0' || c > '9')
+            return false;
+        v = v * 10 + uint64_t(c - '0');
+    }
+    out = uint32_t(v);
+    return true;
+}
+
 /// One registry slot per SchedulerType: factory plus the name used for
 /// selection (set), listing (schedulerNames), and labeling (describe).
 /// Overriding a slot relabels it everywhere consistently.
@@ -324,6 +341,20 @@ set(SimConfig& cfg, const std::string& key, const std::string& value)
         cfg.classifyMode = value;
         return true;
     }
+    if (key == "shards") {
+        uint32_t n = 0;
+        if (!parseU32Value(value, n) || n < 1)
+            return false;
+        cfg.numShards = n;
+        return true;
+    }
+    if (key == "shard-hop") {
+        uint32_t n = 0;
+        if (!parseU32Value(value, n))
+            return false;
+        cfg.shardHopPenalty = n;
+        return true;
+    }
     return false;
 }
 
@@ -385,6 +416,10 @@ describe(const SimConfig& cfg)
         s += ",parallel-replay=on";
     if (cfg.classifyMode != "off")
         s += ",classify=" + cfg.classifyMode;
+    if (cfg.numShards > 1)
+        s += ",shards=" + std::to_string(cfg.numShards);
+    if (cfg.shardHopPenalty > 0)
+        s += ",shard-hop=" + std::to_string(cfg.shardHopPenalty);
     return s;
 }
 

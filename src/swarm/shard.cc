@@ -1,0 +1,184 @@
+#include "swarm/shard.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <sched.h>
+
+#include "base/logging.h"
+
+namespace ssim {
+
+namespace {
+
+size_t
+alignUp(size_t v, size_t a)
+{
+    return (v + a - 1) & ~(a - 1);
+}
+
+/// SWARMSIM_SHARD_TRACE=1: dump every wire send/consume to stderr —
+/// the first tool to reach for when a sharded run reports divergence
+/// (diff the owner's send log against the consumer's recv log).
+bool
+wireTrace()
+{
+    static const bool on = [] {
+        const char* e = std::getenv("SWARMSIM_SHARD_TRACE");
+        return e && e[0] == '1';
+    }();
+    return on;
+}
+
+} // namespace
+
+ShardGroup::ShardGroup(uint32_t nshards) : nshards_(nshards)
+{
+    ssim_assert(nshards >= 2, "a shard group needs at least 2 shards");
+    size_t stepBytes =
+        alignUp(sizeof(StepRing) * nshards * nshards, 64);
+    size_t progBytes = alignUp(sizeof(ProgressRing) * nshards, 64);
+    size_t resBytes = alignUp(sizeof(ResultBuf) * nshards, 64);
+    region_ = ShmRegion(stepBytes + progBytes + resBytes);
+
+    char* base = region_.base();
+    steps_ = reinterpret_cast<StepRing*>(base);
+    progress_ = reinterpret_cast<ProgressRing*>(base + stepBytes);
+    results_ = reinterpret_cast<ResultBuf*>(base + stepBytes + progBytes);
+    for (uint32_t i = 0; i < nshards * nshards; i++)
+        new (&steps_[i]) StepRing();
+    for (uint32_t i = 0; i < nshards; i++) {
+        new (&progress_[i]) ProgressRing();
+        new (&results_[i]) ResultBuf();
+    }
+}
+
+ShardGroup::StepRing&
+ShardGroup::stepRing(uint32_t from, uint32_t to)
+{
+    ssim_assert(from < nshards_ && to < nshards_ && from != to);
+    return steps_[from * nshards_ + to];
+}
+
+ShardGroup::ProgressRing&
+ShardGroup::progressRing(uint32_t s)
+{
+    ssim_assert(s < nshards_);
+    return progress_[s];
+}
+
+void
+ShardGroup::publishResult(uint32_t shard, const std::string& text)
+{
+    ssim_assert(shard < nshards_);
+    ssim_assert(text.size() <= kResultBytes,
+                "shard snapshot exceeds the result buffer");
+    ResultBuf& buf = results_[shard];
+    std::memcpy(buf.text, text.data(), text.size());
+    buf.len.store(text.size(), std::memory_order_release);
+}
+
+std::string
+ShardGroup::takeResult(uint32_t shard)
+{
+    ssim_assert(shard < nshards_);
+    ResultBuf& buf = results_[shard];
+    uint64_t len = buf.len.load(std::memory_order_acquire);
+    return std::string(buf.text, len);
+}
+
+ShardContext::ShardContext(const TopologySpec& topo, uint32_t shard,
+                           ShardGroup& group)
+    : topo_(topo), shard_(shard), group_(group),
+      pending_(group.numShards())
+{
+    ssim_assert(shard < group.numShards());
+    ssim_assert(topo.numShards() == group.numShards(),
+                "topology (%u shards) does not match the fabric (%u)",
+                topo.numShards(), group.numShards());
+}
+
+void
+ShardContext::drainIncoming()
+{
+    for (uint32_t s = 0; s < group_.numShards(); s++) {
+        if (s == shard_)
+            continue;
+        WireStep w;
+        while (group_.stepRing(s, shard_).tryPop(w))
+            pending_[s].push_back(w);
+    }
+}
+
+void
+ShardContext::sendStep(const WireStep& w)
+{
+    if (wireTrace())
+        std::fprintf(stderr, "[wire] shard %u SEND %s uid=%llu gen=%llu "
+                             "cycle=%llu\n",
+                     shard_, wireKindName(w.kind),
+                     (unsigned long long)w.uid, (unsigned long long)w.gen,
+                     (unsigned long long)w.cycle);
+    for (uint32_t s = 0; s < group_.numShards(); s++) {
+        if (s == shard_)
+            continue;
+        ShardGroup::StepRing& ring = group_.stepRing(shard_, s);
+        while (!ring.tryPush(w)) {
+            // Deadlock-freedom: never block a peer while blocked
+            // ourselves — absorb whatever has arrived, then yield to
+            // the (strictly behind) consumer of this ring.
+            drainIncoming();
+            sched_yield();
+        }
+    }
+    stepsSent_++;
+}
+
+WireStep
+ShardContext::recvStep(uint32_t from)
+{
+    ssim_assert(from < group_.numShards() && from != shard_);
+    WireStep w;
+    if (!pending_[from].empty()) {
+        w = pending_[from].front();
+        pending_[from].pop_front();
+    } else {
+        ShardGroup::StepRing& ring = group_.stepRing(from, shard_);
+        while (!ring.tryPop(w)) {
+            drainIncoming();
+            if (!pending_[from].empty())
+                break;
+            sched_yield();
+        }
+        if (!pending_[from].empty()) {
+            w = pending_[from].front();
+            pending_[from].pop_front();
+        }
+    }
+    if (w.magic != WireStep::kMagic)
+        fatal("shard %u: corrupt wire record from shard %u "
+              "(magic %08x)",
+              shard_, from, w.magic);
+    if (wireTrace())
+        std::fprintf(stderr, "[wire] shard %u RECV %s uid=%llu gen=%llu "
+                             "cycle=%llu (from %u)\n",
+                     shard_, wireKindName(w.kind),
+                     (unsigned long long)w.uid, (unsigned long long)w.gen,
+                     (unsigned long long)w.cycle, from);
+    stepsRecv_++;
+    return w;
+}
+
+void
+ShardContext::sendProgress(const WireProgress& p)
+{
+    ShardGroup::ProgressRing& ring = group_.progressRing(shard_);
+    while (!ring.tryPush(p)) {
+        drainIncoming();
+        sched_yield();
+    }
+    progressMsgs_++;
+}
+
+} // namespace ssim

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The process-boundary seam of a sharded run (docs/scale-out.md).
+ *
+ * A sharded run is a replicated state machine: every shard process
+ * runs the FULL deterministic event loop over the whole simulated
+ * machine — dispatch, conflict detection, commits, GVT epochs are all
+ * replicated bookkeeping — but only the shard that OWNS a task's tile
+ * (TopologySpec::shardOfTile) creates and resumes its coroutine. The
+ * owner broadcasts each effect the body issues as a WireStep record;
+ * every other shard, reaching the same (cycle, seq) event slot in its
+ * own replica, consumes the record and applies it through the exact
+ * serial engine paths. Identical inputs applied in identical order
+ * leave every replica bit-identical — which is the whole determinism
+ * contract, and why an N-process run digests exactly like the
+ * one-process run of the same topology.
+ *
+ * Transport: per-(sender, receiver) shared-memory SPSC rings
+ * (sim/shm_ring.h), mapped by the parent before fork. Blocking
+ * send/receive spins with sched_yield; whenever a shard blocks (full
+ * outbound ring or empty inbound ring) it first DRAINS every inbound
+ * ring into local per-sender queues — the rule that makes the protocol
+ * deadlock-free: a blocked sender never stops its peers from making
+ * progress, and the globally least-advanced shard can always run.
+ *
+ * The parent process acts as the GVT reducer: each shard reports its
+ * GVT epochs (WireProgress) on a dedicated ring, the parent aligns the
+ * reports by epoch index and fails fast on any divergence (an
+ * invariant check under replication today; the real reduction seam for
+ * a future TCP transport). At end of run each shard publishes a
+ * versioned ShardSnapshot (swarm/wire.h) into its result buffer.
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "base/types.h"
+#include "sim/shm_ring.h"
+#include "sim/topology.h"
+#include "swarm/wire.h"
+
+namespace ssim {
+
+/**
+ * The shared-memory transport fabric for one sharded run: step rings,
+ * progress rings, and result buffers, all inside a single anonymous
+ * MAP_SHARED region. Construct in the parent BEFORE forking shards.
+ */
+class ShardGroup
+{
+  public:
+    static constexpr uint32_t kStepSlots = 4096;
+    static constexpr uint32_t kProgressSlots = 1024;
+    static constexpr size_t kResultBytes = 256 * 1024;
+
+    using StepRing = SpscRing<WireStep, kStepSlots>;
+    using ProgressRing = SpscRing<WireProgress, kProgressSlots>;
+
+    explicit ShardGroup(uint32_t nshards);
+
+    uint32_t numShards() const { return nshards_; }
+
+    /** The @p from -> @p to step ring (from != to). */
+    StepRing& stepRing(uint32_t from, uint32_t to);
+    /** Shard @p s's progress ring to the parent reducer. */
+    ProgressRing& progressRing(uint32_t s);
+
+    /** Child side: publish the end-of-run snapshot text (once). */
+    void publishResult(uint32_t shard, const std::string& text);
+    /**
+     * Parent side (after the child exited): the published snapshot
+     * text, or empty if the shard died before publishing.
+     */
+    std::string takeResult(uint32_t shard);
+
+  private:
+    struct ResultBuf
+    {
+        std::atomic<uint64_t> len{0};
+        char text[kResultBytes];
+    };
+
+    uint32_t nshards_;
+    ShmRegion region_;
+    StepRing* steps_ = nullptr;       ///< nshards x nshards, row = sender
+    ProgressRing* progress_ = nullptr;
+    ResultBuf* results_ = nullptr;
+};
+
+/**
+ * One shard process's view of the fabric: ownership queries plus the
+ * blocking send/receive protocol (drain rule above). Wired into the
+ * ExecutionEngine and CommitController by Machine when a sharded run
+ * constructs it (harness/shard_runner.cc).
+ */
+class ShardContext
+{
+  public:
+    ShardContext(const TopologySpec& topo, uint32_t shard,
+                 ShardGroup& group);
+
+    uint32_t shard() const { return shard_; }
+    uint32_t numShards() const { return group_.numShards(); }
+    uint32_t shardOfTile(TileId t) const { return topo_.shardOfTile(t); }
+    bool ownsTile(TileId t) const { return shardOfTile(t) == shard_; }
+
+    /** Broadcast one effect record to every other shard (blocking). */
+    void sendStep(const WireStep& w);
+    /** Next record from @p from's stream, in its send order (blocking). */
+    WireStep recvStep(uint32_t from);
+    /** Report a GVT epoch to the parent reducer (blocking). */
+    void sendProgress(const WireProgress& p);
+
+    uint64_t stepsSent() const { return stepsSent_; }
+    uint64_t stepsRecv() const { return stepsRecv_; }
+    uint64_t progressMsgs() const { return progressMsgs_; }
+
+  private:
+    /** Move everything available on the inbound rings into pending_. */
+    void drainIncoming();
+
+    TopologySpec topo_;
+    uint32_t shard_;
+    ShardGroup& group_;
+    /// Per-sender overflow queues filled by the drain rule (records
+    /// popped while blocked on an unrelated send/receive).
+    std::vector<std::deque<WireStep>> pending_;
+    uint64_t stepsSent_ = 0;
+    uint64_t stepsRecv_ = 0;
+    uint64_t progressMsgs_ = 0;
+};
+
+} // namespace ssim

@@ -1,0 +1,350 @@
+#include "swarm/wire.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "base/logging.h"
+
+namespace ssim {
+
+const char*
+wireKindName(WireKind k)
+{
+    switch (k) {
+      case WireKind::Access: return "access";
+      case WireKind::Reduce: return "reduce";
+      case WireKind::Compute: return "compute";
+      case WireKind::Enqueue: return "enqueue";
+      case WireKind::Finish: return "finish";
+      default: return "?";
+    }
+}
+
+namespace {
+
+/// Bound on serialized vector lengths: largest real occupancy vector is
+/// ntiles + 1 lanes; anything bigger than this is a corrupt count.
+constexpr uint64_t kMaxVecLen = 1u << 20;
+
+/**
+ * Visit every SimStats field in the frozen serialization order. Both
+ * the serializer and the parser walk this single list, so the text
+ * format cannot drift from the struct: a new field serializes the
+ * moment it is added here, and an old snapshot missing it (or carrying
+ * an unknown one) fails the strict sequence check.
+ */
+template <typename Scalar, typename Vec>
+void
+visitStats(SimStats& s, Scalar&& scalar, Vec&& vec)
+{
+    scalar("cycles", s.cycles);
+    vec("coreCycles", s.coreCycles.data(), s.coreCycles.size());
+    vec("flits", s.flits.data(), s.flits.size());
+    scalar("tasksCommitted", s.tasksCommitted);
+    scalar("tasksAborted", s.tasksAborted);
+    scalar("abortsConflict", s.abortsConflict);
+    scalar("abortsDisplace", s.abortsDisplace);
+    scalar("abortsGridlock", s.abortsGridlock);
+    scalar("tasksSpilled", s.tasksSpilled);
+    scalar("tasksStolen", s.tasksStolen);
+    scalar("dispatchSkips", s.dispatchSkips);
+    scalar("conflictChecks", s.conflictChecks);
+    scalar("lbReconfigs", s.lbReconfigs);
+    scalar("bucketsMoved", s.bucketsMoved);
+    scalar("l1Hits", s.l1Hits);
+    scalar("l1Misses", s.l1Misses);
+    scalar("l2Hits", s.l2Hits);
+    scalar("l2Misses", s.l2Misses);
+    scalar("l3Hits", s.l3Hits);
+    scalar("l3Misses", s.l3Misses);
+    scalar("concProbeHits", s.concProbeHits);
+    scalar("concProbeStale", s.concProbeStale);
+    scalar("concProbeCold", s.concProbeCold);
+    scalar("concWorkerProbes", s.concWorkerProbes);
+    scalar("bankLockAcquired", s.bankLockAcquired);
+    scalar("bankLockContended", s.bankLockContended);
+    scalar("lineEntriesScrubbed", s.lineEntriesScrubbed);
+    scalar("workerApplies", s.workerApplies);
+    scalar("replaySquashed", s.replaySquashed);
+    scalar("coordinatorFallbackApplies", s.coordinatorFallbackApplies);
+    scalar("crossBankEffects", s.crossBankEffects);
+    scalar("classifiedRoReads", s.classifiedRoReads);
+    scalar("classifiedPrivAccesses", s.classifiedPrivAccesses);
+    scalar("classifiedRedOps", s.classifiedRedOps);
+    scalar("classifiedFoldWords", s.classifiedFoldWords);
+    scalar("classifiedDemotions", s.classifiedDemotions);
+    scalar("classifyAborts", s.classifyAborts);
+    scalar("lineTableRegs", s.lineTableRegs);
+    scalar("traceServedCosts", s.traceServedCosts);
+    scalar("traceFallbackCosts", s.traceFallbackCosts);
+    scalar("crossShardMsgs", s.crossShardMsgs);
+    scalar("shardStepsSent", s.shardStepsSent);
+    scalar("shardStepsRecv", s.shardStepsRecv);
+    scalar("shardProgressMsgs", s.shardProgressMsgs);
+}
+
+template <typename Scalar, typename DynVec>
+void
+visitDynVecs(SimStats& s, Scalar&&, DynVec&& dyn)
+{
+    dyn("laneScheduled", s.laneScheduled);
+    dyn("lanePeakPending", s.lanePeakPending);
+    dyn("bankPeakLines", s.bankPeakLines);
+    dyn("bankProbes", s.bankProbes);
+    dyn("bankApplies", s.bankApplies);
+}
+
+bool
+fail(std::string* err, const std::string& why)
+{
+    if (err)
+        *err = why;
+    return false;
+}
+
+bool
+parseU64(const std::string& tok, uint64_t& out)
+{
+    if (tok.empty() || tok.size() > 20)
+        return false;
+    uint64_t v = 0;
+    for (char c : tok) {
+        if (c < '0' || c > '9')
+            return false;
+        uint64_t nv = v * 10 + uint64_t(c - '0');
+        if (nv / 10 != v)
+            return false; // overflow
+        v = nv;
+    }
+    out = v;
+    return true;
+}
+
+bool
+parseHex64(const std::string& tok, uint64_t& out)
+{
+    if (tok.empty() || tok.size() > 16)
+        return false;
+    uint64_t v = 0;
+    for (char c : tok) {
+        uint64_t d;
+        if (c >= '0' && c <= '9')
+            d = uint64_t(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            d = uint64_t(c - 'a') + 10;
+        else
+            return false;
+        v = (v << 4) | d;
+    }
+    out = v;
+    return true;
+}
+
+std::string
+hex64(uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx", (unsigned long long)v);
+    return buf;
+}
+
+/// Sequential line reader with one-token-lookahead-free strict parsing.
+struct LineReader
+{
+    std::istringstream in;
+    std::string* err;
+    bool ok = true;
+
+    LineReader(const std::string& text, std::string* e)
+        : in(text), err(e)
+    {
+    }
+
+    bool
+    line(std::string& out)
+    {
+        if (!ok)
+            return false;
+        if (!std::getline(in, out)) {
+            ok = fail(err, "truncated snapshot");
+            return false;
+        }
+        return true;
+    }
+};
+
+} // namespace
+
+std::string
+ShardSnapshot::serialize() const
+{
+    std::ostringstream out;
+    out << "swarmsim-shard v1\n";
+    out << "shard " << shard << "\n";
+    out << "valid " << (valid ? 1 : 0) << "\n";
+    out << "statsdigest " << hex64(statsDigest) << "\n";
+    out << "resultdigest " << hex64(resultDigest) << "\n";
+    SimStats& s = const_cast<SimStats&>(stats);
+    visitStats(
+        s,
+        [&](const char* name, uint64_t& v) {
+            out << "stat " << name << " " << v << "\n";
+        },
+        [&](const char* name, uint64_t* data, size_t n) {
+            out << "vec " << name << " " << n;
+            for (size_t i = 0; i < n; i++)
+                out << " " << data[i];
+            out << "\n";
+        });
+    visitDynVecs(
+        s, [](const char*, uint64_t&) {},
+        [&](const char* name, std::vector<uint64_t>& v) {
+            out << "vec " << name << " " << v.size();
+            for (uint64_t x : v)
+                out << " " << x;
+            out << "\n";
+        });
+    out << "end\n";
+    return out.str();
+}
+
+bool
+ShardSnapshot::parse(const std::string& text, std::string* err)
+{
+    LineReader rd(text, err);
+    std::string line;
+
+    if (!rd.line(line) || line != "swarmsim-shard v1")
+        return fail(err, "missing 'swarmsim-shard v1' header");
+
+    ShardSnapshot snap; // parse into a fresh snapshot; swap on success
+
+    auto field = [&](const char* name, auto&& parseVal) -> bool {
+        if (!rd.line(line))
+            return false;
+        std::istringstream ls(line);
+        std::string kw;
+        if (!(ls >> kw) || kw != name)
+            return fail(err, std::string("expected '") + name +
+                                 "', got '" + line + "'");
+        return parseVal(ls);
+    };
+
+    uint64_t u = 0;
+    bool parsed =
+        field("shard",
+              [&](std::istringstream& ls) {
+                  std::string tok, extra;
+                  if (!(ls >> tok) || !parseU64(tok, u) ||
+                      u > UINT32_MAX || (ls >> extra))
+                      return fail(err, "malformed shard index");
+                  snap.shard = uint32_t(u);
+                  return true;
+              }) &&
+        field("valid",
+              [&](std::istringstream& ls) {
+                  std::string tok, extra;
+                  if (!(ls >> tok) || (tok != "0" && tok != "1") ||
+                      (ls >> extra))
+                      return fail(err, "malformed valid flag");
+                  snap.valid = tok == "1";
+                  return true;
+              }) &&
+        field("statsdigest",
+              [&](std::istringstream& ls) {
+                  std::string tok, extra;
+                  if (!(ls >> tok) || !parseHex64(tok, snap.statsDigest) ||
+                      (ls >> extra))
+                      return fail(err, "malformed statsdigest");
+                  return true;
+              }) &&
+        field("resultdigest", [&](std::istringstream& ls) {
+            std::string tok, extra;
+            if (!(ls >> tok) || !parseHex64(tok, snap.resultDigest) ||
+                (ls >> extra))
+                return fail(err, "malformed resultdigest");
+            return true;
+        });
+    if (!parsed)
+        return false;
+
+    bool bad = false;
+    auto scalar = [&](const char* name, uint64_t& v) {
+        if (bad || !rd.line(line)) {
+            bad = true;
+            return;
+        }
+        std::istringstream ls(line);
+        std::string kw, nm, tok, extra;
+        if (!(ls >> kw >> nm >> tok) || kw != "stat" || nm != name ||
+            !parseU64(tok, v) || (ls >> extra)) {
+            bad = !fail(err, std::string("expected 'stat ") + name +
+                                 " N', got '" + line + "'");
+        }
+    };
+    auto fixedVec = [&](const char* name, uint64_t* data, size_t n) {
+        if (bad || !rd.line(line)) {
+            bad = true;
+            return;
+        }
+        std::istringstream ls(line);
+        std::string kw, nm, cnt, extra;
+        uint64_t declared = 0;
+        if (!(ls >> kw >> nm >> cnt) || kw != "vec" || nm != name ||
+            !parseU64(cnt, declared) || declared != n) {
+            bad = !fail(err, std::string("expected 'vec ") + name + " " +
+                                 std::to_string(n) + " ...', got '" + line +
+                                 "'");
+            return;
+        }
+        for (size_t i = 0; i < n; i++) {
+            std::string tok;
+            if (!(ls >> tok) || !parseU64(tok, data[i])) {
+                bad = !fail(err, std::string("short vec ") + name);
+                return;
+            }
+        }
+        if (ls >> extra)
+            bad = !fail(err, std::string("trailing tokens in vec ") + name);
+    };
+    visitStats(snap.stats, scalar, fixedVec);
+    auto dynVec = [&](const char* name, std::vector<uint64_t>& v) {
+        if (bad || !rd.line(line)) {
+            bad = true;
+            return;
+        }
+        std::istringstream ls(line);
+        std::string kw, nm, cnt, extra;
+        uint64_t declared = 0;
+        if (!(ls >> kw >> nm >> cnt) || kw != "vec" || nm != name ||
+            !parseU64(cnt, declared) || declared > kMaxVecLen) {
+            bad = !fail(err, std::string("expected 'vec ") + name +
+                                 " N ...', got '" + line + "'");
+            return;
+        }
+        v.resize(declared);
+        for (uint64_t i = 0; i < declared; i++) {
+            std::string tok;
+            if (!(ls >> tok) || !parseU64(tok, v[i])) {
+                bad = !fail(err, std::string("short vec ") + name);
+                return;
+            }
+        }
+        if (ls >> extra)
+            bad = !fail(err, std::string("trailing tokens in vec ") + name);
+    };
+    visitDynVecs(snap.stats, [](const char*, uint64_t&) {}, dynVec);
+    if (bad || !rd.ok)
+        return false;
+
+    if (!rd.line(line) || line != "end")
+        return fail(err, "missing 'end' sentinel (truncated snapshot?)");
+    std::string trailing;
+    if (rd.in >> trailing)
+        return fail(err, "trailing tokens after 'end'");
+
+    *this = std::move(snap);
+    return true;
+}
+
+} // namespace ssim

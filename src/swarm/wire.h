@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Cross-shard wire formats (docs/scale-out.md).
+ *
+ * Two formats cross the process boundary in a sharded run
+ * (harness/shard_runner.h):
+ *
+ *  - WireStep: the fixed-size binary effect record broadcast over the
+ *    shared-memory rings while the run is in flight. One record per
+ *    effect a task's owner shard executes (access/reduce/compute/
+ *    enqueue), plus a Finish record per completed attempt; foreign
+ *    shards apply each record through the exact serial engine paths
+ *    at the same (cycle, seq) event slot, which is what keeps every
+ *    replica bit-identical (swarm/shard.h). Records never leave the
+ *    host, so the format is binary with a magic/kind check rather than
+ *    versioned text.
+ *
+ *  - ShardSnapshot: the end-of-run result message each shard publishes
+ *    to the GVT reducer (and the checkpoint/restore surface). This one
+ *    is durable-format material, so it follows the trace-file
+ *    discipline: versioned "swarmsim-shard v1" text header, strict
+ *    field-wise parse, reject-don't-corrupt. Every digest-included
+ *    SimStats field crosses by name, so a field added to the stats
+ *    without a codec update is a parse error, not silent truncation.
+ */
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "base/stats.h"
+#include "base/types.h"
+
+namespace ssim {
+
+/** Kind of one cross-shard effect record. */
+enum class WireKind : uint8_t
+{
+    Access = 0,
+    Reduce,
+    Compute,
+    Enqueue,
+    Finish,
+};
+
+const char* wireKindName(WireKind k);
+
+/** One effect record on the shard rings (fixed-size POD). */
+struct WireStep
+{
+    static constexpr uint32_t kMagic = 0x53505453u; // "STPS"
+
+    uint32_t magic = kMagic;
+    WireKind kind = WireKind::Finish;
+    uint8_t size = 0;     ///< Access: bytes (<= 8)
+    uint8_t isWrite = 0;  ///< Access only
+    uint8_t nargs = 0;    ///< Enqueue: argument count
+    uint64_t uid = 0;     ///< task identity (must match the consumer's)
+    uint64_t gen = 0;     ///< ... and generation
+    uint64_t cycle = 0;   ///< event cycle (verified on receive)
+    uint64_t addr = 0;    ///< Access/Reduce
+    uint64_t wval = 0;    ///< Access write value / Reduce delta (bit-cast)
+    uint32_t cycles = 0;  ///< Compute charge
+    uint32_t pad = 0;
+    uint64_t fn = 0;      ///< Enqueue: TaskFn bits (identical post-fork)
+    uint64_t ets = 0;     ///< Enqueue: child timestamp
+    uint64_t hintVal = 0; ///< Enqueue: hint payload
+    uint8_t hintKind = 0; ///< Enqueue: swarm::Hint::Kind
+    uint8_t pad2[7] = {};
+    std::array<uint64_t, 3> args{}; ///< Enqueue: child arguments
+};
+static_assert(sizeof(WireStep) == 112);
+
+/** A shard's GVT progress report (swarm/commit_controller.cc). */
+struct WireProgress
+{
+    uint64_t epoch = 0;  ///< gvtEpochsRun at send time
+    uint64_t cycle = 0;  ///< event-queue cycle at the epoch
+    uint64_t gvtTs = 0;  ///< GVT lower bound (valid if hasGvt)
+    uint64_t gvtUid = 0;
+    uint8_t hasGvt = 0;
+    uint8_t pad[7] = {};
+};
+static_assert(sizeof(WireProgress) == 40);
+
+/** End-of-run result message a shard publishes to the reducer. */
+struct ShardSnapshot
+{
+    uint32_t shard = 0;
+    bool valid = false;          ///< App::validate() in the shard
+    uint64_t statsDigest = 0;    ///< statsDigest(stats), for agreement
+    uint64_t resultDigest = 0;   ///< App::resultDigest in the shard
+    SimStats stats;
+
+    /** The versioned text form parse() accepts; roundtrips exactly. */
+    std::string serialize() const;
+
+    /**
+     * Strict parse of the versioned text format. Returns false (with a
+     * one-line reason in @p err, if non-null) on any malformed input —
+     * bad header, unknown/duplicate/missing field, overflow, trailing
+     * garbage — and leaves *this untouched.
+     */
+    bool parse(const std::string& text, std::string* err = nullptr);
+};
+
+} // namespace ssim

@@ -1,0 +1,372 @@
+/**
+ * @file
+ * The scale-out determinism lattice (docs/scale-out.md):
+ *
+ *  - Topology is a SIMULATED-machine property: with shardHopPenalty ==
+ *    0 a topologized one-process run is bit-identical to a plain one;
+ *    with a penalty it stays deterministic, counts cross-shard NoC
+ *    messages, and slows the clock down — never changes results.
+ *  - Process fan-out is a HOST property: an N-process sharded run
+ *    (harness/shard_runner.h) reproduces the one-process digests
+ *    bit-identically at shards {2, 4}, on the golden workloads and on
+ *    every registered app, with the parent reducer actually checking
+ *    progress-epoch agreement along the way.
+ *  - The harness seam: policy keys (shards=, shard-hop=), the
+ *    SWARMSIM_SHARDS env knob end-to-end through runOnce, recorded
+ *    cost traces keyed on topology (a stale-topology trace is dropped
+ *    and re-recorded, never silently replayed), and strict rejection
+ *    of malformed topology files.
+ *
+ * Plain-vs-sharded comparisons run inside ONE test process: fork gives
+ * every shard replica the same heap addresses this process used for
+ * its plain run, so the address-dependent stats digests are directly
+ * comparable without a fixed arena.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "apps/app.h"
+#include "golden_workloads.h"
+#include "harness/cli.h"
+#include "harness/runner.h"
+#include "harness/shard_runner.h"
+#include "sim/topology.h"
+#include "swarm/backends/trace_replay_backend.h"
+#include "swarm/policies.h"
+
+using namespace ssim;
+using namespace ssim::golden;
+using namespace ssim::harness;
+
+namespace {
+
+std::string
+tmpPath(const char* name)
+{
+    return testing::TempDir() + "ssim_topo_" + name;
+}
+
+/// runWorkload's sharded twin: same arena state, same config, same
+/// initial tasks — but run on @p nshards forked replicas and reduced.
+ShardedRunOutcome
+runWorkloadSharded(Workload w, SchedulerType sched, uint32_t nshards)
+{
+    auto* st = new (arena()) WorkState();
+    SimConfig cfg;
+    switch (w) {
+      case Workload::Spawn:
+        cfg = SimConfig::withCores(16, sched, 7);
+        break;
+      case Workload::Contend:
+        cfg = SimConfig::withCores(16, sched, 3);
+        break;
+      case Workload::Spill:
+        cfg = SimConfig::withCores(1, sched, 1);
+        break;
+    }
+    cfg.numShards = nshards;
+    resolveTopology(cfg);
+    return runShardedRaw(
+        cfg,
+        [&](Machine& m) {
+            switch (w) {
+              case Workload::Spawn:
+                m.enqueueInitial(spawner, 0, swarm::Hint(0), st,
+                                 uint64_t(48));
+                break;
+              case Workload::Contend:
+                for (uint64_t i = 0; i < 96; i++)
+                    m.enqueueInitial(rmwCells, i / 3, swarm::Hint(i % 5),
+                                     st);
+                break;
+              case Workload::Spill:
+                for (uint64_t i = 0; i < 400; i++)
+                    m.enqueueInitial(tiny, i, swarm::Hint(i % 32), st);
+                break;
+            }
+        },
+        [] { return uint64_t(0); }, [] { return true; });
+}
+
+/// One plain (single-process) app run at Tiny/16 cores.
+RunResult
+runAppPlain(apps::App& app)
+{
+    SimConfig cfg = SimConfig::withCores(16, SchedulerType::Hints, 42);
+    return runOnce(app, cfg);
+}
+
+} // namespace
+
+// ---- Topology as a simulated-machine property ------------------------------
+
+TEST(ShardTopology, ZeroPenaltyTopologyIsBitIdenticalToPlain)
+{
+    for (const Golden& g : kGoldens) {
+        uint64_t plain = runWorkload(g.w, g.sched);
+        uint64_t topod = runWorkload(
+            g.w, g.sched, 1, "timing", false, false, [&](SimConfig& cfg) {
+                cfg.topology = std::make_shared<TopologySpec>(
+                    TopologySpec::uniform(cfg.ntiles,
+                                          cfg.ntiles >= 2 ? 2 : 1));
+                cfg.shardHopPenalty = 0;
+            });
+        EXPECT_EQ(topod, plain) << g.name;
+    }
+}
+
+TEST(ShardTopology, HopPenaltyIsDeterministicAndCountsCrossShardTraffic)
+{
+    auto run = [&](uint32_t penalty) {
+        auto* st = new (arena()) WorkState();
+        SimConfig cfg = SimConfig::withCores(16, SchedulerType::Hints, 3);
+        cfg.topology = std::make_shared<TopologySpec>(
+            TopologySpec::uniform(cfg.ntiles, 2));
+        cfg.shardHopPenalty = penalty;
+        Machine m(cfg);
+        for (uint64_t i = 0; i < 96; i++)
+            m.enqueueInitial(rmwCells, i / 3, swarm::Hint(i % 5), st);
+        m.run();
+        return m.stats();
+    };
+    SimStats s5 = run(5);
+    SimStats again = run(5);
+    EXPECT_EQ(statsDigest(s5), statsDigest(again))
+        << "penalized topology must stay deterministic";
+    EXPECT_GT(s5.crossShardMsgs, 0u)
+        << "a contended 2-shard split must cross the boundary";
+
+    // The penalty changes the simulated timeline, which changes
+    // speculation (aborts, re-execution) and therefore the message
+    // COUNT — only determinism and cost monotonicity are contracts.
+    SimStats s0 = run(0);
+    EXPECT_GT(s0.crossShardMsgs, 0u)
+        << "cross-shard traffic is counted even when unpriced";
+    EXPECT_GT(s5.cycles, s0.cycles)
+        << "pricing cross-shard hops must slow the simulated clock";
+}
+
+// ---- Process fan-out: golden workloads -------------------------------------
+
+TEST(ShardProcesses, GoldenWorkloadsMatchPlainAtShards2And4)
+{
+    for (const Golden& g : kGoldens) {
+        if (g.w == Workload::Spill)
+            continue; // 1 core = 1 tile: nothing to shard
+        uint64_t plain = runWorkload(g.w, g.sched);
+        for (uint32_t nshards : {2u, 4u}) {
+            ShardedRunOutcome out =
+                runWorkloadSharded(g.w, g.sched, nshards);
+            EXPECT_TRUE(out.valid) << g.name << " @ " << nshards;
+            EXPECT_EQ(out.statsDigest, plain)
+                << g.name << " @ " << nshards
+                << " shards diverged from the plain run";
+            EXPECT_GT(out.progressEpochsChecked, 0u)
+                << g.name << ": the reducer never aligned an epoch";
+            EXPECT_GT(out.stats.shardStepsSent, 0u) << g.name;
+            EXPECT_GT(out.stats.shardStepsRecv, 0u) << g.name;
+            EXPECT_GT(out.stats.shardProgressMsgs, 0u) << g.name;
+        }
+    }
+}
+
+// ---- Process fan-out: every registered app ---------------------------------
+
+class ShardedApp : public testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ShardedApp, TwoShardRunMatchesSingleProcess)
+{
+    const std::string& name = GetParam();
+    auto app = apps::makeApp(name);
+    apps::AppParams params;
+    params.preset = apps::Preset::Tiny;
+    params.seed = 42;
+    app->setup(params);
+
+    RunResult plain = runAppPlain(*app);
+    ASSERT_TRUE(plain.valid) << name;
+
+    SimConfig cfg = SimConfig::withCores(16, SchedulerType::Hints, 42);
+    cfg.numShards = 2;
+    resolveTopology(cfg);
+    RunResult sharded = runSharded(*app, cfg);
+    EXPECT_TRUE(sharded.valid) << name;
+    EXPECT_EQ(statsDigest(sharded.stats), statsDigest(plain.stats))
+        << name << ": 2-shard stats digest diverged";
+    EXPECT_EQ(sharded.resultDigest, plain.resultDigest)
+        << name << ": 2-shard result digest diverged";
+    EXPECT_GT(sharded.stats.shardStepsSent, 0u) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, ShardedApp,
+                         testing::ValuesIn(apps::appNames()),
+                         [](const auto& info) { return info.param; });
+
+TEST(ShardProcesses, FourShardAppRunMatchesSingleProcess)
+{
+    auto app = apps::makeApp("bfs");
+    apps::AppParams params;
+    params.preset = apps::Preset::Tiny;
+    params.seed = 42;
+    app->setup(params);
+
+    RunResult plain = runAppPlain(*app);
+    ASSERT_TRUE(plain.valid);
+
+    SimConfig cfg = SimConfig::withCores(16, SchedulerType::Hints, 42);
+    cfg.numShards = 4;
+    resolveTopology(cfg);
+    RunResult sharded = runSharded(*app, cfg);
+    EXPECT_TRUE(sharded.valid);
+    EXPECT_EQ(statsDigest(sharded.stats), statsDigest(plain.stats));
+    EXPECT_EQ(sharded.resultDigest, plain.resultDigest);
+}
+
+// ---- Harness seam ----------------------------------------------------------
+
+TEST(ShardKnobs, PolicyKeysSetAndDescribeRoundtrips)
+{
+    SimConfig cfg = SimConfig::withCores(16);
+    policies::apply(cfg, "sched=hints,shards=2,shard-hop=5");
+    EXPECT_EQ(cfg.numShards, 2u);
+    EXPECT_EQ(cfg.shardHopPenalty, 5u);
+    std::string spec = policies::describe(cfg);
+    EXPECT_NE(spec.find("shards=2"), std::string::npos) << spec;
+    EXPECT_NE(spec.find("shard-hop=5"), std::string::npos) << spec;
+
+    SimConfig plain = SimConfig::withCores(16);
+    EXPECT_EQ(policies::describe(plain).find("shards="),
+              std::string::npos);
+}
+
+TEST(ShardKnobs, EnvShardsKnobShardsARunEndToEnd)
+{
+    auto app = apps::makeApp("bfs");
+    apps::AppParams params;
+    params.preset = apps::Preset::Tiny;
+    params.seed = 42;
+    app->setup(params);
+
+    RunResult plain = runAppPlain(*app);
+    ASSERT_TRUE(plain.valid);
+
+    setenv("SWARMSIM_SHARDS", "2", 1);
+    SimConfig cfg = SimConfig::withCores(16, SchedulerType::Hints, 42);
+    RunResult sharded = runOnce(*app, cfg);
+    unsetenv("SWARMSIM_SHARDS");
+
+    EXPECT_TRUE(sharded.valid);
+    EXPECT_EQ(statsDigest(sharded.stats), statsDigest(plain.stats));
+    EXPECT_EQ(sharded.resultDigest, plain.resultDigest);
+    EXPECT_GT(sharded.stats.shardStepsSent, 0u)
+        << "SWARMSIM_SHARDS=2 did not fork a sharded run";
+}
+
+TEST(ShardKnobs, TopologyKeyOfDistinguishesShapesAndPenalties)
+{
+    SimConfig plain = SimConfig::withCores(16);
+    EXPECT_EQ(topologyKeyOf(plain), "single");
+
+    SimConfig t2 = SimConfig::withCores(16);
+    t2.topology = std::make_shared<TopologySpec>(
+        TopologySpec::uniform(t2.ntiles, 2));
+    SimConfig t4 = t2;
+    t4.topology = std::make_shared<TopologySpec>(
+        TopologySpec::uniform(t4.ntiles, 4));
+    EXPECT_NE(topologyKeyOf(t2), topologyKeyOf(plain));
+    EXPECT_NE(topologyKeyOf(t2), topologyKeyOf(t4));
+
+    SimConfig hop = t2;
+    hop.shardHopPenalty = 3;
+    EXPECT_NE(topologyKeyOf(hop), topologyKeyOf(t2));
+}
+
+TEST(ShardKnobs, StaleTopologyTraceIsDroppedAndReRecorded)
+{
+    auto app = apps::makeApp("bfs");
+    apps::AppParams params;
+    params.preset = apps::Preset::Tiny;
+    params.seed = 42;
+    app->setup(params);
+
+    // Record under the untopologized config ("single" key).
+    SimConfig cfg = SimConfig::withCores(16, SchedulerType::Hints, 42);
+    cfg.engineBackend = "trace-replay";
+    RunResult r1 = runOnce(*app, cfg);
+    ASSERT_TRUE(r1.valid);
+    ASSERT_TRUE(r1.trace);
+    EXPECT_EQ(r1.trace->topologyKey, "single");
+
+    // Replaying under the SAME topology reuses the armed trace.
+    SimConfig again = cfg;
+    again.traceData = r1.trace;
+    RunResult r2 = runOnce(*app, again);
+    EXPECT_TRUE(r2.valid);
+    EXPECT_EQ(r2.trace, r1.trace);
+
+    // A different topology invalidates it: runOnce must drop the armed
+    // trace and re-record under the new key (this is what lets sweep()
+    // adopt the fresh trace instead of gating later points against a
+    // stale recording).
+    SimConfig topod = cfg;
+    topod.topology = std::make_shared<TopologySpec>(
+        TopologySpec::uniform(topod.ntiles, 2));
+    topod.shardHopPenalty = 4;
+    topod.traceData = r1.trace;
+    RunResult r3 = runOnce(*app, topod);
+    EXPECT_TRUE(r3.valid);
+    ASSERT_TRUE(r3.trace);
+    EXPECT_NE(r3.trace, r1.trace)
+        << "a stale-topology trace must not be replayed";
+    EXPECT_EQ(r3.trace->topologyKey, topologyKeyOf(topod));
+    EXPECT_EQ(r3.resultDigest, r1.resultDigest)
+        << "costs decide HOW LONG, never WHAT";
+}
+
+TEST(ShardKnobs, MalformedTopologyFileIsFatal)
+{
+    std::string path = tmpPath("malformed");
+    {
+        std::ofstream out(path);
+        out << "swarmsim-topo v1\nntiles 4\nshards 2\n"
+               "shard 0 tiles 0 3\nend\n"; // count mismatch
+    }
+    SimConfig cfg = SimConfig::withCores(16);
+    cfg.topologyFile = path;
+    EXPECT_DEATH(resolveTopology(cfg), "malformed topology file");
+    std::remove(path.c_str());
+
+    SimConfig missing = SimConfig::withCores(16);
+    missing.topologyFile = tmpPath("does_not_exist");
+    EXPECT_DEATH(resolveTopology(missing), "cannot open topology file");
+}
+
+TEST(ShardKnobs, ResolveTopologyArmsUniformSplitOnlyWhenSharded)
+{
+    SimConfig cfg = SimConfig::withCores(16);
+    resolveTopology(cfg);
+    EXPECT_EQ(cfg.topology, nullptr)
+        << "an unsharded run stays untopologized";
+
+    cfg.numShards = 2;
+    resolveTopology(cfg);
+    ASSERT_NE(cfg.topology, nullptr);
+    EXPECT_EQ(cfg.topology->numShards(), 2u);
+    EXPECT_EQ(cfg.topology->ntiles, cfg.ntiles);
+
+    // A global SWARMSIM_SHARDS meeting a sweep's 1-tile config must
+    // degrade to single-process, not die in uniform()'s assert.
+    SimConfig tiny = SimConfig::withCores(1);
+    ASSERT_EQ(tiny.ntiles, 1u);
+    tiny.numShards = 2;
+    resolveTopology(tiny);
+    EXPECT_EQ(tiny.numShards, 1u) << "clamped to the tile count";
+    EXPECT_EQ(tiny.topology, nullptr)
+        << "a 1-shard machine stays untopologized";
+}

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * TopologySpec unit lattice (sim/topology.h, docs/scale-out.md):
+ *
+ *  - uniform() splits tiles evenly, remainder to the leading shards,
+ *    banks mirroring tiles; shardOfTile/shardOfBank invert the split.
+ *  - serialize() -> parse() roundtrips exactly (including explicit bank
+ *    ranges), and key() is stable and shape-sensitive.
+ *  - parse() is strict: every malformed input — bad header, bad counts,
+ *    out-of-order/overlapping/non-covering ranges, truncation, trailing
+ *    garbage — is rejected with reject-don't-corrupt semantics (the
+ *    spec already held is untouched).
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/topology.h"
+
+using namespace ssim;
+
+TEST(Topology, UniformSplitsEvenlyWithRemainderLeading)
+{
+    TopologySpec t = TopologySpec::uniform(64, 4);
+    EXPECT_EQ(t.ntiles, 64u);
+    ASSERT_EQ(t.numShards(), 4u);
+    for (uint32_t s = 0; s < 4; s++) {
+        EXPECT_EQ(t.shards[s].firstTile, s * 16);
+        EXPECT_EQ(t.shards[s].lastTile, s * 16 + 15);
+        EXPECT_EQ(t.shards[s].firstBank, t.shards[s].firstTile);
+        EXPECT_EQ(t.shards[s].lastBank, t.shards[s].lastTile);
+    }
+
+    // 10 tiles over 4 shards: 3,3,2,2.
+    TopologySpec u = TopologySpec::uniform(10, 4);
+    ASSERT_EQ(u.numShards(), 4u);
+    EXPECT_EQ(u.shards[0].lastTile, 2u);
+    EXPECT_EQ(u.shards[1].lastTile, 5u);
+    EXPECT_EQ(u.shards[2].lastTile, 7u);
+    EXPECT_EQ(u.shards[3].lastTile, 9u);
+}
+
+TEST(Topology, ShardOfTileAndBankInvertTheSplit)
+{
+    TopologySpec t = TopologySpec::uniform(10, 3); // 4,3,3
+    for (uint32_t tile = 0; tile < 10; tile++) {
+        uint32_t s = t.shardOfTile(tile);
+        EXPECT_GE(tile, t.shards[s].firstTile);
+        EXPECT_LE(tile, t.shards[s].lastTile);
+        EXPECT_EQ(t.shardOfBank(tile), s);
+    }
+    EXPECT_EQ(t.shardOfTile(0), 0u);
+    EXPECT_EQ(t.shardOfTile(3), 0u);
+    EXPECT_EQ(t.shardOfTile(4), 1u);
+    EXPECT_EQ(t.shardOfTile(9), 2u);
+}
+
+TEST(Topology, SerializeParseRoundtrips)
+{
+    TopologySpec t = TopologySpec::uniform(16, 2);
+    std::string text = t.serialize();
+    TopologySpec back;
+    std::string err;
+    ASSERT_TRUE(back.parse(text, &err)) << err;
+    EXPECT_EQ(back, t);
+    EXPECT_EQ(back.serialize(), text);
+
+    // Explicit (non-mirrored) bank ranges survive the roundtrip too.
+    TopologySpec skew = TopologySpec::uniform(8, 2);
+    skew.shards[0].lastBank = 5;
+    skew.shards[1].firstBank = 6;
+    std::string stext = skew.serialize();
+    EXPECT_NE(stext.find("banks"), std::string::npos);
+    TopologySpec sback;
+    ASSERT_TRUE(sback.parse(stext, &err)) << err;
+    EXPECT_EQ(sback, skew);
+}
+
+TEST(Topology, KeyIsStableAndShapeSensitive)
+{
+    TopologySpec a = TopologySpec::uniform(64, 2);
+    EXPECT_EQ(a.key(), "topo2:0-31,32-63");
+    EXPECT_EQ(a.key(), TopologySpec::uniform(64, 2).key());
+    EXPECT_NE(a.key(), TopologySpec::uniform(64, 4).key());
+    EXPECT_NE(a.key(), TopologySpec::uniform(32, 2).key());
+}
+
+TEST(Topology, ParseRejectsMalformedInputsWithoutCorruption)
+{
+    // A good spec held before each failed parse must stay untouched.
+    const TopologySpec good = TopologySpec::uniform(8, 2);
+    const char* bad[] = {
+        // 1. wrong header
+        "swarmsim-topo v9\nntiles 8\nshards 1\nshard 0 tiles 0 7\nend\n",
+        // 2. missing ntiles line
+        "swarmsim-topo v1\nshards 1\nshard 0 tiles 0 7\nend\n",
+        // 3. zero ntiles
+        "swarmsim-topo v1\nntiles 0\nshards 1\nshard 0 tiles 0 7\nend\n",
+        // 4. shard count mismatch
+        "swarmsim-topo v1\nntiles 8\nshards 2\nshard 0 tiles 0 7\nend\n",
+        // 5. out-of-order shard index
+        "swarmsim-topo v1\nntiles 8\nshards 2\nshard 1 tiles 0 3\n"
+        "shard 0 tiles 4 7\nend\n",
+        // 6. non-contiguous tile ranges (gap)
+        "swarmsim-topo v1\nntiles 8\nshards 2\nshard 0 tiles 0 2\n"
+        "shard 1 tiles 4 7\nend\n",
+        // 7. overlapping tile ranges
+        "swarmsim-topo v1\nntiles 8\nshards 2\nshard 0 tiles 0 4\n"
+        "shard 1 tiles 4 7\nend\n",
+        // 8. ranges do not cover ntiles
+        "swarmsim-topo v1\nntiles 8\nshards 1\nshard 0 tiles 0 6\nend\n",
+        // 9. truncated (missing end sentinel)
+        "swarmsim-topo v1\nntiles 8\nshards 1\nshard 0 tiles 0 7\n",
+        // 10. trailing garbage after end
+        "swarmsim-topo v1\nntiles 8\nshards 1\nshard 0 tiles 0 7\nend\n"
+        "junk\n",
+        // 11. non-numeric tile bound
+        "swarmsim-topo v1\nntiles 8\nshards 1\nshard 0 tiles 0 x\nend\n",
+        // 12. malformed bank clause
+        "swarmsim-topo v1\nntiles 8\nshards 1\nshard 0 tiles 0 7 "
+        "banks 0\nend\n",
+    };
+    for (const char* text : bad) {
+        TopologySpec spec = good;
+        std::string err;
+        EXPECT_FALSE(spec.parse(text, &err)) << text;
+        EXPECT_FALSE(err.empty()) << text;
+        EXPECT_EQ(spec, good) << "rejected parse corrupted the spec: "
+                              << text;
+    }
+}
+
+TEST(Topology, ParseAcceptsItsOwnGrammarEdgeCases)
+{
+    // Single-shard spec (the degenerate-but-legal topology).
+    TopologySpec one;
+    std::string err;
+    ASSERT_TRUE(one.parse("swarmsim-topo v1\nntiles 4\nshards 1\n"
+                          "shard 0 tiles 0 3\nend\n",
+                          &err))
+        << err;
+    EXPECT_EQ(one.numShards(), 1u);
+    EXPECT_EQ(one.shardOfTile(3), 0u);
+
+    // One tile per shard.
+    TopologySpec fine;
+    ASSERT_TRUE(fine.parse("swarmsim-topo v1\nntiles 2\nshards 2\n"
+                           "shard 0 tiles 0 0\nshard 1 tiles 1 1\nend\n",
+                           &err))
+        << err;
+    EXPECT_EQ(fine.shardOfTile(0), 0u);
+    EXPECT_EQ(fine.shardOfTile(1), 1u);
+}

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Wire-format and transport-primitive lattice (swarm/wire.h,
+ * sim/shm_ring.h, docs/scale-out.md):
+ *
+ *  - WireStep / WireProgress are fixed-size trivially-copyable PODs (a
+ *    slot crosses a process boundary by memcpy).
+ *  - SpscRing obeys its contract: FIFO order, N-1 usable slots, full
+ *    push rejected, empty pop rejected, indices wrap past the slot
+ *    count without corruption.
+ *  - ShardSnapshot serialize() -> parse() roundtrips exactly with every
+ *    stat populated (scalars, fixed vectors, dynamic vectors), and the
+ *    strict parser rejects malformed snapshots — bad header, missing/
+ *    reordered/duplicated fields, short vectors, non-numeric values,
+ *    truncation, trailing garbage — with reject-don't-corrupt
+ *    semantics.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <type_traits>
+
+#include "sim/shm_ring.h"
+#include "swarm/wire.h"
+
+using namespace ssim;
+
+// ---- POD contracts ---------------------------------------------------------
+
+static_assert(sizeof(WireStep) == 112);
+static_assert(std::is_trivially_copyable_v<WireStep>);
+static_assert(sizeof(WireProgress) == 40);
+static_assert(std::is_trivially_copyable_v<WireProgress>);
+
+TEST(Wire, KindNamesAreStable)
+{
+    EXPECT_STREQ(wireKindName(WireKind::Access), "access");
+    EXPECT_STREQ(wireKindName(WireKind::Reduce), "reduce");
+    EXPECT_STREQ(wireKindName(WireKind::Compute), "compute");
+    EXPECT_STREQ(wireKindName(WireKind::Enqueue), "enqueue");
+    EXPECT_STREQ(wireKindName(WireKind::Finish), "finish");
+}
+
+// ---- SpscRing --------------------------------------------------------------
+
+TEST(SpscRing, FifoOrderAndEmpty)
+{
+    SpscRing<uint64_t, 8> ring;
+    EXPECT_TRUE(ring.empty());
+    uint64_t out = 0;
+    EXPECT_FALSE(ring.tryPop(out));
+    for (uint64_t i = 0; i < 5; i++)
+        EXPECT_TRUE(ring.tryPush(i));
+    EXPECT_FALSE(ring.empty());
+    for (uint64_t i = 0; i < 5; i++) {
+        ASSERT_TRUE(ring.tryPop(out));
+        EXPECT_EQ(out, i);
+    }
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, FullRingRejectsPush)
+{
+    SpscRing<uint64_t, 8> ring; // N - 1 = 7 usable slots
+    for (uint64_t i = 0; i < 7; i++)
+        EXPECT_TRUE(ring.tryPush(i));
+    EXPECT_FALSE(ring.tryPush(99));
+    uint64_t out = 0;
+    ASSERT_TRUE(ring.tryPop(out));
+    EXPECT_EQ(out, 0u);
+    EXPECT_TRUE(ring.tryPush(99)); // freed one slot
+}
+
+TEST(SpscRing, IndicesWrapWithoutCorruption)
+{
+    SpscRing<uint64_t, 4> ring;
+    uint64_t out = 0;
+    // Push/pop far past the slot count so head/tail wrap many times.
+    for (uint64_t i = 0; i < 1000; i++) {
+        ASSERT_TRUE(ring.tryPush(i * 3 + 1));
+        ASSERT_TRUE(ring.tryPop(out));
+        EXPECT_EQ(out, i * 3 + 1);
+    }
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, CarriesWireSteps)
+{
+    SpscRing<WireStep, 8> ring;
+    WireStep w;
+    w.kind = WireKind::Access;
+    w.uid = 42;
+    w.gen = 7;
+    w.cycle = 1234;
+    w.addr = 0xdeadbeef;
+    w.wval = 0x1122334455667788ull;
+    w.isWrite = 1;
+    w.size = 8;
+    ASSERT_TRUE(ring.tryPush(w));
+    WireStep r;
+    ASSERT_TRUE(ring.tryPop(r));
+    EXPECT_EQ(r.magic, WireStep::kMagic);
+    EXPECT_EQ(r.kind, WireKind::Access);
+    EXPECT_EQ(r.uid, 42u);
+    EXPECT_EQ(r.gen, 7u);
+    EXPECT_EQ(r.cycle, 1234u);
+    EXPECT_EQ(r.addr, 0xdeadbeefu);
+    EXPECT_EQ(r.wval, 0x1122334455667788ull);
+    EXPECT_EQ(r.isWrite, 1u);
+    EXPECT_EQ(r.size, 8u);
+}
+
+// ---- ShardSnapshot ---------------------------------------------------------
+
+namespace {
+
+/// A snapshot with every field populated distinctly (scalars, fixed
+/// vectors, and non-empty dynamic vectors), so a roundtrip that drops
+/// or reorders anything cannot pass.
+ShardSnapshot
+populatedSnapshot()
+{
+    ShardSnapshot snap;
+    snap.shard = 3;
+    snap.valid = true;
+    snap.resultDigest = 0xabcdef0123456789ull;
+    snap.stats.cycles = 123456;
+    snap.stats.tasksCommitted = 777;
+    snap.stats.tasksAborted = 13;
+    snap.stats.conflictChecks = 991;
+    snap.stats.l1Hits = 5000;
+    snap.stats.l2Misses = 41;
+    snap.stats.crossShardMsgs = 17;
+    snap.stats.shardStepsSent = 29;
+    snap.stats.shardStepsRecv = 31;
+    snap.stats.shardProgressMsgs = 5;
+    for (size_t i = 0; i < snap.stats.coreCycles.size(); i++)
+        snap.stats.coreCycles[i] = 100 + i;
+    for (size_t i = 0; i < snap.stats.flits.size(); i++)
+        snap.stats.flits[i] = 7 * i;
+    snap.stats.laneScheduled = {1, 2, 3, 4};
+    snap.stats.lanePeakPending = {9, 8};
+    snap.stats.bankPeakLines = {5};
+    snap.stats.bankProbes = {6, 6, 6};
+    snap.stats.bankApplies = {};
+    snap.statsDigest = statsDigest(snap.stats);
+    return snap;
+}
+
+} // namespace
+
+TEST(ShardSnapshot, SerializeParseRoundtrips)
+{
+    ShardSnapshot snap = populatedSnapshot();
+    std::string text = snap.serialize();
+    EXPECT_EQ(text.rfind("swarmsim-shard v1\n", 0), 0u);
+
+    ShardSnapshot back;
+    std::string err;
+    ASSERT_TRUE(back.parse(text, &err)) << err;
+    EXPECT_EQ(back.shard, snap.shard);
+    EXPECT_EQ(back.valid, snap.valid);
+    EXPECT_EQ(back.statsDigest, snap.statsDigest);
+    EXPECT_EQ(back.resultDigest, snap.resultDigest);
+    EXPECT_EQ(statsDigest(back.stats), statsDigest(snap.stats));
+    EXPECT_EQ(back.stats.laneScheduled, snap.stats.laneScheduled);
+    EXPECT_EQ(back.stats.bankApplies, snap.stats.bankApplies);
+    // Re-serialization is byte-identical (the format is canonical).
+    EXPECT_EQ(back.serialize(), text);
+}
+
+TEST(ShardSnapshot, ParseRejectsMalformedInputsWithoutCorruption)
+{
+    const ShardSnapshot good = populatedSnapshot();
+    const std::string text = good.serialize();
+
+    auto expectReject = [&](const std::string& mutated,
+                            const char* what) {
+        ShardSnapshot snap = good;
+        std::string err;
+        EXPECT_FALSE(snap.parse(mutated, &err)) << what;
+        EXPECT_FALSE(err.empty()) << what;
+        // Reject-don't-corrupt: the held snapshot is untouched.
+        EXPECT_EQ(snap.serialize(), text) << what;
+    };
+
+    // 1. wrong header version
+    {
+        std::string m = text;
+        m.replace(m.find("v1"), 2, "v2");
+        expectReject(m, "bad header version");
+    }
+    // 2. truncated mid-stats
+    expectReject(text.substr(0, text.size() / 2), "truncation");
+    // 3. missing end sentinel
+    {
+        std::string m = text;
+        m.erase(m.rfind("end\n"));
+        expectReject(m, "missing end");
+    }
+    // 4. trailing garbage after end
+    expectReject(text + "junk\n", "trailing garbage");
+    // 5. non-numeric stat value
+    {
+        std::string m = text;
+        size_t p = m.find("stat cycles ");
+        m.replace(p, m.find('\n', p) - p, "stat cycles abc");
+        expectReject(m, "non-numeric stat");
+    }
+    // 6. renamed (unknown) field breaks the strict sequence
+    {
+        std::string m = text;
+        size_t p = m.find("stat tasksCommitted");
+        m.replace(p, std::string("stat tasksCommitted").size(),
+                  "stat tasksComitted");
+        expectReject(m, "unknown field name");
+    }
+    // 7. dropped field (sequence shifts by one line)
+    {
+        std::string m = text;
+        size_t p = m.find("stat tasksAborted");
+        m.erase(p, m.find('\n', p) - p + 1);
+        expectReject(m, "missing field");
+    }
+    // 8. duplicated field line
+    {
+        std::string m = text;
+        size_t p = m.find("stat tasksAborted");
+        size_t e = m.find('\n', p) + 1;
+        m.insert(e, m.substr(p, e - p));
+        expectReject(m, "duplicated field");
+    }
+    // 9. short fixed vector (declared length kept, payload truncated)
+    {
+        std::string m = text;
+        size_t p = m.find("vec coreCycles ");
+        size_t e = m.find('\n', p);
+        size_t lastSpace = m.rfind(' ', e);
+        m.erase(lastSpace, e - lastSpace);
+        expectReject(m, "short vector");
+    }
+    // 10. malformed shard index
+    {
+        std::string m = text;
+        size_t p = m.find("shard 3");
+        m.replace(p, 7, "shard -1");
+        expectReject(m, "bad shard index");
+    }
+    // 11. malformed digest (non-hex)
+    {
+        std::string m = text;
+        size_t p = m.find("resultdigest ");
+        m.replace(p + 13, 4, "zzzz");
+        expectReject(m, "non-hex digest");
+    }
+    // 12. bad valid flag
+    {
+        std::string m = text;
+        size_t p = m.find("valid 1");
+        m.replace(p, 7, "valid 2");
+        expectReject(m, "bad valid flag");
+    }
+}
+
+TEST(ShardSnapshot, EmptySnapshotRoundtrips)
+{
+    ShardSnapshot snap; // all defaults, empty dynamic vectors
+    snap.statsDigest = statsDigest(snap.stats);
+    ShardSnapshot back;
+    std::string err;
+    ASSERT_TRUE(back.parse(snap.serialize(), &err)) << err;
+    EXPECT_EQ(back.serialize(), snap.serialize());
+}
